@@ -1,0 +1,45 @@
+"""Shared harness for the benchmark suite.
+
+Each ``bench_e##`` file regenerates one paper artifact through
+pytest-benchmark.  Experiments run exactly once (``pedantic`` with one
+round) because they are ensemble measurements, not micro-benchmarks; the
+benchmark clock then reports the wall time of regenerating the artifact.
+
+The rendered report (the same rows recorded in EXPERIMENTS.md) is printed
+and archived under ``benchmarks/results/``.  Set ``REPRO_BENCH_SCALE=full``
+to regenerate the full-scale numbers (minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments import run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """Benchmark scale: ``quick`` by default, ``full`` via environment."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def execute(benchmark, experiment_id: str) -> None:
+    """Run one experiment under the benchmark clock and archive its report."""
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": scale},
+        rounds=1,
+        iterations=1,
+    )
+    report = result.render()
+    print()
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{experiment_id.lower()}_{scale}.txt"
+    out.write_text(report + "\n")
+    (RESULTS_DIR / f"{experiment_id.lower()}_{scale}.json").write_text(result.to_json())
+    assert result.passed, f"{experiment_id} failed its paper-vs-measured checks"

@@ -1,0 +1,38 @@
+"""Ablation: jump-chain simulator vs agent-array reference simulator.
+
+DESIGN.md calls out the jump chain (geometric skipping of unproductive
+interactions, Appendix B weights) as the key performance design choice.
+This benchmark quantifies it: the same no-bias workload is run to
+consensus by both simulators under the pytest-benchmark clock.  Expect
+an order of magnitude separation, growing with n as the no-op-dominated
+endgame lengthens.
+"""
+
+import numpy as np
+
+from repro.core.fastsim import simulate
+from repro.core.simulator import simulate_agents
+from repro.workloads import uniform_configuration
+
+N = 1200
+K = 4
+SEED = 11
+
+
+def _run(simulator):
+    config = uniform_configuration(N, K)
+    result = simulator(config, rng=np.random.default_rng(SEED))
+    assert result.converged
+    return result
+
+
+def test_ablation_jump_chain(benchmark):
+    """Jump-chain simulator: O(k) per productive interaction."""
+    result = benchmark(_run, simulate)
+    assert result.final.is_consensus
+
+
+def test_ablation_agent_array(benchmark):
+    """Agent-array reference: O(1) per interaction, including no-ops."""
+    result = benchmark(_run, simulate_agents)
+    assert result.final.is_consensus

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 1 (Section 2.1): the five-phase decomposition (E1)."""
+
+from _harness import execute
+
+
+def test_e01(benchmark):
+    """Table 1 (Section 2.1): the five-phase decomposition."""
+    execute(benchmark, "E1")

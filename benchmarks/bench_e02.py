@@ -1,0 +1,8 @@
+"""Benchmark regenerating Theorem 2.1: multiplicative-bias convergence (E2)."""
+
+from _harness import execute
+
+
+def test_e02(benchmark):
+    """Theorem 2.1: multiplicative-bias convergence."""
+    execute(benchmark, "E2")

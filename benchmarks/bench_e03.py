@@ -1,0 +1,8 @@
+"""Benchmark regenerating Theorem 2.2: additive-bias convergence (E3)."""
+
+from _harness import execute
+
+
+def test_e03(benchmark):
+    """Theorem 2.2: additive-bias convergence."""
+    execute(benchmark, "E3")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Theorem 2 (no bias): consensus on a significant opinion (E4)."""
+
+from _harness import execute
+
+
+def test_e04(benchmark):
+    """Theorem 2 (no bias): consensus on a significant opinion."""
+    execute(benchmark, "E4")

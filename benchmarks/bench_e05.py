@@ -1,0 +1,8 @@
+"""Benchmark regenerating Lemmas 3 & 4: the undecided-count envelope and u* (E5)."""
+
+from _harness import execute
+
+
+def test_e05(benchmark):
+    """Lemmas 3 & 4: the undecided-count envelope and u*."""
+    execute(benchmark, "E5")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Appendix D: population vs gossip USD (E6)."""
+
+from _harness import execute
+
+
+def test_e06(benchmark):
+    """Appendix D: population vs gossip USD."""
+    execute(benchmark, "E6")

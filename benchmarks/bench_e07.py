@@ -1,0 +1,8 @@
+"""Benchmark regenerating Additive-bias threshold S-curve (E7)."""
+
+from _harness import execute
+
+
+def test_e07(benchmark):
+    """Additive-bias threshold S-curve."""
+    execute(benchmark, "E7")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Section 1.2 baseline dynamics (E8)."""
+
+from _harness import execute
+
+
+def test_e08(benchmark):
+    """Section 1.2 baseline dynamics."""
+    execute(benchmark, "E8")

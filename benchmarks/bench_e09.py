@@ -1,0 +1,8 @@
+"""Benchmark regenerating k-scaling of Theorem 2's bound (E9)."""
+
+from _harness import execute
+
+
+def test_e09(benchmark):
+    """k-scaling of Theorem 2's bound."""
+    execute(benchmark, "E9")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Synchronized USD ablation (E10)."""
+
+from _harness import execute
+
+
+def test_e10(benchmark):
+    """Synchronized USD ablation."""
+    execute(benchmark, "E10")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Appendix A: random-walk toolkit (E11)."""
+
+from _harness import execute
+
+
+def test_e11(benchmark):
+    """Appendix A: random-walk toolkit."""
+    execute(benchmark, "E11")

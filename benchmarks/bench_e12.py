@@ -1,0 +1,8 @@
+"""Benchmark regenerating Observations 6-9: transition probabilities (E12)."""
+
+from _harness import execute
+
+
+def test_e12(benchmark):
+    """Observations 6-9: transition probabilities."""
+    execute(benchmark, "E12")

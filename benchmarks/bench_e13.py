@@ -1,0 +1,8 @@
+"""Benchmark regenerating Mean-field limit validation (E13)."""
+
+from _harness import execute
+
+
+def test_e13(benchmark):
+    """Mean-field limit validation."""
+    execute(benchmark, "E13")

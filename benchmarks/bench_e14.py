@@ -1,0 +1,8 @@
+"""Benchmark regenerating the exact-chain ground-truth validation (E14)."""
+
+from _harness import execute
+
+
+def test_e14(benchmark):
+    """Exact Markov-chain ground truth vs both simulators."""
+    execute(benchmark, "E14")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating the graph-topology extension study (E15)."""
+
+from _harness import execute
+
+
+def test_e15(benchmark):
+    """Extension: USD on restricted interaction graphs."""
+    execute(benchmark, "E15")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating the failure-injection robustness study (E16)."""
+
+from _harness import execute
+
+
+def test_e16(benchmark):
+    """Failure injection: zealot takeover threshold and noise plateau."""
+    execute(benchmark, "E16")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating the Lemma 10 doubling-race validation (E17)."""
+
+from _harness import execute
+
+
+def test_e17(benchmark):
+    """Lemma 10: the additive gap doubles before it halves."""
+    execute(benchmark, "E17")

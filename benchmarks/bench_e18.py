@@ -1,0 +1,8 @@
+"""Benchmark regenerating experiment E18."""
+
+from _harness import execute
+
+
+def test_e18(benchmark):
+    """See repro.experiments.e18_* for the paper artifact."""
+    execute(benchmark, "E18")

@@ -1,0 +1,8 @@
+"""Benchmark regenerating experiment E19."""
+
+from _harness import execute
+
+
+def test_e19(benchmark):
+    """See repro.experiments.e19_* for the paper artifact."""
+    execute(benchmark, "E19")

@@ -1,0 +1,85 @@
+"""Population protocol vs gossip model vs baselines, side by side.
+
+Runs five consensus dynamics from the *same* biased initial configuration
+and compares parallel time and plurality accuracy — the Appendix D and
+Section 1.2 comparisons in one table:
+
+* USD in the population protocol model (this paper),
+* USD in the gossip model (Becchetti et al. / Clementi et al.),
+* Voter, TwoChoices and 3-Majority in the gossip model,
+* the synchronized USD variant with an idealized phase clock.
+
+Run:  python examples/model_comparison.py
+"""
+
+import numpy as np
+
+from repro import simulate
+from repro.analysis import Table, becchetti_gossip_rounds
+from repro.gossip import run_three_majority, run_two_choices, run_usd_gossip, run_voter
+from repro.protocols import run_synchronized_usd
+from repro.workloads import additive_bias_configuration, theorem_beta
+
+
+def main() -> None:
+    n, k = 4000, 8
+    beta = theorem_beta(n, 2.0)
+    config = additive_bias_configuration(n, k, beta)
+    trials = 10
+    base = np.random.SeedSequence(77)
+
+    print(
+        f"Same start for everyone: n = {n}, k = {k}, additive bias {beta}\n"
+        f"initial supports: {config.supports.tolist()}\n"
+        f"Becchetti et al. gossip prediction: md(x) log n = "
+        f"{becchetti_gossip_rounds(config):.0f} rounds\n"
+    )
+
+    dynamics = {
+        "USD (population)": lambda rng: simulate(config, rng=rng),
+        "USD (gossip)": lambda rng: run_usd_gossip(config, rng=rng),
+        "USD (synchronized)": lambda rng: run_synchronized_usd(config, rng=rng),
+        "Voter (gossip)": lambda rng: run_voter(config, rng=rng),
+        "TwoChoices (gossip)": lambda rng: run_two_choices(config, rng=rng),
+        "3-Majority (gossip)": lambda rng: run_three_majority(config, rng=rng),
+    }
+
+    table = Table(
+        f"{trials} runs per dynamics (parallel time = interactions/n or rounds)",
+        ["dynamics", "mean parallel time", "plurality wins", "notes"],
+    )
+    notes = {
+        "USD (population)": "this paper: O(k n log n) interactions",
+        "USD (gossip)": "Becchetti et al.: O(md(x) log n) rounds",
+        "USD (synchronized)": "phase clock, polylog rounds [5]",
+        "Voter (gossip)": "martingale winner, no plurality guarantee",
+        "TwoChoices (gossip)": "O(k log n) rounds [29]",
+        "3-Majority (gossip)": "O(k log n) rounds [29]",
+    }
+    for name, runner in dynamics.items():
+        seeds = base.spawn(trials)
+        times = []
+        wins = 0
+        for child in seeds:
+            result = runner(np.random.default_rng(child))
+            times.append(
+                result.parallel_time if hasattr(result, "parallel_time") else result.rounds
+            )
+            if result.winner == config.max_opinion:
+                wins += 1
+        table.add_row(
+            [name, float(np.mean(times)), f"{wins}/{trials}", notes[name]]
+        )
+
+    print(table.render())
+    print(
+        "\nReading the table: every plurality-consensus dynamics recovers\n"
+        "Opinion 1; the Voter does so only in proportion to its initial\n"
+        "share. Parallel times of the two USD models sit within a small\n"
+        "factor of each other, as Appendix D's comparison predicts for\n"
+        "x1 below the n log n / k crossover."
+    )
+
+
+if __name__ == "__main__":
+    main()

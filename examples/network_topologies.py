@@ -1,0 +1,79 @@
+"""USD consensus across network topologies (extension example).
+
+The paper's population protocol assumes a complete interaction graph —
+any two agents may meet.  Real deployments (sensor meshes, P2P overlays)
+restrict who can talk to whom.  This example runs the same biased
+election on four topologies and shows how connectivity shapes both the
+speed and the reliability of plurality consensus:
+
+* complete graph — the paper's model;
+* Erdős–Rényi above the connectivity threshold — near-complete behavior;
+* Watts–Strogatz small world — a few shortcuts already help a lot;
+* cycle — diffusive, Voter-like slowness.
+
+Run:  python examples/network_topologies.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis import Table
+from repro.graphs import simulate_on_graph
+from repro.workloads import additive_bias_configuration
+
+
+def main() -> None:
+    n, k = 150, 3
+    trials = 5
+    config = additive_bias_configuration(n, k, beta=n // 5)
+    rng = np.random.default_rng(99)
+
+    topologies = {
+        "complete": nx.complete_graph(n),
+        "erdos-renyi (p=0.1)": nx.erdos_renyi_graph(n, 0.1, seed=1),
+        "small world (k=6, p=0.1)": nx.connected_watts_strogatz_graph(
+            n, 6, 0.1, seed=2
+        ),
+        "cycle": nx.cycle_graph(n),
+    }
+
+    table = Table(
+        f"Plurality election on {n} nodes, k={k}, bias {config.additive_bias}, "
+        f"{trials} runs per topology",
+        ["topology", "avg degree", "mean parallel time", "plurality wins"],
+    )
+
+    for name, graph in topologies.items():
+        times = []
+        wins = 0
+        for _ in range(trials):
+            states = config.to_states(rng)
+            result = simulate_on_graph(
+                graph, states, rng=rng, k=k, max_interactions=30_000_000
+            )
+            if result.converged:
+                times.append(result.interactions / n)
+                if result.winner == config.max_opinion:
+                    wins += 1
+        degree = 2 * graph.number_of_edges() / n
+        table.add_row(
+            [
+                name,
+                degree,
+                float(np.mean(times)) if times else float("nan"),
+                f"{wins}/{trials}",
+            ]
+        )
+
+    print(table.render())
+    print(
+        "\nReading the table: dense and small-world graphs behave like the\n"
+        "paper's complete-graph model — fast and reliably plurality-correct.\n"
+        "On the cycle the undecided-state mechanism degenerates into\n"
+        "diffusive boundary motion: orders of magnitude slower and far less\n"
+        "reliable at picking the plurality."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Phase portrait of a no-bias USD run (ASCII figure).
+
+Traces one run from a perfectly uniform 6-opinion configuration and
+renders the Section 2.1 story as text: the undecided count climbing to
+the u* plateau (Phase 1), the bias forming out of noise (Phase 2), the
+plurality doubling away from the pack (Phases 3-4), and the endgame
+sweep (Phase 5).
+
+Run:  python examples/phase_portrait.py
+"""
+
+import numpy as np
+
+from repro import PhaseTracker, TrajectoryRecorder, simulate, ustar
+from repro.core.recorder import CompositeObserver
+from repro.workloads import uniform_configuration
+
+WIDTH = 64
+
+
+def bar(value: int, scale: int, char: str = "#") -> str:
+    filled = int(round(WIDTH * value / scale))
+    return char * filled
+
+
+def main() -> None:
+    n, k = 4000, 6
+    config = uniform_configuration(n, k)
+    recorder = TrajectoryRecorder(every=n, keep_supports=True)
+    tracker = PhaseTracker()
+    observer = CompositeObserver(recorder, tracker)
+
+    result = simulate(config, rng=np.random.default_rng(42), observer=observer.observe)
+    trajectory = recorder.trajectory()
+    times = tracker.times
+
+    print(f"no-bias USD run: n = {n}, k = {k}, winner = Opinion {result.winner}")
+    print(f"u* = n(k-1)/(2k-1) = {ustar(n, k):.0f}\n")
+    print(f"{'parallel':>8}  {'u':>5} {'xmax':>5}  u(t) [#] vs xmax(t) [*]")
+    print("-" * (WIDTH + 24))
+
+    step = max(1, trajectory.num_snapshots // 28)
+    for i in range(0, trajectory.num_snapshots, step):
+        tau = trajectory.times[i] / n
+        u = int(trajectory.undecided[i])
+        xmax = int(trajectory.xmax[i])
+        line_u = bar(u, n, "#")
+        line_x = bar(xmax, n, "*")
+        overlay = "".join(
+            "*" if j < len(line_x) else ("#" if j < len(line_u) else " ")
+            for j in range(WIDTH)
+        )
+        print(f"{tau:8.1f}  {u:5d} {xmax:5d}  |{overlay}|")
+
+    print()
+    print("phase stopping times:")
+    labels = {
+        1: "rise of the undecided  (u >= (n - xmax)/2)",
+        2: "additive bias formed   (gap >= sqrt(n log n))",
+        3: "multiplicative bias    (xmax >= 2 * runner-up)",
+        4: "absolute majority      (xmax >= 2n/3)",
+        5: "consensus              (xmax = n)",
+    }
+    for phase in range(1, 6):
+        t = times.get(phase)
+        print(f"  T{phase} = {t / n:7.1f} parallel  -- {labels[phase]}")
+
+
+if __name__ == "__main__":
+    main()

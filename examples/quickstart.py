@@ -1,0 +1,45 @@
+"""Quickstart: run the k-opinion USD to plurality consensus.
+
+Builds a 5-opinion population of 2000 agents with an additive bias on
+Opinion 1, runs the exact jump-chain simulator, and prints the outcome
+together with the paper's Theorem 2.2 prediction.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PhaseTracker, simulate
+from repro.analysis import theorem2_additive_bound
+from repro.workloads import additive_bias_configuration, theorem_beta
+
+
+def main() -> None:
+    n, k = 2000, 5
+    beta = theorem_beta(n, coefficient=3.0)  # 3 * sqrt(n log n)
+    config = additive_bias_configuration(n, k, beta)
+
+    print(f"population:      n = {n}, k = {k}")
+    print(f"initial support: {config.supports.tolist()} (additive bias {beta})")
+    problems = config.validate_theorem2_preconditions(c=8.0)
+    print(f"theorem 2 preconditions: {'ok' if not problems else problems}")
+
+    tracker = PhaseTracker()
+    result = simulate(config, rng=np.random.default_rng(7), observer=tracker.observe)
+
+    print()
+    print(f"winner:          Opinion {result.winner}")
+    print(f"interactions:    {result.interactions}")
+    print(f"parallel time:   {result.parallel_time:.1f}")
+    bound = theorem2_additive_bound(n, config.xmax)
+    print(f"Theorem 2.2:     O(n^2 log n / x1) = O({bound:.0f}) interactions")
+    print(f"measured/bound:  {result.interactions / bound:.2f}")
+    print()
+    print("phase stopping times (Section 2.1):")
+    for phase in range(1, 6):
+        t = tracker.times.get(phase)
+        print(f"  T{phase} = {t}  (parallel {t / n:.1f})")
+
+
+if __name__ == "__main__":
+    main()

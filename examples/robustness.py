@@ -1,0 +1,81 @@
+"""Robustness of the USD under faults (zealots and transient noise).
+
+Angluin et al. introduced the two-opinion USD as *robust* approximate
+majority: the majority's win survives a limited amount of adversarial
+interference.  This example probes that robustness for k opinions with
+the two fault models in :mod:`repro.faults`:
+
+1. **Stubborn adversaries** — how large must a zealot camp be to
+   overturn a clear flexible majority?  We sweep the camp size and
+   report where the takeover happens.
+2. **Transient corruption** — how much random state corruption can the
+   process absorb while holding quasi-consensus?  We sweep the noise
+   rate and report the plateau height.
+
+Run:  python examples/robustness.py
+"""
+
+import numpy as np
+
+from repro import Configuration
+from repro.analysis import Table
+from repro.faults import simulate_with_noise, simulate_with_zealots
+
+
+def zealot_sweep() -> None:
+    n_flexible = 300
+    config = Configuration.from_supports([240, 60], undecided=0)
+    trials = 5
+    rng = np.random.default_rng(11)
+
+    table = Table(
+        f"Stubborn adversaries vs a {240}/{60} flexible split "
+        f"({trials} runs, budget 3e6 interactions)",
+        ["zealots for opinion 2", "takeovers", "mean final x1 fraction"],
+    )
+    for camp in (10, 60, 150, 300):
+        takeovers = 0
+        fractions = []
+        for _ in range(trials):
+            result = simulate_with_zealots(
+                config, [0, camp], rng=rng, max_interactions=3_000_000
+            )
+            if result.converged and result.winner == 2:
+                takeovers += 1
+            fractions.append(result.final.supports[0] / n_flexible)
+        table.add_row([camp, f"{takeovers}/{trials}", float(np.mean(fractions))])
+    print(table.render())
+    print(
+        "\nSmall camps leave the flexible majority metastable (the robust\n"
+        "approximate-majority property); camps comparable to the majority\n"
+        "take over.\n"
+    )
+
+
+def noise_sweep() -> None:
+    config = Configuration.from_supports([400, 100], undecided=0)
+    rng = np.random.default_rng(13)
+
+    table = Table(
+        "Transient corruption: quasi-consensus plateau vs noise rate "
+        "(horizon 400k interactions)",
+        ["corruption prob per interaction", "tail mean plurality fraction"],
+    )
+    for rho in (0.0, 0.005, 0.05, 0.3, 0.8):
+        result = simulate_with_noise(config, rho, horizon=400_000, rng=rng)
+        table.add_row([rho, result.tail_mean_plurality_fraction])
+    print(table.render())
+    print(
+        "\nThe plateau degrades gracefully: light corruption costs a few\n"
+        "percent of the population; only overwhelming noise (comparable to\n"
+        "the interaction rate itself) destroys the quasi-consensus."
+    )
+
+
+def main() -> None:
+    zealot_sweep()
+    noise_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Sensor-network plurality voting with unreliable readings.
+
+A classic motivation for population protocols: a swarm of cheap sensors
+each takes a noisy reading of an environmental category (say, one of 8
+pollution classes) and the swarm must agree on the *plurality* reading
+using only constant memory per node and random pairwise radio contacts
+— exactly the USD's setting.
+
+The readings follow a Zipf-like popularity (the true class is sampled
+most often), a fraction of sensors boot undecided, and we ask: how often
+does the swarm converge to the true class, and how long does it take?
+The experiment sweeps the noise level, showing the transition from
+"plurality signal strong, USD recovers it w.h.p." to "signal within
+noise, any significant class can win" (Theorem 2's regimes in action).
+
+Run:  python examples/sensor_network_voting.py
+"""
+
+import numpy as np
+
+from repro import Configuration, simulate
+from repro.analysis import Table, wilson_interval
+from repro.analysis.theory import required_additive_bias
+
+
+def sensor_readings(
+    n: int, k: int, true_class: int, signal: float, rng: np.random.Generator
+) -> Configuration:
+    """Sample each sensor's reading: true class w.p. ``signal``, else uniform.
+
+    A 10% share of sensors boots undecided (crash-recovered nodes), which
+    Theorem 2 tolerates as long as u(0) <= (n - x1(0)) / 2.
+    """
+    undecided = n // 10
+    readings = np.full(n - undecided, true_class)
+    noise_mask = rng.random(n - undecided) >= signal
+    readings[noise_mask] = rng.integers(1, k + 1, size=int(noise_mask.sum()))
+    counts = np.bincount(readings, minlength=k + 1)
+    counts[0] = undecided
+    return Configuration(counts)
+
+
+def main() -> None:
+    n, k = 3000, 8
+    true_class = 3
+    trials = 20
+    rng = np.random.default_rng(2023)
+
+    table = Table(
+        f"Swarm of {n} sensors, {k} classes, true class = {true_class}, "
+        f"{trials} trials per signal level",
+        [
+            "signal",
+            "mean bias",
+            "bias needed (sqrt(n log n))",
+            "recovery rate",
+            "95% CI",
+            "mean parallel time",
+        ],
+    )
+
+    for signal in (0.05, 0.10, 0.20, 0.40):
+        recovered = 0
+        times = []
+        biases = []
+        for _ in range(trials):
+            config = sensor_readings(n, k, true_class, signal, rng)
+            biases.append(config.additive_bias)
+            result = simulate(config, rng=rng)
+            times.append(result.parallel_time)
+            if result.winner == true_class:
+                recovered += 1
+        low, high = wilson_interval(recovered, trials)
+        table.add_row(
+            [
+                signal,
+                float(np.mean(biases)),
+                required_additive_bias(n),
+                f"{recovered / trials:.2f}",
+                f"[{low:.2f}, {high:.2f}]",
+                float(np.mean(times)),
+            ]
+        )
+
+    print(table.render())
+    print()
+    print(
+        "Reading the table: once the mean initial bias clears the\n"
+        "sqrt(n log n) threshold (Theorem 2.2), the swarm recovers the\n"
+        "true class essentially always; below it, recovery degrades\n"
+        "gracefully toward a race between significant classes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin setup shim: all metadata lives in pyproject.toml.
+
+Kept so the package installs in offline environments whose pip/setuptools
+combination lacks PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — k-opinion Undecided State Dynamics in the Population Protocol Model.
+
+A from-scratch reproduction of Amir, Aspnes, Berenbrink, Biermeier, Hahn,
+Kaaser and Lazarsfeld, *Fast Convergence of k-Opinion Undecided State
+Dynamics in the Population Protocol Model* (PODC 2023, arXiv:2302.12508).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Configuration, simulate
+    from repro.workloads import additive_bias_configuration
+
+    config = additive_bias_configuration(n=2000, k=5, beta=300)
+    result = simulate(config, rng=np.random.default_rng(0))
+    print(result.winner, result.interactions)
+
+Sub-packages
+------------
+``repro.core``
+    The paper's contribution: the USD, two exact simulators, phases,
+    potentials, transition probabilities, mean-field model.
+``repro.protocols``
+    Population-model baselines (Voter, 4-state exact majority,
+    synchronized USD) and a generic protocol engine.
+``repro.gossip``
+    The parallel gossip model: USD (Becchetti et al.), j-majority family,
+    MedianRule.
+``repro.randomwalk``
+    Appendix A's random-walk and drift toolkit.
+``repro.workloads``
+    Initial-condition builders for Theorem 2's regimes.
+``repro.analysis``
+    Trials, sweeps, scaling fits, tables, experiment records.
+``repro.experiments``
+    One module per reproduced paper artifact (E1–E13).
+"""
+
+from .core import (
+    UNDECIDED,
+    Configuration,
+    PhaseTimes,
+    PhaseTracker,
+    RunResult,
+    TrajectoryRecorder,
+    default_interaction_budget,
+    simulate,
+    simulate_agents,
+    ustar,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UNDECIDED",
+    "Configuration",
+    "RunResult",
+    "simulate",
+    "simulate_agents",
+    "default_interaction_budget",
+    "PhaseTimes",
+    "PhaseTracker",
+    "TrajectoryRecorder",
+    "ustar",
+    "__version__",
+]

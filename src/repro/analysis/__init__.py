@@ -1,0 +1,41 @@
+"""Experiment harness: trials, sweeps, statistics, theory and reporting."""
+
+from .convergence import TrialEnsemble, run_trials
+from .results import Check, ExperimentResult
+from .stats import PowerLawFit, SummaryStats, fit_power_law, summarize, wilson_interval
+from .sweep import SweepPoint, SweepResult, sweep
+from .tables import Table
+from .theory import (
+    appendix_d_crossover_x1,
+    becchetti_gossip_rounds,
+    max_k_for_theorem2,
+    population_parallel_time_bound,
+    required_additive_bias,
+    theorem2_additive_bound,
+    theorem2_multiplicative_bound,
+    theorem2_nobias_bound,
+)
+
+__all__ = [
+    "TrialEnsemble",
+    "run_trials",
+    "SweepPoint",
+    "SweepResult",
+    "sweep",
+    "SummaryStats",
+    "summarize",
+    "wilson_interval",
+    "PowerLawFit",
+    "fit_power_law",
+    "Table",
+    "Check",
+    "ExperimentResult",
+    "theorem2_multiplicative_bound",
+    "theorem2_additive_bound",
+    "theorem2_nobias_bound",
+    "becchetti_gossip_rounds",
+    "population_parallel_time_bound",
+    "appendix_d_crossover_x1",
+    "required_additive_bias",
+    "max_k_for_theorem2",
+]

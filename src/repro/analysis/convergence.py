@@ -1,0 +1,126 @@
+"""Ensemble runner: repeated USD runs and their aggregate statistics.
+
+The experiments all reduce to the same operation: run the USD from a
+given initial configuration ``trials`` times with independent seeds and
+aggregate (a) interactions to consensus, (b) whether the initial
+plurality opinion won, and (c) whether the winner was initially
+*significant*.  :func:`run_trials` performs that operation with the fast
+simulator; :class:`TrialEnsemble` holds the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..core.fastsim import simulate
+from ..core.simulator import RunResult
+from .stats import SummaryStats, summarize, wilson_interval
+
+__all__ = ["TrialEnsemble", "run_trials"]
+
+
+@dataclass
+class TrialEnsemble:
+    """Aggregated outcome of repeated runs from one initial configuration."""
+
+    initial: Configuration
+    interactions: list[int] = field(default_factory=list)
+    winners: list[int | None] = field(default_factory=list)
+    converged_flags: list[bool] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        """Number of recorded runs."""
+        return len(self.interactions)
+
+    @property
+    def num_converged(self) -> int:
+        """Number of runs that reached consensus."""
+        return sum(self.converged_flags)
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of runs that reached consensus."""
+        if self.trials == 0:
+            raise ValueError("no trials recorded")
+        return self.num_converged / self.trials
+
+    def interaction_stats(self) -> SummaryStats:
+        """Summary over *converged* runs only."""
+        converged = [
+            t for t, ok in zip(self.interactions, self.converged_flags) if ok
+        ]
+        return summarize(converged)
+
+    def parallel_time_stats(self) -> SummaryStats:
+        """Interaction statistics converted to parallel time (/n)."""
+        stats = self.interaction_stats()
+        n = self.initial.n
+        return SummaryStats(
+            count=stats.count,
+            mean=stats.mean / n,
+            std=stats.std / n,
+            median=stats.median / n,
+            minimum=stats.minimum / n,
+            maximum=stats.maximum / n,
+        )
+
+    def plurality_wins(self) -> int:
+        """Runs won by the *initially* largest opinion."""
+        plurality = self.initial.max_opinion
+        return sum(1 for w in self.winners if w == plurality)
+
+    @property
+    def plurality_success_rate(self) -> float:
+        """Fraction of runs won by the initially largest opinion."""
+        if self.trials == 0:
+            raise ValueError("no trials recorded")
+        return self.plurality_wins() / self.trials
+
+    def plurality_success_interval(self) -> tuple[float, float]:
+        """Wilson 95% interval for the plurality success probability."""
+        return wilson_interval(self.plurality_wins(), self.trials)
+
+    def significant_wins(self, alpha: float = 1.0) -> int:
+        """Runs won by an opinion that was significant initially."""
+        significant = set(self.initial.significant_opinions(alpha))
+        return sum(1 for w in self.winners if w in significant)
+
+    @property
+    def winner_histogram(self) -> dict[int, int]:
+        """Winner opinion -> number of runs (converged runs only)."""
+        histogram: dict[int, int] = {}
+        for winner in self.winners:
+            if winner is not None:
+                histogram[winner] = histogram.get(winner, 0) + 1
+        return histogram
+
+
+def run_trials(
+    config: Configuration,
+    trials: int,
+    *,
+    seed: int,
+    max_interactions: int | None = None,
+    simulator: Callable[..., RunResult] = simulate,
+) -> TrialEnsemble:
+    """Run ``trials`` independent USD runs and aggregate them.
+
+    Each trial gets a child generator spawned from ``seed`` so ensembles
+    are reproducible and order-independent.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    ensemble = TrialEnsemble(initial=config)
+    seeds = np.random.SeedSequence(seed).spawn(trials)
+    for child in seeds:
+        rng = np.random.default_rng(child)
+        result = simulator(config, rng=rng, max_interactions=max_interactions)
+        ensemble.interactions.append(result.interactions)
+        ensemble.winners.append(result.winner)
+        ensemble.converged_flags.append(result.converged)
+    return ensemble

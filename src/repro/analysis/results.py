@@ -1,0 +1,92 @@
+"""Experiment result records with JSON round-tripping.
+
+Every experiment returns an :class:`ExperimentResult`: the experiment id,
+the rendered tables, a ``paper_claim``/``measured`` pair per check, and a
+boolean verdict.  Results serialize to JSON so EXPERIMENTS.md can be
+regenerated and runs can be archived.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["Check", "ExperimentResult"]
+
+
+@dataclass
+class Check:
+    """One paper-vs-measured comparison inside an experiment."""
+
+    name: str
+    paper_claim: str
+    measured: str
+    passed: bool
+
+    def render(self) -> str:
+        """One-check report block with a PASS/FAIL marker."""
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}\n    paper:    {self.paper_claim}\n    measured: {self.measured}"
+
+
+@dataclass
+class ExperimentResult:
+    """Complete record of one experiment run."""
+
+    experiment_id: str
+    title: str
+    tables: list[str] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """All checks passed (an experiment with no checks passes vacuously)."""
+        return all(check.passed for check in self.checks)
+
+    def add_check(self, name: str, paper_claim: str, measured: str, passed: bool) -> None:
+        """Record one paper-vs-measured comparison."""
+        self.checks.append(
+            Check(name=name, paper_claim=paper_claim, measured=measured, passed=passed)
+        )
+
+    def render(self) -> str:
+        """Human-readable report: title, tables, then the checks."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            lines.append("")
+            lines.append(table)
+        if self.checks:
+            lines.append("")
+            lines.extend(check.render() for check in self.checks)
+        lines.append("")
+        lines.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Serialize the full record to JSON text."""
+        return json.dumps(asdict(self), indent=2, default=_jsonable)
+
+    def save(self, path: str | Path) -> None:
+        """Write the JSON record to ``path``."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a record from :meth:`to_json` output."""
+        data = json.loads(text)
+        checks = [Check(**c) for c in data.pop("checks", [])]
+        return cls(checks=checks, **data)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        """Read a record previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+def _jsonable(value):
+    """Best-effort conversion of numpy scalars for json.dumps."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serializable: {type(value)!r}")

@@ -1,0 +1,122 @@
+"""Statistical helpers for the experiment harness.
+
+Summaries of ensembles of runs (means, medians, confidence intervals),
+empirical success probabilities with Wilson intervals, and log-log
+power-law fits used to check the paper's asymptotic shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "wilson_interval",
+    "PowerLawFit",
+    "fit_power_law",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample of measurements."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    minimum: float
+    maximum: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return float("inf")
+        return self.std / math.sqrt(self.count)
+
+    def ci95(self) -> tuple[float, float]:
+        """Approximate 95% confidence interval for the mean."""
+        half = 1.96 * self.sem
+        return self.mean - half, self.mean + half
+
+
+def summarize(values) -> SummaryStats:
+    """Summarize a non-empty sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        median=float(np.median(arr)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation at proportions near 0 or
+    1, which is exactly where "w.h.p." experiments live.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")
+    p_hat = successes / trials
+    denom = 1.0 + z**2 / trials
+    center = (p_hat + z**2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = C · x^exponent`` on log-log axes."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted law at ``x``."""
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(xs, ys) -> PowerLawFit:
+    """Fit ``log y = exponent · log x + log C`` by least squares.
+
+    Used to check scaling shapes: e.g. measured convergence times against
+    ``n log n`` should fit an exponent close to 1 in ``n`` (up to the log
+    factor, which the experiments divide out first).
+    """
+    xs = np.asarray(list(xs), dtype=float)
+    ys = np.asarray(list(ys), dtype=float)
+    if xs.size != ys.size:
+        raise ValueError(f"length mismatch: {xs.size} xs vs {ys.size} ys")
+    if xs.size < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("power-law fit needs strictly positive data")
+    log_x = np.log(xs)
+    log_y = np.log(ys)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = log_y - predicted
+    total = log_y - log_y.mean()
+    denom = float(total @ total)
+    r_squared = 1.0 - float(residual @ residual) / denom if denom > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope), prefactor=float(math.exp(intercept)), r_squared=r_squared
+    )

@@ -1,0 +1,103 @@
+"""Parameter sweeps over (n, k, bias) grids.
+
+A sweep maps a grid of parameter points to :class:`TrialEnsemble`
+aggregates, collecting the series the experiments need (e.g. mean
+interactions vs n at fixed k).  Points are deterministic functions of the
+sweep seed, so any individual cell can be reproduced in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.config import Configuration
+from .convergence import TrialEnsemble, run_trials
+
+__all__ = ["SweepPoint", "SweepResult", "sweep"]
+
+ConfigBuilder = Callable[..., Configuration]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep: its parameters and its ensemble."""
+
+    params: dict
+    ensemble: TrialEnsemble
+
+    def __repr__(self) -> str:
+        keys = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"SweepPoint({keys}, trials={self.ensemble.trials})"
+
+
+@dataclass
+class SweepResult:
+    """Ordered collection of sweep cells with series extraction helpers."""
+
+    points: list[SweepPoint]
+
+    def series(
+        self, x_key: str, y: Callable[[SweepPoint], float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Extract ``(xs, ys)`` arrays over the sweep order."""
+        xs = np.array([p.params[x_key] for p in self.points], dtype=float)
+        ys = np.array([y(p) for p in self.points], dtype=float)
+        return xs, ys
+
+    def mean_interactions_series(self, x_key: str) -> tuple[np.ndarray, np.ndarray]:
+        """Common case: mean interactions-to-consensus vs a parameter."""
+        return self.series(x_key, lambda p: p.ensemble.interaction_stats().mean)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+def sweep(
+    grid: Sequence[dict] | Iterable[dict],
+    build_config: ConfigBuilder,
+    *,
+    trials: int,
+    seed: int,
+    max_interactions: Callable[[dict], int] | int | None = None,
+) -> SweepResult:
+    """Run ``trials`` USD runs at each grid point.
+
+    Parameters
+    ----------
+    grid:
+        Iterable of parameter dictionaries; each is splatted into
+        ``build_config`` to produce the initial configuration.
+    build_config:
+        Workload builder, e.g.
+        :func:`repro.workloads.uniform_configuration`.
+    max_interactions:
+        Either a constant budget, a callable mapping the grid point to a
+        budget, or ``None`` for the simulator default.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    grid = list(grid)
+    if not grid:
+        raise ValueError("sweep grid must be non-empty")
+    points: list[SweepPoint] = []
+    seeds = np.random.SeedSequence(seed).spawn(len(grid))
+    for params, child in zip(grid, seeds):
+        config = build_config(**params)
+        if callable(max_interactions):
+            budget = max_interactions(params)
+        else:
+            budget = max_interactions
+        ensemble = run_trials(
+            config,
+            trials,
+            seed=int(child.generate_state(1)[0]),
+            max_interactions=budget,
+        )
+        points.append(SweepPoint(params=dict(params), ensemble=ensemble))
+    return SweepResult(points=points)

@@ -1,0 +1,67 @@
+"""ASCII table rendering for experiment output.
+
+The benchmark harness prints every reproduced table/figure as a plain
+text table with a title and column headers — the same rows the
+EXPERIMENTS.md report records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with typed rows.
+
+    >>> t = Table("demo", ["a", "b"])
+    >>> t.add_row([1, 2.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Sequence) -> None:
+        """Append a row; values are formatted immediately."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_format_cell(v) for v in values])
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+        rule = "-" * len(fmt_row(headers))
+        lines = [self.title, "=" * len(self.title), fmt_row(headers), rule]
+        lines.extend(fmt_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

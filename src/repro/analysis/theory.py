@@ -1,0 +1,93 @@
+"""Theoretical predictions from the paper, as concrete magnitudes.
+
+These functions turn the paper's O(·) statements into comparable numbers
+(without attempting to pin down constants): Theorem 2's three regimes,
+the Section 2.1 phase bounds, the Becchetti et al. gossip rate of
+Appendix D, and the crossover between the two models.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.config import Configuration
+from ..core.potentials import monochromatic_distance
+
+__all__ = [
+    "theorem2_multiplicative_bound",
+    "theorem2_additive_bound",
+    "theorem2_nobias_bound",
+    "becchetti_gossip_rounds",
+    "population_parallel_time_bound",
+    "appendix_d_crossover_x1",
+    "required_additive_bias",
+    "max_k_for_theorem2",
+]
+
+
+def theorem2_multiplicative_bound(n: int, x1: int) -> float:
+    """Theorem 2.1 magnitude: ``n log n + n²/x1`` interactions.
+
+    With ``x1(0) > n/(2k)`` this is ``O(n log n + n·k)``.
+    """
+    _validate(n, x1)
+    return n * math.log(n) + n * n / x1
+
+
+def theorem2_additive_bound(n: int, x1: int) -> float:
+    """Theorem 2.2 magnitude: ``n² log n / x1`` interactions (= ``O(k n log n)``)."""
+    _validate(n, x1)
+    return n * n * math.log(n) / x1
+
+
+def theorem2_nobias_bound(n: int, x1: int) -> float:
+    """The no-bias magnitude, identical in shape to the additive regime."""
+    return theorem2_additive_bound(n, x1)
+
+
+def becchetti_gossip_rounds(config: Configuration) -> float:
+    """Becchetti et al. [9]: ``md(x(0)) · log n`` gossip rounds.
+
+    Valid under a constant multiplicative bias; ``md <= k`` always.
+    """
+    return monochromatic_distance(config) * math.log(max(config.n, 2))
+
+
+def population_parallel_time_bound(n: int, x1: int) -> float:
+    """Theorem 2.1 converted to parallel time: ``log n + n/x1`` (Appendix D)."""
+    _validate(n, x1)
+    return math.log(n) + n / x1
+
+
+def appendix_d_crossover_x1(n: int, k: int) -> float:
+    """Appendix D's crossover support ``x1 = n log n / k``.
+
+    Below this support the population-model rate (in parallel time) beats
+    the ``md(x) log n`` gossip rate; above it Becchetti et al. win.
+    """
+    if n < 2 or k < 1:
+        raise ValueError(f"need n >= 2 and k >= 1, got n={n}, k={k}")
+    return n * math.log(n) / k
+
+
+def required_additive_bias(n: int, coefficient: float = 1.0) -> float:
+    """Theorem 2.2's bias threshold ``coefficient · sqrt(n log n)``."""
+    if n < 1:
+        raise ValueError(f"population size must be positive, got n={n}")
+    return coefficient * math.sqrt(n * math.log(max(n, 2)))
+
+
+def max_k_for_theorem2(n: int, c: float = 1.0) -> int:
+    """Largest ``k`` satisfying Theorem 2's ``k <= c·sqrt(n)/log²n``."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got n={n}")
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+    return max(1, int(c * math.sqrt(n) / math.log(n) ** 2))
+
+
+def _validate(n: int, x1: int) -> None:
+    if n < 2:
+        raise ValueError(f"need n >= 2, got n={n}")
+    if not 0 < x1 <= n:
+        raise ValueError(f"need 0 < x1 <= n, got x1={x1}")

@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run E3 [--scale quick|full] [--seed N]``
+    Run one experiment and print its report.
+``report [--scale quick|full] [--seed N] [--output EXPERIMENTS.md]``
+    Run every experiment and write the markdown report.
+``list``
+    List the experiment registry.
+``simulate [--n N] [--k K] [--bias-type none|additive|multiplicative]``
+    Run a single USD simulation and print the outcome and phase times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.report import build_markdown_report
+from .core.fastsim import simulate as run_simulation
+from .core.phases import PhaseTracker
+from .experiments import EXPERIMENTS, run_all, run_experiment
+from .workloads import (
+    additive_bias_configuration,
+    multiplicative_bias_configuration,
+    theorem_beta,
+    uniform_configuration,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-opinion Undecided State Dynamics reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one experiment and print its report")
+    run_cmd.add_argument("experiment", help="experiment id, e.g. E3")
+    run_cmd.add_argument("--scale", choices=("quick", "full"), default="quick")
+    run_cmd.add_argument("--seed", type=int, default=20230224)
+
+    report_cmd = sub.add_parser("report", help="run all experiments, write markdown")
+    report_cmd.add_argument("--scale", choices=("quick", "full"), default="quick")
+    report_cmd.add_argument("--seed", type=int, default=20230224)
+    report_cmd.add_argument("--output", default="EXPERIMENTS.md")
+
+    sub.add_parser("list", help="list the experiment registry")
+
+    sim_cmd = sub.add_parser("simulate", help="run a single USD simulation")
+    sim_cmd.add_argument("--n", type=int, default=2000)
+    sim_cmd.add_argument("--k", type=int, default=5)
+    sim_cmd.add_argument(
+        "--bias-type", choices=("none", "additive", "multiplicative"), default="none"
+    )
+    sim_cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_run(args) -> int:
+    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    print(result.render())
+    return 0 if result.passed else 1
+
+
+def _command_report(args) -> int:
+    results = run_all(scale=args.scale, seed=args.seed)
+    text = build_markdown_report(results, scale=args.scale, seed=args.seed)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    failed = [r.experiment_id for r in results if not r.passed]
+    print(f"wrote {args.output} ({len(results)} experiments)")
+    if failed:
+        print(f"FAILED: {', '.join(failed)}")
+        return 1
+    print("all experiments PASS")
+    return 0
+
+
+def _command_list(_args) -> int:
+    for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+        module = EXPERIMENTS[experiment_id]
+        first_line = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:>4}  {first_line}")
+    return 0
+
+
+def _command_simulate(args) -> int:
+    if args.bias_type == "additive":
+        config = additive_bias_configuration(args.n, args.k, theorem_beta(args.n, 3.0))
+    elif args.bias_type == "multiplicative":
+        config = multiplicative_bias_configuration(args.n, args.k, 2.0)
+    else:
+        config = uniform_configuration(args.n, args.k)
+    tracker = PhaseTracker()
+    result = run_simulation(
+        config, rng=np.random.default_rng(args.seed), observer=tracker.observe
+    )
+    print(f"initial supports: {config.supports.tolist()}")
+    print(f"winner:           Opinion {result.winner}")
+    print(f"interactions:     {result.interactions}")
+    print(f"parallel time:    {result.parallel_time:.1f}")
+    print(f"phase times:      {tracker.times}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "report": _command_report,
+    "list": _command_list,
+    "simulate": _command_simulate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Core implementation of the k-opinion Undecided State Dynamics.
+
+This package is the paper's primary contribution: the USD in the
+population protocol model, with two exact simulators (agent-level and
+jump-chain), the five-phase decomposition, the potential functions, the
+exact transition probabilities of Appendix B, and the mean-field model.
+"""
+
+from .config import UNDECIDED, Configuration, importance_threshold, significance_threshold
+from .continuous import ContinuousResult, simulate_continuous
+from .coupling import CouplingResult, canonical_vectors, coupled_step, run_coupled
+from .exact import ExactChain, enumerate_configurations, state_space_size
+from .fastsim import simulate, step_weights, total_productive_weight
+from .meanfield import (
+    MeanFieldSolution,
+    jacobian,
+    meanfield_rhs,
+    solve_meanfield,
+    symmetric_fixed_point,
+)
+from .phases import PhaseTimes, PhaseTracker, phase_condition_holds, predicted_phase_bound
+from .potentials import (
+    generalized_potential,
+    monochromatic_distance,
+    phase1_potential,
+    undecided_envelope_holds,
+    undecided_lower_bound,
+    undecided_upper_bound,
+)
+from .probabilities import (
+    OpinionStepProbabilities,
+    PairStepProbabilities,
+    opinion_step,
+    p_minus,
+    p_plus,
+    p_productive,
+    p_tilde_plus,
+    p_tilde_plus_bound,
+    pair_step,
+    parallel_time,
+    ustar,
+)
+from .recorder import CompositeObserver, Snapshot, Trajectory, TrajectoryRecorder
+from .simulator import RunResult, default_interaction_budget, simulate_agents
+from .transitions import InteractionKind, classify_interaction, usd_delta, usd_delta_vectorized
+
+__all__ = [
+    "UNDECIDED",
+    "Configuration",
+    "significance_threshold",
+    "importance_threshold",
+    "usd_delta",
+    "usd_delta_vectorized",
+    "InteractionKind",
+    "classify_interaction",
+    "RunResult",
+    "default_interaction_budget",
+    "simulate_agents",
+    "simulate",
+    "step_weights",
+    "total_productive_weight",
+    "PhaseTimes",
+    "PhaseTracker",
+    "phase_condition_holds",
+    "predicted_phase_bound",
+    "phase1_potential",
+    "generalized_potential",
+    "monochromatic_distance",
+    "undecided_envelope_holds",
+    "undecided_lower_bound",
+    "undecided_upper_bound",
+    "ustar",
+    "p_minus",
+    "p_plus",
+    "p_productive",
+    "p_tilde_plus",
+    "p_tilde_plus_bound",
+    "opinion_step",
+    "pair_step",
+    "OpinionStepProbabilities",
+    "PairStepProbabilities",
+    "parallel_time",
+    "Snapshot",
+    "Trajectory",
+    "TrajectoryRecorder",
+    "CompositeObserver",
+    "MeanFieldSolution",
+    "meanfield_rhs",
+    "solve_meanfield",
+    "symmetric_fixed_point",
+    "jacobian",
+    "ExactChain",
+    "enumerate_configurations",
+    "state_space_size",
+    "CouplingResult",
+    "canonical_vectors",
+    "coupled_step",
+    "run_coupled",
+    "ContinuousResult",
+    "simulate_continuous",
+]

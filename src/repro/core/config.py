@@ -1,0 +1,310 @@
+"""Configuration model for the k-opinion Undecided State Dynamics.
+
+A *configuration* (Section 2 of the paper) is the vector
+``x(t) = (x_1(t), ..., x_k(t), u(t))`` where ``x_i(t)`` is the number of
+agents supporting Opinion ``i`` and ``u(t)`` is the number of undecided
+agents, with ``sum_i x_i(t) + u(t) = n``.
+
+Internally we store a single numpy vector ``counts`` of length ``k + 1``
+where index ``0`` holds the undecided count and indices ``1..k`` hold the
+opinion supports.  Index ``0`` is also the integer state label used by the
+agent-level simulators (``UNDECIDED = 0``), so a configuration is exactly a
+histogram of agent states.
+
+The class exposes the paper's vocabulary: additive bias, multiplicative
+bias, significant and important opinions, the plurality opinion
+``max(t)``, and consensus predicates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "UNDECIDED",
+    "Configuration",
+    "significance_threshold",
+    "importance_threshold",
+]
+
+#: Integer state label of the undecided state ``⊥``.
+UNDECIDED: int = 0
+
+
+def significance_threshold(n: int, alpha: float = 1.0) -> float:
+    """Support gap below the maximum that still counts as *significant*.
+
+    The paper calls Opinion ``i`` significant at time ``t`` if
+    ``x_i(t) > xmax(t) - alpha * sqrt(n log n)`` for a fixed constant
+    ``alpha`` (Section 2).  Natural logarithm is used throughout, matching
+    the paper's interchangeable use of ``log``/``ln`` inside Theta-bounds.
+    """
+    if n < 1:
+        raise ValueError(f"population size must be positive, got {n}")
+    return alpha * math.sqrt(n * math.log(max(n, 2)))
+
+
+def importance_threshold(n: int, alpha: float = 1.0) -> float:
+    """Gap threshold for *important* opinions (Section 4).
+
+    An opinion is important at time ``t`` if
+    ``x_i(t) > xmax(t) - 4 * alpha * sqrt(n log n)``.
+    """
+    return 4.0 * significance_threshold(n, alpha)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable snapshot of the population.
+
+    Parameters
+    ----------
+    counts:
+        Integer vector of length ``k + 1``; ``counts[0]`` is the number of
+        undecided agents and ``counts[i]`` for ``i >= 1`` is the support of
+        Opinion ``i``.
+
+    Notes
+    -----
+    The vector is defensively copied and marked read-only, so instances can
+    be shared freely between the simulator, the phase tracker and the
+    recorder without aliasing bugs.
+    """
+
+    counts: np.ndarray = field()
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.counts, dtype=np.int64).copy()
+        if arr.ndim != 1:
+            raise ValueError(f"counts must be one-dimensional, got shape {arr.shape}")
+        if arr.size < 2:
+            raise ValueError("counts needs at least one opinion slot besides undecided")
+        if (arr < 0).any():
+            raise ValueError(f"counts must be non-negative, got {arr.tolist()}")
+        if arr.sum() <= 0:
+            raise ValueError("population must contain at least one agent")
+        arr.setflags(write=False)
+        object.__setattr__(self, "counts", arr)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_supports(
+        cls, supports: Sequence[int] | np.ndarray, undecided: int = 0
+    ) -> "Configuration":
+        """Build a configuration from opinion supports plus undecided count."""
+        supports = np.asarray(supports, dtype=np.int64)
+        return cls(np.concatenate(([int(undecided)], supports)))
+
+    @classmethod
+    def from_states(cls, states: Sequence[int] | np.ndarray, k: int) -> "Configuration":
+        """Histogram an agent-state array (labels ``0..k``) into a configuration."""
+        states = np.asarray(states, dtype=np.int64)
+        if states.size == 0:
+            raise ValueError("state array must be non-empty")
+        if states.min() < 0 or states.max() > k:
+            raise ValueError(
+                f"state labels must lie in [0, {k}], got range "
+                f"[{states.min()}, {states.max()}]"
+            )
+        return cls(np.bincount(states, minlength=k + 1))
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of agents."""
+        return int(self.counts.sum())
+
+    @property
+    def k(self) -> int:
+        """Number of opinions (undecided excluded)."""
+        return int(self.counts.size - 1)
+
+    @property
+    def undecided(self) -> int:
+        """Number of undecided agents ``u(t)``."""
+        return int(self.counts[0])
+
+    @property
+    def supports(self) -> np.ndarray:
+        """Read-only view of the opinion supports ``(x_1, ..., x_k)``."""
+        return self.counts[1:]
+
+    @property
+    def decided(self) -> int:
+        """Number of decided agents ``n - u(t)``."""
+        return self.n - self.undecided
+
+    def support(self, opinion: int) -> int:
+        """Support ``x_i`` of a single opinion (1-based index)."""
+        if not 1 <= opinion <= self.k:
+            raise ValueError(f"opinion index must be in [1, {self.k}], got {opinion}")
+        return int(self.counts[opinion])
+
+    # ------------------------------------------------------------------
+    # Plurality / bias vocabulary (Section 2)
+    # ------------------------------------------------------------------
+    @property
+    def xmax(self) -> int:
+        """Support of the currently largest opinion ``xmax(t)``."""
+        return int(self.supports.max())
+
+    @property
+    def max_opinion(self) -> int:
+        """Index ``max(t)`` of an opinion with the largest support (1-based).
+
+        Ties are broken toward the smallest index, matching the paper's
+        "pick an arbitrary one" convention deterministically.
+        """
+        return int(np.argmax(self.supports)) + 1
+
+    @property
+    def second_support(self) -> int:
+        """Support of the runner-up opinion (0 when ``k == 1``)."""
+        if self.k == 1:
+            return 0
+        sorted_desc = np.sort(self.supports)[::-1]
+        return int(sorted_desc[1])
+
+    @property
+    def additive_bias(self) -> int:
+        """Largest ``beta`` such that some opinion beats all others by ``beta``.
+
+        Equals ``xmax - second largest support``; zero when the top two
+        supports are tied.
+        """
+        return self.xmax - self.second_support
+
+    @property
+    def multiplicative_bias(self) -> float:
+        """Largest ``alpha`` with ``xmax >= alpha * x_i`` for all other ``i``.
+
+        Returns ``inf`` when every non-plurality opinion has zero support
+        (including the ``k == 1`` case).
+        """
+        second = self.second_support
+        if second == 0:
+            return math.inf
+        return self.xmax / second
+
+    def has_additive_bias(self, beta: float) -> bool:
+        """Whether one opinion beats every other by at least ``beta``."""
+        return self.additive_bias >= beta
+
+    def has_multiplicative_bias(self, alpha: float) -> bool:
+        """Whether one opinion is at least ``alpha`` times every other."""
+        return self.multiplicative_bias >= alpha
+
+    # ------------------------------------------------------------------
+    # Significant / important opinions (Sections 2 and 4)
+    # ------------------------------------------------------------------
+    def significant_opinions(self, alpha: float = 1.0) -> list[int]:
+        """1-based indices of opinions within ``alpha*sqrt(n log n)`` of the max."""
+        gap = significance_threshold(self.n, alpha)
+        return [i + 1 for i, x in enumerate(self.supports) if x > self.xmax - gap]
+
+    def important_opinions(self, alpha: float = 1.0) -> list[int]:
+        """1-based indices of opinions within ``4*alpha*sqrt(n log n)`` of the max."""
+        gap = importance_threshold(self.n, alpha)
+        return [i + 1 for i, x in enumerate(self.supports) if x > self.xmax - gap]
+
+    def is_significant(self, opinion: int, alpha: float = 1.0) -> bool:
+        """Whether a single opinion is significant."""
+        gap = significance_threshold(self.n, alpha)
+        return self.support(opinion) > self.xmax - gap
+
+    # ------------------------------------------------------------------
+    # Consensus predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_consensus(self) -> bool:
+        """All agents support one opinion (no undecided agents remain)."""
+        return self.xmax == self.n
+
+    @property
+    def winner(self) -> int | None:
+        """Consensus opinion, or ``None`` if consensus has not been reached."""
+        if not self.is_consensus:
+            return None
+        return self.max_opinion
+
+    @property
+    def num_remaining_opinions(self) -> int:
+        """Number of opinions with non-zero support."""
+        return int((self.supports > 0).sum())
+
+    # ------------------------------------------------------------------
+    # Paper quantities reused across modules
+    # ------------------------------------------------------------------
+    @property
+    def r2(self) -> int:
+        """``r²(t) = sum_i x_i(t)²`` (Appendix B)."""
+        s = self.supports.astype(np.int64)
+        return int(np.dot(s, s))
+
+    def sorted_supports(self) -> np.ndarray:
+        """Supports in non-increasing order (paper's w.l.o.g. ordering)."""
+        return np.sort(self.supports)[::-1]
+
+    def to_states(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Expand into an agent-state array (labels ``0..k``).
+
+        When ``rng`` is given the array is shuffled; otherwise agents are
+        grouped by state (the scheduler samples uniformly, so the order is
+        irrelevant for the dynamics and only matters for readability).
+        """
+        states = np.repeat(np.arange(self.k + 1), self.counts)
+        if rng is not None:
+            rng.shuffle(states)
+        return states
+
+    def validate_theorem2_preconditions(self, c: float = 1.0) -> list[str]:
+        """Check the assumptions of Theorem 2; return violated ones.
+
+        Theorem 2 requires ``k <= c * sqrt(n) / log²(n)`` and
+        ``u(0) <= (n - x1(0)) / 2`` where ``x1(0) = xmax(0)``.
+        Returns an empty list when all assumptions hold.
+        """
+        problems: list[str] = []
+        n = self.n
+        log_n = math.log(max(n, 2))
+        k_bound = c * math.sqrt(n) / (log_n**2)
+        if self.k > k_bound:
+            problems.append(
+                f"k={self.k} exceeds c*sqrt(n)/log^2(n)={k_bound:.2f} (c={c})"
+            )
+        u_bound = (n - self.xmax) / 2
+        if self.undecided > u_bound:
+            problems.append(
+                f"u(0)={self.undecided} exceeds (n - x1(0))/2 = {u_bound:.1f}"
+            )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return bool(np.array_equal(self.counts, other.counts))
+
+    def __hash__(self) -> int:
+        return hash(self.counts.tobytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"Configuration(n={self.n}, k={self.k}, u={self.undecided}, "
+            f"supports={self.supports.tolist()})"
+        )
+
+
+def tally(states: Iterable[int], k: int) -> Configuration:
+    """Convenience alias for :meth:`Configuration.from_states`."""
+    return Configuration.from_states(np.fromiter(states, dtype=np.int64), k)

@@ -1,0 +1,177 @@
+"""The Phase 5 coupling of Lemma 17: k opinions majorized by 2 opinions.
+
+Lemma 16 reduces the endgame (from ``x1 >= 2n/3`` to consensus) to the
+two-opinion USD via a step-by-step coupling (Lemma 17): the k-opinion
+process ``X`` is run side by side with a two-opinion process ``X̃``
+started from ``x̃1(0) = x1(0)``, ``x̃2(0) = sum_{i>=2} x_i(0)``,
+``ũ(0) = u(0)``.  Both processes draw the *same* uniform agent pair per
+step (the identity coupling) on a canonical arrangement of the agents,
+and the invariant
+
+    x1(t) >= x̃1(t)   and   x1(t) + u(t) >= x̃1(t) + ũ(t)
+
+is maintained deterministically — hence ``Pr[x1(t) = n] >=
+Pr[x̃1(t) = n]`` and the two-opinion convergence bound of Angluin et
+al. [4] transfers.
+
+This module implements that coupling *operationally*: it builds the
+paper's canonical agent vectors from the two count vectors (the Case
+1/Case 2 arrangement of the proof), applies the identity-coupled USD
+step to both, and checks the invariant after every interaction.  The
+test suite runs it to consensus and asserts the invariant never breaks
+— a mechanical verification of the Lemma 17 case analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import UNDECIDED, Configuration
+from .transitions import usd_delta
+
+__all__ = ["CouplingResult", "canonical_vectors", "coupled_step", "run_coupled"]
+
+
+def _validate_invariant(counts: np.ndarray, tilde: np.ndarray) -> bool:
+    """Lemma 17's invariant on the two count vectors."""
+    x1, u = int(counts[1]), int(counts[0])
+    t1, tu = int(tilde[1]), int(tilde[0])
+    return x1 >= t1 and x1 + u >= t1 + tu
+
+
+def canonical_vectors(
+    counts: np.ndarray, tilde: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's canonical agent arrangement for both processes.
+
+    ``counts`` is the k-opinion histogram ``(u, x_1, ..., x_k)``;
+    ``tilde`` the two-opinion histogram ``(ũ, x̃1, x̃2)``.  Returns the
+    pair ``(v, ṽ)`` of length-n state vectors laid out as in the proof
+    of Lemma 17 (shared prefix: x̃1 ones, ``min(u, ũ)`` undecided, the
+    k-process's non-plurality opinions; tails per Case 1/Case 2).
+
+    Requires the invariant to hold; raises otherwise.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    tilde = np.asarray(tilde, dtype=np.int64)
+    n = int(counts.sum())
+    if int(tilde.sum()) != n:
+        raise ValueError("both processes must have the same population size")
+    if tilde.size != 3:
+        raise ValueError("the coupled process must have exactly two opinions")
+    if not _validate_invariant(counts, tilde):
+        raise ValueError(
+            f"Lemma 17 invariant violated: counts={counts.tolist()}, "
+            f"tilde={tilde.tolist()}"
+        )
+    u, x1 = int(counts[0]), int(counts[1])
+    tu, t1, t2 = int(tilde[0]), int(tilde[1]), int(tilde[2])
+    minority_total = int(counts[2:].sum())  # S = sum_{j >= 2} x_j
+
+    shared_undecided = min(u, tu)
+    # k-process vector: x̃1 ones, shared ⊥, opinions 2..k, extra ones,
+    # extra ⊥ (Case 2 only).
+    v_parts = [
+        np.full(t1, 1, dtype=np.int64),
+        np.full(shared_undecided, UNDECIDED, dtype=np.int64),
+        np.repeat(np.arange(2, counts.size), counts[2:]),
+        np.full(x1 - t1, 1, dtype=np.int64),
+        np.full(u - shared_undecided, UNDECIDED, dtype=np.int64),
+    ]
+    # two-opinion vector: x̃1 ones, shared ⊥, S twos, extra ⊥ (Case 1
+    # only), remaining twos.
+    tilde_parts = [
+        np.full(t1, 1, dtype=np.int64),
+        np.full(shared_undecided, UNDECIDED, dtype=np.int64),
+        np.full(minority_total, 2, dtype=np.int64),
+        np.full(tu - shared_undecided, UNDECIDED, dtype=np.int64),
+        np.full(t2 - minority_total, 2, dtype=np.int64),
+    ]
+    v = np.concatenate(v_parts)
+    v_tilde = np.concatenate(tilde_parts)
+    if v.size != n or v_tilde.size != n:
+        raise AssertionError("canonical arrangement does not cover the population")
+    return v, v_tilde
+
+
+def coupled_step(
+    counts: np.ndarray, tilde: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """One identity-coupled interaction; returns the new count vectors."""
+    counts = np.asarray(counts, dtype=np.int64)
+    tilde = np.asarray(tilde, dtype=np.int64)
+    v, v_tilde = canonical_vectors(counts, tilde)
+    n = v.size
+    responder = int(rng.integers(0, n))
+    initiator = int(rng.integers(0, n))
+
+    new_counts = counts.copy()
+    new_r, _ = usd_delta(int(v[responder]), int(v[initiator]))
+    if new_r != v[responder]:
+        new_counts[v[responder]] -= 1
+        new_counts[new_r] += 1
+
+    new_tilde = tilde.copy()
+    new_rt, _ = usd_delta(int(v_tilde[responder]), int(v_tilde[initiator]))
+    if new_rt != v_tilde[responder]:
+        new_tilde[v_tilde[responder]] -= 1
+        new_tilde[new_rt] += 1
+    return new_counts, new_tilde
+
+
+@dataclass(frozen=True)
+class CouplingResult:
+    """Outcome of a coupled run."""
+
+    final: Configuration
+    final_tilde: Configuration
+    interactions: int
+    invariant_violations: int
+    k_process_won: bool
+    two_process_won: bool
+
+
+def run_coupled(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_interactions: int,
+) -> CouplingResult:
+    """Run the Lemma 17 coupling from a k-opinion configuration.
+
+    The two-opinion process starts from the lemma's projection
+    ``(ũ, x̃1, x̃2) = (u, x1, sum_{i>=2} x_i)``.  Stops at
+    ``max_interactions`` or when *both* processes have converged.
+    Counts invariant violations (the lemma predicts exactly zero).
+    """
+    if max_interactions < 0:
+        raise ValueError(f"max_interactions must be non-negative, got {max_interactions}")
+    counts = np.asarray(config.counts, dtype=np.int64).copy()
+    n = config.n
+    tilde = np.array(
+        [counts[0], counts[1], counts[2:].sum()], dtype=np.int64
+    )
+    violations = 0
+    t = 0
+    while t < max_interactions:
+        k_done = counts[1:].max() == n
+        tilde_done = tilde[1:].max() == n
+        if k_done and tilde_done:
+            break
+        counts, tilde = coupled_step(counts, tilde, rng)
+        t += 1
+        if not _validate_invariant(counts, tilde):
+            # Lemma 17 predicts this never happens; stop rather than let
+            # canonical_vectors raise on the next step.
+            violations += 1
+            break
+    return CouplingResult(
+        final=Configuration(counts),
+        final_tilde=Configuration(tilde),
+        interactions=t,
+        invariant_violations=violations,
+        k_process_won=bool(counts[1] == n),
+        two_process_won=bool(tilde[1] == n),
+    )

@@ -1,0 +1,212 @@
+"""Exact Markov-chain analysis of the USD for small populations.
+
+The USD's configuration process is a finite absorbing Markov chain over
+the simplex ``{(u, x_1, ..., x_k) : u + sum x_i = n}`` with transition
+probabilities given by Observation 6/8.  For small ``n`` the chain can
+be solved *exactly* by linear algebra:
+
+* absorption probabilities (which opinion wins, from any start),
+* expected absorption times (expected interactions to consensus),
+
+via the fundamental-matrix method: with ``Q`` the transient-to-transient
+block and ``R`` the transient-to-absorbing block, absorption
+probabilities are ``(I - Q)^{-1} R`` and expected times ``(I - Q)^{-1} 1``.
+
+This module is the ground truth the test suite uses to validate both
+simulators beyond statistics: simulated win frequencies and mean times
+must converge to these exact values.
+
+State-space size is ``C(n + k, k)``; keep ``n`` below ~40 for ``k = 2``
+and ~15 for ``k = 3``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import Configuration
+
+__all__ = ["enumerate_configurations", "ExactChain", "state_space_size"]
+
+
+def state_space_size(n: int, k: int) -> int:
+    """Number of configurations, ``C(n + k, k)``."""
+    if n < 1 or k < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    return math.comb(n + k, k)
+
+
+def enumerate_configurations(n: int, k: int) -> list[tuple[int, ...]]:
+    """All count vectors ``(u, x_1, ..., x_k)`` summing to ``n``.
+
+    Ordered lexicographically; each tuple has length ``k + 1`` with the
+    undecided count first (the same layout as ``Configuration.counts``).
+    """
+    if n < 1 or k < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    states: list[tuple[int, ...]] = []
+    for cuts in itertools.combinations(range(n + k), k):
+        counts = []
+        previous = -1
+        for cut in cuts:
+            counts.append(cut - previous - 1)
+            previous = cut
+        counts.append(n + k - 1 - previous)
+        states.append(tuple(counts))
+    return states
+
+
+@dataclass(frozen=True)
+class _Solution:
+    """Cached fundamental-matrix solves."""
+
+    transient_index: dict
+    absorbing_index: dict
+    absorption: np.ndarray  # (num_transient, num_absorbing)
+    expected_time: np.ndarray  # (num_transient,)
+
+
+class ExactChain:
+    """Exact absorbing-chain solver for the USD at small ``n``.
+
+    Parameters
+    ----------
+    n, k:
+        Population size and number of opinions.  Construction cost is
+        ``O(C(n+k, k)^3)`` for the dense solve, performed lazily on first
+        query and cached.
+    """
+
+    def __init__(self, n: int, k: int, max_states: int = 20_000) -> None:
+        size = state_space_size(n, k)
+        if size > max_states:
+            raise ValueError(
+                f"state space has {size} configurations; exact analysis is "
+                f"limited to {max_states} (reduce n or k)"
+            )
+        self.n = n
+        self.k = k
+        self._solution: _Solution | None = None
+
+    # ------------------------------------------------------------------
+    # Chain construction
+    # ------------------------------------------------------------------
+    def is_absorbing(self, state: tuple[int, ...]) -> bool:
+        """Consensus states (``x_i = n``) and the all-undecided state."""
+        return state[0] == self.n or max(state[1:]) == self.n
+
+    def transitions(self, state: tuple[int, ...]) -> list[tuple[tuple[int, ...], float]]:
+        """Out-transitions of a state: ``(next_state, probability)`` pairs.
+
+        The self-loop (no-op) probability is omitted; it is one minus the
+        sum of the returned probabilities.
+        """
+        n = self.n
+        u = state[0]
+        out: list[tuple[tuple[int, ...], float]] = []
+        n_sq = n * n
+        for i in range(1, self.k + 1):
+            xi = state[i]
+            if xi == 0:
+                continue
+            if u > 0:
+                # Undecided responder adopts opinion i: weight u * x_i.
+                nxt = list(state)
+                nxt[0] -= 1
+                nxt[i] += 1
+                out.append((tuple(nxt), u * xi / n_sq))
+            others = n - u - xi
+            if others > 0:
+                # Opinion-i responder clashes: weight x_i (n - u - x_i).
+                nxt = list(state)
+                nxt[i] -= 1
+                nxt[0] += 1
+                out.append((tuple(nxt), xi * others / n_sq))
+        return out
+
+    # ------------------------------------------------------------------
+    # Solves
+    # ------------------------------------------------------------------
+    def _solve(self) -> _Solution:
+        if self._solution is not None:
+            return self._solution
+        states = enumerate_configurations(self.n, self.k)
+        transient = [s for s in states if not self.is_absorbing(s)]
+        absorbing = [s for s in states if self.is_absorbing(s)]
+        t_pos = {s: i for i, s in enumerate(transient)}
+        a_pos = {s: i for i, s in enumerate(absorbing)}
+
+        num_t = len(transient)
+        num_a = len(absorbing)
+        q = np.zeros((num_t, num_t))
+        r = np.zeros((num_t, num_a))
+        for s in transient:
+            row = t_pos[s]
+            productive = 0.0
+            for nxt, prob in self.transitions(s):
+                productive += prob
+                if nxt in t_pos:
+                    q[row, t_pos[nxt]] += prob
+                else:
+                    r[row, a_pos[nxt]] += prob
+            # Unproductive interactions are self-loops; they must appear
+            # in Q so expected times count *all* interactions.
+            q[row, row] += 1.0 - productive
+
+        identity = np.eye(num_t)
+        fundamental_rhs = np.concatenate([r, np.ones((num_t, 1))], axis=1)
+        solved = np.linalg.solve(identity - q, fundamental_rhs)
+        absorption = solved[:, :num_a]
+        expected_time = solved[:, num_a]
+        self._solution = _Solution(
+            transient_index=t_pos,
+            absorbing_index=a_pos,
+            absorption=absorption,
+            expected_time=expected_time,
+        )
+        return self._solution
+
+    def _as_state(self, config: Configuration) -> tuple[int, ...]:
+        if config.n != self.n or config.k != self.k:
+            raise ValueError(
+                f"configuration has (n={config.n}, k={config.k}); "
+                f"chain was built for (n={self.n}, k={self.k})"
+            )
+        return tuple(int(c) for c in config.counts)
+
+    def win_probabilities(self, config: Configuration) -> dict[int, float]:
+        """Exact probability that each opinion wins from ``config``.
+
+        Keys are opinion indices ``1..k``; an extra key ``0`` appears with
+        the probability of absorbing into the all-undecided state (zero
+        except when starting there).
+        """
+        state = self._as_state(config)
+        solution = self._solve()
+        result: dict[int, float] = {i: 0.0 for i in range(self.k + 1)}
+        if self.is_absorbing(state):
+            if state[0] == self.n:
+                result[0] = 1.0
+            else:
+                result[1 + int(np.argmax(state[1:]))] = 1.0
+            return result
+        row = solution.absorption[solution.transient_index[state]]
+        for absorbing_state, col in solution.absorbing_index.items():
+            prob = float(row[col])
+            if absorbing_state[0] == self.n:
+                result[0] += prob
+            else:
+                result[1 + int(np.argmax(absorbing_state[1:]))] += prob
+        return result
+
+    def expected_absorption_time(self, config: Configuration) -> float:
+        """Exact expected number of interactions until consensus."""
+        state = self._as_state(config)
+        if self.is_absorbing(state):
+            return 0.0
+        solution = self._solve()
+        return float(solution.expected_time[solution.transient_index[state]])

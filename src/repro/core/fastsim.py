@@ -1,0 +1,153 @@
+"""Fast exact simulator of the USD as a jump chain over productive steps.
+
+Most interactions of the USD are no-ops (both agents keep their states).
+Conditioned on the current configuration, the number of no-ops before the
+next *productive* interaction is geometric with success probability
+``W / n²`` where ``W`` is the total weight of productive interactions
+(Appendix B):
+
+* an undecided responder adopting Opinion ``i`` has weight ``u · x_i``
+  (Observation 6.1 summed over initiator agents of Opinion ``i``);
+* a responder of Opinion ``i`` clashing with a differently decided
+  initiator has weight ``x_i · (n − u − x_i)`` (Observation 6.2).
+
+Sampling the geometric skip and then the productive event proportionally
+to its weight reproduces the *exact* distribution of the configuration
+process — this is the discrete-time analogue of Gillespie's algorithm for
+the underlying chemical reaction network (the USD is the approximate
+majority CRN of Angluin et al. / Condon et al. for ``k = 2``).
+
+Cost: O(k) per productive step, independent of how many no-ops are
+skipped, which makes the endgame (Phase 5, where almost all interactions
+are no-ops) dramatically cheaper than agent-level simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import Configuration
+from .simulator import Observer, RunResult, default_interaction_budget
+
+__all__ = ["simulate", "step_weights", "total_productive_weight"]
+
+
+def step_weights(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Productive-interaction weights for the current histogram.
+
+    Returns ``(adopt, clash)`` where ``adopt[i-1] = u * x_i`` is the weight
+    of an undecided responder adopting Opinion ``i`` and
+    ``clash[i-1] = x_i * (n - u - x_i)`` the weight of Opinion ``i`` losing
+    a supporter to the undecided state.  Both arrays have length ``k``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n = int(counts.sum())
+    u = int(counts[0])
+    supports = counts[1:]
+    decided = n - u
+    adopt = u * supports
+    clash = supports * (decided - supports)
+    return adopt, clash
+
+
+def total_productive_weight(counts: np.ndarray) -> int:
+    """Total weight ``W`` of productive interactions (out of ``n²``)."""
+    adopt, clash = step_weights(counts)
+    return int(adopt.sum() + clash.sum())
+
+
+def simulate(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_interactions: int | None = None,
+    observer: Observer | None = None,
+) -> RunResult:
+    """Run the USD to consensus using the exact jump chain.
+
+    Semantics match :func:`repro.core.simulator.simulate_agents` exactly:
+    the returned ``interactions`` counts *all* interactions including the
+    skipped no-ops, the observer fires at ``t = 0`` and after every
+    productive interaction, and the default budget is
+    :func:`repro.core.simulator.default_interaction_budget`.
+    """
+    n = config.n
+    k = config.k
+    if max_interactions is None:
+        max_interactions = default_interaction_budget(n, k)
+    if max_interactions < 0:
+        raise ValueError(f"max_interactions must be non-negative, got {max_interactions}")
+
+    counts = np.asarray(config.counts, dtype=np.int64).copy()
+    supports = counts[1:]
+    n_sq = float(n) * float(n)
+
+    stopped_by_observer = False
+    if observer is not None and observer(0, counts):
+        stopped_by_observer = True
+
+    t = 0
+    budget_exhausted = False
+    while not stopped_by_observer:
+        u = int(counts[0])
+        decided = n - u
+        if supports.max(initial=0) == n or u == n:
+            # Consensus, or the (absorbing) all-undecided configuration.
+            break
+
+        adopt_total = float(u) * float(decided)
+        r2 = float(np.dot(supports, supports))
+        clash_total = float(decided) * float(decided) - r2
+        total = adopt_total + clash_total
+        if total <= 0:
+            # No productive interaction possible (single opinion plus
+            # undecided agents can still adopt, so this only happens at
+            # absorbing configurations caught above; guard regardless).
+            break
+
+        # Geometric number of interactions until the next productive one.
+        p = total / n_sq
+        if p >= 1.0:
+            wait = 1
+        else:
+            wait = int(rng.geometric(p))
+        if t + wait > max_interactions:
+            t = max_interactions
+            budget_exhausted = True
+            break
+        t += wait
+
+        # Choose the productive event proportionally to its weight.
+        v = rng.random() * total
+        if v < adopt_total:
+            # Undecided responder adopts Opinion i with weight u * x_i;
+            # dividing out the common factor u leaves weights x_i.
+            target = v / u
+            cumulative = np.cumsum(supports)
+            i = int(np.searchsorted(cumulative, target, side="right"))
+            counts[0] -= 1
+            counts[1 + i] += 1
+        else:
+            # Opinion i loses a supporter with weight x_i * (decided - x_i).
+            target = v - adopt_total
+            clash_weights = supports * (decided - supports)
+            cumulative = np.cumsum(clash_weights.astype(np.float64))
+            i = int(np.searchsorted(cumulative, target, side="right"))
+            counts[1 + i] -= 1
+            counts[0] += 1
+
+        if observer is not None and observer(t, counts):
+            stopped_by_observer = True
+            break
+
+    final = Configuration(counts)
+    converged = final.is_consensus
+    return RunResult(
+        initial=config,
+        final=final,
+        interactions=t,
+        converged=converged,
+        winner=final.winner,
+        stopped_by_observer=stopped_by_observer,
+        budget_exhausted=budget_exhausted,
+    )

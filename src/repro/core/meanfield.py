@@ -1,0 +1,137 @@
+"""Mean-field (fluid-limit) model of the USD.
+
+For large ``n`` the rescaled process ``a_i(τ) = x_i(t)/n`` at parallel
+time ``τ = t/n`` concentrates around the solution of the ODE system
+derived from the one-interaction drifts (Observation 8)::
+
+    da_i/dτ = a_i · (2w − 1 + a_i),        w = 1 − Σ_j a_j,
+
+where ``w`` is the undecided fraction.  The expected change of ``x_i``
+per interaction is ``x_i(u − (n − u − x_i))/n² = a_i(2w − 1 + a_i)/n``,
+and ``n`` interactions happen per unit of parallel time.
+
+Fixed points: the consensus points ``a_m = 1`` and, for symmetric
+configurations with ``j`` surviving opinions, ``a_i = 1/(2j − 1)`` with
+``w = (j − 1)/(2j − 1)`` — i.e. the paper's unstable equilibrium
+``u* = n(k − 1)/(2k − 1)`` (Lemma 3) is exactly the symmetric mean-field
+fixed point.
+
+The experiment E13 checks the agent-level simulators against these
+trajectories; the fixed-point helpers feed the E5 equilibrium study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from .config import Configuration
+
+__all__ = [
+    "meanfield_rhs",
+    "MeanFieldSolution",
+    "solve_meanfield",
+    "symmetric_fixed_point",
+    "jacobian",
+]
+
+
+def meanfield_rhs(_tau: float, a: np.ndarray) -> np.ndarray:
+    """Right-hand side ``da_i/dτ = a_i(2w − 1 + a_i)`` with ``w = 1 − Σa``."""
+    a = np.asarray(a, dtype=float)
+    w = 1.0 - a.sum()
+    return a * (2.0 * w - 1.0 + a)
+
+
+def jacobian(a: np.ndarray) -> np.ndarray:
+    """Jacobian of the mean-field vector field at fractions ``a``.
+
+    ``∂f_i/∂a_j = −2 a_i + δ_ij (2w − 1 + 2 a_i)``; used to classify the
+    stability of fixed points (the symmetric point is unstable — it has a
+    positive eigenvalue in the bias direction — which is the ODE shadow of
+    the paper's "unstable equilibrium" discussion).
+    """
+    a = np.asarray(a, dtype=float)
+    k = a.size
+    w = 1.0 - a.sum()
+    jac = -2.0 * np.outer(a, np.ones(k))
+    jac[np.diag_indices(k)] += 2.0 * w - 1.0 + 2.0 * a
+    return jac
+
+
+def symmetric_fixed_point(k: int) -> tuple[float, float]:
+    """Per-opinion fraction and undecided fraction of the symmetric fixed point.
+
+    Returns ``(a, w) = (1/(2k−1), (k−1)/(2k−1))``; ``w·n`` equals the
+    paper's ``u*`` (Lemma 3).
+    """
+    if k < 1:
+        raise ValueError(f"need k >= 1, got k={k}")
+    return 1.0 / (2 * k - 1), (k - 1) / (2 * k - 1)
+
+
+@dataclass(frozen=True)
+class MeanFieldSolution:
+    """Dense mean-field trajectory.
+
+    ``fractions[j]`` is the vector ``a(τ_j)``; ``undecided[j] = w(τ_j)``.
+    """
+
+    taus: np.ndarray
+    fractions: np.ndarray
+    undecided: np.ndarray
+
+    @property
+    def final_fractions(self) -> np.ndarray:
+        """Opinion fractions at the end of the horizon."""
+        return self.fractions[-1]
+
+    def winner(self, threshold: float = 0.99) -> int | None:
+        """1-based index of the opinion that absorbed, or ``None``."""
+        final = self.final_fractions
+        top = int(np.argmax(final))
+        if final[top] >= threshold:
+            return top + 1
+        return None
+
+
+def solve_meanfield(
+    config: Configuration,
+    t_max: float,
+    num_points: int = 200,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> MeanFieldSolution:
+    """Integrate the mean-field ODE from a configuration's fractions.
+
+    Parameters
+    ----------
+    config:
+        Initial configuration; fractions are ``supports / n``.
+    t_max:
+        Horizon in parallel-time units.
+    num_points:
+        Size of the uniform output grid.
+    """
+    if t_max <= 0:
+        raise ValueError(f"t_max must be positive, got {t_max}")
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    a0 = config.supports.astype(float) / config.n
+    taus = np.linspace(0.0, t_max, num_points)
+    result = solve_ivp(
+        meanfield_rhs,
+        (0.0, t_max),
+        a0,
+        t_eval=taus,
+        rtol=rtol,
+        atol=atol,
+        method="RK45",
+    )
+    if not result.success:
+        raise RuntimeError(f"mean-field integration failed: {result.message}")
+    fractions = result.y.T
+    undecided = 1.0 - fractions.sum(axis=1)
+    return MeanFieldSolution(taus=taus, fractions=fractions, undecided=undecided)

@@ -1,0 +1,185 @@
+"""The paper's five-phase decomposition and its stopping times.
+
+Section 2.1 organizes the analysis around five phases, each with an end
+condition and a running-time bound:
+
+=====  =============================================  =======================
+Phase  End condition                                  Running time (w.h.p.)
+=====  =============================================  =======================
+1      ``u >= (n - xmax)/2``                          ``O(n log n)``
+2      ``∀i≠m: x_m >= x_i + Ω(sqrt(n log n))``        ``O(n² log n / xmax)``
+3      ``∀i≠m: x_m >= 2·x_i``                         ``O(n² log n / xmax)``
+4      ``xmax >= 2n/3``                               ``O(n²/xmax + n log n)``
+5      ``xmax = n``                                   ``O(n log n)``
+=====  =============================================  =======================
+
+:class:`PhaseTracker` is an observer (pluggable into either simulator) that
+records the first time ``T_p`` at which each phase's end condition holds,
+with ``T_1 <= T_2 <= ... <= T_5`` enforced sequentially as in the paper
+(``T_2 = inf{t >= T_1 | ...}`` etc.).  Phases that are already satisfied
+when the previous one ends are recorded at the same instant — the paper
+notes the process "does not have to pass through all five phases".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import significance_threshold
+
+__all__ = ["PhaseTimes", "PhaseTracker", "phase_condition_holds", "predicted_phase_bound"]
+
+NUM_PHASES = 5
+
+
+@dataclass
+class PhaseTimes:
+    """Recorded stopping times ``T_1 .. T_5`` (``None`` if never reached)."""
+
+    t1: int | None = None
+    t2: int | None = None
+    t3: int | None = None
+    t4: int | None = None
+    t5: int | None = None
+
+    def as_tuple(self) -> tuple[int | None, ...]:
+        """The five stopping times in phase order."""
+        return (self.t1, self.t2, self.t3, self.t4, self.t5)
+
+    def get(self, phase: int) -> int | None:
+        """Stopping time of a phase (1-based)."""
+        if not 1 <= phase <= NUM_PHASES:
+            raise ValueError(f"phase must be in [1, {NUM_PHASES}], got {phase}")
+        return self.as_tuple()[phase - 1]
+
+    def duration(self, phase: int) -> int | None:
+        """``T_p - T_{p-1}`` with ``T_0 = 0``; ``None`` if not reached."""
+        end = self.get(phase)
+        if end is None:
+            return None
+        start = 0 if phase == 1 else self.get(phase - 1)
+        if start is None:
+            return None
+        return end - start
+
+    @property
+    def complete(self) -> bool:
+        """Whether all five stopping times were recorded."""
+        return all(value is not None for value in self.as_tuple())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"T{p}={v}" for p, v in enumerate(self.as_tuple(), start=1)
+        )
+        return f"PhaseTimes({parts})"
+
+
+def _second_largest(supports: np.ndarray) -> int:
+    """Support of the runner-up opinion (0 when there is a single opinion)."""
+    if supports.size == 1:
+        return 0
+    top_two = np.partition(supports, supports.size - 2)[-2:]
+    return int(top_two.min())
+
+
+def phase_condition_holds(
+    phase: int, counts: np.ndarray, *, alpha: float = 1.0
+) -> bool:
+    """Evaluate a single phase's end condition on a raw histogram.
+
+    ``counts[0]`` is the undecided count.  Conditions follow the table in
+    Section 2.1 with the Phase 2 threshold instantiated as
+    ``alpha * sqrt(n log n)`` (the paper's significance constant).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n = int(counts.sum())
+    u = int(counts[0])
+    supports = counts[1:]
+    xmax = int(supports.max())
+    if phase == 1:
+        return 2 * u >= n - xmax
+    second = _second_largest(supports)
+    if phase == 2:
+        return xmax - second >= significance_threshold(n, alpha)
+    if phase == 3:
+        return xmax >= 2 * second
+    if phase == 4:
+        return 3 * xmax >= 2 * n
+    if phase == 5:
+        return xmax == n
+    raise ValueError(f"phase must be in [1, {NUM_PHASES}], got {phase}")
+
+
+@dataclass
+class PhaseTracker:
+    """Observer recording the stopping times ``T_1 .. T_5`` during a run.
+
+    Parameters
+    ----------
+    alpha:
+        Constant in the significance threshold ``alpha * sqrt(n log n)``
+        used by the Phase 2 end condition.
+    stop_after:
+        If set, the observer requests a simulation stop as soon as
+        ``T_{stop_after}`` is recorded — useful for measuring a single
+        phase without paying for the rest of the run.
+
+    Use as ``observer=tracker.observe`` with either simulator.
+    """
+
+    alpha: float = 1.0
+    stop_after: int | None = None
+    times: PhaseTimes = field(default_factory=PhaseTimes)
+    _next_phase: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stop_after is not None and not 1 <= self.stop_after <= NUM_PHASES:
+            raise ValueError(
+                f"stop_after must be in [1, {NUM_PHASES}], got {self.stop_after}"
+            )
+
+    @property
+    def current_phase(self) -> int:
+        """The phase the process is currently in (1-based; 6 = done)."""
+        return self._next_phase
+
+    def observe(self, t: int, counts: np.ndarray) -> bool:
+        """Observer callback; returns ``True`` to request an early stop."""
+        while self._next_phase <= NUM_PHASES and phase_condition_holds(
+            self._next_phase, counts, alpha=self.alpha
+        ):
+            setattr(self.times, f"t{self._next_phase}", t)
+            self._next_phase += 1
+        if self.stop_after is not None:
+            return self.times.get(self.stop_after) is not None
+        return False
+
+
+def predicted_phase_bound(
+    phase: int, n: int, k: int, xmax_at_entry: int | None = None
+) -> float:
+    """The Section 2.1 table's asymptotic bound, as a concrete magnitude.
+
+    Used for shape comparisons (log-log scaling fits), not absolute
+    constants.  ``xmax_at_entry`` defaults to the pigeonhole lower bound
+    ``n/(2k)`` the paper derives for configurations satisfying Theorem 2's
+    assumptions.
+    """
+    if n < 2 or k < 1:
+        raise ValueError(f"need n >= 2 and k >= 1, got n={n}, k={k}")
+    log_n = math.log(n)
+    xmax = xmax_at_entry if xmax_at_entry is not None else n / (2 * k)
+    if xmax <= 0:
+        raise ValueError(f"xmax_at_entry must be positive, got {xmax_at_entry}")
+    if phase == 1:
+        return n * log_n
+    if phase == 2 or phase == 3:
+        return n**2 * log_n / xmax
+    if phase == 4:
+        return n**2 / xmax + n * log_n
+    if phase == 5:
+        return n * log_n
+    raise ValueError(f"phase must be in [1, {NUM_PHASES}], got {phase}")

@@ -1,0 +1,104 @@
+"""Potential functions and distance measures from the paper.
+
+* ``Z(t) = n - 2u(t) - xmax(t)`` — the Phase 1 potential (Section 3).
+  Phase 1 ends as soon as ``Z(t) <= 0``.
+* ``Z_alpha(t) = n - 2u(t) - alpha * xmax(t)`` — the generalized potential
+  (Section 2.1); Phase 4 uses ``alpha = 7/8`` (Lemma 14).
+* ``r²(t) = sum_i x_i(t)²`` — Appendix B.
+* ``md(x)`` — the *monochromatic distance* of Becchetti et al. [9]
+  (Section 1.2 and Appendix D), ``sum_i (x_i / xmax)²``, which is always in
+  ``[1, k]`` and governs the gossip-model convergence rate
+  ``O(md(x) log n)``.
+* Lemma 3 / Lemma 4 undecided-count envelope helpers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .config import Configuration
+from .probabilities import ustar
+
+__all__ = [
+    "phase1_potential",
+    "generalized_potential",
+    "monochromatic_distance",
+    "undecided_upper_bound",
+    "undecided_lower_bound",
+    "undecided_envelope_holds",
+    "expected_phase1_drift_lower_bound",
+]
+
+
+def phase1_potential(config: Configuration) -> int:
+    """``Z(t) = n - 2u(t) - xmax(t)`` (Section 3).
+
+    Non-positive exactly when ``u(t) >= (n - xmax(t)) / 2``, i.e. when
+    Phase 1 has ended.
+    """
+    return config.n - 2 * config.undecided - config.xmax
+
+
+def generalized_potential(config: Configuration, alpha: float) -> float:
+    """``Z_alpha(t) = n - 2u(t) - alpha * xmax(t)`` (Section 2.1).
+
+    ``alpha = 1`` recovers the Phase 1 potential; Phase 4's improved bound
+    uses ``alpha = 7/8`` (Lemma 14).
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    return config.n - 2 * config.undecided - alpha * config.xmax
+
+
+def expected_phase1_drift_lower_bound(config: Configuration) -> float:
+    """Lemma 1's drift bound: ``E[Z(t) - Z(t+1)] >= Z(t) / (2n)``.
+
+    Valid while ``Z(t) >= 0`` and ``u < n/2``.  Returned for comparison
+    against empirically measured drifts; callers are responsible for
+    checking the validity conditions.
+    """
+    z = phase1_potential(config)
+    return z / (2 * config.n)
+
+
+def monochromatic_distance(config: Configuration) -> float:
+    """Becchetti et al.'s ``md(x) = sum_i (x_i / xmax)²`` (Appendix D).
+
+    Measures the lack of bias of a configuration: ``md = 1`` for a
+    monochromatic configuration and ``md = k`` for a perfectly uniform one.
+    The gossip-model USD converges in ``O(md(x(0)) * log n)`` rounds under a
+    multiplicative bias.
+    """
+    xmax = config.xmax
+    if xmax == 0:
+        raise ValueError("monochromatic distance undefined for all-undecided configurations")
+    supports = config.supports.astype(float)
+    return float(((supports / xmax) ** 2).sum())
+
+
+def undecided_upper_bound(n: int, c: float = 1.0) -> float:
+    """Lemma 3's whole-run upper bound ``u(t) <= n/2 - sqrt(n log n)/(5c)``.
+
+    Valid w.h.p. for all ``t <= n³`` when ``u(0) <= (n - xmax(0))/2`` and
+    ``k <= c·sqrt(n)/log²n``.
+    """
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+    return n / 2 - math.sqrt(n * math.log(max(n, 2))) / (5 * c)
+
+
+def undecided_lower_bound(config: Configuration) -> float:
+    """Lemma 4's post-Phase-1 lower bound ``n/2 - xmax/2 - 8*sqrt(n ln n)``."""
+    n = config.n
+    return n / 2 - config.xmax / 2 - 8 * math.sqrt(n * math.log(max(n, 2)))
+
+
+def undecided_envelope_holds(config: Configuration, c: float = 1.0) -> bool:
+    """Whether ``u(t)`` lies inside the Lemma 3 + Lemma 4 envelope."""
+    u = config.undecided
+    return undecided_lower_bound(config) <= u <= undecided_upper_bound(config.n, c)
+
+
+def ustar_gap(config: Configuration) -> float:
+    """Signed distance of the undecided count from the equilibrium ``u*``."""
+    return config.undecided - ustar(config.n, config.k)

@@ -1,0 +1,234 @@
+"""Exact one-step transition probabilities of the USD (Appendix B).
+
+These are the quantities the paper's drift arguments are built on:
+
+* Observation 6 — probabilities that the undecided count decreases
+  (``p_minus``) or increases (``p_plus``) in one interaction, and the
+  conditional probability ``p_tilde_plus`` of an increase given a
+  *productive* step.
+* Observation 7 — the bound ``p_tilde_plus <= 1/2 - eps/2`` whenever
+  ``u >= u* + eps*n`` with the unstable equilibrium
+  ``u* = n(k-1)/(2k-1)``.
+* Observation 8 — per-opinion support transition probabilities.
+* Observation 9 — transition probabilities of the pairwise support
+  difference ``Delta(t) = X_i(t) - X_j(t)``.
+
+All functions take a :class:`~repro.core.config.Configuration` so they can
+be evaluated both by the analysis harness (to predict drifts) and by the
+test suite (to cross-check the simulators' empirical frequencies).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import Configuration
+
+__all__ = [
+    "ustar",
+    "p_minus",
+    "p_plus",
+    "p_productive",
+    "p_tilde_plus",
+    "p_tilde_plus_bound",
+    "OpinionStepProbabilities",
+    "opinion_step",
+    "PairStepProbabilities",
+    "pair_step",
+]
+
+
+def ustar(n: int, k: int) -> float:
+    """Unstable equilibrium of the undecided count, ``u* = n(k-1)/(2k-1)``.
+
+    Above ``u*`` an undecided agent is more likely to become decided than
+    vice versa; below ``u*`` the reverse holds (Lemma 3 discussion).
+    """
+    if k < 1:
+        raise ValueError(f"need at least one opinion, got k={k}")
+    if n < 1:
+        raise ValueError(f"population size must be positive, got n={n}")
+    return n * (k - 1) / (2 * k - 1)
+
+
+def p_minus(config: Configuration) -> float:
+    """Observation 6.1: ``Pr[U(t+1) = u - 1] = u * (n - u) / n²``.
+
+    An undecided responder meets a decided initiator and adopts.
+    """
+    n = config.n
+    u = config.undecided
+    return u * (n - u) / n**2
+
+
+def p_plus(config: Configuration) -> float:
+    """Observation 6.2: ``Pr[U(t+1) = u + 1] = ((n - u)² - r²) / n²``.
+
+    A decided responder meets a differently decided initiator and becomes
+    undecided; ``r² = sum_i x_i²``.
+    """
+    n = config.n
+    u = config.undecided
+    return ((n - u) ** 2 - config.r2) / n**2
+
+
+def p_productive(config: Configuration) -> float:
+    """Probability that one interaction changes the undecided count."""
+    return p_minus(config) + p_plus(config)
+
+
+def p_tilde_plus(config: Configuration) -> float:
+    """Conditional probability of ``u -> u + 1`` given a productive step.
+
+    Equals ``p_plus / (p_minus + p_plus)``; raises if no productive step is
+    possible (which only happens at consensus-with-undecided-free
+    configurations where the process has absorbed).
+    """
+    denom = p_productive(config)
+    if denom <= 0:
+        raise ValueError(
+            "no productive step possible from an absorbed configuration"
+        )
+    return p_plus(config) / denom
+
+
+def p_tilde_plus_bound(n: int, k: int, eps: float) -> float:
+    """Observation 7's bound: ``p_tilde_plus <= 1/2 - eps/2``.
+
+    Valid whenever ``u >= u* + eps*n``.  The exact intermediate expression
+    in the paper is ``1/2 - eps(2k-1)² / (2(eps(2k-1) + 2k(k-1)))`` which is
+    at most ``1/2 - eps/2``; we return the final (weaker, simpler) bound to
+    match the statement used downstream.
+    """
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    if k < 1 or n < 1:
+        raise ValueError("need k >= 1 and n >= 1")
+    return 0.5 - eps / 2
+
+
+def p_tilde_plus_bound_exact(n: int, k: int, eps: float) -> float:
+    """Observation 7's exact intermediate bound before weakening.
+
+    ``1/2 - eps(2k-1)² / (2(eps(2k-1) + 2k(k-1)))`` — useful for checking
+    how tight the simple bound is in tests and experiments.
+    """
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    num = eps * (2 * k - 1) ** 2
+    den = 2 * (eps * (2 * k - 1) + 2 * k * (k - 1))
+    if den == 0:
+        # k == 1 and eps == 0: degenerate single-opinion population.
+        return 0.5
+    return 0.5 - num / den
+
+
+@dataclass(frozen=True)
+class OpinionStepProbabilities:
+    """One-step transition probabilities of a single opinion's support.
+
+    Attributes mirror Observation 8: ``up`` is ``Pr[X_i(t+1) = x_i + 1]``,
+    ``down`` is ``Pr[X_i(t+1) = x_i - 1]``, and ``conditional_up`` is the
+    probability of an increase given that ``x_i`` changes.
+    """
+
+    up: float
+    down: float
+
+    @property
+    def productive(self) -> float:
+        """Probability that the support of this opinion changes at all."""
+        return self.up + self.down
+
+    @property
+    def conditional_up(self) -> float:
+        """Observation 8.3: ``p_+ / (p_+ + p_-)`` given a productive step."""
+        if self.productive <= 0:
+            raise ValueError("opinion support cannot change from this configuration")
+        return self.up / self.productive
+
+    @property
+    def drift(self) -> float:
+        """Expected one-interaction change ``E[X_i(t+1) - x_i]``."""
+        return self.up - self.down
+
+
+def opinion_step(config: Configuration, opinion: int) -> OpinionStepProbabilities:
+    """Observation 8: per-interaction probabilities for Opinion ``i``.
+
+    ``up = u * x_i / n²`` (an undecided responder adopts ``i``) and
+    ``down = x_i * (n - u - x_i) / n²`` (a responder of Opinion ``i`` meets
+    a differently decided initiator).
+    """
+    n = config.n
+    u = config.undecided
+    xi = config.support(opinion)
+    return OpinionStepProbabilities(
+        up=u * xi / n**2,
+        down=xi * (n - u - xi) / n**2,
+    )
+
+
+@dataclass(frozen=True)
+class PairStepProbabilities:
+    """Transition probabilities of ``Delta(t) = X_i(t) - X_j(t)`` (Obs. 9)."""
+
+    up: float
+    down: float
+
+    @property
+    def productive(self) -> float:
+        """Probability that the difference changes in one interaction."""
+        return self.up + self.down
+
+    @property
+    def conditional_up(self) -> float:
+        """Observation 9.3: probability of ``Delta + 1`` given a change."""
+        if self.productive <= 0:
+            raise ValueError("support difference cannot change from this configuration")
+        return self.up / self.productive
+
+    @property
+    def drift(self) -> float:
+        """Expected one-interaction change of the difference."""
+        return self.up - self.down
+
+
+def pair_step(config: Configuration, i: int, j: int) -> PairStepProbabilities:
+    """Observation 9: probabilities for the difference ``X_i - X_j``.
+
+    ``up = (u*x_i + x_j*(n - u - x_j)) / n²`` and
+    ``down = (u*x_j + x_i*(n - u - x_i)) / n²``.
+    """
+    if i == j:
+        raise ValueError("pairwise difference needs two distinct opinions")
+    n = config.n
+    u = config.undecided
+    xi = config.support(i)
+    xj = config.support(j)
+    return PairStepProbabilities(
+        up=(u * xi + xj * (n - u - xj)) / n**2,
+        down=(u * xj + xi * (n - u - xi)) / n**2,
+    )
+
+
+def expected_undecided_drift(config: Configuration) -> float:
+    """``E[U(t+1) - u(t)] = p_plus - p_minus`` in one interaction."""
+    return p_plus(config) - p_minus(config)
+
+
+def parallel_time(interactions: int, n: int) -> float:
+    """Convert an interaction count to parallel time (``interactions / n``).
+
+    The standard conversion used in Appendix D when comparing against the
+    gossip model's synchronous rounds.
+    """
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n}")
+    return interactions / n
+
+
+def theta_log(n: int) -> float:
+    """Natural log clamped away from zero — the paper's ``log n`` factor."""
+    return math.log(max(n, 2))

@@ -1,0 +1,138 @@
+"""Trajectory recording for figures and envelope checks.
+
+:class:`TrajectoryRecorder` is an observer that snapshots summary
+statistics of the configuration on a subsampled grid of interaction
+times.  It records, per snapshot: the interaction count, the undecided
+count, the largest and second-largest supports, and optionally the full
+support vector.  The Lemma 3/4 envelope experiments (E5) and the
+mean-field comparison (E13) are built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Snapshot", "Trajectory", "TrajectoryRecorder", "CompositeObserver"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One recorded point of a trajectory."""
+
+    t: int
+    undecided: int
+    xmax: int
+    second: int
+    supports: np.ndarray | None = None
+
+
+@dataclass
+class Trajectory:
+    """A recorded run as parallel numpy arrays."""
+
+    times: np.ndarray
+    undecided: np.ndarray
+    xmax: np.ndarray
+    second: np.ndarray
+    supports: np.ndarray | None = None
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of recorded points."""
+        return int(self.times.size)
+
+    def parallel_times(self, n: int) -> np.ndarray:
+        """Interaction times converted to parallel time (``t / n``)."""
+        return self.times / n
+
+
+def _second_largest(supports: np.ndarray) -> int:
+    if supports.size == 1:
+        return 0
+    top_two = np.partition(supports, supports.size - 2)[-2:]
+    return int(top_two.min())
+
+
+@dataclass
+class TrajectoryRecorder:
+    """Observer that subsamples the configuration during a run.
+
+    Parameters
+    ----------
+    every:
+        Minimum interaction gap between snapshots.  The recorder fires on
+        the first productive interaction at or after each grid point, so
+        gaps can be slightly larger than ``every`` during quiet stretches.
+    keep_supports:
+        Also store the full support vector at each snapshot (costs
+        ``O(k)`` memory per snapshot).
+    """
+
+    every: int = 1
+    keep_supports: bool = False
+    _snapshots: list[Snapshot] = field(default_factory=list)
+    _next_time: int = 0
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+
+    def observe(self, t: int, counts: np.ndarray) -> bool:
+        """Observer callback; never requests a stop."""
+        if t < self._next_time:
+            return False
+        supports = counts[1:]
+        self._snapshots.append(
+            Snapshot(
+                t=t,
+                undecided=int(counts[0]),
+                xmax=int(supports.max()),
+                second=_second_largest(supports),
+                supports=supports.copy() if self.keep_supports else None,
+            )
+        )
+        self._next_time = t + self.every
+        return False
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of snapshots recorded so far."""
+        return len(self._snapshots)
+
+    def trajectory(self) -> Trajectory:
+        """Freeze the recording into a :class:`Trajectory`."""
+        if not self._snapshots:
+            raise ValueError("no snapshots recorded")
+        times = np.array([s.t for s in self._snapshots], dtype=np.int64)
+        undecided = np.array([s.undecided for s in self._snapshots], dtype=np.int64)
+        xmax = np.array([s.xmax for s in self._snapshots], dtype=np.int64)
+        second = np.array([s.second for s in self._snapshots], dtype=np.int64)
+        supports = None
+        if self.keep_supports:
+            supports = np.stack([s.supports for s in self._snapshots])
+        return Trajectory(
+            times=times, undecided=undecided, xmax=xmax, second=second, supports=supports
+        )
+
+
+class CompositeObserver:
+    """Fan an observer callback out to several observers.
+
+    Stops the simulation as soon as *any* constituent observer requests a
+    stop (observers are still all notified of the current snapshot).
+    """
+
+    def __init__(self, *observers) -> None:
+        if not observers:
+            raise ValueError("need at least one observer")
+        self._observers = observers
+
+    def observe(self, t: int, counts: np.ndarray) -> bool:
+        stop = False
+        for obs in self._observers:
+            callback = getattr(obs, "observe", obs)
+            if callback(t, counts):
+                stop = True
+        return stop

@@ -1,0 +1,183 @@
+"""Exact agent-level simulator of the USD in the population protocol model.
+
+This is the *reference* implementation: it represents every agent
+explicitly and, at each discrete time step, draws an ordered pair
+``(responder, initiator)`` uniformly at random from ``[n]²`` (the paper
+explicitly allows agents to interact with themselves, Section 2).  Only
+the responder's state changes.
+
+The companion module :mod:`repro.core.fastsim` implements the identical
+process as a jump chain over productive interactions; the test suite
+cross-validates the two.  Use this module when you need agent-level
+fidelity or a trusted baseline, and ``fastsim`` for experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .config import UNDECIDED, Configuration
+
+__all__ = ["RunResult", "Observer", "default_interaction_budget", "simulate_agents"]
+
+#: Observer callback signature: ``observer(t, counts) -> bool | None``.
+#: Called once with the initial configuration at ``t = 0`` and then after
+#: every interaction that changes the configuration.  ``counts`` is the
+#: live histogram (index 0 = undecided) and must not be mutated.  Returning
+#: a truthy value stops the simulation.
+Observer = Callable[[int, np.ndarray], bool | None]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a single simulated run.
+
+    Attributes
+    ----------
+    initial, final:
+        Configurations at the start and at termination.
+    interactions:
+        Number of interactions executed (productive and unproductive).
+    converged:
+        Whether the run ended in consensus (``xmax = n``).
+    winner:
+        The consensus opinion (1-based) or ``None``.
+    stopped_by_observer:
+        The observer requested an early stop.
+    budget_exhausted:
+        The interaction budget ran out before consensus or observer stop.
+    """
+
+    initial: Configuration
+    final: Configuration
+    interactions: int
+    converged: bool
+    winner: int | None
+    stopped_by_observer: bool = False
+    budget_exhausted: bool = False
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by ``n`` — the standard parallel-time unit."""
+        return self.interactions / self.initial.n
+
+    def __repr__(self) -> str:
+        status = (
+            f"winner={self.winner}"
+            if self.converged
+            else ("observer-stop" if self.stopped_by_observer else "budget-exhausted")
+        )
+        return (
+            f"RunResult(interactions={self.interactions}, {status}, "
+            f"final={self.final!r})"
+        )
+
+
+def default_interaction_budget(n: int, k: int, safety: float = 200.0) -> int:
+    """A generous default budget of ``safety * (k+1) * n * (ln n + 1)``.
+
+    Theorem 2 bounds the worst-case convergence at ``O(k · n log n)``
+    interactions; the default multiplies the bound by a large constant so
+    that budget exhaustion signals a genuine anomaly rather than an unlucky
+    run.
+    """
+    if n < 1 or k < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    return int(safety * (k + 1) * n * (math.log(n) + 1))
+
+
+def simulate_agents(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_interactions: int | None = None,
+    observer: Observer | None = None,
+    chunk_size: int = 8192,
+) -> RunResult:
+    """Run the USD to consensus with explicit agents.
+
+    Parameters
+    ----------
+    config:
+        Initial configuration.
+    rng:
+        Source of randomness; pass ``numpy.random.default_rng(seed)``.
+    max_interactions:
+        Interaction budget; defaults to :func:`default_interaction_budget`.
+    observer:
+        Optional callback, see :data:`Observer`.
+    chunk_size:
+        Number of random pairs drawn per numpy call; tuning knob only.
+
+    Returns
+    -------
+    RunResult
+        The run outcome; ``final`` reflects the exact stopping point.
+    """
+    n = config.n
+    k = config.k
+    if max_interactions is None:
+        max_interactions = default_interaction_budget(n, k)
+    if max_interactions < 0:
+        raise ValueError(f"max_interactions must be non-negative, got {max_interactions}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+
+    states = config.to_states(rng)
+    counts = np.asarray(config.counts, dtype=np.int64).copy()
+
+    stopped_by_observer = False
+    if observer is not None and observer(0, counts):
+        stopped_by_observer = True
+
+    t = 0
+    done = counts.max() == n and counts[UNDECIDED] < n or stopped_by_observer
+    # A fully undecided population is absorbed but not a consensus.
+    if counts[UNDECIDED] == n:
+        done = True
+
+    while not done and t < max_interactions:
+        batch = min(chunk_size, max_interactions - t)
+        responders = rng.integers(0, n, size=batch)
+        initiators = rng.integers(0, n, size=batch)
+        for ri, ii in zip(responders, initiators):
+            t += 1
+            r_state = states[ri]
+            i_state = states[ii]
+            if r_state == UNDECIDED:
+                if i_state != UNDECIDED:
+                    states[ri] = i_state
+                    counts[UNDECIDED] -= 1
+                    counts[i_state] += 1
+                else:
+                    continue
+            elif i_state != UNDECIDED and i_state != r_state:
+                states[ri] = UNDECIDED
+                counts[r_state] -= 1
+                counts[UNDECIDED] += 1
+            else:
+                continue
+            # Only reached after a productive interaction.
+            if observer is not None and observer(t, counts):
+                stopped_by_observer = True
+                done = True
+                break
+            if counts[UNDECIDED] == 0 and counts[1:].max() == n:
+                done = True
+                break
+
+    final = Configuration(counts)
+    converged = final.is_consensus
+    return RunResult(
+        initial=config,
+        final=final,
+        interactions=t,
+        converged=converged,
+        winner=final.winner,
+        stopped_by_observer=stopped_by_observer,
+        budget_exhausted=not converged and not stopped_by_observer,
+    )

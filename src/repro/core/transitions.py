@@ -1,0 +1,94 @@
+"""The USD transition function (Section 2).
+
+The undecided state dynamics is the population protocol with state space
+``Q = {1, ..., k, ⊥}`` and transition function::
+
+    (q, q') -> (⊥,  q')   if q, q' != ⊥ and q != q'
+    (q, q') -> (q', q')   if q == ⊥ and q' != ⊥
+    (q, q') -> (q,  q')   otherwise
+
+In an interaction ``(u, v)`` agent ``u`` is the *responder* and ``v`` the
+*initiator*; only the responder changes state.  The undecided state ``⊥``
+is encoded as the integer ``0`` (see :mod:`repro.core.config`).
+
+This module gives the transition in three equivalent forms: a scalar
+function for clarity and testing, a vectorized form used by the gossip
+engine, and the classification of an interaction into the three
+*productive* outcomes used by the count-based simulator.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .config import UNDECIDED
+
+__all__ = [
+    "usd_delta",
+    "usd_delta_vectorized",
+    "InteractionKind",
+    "classify_interaction",
+]
+
+
+def usd_delta(responder: int, initiator: int) -> tuple[int, int]:
+    """Apply one USD interaction; return the new ``(responder, initiator)``.
+
+    States are integers in ``{0, 1, ..., k}`` with ``0 = ⊥``.  Only the
+    responder's state may change, mirroring the transition function in
+    Section 2 of the paper ("observe that only the responder q changes its
+    state").
+    """
+    if responder < 0 or initiator < 0:
+        raise ValueError(f"states must be non-negative, got ({responder}, {initiator})")
+    if responder != UNDECIDED and initiator != UNDECIDED and responder != initiator:
+        return UNDECIDED, initiator
+    if responder == UNDECIDED and initiator != UNDECIDED:
+        return initiator, initiator
+    return responder, initiator
+
+
+def usd_delta_vectorized(
+    responders: np.ndarray, initiators: np.ndarray
+) -> np.ndarray:
+    """Vectorized responder update for arrays of interacting state pairs.
+
+    Returns the new responder states; initiators never change.  Used by the
+    synchronous gossip engine where all of round ``t``'s updates read the
+    round-``t`` states.
+    """
+    responders = np.asarray(responders)
+    initiators = np.asarray(initiators)
+    new = responders.copy()
+    clash = (responders != UNDECIDED) & (initiators != UNDECIDED) & (
+        responders != initiators
+    )
+    new[clash] = UNDECIDED
+    adopt = (responders == UNDECIDED) & (initiators != UNDECIDED)
+    new[adopt] = initiators[adopt]
+    return new
+
+
+class InteractionKind(Enum):
+    """Outcome classes of a single USD interaction.
+
+    ``ADOPT`` decreases the undecided count by one (an undecided responder
+    adopts the initiator's opinion); ``CLASH`` increases it by one (a
+    decided responder meets a differently decided initiator); ``NOOP``
+    leaves the configuration unchanged.
+    """
+
+    ADOPT = "adopt"
+    CLASH = "clash"
+    NOOP = "noop"
+
+
+def classify_interaction(responder: int, initiator: int) -> InteractionKind:
+    """Classify an interaction by its effect on the undecided count."""
+    if responder == UNDECIDED and initiator != UNDECIDED:
+        return InteractionKind.ADOPT
+    if responder != UNDECIDED and initiator != UNDECIDED and responder != initiator:
+        return InteractionKind.CLASH
+    return InteractionKind.NOOP

@@ -1,0 +1,96 @@
+"""Experiment registry: one module per reproduced paper artifact.
+
+==== ======================================================= =====================
+Id   Paper artifact                                          Module
+==== ======================================================= =====================
+E1   Table 1 (five-phase decomposition)                      e01_phase_table
+E2   Theorem 2.1 (multiplicative bias)                       e02_multiplicative
+E3   Theorem 2.2 (additive bias)                             e03_additive
+E4   Theorem 2 no-bias case                                  e04_nobias
+E5   Lemmas 3 & 4 (undecided envelope, u*)                   e05_undecided
+E6   Appendix D (population vs gossip)                       e06_gossip_comparison
+E7   bias threshold S-curve (Thm 2.2 / [4, 19])              e07_bias_threshold
+E8   Section 1.2 baselines                                   e08_baselines
+E9   k-scaling of Theorem 2                                  e09_k_scaling
+E10  synchronized USD ablation ([5, 7, 15, 30])              e10_synchronized
+E11  Appendix A random-walk toolkit                          e11_randomwalk
+E12  Appendix B transition probabilities                     e12_transition_probs
+E13  mean-field limit                                        e13_meanfield
+E14  exact Markov-chain ground truth                         e14_exact_chain
+E15  extension: restricted interaction graphs               e15_graph_topologies
+E16  failure injection: zealots & noise                     e16_robustness
+E17  Lemma 10 doubling race                                 e17_doubling
+E18  Lemma 2 bias preservation through Phase 1              e18_bias_preservation
+E19  Lemma 14 / Claim 2.2 Phase 4 envelope                  e19_phase4_envelope
+==== ======================================================= =====================
+
+``run_experiment("E7")`` dispatches by id; ``run_all()`` produces the
+full report used to regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..analysis import ExperimentResult
+from . import (
+    e01_phase_table,
+    e02_multiplicative,
+    e03_additive,
+    e04_nobias,
+    e05_undecided,
+    e06_gossip_comparison,
+    e07_bias_threshold,
+    e08_baselines,
+    e09_k_scaling,
+    e10_synchronized,
+    e11_randomwalk,
+    e12_transition_probs,
+    e13_meanfield,
+    e14_exact_chain,
+    e15_graph_topologies,
+    e16_robustness,
+    e17_doubling,
+    e18_bias_preservation,
+    e19_phase4_envelope,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS = {
+    "E1": e01_phase_table,
+    "E2": e02_multiplicative,
+    "E3": e03_additive,
+    "E4": e04_nobias,
+    "E5": e05_undecided,
+    "E6": e06_gossip_comparison,
+    "E7": e07_bias_threshold,
+    "E8": e08_baselines,
+    "E9": e09_k_scaling,
+    "E10": e10_synchronized,
+    "E11": e11_randomwalk,
+    "E12": e12_transition_probs,
+    "E13": e13_meanfield,
+    "E14": e14_exact_chain,
+    "E15": e15_graph_topologies,
+    "E16": e16_robustness,
+    "E17": e17_doubling,
+    "E18": e18_bias_preservation,
+    "E19": e19_phase4_envelope,
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "quick", seed: int = 20230224
+) -> ExperimentResult:
+    """Run a single experiment by id (e.g. ``"E3"``)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key].run(scale=scale, seed=seed)
+
+
+def run_all(scale: str = "quick", seed: int = 20230224) -> list[ExperimentResult]:
+    """Run every experiment in id order and return the reports."""
+    ordered = sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+    return [EXPERIMENTS[key].run(scale=scale, seed=seed) for key in ordered]

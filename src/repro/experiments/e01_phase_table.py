@@ -1,0 +1,143 @@
+"""E1 — Table 1: the five-phase decomposition and its running times.
+
+Reproduces the Section 2.1 phase table.  For a sweep of population sizes
+we run the USD from a no-bias configuration with a :class:`PhaseTracker`
+attached, record the durations of phases 1–5 and compare each against its
+stated bound:
+
+=====  =======================  ==========================
+Phase  End condition            Bound
+=====  =======================  ==========================
+1      ``u >= (n - xmax)/2``    ``O(n log n)``
+2      additive bias            ``O(n² log n / xmax)``
+3      multiplicative bias 2    ``O(n² log n / xmax)``
+4      ``xmax >= 2n/3``         ``O(n²/xmax + n log n)``
+5      ``xmax = n``             ``O(n log n)``
+=====  =======================  ==========================
+
+Shape check: for every phase the ratio measured/bound must stay within a
+constant spread across the n-sweep (i.e. the measured durations scale
+like the bound), and the stopping times must be monotone
+``T1 <= ... <= T5`` with every run completing all phases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table, summarize
+from ..core.fastsim import simulate
+from ..core.phases import NUM_PHASES, PhaseTracker, predicted_phase_bound
+from ..workloads import uniform_configuration
+from .common import Scale, ratio_spread, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"ns": [400, 800, 1600], "k": 4, "trials": 4},
+    "full": {"ns": [500, 1000, 2000, 4000, 8000], "k": 4, "trials": 10},
+}
+
+#: Allowed max/min spread of measured/bound ratios across the n-sweep.
+#: A wrong scaling shape (e.g. measuring n² where the bound says n log n)
+#: diverges linearly in the sweep range; a constant-factor-correct shape
+#: stays well inside this.
+_SPREAD_LIMIT = 8.0
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E1 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    ns, k, trials = params["ns"], params["k"], params["trials"]
+
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Phase table (Section 2.1): measured phase durations vs bounds",
+        metadata={"ns": ns, "k": k, "trials": trials, "scale": scale},
+    )
+
+    table = Table(
+        f"Mean phase durations over {trials} no-bias runs (k={k})",
+        ["n"]
+        + [f"phase{p}" for p in range(1, NUM_PHASES + 1)]
+        + [f"ratio{p}" for p in range(1, NUM_PHASES + 1)],
+    )
+
+    ratios_by_phase: dict[int, list[float]] = {p: [] for p in range(1, NUM_PHASES + 1)}
+    all_monotone = True
+    all_complete = True
+
+    for idx, n in enumerate(ns):
+        config = uniform_configuration(n, k)
+        durations: dict[int, list[int]] = {p: [] for p in range(1, NUM_PHASES + 1)}
+        rng_seeds = np.random.SeedSequence(spawn_seed(seed, idx)).spawn(trials)
+        for child in rng_seeds:
+            tracker = PhaseTracker()
+            run_result = simulate(
+                config, rng=np.random.default_rng(child), observer=tracker.observe
+            )
+            times = tracker.times
+            if not times.complete or not run_result.converged:
+                all_complete = False
+                continue
+            recorded = [times.get(p) for p in range(1, NUM_PHASES + 1)]
+            if any(a > b for a, b in zip(recorded, recorded[1:])):
+                all_monotone = False
+            for p in range(1, NUM_PHASES + 1):
+                durations[p].append(times.duration(p))
+
+        means = {}
+        row_ratios = []
+        for p in range(1, NUM_PHASES + 1):
+            if not durations[p]:
+                means[p] = float("nan")
+                row_ratios.append(float("nan"))
+                continue
+            mean = summarize(durations[p]).mean
+            means[p] = mean
+            bound = predicted_phase_bound(p, n, k)
+            # Phases can be skipped (duration 0); ratios are only a shape
+            # check where the phase actually ran.
+            ratio = max(mean, 1.0) / bound
+            ratios_by_phase[p].append(ratio)
+            row_ratios.append(ratio)
+        table.add_row(
+            [n] + [means[p] for p in range(1, NUM_PHASES + 1)] + row_ratios
+        )
+
+    result.tables.append(table.render())
+
+    result.add_check(
+        name="all runs pass through T1..T5 to consensus",
+        paper_claim="the USD reaches consensus w.h.p. (Theorem 2, no-bias case)",
+        measured=f"complete={all_complete}, monotone={all_monotone}",
+        passed=all_complete and all_monotone,
+    )
+    for p in range(1, NUM_PHASES + 1):
+        if not ratios_by_phase[p]:
+            result.add_check(
+                name=f"phase {p} scaling shape",
+                paper_claim=f"duration = O({_bound_name(p)})",
+                measured="phase never ran",
+                passed=False,
+            )
+            continue
+        spread = ratio_spread(ratios_by_phase[p])
+        result.add_check(
+            name=f"phase {p} scaling shape",
+            paper_claim=f"duration = O({_bound_name(p)})",
+            measured=f"measured/bound spread across n-sweep = {spread:.2f}",
+            passed=spread <= _SPREAD_LIMIT,
+        )
+    return result
+
+
+def _bound_name(phase: int) -> str:
+    names = {
+        1: "n log n",
+        2: "n^2 log n / xmax",
+        3: "n^2 log n / xmax",
+        4: "n^2/xmax + n log n",
+        5: "n log n",
+    }
+    return names[phase]

@@ -1,0 +1,92 @@
+"""E2 — Theorem 2.1: the multiplicative-bias regime.
+
+With an initial multiplicative bias of ``1 + ε`` the USD reaches
+consensus on Opinion 1 within ``O(n log n + n²/x1(0))`` interactions
+w.h.p.  We sweep ``n`` at fixed ``k`` and bias ``alpha = 2``, and check:
+
+1. the initial plurality opinion wins essentially always;
+2. the measured interaction counts track the bound
+   ``n log n + n²/x1(0)`` with constant spread across the sweep.
+"""
+
+from __future__ import annotations
+
+from ..analysis import (
+    ExperimentResult,
+    Table,
+    sweep,
+    theorem2_multiplicative_bound,
+)
+from ..workloads import multiplicative_bias_configuration
+from .common import Scale, ratio_spread, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"ns": [400, 800, 1600], "k": 4, "alpha": 2.0, "trials": 6},
+    "full": {"ns": [500, 1000, 2000, 4000, 8000], "k": 6, "alpha": 2.0, "trials": 15},
+}
+
+_SPREAD_LIMIT = 6.0
+_MIN_SUCCESS = 0.9
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E2 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    ns, k, alpha, trials = params["ns"], params["k"], params["alpha"], params["trials"]
+
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Theorem 2.1: multiplicative bias -> O(n log n + n^2/x1) interactions",
+        metadata={"ns": ns, "k": k, "alpha": alpha, "trials": trials, "scale": scale},
+    )
+
+    grid = [{"n": n, "k": k, "alpha": alpha} for n in ns]
+    swept = sweep(
+        grid,
+        multiplicative_bias_configuration,
+        trials=trials,
+        seed=spawn_seed(seed, 0),
+    )
+
+    table = Table(
+        f"Multiplicative bias alpha={alpha}, k={k}, {trials} trials per n",
+        ["n", "x1(0)", "mean interactions", "bound", "ratio", "plurality wins"],
+    )
+    ratios = []
+    success_rates = []
+    for point in swept:
+        n = point.params["n"]
+        x1 = point.ensemble.initial.xmax
+        mean = point.ensemble.interaction_stats().mean
+        bound = theorem2_multiplicative_bound(n, x1)
+        ratio = mean / bound
+        ratios.append(ratio)
+        rate = point.ensemble.plurality_success_rate
+        success_rates.append(rate)
+        table.add_row([n, x1, mean, bound, ratio, f"{rate:.2f}"])
+    result.tables.append(table.render())
+
+    min_rate = min(success_rates)
+    result.add_check(
+        name="plurality opinion wins",
+        paper_claim="all agents agree on Opinion 1 w.h.p.",
+        measured=f"min success rate over sweep = {min_rate:.2f}",
+        passed=min_rate >= _MIN_SUCCESS,
+    )
+    spread = ratio_spread(ratios)
+    result.add_check(
+        name="convergence-time shape",
+        paper_claim="T = O(n log n + n^2/x1(0))",
+        measured=f"measured/bound spread across n-sweep = {spread:.2f}",
+        passed=spread <= _SPREAD_LIMIT,
+    )
+    convergence = min(p.ensemble.convergence_rate for p in swept)
+    result.add_check(
+        name="all runs converge within budget",
+        paper_claim="consensus is reached w.h.p.",
+        measured=f"min convergence rate = {convergence:.2f}",
+        passed=convergence == 1.0,
+    )
+    return result

@@ -1,0 +1,102 @@
+"""E3 — Theorem 2.2: the additive-bias regime.
+
+With an initial additive bias of at least ``Ω(sqrt(n log n))`` the USD
+reaches consensus on Opinion 1 within ``O(n² log n / x1(0)) =
+O(k · n log n)`` interactions w.h.p.  We sweep ``n`` at fixed ``k`` with
+bias ``beta = 3·sqrt(n log n)`` and check the win rate and the
+convergence-time shape against ``n² log n / x1(0)``.
+"""
+
+from __future__ import annotations
+
+from ..analysis import ExperimentResult, Table, sweep, theorem2_additive_bound
+from ..workloads import additive_bias_configuration, theorem_beta
+from .common import Scale, ratio_spread, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"ns": [400, 800, 1600], "k": 4, "coefficient": 3.0, "trials": 6},
+    "full": {
+        "ns": [500, 1000, 2000, 4000, 8000],
+        "k": 6,
+        "coefficient": 3.0,
+        "trials": 15,
+    },
+}
+
+_SPREAD_LIMIT = 6.0
+_MIN_SUCCESS = 0.9
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E3 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    ns, k, coeff, trials = (
+        params["ns"],
+        params["k"],
+        params["coefficient"],
+        params["trials"],
+    )
+
+    result = ExperimentResult(
+        experiment_id="E3",
+        title="Theorem 2.2: additive bias Omega(sqrt(n log n)) -> O(k n log n)",
+        metadata={
+            "ns": ns,
+            "k": k,
+            "bias_coefficient": coeff,
+            "trials": trials,
+            "scale": scale,
+        },
+    )
+
+    grid = [{"n": n, "k": k, "beta": theorem_beta(n, coeff)} for n in ns]
+    swept = sweep(
+        grid,
+        additive_bias_configuration,
+        trials=trials,
+        seed=spawn_seed(seed, 0),
+    )
+
+    table = Table(
+        f"Additive bias beta={coeff}*sqrt(n log n), k={k}, {trials} trials per n",
+        ["n", "beta", "x1(0)", "mean interactions", "bound", "ratio", "plurality wins"],
+    )
+    ratios = []
+    success_rates = []
+    for point in swept:
+        n = point.params["n"]
+        beta = point.params["beta"]
+        x1 = point.ensemble.initial.xmax
+        mean = point.ensemble.interaction_stats().mean
+        bound = theorem2_additive_bound(n, x1)
+        ratio = mean / bound
+        ratios.append(ratio)
+        rate = point.ensemble.plurality_success_rate
+        success_rates.append(rate)
+        table.add_row([n, beta, x1, mean, bound, ratio, f"{rate:.2f}"])
+    result.tables.append(table.render())
+
+    min_rate = min(success_rates)
+    result.add_check(
+        name="plurality opinion wins",
+        paper_claim="the initial plurality opinion wins w.h.p. given the bias",
+        measured=f"min success rate over sweep = {min_rate:.2f}",
+        passed=min_rate >= _MIN_SUCCESS,
+    )
+    spread = ratio_spread(ratios)
+    result.add_check(
+        name="convergence-time shape",
+        paper_claim="T = O(n^2 log n / x1(0)) = O(k n log n)",
+        measured=f"measured/bound spread across n-sweep = {spread:.2f}",
+        passed=spread <= _SPREAD_LIMIT,
+    )
+    convergence = min(p.ensemble.convergence_rate for p in swept)
+    result.add_check(
+        name="all runs converge within budget",
+        paper_claim="consensus is reached w.h.p.",
+        measured=f"min convergence rate = {convergence:.2f}",
+        passed=convergence == 1.0,
+    )
+    return result

@@ -1,0 +1,101 @@
+"""E4 — Theorem 2's no-bias case: consensus on a *significant* opinion.
+
+Without any initial bias the USD still reaches consensus within
+``O(n² log n / x1(0)) = O(k n log n)`` interactions w.h.p., and the
+winner is a *significant* opinion (support within ``α·sqrt(n log n)`` of
+the maximum at the start).
+
+Two workloads exercise the statement:
+
+* **uniform** — all opinions tied; every opinion is significant, so the
+  check is that consensus is reached within the bound at all;
+* **two-leader** — two tied leaders far ahead of the pack; only the
+  leaders are significant, so the winner must be one of them (the paper's
+  Phase 2 argument: insignificant opinions never become significant).
+"""
+
+from __future__ import annotations
+
+from ..analysis import ExperimentResult, Table, run_trials, theorem2_nobias_bound
+from ..workloads import two_leader_configuration, uniform_configuration
+from .common import Scale, ratio_spread, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"ns": [400, 800, 1600], "k": 4, "trials": 6},
+    "full": {"ns": [500, 1000, 2000, 4000], "k": 6, "trials": 15},
+}
+
+_SPREAD_LIMIT = 6.0
+_MIN_SIGNIFICANT = 0.9
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E4 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    ns, k, trials = params["ns"], params["k"], params["trials"]
+
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Theorem 2 (no bias): consensus on a significant opinion in O(k n log n)",
+        metadata={"ns": ns, "k": k, "trials": trials, "scale": scale},
+    )
+
+    uniform_table = Table(
+        f"Uniform (no-bias) workload, k={k}, {trials} trials per n",
+        ["n", "x1(0)", "mean interactions", "bound", "ratio", "converged"],
+    )
+    ratios = []
+    all_converged = True
+    for idx, n in enumerate(ns):
+        config = uniform_configuration(n, k)
+        ensemble = run_trials(config, trials, seed=spawn_seed(seed, idx))
+        mean = ensemble.interaction_stats().mean
+        bound = theorem2_nobias_bound(n, config.xmax)
+        ratio = mean / bound
+        ratios.append(ratio)
+        converged = ensemble.convergence_rate
+        all_converged = all_converged and converged == 1.0
+        uniform_table.add_row([n, config.xmax, mean, bound, ratio, f"{converged:.2f}"])
+    result.tables.append(uniform_table.render())
+
+    leader_table = Table(
+        f"Two-leader workload, k={k}, {trials} trials per n",
+        ["n", "leaders", "followers", "significant wins", "trials"],
+    )
+    significant_rates = []
+    for idx, n in enumerate(ns):
+        config = two_leader_configuration(n, k, gap=0)
+        ensemble = run_trials(config, trials, seed=spawn_seed(seed, 100 + idx))
+        significant = ensemble.significant_wins()
+        significant_rates.append(significant / trials)
+        sorted_supports = config.sorted_supports()
+        leader_table.add_row(
+            [
+                n,
+                f"{sorted_supports[0]}/{sorted_supports[1]}",
+                int(sorted_supports[2]) if k > 2 else 0,
+                significant,
+                trials,
+            ]
+        )
+    result.tables.append(leader_table.render())
+
+    result.add_check(
+        name="no-bias convergence within bound",
+        paper_claim="consensus within O(n^2 log n / x1(0)) without any bias",
+        measured=(
+            f"all converged={all_converged}, "
+            f"measured/bound spread = {ratio_spread(ratios):.2f}"
+        ),
+        passed=all_converged and ratio_spread(ratios) <= _SPREAD_LIMIT,
+    )
+    min_significant = min(significant_rates)
+    result.add_check(
+        name="winner is initially significant",
+        paper_claim="all agents agree on a significant opinion w.h.p.",
+        measured=f"min significant-winner rate = {min_significant:.2f}",
+        passed=min_significant >= _MIN_SIGNIFICANT,
+    )
+    return result

@@ -1,0 +1,144 @@
+"""E5 — Lemmas 3 & 4: the undecided-count envelope and the u* equilibrium.
+
+Lemma 3 (upper): w.h.p. ``u(t) <= n/2 - sqrt(n log n)/(5c)`` for the whole
+run.  Lemma 4 (lower, after Phase 1): ``u(t) >= n/2 - xmax(t)/2 -
+8·sqrt(n ln n)``.  The lemma discussion identifies the unstable
+equilibrium ``u* = n(k-1)/(2k-1)``.
+
+We record full trajectories, then measure:
+
+1. the fraction of post-Phase-1 snapshots violating either side of the
+   envelope (must be ~0);
+2. the relaxation of ``u(t)`` toward ``u*`` during the early plateau: the
+   time-average of ``u`` over the post-T1, pre-bias window must sit close
+   to ``u*``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table
+from ..core.fastsim import simulate
+from ..core.phases import PhaseTracker
+from ..core.potentials import undecided_upper_bound
+from ..core.probabilities import ustar
+from ..core.recorder import CompositeObserver, TrajectoryRecorder
+from ..workloads import uniform_configuration
+from .common import Scale, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"n": 2000, "ks": [3, 8], "trials": 3},
+    "full": {"n": 8000, "ks": [2, 4, 8, 16], "trials": 5},
+}
+
+_MAX_VIOLATION_FRACTION = 0.01
+_EQUILIBRIUM_TOLERANCE = 0.08  # relative deviation of the plateau mean from u*
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E5 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    n, ks, trials = params["n"], params["ks"], params["trials"]
+
+    result = ExperimentResult(
+        experiment_id="E5",
+        title="Lemmas 3 & 4: undecided-count envelope and u* equilibrium",
+        metadata={"n": n, "ks": ks, "trials": trials, "scale": scale},
+    )
+
+    table = Table(
+        f"Undecided-count envelope, n={n}, {trials} runs per k",
+        [
+            "k",
+            "u*",
+            "plateau mean u",
+            "rel dev",
+            "upper violations",
+            "lower violations",
+            "snapshots",
+        ],
+    )
+
+    worst_violation = 0.0
+    worst_equilibrium_dev = 0.0
+    for idx, k in enumerate(ks):
+        config = uniform_configuration(n, k)
+        equilibrium = ustar(n, k)
+        # Lemma 3's constant c is whatever makes k <= c sqrt(n)/log^2 n
+        # hold; at finite n that constant is implied by (n, k).
+        c_effective = max(1.0, k * np.log(n) ** 2 / np.sqrt(n))
+        upper = undecided_upper_bound(n, c_effective)
+        plateau_means = []
+        upper_violations = 0
+        lower_violations = 0
+        total_snapshots = 0
+        seeds = np.random.SeedSequence(spawn_seed(seed, idx)).spawn(trials)
+        for child in seeds:
+            recorder = TrajectoryRecorder(every=max(1, n // 50))
+            tracker = PhaseTracker()
+            observer = CompositeObserver(recorder, tracker)
+            simulate(config, rng=np.random.default_rng(child), observer=observer.observe)
+            trajectory = recorder.trajectory()
+            t1 = tracker.times.t1
+            t2 = tracker.times.t2
+            if t1 is None:
+                continue
+            after_t1 = trajectory.times >= t1
+            u_vals = trajectory.undecided[after_t1]
+            xmax_vals = trajectory.xmax[after_t1]
+            total_snapshots += int(u_vals.size)
+            upper_violations += int((u_vals > upper).sum())
+            lower = (
+                n / 2
+                - xmax_vals / 2
+                - 8.0 * np.sqrt(n * np.log(n))
+            )
+            lower_violations += int((u_vals < lower).sum())
+            # Plateau window: after T1, before the bias has formed (T2).
+            if t2 is not None and t2 > t1:
+                plateau = (trajectory.times >= t1) & (trajectory.times <= t2)
+                if plateau.sum() >= 3:
+                    plateau_means.append(float(trajectory.undecided[plateau].mean()))
+
+        if total_snapshots == 0:
+            raise RuntimeError(f"no post-T1 snapshots recorded for k={k}")
+        violation_fraction = (upper_violations + lower_violations) / total_snapshots
+        worst_violation = max(worst_violation, violation_fraction)
+        if plateau_means:
+            plateau_mean = float(np.mean(plateau_means))
+            rel_dev = abs(plateau_mean - equilibrium) / equilibrium
+        else:
+            # T2 == T1 (bias formed instantly) leaves no plateau; the
+            # envelope check still applies.
+            plateau_mean = float("nan")
+            rel_dev = 0.0
+        worst_equilibrium_dev = max(worst_equilibrium_dev, rel_dev)
+        table.add_row(
+            [
+                k,
+                equilibrium,
+                plateau_mean,
+                f"{rel_dev:.3f}",
+                upper_violations,
+                lower_violations,
+                total_snapshots,
+            ]
+        )
+
+    result.tables.append(table.render())
+    result.add_check(
+        name="Lemma 3 + Lemma 4 envelope",
+        paper_claim="u(t) in [n/2 - xmax/2 - 8 sqrt(n ln n), n/2 - sqrt(n log n)/5c] w.h.p.",
+        measured=f"worst violation fraction = {worst_violation:.4f}",
+        passed=worst_violation <= _MAX_VIOLATION_FRACTION,
+    )
+    result.add_check(
+        name="u* equilibrium",
+        paper_claim="u(t) hovers near u* = n(k-1)/(2k-1) before a bias forms",
+        measured=f"worst relative plateau deviation = {worst_equilibrium_dev:.3f}",
+        passed=worst_equilibrium_dev <= _EQUILIBRIUM_TOLERANCE,
+    )
+    return result

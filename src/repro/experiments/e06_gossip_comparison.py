@@ -1,0 +1,110 @@
+"""E6 — Appendix D: population-model USD vs gossip-model USD.
+
+Becchetti et al. [9] give ``O(md(x(0)) · log n)`` gossip rounds under a
+multiplicative bias; Theorem 2.1 gives ``O(log n + n/x1(0))`` parallel
+time in the population model.  Appendix D shows the population rate is
+better whenever ``x1(0) <= n log n / k`` (the plurality support is close
+to the average support).
+
+We run both models from identical multiplicative-bias configurations
+over a sweep of ``k`` (which pushes ``x1 ≈ 2n/(k+1)`` down toward the
+average) and measure the parallel-time ratio
+``gossip rounds / population parallel time``.  Checks:
+
+1. both models converge to the plurality opinion;
+2. in the regime ``x1 << n log n / k`` (large k) the measured ratio
+   favors the population model, and the ratio *grows* with ``k``, as the
+   ``md(x) ≈ k/4`` vs ``k/2`` comparison predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table, becchetti_gossip_rounds
+from ..analysis.theory import appendix_d_crossover_x1
+from ..core.fastsim import simulate
+from ..gossip import run_usd_gossip
+from ..workloads import multiplicative_bias_configuration
+from .common import Scale, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"n": 1500, "ks": [2, 4, 8], "alpha": 2.0, "trials": 4},
+    "full": {"n": 5000, "ks": [2, 4, 8, 16, 32], "alpha": 2.0, "trials": 10},
+}
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E6 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    n, ks, alpha, trials = params["n"], params["ks"], params["alpha"], params["trials"]
+
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Appendix D: population USD vs gossip USD (parallel time)",
+        metadata={"n": n, "ks": ks, "alpha": alpha, "trials": trials, "scale": scale},
+    )
+
+    table = Table(
+        f"Both models from the same multiplicative-bias config (alpha={alpha}, n={n})",
+        [
+            "k",
+            "x1(0)",
+            "crossover x1",
+            "pop parallel time",
+            "gossip rounds",
+            "md(x)*log n",
+            "ratio g/p",
+        ],
+    )
+
+    ratios = []
+    all_plurality = True
+    for idx, k in enumerate(ks):
+        config = multiplicative_bias_configuration(n, k, alpha)
+        seeds = np.random.SeedSequence(spawn_seed(seed, idx)).spawn(2 * trials)
+        pop_times = []
+        gossip_rounds = []
+        for child in seeds[:trials]:
+            res = simulate(config, rng=np.random.default_rng(child))
+            all_plurality = all_plurality and res.winner == config.max_opinion
+            pop_times.append(res.parallel_time)
+        for child in seeds[trials:]:
+            res = run_usd_gossip(config, rng=np.random.default_rng(child))
+            all_plurality = all_plurality and res.winner == config.max_opinion
+            gossip_rounds.append(res.rounds)
+        pop_mean = float(np.mean(pop_times))
+        gossip_mean = float(np.mean(gossip_rounds))
+        ratio = gossip_mean / pop_mean
+        ratios.append(ratio)
+        table.add_row(
+            [
+                k,
+                config.xmax,
+                appendix_d_crossover_x1(n, k),
+                pop_mean,
+                gossip_mean,
+                becchetti_gossip_rounds(config),
+                ratio,
+            ]
+        )
+
+    result.tables.append(table.render())
+    result.add_check(
+        name="both models reach plurality consensus",
+        paper_claim="multiplicative bias -> plurality wins w.h.p. in both models",
+        measured=f"all runs won by the plurality opinion: {all_plurality}",
+        passed=all_plurality,
+    )
+    # Appendix D: as x1 approaches the average support (k grows), the
+    # population model's relative advantage grows.
+    increasing = all(a <= b * 1.25 for a, b in zip(ratios, ratios[1:]))
+    result.add_check(
+        name="crossover direction",
+        paper_claim="population model wins (in parallel time) when x1 <= n log n / k",
+        measured=f"gossip/population ratios over k-sweep = {[f'{r:.2f}' for r in ratios]}",
+        passed=increasing,
+    )
+    return result

@@ -1,0 +1,98 @@
+"""E7 — the additive-bias threshold figure.
+
+Theorem 2.2 (and the two-opinion predecessors [4, 19]) guarantee the
+plurality opinion wins w.h.p. once the initial additive bias reaches
+``Ω(sqrt(n log n))``; below ``O(sqrt(n))`` the bias is within the noise
+of the anti-concentration argument and either large opinion can win.
+
+We fix ``n`` and ``k`` and sweep the bias ``beta = c · sqrt(n log n)``
+over coefficients ``c`` from 0 upward, measuring the plurality success
+probability — the classic S-curve threshold figure.  Checks: near-coin
+flip at ``c = 0``, near-certainty at large ``c``, and monotone growth.
+"""
+
+from __future__ import annotations
+
+from ..analysis import ExperimentResult, Table, run_trials, wilson_interval
+from ..workloads import additive_bias_configuration, theorem_beta
+from .common import Scale, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {
+        "n": 1000,
+        "k": 2,
+        "coefficients": [0.0, 0.5, 1.0, 2.0, 4.0],
+        "trials": 40,
+    },
+    "full": {
+        "n": 4000,
+        "k": 2,
+        "coefficients": [0.0, 0.25, 0.5, 1.0, 2.0, 3.0, 4.0],
+        "trials": 200,
+    },
+}
+
+_COINFLIP_BAND = (0.30, 0.70)
+_MIN_TOP_SUCCESS = 0.95
+_MONOTONE_SLACK = 0.12
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E7 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    n, k, coefficients, trials = (
+        params["n"],
+        params["k"],
+        params["coefficients"],
+        params["trials"],
+    )
+
+    result = ExperimentResult(
+        experiment_id="E7",
+        title="Additive-bias threshold: plurality win probability vs beta",
+        metadata={
+            "n": n,
+            "k": k,
+            "coefficients": coefficients,
+            "trials": trials,
+            "scale": scale,
+        },
+    )
+
+    table = Table(
+        f"Plurality win probability, n={n}, k={k}, {trials} trials per point",
+        ["c (beta = c*sqrt(n log n))", "beta", "win rate", "wilson 95% CI"],
+    )
+    rates = []
+    for idx, coeff in enumerate(coefficients):
+        beta = theorem_beta(n, coeff) if coeff > 0 else 0
+        config = additive_bias_configuration(n, k, beta)
+        ensemble = run_trials(config, trials, seed=spawn_seed(seed, idx))
+        rate = ensemble.plurality_success_rate
+        rates.append(rate)
+        low, high = wilson_interval(ensemble.plurality_wins(), trials)
+        table.add_row([coeff, beta, f"{rate:.3f}", f"[{low:.2f}, {high:.2f}]"])
+    result.tables.append(table.render())
+
+    result.add_check(
+        name="no bias -> coin flip",
+        paper_claim="without bias, any significant opinion may win",
+        measured=f"win rate at c=0 is {rates[0]:.2f}",
+        passed=_COINFLIP_BAND[0] <= rates[0] <= _COINFLIP_BAND[1],
+    )
+    result.add_check(
+        name="large bias -> plurality wins w.h.p.",
+        paper_claim="bias Omega(sqrt(n log n)) -> plurality consensus w.h.p.",
+        measured=f"win rate at c={coefficients[-1]} is {rates[-1]:.2f}",
+        passed=rates[-1] >= _MIN_TOP_SUCCESS,
+    )
+    monotone = all(b >= a - _MONOTONE_SLACK for a, b in zip(rates, rates[1:]))
+    result.add_check(
+        name="S-curve monotonicity",
+        paper_claim="win probability increases with the initial bias",
+        measured=f"rates = {[f'{r:.2f}' for r in rates]}",
+        passed=monotone,
+    )
+    return result

@@ -1,0 +1,168 @@
+"""E8 — related-work baselines (Section 1.2).
+
+Two comparisons:
+
+1. **Gossip-model dynamics.**  From the same additive-bias configuration
+   we run the gossip USD, Voter, TwoChoices, 3-Majority and MedianRule,
+   comparing rounds-to-consensus and plurality success.  Expected shape
+   (from [9, 24, 29]): Voter is drastically slower and only wins the
+   plurality with probability proportional to its support; TwoChoices,
+   3-Majority and the USD finish in ``O(k log n)``-style round counts;
+   MedianRule is fastest in ``k`` but needs ordered opinions.
+
+2. **Population-model Voter vs USD.**  For ``k = 2`` the Voter takes
+   ``Θ(n²)`` interactions while the USD takes ``O(n log n)``
+   (Angluin et al. [4]); the measured ratio must grow roughly like
+   ``n / log n`` across an n-sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table, fit_power_law
+from ..core.fastsim import simulate
+from ..gossip import (
+    run_median_rule,
+    run_three_majority,
+    run_two_choices,
+    run_usd_gossip,
+    run_voter,
+)
+from ..protocols import run_voter_population
+from ..workloads import additive_bias_configuration, theorem_beta
+from .common import Scale, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"n": 1000, "k": 5, "trials": 5, "voter_ns": [100, 200, 400]},
+    "full": {"n": 4000, "k": 8, "trials": 10, "voter_ns": [200, 400, 800, 1600]},
+}
+
+_MIN_CONSENSUS_DYNAMICS_SUCCESS = 0.8
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E8 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    n, k, trials, voter_ns = (
+        params["n"],
+        params["k"],
+        params["trials"],
+        params["voter_ns"],
+    )
+
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Baseline consensus dynamics (Section 1.2 related work)",
+        metadata={"n": n, "k": k, "trials": trials, "scale": scale},
+    )
+
+    # -- gossip-model comparison ---------------------------------------
+    beta = theorem_beta(n, 2.0)
+    biased = additive_bias_configuration(n, k, beta)
+
+    runners = {
+        "USD (gossip)": lambda cfg, rng: run_usd_gossip(cfg, rng=rng),
+        "Voter": lambda cfg, rng: run_voter(cfg, rng=rng),
+        "TwoChoices": lambda cfg, rng: run_two_choices(cfg, rng=rng),
+        "3-Majority": lambda cfg, rng: run_three_majority(cfg, rng=rng),
+        "MedianRule": lambda cfg, rng: run_median_rule(cfg, rng=rng),
+    }
+
+    gossip_table = Table(
+        f"Gossip dynamics from the same biased config (n={n}, k={k}, beta={beta})",
+        ["dynamics", "mean rounds", "plurality wins", "converged"],
+    )
+    success = {}
+    rounds = {}
+    converged_count = {}
+    winners: dict[str, list[int]] = {}
+    for idx, (name, runner) in enumerate(runners.items()):
+        seeds = np.random.SeedSequence(spawn_seed(seed, idx)).spawn(trials)
+        wins = 0
+        converged = 0
+        round_counts = []
+        winners[name] = []
+        for child in seeds:
+            res = runner(biased, np.random.default_rng(child))
+            if res.converged:
+                converged += 1
+                round_counts.append(res.rounds)
+                winners[name].append(res.winner)
+                if res.winner == biased.max_opinion:
+                    wins += 1
+        mean_rounds = float(np.mean(round_counts)) if round_counts else float("nan")
+        success[name] = wins / trials
+        rounds[name] = mean_rounds
+        converged_count[name] = converged
+        gossip_table.add_row(
+            [name, mean_rounds, f"{success[name]:.2f}", f"{converged}/{trials}"]
+        )
+    result.tables.append(gossip_table.render())
+
+    # MedianRule converges to a *median* opinion of the ordered label set,
+    # not the plurality (the paper stresses the USD needs no order).
+    plurality_dynamics = ["USD (gossip)", "TwoChoices", "3-Majority"]
+    min_success = min(success[name] for name in plurality_dynamics)
+    result.add_check(
+        name="plurality-consensus dynamics find the plurality",
+        paper_claim="USD/TwoChoices/3-Majority solve plurality consensus w.h.p.",
+        measured=f"min win rate among them = {min_success:.2f}",
+        passed=min_success >= _MIN_CONSENSUS_DYNAMICS_SUCCESS,
+    )
+    result.add_check(
+        name="Voter is not a plurality protocol",
+        paper_claim="the Voter winner is ~proportional to initial support",
+        measured=f"Voter plurality win rate = {success['Voter']:.2f}",
+        passed=success["Voter"] <= 0.9,
+    )
+    median_winners = winners["MedianRule"]
+    median_ok = (
+        converged_count["MedianRule"] == trials
+        and all(1 <= w <= k for w in median_winners)
+        and all(w != k for w in median_winners)
+    )
+    result.add_check(
+        name="MedianRule converges to an interior opinion",
+        paper_claim="MedianRule reaches consensus in O(log k loglog n + log n) rounds "
+        "but needs ordered opinions (winner tracks the median, not the plurality)",
+        measured=f"winners = {sorted(set(median_winners))}, "
+        f"converged {converged_count['MedianRule']}/{trials}",
+        passed=median_ok,
+    )
+
+    # -- population-model Voter vs USD (k = 2) -------------------------
+    voter_table = Table(
+        "Population model, k=2, slight bias: Voter Theta(n^2) vs USD O(n log n)",
+        ["n", "voter interactions", "usd interactions", "ratio"],
+    )
+    xs = []
+    ratios = []
+    for idx, vn in enumerate(voter_ns):
+        cfg = additive_bias_configuration(vn, 2, max(2, int(0.1 * vn)))
+        seeds = np.random.SeedSequence(spawn_seed(seed, 1000 + idx)).spawn(2 * trials)
+        voter_counts = []
+        usd_counts = []
+        for child in seeds[:trials]:
+            res = run_voter_population(cfg, rng=np.random.default_rng(child))
+            voter_counts.append(res.interactions)
+        for child in seeds[trials:]:
+            res = simulate(cfg, rng=np.random.default_rng(child))
+            usd_counts.append(res.interactions)
+        voter_mean = float(np.mean(voter_counts))
+        usd_mean = float(np.mean(usd_counts))
+        xs.append(vn)
+        ratios.append(voter_mean / usd_mean)
+        voter_table.add_row([vn, voter_mean, usd_mean, voter_mean / usd_mean])
+    result.tables.append(voter_table.render())
+
+    fit = fit_power_law(xs, ratios)
+    result.add_check(
+        name="Voter/USD separation grows",
+        paper_claim="Voter needs Theta(n^2) vs USD O(n log n): ratio ~ n/log n",
+        measured=f"ratio ~ n^{fit.exponent:.2f} (R^2={fit.r_squared:.2f})",
+        passed=0.5 <= fit.exponent <= 1.5,
+    )
+    return result

@@ -1,0 +1,126 @@
+"""E11 — Appendix A validation: the random-walk toolkit.
+
+Three sub-experiments validate the analytic building blocks the paper's
+proofs rest on, against Monte Carlo simulation:
+
+1. **Lemma 20 (gambler's ruin)** — the exact win probability formula must
+   match the simulated frequency to within Monte Carlo noise.
+2. **Lemma 18 (reflected walk)** — the empirical probability of reaching
+   level ``m`` within a horizon must respect the analytic tail bound
+   ``horizon · (p/q)^m``.
+3. **Lemma 21 (Doerr walk)** — absorption times at ``L = ceil(log log n)``
+   levels must scale like ``O(log n)``: a power-law fit of the mean
+   absorption time against ``log n`` stays near linear.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table, fit_power_law
+from ..randomwalk import (
+    GamblersRuinWalk,
+    ReflectedWalk,
+    doerr_absorption_times,
+    reflected_hitting_tail_bound,
+    win_probability,
+)
+from .common import Scale, spawn_rng, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"ruin_trials": 400, "reflect_trials": 300, "doerr_trials": 150},
+    "full": {"ruin_trials": 2000, "reflect_trials": 1500, "doerr_trials": 600},
+}
+
+_RUIN_TOLERANCE = 0.07
+_DOERR_EXPONENT_BAND = (0.5, 1.6)
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E11 and return its report."""
+    params = _GRID[validate_scale(scale)]
+
+    result = ExperimentResult(
+        experiment_id="E11",
+        title="Appendix A: random-walk toolkit vs Monte Carlo",
+        metadata={"scale": scale, **params},
+    )
+
+    # -- Lemma 20: gambler's ruin ---------------------------------------
+    ruin_table = Table(
+        f"Lemma 20: win probability, {params['ruin_trials']} walks per row",
+        ["a", "b", "p", "exact", "simulated", "abs diff"],
+    )
+    ruin_cases = [(10, 30, 0.55), (5, 40, 0.5), (20, 40, 0.45), (8, 24, 0.6)]
+    worst_diff = 0.0
+    rng = spawn_rng(seed, "ruin")
+    for a, b, p in ruin_cases:
+        exact = win_probability(a, b, p)
+        walk = GamblersRuinWalk(a, b, p)
+        simulated = walk.estimate_win_probability(params["ruin_trials"], rng)
+        diff = abs(exact - simulated)
+        worst_diff = max(worst_diff, diff)
+        ruin_table.add_row([a, b, p, exact, simulated, diff])
+    result.tables.append(ruin_table.render())
+    result.add_check(
+        name="gambler's ruin formula",
+        paper_claim="Pr[win] = 1 - ((q/p)^b - (q/p)^a)/((q/p)^b - 1)",
+        measured=f"worst |exact - simulated| = {worst_diff:.3f}",
+        passed=worst_diff <= _RUIN_TOLERANCE,
+    )
+
+    # -- Lemma 18: reflected walk tail ----------------------------------
+    reflect_table = Table(
+        f"Lemma 18: hitting probability vs bound, {params['reflect_trials']} walks per row",
+        ["p", "q", "m", "horizon", "bound", "simulated"],
+    )
+    # Levels chosen so the analytic bound is non-vacuous (well below 1).
+    reflect_cases = [(0.35, 0.45, 45, 800), (0.3, 0.5, 25, 600), (0.4, 0.45, 120, 1000)]
+    bound_respected = True
+    rng = spawn_rng(seed, "reflect")
+    for p, q, m, horizon in reflect_cases:
+        walk = ReflectedWalk(p, q)
+        simulated = walk.hit_probability(m, horizon, params["reflect_trials"], rng)
+        bound = reflected_hitting_tail_bound(m, p, q, horizon)
+        # Allow Monte Carlo noise on top of the analytic bound.
+        noise = 3.0 / math.sqrt(params["reflect_trials"])
+        if simulated > bound + noise:
+            bound_respected = False
+        reflect_table.add_row([p, q, m, horizon, bound, simulated])
+    result.tables.append(reflect_table.render())
+    result.add_check(
+        name="reflected-walk tail bound",
+        paper_claim="Pr[T_m <= horizon] <= horizon (p/q)^m",
+        measured=f"all cases within bound (+MC noise): {bound_respected}",
+        passed=bound_respected,
+    )
+
+    # -- Lemma 21: Doerr walk absorption --------------------------------
+    doerr_table = Table(
+        f"Lemma 21: absorption time at L = ceil(log log n), {params['doerr_trials']} walks per row",
+        ["n", "L", "mean steps", "log n"],
+    )
+    ns = [2**10, 2**14, 2**18, 2**22]
+    log_ns = []
+    means = []
+    rng = spawn_rng(seed, "doerr")
+    for n in ns:
+        levels = max(2, math.ceil(math.log2(math.log2(n))))
+        times = doerr_absorption_times(levels, 0.5, params["doerr_trials"], rng)
+        mean = float(np.mean(times))
+        log_ns.append(math.log(n))
+        means.append(mean)
+        doerr_table.add_row([n, levels, mean, math.log(n)])
+    result.tables.append(doerr_table.render())
+    fit = fit_power_law(log_ns, means)
+    result.add_check(
+        name="Doerr walk absorbs in O(log n)",
+        paper_claim="T = O(log n) w.h.p. (Lemma 21)",
+        measured=f"mean steps ~ (log n)^{fit.exponent:.2f} (R^2={fit.r_squared:.2f})",
+        passed=fit.exponent <= _DOERR_EXPONENT_BAND[1],
+    )
+    return result

@@ -1,0 +1,123 @@
+"""E13 — mean-field validation: agent simulation vs the fluid limit.
+
+For large ``n`` the rescaled configuration process concentrates around
+the mean-field ODE ``da_i/dτ = a_i(2w - 1 + a_i)`` (see
+:mod:`repro.core.meanfield`).  We simulate the USD at a large ``n`` from
+a biased configuration, record the trajectory, and compare the undecided
+fraction and the plurality fraction against the integrated ODE on the
+same parallel-time grid.  The maximum absolute deviation must shrink
+with n (we check it at one n against a fixed tolerance, and compare two
+n values for the shrinking direction).
+
+This also validates the paper's equilibrium discussion: the symmetric
+fixed point of the ODE is exactly ``u* = n(k-1)/(2k-1)`` (Lemma 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table
+from ..core.fastsim import simulate
+from ..core.meanfield import solve_meanfield, symmetric_fixed_point
+from ..core.probabilities import ustar
+from ..core.recorder import TrajectoryRecorder
+from ..workloads import multiplicative_bias_configuration
+from .common import Scale, spawn_rng, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"ns": [2000, 8000], "k": 3, "alpha": 1.5, "horizon": 12.0, "trials": 3},
+    "full": {"ns": [5000, 40000], "k": 3, "alpha": 1.5, "horizon": 15.0, "trials": 5},
+}
+
+#: Deviations are timing jitter (~1/sqrt(n)) amplified by the transition's
+#: slope; the tolerance leaves room for that constant.
+_TOLERANCE_LARGE_N = 0.12
+
+
+def _max_deviation(n: int, k: int, alpha: float, horizon: float, rng) -> float:
+    """Max |simulated - ODE| over undecided and plurality fractions."""
+    config = multiplicative_bias_configuration(n, k, alpha)
+    recorder = TrajectoryRecorder(every=max(1, n // 100), keep_supports=True)
+
+    horizon_interactions = int(horizon * n)
+
+    def stop_at_horizon(t: int, counts: np.ndarray) -> bool:
+        recorder.observe(t, counts)
+        return t >= horizon_interactions
+
+    simulate(config, rng=rng, observer=stop_at_horizon)
+    trajectory = recorder.trajectory()
+    solution = solve_meanfield(config, t_max=horizon, num_points=400)
+
+    taus = trajectory.parallel_times(n)
+    within = taus <= horizon
+    taus = taus[within]
+    sim_u = trajectory.undecided[within] / n
+    sim_x1 = trajectory.supports[within, 0] / n
+
+    ode_u = np.interp(taus, solution.taus, solution.undecided)
+    ode_x1 = np.interp(taus, solution.taus, solution.fractions[:, 0])
+    return float(
+        max(np.abs(sim_u - ode_u).max(), np.abs(sim_x1 - ode_x1).max())
+    )
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E13 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    ns, k, alpha, horizon, trials = (
+        params["ns"],
+        params["k"],
+        params["alpha"],
+        params["horizon"],
+        params["trials"],
+    )
+
+    result = ExperimentResult(
+        experiment_id="E13",
+        title="Mean-field limit: simulation vs ODE trajectories",
+        metadata={"ns": ns, "k": k, "alpha": alpha, "horizon": horizon, "scale": scale},
+    )
+
+    table = Table(
+        f"Mean over {trials} runs of max |simulated - ODE| on u/n and x1/n "
+        f"(k={k}, alpha={alpha}, horizon={horizon})",
+        ["n", "mean max deviation", "1/sqrt(n)"],
+    )
+    deviations = []
+    for idx, n in enumerate(ns):
+        per_run = [
+            _max_deviation(n, k, alpha, horizon, spawn_rng(seed, f"mf-{idx}-{t}"))
+            for t in range(trials)
+        ]
+        deviation = float(np.mean(per_run))
+        deviations.append(deviation)
+        table.add_row([n, deviation, 1.0 / np.sqrt(n)])
+    result.tables.append(table.render())
+
+    result.add_check(
+        name="fluid limit accuracy at large n",
+        paper_claim="the rescaled process concentrates around the drift ODE",
+        measured=f"mean max deviation at n={ns[-1]} is {deviations[-1]:.4f}",
+        passed=deviations[-1] <= _TOLERANCE_LARGE_N,
+    )
+    result.add_check(
+        name="deviation does not grow with n",
+        paper_claim="fluctuations are O(1/sqrt(n)) around the fluid limit",
+        measured=f"mean deviations = {[f'{d:.4f}' for d in deviations]}",
+        passed=deviations[-1] <= deviations[0] * 1.3,
+    )
+
+    # Fixed-point identity: the symmetric ODE fixed point equals u*/n.
+    a, w = symmetric_fixed_point(k)
+    identity_holds = abs(w - ustar(1_000_000, k) / 1_000_000) < 1e-9
+    result.add_check(
+        name="symmetric fixed point equals u*",
+        paper_claim="u* = n(k-1)/(2k-1) is the mean-field symmetric fixed point",
+        measured=f"w = {w:.6f}, a = {a:.6f}",
+        passed=identity_holds,
+    )
+    return result

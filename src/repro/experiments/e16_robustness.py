@@ -1,0 +1,127 @@
+"""E16 — robustness: zealots and transient noise (failure injection).
+
+The two-opinion USD was introduced as *robust* approximate majority [4]:
+its outcome survives limited Byzantine interference.  This experiment
+quantifies that robustness for the k-opinion process with the fault
+models of :mod:`repro.faults`:
+
+1. **Zealot takeover threshold** — a stubborn camp much smaller than the
+   flexible majority must fail to overturn it within a generous budget
+   (metastability); a camp larger than the majority must win.
+2. **Noise plateau** — the quasi-consensus level must degrade
+   monotonically with the corruption rate, staying near 1 for light
+   noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table
+from ..core.config import Configuration
+from ..faults import simulate_with_noise, simulate_with_zealots
+from .common import Scale, spawn_rng, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {
+        "majority": 160,
+        "minority": 40,
+        "camps": [10, 250],
+        "trials": 3,
+        "budget": 1_500_000,
+        "noise_horizon": 150_000,
+    },
+    "full": {
+        "majority": 400,
+        "minority": 100,
+        "camps": [20, 100, 600],
+        "trials": 5,
+        "budget": 6_000_000,
+        "noise_horizon": 500_000,
+    },
+}
+
+_NOISE_RATES = [0.0, 0.01, 0.1, 0.6]
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E16 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    majority, minority = params["majority"], params["minority"]
+    trials, budget = params["trials"], params["budget"]
+
+    result = ExperimentResult(
+        experiment_id="E16",
+        title="Failure injection: zealot takeover threshold and noise plateau",
+        metadata={**params, "scale": scale},
+    )
+
+    # -- zealots ---------------------------------------------------------
+    config = Configuration.from_supports([majority, minority], undecided=0)
+    rng = spawn_rng(seed, "zealots")
+    zealot_table = Table(
+        f"Zealots for opinion 2 vs a {majority}/{minority} flexible split "
+        f"({trials} runs each, budget {budget})",
+        ["camp size", "takeovers", "mean final x1 fraction"],
+    )
+    small_camp_held = True
+    big_camp_won = True
+    for camp in params["camps"]:
+        takeovers = 0
+        fractions = []
+        for _ in range(trials):
+            run_result = simulate_with_zealots(
+                config, [0, camp], rng=rng, max_interactions=budget
+            )
+            if run_result.converged and run_result.winner == 2:
+                takeovers += 1
+            fractions.append(run_result.final.supports[0] / (majority + minority))
+        mean_fraction = float(np.mean(fractions))
+        zealot_table.add_row([camp, f"{takeovers}/{trials}", mean_fraction])
+        if camp * 4 <= majority and (takeovers > 0 or mean_fraction < 0.5):
+            small_camp_held = False
+        if camp > majority + minority and takeovers < trials:
+            big_camp_won = False
+    result.tables.append(zealot_table.render())
+
+    result.add_check(
+        name="small zealot camps cannot overturn the majority",
+        paper_claim="robust approximate majority [4]: limited Byzantine "
+        "interference does not change the outcome",
+        measured=f"majority held against small camps: {small_camp_held}",
+        passed=small_camp_held,
+    )
+    result.add_check(
+        name="overwhelming zealot camps win",
+        paper_claim="(fault model) a stubborn camp larger than the whole "
+        "flexible population takes over",
+        measured=f"takeover by dominant camps: {big_camp_won}",
+        passed=big_camp_won,
+    )
+
+    # -- noise -----------------------------------------------------------
+    rng = spawn_rng(seed, "noise")
+    noise_table = Table(
+        f"Quasi-consensus plateau vs corruption rate (horizon {params['noise_horizon']})",
+        ["corruption prob", "tail mean plurality fraction"],
+    )
+    plateaus = []
+    for rho in _NOISE_RATES:
+        run_result = simulate_with_noise(
+            config, rho, horizon=params["noise_horizon"], rng=rng
+        )
+        plateaus.append(run_result.tail_mean_plurality_fraction)
+        noise_table.add_row([rho, plateaus[-1]])
+    result.tables.append(noise_table.render())
+
+    monotone = all(b <= a + 0.05 for a, b in zip(plateaus, plateaus[1:]))
+    result.add_check(
+        name="noise plateau degrades monotonically",
+        paper_claim="(fault model) quasi-consensus level falls as the "
+        "corruption rate rises",
+        measured=f"plateaus = {[f'{p:.2f}' for p in plateaus]}",
+        passed=monotone and plateaus[0] > 0.95 and plateaus[-1] < 0.8,
+    )
+    return result

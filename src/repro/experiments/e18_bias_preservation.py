@@ -1,0 +1,145 @@
+"""E18 — Lemma 2: the initial bias survives Phase 1.
+
+Phase 1 ends at ``T1`` when the undecided pool has formed
+(``u ≥ (n − xmax)/2``).  Lemma 2 guarantees the starting advantage is not
+destroyed on the way:
+
+1. an additive bias ``x1(0) − xi(0) ≥ α√(n log n)`` shrinks to no less
+   than a third: ``X1(T1) − Xi(T1) ≥ α/3 · √(n log n)``;
+2. a multiplicative bias ``1 + ε`` survives as ``1 + ε/(6 + 5ε)``;
+3. the largest opinion keeps a third of its support:
+   ``X1(T1) ≥ x1(0)/3``.
+
+We run to ``T1`` (stopping the simulation there) from both bias regimes
+and measure how often each statement holds — the paper claims
+probability ``1 − 4n⁻³`` each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table
+from ..core.fastsim import simulate
+from ..core.phases import PhaseTracker
+from ..workloads import (
+    additive_bias_configuration,
+    multiplicative_bias_configuration,
+    theorem_beta,
+)
+from .common import Scale, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"n": 2000, "k": 4, "trials": 40},
+    "full": {"n": 8000, "k": 6, "trials": 150},
+}
+
+_MIN_RATE = 0.95
+
+
+def _run_to_t1(config, rng):
+    """Run the USD until Phase 1 ends; return the configuration at T1."""
+    tracker = PhaseTracker(stop_after=1)
+    result = simulate(config, rng=rng, observer=tracker.observe)
+    if tracker.times.t1 is None:
+        raise RuntimeError("run ended before Phase 1 completed")
+    return result.final
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E18 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    n, k, trials = params["n"], params["k"], params["trials"]
+
+    result = ExperimentResult(
+        experiment_id="E18",
+        title="Lemma 2: additive/multiplicative bias and x1 survive Phase 1",
+        metadata={"n": n, "k": k, "trials": trials, "scale": scale},
+    )
+
+    # -- statement 1 + 3: additive bias regime ---------------------------
+    alpha_coefficient = 2.0
+    beta = theorem_beta(n, alpha_coefficient)
+    additive = additive_bias_configuration(n, k, beta)
+    gap_threshold = beta / 3.0
+    support_threshold = additive.xmax / 3.0
+
+    seeds = np.random.SeedSequence(spawn_seed(seed, 1)).spawn(trials)
+    gap_holds = 0
+    support_holds = 0
+    gap_ratios = []
+    for child in seeds:
+        at_t1 = _run_to_t1(additive, np.random.default_rng(child))
+        gap = int(at_t1.counts[1]) - int(np.sort(at_t1.counts[2:])[-1])
+        gap_ratios.append(gap / beta)
+        if gap >= gap_threshold:
+            gap_holds += 1
+        if at_t1.counts[1] >= support_threshold:
+            support_holds += 1
+
+    # -- statement 2: multiplicative bias regime -------------------------
+    epsilon = 0.5
+    multiplicative = multiplicative_bias_configuration(n, k, 1.0 + epsilon)
+    surviving_ratio = 1.0 + epsilon / (6.0 + 5.0 * epsilon)
+    seeds = np.random.SeedSequence(spawn_seed(seed, 2)).spawn(trials)
+    ratio_holds = 0
+    ratios = []
+    for child in seeds:
+        at_t1 = _run_to_t1(multiplicative, np.random.default_rng(child))
+        runner_up = int(np.sort(at_t1.counts[2:])[-1])
+        ratio = int(at_t1.counts[1]) / max(runner_up, 1)
+        ratios.append(ratio)
+        if ratio >= surviving_ratio:
+            ratio_holds += 1
+
+    table = Table(
+        f"Bias at T1 over {trials} runs (n={n}, k={k})",
+        ["statement", "paper threshold", "mean measured", "holds"],
+    )
+    table.add_row(
+        [
+            "additive gap (Lemma 2.1)",
+            f">= beta/3 (beta={beta})",
+            f"{float(np.mean(gap_ratios)):.2f} * beta",
+            f"{gap_holds}/{trials}",
+        ]
+    )
+    table.add_row(
+        [
+            "x1 retention (Lemma 2.3)",
+            f">= x1(0)/3 = {support_threshold:.0f}",
+            "-",
+            f"{support_holds}/{trials}",
+        ]
+    )
+    table.add_row(
+        [
+            "multiplicative ratio (Lemma 2.2)",
+            f">= {surviving_ratio:.3f} (eps={epsilon})",
+            f"{float(np.mean(ratios)):.3f}",
+            f"{ratio_holds}/{trials}",
+        ]
+    )
+    result.tables.append(table.render())
+
+    result.add_check(
+        name="additive bias survives Phase 1",
+        paper_claim="X1(T1) - Xi(T1) >= alpha/3 sqrt(n log n) w.h.p. (Lemma 2.1)",
+        measured=f"{gap_holds}/{trials} runs",
+        passed=gap_holds / trials >= _MIN_RATE,
+    )
+    result.add_check(
+        name="x1 keeps a third of its support",
+        paper_claim="X1(T1) >= x1(0)/3 w.h.p. (Lemma 2.3)",
+        measured=f"{support_holds}/{trials} runs",
+        passed=support_holds / trials >= _MIN_RATE,
+    )
+    result.add_check(
+        name="multiplicative bias survives Phase 1",
+        paper_claim="X1(T1) >= (1 + eps/(6+5eps)) Xi(T1) w.h.p. (Lemma 2.2)",
+        measured=f"{ratio_holds}/{trials} runs (mean ratio {float(np.mean(ratios)):.3f})",
+        passed=ratio_holds / trials >= _MIN_RATE,
+    )
+    return result

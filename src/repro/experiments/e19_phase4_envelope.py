@@ -1,0 +1,134 @@
+"""E19 — Lemma 14 & Claim 2.2: the improved Phase 4 undecided bound.
+
+Phase 4 grows the multiplicative bias into an absolute majority.  Its
+engine needs *more* undecided agents than Lemma 4 provides, so the paper
+proves (via the potential ``Z(t) = n − 2u − 7/8·x1``):
+
+* Lemma 14 — within ``7 n ln n`` interactions after ``T3`` the process
+  reaches ``u ≥ n/2 − 7/8·x1`` (or Phase 4 ends first);
+* Claim 2.2 — from then on ``u ≥ n/2 − 7/16·x1 − 8√(n ln n)`` holds
+  until ``T4``.
+
+We record trajectories between ``T3`` and ``T4`` and measure both: the
+hitting time of the ``Tu`` condition relative to ``7 n ln n``, and the
+violation rate of the Claim 2.2 envelope on ``[Tu, T4]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis import ExperimentResult, Table
+from ..core.fastsim import simulate
+from ..core.phases import PhaseTracker
+from ..core.recorder import CompositeObserver, TrajectoryRecorder
+from ..workloads import uniform_configuration
+from .common import Scale, spawn_seed, validate_scale
+
+__all__ = ["run"]
+
+_GRID = {
+    "quick": {"n": 2000, "k": 4, "trials": 8},
+    "full": {"n": 8000, "k": 6, "trials": 20},
+}
+
+_MAX_VIOLATION_FRACTION = 0.02
+
+
+def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
+    """Run E19 and return its report."""
+    params = _GRID[validate_scale(scale)]
+    n, k, trials = params["n"], params["k"], params["trials"]
+
+    result = ExperimentResult(
+        experiment_id="E19",
+        title="Lemma 14 / Claim 2.2: the Phase 4 undecided-count bound",
+        metadata={"n": n, "k": k, "trials": trials, "scale": scale},
+    )
+
+    config = uniform_configuration(n, k)
+    lemma14_budget = 7 * n * math.log(n)
+    slack = 8.0 * math.sqrt(n * math.log(n))
+
+    hit_within_budget = 0
+    phase4_ended_first = 0
+    total_window_snapshots = 0
+    violations = 0
+    hitting_times = []
+
+    seeds = np.random.SeedSequence(spawn_seed(seed, 0)).spawn(trials)
+    for child in seeds:
+        tracker = PhaseTracker()
+        recorder = TrajectoryRecorder(every=max(1, n // 100), keep_supports=True)
+        observer = CompositeObserver(recorder, tracker)
+        simulate(config, rng=np.random.default_rng(child), observer=observer.observe)
+        times = tracker.times
+        if times.t3 is None or times.t4 is None:
+            continue
+        trajectory = recorder.trajectory()
+        x1 = trajectory.supports.max(axis=1)
+        u = trajectory.undecided
+        ts = trajectory.times
+
+        in_phase4 = (ts >= times.t3) & (ts <= times.t4)
+        if not in_phase4.any():
+            # Phase 4 was instantaneous at this sampling rate.
+            phase4_ended_first += 1
+            continue
+        # Tu: first time in the window with u >= n/2 - 7/8 x1.
+        tu_condition = u >= n / 2 - (7.0 / 8.0) * x1
+        window_hits = np.flatnonzero(in_phase4 & tu_condition)
+        if window_hits.size == 0:
+            # Phase 4 ended before the Tu condition was observed —
+            # allowed by Lemma 14's min(T4, Tu) statement.
+            phase4_ended_first += 1
+            continue
+        tu_time = int(ts[window_hits[0]])
+        hitting_times.append(tu_time - times.t3)
+        if tu_time - times.t3 <= lemma14_budget:
+            hit_within_budget += 1
+        # Claim 2.2 envelope on [Tu, T4].
+        tail = (ts >= tu_time) & (ts <= times.t4)
+        lower = n / 2 - (7.0 / 16.0) * x1[tail] - slack
+        total_window_snapshots += int(tail.sum())
+        violations += int((u[tail] < lower).sum())
+
+    effective_trials = hit_within_budget + phase4_ended_first
+    violation_fraction = violations / max(total_window_snapshots, 1)
+
+    table = Table(
+        f"Phase 4 envelope over {trials} no-bias runs (n={n}, k={k})",
+        ["quantity", "paper claim", "measured"],
+    )
+    table.add_row(
+        [
+            "min(Tu, T4) - T3",
+            f"<= 7 n ln n = {lemma14_budget:.0f}",
+            f"hit/ended-first: {hit_within_budget}/{phase4_ended_first} "
+            f"(mean Tu-T3 = {float(np.mean(hitting_times)) if hitting_times else 0:.0f})",
+        ]
+    )
+    table.add_row(
+        [
+            "u >= n/2 - 7/16 x1 - 8 sqrt(n ln n) on [Tu, T4]",
+            "holds w.h.p. (Claim 2.2)",
+            f"{violations}/{total_window_snapshots} snapshots violated",
+        ]
+    )
+    result.tables.append(table.render())
+
+    result.add_check(
+        name="Lemma 14 hitting time",
+        paper_claim="min(T4, Tu) - T3 <= 7 n ln n w.h.p.",
+        measured=f"{effective_trials}/{trials} runs within budget (or Phase 4 ended first)",
+        passed=effective_trials == trials,
+    )
+    result.add_check(
+        name="Claim 2.2 envelope",
+        paper_claim="u >= n/2 - 7/16 x1 - 8 sqrt(n ln n) throughout [Tu, T4]",
+        measured=f"violation fraction = {violation_fraction:.4f}",
+        passed=violation_fraction <= _MAX_VIOLATION_FRACTION,
+    )
+    return result

@@ -1,0 +1,32 @@
+"""Failure injection for the USD (robustness extensions).
+
+The paper analyzes the fault-free process; this package probes how its
+guarantees degrade under two classic fault models from the consensus
+literature:
+
+* **Zealots** (:mod:`~repro.faults.zealots`) — stubborn agents that
+  advertise an opinion but never change state, modeling compromised or
+  hard-coded nodes.  Measured behavior matches the *robust approximate
+  majority* property of Angluin et al. [4]: a small zealot camp cannot
+  overturn a clear flexible majority (it is metastable), while a camp
+  larger than the flexible plurality takes over; with opposing zealot
+  camps true consensus is impossible.
+* **Transient noise** (:mod:`~repro.faults.noise`) — after an
+  interaction the responder's state is corrupted to a uniformly random
+  state with probability ``rho`` (memory faults, message corruption).
+  Absorption disappears; the process instead reaches and holds a
+  noise-dependent quasi-consensus level.
+
+Both models reuse the exact simulation machinery; see the robustness
+example and the test suite for their measured behavior.
+"""
+
+from .noise import NoisyRunResult, simulate_with_noise
+from .zealots import ZealotRunResult, simulate_with_zealots
+
+__all__ = [
+    "ZealotRunResult",
+    "simulate_with_zealots",
+    "NoisyRunResult",
+    "simulate_with_noise",
+]

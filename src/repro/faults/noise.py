@@ -1,0 +1,117 @@
+"""USD under transient state corruption.
+
+After every interaction, with probability ``rho`` an independently
+chosen uniformly random agent has its state overwritten by a uniformly
+random state from ``{⊥, 1, ..., k}`` — a simple model of memory faults
+or corrupted messages.  Consensus is no longer absorbing: the process
+climbs to a *quasi-consensus* plateau whose height depends on the noise
+rate, and stays there.
+
+The simulator runs a fixed horizon and reports the plateau: the maximum
+plurality fraction reached and its time-average over the tail of the
+run.  The test suite checks the two qualitative regimes — small ``rho``
+sustains near-consensus, large ``rho`` destroys it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import UNDECIDED, Configuration
+
+__all__ = ["NoisyRunResult", "simulate_with_noise"]
+
+
+@dataclass(frozen=True)
+class NoisyRunResult:
+    """Outcome of a fixed-horizon noisy run."""
+
+    final: Configuration
+    interactions: int
+    max_plurality_fraction: float
+    tail_mean_plurality_fraction: float
+
+
+def simulate_with_noise(
+    config: Configuration,
+    rho: float,
+    horizon: int,
+    *,
+    rng: np.random.Generator,
+    tail_fraction: float = 0.5,
+) -> NoisyRunResult:
+    """Run the noisy USD for ``horizon`` interactions.
+
+    Parameters
+    ----------
+    rho:
+        Per-interaction corruption probability.
+    horizon:
+        Number of interactions to simulate (the process never absorbs).
+    tail_fraction:
+        Portion of the horizon (from the end) over which the plateau
+        average is computed.
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"noise rate must be in [0, 1], got {rho}")
+    if horizon < 1:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+
+    states = config.to_states(rng)
+    counts = np.asarray(config.counts, dtype=np.int64).copy()
+    n = config.n
+    k = config.k
+
+    max_fraction = counts[1:].max() / n
+    tail_start = int(horizon * (1.0 - tail_fraction))
+    tail_sum = 0.0
+    tail_steps = 0
+
+    chunk = 8192
+    t = 0
+    while t < horizon:
+        batch = min(chunk, horizon - t)
+        responders = rng.integers(0, n, size=batch)
+        initiators = rng.integers(0, n, size=batch)
+        corrupt = rng.random(batch) < rho
+        victims = rng.integers(0, n, size=batch)
+        new_states = rng.integers(0, k + 1, size=batch)
+        for idx in range(batch):
+            t += 1
+            ri, ii = responders[idx], initiators[idx]
+            r_state = states[ri]
+            i_state = states[ii]
+            if r_state == UNDECIDED:
+                if i_state != UNDECIDED:
+                    states[ri] = i_state
+                    counts[UNDECIDED] -= 1
+                    counts[i_state] += 1
+            elif i_state != UNDECIDED and i_state != r_state:
+                states[ri] = UNDECIDED
+                counts[r_state] -= 1
+                counts[UNDECIDED] += 1
+            if corrupt[idx]:
+                victim = victims[idx]
+                old = states[victim]
+                new = new_states[idx]
+                if new != old:
+                    states[victim] = new
+                    counts[old] -= 1
+                    counts[new] += 1
+            fraction = counts[1:].max() / n
+            if fraction > max_fraction:
+                max_fraction = fraction
+            if t > tail_start:
+                tail_sum += fraction
+                tail_steps += 1
+
+    return NoisyRunResult(
+        final=Configuration(counts),
+        interactions=t,
+        max_plurality_fraction=float(max_fraction),
+        tail_mean_plurality_fraction=float(tail_sum / max(tail_steps, 1)),
+    )

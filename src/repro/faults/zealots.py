@@ -1,0 +1,149 @@
+"""USD with zealot (stubborn) agents.
+
+A zealot permanently supports one opinion: as an initiator it behaves
+like any decided agent, but as a responder it never changes state.  The
+flexible agents run the standard USD against this fixed background.
+
+Implementation: an exact jump chain like :mod:`repro.core.fastsim`, with
+the productive-event weights adjusted for the zealot background.  With
+``x_i`` flexible supporters, ``z_i`` zealots of opinion ``i`` and ``u``
+undecided (flexible) agents:
+
+* an undecided responder adopts opinion ``i`` with weight
+  ``u · (x_i + z_i)`` — zealots proselytize too;
+* a flexible responder of opinion ``i`` clashes with weight
+  ``x_i · (n − u − x_i − z_i)`` — every differently decided initiator,
+  zealous or not.
+
+The process absorbs only when all flexible agents share one opinion and
+no zealot of another opinion exists.  The measured behavior mirrors the
+*robust approximate majority* property of Angluin et al. [4]: a **small**
+zealot camp cannot overturn a clear flexible majority — the majority is
+metastable, held up by the undecided pool re-adopting it faster than the
+zealots erode it — while a zealot camp **larger than the flexible
+plurality** wins outright.  The test suite pins down both regimes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import Configuration
+
+__all__ = ["ZealotRunResult", "simulate_with_zealots"]
+
+
+@dataclass(frozen=True)
+class ZealotRunResult:
+    """Outcome of a zealot-USD run.
+
+    ``final`` holds the *flexible* agents' configuration (zealots are
+    reported separately since they never move).
+    """
+
+    final: Configuration
+    zealots: np.ndarray
+    interactions: int
+    converged: bool
+    winner: int | None
+    budget_exhausted: bool = False
+
+
+def simulate_with_zealots(
+    config: Configuration,
+    zealots,
+    *,
+    rng: np.random.Generator,
+    max_interactions: int | None = None,
+) -> ZealotRunResult:
+    """Run the USD with a fixed zealot background.
+
+    Parameters
+    ----------
+    config:
+        Initial configuration of the *flexible* agents.
+    zealots:
+        Length-k integer array; ``zealots[i-1]`` stubborn supporters of
+        opinion ``i``.  The total population is ``config.n + sum(zealots)``.
+    max_interactions:
+        Budget; defaults to a multiple of ``k · n log n`` on the total
+        population (zealot hijack is slower than plain convergence when
+        the zealot camp is small).
+    """
+    zealots = np.asarray(zealots, dtype=np.int64)
+    if zealots.size != config.k:
+        raise ValueError(
+            f"need one zealot count per opinion ({config.k}), got {zealots.size}"
+        )
+    if (zealots < 0).any():
+        raise ValueError("zealot counts must be non-negative")
+
+    flexible = np.asarray(config.counts, dtype=np.int64).copy()
+    n = int(config.n + zealots.sum())
+    k = config.k
+    if max_interactions is None:
+        max_interactions = int(500 * (k + 1) * n * (math.log(max(n, 2)) + 1))
+
+    zealot_opinions = np.flatnonzero(zealots) + 1
+    n_sq = float(n) * float(n)
+    supports = flexible[1:]
+
+    def absorbed() -> bool:
+        # All flexible mass on one opinion (or none flexible decided at
+        # all) and no opposing zealots.
+        u = int(flexible[0])
+        alive = np.flatnonzero(supports) + 1
+        camps = set(alive.tolist()) | set(zealot_opinions.tolist())
+        return u == 0 and len(camps) <= 1
+
+    t = 0
+    budget_exhausted = False
+    while not absorbed():
+        u = int(flexible[0])
+        visible = supports + zealots  # what initiators advertise
+        decided_total = int(visible.sum())
+        adopt_total = float(u) * float(decided_total)
+        clash_weights = supports * (decided_total - visible)
+        clash_total = float(clash_weights.sum())
+        total = adopt_total + clash_total
+        if total <= 0:
+            break
+        p = total / n_sq
+        wait = 1 if p >= 1.0 else int(rng.geometric(p))
+        if t + wait > max_interactions:
+            t = max_interactions
+            budget_exhausted = True
+            break
+        t += wait
+        v = rng.random() * total
+        if v < adopt_total:
+            cumulative = np.cumsum(visible.astype(np.float64))
+            i = int(np.searchsorted(cumulative, v / u, side="right"))
+            flexible[0] -= 1
+            flexible[1 + i] += 1
+        else:
+            cumulative = np.cumsum(clash_weights.astype(np.float64))
+            i = int(np.searchsorted(cumulative, v - adopt_total, side="right"))
+            flexible[1 + i] -= 1
+            flexible[0] += 1
+
+    final = Configuration(flexible)
+    converged = absorbed()
+    winner: int | None = None
+    if converged:
+        camps = set((np.flatnonzero(supports) + 1).tolist()) | set(
+            zealot_opinions.tolist()
+        )
+        if len(camps) == 1:
+            winner = camps.pop()
+    return ZealotRunResult(
+        final=final,
+        zealots=zealots.copy(),
+        interactions=t,
+        converged=converged,
+        winner=winner,
+        budget_exhausted=budget_exhausted,
+    )

@@ -1,0 +1,40 @@
+"""The parallel gossip model and its consensus dynamics.
+
+In the (synchronous, parallel) gossip model every agent selects one
+interaction partner uniformly at random in each round, observes the
+partner's state, and all agents update simultaneously (Section 1 of the
+paper, and [9, 18]).  This package provides:
+
+* a vectorized round engine (:mod:`~repro.gossip.engine`);
+* the gossip-model USD of Clementi et al. / Becchetti et al.
+  (:mod:`~repro.gossip.usd`), the paper's main comparison point
+  (Appendix D);
+* the j-majority family (:mod:`~repro.gossip.jmajority`): Voter (j=1),
+  TwoChoices (j=2, lazy tie-break), 3-Majority (j=3, random tie-break);
+* the MedianRule of Doerr et al. (:mod:`~repro.gossip.median`).
+"""
+
+from .engine import GossipResult, run_gossip
+from .jmajority import (
+    j_majority_round,
+    run_j_majority,
+    run_three_majority,
+    run_two_choices,
+    run_voter,
+)
+from .median import median_rule_round, run_median_rule
+from .usd import run_usd_gossip, usd_gossip_round
+
+__all__ = [
+    "GossipResult",
+    "run_gossip",
+    "usd_gossip_round",
+    "run_usd_gossip",
+    "j_majority_round",
+    "run_j_majority",
+    "run_voter",
+    "run_two_choices",
+    "run_three_majority",
+    "median_rule_round",
+    "run_median_rule",
+]

@@ -1,0 +1,131 @@
+"""The j-Majority family in the gossip model (Section 1.2 of the paper).
+
+Every agent adopts the majority opinion among ``j`` uniformly sampled
+agents:
+
+* ``j = 1`` — the **Voter** process: adopt the opinion of one random
+  agent [16, 20, 31, 33, 38].
+* ``j = 2`` — the **TwoChoices** process [21, 22, 23]: sample two agents;
+  if they agree adopt their opinion, otherwise keep your own (*lazy*
+  tie-breaking, as in Ghaffari–Lengler [29]).
+* ``j = 3`` — the **3-Majority** dynamics [10, 12, 29]: sample three
+  agents and adopt the majority among them, breaking three-way ties
+  toward a uniformly random one of the three samples.
+
+These dynamics assume every agent holds an opinion (no undecided state);
+configurations passed to the runners must have ``u = 0``.  Ghaffari and
+Lengler [29] show both TwoChoices (``k = O(sqrt(n/log n))``) and
+3-Majority (``k = O(n^(1/3)/log n)``) reach consensus in ``O(k log n)``
+rounds w.h.p. — the same parallel-time shape as the USD results that
+experiment E8 compares against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import Configuration
+from .engine import GossipResult, run_gossip
+
+__all__ = [
+    "j_majority_round",
+    "run_j_majority",
+    "run_voter",
+    "run_two_choices",
+    "run_three_majority",
+]
+
+
+def _require_no_undecided(config: Configuration) -> None:
+    if config.undecided != 0:
+        raise ValueError(
+            "j-majority dynamics are defined on fully decided populations; "
+            f"got {config.undecided} undecided agents"
+        )
+
+
+def j_majority_round(
+    states: np.ndarray, rng: np.random.Generator, j: int
+) -> np.ndarray:
+    """One synchronous j-majority round.
+
+    ``j = 1`` adopts the sample; ``j = 2`` adopts on agreement and keeps
+    the own opinion otherwise (lazy tie-break); ``j = 3`` adopts the
+    sample majority with uniform tie-breaking among the three samples.
+    """
+    n = states.size
+    if j == 1:
+        return states[rng.integers(0, n, size=n)].copy()
+    if j == 2:
+        first = states[rng.integers(0, n, size=n)]
+        second = states[rng.integers(0, n, size=n)]
+        new = states.copy()
+        agree = first == second
+        new[agree] = first[agree]
+        return new
+    if j == 3:
+        samples = states[rng.integers(0, n, size=(3, n))]
+        a, b, c = samples
+        new = np.empty_like(states)
+        # Any pairwise agreement wins; otherwise all three differ and a
+        # uniformly random sample is adopted.
+        pick = samples[rng.integers(0, 3, size=n), np.arange(n)]
+        new[:] = pick
+        ab = a == b
+        new[ab] = a[ab]
+        ac = a == c
+        new[ac] = a[ac]
+        bc = b == c
+        new[bc] = b[bc]
+        return new
+    raise ValueError(f"j must be 1, 2 or 3, got j={j}")
+
+
+def run_j_majority(
+    config: Configuration,
+    j: int,
+    *,
+    rng: np.random.Generator,
+    max_rounds: int | None = None,
+    observer=None,
+) -> GossipResult:
+    """Run the j-majority dynamics to consensus (``u(0)`` must be zero)."""
+    _require_no_undecided(config)
+
+    def rule(states: np.ndarray, rule_rng: np.random.Generator) -> np.ndarray:
+        return j_majority_round(states, rule_rng, j)
+
+    return run_gossip(config, rule, rng=rng, max_rounds=max_rounds, observer=observer)
+
+
+def run_voter(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_rounds: int | None = None,
+    observer=None,
+) -> GossipResult:
+    """Voter process (``j = 1``)."""
+    return run_j_majority(config, 1, rng=rng, max_rounds=max_rounds, observer=observer)
+
+
+def run_two_choices(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_rounds: int | None = None,
+    observer=None,
+) -> GossipResult:
+    """TwoChoices process (``j = 2`` with lazy tie-breaking)."""
+    return run_j_majority(config, 2, rng=rng, max_rounds=max_rounds, observer=observer)
+
+
+def run_three_majority(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_rounds: int | None = None,
+    observer=None,
+) -> GossipResult:
+    """3-Majority dynamics (``j = 3`` with random tie-breaking)."""
+    return run_j_majority(config, 3, rng=rng, max_rounds=max_rounds, observer=observer)

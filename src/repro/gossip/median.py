@@ -1,0 +1,48 @@
+"""The MedianRule of Doerr et al. [24] in the gossip model.
+
+Opinions are assumed totally ordered (the paper remarks the USD needs no
+such order — this baseline exists precisely to exhibit that trade-off).
+In every round each agent samples two agents uniformly at random and
+adopts the *median* of its own opinion and the two samples.  Doerr et al.
+show consensus within ``O(log k · log log n + log n)`` rounds w.h.p. —
+exponentially faster in ``k`` than the j-majority family, at the price of
+requiring ordered opinions.
+
+Like j-majority, the rule is defined on fully decided populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import Configuration
+from .engine import GossipResult, run_gossip
+
+__all__ = ["median_rule_round", "run_median_rule"]
+
+
+def median_rule_round(states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One synchronous MedianRule round: median of (own, sample, sample)."""
+    n = states.size
+    first = states[rng.integers(0, n, size=n)]
+    second = states[rng.integers(0, n, size=n)]
+    stacked = np.stack([states, first, second])
+    return np.median(stacked, axis=0).astype(states.dtype)
+
+
+def run_median_rule(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_rounds: int | None = None,
+    observer=None,
+) -> GossipResult:
+    """Run the MedianRule to consensus (``u(0)`` must be zero)."""
+    if config.undecided != 0:
+        raise ValueError(
+            "MedianRule is defined on fully decided populations; "
+            f"got {config.undecided} undecided agents"
+        )
+    return run_gossip(
+        config, median_rule_round, rng=rng, max_rounds=max_rounds, observer=observer
+    )

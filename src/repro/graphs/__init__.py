@@ -1,0 +1,20 @@
+"""USD on restricted interaction graphs (extension beyond the paper).
+
+The paper's model is the complete interaction graph (any ordered agent
+pair may interact, including self-pairs).  A natural extension — and
+the setting of much related work on the Voter and j-majority dynamics
+[16, 22, 41] — restricts interactions to the edges of a graph ``G``: at
+each step a uniformly random *directed* edge ``(responder, initiator)``
+is drawn and the USD rule applied.
+
+On the complete graph with self-loops this is exactly the paper's
+process; on sparse graphs the undecided-state mechanism still drives
+consensus but mixing slows down (the ring behaves diffusively, like the
+Voter process).  The module exposes the simulator plus convenience
+builders, and the test suite checks the complete-graph reduction
+statistically.
+"""
+
+from .simulate import GraphRunResult, build_edge_list, simulate_on_graph
+
+__all__ = ["GraphRunResult", "build_edge_list", "simulate_on_graph"]

@@ -1,0 +1,126 @@
+"""Agent-level USD simulation on an arbitrary interaction graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..core.config import UNDECIDED, Configuration
+from ..core.simulator import default_interaction_budget
+
+__all__ = ["GraphRunResult", "build_edge_list", "simulate_on_graph"]
+
+
+@dataclass(frozen=True)
+class GraphRunResult:
+    """Outcome of a graph-restricted USD run."""
+
+    final: Configuration
+    interactions: int
+    converged: bool
+    winner: int | None
+    budget_exhausted: bool = False
+
+
+def build_edge_list(graph: nx.Graph, allow_self_loops: bool = True) -> np.ndarray:
+    """Directed interaction pairs of a graph as an ``(m, 2)`` array.
+
+    Undirected edges contribute both orientations; ``allow_self_loops``
+    adds ``(v, v)`` pairs, matching the paper's complete-graph scheduler
+    which samples ordered pairs *with* replacement.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("graph must have at least one node")
+    if not all(isinstance(v, (int, np.integer)) for v in graph.nodes):
+        raise ValueError("graph nodes must be integers 0..n-1 (use nx.convert_node_labels_to_integers)")
+    n = graph.number_of_nodes()
+    if sorted(graph.nodes) != list(range(n)):
+        raise ValueError("graph nodes must be exactly 0..n-1")
+    pairs: list[tuple[int, int]] = []
+    for a, b in graph.edges:
+        if a == b:
+            continue  # handled uniformly below when self-loops are on
+        pairs.append((a, b))
+        pairs.append((b, a))
+    if allow_self_loops:
+        pairs.extend((v, v) for v in range(n))
+    if not pairs:
+        raise ValueError("graph has no usable interaction pairs")
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def simulate_on_graph(
+    graph: nx.Graph,
+    initial_states: np.ndarray,
+    *,
+    rng: np.random.Generator,
+    k: int,
+    max_interactions: int | None = None,
+    allow_self_loops: bool = True,
+) -> GraphRunResult:
+    """Run the USD restricted to a graph's edges.
+
+    Parameters
+    ----------
+    graph:
+        Undirected interaction graph with nodes ``0..n-1``.  Each step
+        samples a uniform directed edge (responder, initiator); only the
+        responder updates.
+    initial_states:
+        Length-n integer state array (``0`` = undecided, ``1..k``).
+    k:
+        Number of opinions (for the consensus check and histogram).
+    max_interactions:
+        Budget; defaults to the complete-graph default times a slack
+        factor (sparse graphs converge slower, so callers measuring
+        sparse topologies should pass an explicit larger budget).
+    """
+    states = np.asarray(initial_states, dtype=np.int64).copy()
+    n = graph.number_of_nodes()
+    if states.size != n:
+        raise ValueError(f"got {states.size} states for {n} nodes")
+    if states.min() < 0 or states.max() > k:
+        raise ValueError(f"states must lie in [0, {k}]")
+    if max_interactions is None:
+        max_interactions = default_interaction_budget(n, max(k, 1))
+    edges = build_edge_list(graph, allow_self_loops)
+    counts = np.bincount(states, minlength=k + 1)
+
+    t = 0
+    chunk = 8192
+    converged = counts[1:].max() == n
+    while not converged and t < max_interactions:
+        batch = min(chunk, max_interactions - t)
+        picks = rng.integers(0, edges.shape[0], size=batch)
+        for pick in picks:
+            t += 1
+            responder, initiator = edges[pick]
+            r_state = states[responder]
+            i_state = states[initiator]
+            if r_state == UNDECIDED:
+                if i_state != UNDECIDED:
+                    states[responder] = i_state
+                    counts[UNDECIDED] -= 1
+                    counts[i_state] += 1
+                else:
+                    continue
+            elif i_state != UNDECIDED and i_state != r_state:
+                states[responder] = UNDECIDED
+                counts[r_state] -= 1
+                counts[UNDECIDED] += 1
+            else:
+                continue
+            if counts[1:].max() == n:
+                converged = True
+                break
+
+    final = Configuration(counts)
+    return GraphRunResult(
+        final=final,
+        interactions=t,
+        converged=converged,
+        winner=final.winner,
+        budget_exhausted=not converged,
+    )

@@ -1,0 +1,48 @@
+"""Population-model baseline protocols and the generic protocol engine.
+
+Everything here runs in the same scheduler as the paper's USD — uniformly
+random ordered pairs, one interaction per time step:
+
+* :mod:`~repro.protocols.base` — the abstract protocol interface and a
+  generic exact engine;
+* :mod:`~repro.protocols.usd` — the USD via the generic interface
+  (cross-validation target for the fast simulators);
+* :mod:`~repro.protocols.voter` — the Voter process (Section 1.2), an
+  exact jump-chain implementation;
+* :mod:`~repro.protocols.exact_majority` — the classical 4-state exact
+  majority protocol for two opinions;
+* :mod:`~repro.protocols.synchronized` — the synchronized USD variant
+  with an idealized phase clock (ablation E10).
+"""
+
+from .base import PopulationProtocol, ProtocolResult, run_protocol
+from .exact_majority import (
+    STRONG_A,
+    STRONG_B,
+    WEAK_A,
+    WEAK_B,
+    FourStateMajority,
+    run_exact_majority,
+)
+from .synchronized import SynchronizedResult, run_synchronized_usd
+from .usd import UsdProtocol, run_usd_generic
+from .voter import VoterResult, default_voter_budget, run_voter_population
+
+__all__ = [
+    "PopulationProtocol",
+    "ProtocolResult",
+    "run_protocol",
+    "UsdProtocol",
+    "run_usd_generic",
+    "VoterResult",
+    "run_voter_population",
+    "default_voter_budget",
+    "FourStateMajority",
+    "run_exact_majority",
+    "STRONG_A",
+    "STRONG_B",
+    "WEAK_A",
+    "WEAK_B",
+    "SynchronizedResult",
+    "run_synchronized_usd",
+]

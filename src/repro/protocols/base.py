@@ -1,0 +1,169 @@
+"""Generic population protocol engine.
+
+A population protocol (Section 2) is a finite state machine per agent
+plus a transition function ``delta: Q² -> Q²`` applied to a uniformly
+random ordered pair ``(responder, initiator)`` at every discrete step.
+This module provides the abstract interface and a straightforward exact
+engine that any protocol (not just the USD) can run on.  The USD itself
+has specialized fast paths in :mod:`repro.core`; this engine exists for
+the baseline protocols and as an extension point for downstream users.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PopulationProtocol", "ProtocolResult", "run_protocol"]
+
+
+class PopulationProtocol(abc.ABC):
+    """Abstract population protocol over integer state labels.
+
+    States are integers in ``[0, num_states)``.  Unlike the USD fast path,
+    the generic ``delta`` may change *both* agents (the general model of
+    Section 2 permits this — the USD just happens not to use it).
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_states(self) -> int:
+        """Size of the state space ``|Q|``."""
+
+    @abc.abstractmethod
+    def delta(self, responder: int, initiator: int) -> tuple[int, int]:
+        """Transition function; returns new ``(responder, initiator)`` states."""
+
+    @abc.abstractmethod
+    def output(self, state: int) -> int:
+        """Output map from a state to an opinion label (0 = undecided/none)."""
+
+    def has_converged(self, state_counts: np.ndarray) -> bool:
+        """Whether the configuration is a stable output consensus.
+
+        Default: all agents output the same non-zero opinion.  Protocols
+        with richer convergence notions (e.g. stabilized outputs that still
+        churn internally) override this.
+        """
+        outputs = {self.output(s) for s in np.flatnonzero(state_counts)}
+        return len(outputs) == 1 and 0 not in outputs
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of a generic protocol run."""
+
+    initial_counts: np.ndarray
+    final_counts: np.ndarray
+    interactions: int
+    converged: bool
+    output: int | None
+    budget_exhausted: bool = False
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return int(np.asarray(self.initial_counts).sum())
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by the population size."""
+        return self.interactions / self.n
+
+
+def run_protocol(
+    protocol: PopulationProtocol,
+    state_counts: np.ndarray,
+    *,
+    rng: np.random.Generator,
+    max_interactions: int,
+    check_every: int = 1,
+) -> ProtocolResult:
+    """Run a protocol from a state histogram until output consensus.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to execute.
+    state_counts:
+        Initial histogram over ``[0, protocol.num_states)``.
+    max_interactions:
+        Hard interaction budget (generic protocols have no universal
+        convergence bound, so the caller must choose).
+    check_every:
+        Convergence-check stride, in *productive* interactions.  The check
+        costs O(|Q|); raising the stride amortizes it for large state
+        spaces.
+    """
+    state_counts = np.asarray(state_counts, dtype=np.int64).copy()
+    if state_counts.size != protocol.num_states:
+        raise ValueError(
+            f"histogram has {state_counts.size} slots, protocol has "
+            f"{protocol.num_states} states"
+        )
+    if (state_counts < 0).any():
+        raise ValueError("state counts must be non-negative")
+    if max_interactions < 0:
+        raise ValueError(f"max_interactions must be non-negative, got {max_interactions}")
+    if check_every < 1:
+        raise ValueError(f"check_every must be positive, got {check_every}")
+
+    n = int(state_counts.sum())
+    if n == 0:
+        raise ValueError("population must be non-empty")
+
+    initial = state_counts.copy()
+    states = np.repeat(np.arange(protocol.num_states), state_counts)
+    rng.shuffle(states)
+    counts = state_counts
+
+    t = 0
+    productive = 0
+    converged = protocol.has_converged(counts)
+    chunk = 8192
+    while not converged and t < max_interactions:
+        batch = min(chunk, max_interactions - t)
+        responders = rng.integers(0, n, size=batch)
+        initiators = rng.integers(0, n, size=batch)
+        for ri, ii in zip(responders, initiators):
+            t += 1
+            r_old = states[ri]
+            i_old = states[ii]
+            r_new, i_new = protocol.delta(int(r_old), int(i_old))
+            if r_new == r_old and i_new == i_old:
+                continue
+            # Self-interactions are allowed by the model; when ri == ii the
+            # initiator update wins, matching "apply delta left to right".
+            states[ri] = r_new
+            counts[r_old] -= 1
+            counts[r_new] += 1
+            if ii != ri:
+                states[ii] = i_new
+                counts[i_old] -= 1
+                counts[i_new] += 1
+            else:
+                states[ii] = i_new
+                counts[r_new] -= 1
+                counts[i_new] += 1
+            productive += 1
+            if productive % check_every == 0 and protocol.has_converged(counts):
+                converged = True
+                break
+
+    # A final check covers runs whose last productive step fell between
+    # strides.
+    converged = converged or protocol.has_converged(counts)
+    output: int | None = None
+    if converged:
+        occupied = np.flatnonzero(counts)
+        output = protocol.output(int(occupied[0]))
+    return ProtocolResult(
+        initial_counts=initial,
+        final_counts=counts.copy(),
+        interactions=t,
+        converged=converged,
+        output=output,
+        budget_exhausted=not converged,
+    )

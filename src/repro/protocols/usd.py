@@ -1,0 +1,61 @@
+"""The USD expressed through the generic protocol interface.
+
+This adapter exists for cross-validation: the test suite runs the same
+initial configurations through this generic engine and through the fast
+paths in :mod:`repro.core` and checks the outcome statistics agree.  Use
+:func:`repro.core.fastsim.simulate` for real experiments — it is orders
+of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..core.transitions import usd_delta
+from .base import PopulationProtocol, ProtocolResult, run_protocol
+
+__all__ = ["UsdProtocol", "run_usd_generic"]
+
+
+class UsdProtocol(PopulationProtocol):
+    """k-opinion USD as a generic protocol (state 0 = undecided)."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"need at least one opinion, got k={k}")
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        """Number of opinions."""
+        return self._k
+
+    @property
+    def num_states(self) -> int:
+        """k opinions plus the undecided state."""
+        return self._k + 1
+
+    def delta(self, responder: int, initiator: int) -> tuple[int, int]:
+        """The USD transition function."""
+        return usd_delta(responder, initiator)
+
+    def output(self, state: int) -> int:
+        """States are their own output labels (0 = undecided)."""
+        return state
+
+
+def run_usd_generic(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_interactions: int,
+) -> ProtocolResult:
+    """Run the USD on the generic engine from a configuration."""
+    protocol = UsdProtocol(config.k)
+    return run_protocol(
+        protocol,
+        np.asarray(config.counts),
+        rng=rng,
+        max_interactions=max_interactions,
+    )

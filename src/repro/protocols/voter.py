@@ -1,0 +1,111 @@
+"""The Voter process in the population protocol model.
+
+The simplest consensus dynamic (Section 1.2): in every interaction the
+responder adopts the initiator's opinion unconditionally.  There is no
+undecided state.  Expected convergence takes ``Θ(n²)`` interactions for
+``k = 2`` balanced opinions — quadratically slower than the USD — and the
+eventual winner is each opinion with probability proportional to its
+initial support (the martingale property), so the Voter process does
+*not* solve plurality consensus w.h.p.  Experiment E8 exhibits both
+facts.
+
+The implementation is an exact jump chain: a productive interaction
+(responder and initiator differ) has weight ``x_i · (n - x_i)`` for
+responder opinion ``i``, and the no-ops in between are skipped
+geometrically, exactly as in :mod:`repro.core.fastsim`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import Configuration
+
+__all__ = ["VoterResult", "run_voter_population", "default_voter_budget"]
+
+
+@dataclass(frozen=True)
+class VoterResult:
+    """Outcome of a population-model Voter run."""
+
+    initial: Configuration
+    final: Configuration
+    interactions: int
+    converged: bool
+    winner: int | None
+    budget_exhausted: bool = False
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by the population size."""
+        return self.interactions / self.initial.n
+
+
+def default_voter_budget(n: int, safety: float = 50.0) -> int:
+    """Budget ``safety * n² * (ln n + 1)``: the Voter needs Θ(n²) on average."""
+    if n < 1:
+        raise ValueError(f"population size must be positive, got n={n}")
+    return int(safety * n * n * (math.log(n) + 1))
+
+
+def run_voter_population(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_interactions: int | None = None,
+) -> VoterResult:
+    """Run the Voter process to consensus (requires ``u(0) = 0``)."""
+    if config.undecided != 0:
+        raise ValueError(
+            "the Voter process has no undecided state; "
+            f"got {config.undecided} undecided agents"
+        )
+    n = config.n
+    if max_interactions is None:
+        max_interactions = default_voter_budget(n)
+    if max_interactions < 0:
+        raise ValueError(f"max_interactions must be non-negative, got {max_interactions}")
+
+    supports = np.asarray(config.supports, dtype=np.int64).copy()
+    n_sq = float(n) * float(n)
+
+    t = 0
+    budget_exhausted = False
+    while supports.max() < n:
+        r2 = float(np.dot(supports, supports))
+        # Responder of opinion i meets initiator of a different opinion:
+        # weight x_i (n - x_i); total n² - r².
+        total = n_sq - r2
+        if total <= 0:
+            break
+        wait = int(rng.geometric(total / n_sq))
+        if t + wait > max_interactions:
+            t = max_interactions
+            budget_exhausted = True
+            break
+        t += wait
+        # Pick the losing opinion i ∝ x_i (n - x_i), then the adopted
+        # opinion j != i ∝ x_j.
+        lose_weights = supports * (n - supports)
+        cum_lose = np.cumsum(lose_weights.astype(np.float64))
+        i = int(np.searchsorted(cum_lose, rng.random() * total, side="right"))
+        others = supports.astype(np.float64).copy()
+        others[i] = 0.0
+        cum_gain = np.cumsum(others)
+        j = int(np.searchsorted(cum_gain, rng.random() * cum_gain[-1], side="right"))
+        supports[i] -= 1
+        supports[j] += 1
+
+    final = Configuration.from_supports(supports, undecided=0)
+    converged = final.is_consensus
+    return VoterResult(
+        initial=config,
+        final=final,
+        interactions=t,
+        converged=converged,
+        winner=final.winner,
+        budget_exhausted=budget_exhausted,
+    )

@@ -1,0 +1,63 @@
+"""Random-walk and drift toolkit (Appendix A of the paper).
+
+The paper's analysis reduces the USD's phase arguments to one-dimensional
+random walks; this package implements both the *analytic* results it cites
+and matching *simulators* so the experiments can validate the reductions:
+
+* :mod:`~repro.randomwalk.gamblers_ruin` — Lemma 20 (exact ruin/win
+  probabilities and expected durations of the biased walk with two
+  absorbing barriers) plus a simulator.
+* :mod:`~repro.randomwalk.reflected` — Lemma 18 (hitting-time tail of the
+  negatively biased walk with a reflecting barrier) and Lemma 19 (excess
+  of failures over successes) plus simulators.
+* :mod:`~repro.randomwalk.doerr` — Lemma 21, the Doerr et al. walk on
+  ``[0, log log n]`` with doubling success probabilities, absorbed w.h.p.
+  within ``O(log n)`` steps.
+* :mod:`~repro.randomwalk.drift` — Theorem 3 (multiplicative drift tail
+  bound of Lengler) and the exponential-potential argument of
+  Lengler–Steger used by Lemma 4.
+* :mod:`~repro.randomwalk.concentration` — Chernoff (Theorem 4),
+  Hoeffding (Theorem 5 / Lemma 24) and the Klein–Young binomial
+  anti-concentration bound (Lemma 22).
+"""
+
+from .concentration import (
+    anti_concentration_lower_bound,
+    chernoff_upper_tail,
+    chernoff_lower_tail,
+    hoeffding_tail,
+)
+from .doerr import DoerrWalk, doerr_absorption_times, doerr_success_probability
+from .drift import multiplicative_drift_tail, multiplicative_drift_time_bound
+from .gamblers_ruin import (
+    GamblersRuinWalk,
+    expected_duration,
+    ruin_probability,
+    win_probability,
+)
+from .reflected import (
+    ReflectedWalk,
+    excess_failure_bound,
+    reflected_hitting_tail_bound,
+    stationary_tail,
+)
+
+__all__ = [
+    "GamblersRuinWalk",
+    "ruin_probability",
+    "win_probability",
+    "expected_duration",
+    "ReflectedWalk",
+    "reflected_hitting_tail_bound",
+    "stationary_tail",
+    "excess_failure_bound",
+    "DoerrWalk",
+    "doerr_absorption_times",
+    "doerr_success_probability",
+    "multiplicative_drift_tail",
+    "multiplicative_drift_time_bound",
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "hoeffding_tail",
+    "anti_concentration_lower_bound",
+]

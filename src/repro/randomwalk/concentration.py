@@ -1,0 +1,76 @@
+"""Concentration and anti-concentration bounds (Appendix A.3–A.4).
+
+* Theorem 4 (Chernoff, Mitzenmacher–Upfal 4.4/4.5) for sums of
+  independent Poisson trials.
+* Theorem 5 (Hoeffding) for sums of bounded independent variables; the
+  paper's Lemma 24 extends it to the conditional-expectation martingale
+  setting with the identical tail, so one formula serves both.
+* Lemma 22 (Klein–Young) — the binomial *anti*-concentration bound the
+  paper uses in Phase 2 to force two tied opinions apart:
+  ``Pr[X >= (1 + delta) mu] >= e^(-9 delta² mu)`` for
+  ``X ~ Bin(n, p)``, ``delta in (0, 1/2]``, ``p in (0, 1/2]``,
+  ``delta² mu >= 3``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "hoeffding_tail",
+    "anti_concentration_lower_bound",
+]
+
+
+def chernoff_upper_tail(mu: float, delta: float) -> float:
+    """Theorem 4: ``Pr[X > (1+delta) mu] <= e^(-mu delta²/3)`` for ``delta <= 1``."""
+    if mu < 0:
+        raise ValueError(f"mean must be non-negative, got {mu}")
+    if not 0.0 < delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    return math.exp(-mu * delta**2 / 3.0)
+
+
+def chernoff_lower_tail(mu: float, delta: float) -> float:
+    """Theorem 4: ``Pr[X < (1-delta) mu] <= e^(-mu delta²/2)`` for ``delta < 1``."""
+    if mu < 0:
+        raise ValueError(f"mean must be non-negative, got {mu}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return math.exp(-mu * delta**2 / 2.0)
+
+
+def hoeffding_tail(lam: float, num_terms: int, span: float) -> float:
+    """Theorem 5 / Lemma 24: ``Pr[S - E[S] >= lam] <= exp(-2 lam²/(t·span²))``.
+
+    ``span`` is the common width ``b - a`` of each summand's range.  The
+    same bound applies to the lower tail and — via Lemma 24's conditional
+    Hoeffding argument — to sums of *dependent* variables whose conditional
+    means are controlled, which is exactly how the paper applies it to the
+    evolving configuration process.
+    """
+    if lam < 0:
+        raise ValueError(f"deviation must be non-negative, got {lam}")
+    if num_terms < 1:
+        raise ValueError(f"need at least one term, got {num_terms}")
+    if span <= 0:
+        raise ValueError(f"range width must be positive, got {span}")
+    return math.exp(-2.0 * lam**2 / (num_terms * span**2))
+
+
+def anti_concentration_lower_bound(mu: float, delta: float) -> float:
+    """Lemma 22 (Klein–Young): ``Pr[X >= (1+delta) mu] >= e^(-9 delta² mu)``.
+
+    Requires ``delta in (0, 1/2]`` and ``delta² mu >= 3``; the symmetric
+    statement holds for the lower deviation.  Raises when the validity
+    conditions fail rather than returning a vacuous number.
+    """
+    if not 0.0 < delta <= 0.5:
+        raise ValueError(f"delta must be in (0, 1/2], got {delta}")
+    if delta**2 * mu < 3.0:
+        raise ValueError(
+            f"Lemma 22 needs delta² mu >= 3, got {delta**2 * mu:.3f}"
+        )
+    return math.exp(-9.0 * delta**2 * mu)

@@ -1,0 +1,90 @@
+"""The Doerr et al. walk of Lemma 21 (adapted from [24]).
+
+A walk on ``{0, 1, ..., L}`` with ``L = log log n``, a reflective state 0
+and an absorbing state ``L``.  Transition probabilities::
+
+    Pr[0 -> 1]          = p            (a constant)
+    Pr[l -> l+1]        = 1 - e^(-2^l)
+    Pr[l -> 0]          = e^(-2^l)
+
+Lemma 21: the absorbing state is reached within ``O(log n)`` steps w.h.p.
+The paper uses this walk to show that, without initial bias, the support
+difference of two important opinions escalates from ``Θ(sqrt(n))`` to
+``Θ(sqrt(n log n))`` within ``O(log n)`` subphases (Lemma 8), because each
+successful subphase multiplies the difference by 3/2 and the failure
+probability shrinks doubly exponentially with the streak length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DoerrWalk", "doerr_absorption_times", "doerr_success_probability"]
+
+
+@dataclass
+class DoerrWalk:
+    """Simulator of the Lemma 21 walk.
+
+    Parameters
+    ----------
+    levels:
+        The absorbing level ``L`` (the paper's ``log log n``).
+    p:
+        Escape probability out of the reflective state 0.
+    """
+
+    levels: int
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ValueError(f"need at least one level, got {self.levels}")
+        if not 0.0 < self.p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {self.p}")
+
+    def step_up_probability(self, level: int) -> float:
+        """``Pr[l -> l+1]``: ``p`` at the origin, ``1 - e^(-2^l)`` above it."""
+        if level < 0 or level >= self.levels:
+            raise ValueError(f"level must be in [0, {self.levels - 1}], got {level}")
+        if level == 0:
+            return self.p
+        return 1.0 - math.exp(-(2.0**level))
+
+    def run(self, rng: np.random.Generator, max_steps: int | None = None) -> int:
+        """Steps until absorption at ``levels``; raises past ``max_steps``."""
+        if max_steps is None:
+            max_steps = 10_000_000
+        level = 0
+        for step in range(1, max_steps + 1):
+            if rng.random() < self.step_up_probability(level):
+                level += 1
+                if level == self.levels:
+                    return step
+            else:
+                level = 0
+        raise RuntimeError(f"Doerr walk not absorbed within {max_steps} steps")
+
+
+def doerr_success_probability(levels: int, p: float) -> float:
+    """Lower bound on the per-attempt success probability from Lemma 21.
+
+    The proof shows each attempt (a streak started from state 0) reaches
+    the absorbing state with probability at least ``0.8 p``, because
+    ``sum_{l>=1} e^(-2^l) <= 0.2``.
+    """
+    walk = DoerrWalk(levels, p)  # validates parameters
+    return 0.8 * walk.p
+
+
+def doerr_absorption_times(
+    levels: int, p: float, trials: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``trials`` absorption times of the Lemma 21 walk."""
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    walk = DoerrWalk(levels, p)
+    return np.array([walk.run(rng) for _ in range(trials)], dtype=np.int64)

@@ -1,0 +1,76 @@
+"""Drift theorems used by the phase analysis.
+
+Theorem 3 (Lengler's multiplicative drift, Theorem 18 of [35]): if a
+non-negative process ``X_t`` with minimum positive value ``s_min``
+satisfies ``E[X_t - X_{t+1} | X_t = s] >= delta * s`` then the hitting
+time ``T`` of 0 obeys::
+
+    Pr[T > ceil((r + ln(s0 / s_min)) / delta)] <= e^(-r).
+
+Lemma 1 instantiates this with ``X = Z(t) = n - 2u - xmax``,
+``delta = 1/(2n)``, ``s0 <= n`` and ``r = 3 ln n`` to conclude
+``T1 <= 7 n ln n`` w.h.p.  Lemma 4 and Claim 2.2 use the exponential
+potential method of Lengler–Steger [36] to keep ``Z`` below
+``O(sqrt(n log n))`` for the rest of the run; the helper
+``exponential_potential_excursion_bound`` packages that tail.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "multiplicative_drift_time_bound",
+    "multiplicative_drift_tail",
+    "lemma1_time_bound",
+    "exponential_potential_excursion_bound",
+]
+
+
+def multiplicative_drift_time_bound(
+    s0: float, s_min: float, delta: float, r: float
+) -> int:
+    """The Theorem 3 horizon ``ceil((r + ln(s0/s_min)) / delta)``."""
+    if s0 < s_min or s_min <= 0:
+        raise ValueError(f"need s0 >= s_min > 0, got s0={s0}, s_min={s_min}")
+    if delta <= 0:
+        raise ValueError(f"drift coefficient must be positive, got {delta}")
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    return math.ceil((r + math.log(s0 / s_min)) / delta)
+
+
+def multiplicative_drift_tail(r: float) -> float:
+    """Theorem 3's failure probability ``e^(-r)``."""
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    return math.exp(-r)
+
+
+def lemma1_time_bound(n: int) -> int:
+    """Lemma 1's Phase 1 horizon ``ceil(7 n ln n)``.
+
+    Instantiates Theorem 3 with ``r = 3 ln n``, ``s0 <= n``,
+    ``s_min = 1`` and ``delta = 1/(2n)``:
+    ``(3 ln n + ln n) * 2n <= 8 n ln n``; the paper states the slightly
+    tighter ``7 n ln n`` using ``6 ln n + ln(s0)`` with ``s0 <= n``.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got n={n}")
+    return math.ceil(7 * n * math.log(n))
+
+
+def exponential_potential_excursion_bound(n: int, horizon: int) -> float:
+    """Lemma 4's excursion level ``2 z0 = 8 sqrt(n ln n)``.
+
+    The Lengler–Steger argument with ``eta = sqrt(ln n / n)`` and
+    ``z0 = 4 eta n = 4 sqrt(n ln n)`` shows
+    ``Pr[Z(t) >= 2 z0] <= n^(-8)`` per step, hence the union bound over a
+    polynomial ``horizon`` keeps ``Z(t) <= 8 sqrt(n ln n)`` w.h.p.
+    Returns the excursion level; the probability side is ``horizon / n^8``.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got n={n}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    return 8.0 * math.sqrt(n * math.log(n))

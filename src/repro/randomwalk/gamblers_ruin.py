@@ -1,0 +1,128 @@
+"""Gambler's ruin: exact formulas (Lemma 20) and a simulator.
+
+Lemma 20 (Feller): a random walk on ``[0, b]`` starting at ``a`` with
+absorbing barriers at ``0`` and ``b``, step ``+1`` with probability ``p``
+and ``-1`` with probability ``q = 1 - p`` (``p != q``), is absorbed at 0
+with probability::
+
+    Pr[ruin] = ((q/p)^b - (q/p)^a) / ((q/p)^b - 1)
+
+The paper uses this (and the excess-failure variant, Lemma 19) to show
+the support difference of two opinions doubles before it halves
+throughout Phases 2–4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ruin_probability",
+    "win_probability",
+    "expected_duration",
+    "GamblersRuinWalk",
+]
+
+
+def _validate(a: int, b: int, p: float) -> None:
+    if not 0 < a < b:
+        raise ValueError(f"need 0 < a < b, got a={a}, b={b}")
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"step probability must be in (0, 1), got p={p}")
+
+
+def ruin_probability(a: int, b: int, p: float) -> float:
+    """Lemma 20: probability of absorption at 0 from start ``a``.
+
+    Handles the fair case ``p = 1/2`` by the classical limit
+    ``Pr[ruin] = 1 - a/b``.
+    """
+    _validate(a, b, p)
+    q = 1.0 - p
+    if abs(p - q) < 1e-12:
+        return 1.0 - a / b
+    rho = q / p
+    # Compute with the numerically stable form: for rho > 1 divide through
+    # by rho^b to avoid overflow at large b.
+    if rho > 1.0:
+        return float((1.0 - rho ** (a - b)) / (1.0 - rho ** (-b)))
+    return float((rho**b - rho**a) / (rho**b - 1.0))
+
+
+def win_probability(a: int, b: int, p: float) -> float:
+    """Probability of absorption at ``b`` (complement of ruin)."""
+    return 1.0 - ruin_probability(a, b, p)
+
+
+def expected_duration(a: int, b: int, p: float) -> float:
+    """Expected number of steps until absorption (classical formula).
+
+    For ``p != q``: ``E[T] = a/(q-p) - b/(q-p) * (1 - rho^a)/(1 - rho^b)``
+    with ``rho = q/p``; for the fair walk ``E[T] = a(b - a)``.
+    """
+    _validate(a, b, p)
+    q = 1.0 - p
+    if abs(p - q) < 1e-12:
+        return float(a * (b - a))
+    rho = q / p
+    win = win_probability(a, b, p)
+    return float(a / (q - p) - b / (q - p) * win)
+
+
+@dataclass
+class GamblersRuinWalk:
+    """Simulator for the two-barrier biased walk.
+
+    Attributes
+    ----------
+    a, b:
+        Start position and upper barrier (lower barrier is 0).
+    p:
+        Probability of a ``+1`` step.
+    """
+
+    a: int
+    b: int
+    p: float
+
+    def __post_init__(self) -> None:
+        _validate(self.a, self.b, self.p)
+
+    def run(self, rng: np.random.Generator, max_steps: int | None = None) -> tuple[bool, int]:
+        """Simulate one walk; returns ``(won, steps)``.
+
+        ``won`` is True when the walk is absorbed at ``b``.  Raises
+        ``RuntimeError`` if ``max_steps`` elapses first (the default budget
+        is generous enough that this signals a bug or an absurd parameter
+        choice, not bad luck).
+        """
+        if max_steps is None:
+            # E[T] <= a*(b-a) in the fair case; scale up for safety.
+            max_steps = 100 * self.b * self.b + 10_000
+        position = self.a
+        # Draw steps in chunks to amortize RNG overhead.
+        chunk = 4096
+        steps = 0
+        while steps < max_steps:
+            ups = rng.random(chunk) < self.p
+            for up in ups:
+                position += 1 if up else -1
+                steps += 1
+                if position == 0:
+                    return False, steps
+                if position == self.b:
+                    return True, steps
+        raise RuntimeError(
+            f"gambler's ruin walk not absorbed within {max_steps} steps"
+        )
+
+    def estimate_win_probability(
+        self, trials: int, rng: np.random.Generator
+    ) -> float:
+        """Monte Carlo estimate of the win probability over ``trials`` runs."""
+        if trials < 1:
+            raise ValueError(f"trials must be positive, got {trials}")
+        wins = sum(1 for _ in range(trials) if self.run(rng)[0])
+        return wins / trials

@@ -1,0 +1,106 @@
+"""Reflected biased walks: Lemma 18 and Lemma 19.
+
+Lemma 18: a walk on the non-negative integers with a reflecting barrier
+at 0, up-step probability ``p``, down-step probability ``q > p`` (away
+from the origin) and laziness ``r = 1 - p - q``, started at 0, reaches
+level ``m`` within ``n^c`` steps with probability at most
+``n^c · (p/q)^m`` — because its stationary distribution has the
+geometric tail ``Pr[W >= m] = (p/q)^m``.
+
+Lemma 19 (Feller): in an arbitrarily long sequence of independent trials
+with success probability at least ``p > 1/2``, the probability that the
+number of failures ever exceeds the number of successes by ``b`` is at
+most ``((1-p)/p)^b``.
+
+The paper uses Lemma 18 to cap the number of undecided agents (Lemma 3)
+and Lemma 19 inside every gambler's-ruin style argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "stationary_tail",
+    "reflected_hitting_tail_bound",
+    "excess_failure_bound",
+    "ReflectedWalk",
+]
+
+
+def _validate_rates(p: float, q: float) -> None:
+    if not 0.0 < p < 1.0 or not 0.0 < q < 1.0:
+        raise ValueError(f"need step probabilities in (0, 1), got p={p}, q={q}")
+    if p + q > 1.0 + 1e-12:
+        raise ValueError(f"p + q must be at most 1, got {p + q}")
+    if q <= p:
+        raise ValueError(f"Lemma 18 needs q > p, got p={p}, q={q}")
+
+
+def stationary_tail(m: int, p: float, q: float) -> float:
+    """``Pr[W >= m] = (p/q)^m`` for the stationary reflected walk."""
+    _validate_rates(p, q)
+    if m < 0:
+        raise ValueError(f"level must be non-negative, got m={m}")
+    return (p / q) ** m
+
+
+def reflected_hitting_tail_bound(m: int, p: float, q: float, horizon: int) -> float:
+    """Lemma 18: ``Pr[T_m <= horizon] <= horizon · (p/q)^m`` (clamped to 1)."""
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    return min(1.0, horizon * stationary_tail(m, p, q))
+
+
+def excess_failure_bound(b: int, p: float) -> float:
+    """Lemma 19: probability failures ever lead successes by ``b``.
+
+    At most ``((1-p)/p)^b`` for success probability ``p > 1/2``.
+    """
+    if not 0.5 < p < 1.0:
+        raise ValueError(f"Lemma 19 needs p in (1/2, 1), got p={p}")
+    if b < 0:
+        raise ValueError(f"lead must be non-negative, got b={b}")
+    return ((1.0 - p) / p) ** b
+
+
+@dataclass
+class ReflectedWalk:
+    """Simulator of the lazy reflected walk of Lemma 18.
+
+    From any state ``w > 0``: ``+1`` w.p. ``p``, ``-1`` w.p. ``q``, stay
+    otherwise.  From 0: ``+1`` w.p. ``p``, stay otherwise (reflection).
+    """
+
+    p: float
+    q: float
+
+    def __post_init__(self) -> None:
+        _validate_rates(self.p, self.q)
+
+    def run_max(self, steps: int, rng: np.random.Generator) -> int:
+        """Run ``steps`` steps from 0; return the maximum level reached."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        increments = rng.random(steps)
+        position = 0
+        top = 0
+        for draw in increments:
+            if draw < self.p:
+                position += 1
+                if position > top:
+                    top = position
+            elif draw < self.p + self.q and position > 0:
+                position -= 1
+        return top
+
+    def hit_probability(
+        self, m: int, horizon: int, trials: int, rng: np.random.Generator
+    ) -> float:
+        """Monte Carlo probability of reaching level ``m`` within ``horizon``."""
+        if trials < 1:
+            raise ValueError(f"trials must be positive, got {trials}")
+        hits = sum(1 for _ in range(trials) if self.run_max(horizon, rng) >= m)
+        return hits / trials

@@ -1,0 +1,34 @@
+"""Initial-condition generators for the USD experiments.
+
+Theorem 2 distinguishes three regimes of the initial configuration
+``x(0)``: a multiplicative bias of ``1 + ε``, an additive bias of
+``Ω(sqrt(n log n))``, and no bias at all.  This package builds
+well-formed configurations for each regime (plus adversarial and
+heavy-tailed shapes used by the experiments), always respecting the
+theorem's precondition ``u(0) <= (n - x1(0)) / 2`` unless explicitly
+overridden.
+"""
+
+from .initial import (
+    additive_bias_configuration,
+    custom_configuration,
+    dirichlet_configuration,
+    max_supported_bias,
+    multiplicative_bias_configuration,
+    theorem_beta,
+    two_leader_configuration,
+    uniform_configuration,
+    zipf_configuration,
+)
+
+__all__ = [
+    "uniform_configuration",
+    "additive_bias_configuration",
+    "multiplicative_bias_configuration",
+    "two_leader_configuration",
+    "zipf_configuration",
+    "custom_configuration",
+    "dirichlet_configuration",
+    "max_supported_bias",
+    "theorem_beta",
+]

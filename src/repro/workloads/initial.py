@@ -1,0 +1,281 @@
+"""Builders for the initial configurations used throughout the paper.
+
+All builders return a :class:`~repro.core.config.Configuration` whose
+counts sum exactly to ``n``.  Rounding residues from fractional targets
+are distributed one agent at a time to the largest opinions so that the
+requested ordering ``x_1(0) >= x_2(0) >= ... >= x_k(0)`` (the paper's
+w.l.o.g. assumption) always holds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.config import Configuration
+
+__all__ = [
+    "uniform_configuration",
+    "additive_bias_configuration",
+    "multiplicative_bias_configuration",
+    "two_leader_configuration",
+    "zipf_configuration",
+    "custom_configuration",
+]
+
+
+def _validate_population(n: int, k: int) -> None:
+    if n < 1:
+        raise ValueError(f"population size must be positive, got n={n}")
+    if k < 1:
+        raise ValueError(f"need at least one opinion, got k={k}")
+    if k > n:
+        raise ValueError(f"cannot split n={n} agents among k={k} opinions")
+
+
+def _undecided_count(n: int, undecided_fraction: float) -> int:
+    if not 0.0 <= undecided_fraction < 1.0:
+        raise ValueError(
+            f"undecided_fraction must be in [0, 1), got {undecided_fraction}"
+        )
+    return int(round(n * undecided_fraction))
+
+
+def _distribute(total: int, weights: np.ndarray) -> np.ndarray:
+    """Split ``total`` agents proportionally to ``weights``, exactly.
+
+    Uses largest-remainder rounding, then hands any residue to the heaviest
+    opinions so the support ordering follows the weight ordering.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    raw = weights / weights.sum() * total
+    floors = np.floor(raw).astype(np.int64)
+    residue = total - int(floors.sum())
+    if residue > 0:
+        remainders = raw - floors
+        # Stable tie-break toward heavier opinions: sort by (remainder, weight).
+        order = np.lexsort((-weights, -remainders))
+        floors[order[:residue]] += 1
+    return floors
+
+
+def uniform_configuration(
+    n: int, k: int, undecided_fraction: float = 0.0
+) -> Configuration:
+    """The no-bias regime: each opinion starts with ``(n - u)/k`` agents.
+
+    When ``(n - u)`` is not divisible by ``k``, the first
+    ``(n - u) mod k`` opinions get one extra agent — the resulting additive
+    bias of 1 is far below any ``Ω(sqrt(n log n))`` threshold, matching the
+    paper's "no bias" regime (Theorem 2's final statement).
+    """
+    _validate_population(n, k)
+    u = _undecided_count(n, undecided_fraction)
+    decided = n - u
+    if decided < k:
+        raise ValueError(
+            f"only {decided} decided agents for k={k} opinions; "
+            "reduce undecided_fraction"
+        )
+    supports = _distribute(decided, np.ones(k))
+    return Configuration.from_supports(supports, undecided=u)
+
+
+def additive_bias_configuration(
+    n: int,
+    k: int,
+    beta: int,
+    undecided_fraction: float = 0.0,
+) -> Configuration:
+    """Theorem 2.2's regime: Opinion 1 beats every other opinion by ``beta``.
+
+    The non-plurality opinions share the remaining agents equally, so the
+    additive bias of the result is at least ``beta`` (exactly ``beta`` up
+    to the +1 rounding of the runners-up).
+    """
+    _validate_population(n, k)
+    if beta < 0:
+        raise ValueError(f"beta must be non-negative, got {beta}")
+    u = _undecided_count(n, undecided_fraction)
+    decided = n - u
+    if k == 1:
+        return Configuration.from_supports([decided], undecided=u)
+    # x1 = base + beta, others ~ base with base = (decided - beta) / k.
+    if decided < beta + k:
+        raise ValueError(
+            f"cannot realize additive bias beta={beta} with {decided} decided "
+            f"agents and k={k} opinions"
+        )
+    base = (decided - beta) // k
+    supports = np.full(k, base, dtype=np.int64)
+    supports[0] += beta
+    residue = decided - int(supports.sum())
+    # Park the rounding residue on the plurality opinion: the realized bias
+    # is then >= beta and the ordering x1 >= x2 >= ... is preserved.
+    supports[0] += residue
+    return Configuration.from_supports(supports, undecided=u)
+
+
+def multiplicative_bias_configuration(
+    n: int,
+    k: int,
+    alpha: float,
+    undecided_fraction: float = 0.0,
+) -> Configuration:
+    """Theorem 2.1's regime: ``x_1(0) >= alpha * x_i(0)`` for all ``i != 1``.
+
+    Weights ``(alpha, 1, 1, ..., 1)`` are split exactly among the decided
+    agents; the rounding residue goes to Opinion 1, so the realized
+    multiplicative bias is at least ``alpha``.
+    """
+    _validate_population(n, k)
+    if alpha < 1.0:
+        raise ValueError(f"multiplicative bias must be >= 1, got alpha={alpha}")
+    u = _undecided_count(n, undecided_fraction)
+    decided = n - u
+    if k == 1:
+        return Configuration.from_supports([decided], undecided=u)
+    weights = np.ones(k)
+    weights[0] = alpha
+    supports = _distribute(decided, weights)
+    if supports[1:].max(initial=0) > 0 and supports[0] / supports[1:].max() < alpha:
+        # Largest-remainder rounding can shave the ratio below alpha by a
+        # hair; move agents from the runner-up until the bias is realized.
+        runner = 1 + int(np.argmax(supports[1:]))
+        while supports[runner] > 1 and supports[0] < alpha * supports[1:].max():
+            supports[runner] -= 1
+            supports[0] += 1
+    if (supports[1:] == 0).any() and k > 1:
+        raise ValueError(
+            f"alpha={alpha} leaves some opinions empty at n={n}, k={k}; "
+            "increase n or decrease alpha"
+        )
+    return Configuration.from_supports(supports, undecided=u)
+
+
+def two_leader_configuration(
+    n: int,
+    k: int,
+    gap: int = 0,
+    undecided_fraction: float = 0.0,
+) -> Configuration:
+    """Adversarial shape: two near-tied leaders, small followers.
+
+    The two leaders share roughly 2/3 of the decided agents (differing by
+    ``gap``); the remaining ``k - 2`` opinions split the rest.  This is the
+    hardest shape for Phase 2 — the anti-concentration argument (Lemma 7)
+    must break the leader tie.
+    """
+    _validate_population(n, k)
+    if k < 2:
+        raise ValueError(f"two-leader workload needs k >= 2, got k={k}")
+    if gap < 0:
+        raise ValueError(f"gap must be non-negative, got {gap}")
+    u = _undecided_count(n, undecided_fraction)
+    decided = n - u
+    leaders_total = 2 * decided // 3
+    if leaders_total < gap + 2:
+        raise ValueError(
+            f"cannot realize gap={gap} within leader mass {leaders_total}"
+        )
+    # Realize at least the requested gap exactly; a parity residue of one
+    # agent lands on the first leader (gap or gap + 1).
+    second = (leaders_total - gap) // 2
+    first = leaders_total - second
+    supports = np.zeros(k, dtype=np.int64)
+    supports[0] = first
+    supports[1] = second
+    rest = decided - leaders_total
+    if k > 2:
+        supports[2:] = _distribute(rest, np.ones(k - 2))
+    else:
+        supports[0] += rest
+    if min(first, second) < supports[2:].max(initial=0):
+        raise ValueError(
+            "followers overtook the leaders; increase n or reduce k"
+        )
+    return Configuration.from_supports(supports, undecided=u)
+
+
+def zipf_configuration(
+    n: int,
+    k: int,
+    exponent: float = 1.0,
+    undecided_fraction: float = 0.0,
+) -> Configuration:
+    """Heavy-tailed supports ``x_i ∝ i^(-exponent)``.
+
+    A realistic "popularity" workload: a clear plurality with a long tail
+    of minor opinions.  ``exponent = 0`` recovers the uniform workload.
+    """
+    _validate_population(n, k)
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    u = _undecided_count(n, undecided_fraction)
+    decided = n - u
+    ranks = np.arange(1, k + 1, dtype=float)
+    weights = ranks**-exponent
+    supports = _distribute(decided, weights)
+    if (supports == 0).any():
+        raise ValueError(
+            f"zipf exponent {exponent} leaves empty opinions at n={n}, k={k}"
+        )
+    return Configuration.from_supports(supports, undecided=u)
+
+
+def custom_configuration(
+    supports: list[int] | np.ndarray, undecided: int = 0
+) -> Configuration:
+    """Wrap explicit supports; validates non-negativity via Configuration."""
+    return Configuration.from_supports(np.asarray(supports, dtype=np.int64), undecided)
+
+
+def dirichlet_configuration(
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+    undecided_fraction: float = 0.0,
+) -> Configuration:
+    """Random supports drawn from a symmetric Dirichlet distribution.
+
+    A fuzzing workload: ``concentration >> 1`` produces near-uniform
+    splits, ``concentration << 1`` produces highly skewed ones.  Supports
+    are sorted non-increasing (the paper's w.l.o.g. ordering) and each
+    opinion is guaranteed at least one agent.
+    """
+    _validate_population(n, k)
+    if concentration <= 0:
+        raise ValueError(f"concentration must be positive, got {concentration}")
+    u = _undecided_count(n, undecided_fraction)
+    decided = n - u
+    if decided < k:
+        raise ValueError(
+            f"only {decided} decided agents for k={k} opinions; "
+            "reduce undecided_fraction"
+        )
+    weights = rng.dirichlet(np.full(k, concentration))
+    # Reserve one agent per opinion, distribute the rest by weight.
+    supports = np.ones(k, dtype=np.int64) + _distribute(decided - k, weights)
+    supports = np.sort(supports)[::-1]
+    return Configuration.from_supports(supports, undecided=u)
+
+
+def max_supported_bias(n: int, k: int) -> int:
+    """Largest additive bias realizable by :func:`additive_bias_configuration`."""
+    _validate_population(n, k)
+    return max(0, n - k)
+
+
+def theorem_beta(n: int, coefficient: float = 1.0) -> int:
+    """The additive-bias magnitude ``coefficient * sqrt(n log n)`` as an int.
+
+    Theorem 2.2 requires a bias of at least ``Ω(sqrt(n log n))``; this
+    helper standardizes the constant across experiments.
+    """
+    if n < 1:
+        raise ValueError(f"population size must be positive, got n={n}")
+    return int(math.ceil(coefficient * math.sqrt(n * math.log(max(n, 2)))))

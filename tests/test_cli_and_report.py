@@ -1,0 +1,88 @@
+"""Unit tests for the CLI and the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import build_markdown_report, write_markdown_report
+from repro.analysis.results import ExperimentResult
+from repro.cli import build_parser, main
+
+
+def make_result(experiment_id="E1", passed=True):
+    result = ExperimentResult(experiment_id=experiment_id, title="example title")
+    result.tables.append("a table")
+    result.add_check("a check", "paper claim", "measured value", passed)
+    result.metadata["n"] = 10
+    return result
+
+
+class TestReport:
+    def test_contains_sections(self):
+        text = build_markdown_report([make_result()], scale="quick", seed=1)
+        assert "# EXPERIMENTS" in text
+        assert "## E1 — example title" in text
+        assert "a table" in text
+        assert "**PASS** — a check" in text
+        assert "| E1 | example title | PASS |" in text
+
+    def test_failure_marked(self):
+        text = build_markdown_report([make_result(passed=False)], scale="quick", seed=1)
+        assert "| E1 | example title | FAIL |" in text
+        assert "**FAIL** — a check" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_markdown_report([], scale="quick", seed=1)
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_markdown_report([make_result()], path, scale="quick", seed=1)
+        assert "EXPERIMENTS" in path.read_text()
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E3"])
+        assert args.experiment == "E3"
+        assert args.scale == "quick"
+
+    def test_report_output(self):
+        args = build_parser().parse_args(["report", "--output", "out.md"])
+        assert args.output == "out.md"
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--n", "100", "--k", "3", "--bias-type", "additive"]
+        )
+        assert args.n == 100
+        assert args.bias_type == "additive"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E13" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", "--n", "200", "--k", "2", "--bias-type", "multiplicative"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "E12"]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_run_unknown_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "E99"])

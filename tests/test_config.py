@@ -1,0 +1,234 @@
+"""Unit tests for repro.core.config."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    UNDECIDED,
+    Configuration,
+    importance_threshold,
+    significance_threshold,
+)
+
+
+class TestConstruction:
+    def test_from_supports(self):
+        config = Configuration.from_supports([5, 3, 2], undecided=4)
+        assert config.n == 14
+        assert config.k == 3
+        assert config.undecided == 4
+        assert config.supports.tolist() == [5, 3, 2]
+
+    def test_from_states(self):
+        states = np.array([0, 1, 1, 2, 0, 3])
+        config = Configuration.from_states(states, k=3)
+        assert config.undecided == 2
+        assert config.supports.tolist() == [2, 1, 1]
+
+    def test_from_states_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="state labels"):
+            Configuration.from_states(np.array([0, 4]), k=3)
+
+    def test_from_states_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Configuration.from_states(np.array([], dtype=np.int64), k=3)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Configuration(np.array([1, -1, 2]))
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError, match="at least one agent"):
+            Configuration(np.array([0, 0, 0]))
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Configuration(np.array([[1, 2], [3, 4]]))
+
+    def test_rejects_scalar_only_undecided_slot(self):
+        with pytest.raises(ValueError, match="at least one opinion"):
+            Configuration(np.array([5]))
+
+    def test_counts_are_read_only(self):
+        config = Configuration.from_supports([5, 3], undecided=2)
+        with pytest.raises(ValueError):
+            config.counts[0] = 99
+
+    def test_counts_defensively_copied(self):
+        raw = np.array([2, 5, 3], dtype=np.int64)
+        config = Configuration(raw)
+        raw[0] = 99
+        assert config.undecided == 2
+
+
+class TestBasicProperties:
+    def test_undecided_constant(self):
+        assert UNDECIDED == 0
+
+    def test_decided(self):
+        config = Configuration.from_supports([5, 3], undecided=2)
+        assert config.decided == 8
+
+    def test_support_accessor(self):
+        config = Configuration.from_supports([5, 3, 1], undecided=0)
+        assert config.support(1) == 5
+        assert config.support(3) == 1
+
+    def test_support_rejects_zero_index(self):
+        config = Configuration.from_supports([5, 3], undecided=0)
+        with pytest.raises(ValueError, match="opinion index"):
+            config.support(0)
+
+    def test_support_rejects_too_large(self):
+        config = Configuration.from_supports([5, 3], undecided=0)
+        with pytest.raises(ValueError, match="opinion index"):
+            config.support(3)
+
+    def test_r2(self):
+        config = Configuration.from_supports([3, 4], undecided=1)
+        assert config.r2 == 25
+
+    def test_sorted_supports(self):
+        config = Configuration.from_supports([2, 9, 5], undecided=0)
+        assert config.sorted_supports().tolist() == [9, 5, 2]
+
+    def test_num_remaining_opinions(self):
+        config = Configuration.from_supports([4, 0, 3], undecided=1)
+        assert config.num_remaining_opinions == 2
+
+
+class TestPlurality:
+    def test_xmax_and_max_opinion(self):
+        config = Configuration.from_supports([2, 7, 7], undecided=0)
+        assert config.xmax == 7
+        assert config.max_opinion == 2  # ties break toward the smaller index
+
+    def test_second_support(self):
+        config = Configuration.from_supports([10, 6, 3], undecided=0)
+        assert config.second_support == 6
+
+    def test_second_support_single_opinion(self):
+        config = Configuration.from_supports([10], undecided=2)
+        assert config.second_support == 0
+
+    def test_additive_bias(self):
+        config = Configuration.from_supports([10, 6, 6], undecided=0)
+        assert config.additive_bias == 4
+
+    def test_additive_bias_tie_is_zero(self):
+        config = Configuration.from_supports([6, 6, 1], undecided=0)
+        assert config.additive_bias == 0
+
+    def test_multiplicative_bias(self):
+        config = Configuration.from_supports([12, 4, 3], undecided=0)
+        assert config.multiplicative_bias == pytest.approx(3.0)
+
+    def test_multiplicative_bias_infinite(self):
+        config = Configuration.from_supports([12, 0, 0], undecided=1)
+        assert math.isinf(config.multiplicative_bias)
+
+    def test_has_additive_bias(self):
+        config = Configuration.from_supports([10, 5], undecided=0)
+        assert config.has_additive_bias(5)
+        assert not config.has_additive_bias(6)
+
+    def test_has_multiplicative_bias(self):
+        config = Configuration.from_supports([10, 5], undecided=0)
+        assert config.has_multiplicative_bias(2.0)
+        assert not config.has_multiplicative_bias(2.1)
+
+
+class TestSignificance:
+    def test_thresholds(self):
+        assert significance_threshold(100, alpha=2.0) == pytest.approx(
+            2.0 * math.sqrt(100 * math.log(100))
+        )
+        assert importance_threshold(100) == pytest.approx(4 * significance_threshold(100))
+
+    def test_threshold_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            significance_threshold(0)
+
+    def test_significant_opinions(self):
+        # n = 100: threshold = sqrt(100 ln 100) ~ 21.5
+        config = Configuration.from_supports([50, 40, 10], undecided=0)
+        assert config.significant_opinions() == [1, 2]
+
+    def test_important_opinions_superset_of_significant(self):
+        config = Configuration.from_supports([50, 40, 10], undecided=0)
+        significant = set(config.significant_opinions())
+        important = set(config.important_opinions())
+        assert significant <= important
+
+    def test_is_significant(self):
+        config = Configuration.from_supports([50, 40, 10], undecided=0)
+        assert config.is_significant(1)
+        assert not config.is_significant(3)
+
+
+class TestConsensus:
+    def test_not_consensus_with_undecided(self):
+        config = Configuration.from_supports([5, 0], undecided=5)
+        assert not config.is_consensus
+        assert config.winner is None
+
+    def test_consensus(self):
+        config = Configuration.from_supports([10, 0], undecided=0)
+        assert config.is_consensus
+        assert config.winner == 1
+
+
+class TestToStates:
+    def test_roundtrip(self):
+        config = Configuration.from_supports([5, 3, 2], undecided=4)
+        states = config.to_states()
+        assert Configuration.from_states(states, k=3) == config
+
+    def test_shuffled_roundtrip(self):
+        config = Configuration.from_supports([5, 3, 2], undecided=4)
+        rng = np.random.default_rng(0)
+        states = config.to_states(rng)
+        assert Configuration.from_states(states, k=3) == config
+
+    def test_shuffle_changes_order(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        ordered = config.to_states()
+        shuffled = config.to_states(np.random.default_rng(0))
+        assert not np.array_equal(ordered, shuffled)
+
+
+class TestTheorem2Preconditions:
+    def test_ok_configuration(self):
+        config = Configuration.from_supports([400, 300, 300], undecided=0)
+        assert config.validate_theorem2_preconditions(c=5.0) == []
+
+    def test_too_many_undecided(self):
+        config = Configuration.from_supports([40, 30], undecided=130)
+        problems = config.validate_theorem2_preconditions(c=10.0)
+        assert any("u(0)" in p for p in problems)
+
+    def test_too_many_opinions(self):
+        config = Configuration.from_supports([2] * 50, undecided=0)
+        problems = config.validate_theorem2_preconditions(c=0.1)
+        assert any("k=" in p for p in problems)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Configuration.from_supports([5, 3], undecided=2)
+        b = Configuration.from_supports([5, 3], undecided=2)
+        c = Configuration.from_supports([5, 2], undecided=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_other_type(self):
+        a = Configuration.from_supports([5, 3], undecided=2)
+        assert a != "not a configuration"
+
+    def test_repr(self):
+        config = Configuration.from_supports([5, 3], undecided=2)
+        text = repr(config)
+        assert "n=10" in text and "k=2" in text

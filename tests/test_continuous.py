@@ -1,0 +1,66 @@
+"""Unit tests for the continuous-time (asynchronous gossip) USD."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.continuous import simulate_continuous
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestContinuous:
+    def test_converges_like_discrete(self):
+        config = Configuration.from_supports([300, 100], undecided=0)
+        result = simulate_continuous(config, rng=make_rng())
+        assert result.converged
+        assert result.winner == 1
+
+    def test_continuous_time_tracks_parallel_time(self):
+        config = Configuration.from_supports([600, 200], undecided=0)
+        result = simulate_continuous(config, rng=make_rng(1))
+        # Gamma(T, 1/n) concentrates around T/n for large T.
+        assert result.continuous_time == pytest.approx(
+            result.expected_parallel_time, rel=0.2
+        )
+
+    def test_rate_scales_time(self):
+        config = Configuration.from_supports([600, 200], undecided=0)
+        slow = simulate_continuous(config, rng=make_rng(2), rate_per_agent=1.0)
+        fast = simulate_continuous(config, rng=make_rng(2), rate_per_agent=10.0)
+        # Same seed -> same jump chain; faster clocks -> shorter time.
+        assert fast.interactions == slow.interactions
+        assert fast.continuous_time < slow.continuous_time
+
+    def test_perron_logn_scaling(self):
+        # Perron et al.: O(log n) continuous time for k = 2 with a bias.
+        times = {}
+        for n in (400, 1600):
+            config = Configuration.from_supports([3 * n // 4, n // 4], undecided=0)
+            runs = [
+                simulate_continuous(config, rng=make_rng(s)).continuous_time
+                for s in range(5)
+            ]
+            times[n] = float(np.mean(runs))
+        # Quadrupling n should grow the continuous time roughly like
+        # log(4) ~ 1.4x, certainly far below linearly (4x).
+        assert times[1600] < 2.5 * times[400]
+
+    def test_zero_interactions_zero_time(self):
+        config = Configuration.from_supports([10, 0], undecided=0)
+        result = simulate_continuous(config, rng=make_rng())
+        assert result.interactions == 0
+        assert result.continuous_time == 0.0
+
+    def test_invalid_rate_rejected(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        with pytest.raises(ValueError):
+            simulate_continuous(config, rng=make_rng(), rate_per_agent=0)
+
+    def test_budget_propagates(self):
+        config = Configuration.from_supports([500, 500], undecided=0)
+        result = simulate_continuous(config, rng=make_rng(), max_interactions=20)
+        assert result.budget_exhausted
+        assert result.interactions == 20

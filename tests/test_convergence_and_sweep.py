@@ -1,0 +1,128 @@
+"""Unit tests for the trial runner and the sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import TrialEnsemble, run_trials
+from repro.analysis.sweep import sweep
+from repro.core.config import Configuration
+from repro.workloads import additive_bias_configuration, uniform_configuration
+
+
+class TestRunTrials:
+    def test_aggregates(self):
+        config = Configuration.from_supports([80, 20], undecided=0)
+        ensemble = run_trials(config, 10, seed=1)
+        assert ensemble.trials == 10
+        assert ensemble.convergence_rate == 1.0
+        assert ensemble.interaction_stats().count == 10
+
+    def test_reproducible(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        a = run_trials(config, 5, seed=42)
+        b = run_trials(config, 5, seed=42)
+        assert a.interactions == b.interactions
+        assert a.winners == b.winners
+
+    def test_different_seeds_differ(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        a = run_trials(config, 5, seed=1)
+        b = run_trials(config, 5, seed=2)
+        assert a.interactions != b.interactions
+
+    def test_plurality_success_with_big_bias(self):
+        config = Configuration.from_supports([180, 20], undecided=0)
+        ensemble = run_trials(config, 10, seed=3)
+        assert ensemble.plurality_success_rate >= 0.9
+        low, high = ensemble.plurality_success_interval()
+        assert 0 <= low <= high <= 1
+
+    def test_winner_histogram(self):
+        config = Configuration.from_supports([180, 20], undecided=0)
+        ensemble = run_trials(config, 10, seed=4)
+        histogram = ensemble.winner_histogram
+        assert sum(histogram.values()) == 10
+        assert set(histogram) <= {1, 2}
+
+    def test_significant_wins(self):
+        config = Configuration.from_supports([100, 95, 5], undecided=0)
+        ensemble = run_trials(config, 10, seed=5)
+        assert ensemble.significant_wins() >= 9  # opinion 3 is insignificant
+
+    def test_parallel_time_stats(self):
+        config = Configuration.from_supports([80, 20], undecided=0)
+        ensemble = run_trials(config, 5, seed=6)
+        interactions = ensemble.interaction_stats()
+        parallel = ensemble.parallel_time_stats()
+        assert parallel.mean == pytest.approx(interactions.mean / 100)
+
+    def test_budget_respected(self):
+        config = Configuration.from_supports([500, 500], undecided=0)
+        ensemble = run_trials(config, 3, seed=7, max_interactions=10)
+        assert ensemble.convergence_rate == 0.0
+        assert all(i == 10 for i in ensemble.interactions)
+        with pytest.raises(ValueError):
+            ensemble.interaction_stats()  # no converged runs to summarize
+
+    def test_validates_trials(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        with pytest.raises(ValueError):
+            run_trials(config, 0, seed=1)
+
+    def test_empty_ensemble_rates_raise(self):
+        ensemble = TrialEnsemble(initial=Configuration.from_supports([5, 5]))
+        with pytest.raises(ValueError):
+            _ = ensemble.convergence_rate
+        with pytest.raises(ValueError):
+            _ = ensemble.plurality_success_rate
+
+
+class TestSweep:
+    def test_grid_sweep(self):
+        grid = [{"n": 100, "k": 2}, {"n": 200, "k": 2}]
+        result = sweep(grid, uniform_configuration, trials=3, seed=1)
+        assert len(result) == 2
+        xs, ys = result.mean_interactions_series("n")
+        assert xs.tolist() == [100.0, 200.0]
+        assert (ys > 0).all()
+
+    def test_series_custom_extractor(self):
+        grid = [{"n": 100, "k": 2, "beta": 30}]
+        result = sweep(grid, additive_bias_configuration, trials=4, seed=2)
+        xs, ys = result.series("beta", lambda p: p.ensemble.plurality_success_rate)
+        assert xs.tolist() == [30.0]
+        assert 0 <= ys[0] <= 1
+
+    def test_reproducible(self):
+        grid = [{"n": 100, "k": 2}]
+        a = sweep(grid, uniform_configuration, trials=3, seed=9)
+        b = sweep(grid, uniform_configuration, trials=3, seed=9)
+        assert a.points[0].ensemble.interactions == b.points[0].ensemble.interactions
+
+    def test_callable_budget(self):
+        grid = [{"n": 100, "k": 2}]
+        result = sweep(
+            grid,
+            uniform_configuration,
+            trials=2,
+            seed=3,
+            max_interactions=lambda params: 5,
+        )
+        assert all(i == 5 for i in result.points[0].ensemble.interactions)
+
+    def test_constant_budget(self):
+        grid = [{"n": 100, "k": 2}]
+        result = sweep(grid, uniform_configuration, trials=2, seed=4, max_interactions=5)
+        assert all(i == 5 for i in result.points[0].ensemble.interactions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep([], uniform_configuration, trials=2, seed=1)
+        with pytest.raises(ValueError):
+            sweep([{"n": 10, "k": 2}], uniform_configuration, trials=0, seed=1)
+
+    def test_params_preserved(self):
+        grid = [{"n": 100, "k": 3}]
+        result = sweep(grid, uniform_configuration, trials=2, seed=5)
+        assert result.points[0].params == {"n": 100, "k": 3}
+        assert "SweepPoint" in repr(result.points[0])

@@ -1,0 +1,109 @@
+"""Unit tests for the Lemma 17 coupling."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.coupling import canonical_vectors, coupled_step, run_coupled
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestCanonicalVectors:
+    def test_counts_reconstructed(self):
+        counts = np.array([3, 10, 4, 3])  # u=3, x=(10,4,3), n=20
+        tilde = np.array([3, 10, 7])
+        v, v_tilde = canonical_vectors(counts, tilde)
+        assert np.bincount(v, minlength=4).tolist() == [3, 10, 4, 3]
+        assert np.bincount(v_tilde, minlength=3).tolist() == [3, 10, 7]
+
+    def test_case1_more_tilde_undecided(self):
+        counts = np.array([2, 10, 4, 4])  # u=2
+        tilde = np.array([4, 9, 7])  # ũ=4 > u, x̃1=9 < x1=10, x1+u=12 >= 13? no!
+        # Fix to satisfy the invariant: x1 + u >= x̃1 + ũ.
+        tilde = np.array([4, 8, 8])
+        v, v_tilde = canonical_vectors(counts, tilde)
+        assert np.bincount(v_tilde, minlength=3).tolist() == [4, 8, 8]
+
+    def test_shared_prefix(self):
+        counts = np.array([3, 10, 4, 3])
+        tilde = np.array([3, 10, 7])
+        v, v_tilde = canonical_vectors(counts, tilde)
+        # First x̃1 slots are 1 in both; next min(u, ũ) are undecided.
+        assert (v[:10] == 1).all() and (v_tilde[:10] == 1).all()
+        assert (v[10:13] == 0).all() and (v_tilde[10:13] == 0).all()
+
+    def test_invariant_violation_rejected(self):
+        counts = np.array([3, 5, 4, 3])
+        tilde = np.array([3, 9, 3])  # x̃1 > x1
+        with pytest.raises(ValueError, match="invariant"):
+            canonical_vectors(counts, tilde)
+
+    def test_population_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="population"):
+            canonical_vectors(np.array([1, 5, 4]), np.array([1, 5, 3]))
+
+    def test_tilde_shape_rejected(self):
+        with pytest.raises(ValueError, match="two opinions"):
+            canonical_vectors(np.array([1, 5, 4]), np.array([1, 5, 2, 2]))
+
+
+class TestCoupledStep:
+    def test_population_conserved(self):
+        counts = np.array([3, 10, 4, 3])
+        tilde = np.array([3, 10, 7])
+        rng = make_rng(1)
+        for _ in range(200):
+            counts, tilde = coupled_step(counts, tilde, rng)
+            assert counts.sum() == 20
+            assert tilde.sum() == 20
+
+    def test_invariant_maintained_over_many_steps(self):
+        counts = np.array([0, 14, 3, 3])
+        tilde = np.array([0, 14, 6])
+        rng = make_rng(2)
+        for _ in range(500):
+            counts, tilde = coupled_step(counts, tilde, rng)
+            assert counts[1] >= tilde[1]
+            assert counts[1] + counts[0] >= tilde[1] + tilde[0]
+
+
+class TestRunCoupled:
+    def test_lemma17_invariant_never_breaks(self):
+        config = Configuration.from_supports([70, 15, 10, 5], undecided=0)
+        for seed in range(5):
+            result = run_coupled(
+                config, rng=make_rng(seed), max_interactions=100_000
+            )
+            assert result.invariant_violations == 0
+
+    def test_majorization_of_consensus(self):
+        # Whenever the two-opinion process has finished on opinion 1, the
+        # k-process must have too (x1 >= x̃1 = n).
+        config = Configuration.from_supports([40, 10, 10], undecided=0)
+        for seed in range(10):
+            result = run_coupled(config, rng=make_rng(seed), max_interactions=50_000)
+            if result.two_process_won:
+                assert result.k_process_won
+
+    def test_phase5_start_wins_for_plurality(self):
+        # From x1 >= 2n/3 (the Phase 5 precondition) Opinion 1 should win
+        # both processes essentially always.
+        config = Configuration.from_supports([70, 10, 10, 10], undecided=0)
+        wins = sum(
+            run_coupled(config, rng=make_rng(s), max_interactions=100_000).k_process_won
+            for s in range(10)
+        )
+        assert wins >= 9
+
+    def test_validates_budget(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        with pytest.raises(ValueError):
+            run_coupled(config, rng=make_rng(), max_interactions=-1)
+
+    def test_respects_budget(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        result = run_coupled(config, rng=make_rng(), max_interactions=10)
+        assert result.interactions == 10

@@ -1,0 +1,139 @@
+"""Unit tests for the exact Markov-chain solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.exact import ExactChain, enumerate_configurations, state_space_size
+from repro.core.fastsim import simulate
+from repro.core.probabilities import p_minus, p_plus
+
+
+class TestEnumeration:
+    def test_size_matches_formula(self):
+        for n, k in [(5, 2), (8, 3), (4, 4)]:
+            states = enumerate_configurations(n, k)
+            assert len(states) == state_space_size(n, k) == math.comb(n + k, k)
+
+    def test_all_sum_to_n(self):
+        for state in enumerate_configurations(6, 3):
+            assert sum(state) == 6
+            assert len(state) == 4
+
+    def test_no_duplicates(self):
+        states = enumerate_configurations(7, 2)
+        assert len(set(states)) == len(states)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            enumerate_configurations(0, 2)
+        with pytest.raises(ValueError):
+            state_space_size(5, 0)
+
+
+class TestTransitions:
+    def test_probabilities_match_observation6(self):
+        chain = ExactChain(12, 3)
+        config = Configuration.from_supports([4, 3, 2], undecided=3)
+        moves = chain.transitions(tuple(config.counts))
+        up = sum(p for nxt, p in moves if nxt[0] > config.undecided)
+        down = sum(p for nxt, p in moves if nxt[0] < config.undecided)
+        assert down == pytest.approx(p_minus(config))
+        assert up == pytest.approx(p_plus(config))
+
+    def test_transitions_conserve_population(self):
+        chain = ExactChain(10, 2)
+        for state in enumerate_configurations(10, 2):
+            for nxt, prob in chain.transitions(state):
+                assert sum(nxt) == 10
+                assert prob > 0
+
+    def test_absorbing_states(self):
+        chain = ExactChain(5, 2)
+        assert chain.is_absorbing((0, 5, 0))
+        assert chain.is_absorbing((5, 0, 0))
+        assert not chain.is_absorbing((1, 2, 2))
+
+
+class TestWinProbabilities:
+    def test_sum_to_one(self):
+        chain = ExactChain(9, 2)
+        config = Configuration.from_supports([5, 3], undecided=1)
+        probs = chain.win_probabilities(config)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_symmetric_is_half(self):
+        chain = ExactChain(10, 2)
+        config = Configuration.from_supports([5, 5], undecided=0)
+        probs = chain.win_probabilities(config)
+        assert probs[1] == pytest.approx(probs[2])
+        assert probs[1] == pytest.approx(0.5)
+
+    def test_larger_opinion_favored(self):
+        chain = ExactChain(10, 2)
+        probs = chain.win_probabilities(Configuration.from_supports([7, 3]))
+        assert probs[1] > 0.75 > 0.25 > probs[2]
+
+    def test_all_undecided_never_reached(self):
+        chain = ExactChain(8, 2)
+        probs = chain.win_probabilities(Configuration.from_supports([4, 4]))
+        assert probs[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_absorbing_start(self):
+        chain = ExactChain(6, 2)
+        consensus = chain.win_probabilities(Configuration.from_supports([6, 0]))
+        assert consensus[1] == 1.0
+        frozen = chain.win_probabilities(Configuration.from_supports([0, 0], undecided=6))
+        assert frozen[0] == 1.0
+
+    def test_three_opinions_symmetric(self):
+        chain = ExactChain(9, 3)
+        probs = chain.win_probabilities(Configuration.from_supports([3, 3, 3]))
+        for i in (1, 2, 3):
+            assert probs[i] == pytest.approx(1 / 3)
+
+    def test_wrong_shape_rejected(self):
+        chain = ExactChain(10, 2)
+        with pytest.raises(ValueError):
+            chain.win_probabilities(Configuration.from_supports([5, 3, 2]))
+
+    def test_state_space_cap(self):
+        with pytest.raises(ValueError, match="limited"):
+            ExactChain(1000, 5)
+
+
+class TestAgainstSimulation:
+    def test_win_probability_matches_monte_carlo(self):
+        chain = ExactChain(10, 2)
+        config = Configuration.from_supports([6, 4], undecided=0)
+        exact = chain.win_probabilities(config)[1]
+        trials = 1500
+        wins = sum(
+            simulate(config, rng=np.random.default_rng(seed)).winner == 1
+            for seed in range(trials)
+        )
+        noise = 4 / math.sqrt(trials)
+        assert abs(wins / trials - exact) < noise
+
+    def test_expected_time_matches_monte_carlo(self):
+        chain = ExactChain(10, 2)
+        config = Configuration.from_supports([6, 4], undecided=0)
+        exact = chain.expected_absorption_time(config)
+        trials = 800
+        times = [
+            simulate(config, rng=np.random.default_rng(1000 + seed)).interactions
+            for seed in range(trials)
+        ]
+        assert abs(np.mean(times) - exact) / exact < 0.15
+
+    def test_absorbing_time_zero(self):
+        chain = ExactChain(6, 2)
+        assert chain.expected_absorption_time(Configuration.from_supports([6, 0])) == 0.0
+
+    def test_time_grows_with_balance(self):
+        chain = ExactChain(12, 2)
+        balanced = chain.expected_absorption_time(Configuration.from_supports([6, 6]))
+        skewed = chain.expected_absorption_time(Configuration.from_supports([10, 2]))
+        assert balanced > skewed

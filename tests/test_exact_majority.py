@@ -1,0 +1,100 @@
+"""Unit tests for the 4-state exact majority protocol."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.exact_majority import (
+    STRONG_A,
+    STRONG_B,
+    WEAK_A,
+    WEAK_B,
+    FourStateMajority,
+    run_exact_majority,
+)
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestDelta:
+    def test_cancellation(self):
+        protocol = FourStateMajority()
+        assert protocol.delta(STRONG_A, STRONG_B) == (WEAK_A, WEAK_B)
+        assert protocol.delta(STRONG_B, STRONG_A) == (WEAK_B, WEAK_A)
+
+    def test_conversion(self):
+        protocol = FourStateMajority()
+        assert protocol.delta(WEAK_B, STRONG_A) == (WEAK_A, STRONG_A)
+        assert protocol.delta(WEAK_A, STRONG_B) == (WEAK_B, STRONG_B)
+        assert protocol.delta(STRONG_A, WEAK_B) == (STRONG_A, WEAK_A)
+        assert protocol.delta(STRONG_B, WEAK_A) == (STRONG_B, WEAK_B)
+
+    def test_noops(self):
+        protocol = FourStateMajority()
+        for pair in [
+            (STRONG_A, STRONG_A),
+            (WEAK_A, WEAK_B),
+            (WEAK_A, WEAK_A),
+            (STRONG_A, WEAK_A),
+        ]:
+            assert protocol.delta(*pair) == pair
+
+    def test_margin_invariant(self):
+        # #StrongA - #StrongB is preserved by every transition.
+        protocol = FourStateMajority()
+
+        def strong_margin(*states):
+            return sum(1 for s in states if s == STRONG_A) - sum(
+                1 for s in states if s == STRONG_B
+            )
+
+        for r in range(4):
+            for i in range(4):
+                before = strong_margin(r, i)
+                after = strong_margin(*protocol.delta(r, i))
+                assert after == before
+
+    def test_output_map(self):
+        protocol = FourStateMajority()
+        assert protocol.output(STRONG_A) == 1
+        assert protocol.output(WEAK_A) == 1
+        assert protocol.output(STRONG_B) == 2
+        assert protocol.output(WEAK_B) == 2
+
+
+class TestExactness:
+    def test_margin_one_majority_a(self):
+        # Exactness: margin of a single agent must still decide correctly,
+        # every time (this is what separates exact from approximate).
+        for seed in range(10):
+            result = run_exact_majority(
+                26, 25, rng=make_rng(seed), max_interactions=2_000_000
+            )
+            assert result.converged
+            assert result.output == 1
+
+    def test_margin_one_majority_b(self):
+        for seed in range(10):
+            result = run_exact_majority(
+                25, 26, rng=make_rng(seed), max_interactions=2_000_000
+            )
+            assert result.converged
+            assert result.output == 2
+
+    def test_tie_never_converges_to_an_answer(self):
+        result = run_exact_majority(20, 20, rng=make_rng(), max_interactions=500_000)
+        # All strongs cancel pairwise; a tie leaves only weak agents of
+        # both kinds and the protocol (correctly) never declares a winner.
+        assert not result.converged
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            run_exact_majority(-1, 5, rng=make_rng(), max_interactions=10)
+        with pytest.raises(ValueError):
+            run_exact_majority(0, 0, rng=make_rng(), max_interactions=10)
+
+    def test_landslide_is_fast(self):
+        result = run_exact_majority(90, 10, rng=make_rng(), max_interactions=2_000_000)
+        assert result.converged
+        assert result.output == 1

@@ -1,0 +1,82 @@
+"""Tests for the experiment registry and the cheap experiments.
+
+The expensive experiments are exercised end-to-end by the benchmark
+harness; here we test the registry mechanics and run the fast ones
+(E11 and E12 complete in well under a second at quick scale).
+"""
+
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.common import ratio_spread, spawn_seed, validate_scale
+from repro.experiments.e12_transition_probs import empirical_one_step_frequencies
+from repro.workloads import custom_configuration
+
+
+class TestRegistry:
+    def test_nineteen_experiments(self):
+        assert len(EXPERIMENTS) == 19
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 20)}
+
+    def test_every_module_has_run(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("E99")
+
+    def test_case_insensitive_dispatch(self):
+        result = run_experiment("e12")
+        assert result.experiment_id == "E12"
+
+
+class TestCommon:
+    def test_validate_scale(self):
+        assert validate_scale("quick") == "quick"
+        assert validate_scale("full") == "full"
+        with pytest.raises(ValueError):
+            validate_scale("huge")
+
+    def test_spawn_seed_deterministic(self):
+        assert spawn_seed(1, 0) == spawn_seed(1, 0)
+        assert spawn_seed(1, 0) != spawn_seed(1, 1)
+
+    def test_ratio_spread(self):
+        assert ratio_spread([1.0, 2.0, 4.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            ratio_spread([])
+        with pytest.raises(ValueError):
+            ratio_spread([1.0, -1.0])
+
+
+class TestCheapExperiments:
+    def test_e12_passes(self):
+        result = run_experiment("E12")
+        assert isinstance(result, ExperimentResult)
+        assert result.passed
+        assert result.tables
+
+    def test_e11_passes(self):
+        result = run_experiment("E11")
+        assert result.passed
+        assert len(result.checks) == 3
+
+    def test_results_reproducible(self):
+        a = run_experiment("E12", seed=5)
+        b = run_experiment("E12", seed=5)
+        assert a.to_json() == b.to_json()
+
+
+class TestEmpiricalFrequencies:
+    def test_frequencies_sum_sensibly(self):
+        import numpy as np
+
+        config = custom_configuration([30, 20, 10], undecided=40)
+        freq = empirical_one_step_frequencies(config, 20_000, np.random.default_rng(0))
+        assert 0 <= freq["u_down"] <= 1
+        assert 0 <= freq["u_up"] <= 1
+        # Per-opinion ups decompose the undecided-down events.
+        total_up = sum(freq[f"x{i}_up"] for i in range(1, 4))
+        assert total_up == pytest.approx(freq["u_down"], abs=1e-12)

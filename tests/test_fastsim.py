@@ -1,0 +1,151 @@
+"""Unit tests for the jump-chain simulator, including cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.fastsim import simulate, step_weights, total_productive_weight
+from repro.core.probabilities import p_minus, p_plus
+from repro.core.simulator import simulate_agents
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestWeights:
+    def test_weights_match_observation6(self):
+        config = Configuration.from_supports([6, 4, 2], undecided=8)
+        adopt, clash = step_weights(config.counts)
+        n = config.n
+        assert adopt.sum() / n**2 == pytest.approx(p_minus(config))
+        assert clash.sum() / n**2 == pytest.approx(p_plus(config))
+
+    def test_total_weight(self):
+        config = Configuration.from_supports([6, 4, 2], undecided=8)
+        adopt, clash = step_weights(config.counts)
+        assert total_productive_weight(config.counts) == adopt.sum() + clash.sum()
+
+    def test_consensus_has_zero_weight(self):
+        config = Configuration.from_supports([10, 0], undecided=0)
+        assert total_productive_weight(config.counts) == 0
+
+    def test_single_opinion_with_undecided_only_adopts(self):
+        config = Configuration.from_supports([10], undecided=5)
+        adopt, clash = step_weights(config.counts)
+        assert adopt.sum() > 0
+        assert clash.sum() == 0
+
+
+class TestBasicRuns:
+    def test_reaches_consensus(self):
+        config = Configuration.from_supports([60, 40], undecided=0)
+        result = simulate(config, rng=make_rng())
+        assert result.converged
+        assert result.final.is_consensus
+        assert result.winner in (1, 2)
+
+    def test_population_conserved(self):
+        config = Configuration.from_supports([30, 30, 30], undecided=10)
+        result = simulate(config, rng=make_rng(3))
+        assert result.final.n == config.n
+
+    def test_initial_consensus(self):
+        config = Configuration.from_supports([50, 0], undecided=0)
+        result = simulate(config, rng=make_rng())
+        assert result.converged
+        assert result.interactions == 0
+
+    def test_all_undecided_absorbed(self):
+        config = Configuration.from_supports([0, 0], undecided=20)
+        result = simulate(config, rng=make_rng())
+        assert not result.converged
+        assert result.interactions == 0
+
+    def test_deterministic_given_seed(self):
+        config = Configuration.from_supports([40, 40, 40], undecided=0)
+        a = simulate(config, rng=make_rng(7))
+        b = simulate(config, rng=make_rng(7))
+        assert a.interactions == b.interactions
+        assert a.winner == b.winner
+
+    def test_budget_exhaustion(self):
+        config = Configuration.from_supports([500, 500], undecided=0)
+        result = simulate(config, rng=make_rng(), max_interactions=50)
+        assert result.budget_exhausted
+        assert result.interactions == 50
+
+    def test_rejects_negative_budget(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        with pytest.raises(ValueError):
+            simulate(config, rng=make_rng(), max_interactions=-1)
+
+    def test_large_k_run(self):
+        config = Configuration.from_supports([20] * 10, undecided=0)
+        result = simulate(config, rng=make_rng(5))
+        assert result.converged
+
+
+class TestObserver:
+    def test_observer_initial_and_stop(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        seen = []
+
+        def observer(t, counts):
+            seen.append(t)
+            return t >= 20
+
+        result = simulate(config, rng=make_rng(), observer=observer)
+        assert seen[0] == 0
+        assert result.stopped_by_observer
+
+    def test_observer_times_strictly_increase(self):
+        config = Configuration.from_supports([30, 30], undecided=0)
+        times = []
+        simulate(config, rng=make_rng(2), observer=lambda t, c: times.append(t))
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_observer_counts_conserved(self):
+        config = Configuration.from_supports([25, 25, 10], undecided=0)
+
+        def observer(t, counts):
+            assert counts.sum() == 60
+            assert (counts >= 0).all()
+
+        simulate(config, rng=make_rng(4), observer=observer)
+
+
+class TestCrossValidation:
+    """The jump chain and the agent simulator sample the same process."""
+
+    TRIALS = 60
+
+    def _winner_rate_and_mean(self, simulator, config, seed):
+        winners = []
+        interactions = []
+        seeds = np.random.SeedSequence(seed).spawn(self.TRIALS)
+        for child in seeds:
+            result = simulator(config, rng=np.random.default_rng(child))
+            winners.append(result.winner)
+            interactions.append(result.interactions)
+        rate = sum(1 for w in winners if w == 1) / self.TRIALS
+        return rate, float(np.mean(interactions))
+
+    def test_winner_distribution_and_time_agree(self):
+        config = Configuration.from_supports([30, 20], undecided=10)
+        fast_rate, fast_mean = self._winner_rate_and_mean(simulate, config, 11)
+        agent_rate, agent_mean = self._winner_rate_and_mean(
+            simulate_agents, config, 22
+        )
+        # Same process: win rates within binomial noise, means within 25%.
+        assert abs(fast_rate - agent_rate) < 0.25
+        assert 0.7 < fast_mean / agent_mean < 1.4
+
+    def test_three_opinion_agreement(self):
+        config = Configuration.from_supports([25, 15, 10], undecided=0)
+        fast_rate, fast_mean = self._winner_rate_and_mean(simulate, config, 33)
+        agent_rate, agent_mean = self._winner_rate_and_mean(
+            simulate_agents, config, 44
+        )
+        assert abs(fast_rate - agent_rate) < 0.25
+        assert 0.7 < fast_mean / agent_mean < 1.4

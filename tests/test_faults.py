@@ -1,0 +1,113 @@
+"""Unit tests for the failure-injection models (zealots, noise)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.faults import simulate_with_noise, simulate_with_zealots
+from repro.workloads import uniform_configuration
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestZealots:
+    def test_no_zealots_matches_plain_usd(self):
+        config = Configuration.from_supports([60, 40], undecided=0)
+        result = simulate_with_zealots(config, [0, 0], rng=make_rng(1))
+        assert result.converged
+        assert result.winner in (1, 2)
+
+    def test_small_zealot_camp_cannot_overturn_majority(self):
+        # Robust approximate majority (Angluin et al. [4]): a clear
+        # flexible majority is metastable against a small stubborn
+        # minority — after a long run the majority still dominates.
+        config = Configuration.from_supports([90, 5], undecided=0)
+        for seed in range(3):
+            result = simulate_with_zealots(
+                config, [0, 5], rng=make_rng(seed), max_interactions=500_000
+            )
+            assert not result.converged
+            assert result.final.supports[0] >= 70
+
+    def test_large_zealot_camp_takes_over(self):
+        # A zealot camp bigger than the flexible plurality wins outright.
+        config = Configuration.from_supports([40, 0], undecided=0)
+        for seed in range(3):
+            result = simulate_with_zealots(config, [0, 60], rng=make_rng(seed))
+            assert result.converged
+            assert result.winner == 2
+            assert result.final.supports[0] == 0
+
+    def test_opposing_camps_never_converge(self):
+        config = uniform_configuration(50, 2)
+        result = simulate_with_zealots(
+            config, [3, 3], rng=make_rng(4), max_interactions=100_000
+        )
+        assert not result.converged
+        assert result.budget_exhausted
+
+    def test_zealots_never_move(self):
+        config = Configuration.from_supports([40, 10], undecided=0)
+        result = simulate_with_zealots(config, [0, 7], rng=make_rng(5))
+        assert result.zealots.tolist() == [0, 7]
+
+    def test_population_conserved(self):
+        config = Configuration.from_supports([30, 20], undecided=10)
+        result = simulate_with_zealots(
+            config, [2, 2], rng=make_rng(6), max_interactions=20_000
+        )
+        assert result.final.n == 60  # flexible agents only
+
+    def test_validates_zealot_shape(self):
+        config = Configuration.from_supports([10, 10], undecided=0)
+        with pytest.raises(ValueError, match="one zealot count per opinion"):
+            simulate_with_zealots(config, [1], rng=make_rng())
+
+    def test_validates_nonnegative(self):
+        config = Configuration.from_supports([10, 10], undecided=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_with_zealots(config, [1, -1], rng=make_rng())
+
+
+class TestNoise:
+    def test_zero_noise_reaches_consensus_level(self):
+        config = Configuration.from_supports([150, 50], undecided=0)
+        result = simulate_with_noise(config, 0.0, horizon=200_000, rng=make_rng(1))
+        assert result.max_plurality_fraction == 1.0
+
+    def test_small_noise_sustains_quasi_consensus(self):
+        config = Configuration.from_supports([150, 50], undecided=0)
+        result = simulate_with_noise(config, 0.01, horizon=200_000, rng=make_rng(2))
+        assert result.tail_mean_plurality_fraction > 0.8
+
+    def test_heavy_noise_destroys_consensus(self):
+        config = Configuration.from_supports([150, 50], undecided=0)
+        result = simulate_with_noise(config, 0.9, horizon=100_000, rng=make_rng(3))
+        assert result.tail_mean_plurality_fraction < 0.7
+
+    def test_noise_monotone_effect(self):
+        config = Configuration.from_supports([100, 100], undecided=0)
+        light = simulate_with_noise(config, 0.005, horizon=150_000, rng=make_rng(4))
+        heavy = simulate_with_noise(config, 0.5, horizon=150_000, rng=make_rng(5))
+        assert light.tail_mean_plurality_fraction > heavy.tail_mean_plurality_fraction
+
+    def test_population_conserved(self):
+        config = Configuration.from_supports([30, 30, 30], undecided=10)
+        result = simulate_with_noise(config, 0.1, horizon=20_000, rng=make_rng(6))
+        assert result.final.n == 100
+
+    def test_horizon_respected(self):
+        config = Configuration.from_supports([10, 10], undecided=0)
+        result = simulate_with_noise(config, 0.1, horizon=500, rng=make_rng(7))
+        assert result.interactions == 500
+
+    def test_validation(self):
+        config = Configuration.from_supports([10, 10], undecided=0)
+        with pytest.raises(ValueError):
+            simulate_with_noise(config, 1.5, horizon=100, rng=make_rng())
+        with pytest.raises(ValueError):
+            simulate_with_noise(config, 0.1, horizon=0, rng=make_rng())
+        with pytest.raises(ValueError):
+            simulate_with_noise(config, 0.1, horizon=100, rng=make_rng(), tail_fraction=0)

@@ -1,0 +1,85 @@
+"""Unit tests for the synchronous gossip round engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.gossip.engine import default_round_budget, run_gossip
+
+
+def identity_rule(states, rng):
+    return states.copy()
+
+
+def instant_consensus_rule(states, rng):
+    new = states.copy()
+    new[:] = 1
+    return new
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBudget:
+    def test_default_budget_scales(self):
+        assert default_round_budget(1000, 4) > default_round_budget(1000, 2)
+        assert default_round_budget(10_000, 2) > default_round_budget(100, 2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            default_round_budget(0, 2)
+
+
+class TestRunGossip:
+    def test_instant_rule_converges_in_one_round(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        result = run_gossip(config, instant_consensus_rule, rng=make_rng())
+        assert result.converged
+        assert result.rounds == 1
+        assert result.winner == 1
+
+    def test_identity_rule_exhausts_budget(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        result = run_gossip(config, identity_rule, rng=make_rng(), max_rounds=7)
+        assert result.budget_exhausted
+        assert result.rounds == 7
+        assert not result.converged
+
+    def test_initial_consensus_skips_rounds(self):
+        config = Configuration.from_supports([10, 0], undecided=0)
+        result = run_gossip(config, identity_rule, rng=make_rng())
+        assert result.converged
+        assert result.rounds == 0
+
+    def test_all_undecided_not_consensus(self):
+        config = Configuration.from_supports([0, 0], undecided=10)
+        result = run_gossip(config, identity_rule, rng=make_rng(), max_rounds=3)
+        assert not result.converged
+
+    def test_observer_sees_round_zero_and_can_stop(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        seen = []
+
+        def observer(round_index, counts):
+            seen.append((round_index, counts.sum()))
+            return round_index >= 2
+
+        result = run_gossip(config, identity_rule, rng=make_rng(), observer=observer)
+        assert seen[0] == (0, 10)
+        assert result.rounds == 2
+        assert not result.budget_exhausted
+
+    def test_rule_shape_validated(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+
+        def bad_rule(states, rng):
+            return states[:-1]
+
+        with pytest.raises(ValueError, match="shape"):
+            run_gossip(config, bad_rule, rng=make_rng())
+
+    def test_rejects_negative_budget(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        with pytest.raises(ValueError):
+            run_gossip(config, identity_rule, rng=make_rng(), max_rounds=-1)

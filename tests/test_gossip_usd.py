@@ -1,0 +1,67 @@
+"""Unit tests for the gossip-model USD (Becchetti et al. baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import UNDECIDED, Configuration
+from repro.core.transitions import usd_delta
+from repro.gossip.usd import run_usd_gossip, usd_gossip_round
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRound:
+    def test_round_matches_scalar_delta(self):
+        # Replay one round with a recorded partner table and check each
+        # agent's update against the scalar transition function.
+        rng = np.random.default_rng(5)
+        states = np.array([0, 1, 1, 2, 2, 2, 0, 1])
+        n = states.size
+        partners = np.random.default_rng(5).integers(0, n, size=n)
+        new = usd_gossip_round(states, rng)
+        expected = np.array(
+            [usd_delta(int(states[a]), int(states[partners[a]]))[0] for a in range(n)]
+        )
+        assert np.array_equal(new, expected)
+
+    def test_monochromatic_is_absorbing(self):
+        states = np.full(50, 3)
+        new = usd_gossip_round(states, make_rng())
+        assert (new == 3).all()
+
+    def test_population_size_preserved(self):
+        states = np.array([0, 1, 2, 1, 0, 2, 1])
+        new = usd_gossip_round(states, make_rng())
+        assert new.size == states.size
+        assert new.min() >= 0
+
+
+class TestRun:
+    def test_converges_with_bias(self):
+        config = Configuration.from_supports([300, 100, 100], undecided=0)
+        result = run_usd_gossip(config, rng=make_rng())
+        assert result.converged
+        assert result.rounds > 0
+
+    def test_plurality_usually_wins_with_big_bias(self):
+        config = Configuration.from_supports([400, 50, 50], undecided=0)
+        wins = 0
+        for seed in range(10):
+            result = run_usd_gossip(config, rng=make_rng(seed))
+            if result.winner == 1:
+                wins += 1
+        assert wins >= 8
+
+    def test_handles_undecided_start(self):
+        config = Configuration.from_supports([100, 50], undecided=50)
+        result = run_usd_gossip(config, rng=make_rng(1))
+        assert result.converged
+
+    def test_faster_than_population_in_rounds(self):
+        # One gossip round does Theta(n) work; round counts are tiny
+        # compared to population interaction counts.
+        config = Configuration.from_supports([300, 100], undecided=0)
+        result = run_usd_gossip(config, rng=make_rng(2))
+        assert result.rounds < 200

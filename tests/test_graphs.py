@@ -1,0 +1,120 @@
+"""Unit tests for the graph-restricted USD extension."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.fastsim import simulate
+from repro.graphs import build_edge_list, simulate_on_graph
+from repro.workloads import uniform_configuration
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestEdgeList:
+    def test_complete_graph_with_loops(self):
+        graph = nx.complete_graph(4)
+        edges = build_edge_list(graph)
+        assert edges.shape == (4 * 3 + 4, 2)
+
+    def test_without_loops(self):
+        graph = nx.complete_graph(4)
+        edges = build_edge_list(graph, allow_self_loops=False)
+        assert edges.shape == (12, 2)
+        assert (edges[:, 0] != edges[:, 1]).all()
+
+    def test_both_orientations(self):
+        graph = nx.path_graph(3)
+        edges = {tuple(e) for e in build_edge_list(graph, allow_self_loops=False)}
+        assert (0, 1) in edges and (1, 0) in edges
+
+    def test_rejects_bad_labels(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            build_edge_list(graph)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_edge_list(nx.Graph())
+
+
+class TestSimulateOnGraph:
+    def test_complete_graph_converges(self):
+        n = 100
+        graph = nx.complete_graph(n)
+        states = uniform_configuration(n, 3).to_states(make_rng(1))
+        result = simulate_on_graph(graph, states, rng=make_rng(2), k=3)
+        assert result.converged
+        assert result.winner in (1, 2, 3)
+
+    def test_ring_converges_with_larger_budget(self):
+        n = 40
+        graph = nx.cycle_graph(n)
+        states = np.array([1] * (n // 2) + [2] * (n // 2))
+        result = simulate_on_graph(
+            graph, states, rng=make_rng(3), k=2, max_interactions=2_000_000
+        )
+        assert result.converged
+
+    def test_population_conserved(self):
+        n = 60
+        graph = nx.erdos_renyi_graph(n, 0.2, seed=5)
+        states = uniform_configuration(n, 2).to_states(make_rng(4))
+        result = simulate_on_graph(graph, states, rng=make_rng(5), k=2)
+        assert result.final.n == n
+
+    def test_complete_graph_matches_standard_model(self):
+        # Statistically: win rate of a biased start on the complete graph
+        # with self-loops equals the standard population model.
+        n = 50
+        config = Configuration.from_supports([30, 20], undecided=0)
+        graph = nx.complete_graph(n)
+        trials = 60
+        graph_wins = 0
+        standard_wins = 0
+        for seed in range(trials):
+            states = config.to_states(make_rng(seed))
+            g_result = simulate_on_graph(graph, states, rng=make_rng(1000 + seed), k=2)
+            if g_result.winner == 1:
+                graph_wins += 1
+            s_result = simulate(config, rng=make_rng(2000 + seed))
+            if s_result.winner == 1:
+                standard_wins += 1
+        assert abs(graph_wins - standard_wins) / trials < 0.3
+
+    def test_ring_slower_than_complete(self):
+        n = 40
+        states = np.array([1, 2] * (n // 2))
+        ring_time = simulate_on_graph(
+            nx.cycle_graph(n),
+            states,
+            rng=make_rng(7),
+            k=2,
+            max_interactions=5_000_000,
+        ).interactions
+        complete_time = simulate_on_graph(
+            nx.complete_graph(n), states, rng=make_rng(8), k=2
+        ).interactions
+        assert ring_time > complete_time
+
+    def test_validates_state_shape(self):
+        graph = nx.complete_graph(5)
+        with pytest.raises(ValueError, match="states"):
+            simulate_on_graph(graph, np.array([1, 2]), rng=make_rng(), k=2)
+
+    def test_validates_state_range(self):
+        graph = nx.complete_graph(3)
+        with pytest.raises(ValueError):
+            simulate_on_graph(graph, np.array([1, 2, 9]), rng=make_rng(), k=2)
+
+    def test_budget_exhaustion(self):
+        graph = nx.cycle_graph(30)
+        states = np.array([1, 2] * 15)
+        result = simulate_on_graph(
+            graph, states, rng=make_rng(9), k=2, max_interactions=10
+        )
+        assert result.budget_exhausted

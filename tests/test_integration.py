@@ -1,0 +1,141 @@
+"""Integration tests across modules: end-to-end paper behaviors.
+
+These are miniature versions of the experiments, pinned to seeds so they
+run in seconds and stay deterministic: bias preservation, phase ordering,
+model cross-checks, and envelope behavior on real runs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.fastsim import simulate
+from repro.core.meanfield import solve_meanfield
+from repro.core.phases import PhaseTracker
+from repro.core.recorder import CompositeObserver, TrajectoryRecorder
+from repro.core.simulator import simulate_agents
+from repro.gossip import run_usd_gossip
+from repro.workloads import (
+    additive_bias_configuration,
+    multiplicative_bias_configuration,
+    theorem_beta,
+    uniform_configuration,
+)
+
+
+class TestTheorem2EndToEnd:
+    def test_additive_bias_plurality_wins(self):
+        n, k = 800, 4
+        config = additive_bias_configuration(n, k, theorem_beta(n, 3.0))
+        wins = 0
+        for seed in range(10):
+            result = simulate(config, rng=np.random.default_rng(seed))
+            assert result.converged
+            if result.winner == 1:
+                wins += 1
+        assert wins >= 9
+
+    def test_multiplicative_bias_fast_and_correct(self):
+        n, k = 800, 4
+        config = multiplicative_bias_configuration(n, k, 2.0)
+        for seed in range(5):
+            result = simulate(config, rng=np.random.default_rng(seed))
+            assert result.winner == 1
+            # Well within a large multiple of n log n + nk.
+            assert result.interactions < 40 * (n * math.log(n) + n * k)
+
+    def test_nobias_converges_within_bound(self):
+        n, k = 800, 4
+        config = uniform_configuration(n, k)
+        budget = int(100 * k * n * math.log(n))
+        for seed in range(5):
+            result = simulate(
+                config, rng=np.random.default_rng(seed), max_interactions=budget
+            )
+            assert result.converged
+
+
+class TestPhaseStructureEndToEnd:
+    def test_phases_ordered_and_phase1_fast(self):
+        n, k = 1000, 4
+        config = uniform_configuration(n, k)
+        for seed in range(3):
+            tracker = PhaseTracker()
+            simulate(config, rng=np.random.default_rng(seed), observer=tracker.observe)
+            times = tracker.times
+            assert times.complete
+            # Lemma 1: T1 <= 7 n ln n; use a slightly larger multiple.
+            assert times.t1 <= 8 * n * math.log(n)
+
+    def test_biased_start_skips_phase2(self):
+        n, k = 1000, 3
+        config = additive_bias_configuration(n, k, theorem_beta(n, 2.0))
+        tracker = PhaseTracker()
+        simulate(config, rng=np.random.default_rng(0), observer=tracker.observe)
+        # The additive bias exists from the start, so T2 coincides with T1.
+        assert tracker.times.t2 == tracker.times.t1
+
+
+class TestUndecidedEnvelopeEndToEnd:
+    def test_u_stays_below_half_n(self):
+        n, k = 1000, 4
+        config = uniform_configuration(n, k)
+        recorder = TrajectoryRecorder(every=20)
+        simulate(config, rng=np.random.default_rng(1), observer=recorder.observe)
+        trajectory = recorder.trajectory()
+        assert trajectory.undecided.max() < n / 2
+
+    def test_u_rises_then_falls(self):
+        n, k = 1000, 4
+        config = uniform_configuration(n, k)
+        recorder = TrajectoryRecorder(every=20)
+        simulate(config, rng=np.random.default_rng(2), observer=recorder.observe)
+        trajectory = recorder.trajectory()
+        peak = trajectory.undecided.max()
+        assert peak > trajectory.undecided[0]
+        assert trajectory.undecided[-1] == 0  # consensus has no undecided
+
+
+class TestModelCrossChecks:
+    def test_population_and_gossip_agree_on_winner(self):
+        config = multiplicative_bias_configuration(600, 3, 2.5)
+        population = simulate(config, rng=np.random.default_rng(3))
+        gossip = run_usd_gossip(config, rng=np.random.default_rng(4))
+        assert population.winner == gossip.winner == 1
+
+    def test_agents_and_jump_chain_agree_on_winner_with_bias(self):
+        config = Configuration.from_supports([300, 100], undecided=0)
+        fast = simulate(config, rng=np.random.default_rng(5))
+        agents = simulate_agents(config, rng=np.random.default_rng(6))
+        assert fast.winner == agents.winner == 1
+
+    def test_meanfield_predicts_stochastic_winner(self):
+        config = multiplicative_bias_configuration(2000, 3, 2.0)
+        solution = solve_meanfield(config, t_max=40.0)
+        stochastic = simulate(config, rng=np.random.default_rng(7))
+        assert solution.winner() == stochastic.winner == 1
+
+    def test_parallel_time_comparable_between_models(self):
+        # Both models should finish in tens of parallel-time units here,
+        # not orders of magnitude apart (Appendix D's comparison makes
+        # sense only because the scales align).
+        config = multiplicative_bias_configuration(600, 3, 2.0)
+        population = simulate(config, rng=np.random.default_rng(8))
+        gossip = run_usd_gossip(config, rng=np.random.default_rng(9))
+        assert 0.05 < gossip.rounds / population.parallel_time < 20
+
+
+class TestSmallPopulations:
+    @pytest.mark.parametrize("n,k", [(2, 2), (3, 3), (5, 2), (10, 5)])
+    def test_tiny_populations_converge(self, n, k):
+        config = uniform_configuration(n, k)
+        result = simulate(config, rng=np.random.default_rng(n * 31 + k))
+        assert result.converged
+
+    def test_n1_trivial(self):
+        config = Configuration.from_supports([1], undecided=0)
+        result = simulate(config, rng=np.random.default_rng(0))
+        assert result.converged
+        assert result.winner == 1

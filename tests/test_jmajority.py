@@ -1,0 +1,95 @@
+"""Unit tests for the j-majority family (Voter / TwoChoices / 3-Majority)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.gossip.jmajority import (
+    j_majority_round,
+    run_j_majority,
+    run_three_majority,
+    run_two_choices,
+    run_voter,
+)
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRoundRules:
+    def test_voter_round_replay(self):
+        states = np.array([1, 2, 3, 1, 2])
+        sampled = states[np.random.default_rng(4).integers(0, 5, size=5)]
+        new = j_majority_round(states, np.random.default_rng(4), j=1)
+        assert np.array_equal(new, sampled)
+
+    def test_two_choices_replay(self):
+        states = np.array([1, 2, 3, 1, 2, 3, 1])
+        n = states.size
+        replay = np.random.default_rng(7)
+        first = states[replay.integers(0, n, size=n)]
+        second = states[replay.integers(0, n, size=n)]
+        expected = states.copy()
+        agree = first == second
+        expected[agree] = first[agree]
+        new = j_majority_round(states, np.random.default_rng(7), j=2)
+        assert np.array_equal(new, expected)
+
+    def test_three_majority_pairwise_agreement_wins(self):
+        # Monochromatic population: every sample triple agrees.
+        states = np.full(20, 2)
+        new = j_majority_round(states, make_rng(), j=3)
+        assert (new == 2).all()
+
+    def test_three_majority_two_of_three(self):
+        # With only two opinions, a three-way tie is impossible, so the
+        # update is the majority of three honest samples; the opinion set
+        # can only shrink.
+        states = np.array([1] * 15 + [2] * 5)
+        new = j_majority_round(states, make_rng(3), j=3)
+        assert set(np.unique(new)) <= {1, 2}
+
+    def test_rejects_bad_j(self):
+        with pytest.raises(ValueError):
+            j_majority_round(np.array([1, 2]), make_rng(), j=4)
+
+
+class TestRunners:
+    def test_all_runners_converge(self):
+        config = Configuration.from_supports([60, 30, 10], undecided=0)
+        for runner in (run_voter, run_two_choices, run_three_majority):
+            result = runner(config, rng=make_rng(1))
+            assert result.converged, runner.__name__
+            assert result.winner in (1, 2, 3)
+
+    def test_rejects_undecided_agents(self):
+        config = Configuration.from_supports([10, 10], undecided=5)
+        with pytest.raises(ValueError, match="undecided"):
+            run_voter(config, rng=make_rng())
+
+    def test_two_choices_finds_plurality_with_bias(self):
+        config = Configuration.from_supports([140, 30, 30], undecided=0)
+        wins = sum(
+            run_two_choices(config, rng=make_rng(s)).winner == 1 for s in range(10)
+        )
+        assert wins >= 8
+
+    def test_three_majority_finds_plurality_with_bias(self):
+        config = Configuration.from_supports([140, 30, 30], undecided=0)
+        wins = sum(
+            run_three_majority(config, rng=make_rng(s)).winner == 1 for s in range(10)
+        )
+        assert wins >= 8
+
+    def test_voter_winner_roughly_proportional(self):
+        # Voter is a martingale: opinion 1 with 25% support should win
+        # roughly 25% of runs, far from "w.h.p.".
+        config = Configuration.from_supports([25, 75], undecided=0)
+        wins = sum(run_voter(config, rng=make_rng(s)).winner == 1 for s in range(60))
+        assert 3 <= wins <= 30
+
+    def test_run_j_majority_dispatch(self):
+        config = Configuration.from_supports([30, 10], undecided=0)
+        result = run_j_majority(config, 2, rng=make_rng(2))
+        assert result.converged

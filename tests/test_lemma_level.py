@@ -1,0 +1,173 @@
+"""Lemma-level empirical checks: paper inequalities on the live process.
+
+Each test measures one inequality from the paper's analysis directly on
+simulated configurations or short runs, complementing the experiment
+suite (which checks end-to-end behavior) with targeted micro-checks.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.fastsim import simulate
+from repro.core.phases import PhaseTracker
+from repro.core.potentials import (
+    expected_phase1_drift_lower_bound,
+    phase1_potential,
+)
+from repro.core.probabilities import (
+    p_minus,
+    p_plus,
+    p_tilde_plus,
+    p_tilde_plus_bound,
+    pair_step,
+    ustar,
+)
+from repro.core.recorder import CompositeObserver, TrajectoryRecorder
+from repro.workloads import dirichlet_configuration, uniform_configuration
+
+
+class TestLemma1Drift:
+    """Lemma 1: E[Z(t) - Z(t+1)] >= Z(t)/(2n) while Z >= 0 and u < n/2."""
+
+    def exact_drift(self, config: Configuration) -> float:
+        """Exact one-step drift of Z = n - 2u - xmax from the transition law.
+
+        Z changes by -2 * dU except that interactions moving the (unique)
+        maximum opinion change it by -2 dU - dXmax; we compute the exact
+        expectation by enumerating productive events.
+        """
+        n = config.n
+        counts = np.asarray(config.counts)
+        supports = counts[1:]
+        xmax = supports.max()
+        max_set = np.flatnonzero(supports == xmax)
+        drift = 0.0
+        u = int(counts[0])
+        for i, xi in enumerate(supports):
+            if xi == 0:
+                continue
+            adopt = u * xi / n**2  # u -> u - 1, x_i -> x_i + 1
+            clash = xi * (n - u - xi) / n**2  # u -> u + 1, x_i -> x_i - 1
+            dz_adopt = 2.0  # -2 * (-1)
+            dz_clash = -2.0
+            if i in max_set:
+                # xmax changes when the (unique) max opinion moves; with
+                # ties, growing one of the maxima raises xmax, shrinking
+                # one does not (another stays at xmax).
+                dz_adopt -= 1.0
+                if max_set.size == 1:
+                    dz_clash += 1.0
+            drift += adopt * dz_adopt + clash * dz_clash
+        # Z(t) - Z(t+1) = -dZ; the paper states E[Z(t) - Z(t+1)] >= Z/2n.
+        return -drift
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_drift_dominates_bound_on_random_configs(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = 300, 4
+        config = dirichlet_configuration(n, k, rng, concentration=2.0)
+        # Lemma 1's regime: Z >= 0 and u < n/2 (u = 0 here).
+        z = phase1_potential(config)
+        if z < 0:
+            pytest.skip("configuration outside the Phase 1 regime")
+        measured = self.exact_drift(config)
+        bound = expected_phase1_drift_lower_bound(config)
+        assert measured >= bound - 1e-12
+
+    def test_drift_positive_at_uniform_start(self):
+        config = uniform_configuration(400, 4)
+        assert self.exact_drift(config) > 0
+
+
+class TestObservation7Bound:
+    """p̃+ <= 1/2 - eps/2 whenever u >= u* + eps n (worst case: uniform)."""
+
+    @pytest.mark.parametrize("k", [2, 3, 8])
+    @pytest.mark.parametrize("eps", [0.02, 0.05, 0.1])
+    def test_bound_holds_above_equilibrium(self, k, eps):
+        n = 1000
+        u = int(math.ceil(ustar(n, k) + eps * n))
+        if u >= n - k:
+            pytest.skip("no room for decided agents")
+        decided = n - u
+        base = decided // k
+        supports = [base + (1 if i < decided - base * k else 0) for i in range(k)]
+        config = Configuration.from_supports(supports, undecided=u)
+        eps_actual = (config.undecided - ustar(n, k)) / n
+        assert p_tilde_plus(config) <= p_tilde_plus_bound(n, k, eps_actual) + 1e-9
+
+    def test_drift_sign_flips_at_equilibrium(self):
+        # Above u*: undecided count drifts down; below: up (for the
+        # symmetric configuration).
+        k = 3
+        n = 500
+        above = Configuration.from_supports([90, 90, 90], undecided=230)
+        below = Configuration.from_supports([110, 110, 110], undecided=170)
+        assert ustar(n, k) == pytest.approx(200.0)
+        assert p_minus(above) > p_plus(above)
+        assert p_minus(below) < p_plus(below)
+
+
+class TestLemma6SmallOpinions:
+    """Lemma 6.1: opinions below 20 sqrt(n log n) do not double (in Phase 2+)."""
+
+    def test_small_opinion_stays_small(self):
+        n = 3000
+        threshold = 20 * math.sqrt(n * math.log(n))
+        # A configuration past T1 with one small opinion.
+        small = int(0.2 * math.sqrt(n * math.log(n)))
+        big = (n - small) // 2
+        config = Configuration.from_supports(
+            [big, n - small - 2 * big + big, small], undecided=0
+        )
+        # Track the small opinion for the whole run over several seeds.
+        for seed in range(3):
+            peak = {"value": 0}
+
+            def watch(t, counts):
+                peak["value"] = max(peak["value"], int(counts[3]))
+                return False
+
+            simulate(config, rng=np.random.default_rng(seed), observer=watch)
+            assert peak["value"] <= 2 * threshold
+
+
+class TestObservation9Drift:
+    """The pairwise gap drift is positive for the leader in-phase."""
+
+    def test_gap_drift_positive_after_t1(self):
+        n, k = 1000, 3
+        config = uniform_configuration(n, k)
+        tracker = PhaseTracker(stop_after=2)
+        result = simulate(
+            config, rng=np.random.default_rng(4), observer=tracker.observe
+        )
+        at_t2 = result.final
+        # Re-index so opinion 1 is the current plurality.
+        leader = at_t2.max_opinion
+        trailing = [i for i in range(1, k + 1) if i != leader]
+        for other in trailing:
+            if at_t2.support(other) == 0:
+                continue
+            step = pair_step(at_t2, leader, other)
+            assert step.drift >= -1e-12
+
+
+class TestPhase5Speed:
+    """Lemma 16: from xmax >= 2n/3, consensus within O(n log n)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_endgame_is_nlogn(self, seed):
+        n = 2000
+        config = Configuration.from_supports([3 * n // 4, n // 4], undecided=0)
+        recorder = TrajectoryRecorder(every=max(1, n // 10))
+        tracker = PhaseTracker()
+        observer = CompositeObserver(recorder, tracker)
+        simulate(config, rng=np.random.default_rng(seed), observer=observer.observe)
+        t4 = tracker.times.t4
+        t5 = tracker.times.t5
+        assert t4 is not None and t5 is not None
+        assert t5 - t4 <= 20 * n * math.log(n)

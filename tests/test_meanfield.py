@@ -1,0 +1,114 @@
+"""Unit tests for the mean-field ODE model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.meanfield import (
+    jacobian,
+    meanfield_rhs,
+    solve_meanfield,
+    symmetric_fixed_point,
+)
+from repro.core.probabilities import ustar
+
+
+class TestRhs:
+    def test_consensus_is_fixed_point(self):
+        a = np.array([1.0, 0.0, 0.0])
+        assert np.allclose(meanfield_rhs(0.0, a), 0.0)
+
+    def test_symmetric_point_is_fixed(self):
+        k = 4
+        frac, _ = symmetric_fixed_point(k)
+        a = np.full(k, frac)
+        assert np.allclose(meanfield_rhs(0.0, a), 0.0, atol=1e-12)
+
+    def test_all_undecided_is_fixed(self):
+        a = np.zeros(3)
+        assert np.allclose(meanfield_rhs(0.0, a), 0.0)
+
+    def test_biased_opinion_grows_near_fixed_point(self):
+        # Slightly perturb the symmetric point in opinion 1's favor: the
+        # instability must push opinion 1 up.
+        k = 3
+        frac, _ = symmetric_fixed_point(k)
+        a = np.array([frac + 0.01, frac - 0.01, frac])
+        rhs = meanfield_rhs(0.0, a)
+        assert rhs[0] > rhs[1]
+
+
+class TestFixedPoint:
+    def test_matches_ustar(self):
+        for k in (2, 3, 8, 50):
+            _, w = symmetric_fixed_point(k)
+            assert w == pytest.approx(ustar(10**6, k) / 10**6)
+
+    def test_fractions_sum_below_one(self):
+        a, w = symmetric_fixed_point(5)
+        assert 5 * a + w == pytest.approx(1.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            symmetric_fixed_point(0)
+
+
+class TestJacobian:
+    def test_symmetric_point_is_unstable(self):
+        # The Jacobian at the symmetric fixed point has a positive
+        # eigenvalue (the paper's "unstable equilibrium").
+        k = 3
+        frac, _ = symmetric_fixed_point(k)
+        eigenvalues = np.linalg.eigvals(jacobian(np.full(k, frac)))
+        assert eigenvalues.real.max() > 0
+
+    def test_consensus_is_stable(self):
+        eigenvalues = np.linalg.eigvals(jacobian(np.array([1.0, 0.0, 0.0])))
+        assert eigenvalues.real.max() <= 1e-12
+
+    def test_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        a = rng.dirichlet(np.ones(4)) * 0.8
+        jac = jacobian(a)
+        eps = 1e-7
+        for j in range(4):
+            bumped = a.copy()
+            bumped[j] += eps
+            numeric = (meanfield_rhs(0.0, bumped) - meanfield_rhs(0.0, a)) / eps
+            assert np.allclose(jac[:, j], numeric, atol=1e-5)
+
+
+class TestSolve:
+    def test_biased_config_absorbs_to_winner(self):
+        config = Configuration.from_supports([60, 20, 20], undecided=0)
+        solution = solve_meanfield(config, t_max=40.0)
+        assert solution.winner() == 1
+        assert solution.final_fractions[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_undecided_fraction_consistent(self):
+        config = Configuration.from_supports([50, 30], undecided=20)
+        solution = solve_meanfield(config, t_max=5.0)
+        reconstructed = 1.0 - solution.fractions.sum(axis=1)
+        assert np.allclose(solution.undecided, reconstructed)
+
+    def test_symmetric_start_stays_symmetric(self):
+        # The ODE is deterministic: a perfectly symmetric start never
+        # breaks symmetry (unlike the stochastic process).
+        config = Configuration.from_supports([25, 25, 25, 25], undecided=0)
+        solution = solve_meanfield(config, t_max=10.0)
+        final = solution.final_fractions
+        assert np.allclose(final, final[0])
+        assert solution.winner() is None
+
+    def test_grid_parameters_validated(self):
+        config = Configuration.from_supports([5, 5], undecided=0)
+        with pytest.raises(ValueError):
+            solve_meanfield(config, t_max=0)
+        with pytest.raises(ValueError):
+            solve_meanfield(config, t_max=1.0, num_points=1)
+
+    def test_mass_never_exceeds_one(self):
+        config = Configuration.from_supports([50, 30], undecided=20)
+        solution = solve_meanfield(config, t_max=20.0)
+        assert (solution.fractions.sum(axis=1) <= 1.0 + 1e-9).all()
+        assert (solution.undecided >= -1e-9).all()

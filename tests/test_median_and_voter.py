@@ -1,0 +1,93 @@
+"""Unit tests for the MedianRule (gossip) and the Voter (population)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.gossip.median import median_rule_round, run_median_rule
+from repro.protocols.voter import default_voter_budget, run_voter_population
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestMedianRound:
+    def test_replay_matches_median(self):
+        states = np.array([1, 5, 3, 2, 4, 1, 5])
+        n = states.size
+        replay = np.random.default_rng(11)
+        first = states[replay.integers(0, n, size=n)]
+        second = states[replay.integers(0, n, size=n)]
+        expected = np.median(np.stack([states, first, second]), axis=0).astype(
+            states.dtype
+        )
+        new = median_rule_round(states, np.random.default_rng(11))
+        assert np.array_equal(new, expected)
+
+    def test_monochromatic_absorbing(self):
+        states = np.full(30, 4)
+        assert (median_rule_round(states, make_rng()) == 4).all()
+
+    def test_values_stay_in_range(self):
+        states = np.array([1, 2, 3, 4, 5] * 10)
+        new = median_rule_round(states, make_rng(1))
+        assert new.min() >= 1 and new.max() <= 5
+
+
+class TestMedianRun:
+    def test_converges(self):
+        config = Configuration.from_supports([50, 100, 50], undecided=0)
+        result = run_median_rule(config, rng=make_rng())
+        assert result.converged
+
+    def test_tracks_the_median_not_the_plurality(self):
+        # Plurality on opinion 3 but the *median* agent holds opinion 2.
+        config = Configuration.from_supports([60, 80, 90], undecided=0)
+        winners = [run_median_rule(config, rng=make_rng(s)).winner for s in range(10)]
+        assert all(w == 2 for w in winners)
+
+    def test_rejects_undecided(self):
+        config = Configuration.from_supports([10, 10], undecided=5)
+        with pytest.raises(ValueError, match="undecided"):
+            run_median_rule(config, rng=make_rng())
+
+
+class TestVoterPopulation:
+    def test_converges(self):
+        config = Configuration.from_supports([30, 20], undecided=0)
+        result = run_voter_population(config, rng=make_rng())
+        assert result.converged
+        assert result.final.n == 50
+
+    def test_rejects_undecided(self):
+        config = Configuration.from_supports([10, 10], undecided=2)
+        with pytest.raises(ValueError, match="undecided"):
+            run_voter_population(config, rng=make_rng())
+
+    def test_budget_exhaustion(self):
+        config = Configuration.from_supports([100, 100], undecided=0)
+        result = run_voter_population(config, rng=make_rng(), max_interactions=10)
+        assert result.budget_exhausted
+
+    def test_winner_distribution_is_martingale(self):
+        # Pr[opinion 1 wins] equals its initial fraction (1/4 here).
+        config = Configuration.from_supports([10, 30], undecided=0)
+        wins = sum(
+            run_voter_population(config, rng=make_rng(s)).winner == 1
+            for s in range(80)
+        )
+        assert 8 <= wins <= 34  # 80 * 0.25 = 20 expected
+
+    def test_quadratic_budget_default(self):
+        assert default_voter_budget(100) > 100**2
+
+    def test_budget_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            default_voter_budget(0)
+
+    def test_three_opinions(self):
+        config = Configuration.from_supports([20, 15, 15], undecided=0)
+        result = run_voter_population(config, rng=make_rng(3))
+        assert result.converged
+        assert result.winner in (1, 2, 3)

@@ -1,0 +1,138 @@
+"""Unit tests for the phase structure (Section 2.1 table)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fastsim import simulate
+from repro.core.phases import (
+    NUM_PHASES,
+    PhaseTimes,
+    PhaseTracker,
+    phase_condition_holds,
+    predicted_phase_bound,
+)
+from repro.workloads import uniform_configuration
+
+
+class TestPhaseConditions:
+    def test_phase1_boundary(self):
+        # n = 100, xmax = 40: condition u >= 30.
+        assert phase_condition_holds(1, [30, 40, 30])
+        assert not phase_condition_holds(1, [29, 40, 31])
+
+    def test_phase2_needs_additive_gap(self):
+        # n = 100: threshold sqrt(100 ln 100) ~ 21.5.
+        assert phase_condition_holds(2, [20, 60, 20])
+        assert not phase_condition_holds(2, [20, 45, 35])
+
+    def test_phase2_alpha_scales_threshold(self):
+        counts = [20, 55, 25]  # gap 30
+        assert phase_condition_holds(2, counts, alpha=1.0)
+        assert not phase_condition_holds(2, counts, alpha=2.0)
+
+    def test_phase3_multiplicative(self):
+        assert phase_condition_holds(3, [10, 60, 30])
+        assert not phase_condition_holds(3, [10, 59, 31])
+
+    def test_phase4_two_thirds(self):
+        assert phase_condition_holds(4, [10, 67, 23])
+        assert not phase_condition_holds(4, [10, 66, 24])
+
+    def test_phase5_consensus(self):
+        assert phase_condition_holds(5, [0, 100, 0])
+        assert not phase_condition_holds(5, [1, 99, 0])
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ValueError):
+            phase_condition_holds(6, [10, 50, 40])
+
+    def test_single_opinion_phases(self):
+        # With one opinion the runner-up support is 0.
+        assert phase_condition_holds(3, [5, 10])
+        assert phase_condition_holds(2, [0, 100])
+
+
+class TestPhaseTimes:
+    def test_duration_with_t0(self):
+        times = PhaseTimes(t1=10, t2=25, t3=25, t4=60, t5=100)
+        assert times.duration(1) == 10
+        assert times.duration(2) == 15
+        assert times.duration(3) == 0
+        assert times.complete
+
+    def test_duration_none_when_missing(self):
+        times = PhaseTimes(t1=10)
+        assert times.duration(2) is None
+        assert not times.complete
+
+    def test_get_validates_phase(self):
+        with pytest.raises(ValueError):
+            PhaseTimes().get(0)
+
+    def test_repr(self):
+        assert "T1=3" in repr(PhaseTimes(t1=3))
+
+
+class TestPhaseTracker:
+    def test_records_monotone_times_on_real_run(self):
+        config = uniform_configuration(300, 3)
+        tracker = PhaseTracker()
+        simulate(config, rng=np.random.default_rng(0), observer=tracker.observe)
+        times = tracker.times
+        assert times.complete
+        recorded = [times.get(p) for p in range(1, NUM_PHASES + 1)]
+        assert all(a <= b for a, b in zip(recorded, recorded[1:]))
+
+    def test_multiple_phases_can_share_a_time(self):
+        # An initial configuration that already satisfies phases 1-4.
+        tracker = PhaseTracker()
+        counts = np.array([25, 70, 5])
+        tracker.observe(0, counts)
+        assert tracker.times.t1 == 0
+        assert tracker.times.t2 == 0
+        assert tracker.times.t3 == 0
+        assert tracker.times.t4 == 0
+        assert tracker.times.t5 is None
+
+    def test_stop_after(self):
+        config = uniform_configuration(300, 3)
+        tracker = PhaseTracker(stop_after=1)
+        result = simulate(
+            config, rng=np.random.default_rng(1), observer=tracker.observe
+        )
+        assert result.stopped_by_observer
+        assert tracker.times.t1 is not None
+        assert tracker.times.t5 is None
+
+    def test_stop_after_validation(self):
+        with pytest.raises(ValueError):
+            PhaseTracker(stop_after=9)
+
+    def test_current_phase_advances(self):
+        tracker = PhaseTracker()
+        assert tracker.current_phase == 1
+        tracker.observe(0, np.array([50, 30, 20]))
+        assert tracker.current_phase == 2
+
+
+class TestPredictedBounds:
+    def test_phase1_and_5_are_nlogn(self):
+        assert predicted_phase_bound(1, 1000, 4) == predicted_phase_bound(5, 1000, 4)
+
+    def test_phase2_uses_xmax(self):
+        small = predicted_phase_bound(2, 1000, 4, xmax_at_entry=500)
+        large = predicted_phase_bound(2, 1000, 4, xmax_at_entry=100)
+        assert large > small
+
+    def test_default_xmax_is_pigeonhole(self):
+        explicit = predicted_phase_bound(2, 1000, 4, xmax_at_entry=125)
+        default = predicted_phase_bound(2, 1000, 4)
+        assert explicit == pytest.approx(default)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            predicted_phase_bound(0, 1000, 4)
+        with pytest.raises(ValueError):
+            predicted_phase_bound(1, 1, 4)
+        with pytest.raises(ValueError):
+            predicted_phase_bound(2, 1000, 4, xmax_at_entry=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the potential functions and distance measures."""
+
+import math
+
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.potentials import (
+    expected_phase1_drift_lower_bound,
+    generalized_potential,
+    monochromatic_distance,
+    phase1_potential,
+    undecided_envelope_holds,
+    undecided_lower_bound,
+    undecided_upper_bound,
+    ustar_gap,
+)
+
+
+class TestPhase1Potential:
+    def test_formula(self):
+        config = Configuration.from_supports([40, 30], undecided=30)
+        assert phase1_potential(config) == 100 - 60 - 40
+
+    def test_nonpositive_exactly_when_phase1_over(self):
+        over = Configuration.from_supports([40, 30], undecided=30)
+        assert phase1_potential(over) <= 0
+        not_over = Configuration.from_supports([40, 50], undecided=10)
+        assert phase1_potential(not_over) > 0
+
+    def test_generalized_recovers_phase1_at_alpha1(self):
+        config = Configuration.from_supports([40, 30], undecided=10)
+        assert generalized_potential(config, 1.0) == phase1_potential(config)
+
+    def test_generalized_phase4_alpha(self):
+        config = Configuration.from_supports([40, 30], undecided=10)
+        assert generalized_potential(config, 7 / 8) == pytest.approx(
+            80 - 20 - 7 / 8 * 40
+        )
+
+    def test_generalized_rejects_negative_alpha(self):
+        config = Configuration.from_supports([40, 30], undecided=10)
+        with pytest.raises(ValueError):
+            generalized_potential(config, -0.5)
+
+    def test_drift_lower_bound(self):
+        config = Configuration.from_supports([40, 50], undecided=10)
+        assert expected_phase1_drift_lower_bound(config) == pytest.approx(
+            phase1_potential(config) / 200
+        )
+
+
+class TestMonochromaticDistance:
+    def test_monochromatic_is_one(self):
+        config = Configuration.from_supports([100, 0, 0], undecided=0)
+        assert monochromatic_distance(config) == pytest.approx(1.0)
+
+    def test_uniform_is_k(self):
+        config = Configuration.from_supports([25, 25, 25, 25], undecided=0)
+        assert monochromatic_distance(config) == pytest.approx(4.0)
+
+    def test_bounded_by_k(self):
+        config = Configuration.from_supports([50, 30, 20], undecided=0)
+        md = monochromatic_distance(config)
+        assert 1.0 <= md <= 3.0
+
+    def test_undefined_without_decided_agents(self):
+        config = Configuration.from_supports([0, 0], undecided=10)
+        with pytest.raises(ValueError):
+            monochromatic_distance(config)
+
+
+class TestEnvelope:
+    def test_upper_bound_below_half_n(self):
+        assert undecided_upper_bound(10_000) < 5_000
+
+    def test_upper_bound_larger_c_is_looser(self):
+        assert undecided_upper_bound(10_000, c=10.0) > undecided_upper_bound(
+            10_000, c=1.0
+        )
+
+    def test_upper_bound_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            undecided_upper_bound(100, c=0)
+
+    def test_lower_bound_formula(self):
+        config = Configuration.from_supports([400, 100], undecided=500)
+        n = 1000
+        expected = n / 2 - 200 - 8 * math.sqrt(n * math.log(n))
+        assert undecided_lower_bound(config) == pytest.approx(expected)
+
+    def test_envelope_holds_inside(self):
+        # u close to (n - xmax)/2: inside both bounds.
+        config = Configuration.from_supports([400, 200], undecided=400)
+        assert undecided_envelope_holds(config, c=2.0)
+
+    def test_envelope_fails_above(self):
+        config = Configuration.from_supports([100, 100], undecided=800)
+        assert not undecided_envelope_holds(config)
+
+
+class TestUstarGap:
+    def test_sign(self):
+        # k = 2: u* = n/3.
+        above = Configuration.from_supports([100, 100], undecided=160)
+        below = Configuration.from_supports([150, 150], undecided=60)
+        assert ustar_gap(above) > 0
+        assert ustar_gap(below) < 0

@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.probabilities (Appendix B observations)."""
+
+import math
+
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.probabilities import (
+    expected_undecided_drift,
+    opinion_step,
+    p_minus,
+    p_plus,
+    p_productive,
+    p_tilde_plus,
+    p_tilde_plus_bound,
+    p_tilde_plus_bound_exact,
+    pair_step,
+    parallel_time,
+    ustar,
+)
+
+
+@pytest.fixture
+def config():
+    return Configuration.from_supports([6, 4, 2], undecided=8)
+
+
+class TestUstar:
+    def test_two_opinions(self):
+        assert ustar(300, 2) == pytest.approx(100.0)
+
+    def test_large_k_approaches_half(self):
+        assert ustar(1000, 1000) == pytest.approx(1000 * 999 / 1999)
+
+    def test_one_opinion_is_zero(self):
+        assert ustar(100, 1) == 0.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ustar(100, 0)
+        with pytest.raises(ValueError):
+            ustar(0, 2)
+
+
+class TestObservation6:
+    def test_p_minus_formula(self, config):
+        # u (n - u) / n^2 = 8 * 12 / 400
+        assert p_minus(config) == pytest.approx(96 / 400)
+
+    def test_p_plus_formula(self, config):
+        # ((n-u)^2 - r2) / n^2 = (144 - 56) / 400
+        assert p_plus(config) == pytest.approx(88 / 400)
+
+    def test_p_productive(self, config):
+        assert p_productive(config) == pytest.approx(p_minus(config) + p_plus(config))
+
+    def test_p_plus_zero_at_consensus(self):
+        config = Configuration.from_supports([10, 0], undecided=0)
+        assert p_plus(config) == 0.0
+        assert p_minus(config) == 0.0
+
+    def test_probabilities_in_unit_interval(self, config):
+        assert 0 <= p_minus(config) <= 1
+        assert 0 <= p_plus(config) <= 1
+        assert p_productive(config) <= 1
+
+
+class TestObservation7:
+    def test_p_tilde_plus(self, config):
+        expected = p_plus(config) / (p_plus(config) + p_minus(config))
+        assert p_tilde_plus(config) == pytest.approx(expected)
+
+    def test_p_tilde_plus_raises_at_absorbed(self):
+        config = Configuration.from_supports([10, 0], undecided=0)
+        with pytest.raises(ValueError, match="absorbed"):
+            p_tilde_plus(config)
+
+    def test_bound_above_equilibrium(self):
+        # A configuration with u well above u* must satisfy the bound.
+        n, k = 400, 2
+        eps = 0.1
+        u = int(ustar(n, k) + eps * n)
+        per_opinion = (n - u) // k
+        config = Configuration.from_supports(
+            [per_opinion, n - u - per_opinion], undecided=u
+        )
+        assert p_tilde_plus(config) <= p_tilde_plus_bound(n, k, eps) + 1e-9
+
+    def test_exact_bound_tighter_than_simple(self):
+        for k in (2, 5, 20):
+            assert p_tilde_plus_bound_exact(100, k, 0.1) <= p_tilde_plus_bound(
+                100, k, 0.1
+            ) + 1e-12
+
+    def test_bound_rejects_negative_eps(self):
+        with pytest.raises(ValueError):
+            p_tilde_plus_bound(100, 2, -0.1)
+
+
+class TestObservation8:
+    def test_up_and_down(self, config):
+        step = opinion_step(config, 1)
+        # up = u x1 / n^2, down = x1 (n - u - x1) / n^2
+        assert step.up == pytest.approx(8 * 6 / 400)
+        assert step.down == pytest.approx(6 * (20 - 8 - 6) / 400)
+
+    def test_conditional_up(self, config):
+        step = opinion_step(config, 1)
+        assert step.conditional_up == pytest.approx(step.up / (step.up + step.down))
+
+    def test_drift_sign_above_equilibrium(self, config):
+        # u = 8, n - u - x1 = 6 for opinion 1: up = 48, down = 36 -> positive.
+        assert opinion_step(config, 1).drift > 0
+
+    def test_zero_support_opinion_never_moves(self):
+        config = Configuration.from_supports([10, 0], undecided=5)
+        step = opinion_step(config, 2)
+        assert step.up == 0 and step.down == 0
+        with pytest.raises(ValueError):
+            _ = step.conditional_up
+
+
+class TestObservation9:
+    def test_pair_formulas(self, config):
+        pair = pair_step(config, 1, 2)
+        n = config.n
+        assert pair.up == pytest.approx((8 * 6 + 4 * (20 - 8 - 4)) / n**2)
+        assert pair.down == pytest.approx((8 * 4 + 6 * (20 - 8 - 6)) / n**2)
+
+    def test_pair_rejects_same_opinion(self, config):
+        with pytest.raises(ValueError):
+            pair_step(config, 1, 1)
+
+    def test_pair_drift_positive_for_larger_opinion(self, config):
+        # Bigger opinion gains on the smaller one in expectation when the
+        # undecided pool is large (2u > n - x_i - x_j regime).
+        assert pair_step(config, 1, 3).drift > 0
+
+    def test_pair_antisymmetric(self, config):
+        forward = pair_step(config, 1, 2)
+        backward = pair_step(config, 2, 1)
+        assert forward.up == pytest.approx(backward.down)
+        assert forward.down == pytest.approx(backward.up)
+
+
+class TestHelpers:
+    def test_expected_undecided_drift(self, config):
+        assert expected_undecided_drift(config) == pytest.approx(
+            p_plus(config) - p_minus(config)
+        )
+
+    def test_parallel_time(self):
+        assert parallel_time(5000, 1000) == pytest.approx(5.0)
+
+    def test_parallel_time_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            parallel_time(10, 0)
+
+    def test_drift_zero_at_ustar_symmetric(self):
+        # At the symmetric configuration with u = u*, the undecided drift
+        # vanishes (the unstable equilibrium).
+        k = 3
+        n = (2 * k - 1) * 100  # 500: u* = 200, supports 100 each
+        u = int(ustar(n, k))
+        config = Configuration.from_supports([100] * k, undecided=u)
+        assert expected_undecided_drift(config) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,313 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These tests state the invariants the paper's analysis relies on and let
+hypothesis search for counterexamples: conservation of the population,
+responder-only updates, weight decompositions, bias-measure consistency,
+workload exactness, and probability-range laws.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import UNDECIDED, Configuration
+from repro.core.fastsim import simulate, step_weights
+from repro.core.potentials import monochromatic_distance, phase1_potential
+from repro.core.probabilities import p_minus, p_plus, pair_step
+from repro.core.transitions import classify_interaction, usd_delta
+from repro.randomwalk.gamblers_ruin import ruin_probability
+from repro.workloads import (
+    additive_bias_configuration,
+    multiplicative_bias_configuration,
+    uniform_configuration,
+    zipf_configuration,
+)
+
+configurations = st.builds(
+    Configuration.from_supports,
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8).filter(
+        lambda s: sum(s) > 0
+    ),
+    undecided=st.integers(min_value=0, max_value=50),
+)
+
+
+class TestDeltaProperties:
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_initiator_invariant(self, responder, initiator):
+        _, new_initiator = usd_delta(responder, initiator)
+        assert new_initiator == initiator
+
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_responder_change_only_to_undecided_or_initiator(
+        self, responder, initiator
+    ):
+        new_responder, _ = usd_delta(responder, initiator)
+        assert new_responder in (responder, initiator, UNDECIDED)
+
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_undecided_never_spontaneously_decides(self, responder, initiator):
+        if responder == UNDECIDED and initiator == UNDECIDED:
+            assert usd_delta(responder, initiator)[0] == UNDECIDED
+
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_classification_consistent(self, responder, initiator):
+        kind = classify_interaction(responder, initiator)
+        new_responder, _ = usd_delta(responder, initiator)
+        assert (kind.value == "noop") == (new_responder == responder)
+
+
+class TestConfigurationProperties:
+    @given(configurations)
+    def test_counts_sum_to_n(self, config):
+        assert config.undecided + config.supports.sum() == config.n
+
+    @given(configurations)
+    def test_additive_bias_bounds(self, config):
+        assert 0 <= config.additive_bias <= config.xmax
+
+    @given(configurations)
+    def test_multiplicative_bias_at_least_one(self, config):
+        assert config.multiplicative_bias >= 1.0
+
+    @given(configurations)
+    def test_significant_contains_plurality(self, config):
+        if config.xmax > 0:
+            assert config.max_opinion in config.significant_opinions()
+
+    @given(configurations)
+    def test_roundtrip_through_states(self, config):
+        states = config.to_states()
+        assert Configuration.from_states(states, config.k) == config
+
+    @given(configurations)
+    def test_r2_bounds(self, config):
+        decided = config.decided
+        assert config.xmax**2 <= config.r2 + (config.xmax == 0)
+        assert config.r2 <= decided**2 + (decided == 0)
+
+
+class TestProbabilityProperties:
+    @given(configurations)
+    def test_transition_probabilities_in_range(self, config):
+        assert 0.0 <= p_minus(config) <= 1.0
+        assert 0.0 <= p_plus(config) <= 1.0
+        assert p_minus(config) + p_plus(config) <= 1.0 + 1e-12
+
+    @given(configurations)
+    def test_weights_match_probabilities(self, config):
+        adopt, clash = step_weights(config.counts)
+        n_sq = config.n**2
+        assert adopt.sum() / n_sq == pytest.approx(p_minus(config))
+        assert clash.sum() / n_sq == pytest.approx(p_plus(config))
+
+    @given(configurations)
+    def test_pair_step_antisymmetry(self, config):
+        if config.k >= 2:
+            forward = pair_step(config, 1, 2)
+            backward = pair_step(config, 2, 1)
+            assert forward.up == pytest.approx(backward.down)
+
+    @given(configurations)
+    def test_phase1_potential_range(self, config):
+        z = phase1_potential(config)
+        assert -2 * config.n <= z <= config.n
+
+    @given(configurations)
+    def test_monochromatic_distance_range(self, config):
+        if config.xmax > 0:
+            md = monochromatic_distance(config)
+            assert 1.0 - 1e-9 <= md <= config.k + 1e-9
+
+
+class TestSimulationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.integers(1, 25), min_size=2, max_size=4),
+        st.integers(0, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_simulation_preserves_population_and_absorbs(
+        self, supports, undecided, seed
+    ):
+        config = Configuration.from_supports(supports, undecided=undecided)
+        result = simulate(config, rng=np.random.default_rng(seed))
+        assert result.final.n == config.n
+        assert result.converged
+        # The winner had non-zero support or gained it from undecided
+        # adoption of a surviving opinion; either way it existed initially.
+        assert config.support(result.winner) > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_fastsim_observer_sees_unit_steps(self, seed):
+        config = Configuration.from_supports([20, 20], undecided=10)
+        last = {"u": None}
+
+        def observer(t, counts):
+            u = int(counts[0])
+            if last["u"] is not None and t > 0:
+                assert abs(u - last["u"]) == 1  # undecided moves by one
+            last["u"] = u
+
+        simulate(config, rng=np.random.default_rng(seed), observer=observer)
+
+
+class TestWorkloadProperties:
+    @given(st.integers(2, 500), st.integers(1, 8))
+    def test_uniform_exact_total(self, n, k):
+        if k <= n:
+            config = uniform_configuration(n, k)
+            assert config.n == n
+            assert config.supports.max() - config.supports.min() <= 1
+
+    @given(st.integers(10, 500), st.integers(2, 6), st.integers(0, 50))
+    def test_additive_exact_total_and_bias(self, n, k, beta):
+        if n >= beta + k:
+            config = additive_bias_configuration(n, k, beta)
+            assert config.n == n
+            assert config.additive_bias >= beta
+
+    @given(st.integers(50, 500), st.integers(2, 6), st.floats(1.0, 4.0))
+    def test_multiplicative_exact_total_and_bias(self, n, k, alpha):
+        try:
+            config = multiplicative_bias_configuration(n, k, alpha)
+        except ValueError:
+            return  # unrealizable combination is allowed to raise
+        assert config.n == n
+        assert config.multiplicative_bias >= alpha - 1e-9
+
+    @given(st.integers(20, 500), st.integers(2, 5), st.floats(0.0, 1.5))
+    def test_zipf_exact_total(self, n, k, exponent):
+        try:
+            config = zipf_configuration(n, k, exponent)
+        except ValueError:
+            return
+        assert config.n == n
+        assert (np.diff(config.supports) <= 0).all()
+
+
+class TestRandomWalkProperties:
+    @given(
+        st.integers(1, 30),
+        st.integers(2, 60),
+        st.floats(0.05, 0.95),
+    )
+    def test_ruin_probability_in_unit_interval(self, a, extra, p):
+        b = a + extra
+        value = ruin_probability(a, b, p)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(1, 20), st.integers(1, 40))
+    def test_ruin_monotone_in_p(self, a, extra):
+        b = a + extra
+        assert ruin_probability(a, b, 0.4) >= ruin_probability(a, b, 0.6) - 1e-12
+
+    @given(st.integers(2, 20), st.integers(1, 40), st.floats(0.1, 0.9))
+    def test_ruin_monotone_in_start(self, a, extra, p):
+        b = a + extra + 1
+        closer = ruin_probability(a, b, p)
+        farther = ruin_probability(a - 1, b, p)
+        assert farther >= closer - 1e-12
+
+
+class TestCouplingProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(st.integers(1, 15), min_size=2, max_size=4),
+        st.integers(0, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_lemma17_invariant_holds(self, supports, undecided, seed):
+        from repro.core.coupling import run_coupled
+
+        config = Configuration.from_supports(supports, undecided=undecided)
+        result = run_coupled(
+            config, rng=np.random.default_rng(seed), max_interactions=5_000
+        )
+        assert result.invariant_violations == 0
+        assert result.final.n == config.n
+        assert result.final_tilde.n == config.n
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(0, 20), min_size=2, max_size=5).filter(
+            lambda s: sum(s) > 0
+        ),
+        st.integers(0, 10),
+    )
+    def test_canonical_vectors_reconstruct_counts(self, supports, undecided):
+        from repro.core.coupling import canonical_vectors
+
+        counts = np.concatenate(([undecided], supports)).astype(np.int64)
+        tilde = np.array(
+            [undecided, supports[0], sum(supports[1:])], dtype=np.int64
+        )
+        v, v_tilde = canonical_vectors(counts, tilde)
+        assert np.array_equal(np.bincount(v, minlength=counts.size), counts)
+        assert np.array_equal(np.bincount(v_tilde, minlength=3), tilde)
+
+
+class TestExactChainProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(st.integers(0, 4), min_size=2, max_size=2).filter(
+            lambda s: sum(s) > 0
+        ),
+        st.integers(0, 3),
+    )
+    def test_win_probabilities_sum_to_one(self, supports, undecided):
+        from repro.core.exact import ExactChain
+
+        config = Configuration.from_supports(supports, undecided=undecided)
+        chain = ExactChain(config.n, config.k)
+        probs = chain.win_probabilities(config)
+        assert sum(probs.values()) == pytest.approx(1.0)
+        assert all(-1e-12 <= p <= 1 + 1e-12 for p in probs.values())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 6), st.integers(0, 6))
+    def test_expected_time_nonnegative(self, x1, x2):
+        from repro.core.exact import ExactChain
+
+        if x1 + x2 == 0:
+            return
+        config = Configuration.from_supports([x1, x2], undecided=0)
+        chain = ExactChain(config.n, config.k)
+        assert chain.expected_absorption_time(config) >= 0.0
+
+
+class TestFaultProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(st.integers(1, 15), min_size=2, max_size=3),
+        st.lists(st.integers(0, 5), min_size=2, max_size=3),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_zealots_preserve_flexible_population(self, supports, zealots, seed):
+        from repro.faults import simulate_with_zealots
+
+        if len(zealots) != len(supports):
+            zealots = (zealots + [0] * len(supports))[: len(supports)]
+        config = Configuration.from_supports(supports, undecided=0)
+        result = simulate_with_zealots(
+            config, zealots, rng=np.random.default_rng(seed), max_interactions=3_000
+        )
+        assert result.final.n == config.n
+        assert result.zealots.tolist() == list(zealots)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.0, 1.0), st.integers(0, 2**31 - 1))
+    def test_noise_preserves_population(self, rho, seed):
+        from repro.faults import simulate_with_noise
+
+        config = Configuration.from_supports([20, 20], undecided=5)
+        result = simulate_with_noise(
+            config, rho, horizon=2_000, rng=np.random.default_rng(seed)
+        )
+        assert result.final.n == 45
+        assert 0.0 <= result.tail_mean_plurality_fraction <= 1.0
+        assert result.max_plurality_fraction <= 1.0

@@ -1,0 +1,136 @@
+"""Unit tests for the generic population protocol engine."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.base import PopulationProtocol, run_protocol
+
+
+class EpidemicProtocol(PopulationProtocol):
+    """Toy protocol: state 1 infects state 0 (one-way epidemic)."""
+
+    @property
+    def num_states(self):
+        return 2
+
+    def delta(self, responder, initiator):
+        if initiator == 1:
+            return 1, 1
+        return responder, initiator
+
+    def output(self, state):
+        return state + 1  # outputs 1 or 2; never "undecided"
+
+
+class BothChangeProtocol(PopulationProtocol):
+    """Toy protocol where both agents change: (0, 1) -> (1, 0)."""
+
+    @property
+    def num_states(self):
+        return 2
+
+    def delta(self, responder, initiator):
+        if responder == 0 and initiator == 1:
+            return 1, 0
+        return responder, initiator
+
+    def output(self, state):
+        return state + 1
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRunProtocol:
+    def test_epidemic_spreads_to_all(self):
+        counts = np.array([99, 1])
+        result = run_protocol(
+            EpidemicProtocol(), counts, rng=make_rng(), max_interactions=500_000
+        )
+        assert result.converged
+        assert result.output == 2
+        assert result.final_counts.tolist() == [0, 100]
+
+    def test_counts_conserved(self):
+        counts = np.array([50, 50])
+        result = run_protocol(
+            BothChangeProtocol(), counts, rng=make_rng(1), max_interactions=10_000
+        )
+        assert result.final_counts.sum() == 100
+
+    def test_initial_counts_not_aliased(self):
+        counts = np.array([99, 1])
+        result = run_protocol(
+            EpidemicProtocol(), counts, rng=make_rng(), max_interactions=500_000
+        )
+        assert result.initial_counts.tolist() == [99, 1]
+
+    def test_budget_exhaustion(self):
+        counts = np.array([50, 50])
+        result = run_protocol(
+            BothChangeProtocol(), counts, rng=make_rng(), max_interactions=10
+        )
+        # BothChange just swaps tokens; it never converges.
+        assert result.budget_exhausted
+        assert result.interactions == 10
+
+    def test_both_change_preserves_token_counts(self):
+        counts = np.array([30, 70])
+        result = run_protocol(
+            BothChangeProtocol(), counts, rng=make_rng(2), max_interactions=5_000
+        )
+        # The swap protocol preserves each state's multiplicity exactly.
+        assert result.final_counts.tolist() == [30, 70]
+
+    def test_already_converged(self):
+        counts = np.array([0, 10])
+        result = run_protocol(
+            EpidemicProtocol(), counts, rng=make_rng(), max_interactions=100
+        )
+        assert result.converged
+        assert result.interactions == 0
+
+    def test_histogram_size_validated(self):
+        with pytest.raises(ValueError, match="slots"):
+            run_protocol(
+                EpidemicProtocol(),
+                np.array([1, 2, 3]),
+                rng=make_rng(),
+                max_interactions=10,
+            )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            run_protocol(
+                EpidemicProtocol(),
+                np.array([-1, 2]),
+                rng=make_rng(),
+                max_interactions=10,
+            )
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            run_protocol(
+                EpidemicProtocol(),
+                np.array([0, 0]),
+                rng=make_rng(),
+                max_interactions=10,
+            )
+
+    def test_check_every_validated(self):
+        with pytest.raises(ValueError, match="check_every"):
+            run_protocol(
+                EpidemicProtocol(),
+                np.array([5, 5]),
+                rng=make_rng(),
+                max_interactions=10,
+                check_every=0,
+            )
+
+    def test_parallel_time_property(self):
+        counts = np.array([99, 1])
+        result = run_protocol(
+            EpidemicProtocol(), counts, rng=make_rng(), max_interactions=500_000
+        )
+        assert result.parallel_time == pytest.approx(result.interactions / 100)

@@ -1,0 +1,62 @@
+"""Tests for the USD running on the generic protocol engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.fastsim import simulate
+from repro.protocols.usd import UsdProtocol, run_usd_generic
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestUsdProtocol:
+    def test_num_states(self):
+        assert UsdProtocol(5).num_states == 6
+
+    def test_delta_matches_core(self):
+        protocol = UsdProtocol(3)
+        assert protocol.delta(1, 2) == (0, 2)
+        assert protocol.delta(0, 2) == (2, 2)
+        assert protocol.delta(2, 2) == (2, 2)
+
+    def test_output_identity(self):
+        assert UsdProtocol(3).output(2) == 2
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            UsdProtocol(0)
+
+
+class TestGenericRun:
+    def test_converges(self):
+        config = Configuration.from_supports([40, 20], undecided=0)
+        result = run_usd_generic(config, rng=make_rng(), max_interactions=200_000)
+        assert result.converged
+        assert result.output in (1, 2)
+
+    def test_population_conserved(self):
+        config = Configuration.from_supports([20, 20, 20], undecided=6)
+        result = run_usd_generic(config, rng=make_rng(1), max_interactions=200_000)
+        assert result.final_counts.sum() == 66
+
+    def test_statistically_agrees_with_fastsim(self):
+        # Same process, two engines: compare win rates for a biased start.
+        config = Configuration.from_supports([30, 15], undecided=5)
+        trials = 40
+        generic_wins = 0
+        fast_wins = 0
+        seeds = np.random.SeedSequence(9).spawn(2 * trials)
+        for child in seeds[:trials]:
+            result = run_usd_generic(
+                config, rng=np.random.default_rng(child), max_interactions=300_000
+            )
+            if result.output == 1:
+                generic_wins += 1
+        for child in seeds[trials:]:
+            result = simulate(config, rng=np.random.default_rng(child))
+            if result.winner == 1:
+                fast_wins += 1
+        assert abs(generic_wins - fast_wins) / trials < 0.3

@@ -1,0 +1,234 @@
+"""Unit tests for the Appendix A random-walk toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.randomwalk.concentration import (
+    anti_concentration_lower_bound,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_tail,
+)
+from repro.randomwalk.doerr import (
+    DoerrWalk,
+    doerr_absorption_times,
+    doerr_success_probability,
+)
+from repro.randomwalk.drift import (
+    exponential_potential_excursion_bound,
+    lemma1_time_bound,
+    multiplicative_drift_tail,
+    multiplicative_drift_time_bound,
+)
+from repro.randomwalk.gamblers_ruin import (
+    GamblersRuinWalk,
+    expected_duration,
+    ruin_probability,
+    win_probability,
+)
+from repro.randomwalk.reflected import (
+    ReflectedWalk,
+    excess_failure_bound,
+    reflected_hitting_tail_bound,
+    stationary_tail,
+)
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestGamblersRuinFormulas:
+    def test_fair_walk_classical(self):
+        assert ruin_probability(3, 10, 0.5) == pytest.approx(0.7)
+        assert win_probability(3, 10, 0.5) == pytest.approx(0.3)
+
+    def test_probabilities_complement(self):
+        assert ruin_probability(5, 20, 0.6) + win_probability(5, 20, 0.6) == pytest.approx(
+            1.0
+        )
+
+    def test_favorable_bias_wins_more(self):
+        assert win_probability(5, 20, 0.6) > win_probability(5, 20, 0.5)
+
+    def test_formula_against_direct_evaluation(self):
+        a, b, p = 4, 12, 0.55
+        rho = (1 - p) / p
+        expected = (rho**b - rho**a) / (rho**b - 1)
+        assert ruin_probability(a, b, p) == pytest.approx(expected)
+
+    def test_large_b_numerically_stable(self):
+        # rho > 1 with large b would overflow the naive formula.
+        value = ruin_probability(10, 5000, 0.4)
+        assert 0.99 <= value <= 1.0
+
+    def test_fair_duration(self):
+        assert expected_duration(3, 10, 0.5) == pytest.approx(21.0)
+
+    def test_biased_duration_positive(self):
+        assert expected_duration(5, 20, 0.6) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ruin_probability(0, 10, 0.5)
+        with pytest.raises(ValueError):
+            ruin_probability(5, 5, 0.5)
+        with pytest.raises(ValueError):
+            ruin_probability(2, 5, 1.0)
+
+
+class TestGamblersRuinSimulation:
+    def test_simulated_matches_formula(self):
+        walk = GamblersRuinWalk(a=5, b=15, p=0.55)
+        estimate = walk.estimate_win_probability(300, make_rng(1))
+        assert abs(estimate - win_probability(5, 15, 0.55)) < 0.1
+
+    def test_run_returns_absorption(self):
+        walk = GamblersRuinWalk(a=2, b=6, p=0.5)
+        won, steps = walk.run(make_rng(2))
+        assert isinstance(won, bool)
+        assert steps >= 2  # needs at least a=2 steps to hit 0
+
+    def test_trials_validated(self):
+        walk = GamblersRuinWalk(a=2, b=6, p=0.5)
+        with pytest.raises(ValueError):
+            walk.estimate_win_probability(0, make_rng())
+
+
+class TestReflectedWalk:
+    def test_stationary_tail_geometric(self):
+        assert stationary_tail(3, 0.2, 0.4) == pytest.approx(0.125)
+
+    def test_tail_bound_clamped(self):
+        assert reflected_hitting_tail_bound(1, 0.3, 0.4, horizon=100) == 1.0
+
+    def test_bound_decreases_in_m(self):
+        low = reflected_hitting_tail_bound(30, 0.3, 0.4, horizon=100)
+        high = reflected_hitting_tail_bound(20, 0.3, 0.4, horizon=100)
+        assert low < high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stationary_tail(3, 0.5, 0.4)  # needs q > p
+        with pytest.raises(ValueError):
+            stationary_tail(-1, 0.2, 0.4)
+        with pytest.raises(ValueError):
+            ReflectedWalk(0.7, 0.5)  # p + q > 1
+
+    def test_simulated_respects_bound(self):
+        walk = ReflectedWalk(0.3, 0.5)
+        hits = walk.hit_probability(m=20, horizon=400, trials=200, rng=make_rng(3))
+        bound = reflected_hitting_tail_bound(20, 0.3, 0.5, 400)
+        assert hits <= bound + 3 / math.sqrt(200)
+
+    def test_run_max_non_negative(self):
+        walk = ReflectedWalk(0.3, 0.5)
+        assert walk.run_max(100, make_rng(4)) >= 0
+
+    def test_excess_failure_bound(self):
+        assert excess_failure_bound(3, 0.6) == pytest.approx((0.4 / 0.6) ** 3)
+        with pytest.raises(ValueError):
+            excess_failure_bound(3, 0.5)
+
+
+class TestDoerrWalk:
+    def test_step_probabilities(self):
+        walk = DoerrWalk(levels=4, p=0.5)
+        assert walk.step_up_probability(0) == 0.5
+        assert walk.step_up_probability(1) == pytest.approx(1 - math.exp(-2))
+        assert walk.step_up_probability(3) == pytest.approx(1 - math.exp(-8))
+
+    def test_step_probability_range_validated(self):
+        walk = DoerrWalk(levels=4, p=0.5)
+        with pytest.raises(ValueError):
+            walk.step_up_probability(4)
+
+    def test_absorbs(self):
+        times = doerr_absorption_times(4, 0.5, trials=50, rng=make_rng(5))
+        assert (times >= 4).all()  # needs at least `levels` steps
+        assert times.mean() < 100  # far below any log-scale budget
+
+    def test_success_probability_constant(self):
+        assert doerr_success_probability(5, 0.5) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DoerrWalk(levels=0, p=0.5)
+        with pytest.raises(ValueError):
+            DoerrWalk(levels=3, p=1.5)
+        with pytest.raises(ValueError):
+            doerr_absorption_times(3, 0.5, trials=0, rng=make_rng())
+
+
+class TestDrift:
+    def test_time_bound_formula(self):
+        bound = multiplicative_drift_time_bound(s0=100, s_min=1, delta=0.01, r=3)
+        assert bound == math.ceil((3 + math.log(100)) / 0.01)
+
+    def test_tail(self):
+        assert multiplicative_drift_tail(3) == pytest.approx(math.exp(-3))
+
+    def test_lemma1_bound(self):
+        n = 1000
+        assert lemma1_time_bound(n) == math.ceil(7 * n * math.log(n))
+
+    def test_excursion_level(self):
+        n = 1000
+        assert exponential_potential_excursion_bound(n, 10**6) == pytest.approx(
+            8 * math.sqrt(n * math.log(n))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiplicative_drift_time_bound(1, 2, 0.1, 1)
+        with pytest.raises(ValueError):
+            multiplicative_drift_time_bound(10, 1, 0, 1)
+        with pytest.raises(ValueError):
+            multiplicative_drift_tail(-1)
+        with pytest.raises(ValueError):
+            lemma1_time_bound(1)
+
+
+class TestConcentration:
+    def test_chernoff_upper(self):
+        assert chernoff_upper_tail(100, 0.5) == pytest.approx(math.exp(-100 * 0.25 / 3))
+
+    def test_chernoff_lower(self):
+        assert chernoff_lower_tail(100, 0.5) == pytest.approx(math.exp(-100 * 0.25 / 2))
+
+    def test_hoeffding(self):
+        assert hoeffding_tail(10, 100, 2.0) == pytest.approx(
+            math.exp(-2 * 100 / (100 * 4))
+        )
+
+    def test_anti_concentration(self):
+        mu, delta = 400, 0.1
+        assert anti_concentration_lower_bound(mu, delta) == pytest.approx(
+            math.exp(-9 * delta**2 * mu)
+        )
+
+    def test_anti_concentration_validity_window(self):
+        with pytest.raises(ValueError):
+            anti_concentration_lower_bound(400, 0.6)
+        with pytest.raises(ValueError):
+            anti_concentration_lower_bound(10, 0.1)  # delta^2 mu < 3
+
+    def test_anti_concentration_empirical(self):
+        # Binomial(1000, 0.3): Pr[X >= (1+0.1)*300] must exceed the bound.
+        rng = make_rng(6)
+        mu, delta = 300, 0.1
+        samples = rng.binomial(1000, 0.3, size=4000)
+        empirical = float((samples >= (1 + delta) * mu).mean())
+        assert empirical >= anti_concentration_lower_bound(mu, delta)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10, 1.5)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.0)
+        with pytest.raises(ValueError):
+            hoeffding_tail(1, 0, 1.0)

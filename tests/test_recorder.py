@@ -1,0 +1,106 @@
+"""Unit tests for trajectory recording and observer composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.fastsim import simulate
+from repro.core.recorder import CompositeObserver, TrajectoryRecorder
+
+
+class TestTrajectoryRecorder:
+    def test_records_initial_snapshot(self):
+        recorder = TrajectoryRecorder()
+        recorder.observe(0, np.array([5, 10, 5]))
+        trajectory = recorder.trajectory()
+        assert trajectory.times[0] == 0
+        assert trajectory.undecided[0] == 5
+        assert trajectory.xmax[0] == 10
+        assert trajectory.second[0] == 5
+
+    def test_every_subsamples(self):
+        recorder = TrajectoryRecorder(every=10)
+        for t in range(25):
+            recorder.observe(t, np.array([0, 10, 5]))
+        trajectory = recorder.trajectory()
+        assert trajectory.times.tolist() == [0, 10, 20]
+
+    def test_every_validated(self):
+        with pytest.raises(ValueError):
+            TrajectoryRecorder(every=0)
+
+    def test_keep_supports(self):
+        recorder = TrajectoryRecorder(keep_supports=True)
+        recorder.observe(0, np.array([2, 7, 3]))
+        trajectory = recorder.trajectory()
+        assert trajectory.supports.shape == (1, 2)
+        assert trajectory.supports[0].tolist() == [7, 3]
+
+    def test_supports_none_by_default(self):
+        recorder = TrajectoryRecorder()
+        recorder.observe(0, np.array([2, 7, 3]))
+        assert recorder.trajectory().supports is None
+
+    def test_empty_trajectory_raises(self):
+        with pytest.raises(ValueError):
+            TrajectoryRecorder().trajectory()
+
+    def test_never_requests_stop(self):
+        recorder = TrajectoryRecorder()
+        assert recorder.observe(0, np.array([1, 2, 3])) is False
+
+    def test_parallel_times(self):
+        recorder = TrajectoryRecorder()
+        recorder.observe(0, np.array([0, 10, 10]))
+        recorder.observe(40, np.array([0, 11, 9]))
+        trajectory = recorder.trajectory()
+        assert trajectory.parallel_times(20).tolist() == [0.0, 2.0]
+
+    def test_on_real_run_covers_whole_trajectory(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        recorder = TrajectoryRecorder(every=5)
+        result = simulate(config, rng=np.random.default_rng(0), observer=recorder.observe)
+        trajectory = recorder.trajectory()
+        assert trajectory.times[0] == 0
+        assert trajectory.times[-1] <= result.interactions
+        assert trajectory.num_snapshots > 2
+        # Counts remain conserved in every snapshot.
+        totals = trajectory.undecided + trajectory.xmax + trajectory.second
+        assert (totals <= 100).all()
+
+
+class TestCompositeObserver:
+    def test_all_observers_notified(self):
+        seen_a, seen_b = [], []
+        composite = CompositeObserver(
+            lambda t, c: seen_a.append(t),
+            lambda t, c: seen_b.append(t),
+        )
+        composite.observe(3, np.array([1, 2]))
+        assert seen_a == [3] and seen_b == [3]
+
+    def test_stop_if_any_requests(self):
+        composite = CompositeObserver(
+            lambda t, c: False,
+            lambda t, c: True,
+        )
+        assert composite.observe(0, np.array([1, 2])) is True
+
+    def test_all_notified_even_after_stop_request(self):
+        calls = []
+        composite = CompositeObserver(
+            lambda t, c: calls.append("first") or True,
+            lambda t, c: calls.append("second"),
+        )
+        composite.observe(0, np.array([1, 2]))
+        assert calls == ["first", "second"]
+
+    def test_accepts_objects_with_observe(self):
+        recorder = TrajectoryRecorder()
+        composite = CompositeObserver(recorder)
+        composite.observe(0, np.array([1, 2, 3]))
+        assert recorder.num_snapshots == 1
+
+    def test_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            CompositeObserver()

@@ -1,0 +1,157 @@
+"""Unit tests for the agent-array reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.simulator import default_interaction_budget, simulate_agents
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBudget:
+    def test_budget_positive_and_scales(self):
+        assert default_interaction_budget(100, 2) > 0
+        assert default_interaction_budget(200, 2) > default_interaction_budget(100, 2)
+        assert default_interaction_budget(100, 8) > default_interaction_budget(100, 2)
+
+    def test_budget_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            default_interaction_budget(0, 2)
+        with pytest.raises(ValueError):
+            default_interaction_budget(100, 0)
+
+
+class TestBasicRuns:
+    def test_reaches_consensus(self):
+        config = Configuration.from_supports([60, 40], undecided=0)
+        result = simulate_agents(config, rng=make_rng())
+        assert result.converged
+        assert result.winner in (1, 2)
+        assert result.final.is_consensus
+        assert result.interactions > 0
+
+    def test_population_conserved(self):
+        config = Configuration.from_supports([30, 30, 30], undecided=10)
+        result = simulate_agents(config, rng=make_rng(3))
+        assert result.final.n == config.n
+
+    def test_initial_consensus_returns_immediately(self):
+        config = Configuration.from_supports([50, 0], undecided=0)
+        result = simulate_agents(config, rng=make_rng())
+        assert result.converged
+        assert result.interactions == 0
+        assert result.winner == 1
+
+    def test_all_undecided_is_absorbed(self):
+        config = Configuration.from_supports([0, 0], undecided=20)
+        result = simulate_agents(config, rng=make_rng())
+        assert not result.converged
+        assert result.interactions == 0
+
+    def test_single_opinion_with_undecided_converges(self):
+        config = Configuration.from_supports([10], undecided=10)
+        result = simulate_agents(config, rng=make_rng())
+        assert result.converged
+        assert result.winner == 1
+
+    def test_deterministic_given_seed(self):
+        config = Configuration.from_supports([40, 40], undecided=0)
+        a = simulate_agents(config, rng=make_rng(7))
+        b = simulate_agents(config, rng=make_rng(7))
+        assert a.interactions == b.interactions
+        assert a.winner == b.winner
+
+    def test_parallel_time(self):
+        config = Configuration.from_supports([60, 40], undecided=0)
+        result = simulate_agents(config, rng=make_rng())
+        assert result.parallel_time == pytest.approx(result.interactions / 100)
+
+
+class TestBudgetExhaustion:
+    def test_budget_exhausted_flag(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        result = simulate_agents(config, rng=make_rng(), max_interactions=5)
+        assert result.interactions == 5
+        assert result.budget_exhausted
+        assert not result.converged
+
+    def test_zero_budget(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        result = simulate_agents(config, rng=make_rng(), max_interactions=0)
+        assert result.interactions == 0
+        assert result.final == config
+
+    def test_rejects_negative_budget(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        with pytest.raises(ValueError):
+            simulate_agents(config, rng=make_rng(), max_interactions=-1)
+
+    def test_rejects_bad_chunk(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        with pytest.raises(ValueError):
+            simulate_agents(config, rng=make_rng(), chunk_size=0)
+
+
+class TestObserver:
+    def test_observer_sees_initial_configuration(self):
+        config = Configuration.from_supports([30, 30], undecided=0)
+        seen = []
+
+        def observer(t, counts):
+            seen.append((t, counts.copy()))
+
+        simulate_agents(config, rng=make_rng(), observer=observer)
+        assert seen[0][0] == 0
+        assert seen[0][1].tolist() == [0, 30, 30]
+
+    def test_observer_counts_always_sum_to_n(self):
+        config = Configuration.from_supports([20, 20, 20], undecided=0)
+
+        def observer(t, counts):
+            assert counts.sum() == 60
+
+        simulate_agents(config, rng=make_rng(1), observer=observer)
+
+    def test_observer_can_stop(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+
+        def stop_at_10(t, counts):
+            return t >= 10
+
+        result = simulate_agents(config, rng=make_rng(), observer=stop_at_10)
+        assert result.stopped_by_observer
+        assert not result.budget_exhausted
+        assert result.interactions >= 10
+
+    def test_observer_stop_at_time_zero(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        result = simulate_agents(config, rng=make_rng(), observer=lambda t, c: True)
+        assert result.stopped_by_observer
+        assert result.interactions == 0
+
+    def test_observer_fires_only_on_productive_steps(self):
+        config = Configuration.from_supports([30, 30], undecided=0)
+        times = []
+
+        def observer(t, counts):
+            times.append(t)
+
+        simulate_agents(config, rng=make_rng(2), observer=observer)
+        # Strictly increasing times, starting at 0.
+        assert times[0] == 0
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestRepr:
+    def test_repr_mentions_winner(self):
+        config = Configuration.from_supports([60, 40], undecided=0)
+        result = simulate_agents(config, rng=make_rng())
+        assert "winner=" in repr(result)
+
+    def test_repr_mentions_budget(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        result = simulate_agents(config, rng=make_rng(), max_interactions=3)
+        assert "budget-exhausted" in repr(result)

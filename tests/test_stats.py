@@ -1,0 +1,100 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    PowerLawFit,
+    fit_power_law,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_std_is_sample_std(self):
+        stats = summarize([1.0, 3.0])
+        assert stats.std == pytest.approx(np.std([1, 3], ddof=1))
+
+    def test_singleton(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert math.isinf(stats.sem)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci95_contains_mean(self):
+        stats = summarize(list(range(100)))
+        low, high = stats.ci95()
+        assert low < stats.mean < high
+
+
+class TestWilson:
+    def test_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert high - low < 0.25
+
+    def test_extremes_clamped(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+
+    def test_zero_successes_interval_positive_width(self):
+        low, high = wilson_interval(0, 20)
+        assert high > 0.0  # unlike the normal approximation
+
+    def test_narrower_with_more_trials(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=2.0, prefactor=1.5, r_squared=1.0)
+        assert fit.predict(4.0) == pytest.approx(24.0)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        xs = np.array([10, 20, 40, 80, 160], dtype=float)
+        ys = 2 * xs**1.0 * np.exp(rng.normal(0, 0.05, size=5))
+        fit = fit_power_law(xs, ys)
+        assert 0.8 <= fit.exponent <= 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, -2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 2])

@@ -1,0 +1,86 @@
+"""Unit tests for the synchronized USD variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.protocols.synchronized import _repopulate, run_synchronized_usd
+from repro.workloads import uniform_configuration
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRepopulate:
+    def test_all_undecided_adopt(self):
+        counts = np.array([10, 30, 10], dtype=np.int64)
+        new = _repopulate(counts, make_rng())
+        assert new[0] == 0
+        assert new.sum() == 50
+        assert new[1] >= 30 and new[2] >= 10
+
+    def test_no_undecided_is_noop(self):
+        counts = np.array([0, 30, 20], dtype=np.int64)
+        new = _repopulate(counts, make_rng())
+        assert new.tolist() == [0, 30, 20]
+
+    def test_no_decided_is_noop(self):
+        counts = np.array([25, 0, 0], dtype=np.int64)
+        new = _repopulate(counts, make_rng())
+        assert new.tolist() == [25, 0, 0]
+
+    def test_does_not_mutate_input(self):
+        counts = np.array([10, 30, 10], dtype=np.int64)
+        _repopulate(counts, make_rng())
+        assert counts.tolist() == [10, 30, 10]
+
+    def test_proportional_in_expectation(self):
+        counts = np.array([1000, 300, 100], dtype=np.int64)
+        adopted_first = []
+        for seed in range(30):
+            new = _repopulate(counts, make_rng(seed))
+            adopted_first.append(new[1] - 300)
+        # Opinion 1 holds 75% of the decided mass.
+        assert 650 < np.mean(adopted_first) < 850
+
+
+class TestRun:
+    def test_converges_uniform(self):
+        config = uniform_configuration(600, 4)
+        result = run_synchronized_usd(config, rng=make_rng())
+        assert result.converged
+        assert result.winner in range(1, 5)
+        assert result.meta_rounds > 0
+
+    def test_population_conserved(self):
+        config = uniform_configuration(500, 3)
+        result = run_synchronized_usd(config, rng=make_rng(1))
+        assert result.final.n == 500
+
+    def test_biased_start_keeps_plurality(self):
+        config = Configuration.from_supports([300, 100, 100], undecided=0)
+        wins = sum(
+            run_synchronized_usd(config, rng=make_rng(s)).winner == 1
+            for s in range(10)
+        )
+        assert wins >= 8
+
+    def test_budget_exhaustion_flagged(self):
+        config = uniform_configuration(600, 4)
+        result = run_synchronized_usd(config, rng=make_rng(), max_meta_rounds=1)
+        assert not result.converged
+        assert result.budget_exhausted
+
+    def test_validates_parameters(self):
+        config = uniform_configuration(100, 2)
+        with pytest.raises(ValueError):
+            run_synchronized_usd(config, rng=make_rng(), round_length=0)
+        with pytest.raises(ValueError):
+            run_synchronized_usd(config, rng=make_rng(), max_meta_rounds=-1)
+
+    def test_interactions_counted(self):
+        config = uniform_configuration(400, 3)
+        result = run_synchronized_usd(config, rng=make_rng(2))
+        assert result.interactions > 0
+        assert result.parallel_time == pytest.approx(result.interactions / 400)

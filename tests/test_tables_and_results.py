@@ -1,0 +1,98 @@
+"""Unit tests for table rendering and experiment result records."""
+
+import pytest
+
+from repro.analysis.results import Check, ExperimentResult
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_render_contains_title_and_cells(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row([1, 2.5])
+        text = table.render()
+        assert "demo" in text
+        assert "2.500" in text
+
+    def test_alignment_widths(self):
+        table = Table("t", ["col"])
+        table.add_row(["short"])
+        table.add_row(["a much longer cell"])
+        lines = table.render().splitlines()
+        data_lines = lines[4:]
+        assert len(data_lines[0]) == len(data_lines[1])
+
+    def test_float_formatting(self):
+        table = Table("t", ["x"])
+        table.add_row([1234567.0])
+        table.add_row([0.0001])
+        table.add_row([0.0])
+        table.add_row([123.456])
+        text = table.render()
+        assert "1.235e+06" in text
+        assert "1.000e-04" in text
+        assert "123.5" in text
+
+    def test_row_width_validated(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_str_equals_render(self):
+        table = Table("t", ["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+
+class TestCheck:
+    def test_render_pass_and_fail(self):
+        passed = Check("n", "claim", "meas", True)
+        failed = Check("n", "claim", "meas", False)
+        assert "[PASS]" in passed.render()
+        assert "[FAIL]" in failed.render()
+
+
+class TestExperimentResult:
+    def make_result(self):
+        result = ExperimentResult(experiment_id="EX", title="example")
+        result.tables.append("table text")
+        result.add_check("check one", "paper says", "we measured", True)
+        result.metadata["n"] = 100
+        return result
+
+    def test_passed_aggregates(self):
+        result = self.make_result()
+        assert result.passed
+        result.add_check("bad", "x", "y", False)
+        assert not result.passed
+
+    def test_vacuous_pass(self):
+        assert ExperimentResult(experiment_id="E0", title="t").passed
+
+    def test_render(self):
+        text = self.make_result().render()
+        assert "EX" in text
+        assert "table text" in text
+        assert "verdict: PASS" in text
+
+    def test_json_roundtrip(self):
+        result = self.make_result()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.experiment_id == result.experiment_id
+        assert restored.checks[0].name == "check one"
+        assert restored.metadata == result.metadata
+
+    def test_save_load(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "result.json"
+        result.save(path)
+        restored = ExperimentResult.load(path)
+        assert restored.title == "example"
+
+    def test_numpy_scalars_serialized(self):
+        import numpy as np
+
+        result = self.make_result()
+        result.metadata["value"] = np.int64(7)
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.metadata["value"] == 7

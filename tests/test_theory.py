@@ -1,0 +1,98 @@
+"""Unit tests for the theory-prediction helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    appendix_d_crossover_x1,
+    becchetti_gossip_rounds,
+    max_k_for_theorem2,
+    population_parallel_time_bound,
+    required_additive_bias,
+    theorem2_additive_bound,
+    theorem2_multiplicative_bound,
+    theorem2_nobias_bound,
+)
+from repro.core.config import Configuration
+
+
+class TestTheorem2Bounds:
+    def test_multiplicative_formula(self):
+        n, x1 = 1000, 250
+        assert theorem2_multiplicative_bound(n, x1) == pytest.approx(
+            n * math.log(n) + n * n / x1
+        )
+
+    def test_additive_formula(self):
+        n, x1 = 1000, 250
+        assert theorem2_additive_bound(n, x1) == pytest.approx(
+            n * n * math.log(n) / x1
+        )
+
+    def test_nobias_equals_additive(self):
+        assert theorem2_nobias_bound(1000, 250) == theorem2_additive_bound(1000, 250)
+
+    def test_additive_grows_with_k(self):
+        # x1 ~ n/(2k): smaller x1 means a larger bound.
+        assert theorem2_additive_bound(1000, 100) > theorem2_additive_bound(1000, 400)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem2_additive_bound(1000, 0)
+        with pytest.raises(ValueError):
+            theorem2_additive_bound(1000, 2000)
+        with pytest.raises(ValueError):
+            theorem2_multiplicative_bound(1, 1)
+
+
+class TestBecchetti:
+    def test_md_times_logn(self):
+        config = Configuration.from_supports([50, 50], undecided=0)
+        assert becchetti_gossip_rounds(config) == pytest.approx(2 * math.log(100))
+
+    def test_monochromatic_minimal(self):
+        mono = Configuration.from_supports([100, 0], undecided=0)
+        uniform = Configuration.from_supports([50, 50], undecided=0)
+        assert becchetti_gossip_rounds(mono) < becchetti_gossip_rounds(uniform)
+
+
+class TestAppendixD:
+    def test_parallel_time_bound(self):
+        assert population_parallel_time_bound(1000, 100) == pytest.approx(
+            math.log(1000) + 10
+        )
+
+    def test_crossover_formula(self):
+        assert appendix_d_crossover_x1(1000, 4) == pytest.approx(
+            1000 * math.log(1000) / 4
+        )
+
+    def test_crossover_decreases_with_k(self):
+        assert appendix_d_crossover_x1(1000, 8) < appendix_d_crossover_x1(1000, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            appendix_d_crossover_x1(1, 2)
+
+
+class TestRanges:
+    def test_required_bias(self):
+        n = 1000
+        assert required_additive_bias(n, 2.0) == pytest.approx(
+            2.0 * math.sqrt(n * math.log(n))
+        )
+
+    def test_max_k_grows_with_n(self):
+        assert max_k_for_theorem2(10**8) > max_k_for_theorem2(10**4)
+
+    def test_max_k_at_least_one(self):
+        assert max_k_for_theorem2(100) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_k_for_theorem2(1)
+        with pytest.raises(ValueError):
+            max_k_for_theorem2(100, c=0)
+        with pytest.raises(ValueError):
+            required_additive_bias(0)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.transitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import UNDECIDED
+from repro.core.transitions import (
+    InteractionKind,
+    classify_interaction,
+    usd_delta,
+    usd_delta_vectorized,
+)
+
+
+class TestUsdDelta:
+    def test_clash_makes_responder_undecided(self):
+        assert usd_delta(1, 2) == (UNDECIDED, 2)
+
+    def test_undecided_adopts(self):
+        assert usd_delta(UNDECIDED, 3) == (3, 3)
+
+    def test_same_opinion_noop(self):
+        assert usd_delta(2, 2) == (2, 2)
+
+    def test_undecided_initiator_noop_for_decided_responder(self):
+        assert usd_delta(2, UNDECIDED) == (2, UNDECIDED)
+
+    def test_both_undecided_noop(self):
+        assert usd_delta(UNDECIDED, UNDECIDED) == (UNDECIDED, UNDECIDED)
+
+    def test_initiator_never_changes(self):
+        for responder in range(4):
+            for initiator in range(4):
+                _, new_initiator = usd_delta(responder, initiator)
+                assert new_initiator == initiator
+
+    def test_rejects_negative_states(self):
+        with pytest.raises(ValueError):
+            usd_delta(-1, 2)
+
+
+class TestVectorized:
+    def test_matches_scalar_on_all_pairs(self):
+        k = 4
+        pairs = [(r, i) for r in range(k + 1) for i in range(k + 1)]
+        responders = np.array([p[0] for p in pairs])
+        initiators = np.array([p[1] for p in pairs])
+        vector_result = usd_delta_vectorized(responders, initiators)
+        scalar_result = np.array([usd_delta(r, i)[0] for r, i in pairs])
+        assert np.array_equal(vector_result, scalar_result)
+
+    def test_does_not_mutate_inputs(self):
+        responders = np.array([1, 0, 2])
+        initiators = np.array([2, 1, 2])
+        before = responders.copy()
+        usd_delta_vectorized(responders, initiators)
+        assert np.array_equal(responders, before)
+
+    def test_synchronous_semantics(self):
+        # Both agents read old states: two clashing agents can both go
+        # undecided in the same round when each responds to the other.
+        responders = np.array([1, 2])
+        initiators = np.array([2, 1])
+        new = usd_delta_vectorized(responders, initiators)
+        assert new.tolist() == [UNDECIDED, UNDECIDED]
+
+
+class TestClassify:
+    def test_adopt(self):
+        assert classify_interaction(UNDECIDED, 2) is InteractionKind.ADOPT
+
+    def test_clash(self):
+        assert classify_interaction(1, 2) is InteractionKind.CLASH
+
+    def test_noop_cases(self):
+        assert classify_interaction(1, 1) is InteractionKind.NOOP
+        assert classify_interaction(1, UNDECIDED) is InteractionKind.NOOP
+        assert classify_interaction(UNDECIDED, UNDECIDED) is InteractionKind.NOOP
+
+    def test_classification_matches_delta(self):
+        for responder in range(4):
+            for initiator in range(4):
+                kind = classify_interaction(responder, initiator)
+                new_responder, _ = usd_delta(responder, initiator)
+                if kind is InteractionKind.NOOP:
+                    assert new_responder == responder
+                elif kind is InteractionKind.ADOPT:
+                    assert responder == UNDECIDED and new_responder == initiator
+                else:
+                    assert responder != UNDECIDED and new_responder == UNDECIDED

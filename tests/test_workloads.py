@@ -1,0 +1,229 @@
+"""Unit tests for the initial-condition builders."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    additive_bias_configuration,
+    custom_configuration,
+    max_supported_bias,
+    multiplicative_bias_configuration,
+    theorem_beta,
+    two_leader_configuration,
+    uniform_configuration,
+    zipf_configuration,
+)
+
+
+class TestUniform:
+    def test_sums_to_n(self):
+        config = uniform_configuration(103, 4)
+        assert config.n == 103
+
+    def test_near_equal_supports(self):
+        config = uniform_configuration(103, 4)
+        supports = config.supports
+        assert supports.max() - supports.min() <= 1
+
+    def test_with_undecided(self):
+        config = uniform_configuration(100, 4, undecided_fraction=0.2)
+        assert config.undecided == 20
+        assert config.supports.sum() == 80
+
+    def test_ordering(self):
+        config = uniform_configuration(103, 4)
+        assert (np.diff(config.supports) <= 0).all()
+
+    def test_rejects_k_larger_than_decided(self):
+        with pytest.raises(ValueError):
+            uniform_configuration(10, 4, undecided_fraction=0.9)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            uniform_configuration(10, 2, undecided_fraction=1.0)
+
+    def test_rejects_k_gt_n(self):
+        with pytest.raises(ValueError):
+            uniform_configuration(3, 5)
+
+
+class TestAdditiveBias:
+    def test_bias_realized(self):
+        config = additive_bias_configuration(1000, 5, beta=100)
+        assert config.additive_bias >= 100
+        assert config.max_opinion == 1
+
+    def test_sums_to_n(self):
+        for n in (100, 101, 997):
+            config = additive_bias_configuration(n, 3, beta=17)
+            assert config.n == n
+
+    def test_zero_beta_is_near_uniform(self):
+        config = additive_bias_configuration(100, 4, beta=0)
+        assert config.additive_bias <= 4
+
+    def test_k1_degenerate(self):
+        config = additive_bias_configuration(50, 1, beta=10)
+        assert config.supports.tolist() == [50]
+
+    def test_rejects_unrealizable(self):
+        with pytest.raises(ValueError):
+            additive_bias_configuration(10, 3, beta=20)
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            additive_bias_configuration(100, 3, beta=-1)
+
+    def test_with_undecided_respects_theorem_precondition(self):
+        config = additive_bias_configuration(1000, 4, beta=100, undecided_fraction=0.2)
+        assert config.undecided <= (config.n - config.xmax) / 2
+
+
+class TestMultiplicativeBias:
+    def test_bias_realized(self):
+        config = multiplicative_bias_configuration(1000, 5, alpha=2.0)
+        assert config.multiplicative_bias >= 2.0
+
+    def test_sums_to_n(self):
+        for n in (100, 999):
+            config = multiplicative_bias_configuration(n, 4, alpha=1.5)
+            assert config.n == n
+
+    def test_no_empty_opinions(self):
+        config = multiplicative_bias_configuration(200, 6, alpha=3.0)
+        assert (config.supports > 0).all()
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            multiplicative_bias_configuration(100, 3, alpha=0.9)
+
+    def test_huge_alpha_rejected_when_opinions_empty(self):
+        with pytest.raises(ValueError):
+            multiplicative_bias_configuration(20, 10, alpha=50.0)
+
+    def test_k1_degenerate(self):
+        config = multiplicative_bias_configuration(50, 1, alpha=2.0)
+        assert config.supports.tolist() == [50]
+
+
+class TestTwoLeader:
+    def test_leaders_dominate(self):
+        config = two_leader_configuration(1000, 6, gap=10)
+        supports = config.supports
+        assert supports[0] >= supports[1]
+        assert supports[1] > supports[2:].max()
+
+    def test_gap_realized(self):
+        config = two_leader_configuration(1000, 6, gap=10)
+        assert config.supports[0] - config.supports[1] in (10, 11)
+
+    def test_zero_gap_ties_leaders(self):
+        config = two_leader_configuration(999, 4, gap=0)
+        assert abs(int(config.supports[0]) - int(config.supports[1])) <= 1
+
+    def test_k2_all_mass_on_leaders(self):
+        config = two_leader_configuration(100, 2, gap=4)
+        assert config.supports.sum() == 100
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            two_leader_configuration(100, 1)
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            two_leader_configuration(100, 3, gap=-1)
+
+
+class TestZipf:
+    def test_sums_to_n(self):
+        config = zipf_configuration(1000, 8, exponent=1.0)
+        assert config.n == 1000
+
+    def test_monotone_supports(self):
+        config = zipf_configuration(1000, 8, exponent=1.0)
+        assert (np.diff(config.supports) <= 0).all()
+
+    def test_exponent_zero_is_uniform(self):
+        config = zipf_configuration(1000, 8, exponent=0.0)
+        assert config.supports.max() - config.supports.min() <= 1
+
+    def test_steeper_exponent_more_skewed(self):
+        flat = zipf_configuration(1000, 8, exponent=0.5)
+        steep = zipf_configuration(1000, 8, exponent=2.0)
+        assert steep.xmax > flat.xmax
+
+    def test_rejects_empty_opinions(self):
+        with pytest.raises(ValueError):
+            zipf_configuration(20, 10, exponent=4.0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_configuration(100, 4, exponent=-1.0)
+
+
+class TestCustomAndHelpers:
+    def test_custom(self):
+        config = custom_configuration([5, 3], undecided=2)
+        assert config.n == 10
+        assert config.undecided == 2
+
+    def test_max_supported_bias(self):
+        assert max_supported_bias(100, 3) == 97
+
+    def test_theorem_beta(self):
+        n = 1000
+        assert theorem_beta(n, 2.0) == math.ceil(2.0 * math.sqrt(n * math.log(n)))
+
+    def test_theorem_beta_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            theorem_beta(0)
+
+
+class TestDirichlet:
+    def test_sums_to_n(self):
+        from repro.workloads import dirichlet_configuration
+
+        rng = np.random.default_rng(0)
+        for n, k in [(100, 3), (997, 8)]:
+            config = dirichlet_configuration(n, k, rng)
+            assert config.n == n
+
+    def test_every_opinion_populated(self):
+        from repro.workloads import dirichlet_configuration
+
+        rng = np.random.default_rng(1)
+        config = dirichlet_configuration(200, 10, rng, concentration=0.1)
+        assert (config.supports > 0).all()
+
+    def test_sorted_supports(self):
+        from repro.workloads import dirichlet_configuration
+
+        rng = np.random.default_rng(2)
+        config = dirichlet_configuration(500, 6, rng)
+        assert (np.diff(config.supports) <= 0).all()
+
+    def test_concentration_controls_skew(self):
+        from repro.workloads import dirichlet_configuration
+
+        rng = np.random.default_rng(3)
+        skewed = [dirichlet_configuration(1000, 5, rng, 0.05).xmax for _ in range(10)]
+        flat = [dirichlet_configuration(1000, 5, rng, 50.0).xmax for _ in range(10)]
+        assert np.mean(skewed) > np.mean(flat)
+
+    def test_with_undecided(self):
+        from repro.workloads import dirichlet_configuration
+
+        rng = np.random.default_rng(4)
+        config = dirichlet_configuration(100, 3, rng, undecided_fraction=0.3)
+        assert config.undecided == 30
+
+    def test_validation(self):
+        from repro.workloads import dirichlet_configuration
+
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            dirichlet_configuration(100, 3, rng, concentration=0)
+        with pytest.raises(ValueError):
+            dirichlet_configuration(10, 8, rng, undecided_fraction=0.5)
