@@ -5,17 +5,27 @@ pytest-benchmark.  Experiments run exactly once (``pedantic`` with one
 round) because they are ensemble measurements, not micro-benchmarks; the
 benchmark clock then reports the wall time of regenerating the artifact.
 
+All ensembles inside the experiments run through the simulation engine
+(:mod:`repro.engine`); set ``REPRO_ENGINE_BACKEND`` /
+``REPRO_ENGINE_JOBS`` to re-benchmark the suite on a different backend
+or a multiprocessing pool, and ``REPRO_BENCH_SCALE=full`` to regenerate
+the full-scale numbers (minutes instead of seconds).
+
 The rendered report (the same rows recorded in EXPERIMENTS.md) is printed
-and archived under ``benchmarks/results/``.  Set ``REPRO_BENCH_SCALE=full``
-to regenerate the full-scale numbers (minutes instead of seconds).
+and archived under ``benchmarks/results/``.  :func:`run_engine_smoke`
+measures serial jump-chain vs batched ensemble throughput and writes the
+comparison to a JSON artifact (used by ``engine_smoke.py`` and CI).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
-from repro.experiments import run_experiment
+from repro.engine import engine_defaults, get_backend, run_ensemble
+from repro.workloads import uniform_configuration
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -27,6 +37,10 @@ def bench_scale() -> str:
 
 def execute(benchmark, experiment_id: str) -> None:
     """Run one experiment under the benchmark clock and archive its report."""
+    # Imported here so the engine smoke (numpy-only) does not pull in the
+    # experiment stack's scipy/networkx dependencies.
+    from repro.experiments import run_experiment
+
     scale = bench_scale()
     result = benchmark.pedantic(
         run_experiment,
@@ -43,3 +57,61 @@ def execute(benchmark, experiment_id: str) -> None:
     out.write_text(report + "\n")
     (RESULTS_DIR / f"{experiment_id.lower()}_{scale}.json").write_text(result.to_json())
     assert result.passed, f"{experiment_id} failed its paper-vs-measured checks"
+
+
+def run_engine_smoke(
+    *,
+    n: int = 10_000,
+    k: int = 5,
+    trials: int = 1000,
+    serial_trials: int = 8,
+    seed: int = 20230224,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Compare serial jump-chain vs batched ensemble throughput.
+
+    The serial jump chain runs ``serial_trials`` replicates (its
+    per-replicate cost is constant, so throughput extrapolates); the
+    batched backend runs the full ``trials``-replicate ensemble.  Returns
+    the measurement dictionary and, when ``output`` is given, writes it
+    as JSON (the ``BENCH_engine.json`` CI artifact).
+    """
+    config = uniform_configuration(n, k)
+
+    jump = get_backend("jump")
+    start = time.perf_counter()
+    serial_results = run_ensemble(
+        config, serial_trials, seed=seed, backend=jump, executor="serial"
+    )
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_results = run_ensemble(
+        config, trials, seed=seed, backend="batched", executor="serial"
+    )
+    batched_seconds = time.perf_counter() - start
+
+    serial_throughput = serial_trials / serial_seconds
+    batched_throughput = trials / batched_seconds
+    record = {
+        "workload": {"n": n, "k": k, "seed": seed},
+        "engine_defaults": engine_defaults(),
+        "serial": {
+            "backend": "jump",
+            "replicates": serial_trials,
+            "seconds": serial_seconds,
+            "replicates_per_second": serial_throughput,
+            "converged": sum(r.converged for r in serial_results),
+        },
+        "batched": {
+            "backend": "batched",
+            "replicates": trials,
+            "seconds": batched_seconds,
+            "replicates_per_second": batched_throughput,
+            "converged": sum(r.converged for r in batched_results),
+        },
+        "speedup": batched_throughput / serial_throughput,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    return record

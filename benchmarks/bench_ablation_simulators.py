@@ -1,38 +1,56 @@
-"""Ablation: jump-chain simulator vs agent-array reference simulator.
+"""Ablation: engine backends on the same workload (jump vs agents vs batched).
 
 DESIGN.md calls out the jump chain (geometric skipping of unproductive
-interactions, Appendix B weights) as the key performance design choice.
-This benchmark quantifies it: the same no-bias workload is run to
-consensus by both simulators under the pytest-benchmark clock.  Expect
-an order of magnitude separation, growing with n as the no-op-dominated
-endgame lengthens.
+interactions, Appendix B weights) as the key performance design choice,
+and the batched backend (vectorized lockstep over the replicate axis) as
+the ensemble-scale multiplier on top of it.  This benchmark quantifies
+both through the engine's backend registry: the same no-bias workload is
+run by each backend under the pytest-benchmark clock.  Expect an order
+of magnitude between agents and jump, growing with n as the
+no-op-dominated endgame lengthens, and another large factor between
+per-replicate jump and the batched ensemble.
 """
 
 import numpy as np
 
-from repro.core.fastsim import simulate
-from repro.core.simulator import simulate_agents
+from repro.engine import get_backend, run_ensemble
 from repro.workloads import uniform_configuration
 
 N = 1200
 K = 4
 SEED = 11
+ENSEMBLE_TRIALS = 32
 
 
-def _run(simulator):
+def _run(backend_name):
     config = uniform_configuration(N, K)
-    result = simulator(config, rng=np.random.default_rng(SEED))
+    backend = get_backend(backend_name)
+    result = backend.simulate(config, rng=np.random.default_rng(SEED))
     assert result.converged
     return result
 
 
 def test_ablation_jump_chain(benchmark):
-    """Jump-chain simulator: O(k) per productive interaction."""
-    result = benchmark(_run, simulate)
+    """Jump-chain backend: O(k) per productive interaction."""
+    result = benchmark(_run, "jump")
     assert result.final.is_consensus
 
 
 def test_ablation_agent_array(benchmark):
-    """Agent-array reference: O(1) per interaction, including no-ops."""
-    result = benchmark(_run, simulate_agents)
+    """Agent-array reference backend: O(1) per interaction, including no-ops."""
+    result = benchmark(_run, "agents")
     assert result.final.is_consensus
+
+
+def test_ablation_batched_ensemble(benchmark):
+    """Batched backend: one vectorized lockstep pass over a whole ensemble."""
+
+    def run_ensemble_batched():
+        config = uniform_configuration(N, K)
+        return run_ensemble(
+            config, ENSEMBLE_TRIALS, seed=SEED, backend="batched", executor="serial"
+        )
+
+    results = benchmark(run_ensemble_batched)
+    assert len(results) == ENSEMBLE_TRIALS
+    assert all(r.converged for r in results)

@@ -1,0 +1,69 @@
+"""Engine throughput smoke: serial jump chain vs batched backend.
+
+Writes a ``BENCH_engine.json`` artifact comparing ensemble throughput
+(replicates per second) of the serial ``"jump"`` backend against the
+vectorized ``"batched"`` backend on the acceptance workload (n=10^4,
+k=5, 1000 replicates by default).  The serial side runs a small sample
+— its per-replicate cost is constant — and throughput is compared
+directly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_smoke.py \
+        [--n 10000] [--k 5] [--trials 1000] [--serial-trials 8] \
+        [--seed 20230224] [--output BENCH_engine.json] [--min-speedup 3]
+
+Exits non-zero when the measured speedup falls below ``--min-speedup``
+(pass ``--min-speedup 0`` to record without gating).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from _harness import run_engine_smoke
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--trials", type=int, default=1000)
+    parser.add_argument("--serial-trials", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=20230224)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    record = run_engine_smoke(
+        n=args.n,
+        k=args.k,
+        trials=args.trials,
+        serial_trials=args.serial_trials,
+        seed=args.seed,
+        output=args.output,
+    )
+    serial = record["serial"]
+    batched = record["batched"]
+    print(
+        f"serial jump:  {serial['replicates']} replicates in "
+        f"{serial['seconds']:.2f}s = {serial['replicates_per_second']:.2f} rep/s"
+    )
+    print(
+        f"batched:      {batched['replicates']} replicates in "
+        f"{batched['seconds']:.2f}s = {batched['replicates_per_second']:.2f} rep/s"
+    )
+    print(f"speedup:      {record['speedup']:.1f}x  (wrote {args.output})")
+    if record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f} below "
+            f"threshold {args.min_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,10 +29,14 @@ Sub-packages
     Appendix A's random-walk and drift toolkit.
 ``repro.workloads``
     Initial-condition builders for Theorem 2's regimes.
+``repro.engine``
+    Unified ensemble engine: backend registry (``agents``/``jump``/
+    ``batched``), vectorized batching, serial and multiprocessing
+    executors behind :func:`run_ensemble`.
 ``repro.analysis``
     Trials, sweeps, scaling fits, tables, experiment records.
 ``repro.experiments``
-    One module per reproduced paper artifact (E1–E13).
+    One module per reproduced paper artifact (E1–E19).
 """
 
 from .core import (
@@ -47,8 +51,9 @@ from .core import (
     simulate_agents,
     ustar,
 )
+from .engine import run_ensemble
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "UNDECIDED",
@@ -56,6 +61,7 @@ __all__ = [
     "RunResult",
     "simulate",
     "simulate_agents",
+    "run_ensemble",
     "default_interaction_budget",
     "PhaseTimes",
     "PhaseTracker",

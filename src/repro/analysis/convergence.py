@@ -4,8 +4,11 @@ The experiments all reduce to the same operation: run the USD from a
 given initial configuration ``trials`` times with independent seeds and
 aggregate (a) interactions to consensus, (b) whether the initial
 plurality opinion won, and (c) whether the winner was initially
-*significant*.  :func:`run_trials` performs that operation with the fast
-simulator; :class:`TrialEnsemble` holds the outcome.
+*significant*.  :func:`run_trials` performs that operation through the
+simulation engine (:func:`repro.engine.run_ensemble`), so the backend
+(``"jump"`` by default, ``"batched"`` for vectorized ensembles) and the
+executor (serial or multiprocessing) are selectable without touching any
+experiment; :class:`TrialEnsemble` holds the outcome.
 """
 
 from __future__ import annotations
@@ -16,8 +19,8 @@ from typing import Callable
 import numpy as np
 
 from ..core.config import Configuration
-from ..core.fastsim import simulate
 from ..core.simulator import RunResult
+from ..engine import Backend, replicate_seeds, run_ensemble
 from .stats import SummaryStats, summarize, wilson_interval
 
 __all__ = ["TrialEnsemble", "run_trials"]
@@ -106,20 +109,44 @@ def run_trials(
     *,
     seed: int,
     max_interactions: int | None = None,
-    simulator: Callable[..., RunResult] = simulate,
+    simulator: Callable[..., RunResult] | None = None,
+    backend: str | Backend | None = None,
+    executor: str | None = None,
+    jobs: int | None = None,
 ) -> TrialEnsemble:
     """Run ``trials`` independent USD runs and aggregate them.
 
-    Each trial gets a child generator spawned from ``seed`` so ensembles
-    are reproducible and order-independent.
+    Each trial gets a child generator spawned from ``seed``
+    (:func:`repro.engine.replicate_seeds`) so ensembles are reproducible,
+    order-independent, and identical across backends' seed derivation,
+    executors and batch widths.  ``backend``/``executor``/``jobs`` are
+    forwarded to :func:`repro.engine.run_ensemble`; ``simulator`` is a
+    legacy escape hatch for a bare ``simulate``-style callable and
+    bypasses the engine.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
+    if simulator is not None:
+        results = [
+            simulator(
+                config,
+                rng=np.random.default_rng(child),
+                max_interactions=max_interactions,
+            )
+            for child in replicate_seeds(seed, trials)
+        ]
+    else:
+        results = run_ensemble(
+            config,
+            trials,
+            seed=seed,
+            backend=backend,
+            executor=executor,
+            jobs=jobs,
+            max_interactions=max_interactions,
+        )
     ensemble = TrialEnsemble(initial=config)
-    seeds = np.random.SeedSequence(seed).spawn(trials)
-    for child in seeds:
-        rng = np.random.default_rng(child)
-        result = simulator(config, rng=rng, max_interactions=max_interactions)
+    for result in results:
         ensemble.interactions.append(result.interactions)
         ensemble.winners.append(result.winner)
         ensemble.converged_flags.append(result.converged)

@@ -3,7 +3,10 @@
 A sweep maps a grid of parameter points to :class:`TrialEnsemble`
 aggregates, collecting the series the experiments need (e.g. mean
 interactions vs n at fixed k).  Points are deterministic functions of the
-sweep seed, so any individual cell can be reproduced in isolation.
+sweep seed, so any individual cell can be reproduced in isolation; each
+cell's ensemble runs through the simulation engine, so a whole sweep can
+be switched to the batched backend or a multiprocessing pool with the
+``backend``/``executor``/``jobs`` arguments.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..core.config import Configuration
+from ..engine import Backend
 from .convergence import TrialEnsemble, run_trials
 
 __all__ = ["SweepPoint", "SweepResult", "sweep"]
@@ -65,6 +69,9 @@ def sweep(
     trials: int,
     seed: int,
     max_interactions: Callable[[dict], int] | int | None = None,
+    backend: str | Backend | None = None,
+    executor: str | None = None,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Run ``trials`` USD runs at each grid point.
 
@@ -79,6 +86,9 @@ def sweep(
     max_interactions:
         Either a constant budget, a callable mapping the grid point to a
         budget, or ``None`` for the simulator default.
+    backend, executor, jobs:
+        Engine selection for every cell's ensemble, forwarded to
+        :func:`repro.engine.run_ensemble` via :func:`run_trials`.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -98,6 +108,9 @@ def sweep(
             trials,
             seed=int(child.generate_state(1)[0]),
             max_interactions=budget,
+            backend=backend,
+            executor=executor,
+            jobs=jobs,
         )
         points.append(SweepPoint(params=dict(params), ensemble=ensemble))
     return SweepResult(points=points)

@@ -2,7 +2,7 @@
 
 Commands
 --------
-``run E3 [--scale quick|full] [--seed N]``
+``run E3 [--scale quick|full] [--seed N] [--backend B] [--jobs J]``
     Run one experiment and print its report.
 ``report [--scale quick|full] [--seed N] [--output EXPERIMENTS.md]``
     Run every experiment and write the markdown report.
@@ -10,6 +10,12 @@ Commands
     List the experiment registry.
 ``simulate [--n N] [--k K] [--bias-type none|additive|multiplicative]``
     Run a single USD simulation and print the outcome and phase times.
+
+Engine selection
+----------------
+``--backend {agents,jump,batched}`` picks the simulation backend and
+``--jobs J`` enables the multiprocessing executor with ``J`` workers for
+every ensemble the command runs (see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -20,8 +26,13 @@ import sys
 import numpy as np
 
 from .analysis.report import build_markdown_report
-from .core.fastsim import simulate as run_simulation
 from .core.phases import PhaseTracker
+from .engine import (
+    available_backends,
+    get_backend,
+    get_default_backend,
+    set_engine_defaults,
+)
 from .experiments import EXPERIMENTS, run_all, run_experiment
 from .workloads import (
     additive_bias_configuration,
@@ -31,6 +42,29 @@ from .workloads import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {raw}")
+    return value
+
+
+def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
+    """``--backend``/``--jobs`` flags shared by every simulating command."""
+    command.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="simulation backend for all ensembles (default: jump)",
+    )
+    command.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes for ensembles (default: 1 = serial)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,11 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("experiment", help="experiment id, e.g. E3")
     run_cmd.add_argument("--scale", choices=("quick", "full"), default="quick")
     run_cmd.add_argument("--seed", type=int, default=20230224)
+    _add_engine_arguments(run_cmd)
 
     report_cmd = sub.add_parser("report", help="run all experiments, write markdown")
     report_cmd.add_argument("--scale", choices=("quick", "full"), default="quick")
     report_cmd.add_argument("--seed", type=int, default=20230224)
     report_cmd.add_argument("--output", default="EXPERIMENTS.md")
+    _add_engine_arguments(report_cmd)
 
     sub.add_parser("list", help="list the experiment registry")
 
@@ -60,16 +96,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--bias-type", choices=("none", "additive", "multiplicative"), default="none"
     )
     sim_cmd.add_argument("--seed", type=int, default=0)
+    _add_engine_arguments(sim_cmd)
     return parser
 
 
+def _apply_engine_arguments(args) -> None:
+    """Install the command's engine selection as the session default."""
+    set_engine_defaults(backend=args.backend, jobs=args.jobs)
+
+
 def _command_run(args) -> int:
+    _apply_engine_arguments(args)
     result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
     print(result.render())
     return 0 if result.passed else 1
 
 
 def _command_report(args) -> int:
+    _apply_engine_arguments(args)
     results = run_all(scale=args.scale, seed=args.seed)
     text = build_markdown_report(results, scale=args.scale, seed=args.seed)
     with open(args.output, "w") as handle:
@@ -92,6 +136,7 @@ def _command_list(_args) -> int:
 
 
 def _command_simulate(args) -> int:
+    _apply_engine_arguments(args)
     if args.bias_type == "additive":
         config = additive_bias_configuration(args.n, args.k, theorem_beta(args.n, 3.0))
     elif args.bias_type == "multiplicative":
@@ -99,9 +144,13 @@ def _command_simulate(args) -> int:
     else:
         config = uniform_configuration(args.n, args.k)
     tracker = PhaseTracker()
-    result = run_simulation(
+    backend = get_backend(
+        args.backend if args.backend is not None else get_default_backend()
+    )
+    result = backend.simulate(
         config, rng=np.random.default_rng(args.seed), observer=tracker.observe
     )
+    print(f"backend:          {backend.name}")
     print(f"initial supports: {config.supports.tolist()}")
     print(f"winner:           Opinion {result.winner}")
     print(f"interactions:     {result.interactions}")

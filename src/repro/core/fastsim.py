@@ -29,7 +29,13 @@ import numpy as np
 from .config import Configuration
 from .simulator import Observer, RunResult, default_interaction_budget
 
-__all__ = ["simulate", "step_weights", "total_productive_weight"]
+__all__ = [
+    "simulate",
+    "step_weights",
+    "total_productive_weight",
+    "cumulative_weights",
+    "pick_event",
+]
 
 
 def step_weights(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -54,6 +60,35 @@ def total_productive_weight(counts: np.ndarray) -> int:
     """Total weight ``W`` of productive interactions (out of ``n²``)."""
     adopt, clash = step_weights(counts)
     return int(adopt.sum() + clash.sum())
+
+
+def cumulative_weights(weights: np.ndarray) -> np.ndarray:
+    """Float cumulative sums along the last axis, for :func:`pick_event`.
+
+    Accepts a 1-D weight vector (one replicate) or a 2-D ``(R, m)`` array
+    (one row per replicate, as in the batched engine backend).
+    """
+    return np.cumsum(weights, axis=-1, dtype=np.float64)
+
+
+def pick_event(cumulative: np.ndarray, target) -> int | np.ndarray:
+    """Index of the event whose cumulative-weight bin contains ``target``.
+
+    Equivalent to ``np.searchsorted(cumulative, target, side="right")`` —
+    the returned index ``i`` satisfies ``cumulative[i-1] <= target <
+    cumulative[i]`` — but also works row-wise on a 2-D cumulative array
+    with one target per row.  Callers guarantee ``0 <= target <
+    cumulative[-1]``; the result is clipped to the last index so a
+    floating-point target equal to the total cannot index out of range.
+    """
+    cumulative = np.asarray(cumulative)
+    last = cumulative.shape[-1] - 1
+    if cumulative.ndim == 1:
+        i = int(np.searchsorted(cumulative, target, side="right"))
+        return min(i, last)
+    targets = np.asarray(target, dtype=np.float64)
+    indices = (cumulative <= targets[..., None]).sum(axis=-1)
+    return np.minimum(indices, last)
 
 
 def simulate(
@@ -119,20 +154,24 @@ def simulate(
 
         # Choose the productive event proportionally to its weight.
         v = rng.random() * total
-        if v < adopt_total:
+        if clash_total <= 0.0:
+            # Exactly one opinion still has supporters (clash weight
+            # x_i * (decided - x_i) vanishes iff one opinion holds every
+            # decided agent), so the event is an adoption of that opinion
+            # with probability 1 — no weight vector needs rebuilding.
+            i = int(np.argmax(supports))
+            counts[0] -= 1
+            counts[1 + i] += 1
+        elif v < adopt_total:
             # Undecided responder adopts Opinion i with weight u * x_i;
             # dividing out the common factor u leaves weights x_i.
-            target = v / u
-            cumulative = np.cumsum(supports)
-            i = int(np.searchsorted(cumulative, target, side="right"))
+            i = pick_event(cumulative_weights(supports), v / u)
             counts[0] -= 1
             counts[1 + i] += 1
         else:
             # Opinion i loses a supporter with weight x_i * (decided - x_i).
-            target = v - adopt_total
             clash_weights = supports * (decided - supports)
-            cumulative = np.cumsum(clash_weights.astype(np.float64))
-            i = int(np.searchsorted(cumulative, target, side="right"))
+            i = pick_event(cumulative_weights(clash_weights), v - adopt_total)
             counts[1 + i] -= 1
             counts[0] += 1
 

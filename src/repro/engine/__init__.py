@@ -1,0 +1,65 @@
+"""Unified simulation engine: backends, batching, and parallel execution.
+
+This package is the seam between *what* is simulated (a backend sampling
+the USD process) and *how* an ensemble of replicates is executed
+(serially, batched across a vectorized replicate axis, or on a
+multiprocessing pool).  Everything that runs ensembles — the trial
+runner, the sweep harness, the experiment modules, the CLI and the
+benchmarks — goes through :func:`run_ensemble`.
+
+>>> from repro.engine import run_ensemble
+>>> from repro.workloads import uniform_configuration
+>>> results = run_ensemble(uniform_configuration(200, 3), 16, seed=7,
+...                        backend="batched")
+>>> len(results)
+16
+
+Backends are selected by name (``"agents"``, ``"jump"``, ``"batched"``)
+and new ones plug in via :func:`register_backend`; session-wide defaults
+come from :mod:`repro.engine.options` (CLI flags or the
+``REPRO_ENGINE_BACKEND``/``REPRO_ENGINE_JOBS`` environment variables).
+"""
+
+from .backends import (
+    AgentsBackend,
+    Backend,
+    JumpBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    supports_batch,
+)
+from .batched import BatchedBackend, simulate_batch
+from .executors import DEFAULT_BATCH_SIZE, EXECUTORS, replicate_seeds, run_ensemble
+from .options import (
+    DEFAULT_BACKEND,
+    engine_defaults,
+    get_default_backend,
+    get_default_executor,
+    get_default_jobs,
+    set_engine_defaults,
+)
+
+__all__ = [
+    "Backend",
+    "AgentsBackend",
+    "JumpBackend",
+    "BatchedBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "supports_batch",
+    "simulate_batch",
+    "run_ensemble",
+    "replicate_seeds",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_BACKEND",
+    "EXECUTORS",
+    "engine_defaults",
+    "get_default_backend",
+    "get_default_executor",
+    "get_default_jobs",
+    "set_engine_defaults",
+]
+
+register_backend(BatchedBackend())

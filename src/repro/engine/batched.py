@@ -1,0 +1,210 @@
+"""Vectorized batched jump chain: R replicates advanced in lockstep.
+
+The serial jump chain (:mod:`repro.core.fastsim`) pays Python-level
+overhead for every productive interaction of every replicate.  An
+ensemble of R independent replicates of the *same* initial configuration
+can instead be advanced as one ``(R, k+1)`` histogram array: per
+lockstep round, the geometric no-op skip, the weighted event choice and
+the absorption check are all computed across the whole replicate axis
+with numpy, so the per-event interpreter cost is shared by every live
+replicate.
+
+Replicate independence and reproducibility
+------------------------------------------
+Each replicate owns a private ``numpy`` generator and consumes exactly
+two uniforms per productive step from a buffer pre-drawn from *its own*
+generator (one for the geometric skip, one for the event choice).
+Finished replicates stop consuming.  A replicate's trajectory therefore
+depends only on its own seed — never on which other replicates share the
+batch — so results are bit-identical across batch widths and executors,
+and any single replicate can be reproduced in isolation with
+``simulate`` and the same generator.
+
+The geometric skip is sampled by inversion (``1 + floor(log(1-U) /
+log(1-p))``) rather than ``Generator.geometric``, so batched
+trajectories are not bitwise-equal to the serial jump chain for the same
+seed; both sample the exact same distribution, which the test suite
+cross-validates statistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..core.fastsim import cumulative_weights, pick_event
+from ..core.fastsim import simulate as _jump_simulate
+from ..core.simulator import Observer, RunResult, default_interaction_budget
+
+__all__ = ["BatchedBackend", "simulate_batch"]
+
+#: Uniforms pre-drawn per replicate per refill; two are consumed per
+#: productive step, so one refill covers 128 steps.  Must be even.
+_STREAM_BUFFER = 256
+
+
+def simulate_batch(
+    config: Configuration,
+    *,
+    rngs: list[np.random.Generator],
+    max_interactions: int | None = None,
+) -> list[RunResult]:
+    """Run ``len(rngs)`` independent replicates of the jump chain at once.
+
+    Parameters
+    ----------
+    config:
+        Shared initial configuration.
+    rngs:
+        One independent generator per replicate; each replicate's
+        trajectory is a deterministic function of its generator alone.
+    max_interactions:
+        Interaction budget per replicate (the count includes skipped
+        no-ops, exactly as in the serial simulators); defaults to
+        :func:`repro.core.simulator.default_interaction_budget`.
+    """
+    n = config.n
+    k = config.k
+    replicates = len(rngs)
+    if replicates == 0:
+        return []
+    if max_interactions is None:
+        max_interactions = default_interaction_budget(n, k)
+    if max_interactions < 0:
+        raise ValueError(f"max_interactions must be non-negative, got {max_interactions}")
+    n_sq = float(n) * float(n)
+
+    # Live state, kept compacted: rows [0, live) are the replicates still
+    # running; `origin` maps a live row back to its replicate index.
+    counts = np.tile(np.asarray(config.counts, dtype=np.int64), (replicates, 1))
+    interactions = np.zeros(replicates, dtype=np.int64)
+    origin = np.arange(replicates)
+    generators = list(rngs)
+    stream = np.empty((replicates, _STREAM_BUFFER), dtype=np.float64)
+    cursor = np.full(replicates, _STREAM_BUFFER, dtype=np.int64)
+
+    final_counts = np.empty((replicates, k + 1), dtype=np.int64)
+    final_interactions = np.empty(replicates, dtype=np.int64)
+    exhausted = np.zeros(replicates, dtype=bool)
+
+    live = replicates
+    row_ids = np.arange(replicates)
+    while live > 0:
+        rows = row_ids[:live]
+        supports = counts[:live, 1:]
+        undecided = counts[:live, 0]
+        decided = n - undecided
+
+        # Adoption weights u*x_i and clash weights x_i*(decided - x_i) in
+        # one (live, 2k) array: a single cumulative sum yields the total
+        # productive weight *and* the event-choice bins.
+        weights = np.empty((live, 2 * k), dtype=np.float64)
+        np.multiply(undecided[:, None], supports, out=weights[:, :k])
+        np.multiply(supports, decided[:, None] - supports, out=weights[:, k:])
+        cumulative = cumulative_weights(weights)
+        total = cumulative[:, -1]
+
+        # W == 0 exactly characterizes the absorbing configurations:
+        # consensus, and the all-undecided state.
+        absorbed = total <= 0.0
+
+        # Top up streams running low, two uniforms per live replicate.
+        low = np.flatnonzero(cursor[:live] + 2 > _STREAM_BUFFER)
+        for row in low:
+            stream[row] = generators[row].random(_STREAM_BUFFER)
+            cursor[row] = 0
+        offset = cursor[:live]
+        skip_u = stream[rows, offset]
+        event_u = stream[rows, offset + 1]
+        cursor[:live] += np.where(absorbed, 0, 2)  # absorbed rows consume nothing
+
+        # Geometric number of interactions until the next productive one,
+        # by inversion; p >= 1 collapses to a certain hit.
+        p = total / n_sq
+        with np.errstate(divide="ignore", invalid="ignore"):
+            wait = 1.0 + np.floor(np.log1p(-skip_u) / np.log1p(-p))
+        wait = np.where((p >= 1.0) | absorbed, 1.0, np.maximum(wait, 1.0))
+        t_next = interactions[:live] + wait.astype(np.int64)
+        over_budget = (t_next > max_interactions) & ~absorbed
+
+        alive = ~(absorbed | over_budget)
+        interactions[:live] = np.where(alive, t_next, interactions[:live])
+        interactions[:live][over_budget] = max_interactions
+
+        if alive.any():
+            event = pick_event(cumulative, event_u * total)
+            opinion = 1 + (event % k)
+            # Events < k are adoptions (undecided -> opinion), events >= k
+            # are clashes (opinion -> undecided).
+            delta = np.where(event < k, -1, 1)
+            alive_rows = rows[alive]
+            counts[alive_rows, 0] += delta[alive]
+            counts[alive_rows, opinion[alive]] -= delta[alive]
+
+        if not alive.all():
+            finished = np.flatnonzero(~alive)
+            targets = origin[finished]
+            final_counts[targets] = counts[finished]
+            final_interactions[targets] = interactions[:live][finished]
+            exhausted[targets] = over_budget[finished]
+            keep = np.flatnonzero(alive)
+            live = keep.size
+            counts[:live] = counts[keep]
+            interactions[:live] = interactions[keep]
+            stream[:live] = stream[keep]
+            cursor[:live] = cursor[keep]
+            origin[:live] = origin[keep]
+            generators = [generators[i] for i in keep]
+
+    results: list[RunResult] = []
+    for r in range(replicates):
+        final = Configuration(final_counts[r])
+        results.append(
+            RunResult(
+                initial=config,
+                final=final,
+                interactions=int(final_interactions[r]),
+                converged=final.is_consensus,
+                winner=final.winner,
+                stopped_by_observer=False,
+                budget_exhausted=bool(exhausted[r]),
+            )
+        )
+    return results
+
+
+class BatchedBackend:
+    """Ensemble backend: vectorized lockstep advance of R jump chains.
+
+    ``simulate_batch`` is the native entry point.  ``simulate`` satisfies
+    the single-run :class:`~repro.engine.backends.Backend` protocol by
+    running a batch of width one; because observers need a callback after
+    every productive event — the one thing the lockstep kernel cannot
+    offer cheaply — observer runs delegate to the serial jump chain,
+    which samples the identical process.
+    """
+
+    name = "batched"
+
+    def simulate(
+        self,
+        config: Configuration,
+        *,
+        rng: np.random.Generator,
+        max_interactions: int | None = None,
+        observer: Observer | None = None,
+    ) -> RunResult:
+        if observer is not None:
+            return _jump_simulate(
+                config, rng=rng, max_interactions=max_interactions, observer=observer
+            )
+        return simulate_batch(config, rngs=[rng], max_interactions=max_interactions)[0]
+
+    def simulate_batch(
+        self,
+        config: Configuration,
+        *,
+        rngs: list[np.random.Generator],
+        max_interactions: int | None = None,
+    ) -> list[RunResult]:
+        return simulate_batch(config, rngs=rngs, max_interactions=max_interactions)

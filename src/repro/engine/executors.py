@@ -1,0 +1,169 @@
+"""Executor layer: run an ensemble of replicates serially or in parallel.
+
+:func:`run_ensemble` is the single entry point every ensemble in the
+repository goes through (trial runner, sweeps, experiments, benchmarks).
+It separates three orthogonal choices:
+
+* **backend** — how one replicate is simulated (see
+  :mod:`repro.engine.backends`);
+* **executor** — where replicates run: ``"serial"`` in-process, or
+  ``"process"`` on a ``multiprocessing`` pool;
+* **batching** — batch-capable backends advance many replicates per
+  call; ``batch_size`` bounds the width.
+
+Determinism
+-----------
+Replicate ``i`` always receives the ``i``-th child of
+``SeedSequence(seed)`` (see :func:`replicate_seeds`).  Backends are
+required to be batch-width invariant, so the per-replicate results are
+bit-identical no matter the executor, the worker count or the batch
+size — and any single replicate can be reproduced in isolation by
+seeding a generator with its child sequence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..core.simulator import RunResult
+from .backends import Backend, get_backend, supports_batch
+from .options import get_default_backend, get_default_executor, get_default_jobs
+
+__all__ = ["run_ensemble", "replicate_seeds", "DEFAULT_BATCH_SIZE", "EXECUTORS"]
+
+#: Largest number of replicates a batch-capable backend advances per call.
+DEFAULT_BATCH_SIZE = 1024
+
+#: Names accepted by the ``executor`` parameter ("multiprocessing" is an
+#: alias for "process").
+EXECUTORS = ("serial", "process")
+
+
+def replicate_seeds(seed: int, trials: int) -> list[np.random.SeedSequence]:
+    """The canonical per-replicate seed derivation of the whole repo.
+
+    Replicate ``i`` of an ensemble keyed by ``seed`` is always driven by
+    ``np.random.default_rng(replicate_seeds(seed, trials)[i])``,
+    regardless of backend, executor or batch width.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    return np.random.SeedSequence(seed).spawn(trials)
+
+
+def _simulate_chunk(
+    backend: Backend,
+    config: Configuration,
+    seeds: list[np.random.SeedSequence],
+    max_interactions: int | None,
+) -> list[RunResult]:
+    """Run one contiguous chunk of replicates on the given backend."""
+    rngs = [np.random.default_rng(s) for s in seeds]
+    if supports_batch(backend):
+        return backend.simulate_batch(
+            config, rngs=rngs, max_interactions=max_interactions
+        )
+    return [
+        backend.simulate(config, rng=rng, max_interactions=max_interactions)
+        for rng in rngs
+    ]
+
+
+def _worker(payload) -> list[RunResult]:
+    """Top-level multiprocessing entry point (must be picklable)."""
+    backend_name, counts, seeds, max_interactions = payload
+    backend = get_backend(backend_name)
+    config = Configuration(counts)
+    return _simulate_chunk(backend, config, seeds, max_interactions)
+
+
+def _chunked(seeds: list, batch_size: int) -> list[list]:
+    return [seeds[i : i + batch_size] for i in range(0, len(seeds), batch_size)]
+
+
+def run_ensemble(
+    config: Configuration,
+    trials: int,
+    *,
+    seed: int,
+    backend: str | Backend | None = None,
+    executor: str | None = None,
+    jobs: int | None = None,
+    max_interactions: int | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> list[RunResult]:
+    """Run ``trials`` independent replicates and return them in order.
+
+    Parameters
+    ----------
+    config:
+        Shared initial configuration.
+    trials:
+        Number of replicates.
+    seed:
+        Ensemble seed; replicate ``i`` uses ``replicate_seeds(seed,
+        trials)[i]``.
+    backend:
+        Backend name or instance; defaults to the session default
+        (``"jump"`` unless overridden, see :mod:`repro.engine.options`).
+    executor:
+        ``"serial"`` or ``"process"``; defaults to ``"process"`` when the
+        session default worker count exceeds one.
+    jobs:
+        Worker count for the process executor; defaults to the session
+        default, floored at the machine's CPU count when unset there.
+    max_interactions:
+        Per-replicate interaction budget (``None`` = simulator default).
+    batch_size:
+        Upper bound on the batch width for batch-capable backends.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    resolved = get_backend(backend if backend is not None else get_default_backend())
+    if executor is None:
+        executor = get_default_executor()
+    if executor == "multiprocessing":
+        executor = "process"
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    seeds = replicate_seeds(seed, trials)
+
+    if executor == "serial":
+        results: list[RunResult] = []
+        for chunk in _chunked(seeds, batch_size):
+            results.extend(_simulate_chunk(resolved, config, chunk, max_interactions))
+        return results
+
+    if jobs is None:
+        default_jobs = get_default_jobs()
+        jobs = default_jobs if default_jobs > 1 else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    # Process workers resolve the backend by name from their (forked or
+    # re-imported) registry, so the name must actually resolve here first —
+    # an unregistered instance would only fail inside the pool with a
+    # confusing per-worker error.
+    backend_name = resolved.name
+    try:
+        registered = get_backend(backend_name)
+    except ValueError:
+        registered = None
+    if registered is not resolved:
+        raise ValueError(
+            f"backend {backend_name!r} must be registered (register_backend) "
+            "before it can run on the process executor"
+        )
+    # Several chunks per worker keep the pool busy when replicate
+    # durations vary, without giving up batching within a chunk.
+    per_chunk = max(1, min(batch_size, -(-trials // (jobs * 4))))
+    payloads = [
+        (backend_name, np.asarray(config.counts), chunk, max_interactions)
+        for chunk in _chunked(seeds, per_chunk)
+    ]
+    with multiprocessing.Pool(processes=jobs) as pool:
+        chunks = pool.map(_worker, payloads)
+    return [result for chunk in chunks for result in chunk]

@@ -1,0 +1,86 @@
+"""Session-wide engine defaults (backend, executor, worker count).
+
+The engine resolves its defaults in three layers, most specific first:
+
+1. explicit keyword arguments to :func:`repro.engine.run_ensemble`;
+2. process-wide overrides installed with :func:`set_engine_defaults`
+   (the CLI's ``--backend``/``--jobs`` flags land here);
+3. the ``REPRO_ENGINE_BACKEND`` / ``REPRO_ENGINE_JOBS`` environment
+   variables, so whole experiment or benchmark invocations can be
+   redirected without touching any call site;
+4. the built-in defaults: the ``"jump"`` backend, serial execution.
+
+Keeping this state in one tiny module means the experiment modules,
+the analysis layer and the benchmarks all see the same selection
+without threading parameters through every call.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "engine_defaults",
+    "get_default_backend",
+    "get_default_executor",
+    "get_default_jobs",
+    "set_engine_defaults",
+]
+
+#: Backend used when nothing else is specified.
+DEFAULT_BACKEND = "jump"
+
+_BACKEND_OVERRIDE: str | None = None
+_JOBS_OVERRIDE: int | None = None
+
+
+def set_engine_defaults(
+    *, backend: str | None = None, jobs: int | None = None
+) -> None:
+    """Install process-wide engine defaults (pass ``None`` to leave as-is).
+
+    ``jobs=1`` restores serial execution; ``jobs>1`` makes the
+    multiprocessing executor the default with that many workers.
+    """
+    global _BACKEND_OVERRIDE, _JOBS_OVERRIDE
+    if backend is not None:
+        _BACKEND_OVERRIDE = backend
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        _JOBS_OVERRIDE = jobs
+
+
+def get_default_backend() -> str:
+    """Backend name used when ``run_ensemble`` gets ``backend=None``."""
+    if _BACKEND_OVERRIDE is not None:
+        return _BACKEND_OVERRIDE
+    return os.environ.get("REPRO_ENGINE_BACKEND", DEFAULT_BACKEND)
+
+
+def get_default_jobs() -> int:
+    """Worker count used when ``run_ensemble`` gets ``jobs=None``."""
+    if _JOBS_OVERRIDE is not None:
+        return _JOBS_OVERRIDE
+    raw = os.environ.get("REPRO_ENGINE_JOBS")
+    if raw is None:
+        return 1
+    jobs = int(raw)
+    if jobs < 1:
+        raise ValueError(f"REPRO_ENGINE_JOBS must be positive, got {raw}")
+    return jobs
+
+
+def get_default_executor() -> str:
+    """``"process"`` when more than one worker is configured, else serial."""
+    return "process" if get_default_jobs() > 1 else "serial"
+
+
+def engine_defaults() -> dict:
+    """Snapshot of the resolved defaults (for reports and diagnostics)."""
+    return {
+        "backend": get_default_backend(),
+        "executor": get_default_executor(),
+        "jobs": get_default_jobs(),
+    }

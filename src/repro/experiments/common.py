@@ -19,7 +19,19 @@ import zlib
 
 import numpy as np
 
-__all__ = ["Scale", "validate_scale", "spawn_rng", "spawn_seed", "ratio_spread"]
+from ..core.config import Configuration
+from ..core.simulator import Observer, RunResult
+from ..engine import engine_defaults, get_backend, get_default_backend
+
+__all__ = [
+    "Scale",
+    "validate_scale",
+    "spawn_rng",
+    "spawn_seed",
+    "ratio_spread",
+    "engine_simulate",
+    "engine_defaults",
+]
 
 Scale = str
 
@@ -46,6 +58,28 @@ def spawn_rng(seed: int, label: str) -> np.random.Generator:
 def spawn_seed(seed: int, index: int) -> int:
     """Deterministic derived integer seed for sub-harnesses."""
     return int(np.random.SeedSequence([seed, index]).generate_state(1)[0])
+
+
+def engine_simulate(
+    config: Configuration,
+    *,
+    rng: np.random.Generator,
+    max_interactions: int | None = None,
+    observer: Observer | None = None,
+) -> RunResult:
+    """Single-run hook: every e01–e19 module simulates through this.
+
+    Dispatches to the session-selected engine backend (``--backend`` on
+    the CLI, ``REPRO_ENGINE_BACKEND`` in the environment, ``"jump"``
+    otherwise), so an entire experiment suite can be re-run on a
+    different backend without editing any experiment module.  Ensemble
+    runs go through :func:`repro.analysis.run_trials` /
+    :func:`repro.analysis.sweep`, which route through the same engine.
+    """
+    backend = get_backend(get_default_backend())
+    return backend.simulate(
+        config, rng=rng, max_interactions=max_interactions, observer=observer
+    )
 
 
 def ratio_spread(ratios) -> float:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import ExperimentResult, Table, summarize
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..core.phases import NUM_PHASES, PhaseTracker, predicted_phase_bound
 from ..workloads import uniform_configuration
 from .common import Scale, ratio_spread, spawn_seed, validate_scale

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import ExperimentResult, Table
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..core.phases import PhaseTracker
 from ..core.potentials import undecided_upper_bound
 from ..core.probabilities import ustar

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..analysis import ExperimentResult, Table, becchetti_gossip_rounds
 from ..analysis.theory import appendix_d_crossover_x1
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..gossip import run_usd_gossip
 from ..workloads import multiplicative_bias_configuration
 from .common import Scale, spawn_seed, validate_scale

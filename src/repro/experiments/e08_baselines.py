@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import ExperimentResult, Table, fit_power_law
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..gossip import (
     run_median_rule,
     run_three_majority,

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import ExperimentResult, Table
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..protocols import run_synchronized_usd
 from ..workloads import uniform_configuration
 from .common import Scale, spawn_seed, validate_scale

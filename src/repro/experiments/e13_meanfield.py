@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import ExperimentResult, Table
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..core.meanfield import solve_meanfield, symmetric_fixed_point
 from ..core.probabilities import ustar
 from ..core.recorder import TrajectoryRecorder

@@ -20,7 +20,7 @@ import networkx as nx
 import numpy as np
 
 from ..analysis import ExperimentResult, Table
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..graphs import simulate_on_graph
 from ..workloads import additive_bias_configuration
 from .common import Scale, spawn_rng, validate_scale

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..analysis import ExperimentResult, Table, wilson_interval
 from ..core.config import Configuration
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..core.probabilities import pair_step
 from ..randomwalk.gamblers_ruin import win_probability
 from ..workloads import additive_bias_configuration

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import ExperimentResult, Table
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..core.phases import PhaseTracker
 from ..workloads import (
     additive_bias_configuration,

@@ -21,7 +21,7 @@ import math
 import numpy as np
 
 from ..analysis import ExperimentResult, Table
-from ..core.fastsim import simulate
+from .common import engine_simulate as simulate
 from ..core.phases import PhaseTracker
 from ..core.recorder import CompositeObserver, TrajectoryRecorder
 from ..workloads import uniform_configuration
