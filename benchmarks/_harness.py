@@ -13,8 +13,10 @@ the full-scale numbers (minutes instead of seconds).
 
 The rendered report (the same rows recorded in EXPERIMENTS.md) is printed
 and archived under ``benchmarks/results/``.  :func:`run_engine_smoke`
-measures serial jump-chain vs batched ensemble throughput and writes the
-comparison to a JSON artifact (used by ``engine_smoke.py`` and CI).
+measures serial jump-chain vs batched ensemble throughput and
+:func:`run_scenario_smoke` times one ensemble per registered scenario;
+both write JSON artifacts (``BENCH_engine.json`` /
+``BENCH_scenarios.json``, used by ``engine_smoke.py`` and CI).
 """
 
 from __future__ import annotations
@@ -24,7 +26,18 @@ import os
 import time
 from pathlib import Path
 
-from repro.engine import engine_defaults, get_backend, run_ensemble
+import numpy as np
+
+from repro.engine import (
+    engine_defaults,
+    get_backend,
+    gossip_spec,
+    graph_spec,
+    noise_spec,
+    run_ensemble,
+    usd_spec,
+    zealot_spec,
+)
 from repro.workloads import uniform_configuration
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -112,6 +125,89 @@ def run_engine_smoke(
         },
         "speedup": batched_throughput / serial_throughput,
     }
+    if output is not None:
+        Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _complete_graph_edges(n: int) -> np.ndarray:
+    """All ordered pairs of ``0..n-1`` including self-loops (numpy-only).
+
+    Matches ``build_edge_list(nx.complete_graph(n))`` up to row order —
+    the kernel samples rows uniformly, so order is irrelevant — without
+    pulling networkx into the smoke.
+    """
+    a, b = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return np.stack([a.ravel(), b.ravel()], axis=1)
+
+
+def run_scenario_smoke(
+    *,
+    seed: int = 20230224,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Run one small ensemble per registered scenario and time it.
+
+    Every workload goes through ``run_ensemble``, so this exercises the
+    whole scenario layer (spec construction, variant resolution, the
+    batched zealot/noise kernels) end to end.  Writes the per-scenario
+    timing dictionary as JSON when ``output`` is given (the
+    ``BENCH_scenarios.json`` CI artifact).
+    """
+    workloads = {
+        "usd": {
+            "spec": usd_spec(uniform_configuration(2000, 3)),
+            "trials": 16,
+            "backend": "batched",
+        },
+        "graph": {
+            "spec": graph_spec(
+                _complete_graph_edges(200), config=uniform_configuration(200, 2)
+            ),
+            "trials": 4,
+            "backend": None,
+        },
+        "zealots": {
+            "spec": zealot_spec(uniform_configuration(2000, 3), [0, 0, 50]),
+            "trials": 16,
+            "backend": "batched",
+            "max_interactions": 2_000_000,
+        },
+        "noise": {
+            "spec": noise_spec(uniform_configuration(500, 3), 0.01, 20_000),
+            "trials": 8,
+            "backend": "batched",
+        },
+        "gossip": {
+            "spec": gossip_spec(uniform_configuration(2000, 3)),
+            "trials": 16,
+            "backend": None,
+        },
+    }
+    record = {"seed": seed, "engine_defaults": engine_defaults(), "scenarios": {}}
+    for name, workload in workloads.items():
+        spec = workload["spec"]
+        trials = workload["trials"]
+        start = time.perf_counter()
+        results = run_ensemble(
+            spec,
+            trials,
+            seed=seed,
+            backend=workload.get("backend"),
+            executor="serial",
+            max_interactions=workload.get("max_interactions"),
+        )
+        seconds = time.perf_counter() - start
+        record["scenarios"][name] = {
+            "n": spec.config.n,
+            "k": spec.config.k,
+            "replicates": trials,
+            "seconds": seconds,
+            "replicates_per_second": trials / seconds,
+            "converged": sum(
+                1 for r in results if getattr(r, "converged", False)
+            ),
+        }
     if output is not None:
         Path(output).write_text(json.dumps(record, indent=2) + "\n")
     return record

@@ -3,18 +3,22 @@
 Writes a ``BENCH_engine.json`` artifact comparing ensemble throughput
 (replicates per second) of the serial ``"jump"`` backend against the
 vectorized ``"batched"`` backend on the acceptance workload (n=10^4,
-k=5, 1000 replicates by default).  The serial side runs a small sample
-— its per-replicate cost is constant — and throughput is compared
-directly.
+k=5, 1000 replicates by default), plus a ``BENCH_scenarios.json``
+artifact timing one ensemble per registered scenario (usd, graph,
+zealots, noise, gossip) through ``run_ensemble``.  The serial side runs
+a small sample — its per-replicate cost is constant — and throughput is
+compared directly.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_smoke.py \
         [--n 10000] [--k 5] [--trials 1000] [--serial-trials 8] \
-        [--seed 20230224] [--output BENCH_engine.json] [--min-speedup 3]
+        [--seed 20230224] [--output BENCH_engine.json] \
+        [--scenarios-output BENCH_scenarios.json] [--min-speedup 3]
 
 Exits non-zero when the measured speedup falls below ``--min-speedup``
-(pass ``--min-speedup 0`` to record without gating).
+(pass ``--min-speedup 0`` to record without gating); pass
+``--scenarios-output ""`` to skip the scenario sweep.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from _harness import run_engine_smoke
+from _harness import run_engine_smoke, run_scenario_smoke
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,6 +37,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--serial-trials", type=int, default=8)
     parser.add_argument("--seed", type=int, default=20230224)
     parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument("--scenarios-output", default="BENCH_scenarios.json")
     parser.add_argument("--min-speedup", type=float, default=3.0)
     args = parser.parse_args(argv)
 
@@ -55,6 +60,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{batched['seconds']:.2f}s = {batched['replicates_per_second']:.2f} rep/s"
     )
     print(f"speedup:      {record['speedup']:.1f}x  (wrote {args.output})")
+    if args.scenarios_output:
+        scenario_record = run_scenario_smoke(
+            seed=args.seed, output=args.scenarios_output
+        )
+        for name, row in scenario_record["scenarios"].items():
+            print(
+                f"scenario {name:<10} {row['replicates']} replicates in "
+                f"{row['seconds']:.2f}s = {row['replicates_per_second']:.2f} rep/s"
+            )
+        print(f"scenarios:    wrote {args.scenarios_output}")
     if record["speedup"] < args.min_speedup:
         print(
             f"FAIL: speedup {record['speedup']:.2f} below "

@@ -20,7 +20,14 @@ import numpy as np
 
 from ..core.config import Configuration
 from ..core.simulator import RunResult
-from ..engine import Backend, replicate_seeds, run_ensemble
+from ..engine import (
+    Backend,
+    EnsembleCache,
+    ScenarioSpec,
+    coerce_spec,
+    replicate_seeds,
+    run_ensemble,
+)
 from .stats import SummaryStats, summarize, wilson_interval
 
 __all__ = ["TrialEnsemble", "run_trials"]
@@ -104,7 +111,7 @@ class TrialEnsemble:
 
 
 def run_trials(
-    config: Configuration,
+    workload: Configuration | ScenarioSpec,
     trials: int,
     *,
     seed: int,
@@ -113,23 +120,38 @@ def run_trials(
     backend: str | Backend | None = None,
     executor: str | None = None,
     jobs: int | None = None,
+    cache: bool | EnsembleCache | None = None,
 ) -> TrialEnsemble:
-    """Run ``trials`` independent USD runs and aggregate them.
+    """Run ``trials`` independent runs of a workload and aggregate them.
 
-    Each trial gets a child generator spawned from ``seed``
-    (:func:`repro.engine.replicate_seeds`) so ensembles are reproducible,
-    order-independent, and identical across backends' seed derivation,
-    executors and batch widths.  ``backend``/``executor``/``jobs`` are
-    forwarded to :func:`repro.engine.run_ensemble`; ``simulator`` is a
-    legacy escape hatch for a bare ``simulate``-style callable and
-    bypasses the engine.
+    ``workload`` is a bare :class:`Configuration` (plain USD) or a
+    :class:`~repro.engine.ScenarioSpec` for any registered dynamics
+    (graph, zealots, noise, gossip, ...).  Each trial gets a child
+    generator spawned from ``seed`` (:func:`repro.engine.replicate_seeds`)
+    so ensembles are reproducible, order-independent, and identical
+    across backends' seed derivation, executors and batch widths.
+    ``backend``/``executor``/``jobs``/``cache`` are forwarded to
+    :func:`repro.engine.run_ensemble`; ``simulator`` is a legacy escape
+    hatch for a bare ``simulate``-style callable and bypasses the engine.
+
+    Aggregation is duck-typed over the scenario's result type: the
+    per-replicate cost is ``interactions`` when present (``rounds`` for
+    gossip results), and results without a consensus notion count as
+    non-converged with no winner.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
+    spec = coerce_spec(workload)
     if simulator is not None:
+        if spec.scenario != "usd":
+            raise ValueError(
+                "the legacy simulator= escape hatch only runs plain USD; "
+                f"it would silently drop the {spec.scenario!r} scenario's "
+                "parameters — pass the spec without simulator= instead"
+            )
         results = [
             simulator(
-                config,
+                spec.config,
                 rng=np.random.default_rng(child),
                 max_interactions=max_interactions,
             )
@@ -137,17 +159,21 @@ def run_trials(
         ]
     else:
         results = run_ensemble(
-            config,
+            spec,
             trials,
             seed=seed,
             backend=backend,
             executor=executor,
             jobs=jobs,
             max_interactions=max_interactions,
+            cache=cache,
         )
-    ensemble = TrialEnsemble(initial=config)
+    ensemble = TrialEnsemble(initial=spec.config)
     for result in results:
-        ensemble.interactions.append(result.interactions)
-        ensemble.winners.append(result.winner)
-        ensemble.converged_flags.append(result.converged)
+        cost = getattr(result, "interactions", None)
+        if cost is None:
+            cost = getattr(result, "rounds", 0)
+        ensemble.interactions.append(int(cost))
+        ensemble.winners.append(getattr(result, "winner", None))
+        ensemble.converged_flags.append(bool(getattr(result, "converged", False)))
     return ensemble

@@ -72,21 +72,26 @@ def sweep(
     backend: str | Backend | None = None,
     executor: str | None = None,
     jobs: int | None = None,
+    cache=None,
 ) -> SweepResult:
-    """Run ``trials`` USD runs at each grid point.
+    """Run ``trials`` runs at each grid point.
 
     Parameters
     ----------
     grid:
         Iterable of parameter dictionaries; each is splatted into
-        ``build_config`` to produce the initial configuration.
+        ``build_config`` to produce the cell's workload.
     build_config:
-        Workload builder, e.g.
-        :func:`repro.workloads.uniform_configuration`.
+        Workload builder: returns either a plain
+        :class:`~repro.core.config.Configuration` (e.g.
+        :func:`repro.workloads.uniform_configuration`) or a
+        :class:`~repro.engine.ScenarioSpec`, so sweeps cover every
+        registered dynamics (graphs, zealots, noise, gossip) — not just
+        the plain USD.
     max_interactions:
         Either a constant budget, a callable mapping the grid point to a
         budget, or ``None`` for the simulator default.
-    backend, executor, jobs:
+    backend, executor, jobs, cache:
         Engine selection for every cell's ensemble, forwarded to
         :func:`repro.engine.run_ensemble` via :func:`run_trials`.
     """
@@ -111,6 +116,7 @@ def sweep(
             backend=backend,
             executor=executor,
             jobs=jobs,
+            cache=cache,
         )
         points.append(SweepPoint(params=dict(params), ensemble=ensemble))
     return SweepResult(points=points)

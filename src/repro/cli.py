@@ -8,14 +8,25 @@ Commands
     Run every experiment and write the markdown report.
 ``list``
     List the experiment registry.
+``list-scenarios``
+    List the scenario registry (dynamics the engine can execute).
 ``simulate [--n N] [--k K] [--bias-type none|additive|multiplicative]``
     Run a single USD simulation and print the outcome and phase times.
+``simulate --scenario S [--trials T] [scenario params]``
+    Run an ensemble of any registered scenario (``usd``, ``graph``,
+    ``zealots``, ``noise``, ``gossip``) through the engine and print a
+    summary.  Scenario parameters: ``--graph-topology``, ``--zealots``,
+    ``--noise-rho``, ``--noise-horizon``, ``--gossip-rule``,
+    ``--max-rounds``.
 
 Engine selection
 ----------------
-``--backend {agents,jump,batched}`` picks the simulation backend and
-``--jobs J`` enables the multiprocessing executor with ``J`` workers for
-every ensemble the command runs (see :mod:`repro.engine`).
+``--backend {agents,jump,batched}`` picks the simulation backend (for
+non-USD scenarios, ``batched`` selects the scenario's vectorized variant
+when it has one), ``--jobs J`` enables the multiprocessing executor with
+``J`` workers, and ``--cache``/``--no-cache`` turns the on-disk ensemble
+cache on or off (``--cache-dir`` relocates it) for every ensemble the
+command runs (see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -28,10 +39,21 @@ import numpy as np
 from .analysis.report import build_markdown_report
 from .core.phases import PhaseTracker
 from .engine import (
+    EnsembleCache,
     available_backends,
+    available_scenarios,
     get_backend,
     get_default_backend,
+    get_default_cache,
+    get_default_cache_dir,
+    get_scenario,
+    gossip_spec,
+    graph_spec,
+    noise_spec,
+    run_ensemble,
     set_engine_defaults,
+    usd_spec,
+    zealot_spec,
 )
 from .experiments import EXPERIMENTS, run_all, run_experiment
 from .workloads import (
@@ -51,8 +73,17 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _int_list(raw: str) -> list[int]:
+    try:
+        return [int(part) for part in raw.split(",") if part.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a comma-separated integer list, got {raw!r}"
+        ) from None
+
+
 def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
-    """``--backend``/``--jobs`` flags shared by every simulating command."""
+    """Engine flags shared by every simulating command."""
     command.add_argument(
         "--backend",
         choices=available_backends(),
@@ -64,6 +95,19 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=None,
         help="worker processes for ensembles (default: 1 = serial)",
+    )
+    command.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="serve identical ensembles from the on-disk result cache "
+        "(default: off, or REPRO_ENGINE_CACHE)",
+    )
+    command.add_argument(
+        "--cache-dir",
+        default=None,
+        help="ensemble cache directory (default: .repro-cache, "
+        "or REPRO_ENGINE_CACHE_DIR)",
     )
 
 
@@ -89,20 +133,86 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the experiment registry")
 
-    sim_cmd = sub.add_parser("simulate", help="run a single USD simulation")
+    sub.add_parser(
+        "list-scenarios", help="list the scenario registry (engine workloads)"
+    )
+
+    sim_cmd = sub.add_parser(
+        "simulate", help="run a single USD simulation or a scenario ensemble"
+    )
     sim_cmd.add_argument("--n", type=int, default=2000)
     sim_cmd.add_argument("--k", type=int, default=5)
     sim_cmd.add_argument(
         "--bias-type", choices=("none", "additive", "multiplicative"), default="none"
     )
     sim_cmd.add_argument("--seed", type=int, default=0)
+    sim_cmd.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default=None,
+        help="run an ensemble of this registered scenario instead of a "
+        "single plain-USD run",
+    )
+    sim_cmd.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=8,
+        help="ensemble size for --scenario runs (default: 8)",
+    )
+    sim_cmd.add_argument(
+        "--max-interactions",
+        type=_positive_int,
+        default=None,
+        help="per-replicate budget (rounds for the gossip scenario)",
+    )
+    sim_cmd.add_argument(
+        "--graph-topology",
+        choices=("complete", "cycle", "erdos-renyi"),
+        default="complete",
+        help="interaction graph for --scenario graph",
+    )
+    sim_cmd.add_argument(
+        "--zealots",
+        type=_int_list,
+        default=None,
+        help="per-opinion zealot counts for --scenario zealots, e.g. 0,5",
+    )
+    sim_cmd.add_argument(
+        "--noise-rho",
+        type=float,
+        default=0.01,
+        help="corruption probability for --scenario noise",
+    )
+    sim_cmd.add_argument(
+        "--noise-horizon",
+        type=_positive_int,
+        default=100_000,
+        help="horizon (interactions) for --scenario noise",
+    )
+    sim_cmd.add_argument(
+        "--gossip-rule",
+        choices=("usd", "voter", "two-choices", "three-majority", "median"),
+        default="usd",
+        help="round rule for --scenario gossip",
+    )
+    sim_cmd.add_argument(
+        "--max-rounds",
+        type=_positive_int,
+        default=None,
+        help="round budget for --scenario gossip",
+    )
     _add_engine_arguments(sim_cmd)
     return parser
 
 
 def _apply_engine_arguments(args) -> None:
     """Install the command's engine selection as the session default."""
-    set_engine_defaults(backend=args.backend, jobs=args.jobs)
+    set_engine_defaults(
+        backend=args.backend,
+        jobs=args.jobs,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+    )
 
 
 def _command_run(args) -> int:
@@ -135,27 +245,105 @@ def _command_list(_args) -> int:
     return 0
 
 
+def _command_list_scenarios(_args) -> int:
+    for name in available_scenarios():
+        scenario = get_scenario(name)
+        variants = ", ".join(scenario.variants())
+        print(f"{name:>16}  {scenario.description}  [variants: {variants}]")
+    return 0
+
+
+def _build_config(args):
+    if args.bias_type == "additive":
+        return additive_bias_configuration(args.n, args.k, theorem_beta(args.n, 3.0))
+    if args.bias_type == "multiplicative":
+        return multiplicative_bias_configuration(args.n, args.k, 2.0)
+    return uniform_configuration(args.n, args.k)
+
+
+def _build_scenario_spec(args, config):
+    if args.scenario == "usd":
+        return usd_spec(config)
+    if args.scenario == "graph":
+        import networkx as nx  # deferred: only graph workloads need it
+
+        if args.graph_topology == "complete":
+            graph = nx.complete_graph(args.n)
+        elif args.graph_topology == "cycle":
+            graph = nx.cycle_graph(args.n)
+        else:
+            graph = nx.erdos_renyi_graph(
+                args.n, min(1.0, 8 * np.log(args.n) / args.n), seed=7
+            )
+        return graph_spec(graph, config=config)
+    if args.scenario == "zealots":
+        zealots = args.zealots
+        if zealots is None:
+            zealots = [0] * (args.k - 1) + [max(1, args.n // 10)]
+        return zealot_spec(config, zealots)
+    if args.scenario == "noise":
+        return noise_spec(config, args.noise_rho, args.noise_horizon)
+    if args.scenario == "gossip":
+        return gossip_spec(config, rule=args.gossip_rule, max_rounds=args.max_rounds)
+    raise ValueError(f"unknown scenario {args.scenario!r}")
+
+
 def _command_simulate(args) -> int:
     _apply_engine_arguments(args)
-    if args.bias_type == "additive":
-        config = additive_bias_configuration(args.n, args.k, theorem_beta(args.n, 3.0))
-    elif args.bias_type == "multiplicative":
-        config = multiplicative_bias_configuration(args.n, args.k, 2.0)
-    else:
-        config = uniform_configuration(args.n, args.k)
-    tracker = PhaseTracker()
-    backend = get_backend(
-        args.backend if args.backend is not None else get_default_backend()
+    config = _build_config(args)
+
+    if args.scenario is None:
+        tracker = PhaseTracker()
+        backend = get_backend(
+            args.backend if args.backend is not None else get_default_backend()
+        )
+        result = backend.simulate(
+            config,
+            rng=np.random.default_rng(args.seed),
+            max_interactions=args.max_interactions,
+            observer=tracker.observe,
+        )
+        print(f"backend:          {backend.name}")
+        print(f"initial supports: {config.supports.tolist()}")
+        print(f"winner:           Opinion {result.winner}")
+        print(f"interactions:     {result.interactions}")
+        print(f"parallel time:    {result.parallel_time:.1f}")
+        print(f"phase times:      {tracker.times}")
+        return 0
+
+    spec = _build_scenario_spec(args, config)
+    store = EnsembleCache(get_default_cache_dir()) if get_default_cache() else None
+    results = run_ensemble(
+        spec,
+        args.trials,
+        seed=args.seed,
+        max_interactions=args.max_interactions,
+        cache=store,
     )
-    result = backend.simulate(
-        config, rng=np.random.default_rng(args.seed), observer=tracker.observe
-    )
-    print(f"backend:          {backend.name}")
+    print(f"scenario:         {spec.scenario}")
     print(f"initial supports: {config.supports.tolist()}")
-    print(f"winner:           Opinion {result.winner}")
-    print(f"interactions:     {result.interactions}")
-    print(f"parallel time:    {result.parallel_time:.1f}")
-    print(f"phase times:      {tracker.times}")
+    print(f"trials:           {len(results)}")
+    if store is not None:
+        status = "hit" if store.hits else "miss"
+        print(f"cache:            {status} ({get_default_cache_dir()})")
+    costs = [
+        getattr(r, "interactions", None) or getattr(r, "rounds", 0) for r in results
+    ]
+    print(f"mean cost:        {float(np.mean(costs)):.1f} "
+          f"({'rounds' if spec.scenario == 'gossip' else 'interactions'})")
+    converged = [r for r in results if getattr(r, "converged", False)]
+    print(f"converged:        {len(converged)}/{len(results)}")
+    winners = [w for w in (getattr(r, "winner", None) for r in results) if w]
+    if winners:
+        histogram = {w: winners.count(w) for w in sorted(set(winners))}
+        print(f"winners:          {histogram}")
+    plateaus = [
+        r.tail_mean_plurality_fraction
+        for r in results
+        if hasattr(r, "tail_mean_plurality_fraction")
+    ]
+    if plateaus:
+        print(f"plateau (tail mean plurality): {float(np.mean(plateaus)):.3f}")
     return 0
 
 
@@ -163,6 +351,7 @@ _COMMANDS = {
     "run": _command_run,
     "report": _command_report,
     "list": _command_list,
+    "list-scenarios": _command_list_scenarios,
     "simulate": _command_simulate,
 }
 

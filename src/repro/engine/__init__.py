@@ -1,9 +1,14 @@
-"""Unified simulation engine: backends, batching, and parallel execution.
+"""Unified simulation engine: scenarios, backends, batching, caching.
 
-This package is the seam between *what* is simulated (a backend sampling
-the USD process) and *how* an ensemble of replicates is executed
-(serially, batched across a vectorized replicate axis, or on a
-multiprocessing pool).  Everything that runs ensembles — the trial
+This package is the seam between *what* is simulated and *how* an
+ensemble of replicates is executed.  The *what* is a scenario — plain
+USD through the backend registry, or any registered parameterized
+dynamics (graph-restricted USD, zealots, transient noise, synchronous
+gossip) frozen into a :class:`ScenarioSpec`.  The *how* is serial or
+multiprocessing execution with per-replicate ``SeedSequence`` seeding,
+optional vectorized batching, and an on-disk ensemble cache keyed by
+``(spec, trials, seed, variant, budget)``.  Everything that runs
+ensembles — the trial
 runner, the sweep harness, the experiment modules, the CLI and the
 benchmarks — goes through :func:`run_ensemble`.
 
@@ -14,10 +19,15 @@ benchmarks — goes through :func:`run_ensemble`.
 >>> len(results)
 16
 
+>>> from repro.engine import zealot_spec
+>>> spec = zealot_spec(uniform_configuration(100, 2), [0, 5])
+>>> runs = run_ensemble(spec, 4, seed=1, max_interactions=50_000)
+
 Backends are selected by name (``"agents"``, ``"jump"``, ``"batched"``)
-and new ones plug in via :func:`register_backend`; session-wide defaults
-come from :mod:`repro.engine.options` (CLI flags or the
-``REPRO_ENGINE_BACKEND``/``REPRO_ENGINE_JOBS`` environment variables).
+and new ones plug in via :func:`register_backend`; scenarios likewise
+via :func:`register_scenario`.  Session-wide defaults come from
+:mod:`repro.engine.options` (CLI flags or the ``REPRO_ENGINE_BACKEND``/
+``REPRO_ENGINE_JOBS``/``REPRO_ENGINE_CACHE`` environment variables).
 """
 
 from .backends import (
@@ -30,14 +40,31 @@ from .backends import (
     supports_batch,
 )
 from .batched import BatchedBackend, simulate_batch
+from .cache import EnsembleCache, ensemble_key
 from .executors import DEFAULT_BATCH_SIZE, EXECUTORS, replicate_seeds, run_ensemble
 from .options import (
     DEFAULT_BACKEND,
+    DEFAULT_CACHE_DIR,
     engine_defaults,
     get_default_backend,
+    get_default_cache,
+    get_default_cache_dir,
     get_default_executor,
     get_default_jobs,
     set_engine_defaults,
+)
+from .scenarios import (
+    Scenario,
+    ScenarioSpec,
+    available_scenarios,
+    coerce_spec,
+    get_scenario,
+    gossip_spec,
+    graph_spec,
+    noise_spec,
+    register_scenario,
+    usd_spec,
+    zealot_spec,
 )
 
 __all__ = [
@@ -50,13 +77,29 @@ __all__ = [
     "register_backend",
     "supports_batch",
     "simulate_batch",
+    "Scenario",
+    "ScenarioSpec",
+    "available_scenarios",
+    "coerce_spec",
+    "get_scenario",
+    "register_scenario",
+    "usd_spec",
+    "graph_spec",
+    "zealot_spec",
+    "noise_spec",
+    "gossip_spec",
+    "EnsembleCache",
+    "ensemble_key",
     "run_ensemble",
     "replicate_seeds",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_BACKEND",
+    "DEFAULT_CACHE_DIR",
     "EXECUTORS",
     "engine_defaults",
     "get_default_backend",
+    "get_default_cache",
+    "get_default_cache_dir",
     "get_default_executor",
     "get_default_jobs",
     "set_engine_defaults",

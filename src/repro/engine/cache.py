@@ -1,0 +1,149 @@
+"""Content-addressed on-disk cache for ensemble results.
+
+An ensemble is a pure function of ``(spec, trials, seed, variant,
+max_interactions)`` — the engine's determinism contract guarantees the
+executor, worker count and batch size cannot change the results — so a
+finished ensemble can be stored once and replayed from disk.  The cache
+key is the SHA-256 of exactly those inputs (``spec.key()`` already
+content-hashes the scenario name, its parameters and the initial
+configuration), so across branches and backends a stale entry cannot be
+*wrong*, only absent.
+
+Entries are pickle files named by their key under a flat directory.
+Because loading a pickle executes code, the cache directory must be
+**trusted** — point it only at locations written by your own runs, and
+do not consume cache directories from untrusted sources (a crafted
+entry runs arbitrary code at load time).  Corrupt or unreadable entries
+are treated as misses (and removed on a best-effort basis) so a torn
+write degrades to a recompute, never to an error.  Enable caching per
+call (``run_ensemble(..., cache=True)``), per session
+(``set_engine_defaults(cache=True)`` / the CLI's ``--cache`` flag) or
+per environment (``REPRO_ENGINE_CACHE=1``); the directory defaults to
+``.repro-cache`` and follows ``REPRO_ENGINE_CACHE_DIR`` /
+``set_engine_defaults(cache_dir=...)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+__all__ = ["EnsembleCache", "ensemble_key"]
+
+#: Bumped whenever the on-disk format or the engine's sampling changes
+#: incompatibly; old entries then simply miss.
+CACHE_FORMAT = 1
+
+
+def ensemble_key(
+    spec,
+    *,
+    trials: int,
+    seed: int,
+    variant: str,
+    max_interactions: int | None,
+) -> str:
+    """Stable hex digest identifying one ensemble computation."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "spec": spec.key(),
+        "trials": int(trials),
+        "seed": int(seed),
+        "variant": str(variant),
+        "max_interactions": max_interactions,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class EnsembleCache:
+    """Flat-directory pickle store for ensemble result lists.
+
+    Tracks ``hits`` and ``misses`` so callers (the CLI, tests) can
+    report whether an invocation was served from disk.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(
+        self,
+        spec,
+        *,
+        trials: int,
+        seed: int,
+        variant: str,
+        max_interactions: int | None = None,
+    ) -> str:
+        """Key for one ensemble; see :func:`ensemble_key`."""
+        return ensemble_key(
+            spec,
+            trials=trials,
+            seed=seed,
+            variant=variant,
+            max_interactions=max_interactions,
+        )
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists on disk (does not validate it)."""
+        return self._path(key).exists()
+
+    def load(self, key: str):
+        """Return the cached result list, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                results = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # A torn write or foreign file is a miss, not an error; drop
+            # it so the recomputed ensemble can take its place.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(results, list):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return results
+
+    def store(self, key: str, results: list) -> None:
+        """Persist a result list atomically (write-to-temp, then rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(results, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

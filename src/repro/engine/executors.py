@@ -2,23 +2,34 @@
 
 :func:`run_ensemble` is the single entry point every ensemble in the
 repository goes through (trial runner, sweeps, experiments, benchmarks).
-It separates three orthogonal choices:
+It separates four orthogonal choices:
 
-* **backend** — how one replicate is simulated (see
-  :mod:`repro.engine.backends`);
+* **scenario** — which dynamics is simulated: a plain
+  :class:`~repro.core.config.Configuration` means the ``"usd"``
+  scenario, any other workload is described by a
+  :class:`~repro.engine.scenarios.ScenarioSpec` (graph, zealots, noise,
+  gossip, or anything registered via
+  :func:`~repro.engine.scenarios.register_scenario`);
+* **backend / variant** — how one replicate is simulated: for the USD
+  scenario the backend registry (``"agents"``/``"jump"``/``"batched"``),
+  for other scenarios their ``"reference"`` or vectorized ``"batched"``
+  variant;
 * **executor** — where replicates run: ``"serial"`` in-process, or
   ``"process"`` on a ``multiprocessing`` pool;
-* **batching** — batch-capable backends advance many replicates per
-  call; ``batch_size`` bounds the width.
+* **caching** — with ``cache`` enabled, a finished ensemble is stored
+  on disk keyed by ``(spec, trials, seed, variant, budget)`` and an
+  identical later call is served without simulating
+  (:mod:`repro.engine.cache`).
 
 Determinism
 -----------
 Replicate ``i`` always receives the ``i``-th child of
-``SeedSequence(seed)`` (see :func:`replicate_seeds`).  Backends are
-required to be batch-width invariant, so the per-replicate results are
-bit-identical no matter the executor, the worker count or the batch
-size — and any single replicate can be reproduced in isolation by
-seeding a generator with its child sequence.
+``SeedSequence(seed)`` (see :func:`replicate_seeds`).  Scenario
+implementations are required to be batch-width invariant, so the
+per-replicate results are bit-identical no matter the executor, the
+worker count or the batch size — and any single replicate can be
+reproduced in isolation by seeding a generator with its child sequence.
+That invariance is exactly what makes the ensemble cache sound.
 """
 
 from __future__ import annotations
@@ -30,12 +41,19 @@ import numpy as np
 
 from ..core.config import Configuration
 from ..core.simulator import RunResult
-from .backends import Backend, get_backend, supports_batch
-from .options import get_default_backend, get_default_executor, get_default_jobs
+from .backends import Backend
+from .cache import EnsembleCache
+from .options import (
+    get_default_cache,
+    get_default_cache_dir,
+    get_default_executor,
+    get_default_jobs,
+)
+from .scenarios import ScenarioSpec, coerce_spec, get_scenario
 
 __all__ = ["run_ensemble", "replicate_seeds", "DEFAULT_BATCH_SIZE", "EXECUTORS"]
 
-#: Largest number of replicates a batch-capable backend advances per call.
+#: Largest number of replicates a batch-capable variant advances per call.
 DEFAULT_BATCH_SIZE = 1024
 
 #: Names accepted by the ``executor`` parameter ("multiprocessing" is an
@@ -48,45 +66,36 @@ def replicate_seeds(seed: int, trials: int) -> list[np.random.SeedSequence]:
 
     Replicate ``i`` of an ensemble keyed by ``seed`` is always driven by
     ``np.random.default_rng(replicate_seeds(seed, trials)[i])``,
-    regardless of backend, executor or batch width.
+    regardless of scenario, variant, executor or batch width.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     return np.random.SeedSequence(seed).spawn(trials)
 
 
-def _simulate_chunk(
-    backend: Backend,
-    config: Configuration,
-    seeds: list[np.random.SeedSequence],
-    max_interactions: int | None,
-) -> list[RunResult]:
-    """Run one contiguous chunk of replicates on the given backend."""
-    rngs = [np.random.default_rng(s) for s in seeds]
-    if supports_batch(backend):
-        return backend.simulate_batch(
-            config, rngs=rngs, max_interactions=max_interactions
-        )
-    return [
-        backend.simulate(config, rng=rng, max_interactions=max_interactions)
-        for rng in rngs
-    ]
-
-
-def _worker(payload) -> list[RunResult]:
+def _worker(payload) -> list:
     """Top-level multiprocessing entry point (must be picklable)."""
-    backend_name, counts, seeds, max_interactions = payload
-    backend = get_backend(backend_name)
-    config = Configuration(counts)
-    return _simulate_chunk(backend, config, seeds, max_interactions)
+    scenario_name, spec, variant, seeds, max_interactions = payload
+    scenario = get_scenario(scenario_name)
+    rngs = [np.random.default_rng(s) for s in seeds]
+    return scenario.run_chunk(spec, variant, rngs, max_interactions)
 
 
 def _chunked(seeds: list, batch_size: int) -> list[list]:
     return [seeds[i : i + batch_size] for i in range(0, len(seeds), batch_size)]
 
 
+def _resolve_cache(cache: bool | EnsembleCache | None) -> EnsembleCache | None:
+    if isinstance(cache, EnsembleCache):
+        return cache
+    enabled = get_default_cache() if cache is None else bool(cache)
+    if not enabled:
+        return None
+    return EnsembleCache(get_default_cache_dir())
+
+
 def run_ensemble(
-    config: Configuration,
+    workload: Configuration | ScenarioSpec,
     trials: int,
     *,
     seed: int,
@@ -95,13 +104,15 @@ def run_ensemble(
     jobs: int | None = None,
     max_interactions: int | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    cache: bool | EnsembleCache | None = None,
 ) -> list[RunResult]:
     """Run ``trials`` independent replicates and return them in order.
 
     Parameters
     ----------
-    config:
-        Shared initial configuration.
+    workload:
+        Shared initial workload: a bare :class:`Configuration` (plain
+        USD) or a :class:`ScenarioSpec` for any registered dynamics.
     trials:
         Number of replicates.
     seed:
@@ -110,6 +121,8 @@ def run_ensemble(
     backend:
         Backend name or instance; defaults to the session default
         (``"jump"`` unless overridden, see :mod:`repro.engine.options`).
+        Non-USD scenarios map ``"batched"`` to their vectorized variant
+        when they have one and fall back to the reference otherwise.
     executor:
         ``"serial"`` or ``"process"``; defaults to ``"process"`` when the
         session default worker count exceeds one.
@@ -117,53 +130,74 @@ def run_ensemble(
         Worker count for the process executor; defaults to the session
         default, floored at the machine's CPU count when unset there.
     max_interactions:
-        Per-replicate interaction budget (``None`` = simulator default).
+        Per-replicate budget in the scenario's native unit (interactions
+        for population dynamics, rounds for gossip; ``None`` = scenario
+        default).
     batch_size:
-        Upper bound on the batch width for batch-capable backends.
+        Upper bound on the batch width for batch-capable variants.
+    cache:
+        ``True``/``False`` to force the ensemble cache on or off, an
+        :class:`EnsembleCache` instance to use directly, or ``None`` for
+        the session default (off unless ``--cache`` /
+        ``REPRO_ENGINE_CACHE`` say otherwise).  A hit returns the stored
+        results without simulating anything.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
-    resolved = get_backend(backend if backend is not None else get_default_backend())
+    spec = coerce_spec(workload)
+    scenario = get_scenario(spec.scenario)
+    scenario.validate(spec)
+    variant = scenario.variant(backend)
     if executor is None:
         executor = get_default_executor()
     if executor == "multiprocessing":
         executor = "process"
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+
+    store = _resolve_cache(cache)
+    if store is not None:
+        key = store.key_for(
+            spec,
+            trials=trials,
+            seed=seed,
+            variant=variant,
+            max_interactions=max_interactions,
+        )
+        cached = store.load(key)
+        if cached is not None:
+            return cached
+
     seeds = replicate_seeds(seed, trials)
 
     if executor == "serial":
-        results: list[RunResult] = []
+        runner = scenario.prepare_runner(variant, backend)
+        results: list = []
         for chunk in _chunked(seeds, batch_size):
-            results.extend(_simulate_chunk(resolved, config, chunk, max_interactions))
-        return results
+            rngs = [np.random.default_rng(s) for s in chunk]
+            results.extend(scenario.run_chunk(spec, runner, rngs, max_interactions))
+    else:
+        if jobs is None:
+            default_jobs = get_default_jobs()
+            jobs = default_jobs if default_jobs > 1 else (os.cpu_count() or 1)
+        if jobs < 1:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        # Workers re-resolve the scenario and variant by name from their
+        # (forked or re-imported) registries, so both must actually
+        # resolve here first — an unregistered custom backend would only
+        # fail inside the pool with a confusing per-worker error.
+        scenario.check_process_safe(variant, backend)
+        # Several chunks per worker keep the pool busy when replicate
+        # durations vary, without giving up batching within a chunk.
+        per_chunk = max(1, min(batch_size, -(-trials // (jobs * 4))))
+        payloads = [
+            (spec.scenario, spec, variant, chunk, max_interactions)
+            for chunk in _chunked(seeds, per_chunk)
+        ]
+        with multiprocessing.Pool(processes=jobs) as pool:
+            chunks = pool.map(_worker, payloads)
+        results = [result for chunk in chunks for result in chunk]
 
-    if jobs is None:
-        default_jobs = get_default_jobs()
-        jobs = default_jobs if default_jobs > 1 else (os.cpu_count() or 1)
-    if jobs < 1:
-        raise ValueError(f"jobs must be positive, got {jobs}")
-    # Process workers resolve the backend by name from their (forked or
-    # re-imported) registry, so the name must actually resolve here first —
-    # an unregistered instance would only fail inside the pool with a
-    # confusing per-worker error.
-    backend_name = resolved.name
-    try:
-        registered = get_backend(backend_name)
-    except ValueError:
-        registered = None
-    if registered is not resolved:
-        raise ValueError(
-            f"backend {backend_name!r} must be registered (register_backend) "
-            "before it can run on the process executor"
-        )
-    # Several chunks per worker keep the pool busy when replicate
-    # durations vary, without giving up batching within a chunk.
-    per_chunk = max(1, min(batch_size, -(-trials // (jobs * 4))))
-    payloads = [
-        (backend_name, np.asarray(config.counts), chunk, max_interactions)
-        for chunk in _chunked(seeds, per_chunk)
-    ]
-    with multiprocessing.Pool(processes=jobs) as pool:
-        chunks = pool.map(_worker, payloads)
-    return [result for chunk in chunks for result in chunk]
+    if store is not None:
+        store.store(key, results)
+    return results

@@ -21,8 +21,11 @@ import os
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "DEFAULT_CACHE_DIR",
     "engine_defaults",
     "get_default_backend",
+    "get_default_cache",
+    "get_default_cache_dir",
     "get_default_executor",
     "get_default_jobs",
     "set_engine_defaults",
@@ -31,25 +34,41 @@ __all__ = [
 #: Backend used when nothing else is specified.
 DEFAULT_BACKEND = "jump"
 
+#: Ensemble-cache directory used when nothing else is specified.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
 _BACKEND_OVERRIDE: str | None = None
 _JOBS_OVERRIDE: int | None = None
+_CACHE_OVERRIDE: bool | None = None
+_CACHE_DIR_OVERRIDE: str | None = None
 
 
 def set_engine_defaults(
-    *, backend: str | None = None, jobs: int | None = None
+    *,
+    backend: str | None = None,
+    jobs: int | None = None,
+    cache: bool | None = None,
+    cache_dir: str | None = None,
 ) -> None:
     """Install process-wide engine defaults (pass ``None`` to leave as-is).
 
     ``jobs=1`` restores serial execution; ``jobs>1`` makes the
     multiprocessing executor the default with that many workers.
+    ``cache=True``/``False`` turns the on-disk ensemble cache on or off
+    for every ensemble of the session (the CLI's ``--cache``/
+    ``--no-cache`` flags land here); ``cache_dir`` relocates it.
     """
-    global _BACKEND_OVERRIDE, _JOBS_OVERRIDE
+    global _BACKEND_OVERRIDE, _JOBS_OVERRIDE, _CACHE_OVERRIDE, _CACHE_DIR_OVERRIDE
     if backend is not None:
         _BACKEND_OVERRIDE = backend
     if jobs is not None:
         if jobs < 1:
             raise ValueError(f"jobs must be positive, got {jobs}")
         _JOBS_OVERRIDE = jobs
+    if cache is not None:
+        _CACHE_OVERRIDE = bool(cache)
+    if cache_dir is not None:
+        _CACHE_DIR_OVERRIDE = str(cache_dir)
 
 
 def get_default_backend() -> str:
@@ -77,10 +96,29 @@ def get_default_executor() -> str:
     return "process" if get_default_jobs() > 1 else "serial"
 
 
+def get_default_cache() -> bool:
+    """Whether ensembles consult the on-disk cache when ``cache=None``."""
+    if _CACHE_OVERRIDE is not None:
+        return _CACHE_OVERRIDE
+    raw = os.environ.get("REPRO_ENGINE_CACHE")
+    if raw is None:
+        return False
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+def get_default_cache_dir() -> str:
+    """Directory backing the ensemble cache."""
+    if _CACHE_DIR_OVERRIDE is not None:
+        return _CACHE_DIR_OVERRIDE
+    return os.environ.get("REPRO_ENGINE_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
 def engine_defaults() -> dict:
     """Snapshot of the resolved defaults (for reports and diagnostics)."""
     return {
         "backend": get_default_backend(),
         "executor": get_default_executor(),
         "jobs": get_default_jobs(),
+        "cache": get_default_cache(),
+        "cache_dir": get_default_cache_dir(),
     }

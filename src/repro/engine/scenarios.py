@@ -1,0 +1,703 @@
+"""Scenario layer: every dynamics variant as a parameterized engine workload.
+
+PR 1 made :func:`repro.engine.run_ensemble` the single ensemble seam,
+but it only spoke plain USD on a complete graph.  This module
+generalizes the backend protocol to *any* parameterized dynamics:
+
+* a :class:`ScenarioSpec` freezes one workload — a registered dynamics
+  name, its parameters, and the initial :class:`Configuration` — into a
+  hashable, picklable, content-addressable value (the ensemble cache
+  keys on ``spec.key()``);
+* a :class:`Scenario` knows how to execute a spec: a **reference**
+  implementation (bit-identical to the legacy ``simulate_*`` entry
+  point, which delegates to the same kernel) and, where the jump-chain
+  or lockstep trick applies, a vectorized **batched** variant;
+* a registry maps stable names to scenario instances, exactly like the
+  backend registry, so experiments, sweeps, the CLI and the process-pool
+  workers select dynamics by name.
+
+Built-in scenarios
+------------------
+``"usd"``
+    Plain USD on the complete graph.  Delegates to the backend registry
+    (``"agents"``/``"jump"``/``"batched"``), so the scenario layer is a
+    strict superset of the PR 1 engine.
+``"graph"``
+    USD restricted to a directed edge array
+    (:mod:`repro.graphs.dynamics`).  Params: ``edges``, ``k``, optional
+    ``initial_states`` (omit to expand the configuration into a shuffled
+    state array with the replicate's own generator).
+``"zealots"``
+    USD against a stubborn background (:mod:`repro.faults.zealots`).
+    Params: ``zealots``.  Has a batched jump-chain variant.
+``"noise"``
+    USD under transient state corruption (:mod:`repro.faults.noise`).
+    Params: ``rho``, ``horizon``, ``tail_fraction``.  Has a batched
+    lockstep variant.
+``"gossip"``
+    Synchronous gossip round engine (:mod:`repro.gossip`).  Params:
+    ``rule`` (``"usd"``, ``"voter"``, ``"two-choices"``,
+    ``"three-majority"``, ``"median"``), optional ``max_rounds``.
+
+Adding a scenario is a registry entry, not a new subsystem: subclass
+:class:`Scenario`, implement ``reference`` (and optionally ``batched``),
+and call :func:`register_scenario`.  ``run_ensemble`` then gives the new
+dynamics serial/multiprocessing executors, deterministic per-replicate
+seeding, and result caching for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..faults.noise import simulate_noise_batch, simulate_with_noise
+from ..faults.zealots import (
+    simulate_with_zealots,
+    simulate_zealots_batch,
+    validate_zealot_counts,
+)
+from ..gossip.engine import run_gossip
+from ..gossip.usd import usd_gossip_round
+from .backends import Backend, get_backend, supports_batch
+from .options import get_default_backend
+
+__all__ = [
+    "ScenarioSpec",
+    "Scenario",
+    "available_scenarios",
+    "coerce_spec",
+    "get_scenario",
+    "register_scenario",
+    "usd_spec",
+    "graph_spec",
+    "zealot_spec",
+    "noise_spec",
+    "gossip_spec",
+]
+
+
+# ----------------------------------------------------------------------
+# Frozen parameter values
+# ----------------------------------------------------------------------
+def _freeze(value: Any) -> Any:
+    """Recursively convert a parameter value to a hashable canonical form.
+
+    Arrays and sequences become tuples, mappings become sorted tuples of
+    pairs; scalar leaves must be JSON-representable so the spec can be
+    content-hashed for the ensemble cache.
+    """
+    if isinstance(value, np.ndarray):
+        return tuple(_freeze(v) for v in value.tolist())
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"scenario parameters must be scalars, arrays or nested sequences "
+        f"of them, got {type(value).__name__}"
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """Frozen value -> plain JSON structure (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One frozen workload: dynamics name + parameters + initial state.
+
+    Specs are immutable, hashable and picklable, so they can key caches
+    and dictionaries and travel to process-pool workers unchanged.
+    Build them with :meth:`create` (or the per-scenario helpers below),
+    which canonicalizes the parameter values.
+    """
+
+    scenario: str
+    config: Configuration
+    params: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.scenario or not isinstance(self.scenario, str):
+            raise ValueError(f"scenario must be a non-empty name, got {self.scenario!r}")
+        if not isinstance(self.config, Configuration):
+            raise TypeError(
+                f"config must be a Configuration, got {type(self.config).__name__}"
+            )
+        object.__setattr__(self, "params", _freeze(dict(self.params)))
+
+    @classmethod
+    def create(
+        cls, scenario: str, config: Configuration, **params: Any
+    ) -> "ScenarioSpec":
+        """Build a spec from keyword parameters."""
+        return cls(scenario=scenario, config=config, params=tuple(params.items()))
+
+    def params_dict(self) -> dict:
+        """Parameters as a plain dictionary (values stay frozen)."""
+        return dict(self.params)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look up one parameter with a default."""
+        return self.params_dict().get(name, default)
+
+    def with_params(self, **updates: Any) -> "ScenarioSpec":
+        """A copy of this spec with some parameters replaced."""
+        merged = self.params_dict()
+        merged.update(updates)
+        return ScenarioSpec.create(self.scenario, self.config, **merged)
+
+    def __getstate__(self) -> dict:
+        # Drop scenario-side memos (e.g. GraphScenario's ndarray cache):
+        # the frozen params are the source of truth, and shipping both
+        # forms would multiply process-pool payload sizes.
+        state = dict(self.__dict__)
+        state.pop("_array_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def key(self) -> str:
+        """Stable content hash of (scenario, params, config).
+
+        Two specs have equal keys exactly when they describe the same
+        workload; the ensemble cache combines this with the seed and the
+        variant name.
+        """
+        payload = {
+            "scenario": self.scenario,
+            "config": self.config.counts.tolist(),
+            "params": _jsonable(self.params),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:
+        keys = ", ".join(f"{k}=..." if isinstance(v, tuple) and len(v) > 6 else f"{k}={v!r}"
+                         for k, v in self.params)
+        return f"ScenarioSpec({self.scenario!r}, {self.config!r}, {keys})"
+
+
+# ----------------------------------------------------------------------
+# Scenario protocol
+# ----------------------------------------------------------------------
+class Scenario:
+    """One registered dynamics family the engine knows how to execute.
+
+    Subclasses implement :meth:`reference` — one replicate with one
+    generator, semantics matching the legacy ``simulate_*`` entry point
+    bit-for-bit — and may override :meth:`batched` with a vectorized
+    whole-chunk implementation.  The executor layer picks the variant
+    via :meth:`variant` and runs chunks through :meth:`run_chunk`.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    # -- validation ----------------------------------------------------
+    def validate(self, spec: ScenarioSpec) -> None:
+        """Reject malformed specs early with a clear message."""
+
+    # -- implementations ----------------------------------------------
+    def reference(
+        self,
+        spec: ScenarioSpec,
+        *,
+        rng: np.random.Generator,
+        max_interactions: int | None = None,
+    ):
+        raise NotImplementedError
+
+    batched: Callable | None = None
+
+    @property
+    def has_batched(self) -> bool:
+        """Whether a vectorized whole-chunk variant is available."""
+        return callable(self.batched)
+
+    def variants(self) -> tuple[str, ...]:
+        """Names accepted by ``run_ensemble``'s ``backend`` argument."""
+        return ("reference", "batched") if self.has_batched else ("reference",)
+
+    # -- variant resolution -------------------------------------------
+    def variant(self, backend: str | Backend | None) -> str:
+        """Map an engine backend selection to a variant of this scenario.
+
+        ``None`` falls back to the session default backend (so a
+        session-wide ``--backend batched`` / ``REPRO_ENGINE_BACKEND``
+        reaches scenario ensembles too).  The serial USD backends
+        (``"agents"``, ``"jump"``) resolve to ``"reference"``;
+        ``"batched"`` resolves to the scenario's batched variant when it
+        has one and falls back to the reference otherwise, as does any
+        *session-default* name this scenario does not know (a custom USD
+        backend must not break every other scenario).  Only an
+        explicitly requested unknown name is an error.
+        """
+        explicit = backend is not None
+        if backend is None:
+            backend = get_default_backend()
+        name = backend if isinstance(backend, str) else getattr(backend, "name", None)
+        if name is None or name in ("agents", "jump", "reference"):
+            return "reference"
+        if name == "batched":
+            return "batched" if self.has_batched else "reference"
+        if not explicit:
+            return "reference"
+        raise ValueError(
+            f"scenario {self.name!r} has no variant for backend {name!r}; "
+            f"available: {self.variants()}"
+        )
+
+    def prepare_runner(self, variant: str, backend: str | Backend | None = None):
+        """What :meth:`run_chunk` consumes for an in-process run.
+
+        The base implementation is the variant name; the USD scenario
+        overrides this to keep an explicitly passed backend *instance*
+        (which may not be registered) instead of re-resolving the name.
+        """
+        return variant
+
+    def check_process_safe(
+        self, variant: str, backend: str | Backend | None = None
+    ) -> None:
+        """Raise if ``variant`` cannot be re-resolved inside a pool worker."""
+
+    # -- execution -----------------------------------------------------
+    def run_chunk(
+        self,
+        spec: ScenarioSpec,
+        variant: str,
+        rngs: list[np.random.Generator],
+        max_interactions: int | None,
+    ) -> list:
+        """Run one contiguous chunk of replicates with the given variant."""
+        if variant == "batched" and self.has_batched:
+            return self.batched(spec, rngs=rngs, max_interactions=max_interactions)
+        return [
+            self.reference(spec, rng=rng, max_interactions=max_interactions)
+            for rng in rngs
+        ]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry under ``scenario.name``."""
+    name = getattr(scenario, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError(f"scenario must have a non-empty string name, got {name!r}")
+    if not callable(getattr(scenario, "reference", None)):
+        raise TypeError(f"scenario {name!r} has no callable reference implementation")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"scenario {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = scenario
+    return scenario
+
+
+def get_scenario(scenario: str | Scenario) -> Scenario:
+    """Resolve a scenario by name (or pass an instance through unchanged)."""
+    if not isinstance(scenario, str):
+        if not callable(getattr(scenario, "reference", None)):
+            raise TypeError(f"{scenario!r} does not implement the Scenario protocol")
+        return scenario
+    try:
+        return _REGISTRY[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Registered scenario names in registration order."""
+    return tuple(_REGISTRY)
+
+
+def coerce_spec(workload: Configuration | ScenarioSpec) -> ScenarioSpec:
+    """Accept either a plain configuration (the ``"usd"`` scenario) or a spec."""
+    if isinstance(workload, ScenarioSpec):
+        return workload
+    if isinstance(workload, Configuration):
+        return ScenarioSpec.create("usd", workload)
+    raise TypeError(
+        f"expected a Configuration or ScenarioSpec, got {type(workload).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in scenario: plain USD through the backend registry
+# ----------------------------------------------------------------------
+class UsdScenario(Scenario):
+    """Plain USD on the complete graph; delegates to the backend registry."""
+
+    name = "usd"
+    description = "k-opinion USD on the complete graph (backend registry)"
+
+    def variants(self) -> tuple[str, ...]:
+        from .backends import available_backends
+
+        return available_backends()
+
+    def variant(self, backend: str | Backend | None) -> str:
+        resolved = get_backend(
+            backend if backend is not None else get_default_backend()
+        )
+        return resolved.name
+
+    def prepare_runner(self, variant: str, backend: str | Backend | None = None):
+        # Keep an explicitly passed instance: unregistered backends are
+        # allowed on the serial executor (only the process executor
+        # needs name-resolvability, enforced by check_process_safe).
+        if backend is not None and not isinstance(backend, str):
+            return backend
+        return variant
+
+    def check_process_safe(
+        self, variant: str, backend: str | Backend | None = None
+    ) -> None:
+        # Workers resolve the backend by name from their (forked or
+        # re-imported) registry, so the name must resolve to the very
+        # instance selected here — an unregistered instance would only
+        # fail inside the pool with a confusing per-worker error.
+        resolved = get_backend(backend) if backend is not None else None
+        try:
+            registered = get_backend(variant)
+        except ValueError:
+            registered = None
+        if registered is None or (resolved is not None and registered is not resolved):
+            raise ValueError(
+                f"backend {variant!r} must be registered (register_backend) "
+                "before it can run on the process executor"
+            )
+
+    def reference(self, spec, *, rng, max_interactions=None):
+        return get_backend(get_default_backend()).simulate(
+            spec.config, rng=rng, max_interactions=max_interactions
+        )
+
+    def run_chunk(self, spec, variant, rngs, max_interactions):
+        backend = get_backend(variant)
+        if supports_batch(backend):
+            return backend.simulate_batch(
+                spec.config, rngs=rngs, max_interactions=max_interactions
+            )
+        return [
+            backend.simulate(spec.config, rng=rng, max_interactions=max_interactions)
+            for rng in rngs
+        ]
+
+
+# ----------------------------------------------------------------------
+# Built-in scenario: USD on a restricted interaction graph
+# ----------------------------------------------------------------------
+class GraphScenario(Scenario):
+    """USD restricted to a directed edge array.
+
+    When ``initial_states`` is omitted the configuration is expanded
+    into a shuffled agent array with the replicate's own generator, so
+    replicates differ in their (random) placement exactly as repeated
+    calls to ``Configuration.to_states`` would.
+    """
+
+    name = "graph"
+    description = "USD restricted to the edges of an interaction graph"
+
+    @staticmethod
+    def _param_array(spec: ScenarioSpec, name: str) -> np.ndarray:
+        """Parameter as an int64 array, converted once per spec.
+
+        Spec params are frozen to nested tuples for hashing; rebuilding
+        the edge array element-by-element for every replicate would be
+        O(m) interpreter work per run, so the ndarray is memoized on the
+        (frozen) spec — dataclass equality and hashing look only at the
+        declared fields, never at this cache.
+        """
+        memo = spec.__dict__.setdefault("_array_cache", {})
+        if name not in memo:
+            memo[name] = np.asarray(spec.params_dict()[name], dtype=np.int64)
+        return memo[name]
+
+    def validate(self, spec: ScenarioSpec) -> None:
+        # Imported lazily: the kernel is numpy-only, but the graphs
+        # package's public entry point pulls in networkx.
+        from ..graphs.dynamics import validate_edge_array, validate_graph_states
+
+        params = spec.params_dict()
+        if "edges" not in params:
+            raise ValueError("graph scenario needs an 'edges' parameter")
+        edges = validate_edge_array(self._param_array(spec, "edges"))
+        k = int(params.get("k", spec.config.k))
+        if k != spec.config.k:
+            raise ValueError(
+                f"graph scenario k={k} disagrees with config k={spec.config.k}"
+            )
+        n = spec.config.n
+        if edges.max() >= n:
+            raise ValueError(
+                f"edge endpoints must lie in [0, {n - 1}], got {int(edges.max())}"
+            )
+        states = params.get("initial_states")
+        if states is not None:
+            states = validate_graph_states(self._param_array(spec, "initial_states"), n, k)
+            counts = np.bincount(states, minlength=k + 1)
+            if not np.array_equal(counts, spec.config.counts):
+                raise ValueError(
+                    "initial_states histogram disagrees with the spec's config"
+                )
+
+    def reference(self, spec, *, rng, max_interactions=None):
+        from ..graphs.dynamics import run_on_edges
+
+        params = spec.params_dict()
+        k = int(params.get("k", spec.config.k))
+        if params.get("initial_states") is None:
+            states = spec.config.to_states(rng)
+        else:
+            states = self._param_array(spec, "initial_states")
+        edges = self._param_array(spec, "edges")
+        return run_on_edges(
+            edges,
+            states,
+            rng=rng,
+            k=k,
+            n=spec.config.n,
+            max_interactions=max_interactions,
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in scenario: zealots
+# ----------------------------------------------------------------------
+class ZealotScenario(Scenario):
+    """USD with a fixed stubborn background (jump chain + batched variant)."""
+
+    name = "zealots"
+    description = "USD against stubborn zealot agents"
+
+    def _zealots(self, spec: ScenarioSpec) -> np.ndarray:
+        return np.asarray(spec.param("zealots", ()), dtype=np.int64)
+
+    def validate(self, spec: ScenarioSpec) -> None:
+        validate_zealot_counts(self._zealots(spec), spec.config.k)
+
+    def reference(self, spec, *, rng, max_interactions=None):
+        return simulate_with_zealots(
+            spec.config, self._zealots(spec), rng=rng, max_interactions=max_interactions
+        )
+
+    def batched(self, spec, *, rngs, max_interactions=None):
+        return simulate_zealots_batch(
+            spec.config,
+            self._zealots(spec),
+            rngs=rngs,
+            max_interactions=max_interactions,
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in scenario: transient noise
+# ----------------------------------------------------------------------
+class NoiseScenario(Scenario):
+    """USD under per-interaction state corruption (fixed horizon).
+
+    The horizon lives in the spec (``horizon`` parameter); an explicit
+    ``max_interactions`` passed to ``run_ensemble`` overrides it, since
+    the horizon *is* this scenario's interaction budget.
+    """
+
+    name = "noise"
+    description = "USD with transient uniform state corruption"
+
+    def validate(self, spec: ScenarioSpec) -> None:
+        params = spec.params_dict()
+        if "rho" not in params or "horizon" not in params:
+            raise ValueError("noise scenario needs 'rho' and 'horizon' parameters")
+
+    def _args(self, spec: ScenarioSpec, max_interactions: int | None):
+        params = spec.params_dict()
+        horizon = int(max_interactions if max_interactions is not None
+                      else params["horizon"])
+        return float(params["rho"]), horizon, float(params.get("tail_fraction", 0.5))
+
+    def reference(self, spec, *, rng, max_interactions=None):
+        rho, horizon, tail = self._args(spec, max_interactions)
+        return simulate_with_noise(
+            spec.config, rho, horizon=horizon, rng=rng, tail_fraction=tail
+        )
+
+    def batched(self, spec, *, rngs, max_interactions=None):
+        rho, horizon, tail = self._args(spec, max_interactions)
+        return simulate_noise_batch(
+            spec.config, rho, horizon, rngs=rngs, tail_fraction=tail
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in scenario: synchronous gossip rounds
+# ----------------------------------------------------------------------
+_RULES_TABLE: dict[str, Callable] | None = None
+
+
+def _gossip_rules() -> dict[str, Callable]:
+    global _RULES_TABLE
+    if _RULES_TABLE is None:
+        from ..gossip.jmajority import j_majority_round
+        from ..gossip.median import median_rule_round
+
+        _RULES_TABLE = {
+            "usd": usd_gossip_round,
+            "voter": lambda states, rng: j_majority_round(states, rng, 1),
+            "two-choices": lambda states, rng: j_majority_round(states, rng, 2),
+            "three-majority": lambda states, rng: j_majority_round(states, rng, 3),
+            "median": median_rule_round,
+        }
+    return _RULES_TABLE
+
+
+class GossipScenario(Scenario):
+    """Synchronous round dynamics through the gossip round engine.
+
+    ``max_interactions`` is interpreted in this scenario's native budget
+    unit — *rounds* — and overrides the spec's ``max_rounds`` parameter.
+    """
+
+    name = "gossip"
+    description = "synchronous gossip rounds (usd, j-majority, median)"
+
+    RULES = ("usd", "voter", "two-choices", "three-majority", "median")
+
+    def validate(self, spec: ScenarioSpec) -> None:
+        rule = spec.param("rule", "usd")
+        if rule not in self.RULES:
+            raise ValueError(
+                f"unknown gossip rule {rule!r}; available: {self.RULES}"
+            )
+        if rule != "usd" and spec.config.undecided != 0:
+            raise ValueError(
+                f"gossip rule {rule!r} is defined on fully decided populations; "
+                f"got {spec.config.undecided} undecided agents"
+            )
+
+    def reference(self, spec, *, rng, max_interactions=None):
+        # Spec validation happens once per ensemble in run_ensemble (and
+        # at spec construction in gossip_spec), not per replicate.
+        rule = _gossip_rules()[spec.param("rule", "usd")]
+        max_rounds = (
+            max_interactions
+            if max_interactions is not None
+            else spec.param("max_rounds")
+        )
+        return run_gossip(spec.config, rule, rng=rng, max_rounds=max_rounds)
+
+
+# ----------------------------------------------------------------------
+# Spec builder helpers
+# ----------------------------------------------------------------------
+def usd_spec(config: Configuration) -> ScenarioSpec:
+    """Spec for the plain USD (equivalent to passing the bare config)."""
+    return ScenarioSpec.create("usd", config)
+
+
+def graph_spec(
+    graph,
+    *,
+    k: int | None = None,
+    config: Configuration | None = None,
+    initial_states=None,
+    allow_self_loops: bool = True,
+) -> ScenarioSpec:
+    """Spec for the graph scenario from a ``networkx`` graph or edge array.
+
+    Exactly one of ``config`` / ``initial_states`` must describe the
+    initial condition: explicit states pin each node's opinion (the
+    histogram becomes the spec's config), while a bare config is
+    expanded into a fresh shuffled state array per replicate.
+    """
+    if hasattr(graph, "number_of_nodes"):  # networkx graph, imported lazily
+        from ..graphs.simulate import build_edge_list
+
+        edges = build_edge_list(graph, allow_self_loops)
+    else:
+        from ..graphs.dynamics import validate_edge_array
+
+        edges = validate_edge_array(np.asarray(graph, dtype=np.int64))
+    if initial_states is not None:
+        states = np.asarray(initial_states, dtype=np.int64)
+        if k is None:
+            k = config.k if config is not None else max(int(states.max()), 1)
+        from ..graphs.dynamics import validate_graph_states
+
+        n = config.n if config is not None else int(states.shape[0])
+        states = validate_graph_states(states, n, k)
+        histogram = Configuration(np.bincount(states, minlength=k + 1))
+        if config is not None and histogram != config:
+            raise ValueError("initial_states histogram disagrees with config")
+        config = histogram
+        return ScenarioSpec.create(
+            "graph", config, edges=edges, k=k, initial_states=states
+        )
+    if config is None:
+        raise ValueError("graph_spec needs a config or an initial_states array")
+    if k is None:
+        k = config.k
+    return ScenarioSpec.create("graph", config, edges=edges, k=k)
+
+
+def zealot_spec(config: Configuration, zealots) -> ScenarioSpec:
+    """Spec for the zealot scenario."""
+    counts = validate_zealot_counts(zealots, config.k)
+    return ScenarioSpec.create("zealots", config, zealots=counts)
+
+
+def noise_spec(
+    config: Configuration,
+    rho: float,
+    horizon: int,
+    *,
+    tail_fraction: float = 0.5,
+) -> ScenarioSpec:
+    """Spec for the transient-noise scenario."""
+    return ScenarioSpec.create(
+        "noise", config, rho=float(rho), horizon=int(horizon),
+        tail_fraction=float(tail_fraction),
+    )
+
+
+def gossip_spec(
+    config: Configuration,
+    *,
+    rule: str = "usd",
+    max_rounds: int | None = None,
+) -> ScenarioSpec:
+    """Spec for the synchronous gossip scenario."""
+    spec = ScenarioSpec.create("gossip", config, rule=rule, max_rounds=max_rounds)
+    get_scenario("gossip").validate(spec)
+    return spec
+
+
+register_scenario(UsdScenario())
+register_scenario(GraphScenario())
+register_scenario(ZealotScenario())
+register_scenario(NoiseScenario())
+register_scenario(GossipScenario())

@@ -24,6 +24,7 @@ from ..core.phases import PhaseTracker
 from ..core.potentials import undecided_upper_bound
 from ..core.probabilities import ustar
 from ..core.recorder import CompositeObserver, TrajectoryRecorder
+from ..engine import replicate_seeds
 from ..workloads import uniform_configuration
 from .common import Scale, spawn_seed, validate_scale
 
@@ -75,7 +76,10 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
         upper_violations = 0
         lower_violations = 0
         total_snapshots = 0
-        seeds = np.random.SeedSequence(spawn_seed(seed, idx)).spawn(trials)
+        # The engine's canonical per-replicate derivation: bit-identical
+        # to the historical SeedSequence(seed).spawn(trials), so any
+        # single trajectory can be reproduced in isolation.
+        seeds = replicate_seeds(spawn_seed(seed, idx), trials)
         for child in seeds:
             recorder = TrajectoryRecorder(every=max(1, n // 50))
             tracker = PhaseTracker()

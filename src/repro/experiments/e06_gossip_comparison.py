@@ -23,8 +23,7 @@ import numpy as np
 
 from ..analysis import ExperimentResult, Table, becchetti_gossip_rounds
 from ..analysis.theory import appendix_d_crossover_x1
-from .common import engine_simulate as simulate
-from ..gossip import run_usd_gossip
+from ..engine import gossip_spec, run_ensemble
 from ..workloads import multiplicative_bias_configuration
 from .common import Scale, spawn_seed, validate_scale
 
@@ -64,15 +63,20 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
     all_plurality = True
     for idx, k in enumerate(ks):
         config = multiplicative_bias_configuration(n, k, alpha)
-        seeds = np.random.SeedSequence(spawn_seed(seed, idx)).spawn(2 * trials)
+        # Both models run as engine workloads: the population ensemble on
+        # the session-selected backend, the gossip rounds through the
+        # registered "gossip" scenario — same executors, same
+        # per-replicate seed derivation.
+        pop_results = run_ensemble(config, trials, seed=spawn_seed(seed, idx))
+        gossip_results = run_ensemble(
+            gossip_spec(config), trials, seed=spawn_seed(seed, 1000 + idx)
+        )
         pop_times = []
         gossip_rounds = []
-        for child in seeds[:trials]:
-            res = simulate(config, rng=np.random.default_rng(child))
+        for res in pop_results:
             all_plurality = all_plurality and res.winner == config.max_opinion
             pop_times.append(res.parallel_time)
-        for child in seeds[trials:]:
-            res = run_usd_gossip(config, rng=np.random.default_rng(child))
+        for res in gossip_results:
             all_plurality = all_plurality and res.winner == config.max_opinion
             gossip_rounds.append(res.rounds)
         pop_mean = float(np.mean(pop_times))

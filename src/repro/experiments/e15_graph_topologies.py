@@ -20,10 +20,9 @@ import networkx as nx
 import numpy as np
 
 from ..analysis import ExperimentResult, Table
-from .common import engine_simulate as simulate
-from ..graphs import simulate_on_graph
+from ..engine import graph_spec, run_ensemble
 from ..workloads import additive_bias_configuration
-from .common import Scale, spawn_rng, validate_scale
+from .common import Scale, spawn_seed, validate_scale
 
 __all__ = ["run"]
 
@@ -47,7 +46,6 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
     )
 
     config = additive_bias_configuration(n, k, beta=n // 5)
-    rng = spawn_rng(seed, "graphs")
 
     graphs = {
         "complete": nx.complete_graph(n),
@@ -57,10 +55,11 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
         "cycle": nx.cycle_graph(n),
     }
 
-    standard_times = []
-    for _ in range(trials):
-        standard_times.append(simulate(config, rng=rng).interactions)
-    standard_mean = float(np.mean(standard_times))
+    # The standard-model baseline and every topology run as engine
+    # workloads through run_ensemble: same per-replicate seeding, and
+    # the whole experiment parallelizes/caches with --jobs/--cache.
+    standard_runs = run_ensemble(config, trials, seed=spawn_seed(seed, 0))
+    standard_mean = float(np.mean([r.interactions for r in standard_runs]))
 
     table = Table(
         f"USD on graphs, n={n}, k={k}, additive bias {config.additive_bias}, "
@@ -71,21 +70,16 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
 
     means = {}
     converged_all = {}
-    for name, graph in graphs.items():
-        times = []
-        converged = 0
-        for _ in range(trials):
-            states = config.to_states(rng)
-            run_result = simulate_on_graph(
-                graph,
-                states,
-                rng=rng,
-                k=k,
-                max_interactions=20_000_000 if name == "cycle" else None,
-            )
-            if run_result.converged:
-                converged += 1
-                times.append(run_result.interactions)
+    for topology_index, (name, graph) in enumerate(graphs.items()):
+        spec = graph_spec(graph, config=config)
+        runs = run_ensemble(
+            spec,
+            trials,
+            seed=spawn_seed(seed, 1 + topology_index),
+            max_interactions=20_000_000 if name == "cycle" else None,
+        )
+        times = [r.interactions for r in runs if r.converged]
+        converged = sum(1 for r in runs if r.converged)
         means[name] = float(np.mean(times)) if times else float("inf")
         converged_all[name] = converged
         table.add_row(

@@ -19,8 +19,8 @@ import numpy as np
 
 from ..analysis import ExperimentResult, Table
 from ..core.config import Configuration
-from ..faults import simulate_with_noise, simulate_with_zealots
-from .common import Scale, spawn_rng, validate_scale
+from ..engine import noise_spec, run_ensemble, zealot_spec
+from .common import Scale, spawn_seed, validate_scale
 
 __all__ = ["run"]
 
@@ -59,8 +59,10 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
     )
 
     # -- zealots ---------------------------------------------------------
+    # Each fault model runs as a registered engine scenario through
+    # run_ensemble: deterministic per-replicate seeding, and the whole
+    # experiment parallelizes/caches with --jobs/--cache.
     config = Configuration.from_supports([majority, minority], undecided=0)
-    rng = spawn_rng(seed, "zealots")
     zealot_table = Table(
         f"Zealots for opinion 2 vs a {majority}/{minority} flexible split "
         f"({trials} runs each, budget {budget})",
@@ -68,16 +70,17 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
     )
     small_camp_held = True
     big_camp_won = True
-    for camp in params["camps"]:
-        takeovers = 0
-        fractions = []
-        for _ in range(trials):
-            run_result = simulate_with_zealots(
-                config, [0, camp], rng=rng, max_interactions=budget
-            )
-            if run_result.converged and run_result.winner == 2:
-                takeovers += 1
-            fractions.append(run_result.final.supports[0] / (majority + minority))
+    for camp_index, camp in enumerate(params["camps"]):
+        runs = run_ensemble(
+            zealot_spec(config, [0, camp]),
+            trials,
+            seed=spawn_seed(seed, camp_index),
+            max_interactions=budget,
+        )
+        takeovers = sum(1 for r in runs if r.converged and r.winner == 2)
+        fractions = [
+            r.final.supports[0] / (majority + minority) for r in runs
+        ]
         mean_fraction = float(np.mean(fractions))
         zealot_table.add_row([camp, f"{takeovers}/{trials}", mean_fraction])
         if camp * 4 <= majority and (takeovers > 0 or mean_fraction < 0.5):
@@ -102,15 +105,16 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
     )
 
     # -- noise -----------------------------------------------------------
-    rng = spawn_rng(seed, "noise")
     noise_table = Table(
         f"Quasi-consensus plateau vs corruption rate (horizon {params['noise_horizon']})",
         ["corruption prob", "tail mean plurality fraction"],
     )
     plateaus = []
-    for rho in _NOISE_RATES:
-        run_result = simulate_with_noise(
-            config, rho, horizon=params["noise_horizon"], rng=rng
+    for rho_index, rho in enumerate(_NOISE_RATES):
+        (run_result,) = run_ensemble(
+            noise_spec(config, rho, params["noise_horizon"]),
+            1,
+            seed=spawn_seed(seed, 1000 + rho_index),
         )
         plateaus.append(run_result.tail_mean_plurality_fraction)
         noise_table.add_row([rho, plateaus[-1]])

@@ -21,12 +21,20 @@ Both models reuse the exact simulation machinery; see the robustness
 example and the test suite for their measured behavior.
 """
 
-from .noise import NoisyRunResult, simulate_with_noise
-from .zealots import ZealotRunResult, simulate_with_zealots
+from .noise import NoisyRunResult, simulate_noise_batch, simulate_with_noise
+from .zealots import (
+    ZealotRunResult,
+    simulate_with_zealots,
+    simulate_zealots_batch,
+    validate_zealot_counts,
+)
 
 __all__ = [
     "ZealotRunResult",
     "simulate_with_zealots",
+    "simulate_zealots_batch",
+    "validate_zealot_counts",
     "NoisyRunResult",
     "simulate_with_noise",
+    "simulate_noise_batch",
 ]

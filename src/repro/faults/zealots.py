@@ -32,8 +32,42 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import Configuration
+from ..core.fastsim import cumulative_weights, pick_event
 
-__all__ = ["ZealotRunResult", "simulate_with_zealots"]
+__all__ = [
+    "ZealotRunResult",
+    "simulate_with_zealots",
+    "simulate_zealots_batch",
+    "validate_zealot_counts",
+    "default_zealot_budget",
+]
+
+#: Uniforms pre-drawn per replicate per refill in the batched variant;
+#: two are consumed per productive step.  Must be even.
+_STREAM_BUFFER = 256
+
+
+def validate_zealot_counts(zealots, k: int) -> np.ndarray:
+    """Validate a per-opinion zealot count array and return an int64 copy.
+
+    The array must be one-dimensional with exactly one entry per opinion
+    — a multi-dimensional array whose total size happens to equal ``k``
+    would silently misalign opinions — and every count non-negative.
+    """
+    arr = np.asarray(zealots, dtype=np.int64)
+    if arr.ndim != 1 or arr.shape[0] != k:
+        raise ValueError(
+            f"need one zealot count per opinion ({k}) in a 1-D array, "
+            f"got shape {arr.shape}"
+        )
+    if (arr < 0).any():
+        raise ValueError("zealot counts must be non-negative")
+    return arr.copy()
+
+
+def default_zealot_budget(n: int, k: int) -> int:
+    """Default interaction budget on the total population ``n``."""
+    return int(500 * (k + 1) * n * (math.log(max(n, 2)) + 1))
 
 
 @dataclass(frozen=True)
@@ -73,19 +107,13 @@ def simulate_with_zealots(
         population (zealot hijack is slower than plain convergence when
         the zealot camp is small).
     """
-    zealots = np.asarray(zealots, dtype=np.int64)
-    if zealots.size != config.k:
-        raise ValueError(
-            f"need one zealot count per opinion ({config.k}), got {zealots.size}"
-        )
-    if (zealots < 0).any():
-        raise ValueError("zealot counts must be non-negative")
+    zealots = validate_zealot_counts(zealots, config.k)
 
     flexible = np.asarray(config.counts, dtype=np.int64).copy()
     n = int(config.n + zealots.sum())
     k = config.k
     if max_interactions is None:
-        max_interactions = int(500 * (k + 1) * n * (math.log(max(n, 2)) + 1))
+        max_interactions = default_zealot_budget(n, k)
 
     zealot_opinions = np.flatnonzero(zealots) + 1
     n_sq = float(n) * float(n)
@@ -147,3 +175,118 @@ def simulate_with_zealots(
         winner=winner,
         budget_exhausted=budget_exhausted,
     )
+
+
+def simulate_zealots_batch(
+    config: Configuration,
+    zealots,
+    *,
+    rngs: list[np.random.Generator],
+    max_interactions: int | None = None,
+) -> list[ZealotRunResult]:
+    """Advance ``len(rngs)`` independent zealot-USD jump chains in lockstep.
+
+    The vectorized analogue of :func:`simulate_with_zealots`, built like
+    the engine's batched USD backend: per round, the geometric no-op
+    skip, the weighted adopt/clash event choice and the absorption check
+    are computed across the whole replicate axis.  Each replicate
+    consumes exactly two uniforms per productive step from a buffer
+    pre-drawn from *its own* generator, so trajectories are invariant to
+    the batch width and the executor.
+
+    The geometric skip is sampled by inversion rather than
+    ``Generator.geometric``, so batched runs are not bitwise-equal to
+    :func:`simulate_with_zealots` for the same seed; both sample the
+    identical distribution (cross-validated statistically in the test
+    suite).
+    """
+    zealots = validate_zealot_counts(zealots, config.k)
+    replicates = len(rngs)
+    if replicates == 0:
+        return []
+    k = config.k
+    n = int(config.n + zealots.sum())
+    if max_interactions is None:
+        max_interactions = default_zealot_budget(n, k)
+    if max_interactions < 0:
+        raise ValueError(
+            f"max_interactions must be non-negative, got {max_interactions}"
+        )
+    n_sq = float(n) * float(n)
+
+    flexible = np.tile(np.asarray(config.counts, dtype=np.int64), (replicates, 1))
+    interactions = np.zeros(replicates, dtype=np.int64)
+    exhausted = np.zeros(replicates, dtype=bool)
+    active = np.ones(replicates, dtype=bool)
+    stream = np.empty((replicates, _STREAM_BUFFER), dtype=np.float64)
+    cursor = np.full(replicates, _STREAM_BUFFER, dtype=np.int64)
+
+    while active.any():
+        rows = np.flatnonzero(active)
+        u = flexible[rows, 0]
+        supports = flexible[rows, 1:]
+        visible = supports + zealots[None, :]
+        decided_total = visible.sum(axis=1)
+
+        weights = np.empty((rows.size, 2 * k), dtype=np.float64)
+        np.multiply(u[:, None], visible, out=weights[:, :k])
+        np.multiply(supports, decided_total[:, None] - visible, out=weights[:, k:])
+        cumulative = cumulative_weights(weights)
+        total = cumulative[:, -1]
+
+        # W == 0 covers both true absorption (u == 0, one camp) and the
+        # stuck all-undecided-no-zealots state; the serial chain breaks
+        # out of its loop in exactly these configurations.
+        terminal = total <= 0.0
+
+        low = rows[cursor[rows] + 2 > _STREAM_BUFFER]
+        for row in low:
+            stream[row] = rngs[row].random(_STREAM_BUFFER)
+            cursor[row] = 0
+        offset = cursor[rows]
+        skip_u = stream[rows, offset]
+        event_u = stream[rows, offset + 1]
+        cursor[rows] += np.where(terminal, 0, 2)
+
+        p = total / n_sq
+        with np.errstate(divide="ignore", invalid="ignore"):
+            wait = 1.0 + np.floor(np.log1p(-skip_u) / np.log1p(-p))
+        wait = np.where((p >= 1.0) | terminal, 1.0, np.maximum(wait, 1.0))
+        t_next = interactions[rows] + wait.astype(np.int64)
+        over_budget = (t_next > max_interactions) & ~terminal
+
+        alive = ~(terminal | over_budget)
+        interactions[rows] = np.where(alive, t_next, interactions[rows])
+        interactions[rows[over_budget]] = max_interactions
+        exhausted[rows[over_budget]] = True
+
+        if alive.any():
+            event = pick_event(cumulative, event_u * total)
+            opinion = 1 + (event % k)
+            # Events < k are adoptions (undecided -> opinion), events >= k
+            # are clashes (opinion -> undecided).
+            delta = np.where(event < k, -1, 1)
+            alive_rows = rows[alive]
+            flexible[alive_rows, 0] += delta[alive]
+            flexible[alive_rows, opinion[alive]] -= delta[alive]
+
+        active[rows[terminal | over_budget]] = False
+
+    zealot_opinions = set((np.flatnonzero(zealots) + 1).tolist())
+    results: list[ZealotRunResult] = []
+    for r in range(replicates):
+        final = Configuration(flexible[r])
+        camps = set((np.flatnonzero(flexible[r, 1:]) + 1).tolist()) | zealot_opinions
+        converged = flexible[r, 0] == 0 and len(camps) <= 1
+        winner = camps.pop() if converged and len(camps) == 1 else None
+        results.append(
+            ZealotRunResult(
+                final=final,
+                zealots=zealots.copy(),
+                interactions=int(interactions[r]),
+                converged=bool(converged),
+                winner=winner,
+                budget_exhausted=bool(exhausted[r]),
+            )
+        )
+    return results

@@ -15,6 +15,19 @@ builders, and the test suite checks the complete-graph reduction
 statistically.
 """
 
-from .simulate import GraphRunResult, build_edge_list, simulate_on_graph
+from .dynamics import (
+    GraphRunResult,
+    run_on_edges,
+    validate_edge_array,
+    validate_graph_states,
+)
+from .simulate import build_edge_list, simulate_on_graph
 
-__all__ = ["GraphRunResult", "build_edge_list", "simulate_on_graph"]
+__all__ = [
+    "GraphRunResult",
+    "build_edge_list",
+    "run_on_edges",
+    "simulate_on_graph",
+    "validate_edge_array",
+    "validate_graph_states",
+]

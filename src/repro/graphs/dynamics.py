@@ -1,0 +1,138 @@
+"""Numpy-only kernel for the graph-restricted USD.
+
+The interaction loop is independent of how the edge set was produced:
+it consumes an ``(m, 2)`` array of directed ``(responder, initiator)``
+pairs.  :func:`repro.graphs.simulate.simulate_on_graph` builds that
+array from a ``networkx`` graph and delegates here; the engine's
+``"graph"`` scenario stores the edge array in its spec and calls the
+same kernel, so the two paths are bit-identical by construction.
+
+Keeping this module free of ``networkx`` lets :mod:`repro.engine`
+execute graph workloads without pulling the graph-construction
+dependency into numpy-only entry points (the engine smoke, process-pool
+workers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import UNDECIDED, Configuration
+from ..core.simulator import default_interaction_budget
+
+__all__ = [
+    "GraphRunResult",
+    "run_on_edges",
+    "validate_edge_array",
+    "validate_graph_states",
+]
+
+
+@dataclass(frozen=True)
+class GraphRunResult:
+    """Outcome of a graph-restricted USD run."""
+
+    final: Configuration
+    interactions: int
+    converged: bool
+    winner: int | None
+    budget_exhausted: bool = False
+
+
+def validate_graph_states(initial_states, n: int, k: int) -> np.ndarray:
+    """Validate a per-node state array and return an int64 copy.
+
+    The array must be one-dimensional with exactly one state per graph
+    node — a multi-dimensional array whose total size happens to equal
+    ``n`` would silently index rows instead of states, so the shape is
+    checked explicitly — and every label must lie in ``[0, k]``.
+    """
+    states = np.asarray(initial_states, dtype=np.int64)
+    if states.ndim != 1 or states.shape[0] != n:
+        raise ValueError(
+            f"initial_states must be a 1-D array with one state per node "
+            f"(expected length {n}), got shape {states.shape}"
+        )
+    if states.size and (states.min() < 0 or states.max() > k):
+        raise ValueError(f"states must lie in [0, {k}]")
+    return states.copy()
+
+
+def validate_edge_array(edges) -> np.ndarray:
+    """Validate an ``(m, 2)`` directed interaction-pair array."""
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] == 0:
+        raise ValueError(
+            f"edges must be a non-empty (m, 2) array of directed "
+            f"(responder, initiator) pairs, got shape {arr.shape}"
+        )
+    if arr.min() < 0:
+        raise ValueError("edge endpoints must be non-negative node indices")
+    return arr
+
+
+def run_on_edges(
+    edges: np.ndarray,
+    initial_states: np.ndarray,
+    *,
+    rng: np.random.Generator,
+    k: int,
+    n: int | None = None,
+    max_interactions: int | None = None,
+) -> GraphRunResult:
+    """Run the USD over a fixed directed edge array.
+
+    Each step samples a uniform row ``(responder, initiator)`` of
+    ``edges`` and applies the USD rule to the responder.  ``n`` defaults
+    to the length of ``initial_states``.
+    """
+    if n is None:
+        n = int(np.asarray(initial_states).shape[0])
+    states = validate_graph_states(initial_states, n, k)
+    edges = validate_edge_array(edges)
+    if edges.max() >= n:
+        raise ValueError(
+            f"edge endpoints must lie in [0, {n - 1}], got {int(edges.max())}"
+        )
+    if max_interactions is None:
+        max_interactions = default_interaction_budget(n, max(k, 1))
+    counts = np.bincount(states, minlength=k + 1)
+
+    t = 0
+    chunk = 8192
+    converged = counts[1:].max() == n
+    while not converged and t < max_interactions:
+        batch = min(chunk, max_interactions - t)
+        picks = rng.integers(0, edges.shape[0], size=batch)
+        for pick in picks:
+            t += 1
+            responder, initiator = edges[pick]
+            r_state = states[responder]
+            i_state = states[initiator]
+            if r_state == UNDECIDED:
+                if i_state != UNDECIDED:
+                    states[responder] = i_state
+                    counts[UNDECIDED] -= 1
+                    counts[i_state] += 1
+                else:
+                    continue
+            elif i_state != UNDECIDED and i_state != r_state:
+                states[responder] = UNDECIDED
+                counts[r_state] -= 1
+                counts[UNDECIDED] += 1
+            else:
+                continue
+            if counts[1:].max() == n:
+                converged = True
+                break
+
+    final = Configuration(counts)
+    return GraphRunResult(
+        final=final,
+        interactions=t,
+        converged=converged,
+        winner=final.winner,
+        budget_exhausted=not converged,
+    )

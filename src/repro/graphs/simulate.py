@@ -1,27 +1,20 @@
-"""Agent-level USD simulation on an arbitrary interaction graph."""
+"""Agent-level USD simulation on an arbitrary interaction graph.
+
+:func:`simulate_on_graph` is a thin wrapper: it turns a ``networkx``
+graph into the directed edge array and delegates to the numpy-only
+kernel :func:`repro.graphs.dynamics.run_on_edges` — the same kernel the
+engine's ``"graph"`` scenario executes, so both entry points produce
+bit-identical trajectories for the same seed.
+"""
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np
 
-from ..core.config import UNDECIDED, Configuration
-from ..core.simulator import default_interaction_budget
+from .dynamics import GraphRunResult, run_on_edges, validate_graph_states
 
 __all__ = ["GraphRunResult", "build_edge_list", "simulate_on_graph"]
-
-
-@dataclass(frozen=True)
-class GraphRunResult:
-    """Outcome of a graph-restricted USD run."""
-
-    final: Configuration
-    interactions: int
-    converged: bool
-    winner: int | None
-    budget_exhausted: bool = False
 
 
 def build_edge_list(graph: nx.Graph, allow_self_loops: bool = True) -> np.ndarray:
@@ -69,7 +62,8 @@ def simulate_on_graph(
         samples a uniform directed edge (responder, initiator); only the
         responder updates.
     initial_states:
-        Length-n integer state array (``0`` = undecided, ``1..k``).
+        Length-n integer state array (``0`` = undecided, ``1..k``), one
+        state per graph node.
     k:
         Number of opinions (for the consensus check and histogram).
     max_interactions:
@@ -77,50 +71,9 @@ def simulate_on_graph(
         factor (sparse graphs converge slower, so callers measuring
         sparse topologies should pass an explicit larger budget).
     """
-    states = np.asarray(initial_states, dtype=np.int64).copy()
     n = graph.number_of_nodes()
-    if states.size != n:
-        raise ValueError(f"got {states.size} states for {n} nodes")
-    if states.min() < 0 or states.max() > k:
-        raise ValueError(f"states must lie in [0, {k}]")
-    if max_interactions is None:
-        max_interactions = default_interaction_budget(n, max(k, 1))
+    states = validate_graph_states(initial_states, n, k)
     edges = build_edge_list(graph, allow_self_loops)
-    counts = np.bincount(states, minlength=k + 1)
-
-    t = 0
-    chunk = 8192
-    converged = counts[1:].max() == n
-    while not converged and t < max_interactions:
-        batch = min(chunk, max_interactions - t)
-        picks = rng.integers(0, edges.shape[0], size=batch)
-        for pick in picks:
-            t += 1
-            responder, initiator = edges[pick]
-            r_state = states[responder]
-            i_state = states[initiator]
-            if r_state == UNDECIDED:
-                if i_state != UNDECIDED:
-                    states[responder] = i_state
-                    counts[UNDECIDED] -= 1
-                    counts[i_state] += 1
-                else:
-                    continue
-            elif i_state != UNDECIDED and i_state != r_state:
-                states[responder] = UNDECIDED
-                counts[r_state] -= 1
-                counts[UNDECIDED] += 1
-            else:
-                continue
-            if counts[1:].max() == n:
-                converged = True
-                break
-
-    final = Configuration(counts)
-    return GraphRunResult(
-        final=final,
-        interactions=t,
-        converged=converged,
-        winner=final.winner,
-        budget_exhausted=not converged,
+    return run_on_edges(
+        edges, states, rng=rng, k=k, n=n, max_interactions=max_interactions
     )

@@ -1,0 +1,236 @@
+"""Tests for the on-disk ensemble cache."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.convergence import run_trials
+from repro.core.config import Configuration
+from repro.engine import (
+    EnsembleCache,
+    ScenarioSpec,
+    Scenario,
+    ensemble_key,
+    noise_spec,
+    register_scenario,
+    run_ensemble,
+    usd_spec,
+    zealot_spec,
+)
+from repro.engine import scenarios as scenarios_module
+from repro.workloads import uniform_configuration
+
+
+def results_key(results):
+    return [
+        (r.interactions, r.winner, r.converged, tuple(r.final.counts.tolist()))
+        for r in results
+    ]
+
+
+class CountingScenario(Scenario):
+    """Delegates to the jump backend and counts invocations."""
+
+    name = "counting-test"
+
+    def __init__(self):
+        self.calls = 0
+
+    def reference(self, spec, *, rng, max_interactions=None):
+        self.calls += 1
+        from repro.engine import get_backend
+
+        return get_backend("jump").simulate(
+            spec.config, rng=rng, max_interactions=max_interactions
+        )
+
+
+@pytest.fixture
+def counting_scenario():
+    scenario = CountingScenario()
+    register_scenario(scenario)
+    try:
+        yield scenario
+    finally:
+        scenarios_module._REGISTRY.pop("counting-test", None)
+
+
+def counting_spec():
+    return ScenarioSpec.create("counting-test", uniform_configuration(60, 2))
+
+
+class TestKeying:
+    def test_key_components(self):
+        spec = zealot_spec(uniform_configuration(40, 2), [0, 3])
+        base = ensemble_key(
+            spec, trials=4, seed=1, variant="reference", max_interactions=None
+        )
+        changed_spec = ensemble_key(
+            spec.with_params(zealots=(0, 4)), trials=4, seed=1,
+            variant="reference", max_interactions=None,
+        )
+        changed_seed = ensemble_key(
+            spec, trials=4, seed=2, variant="reference", max_interactions=None
+        )
+        changed_variant = ensemble_key(
+            spec, trials=4, seed=1, variant="batched", max_interactions=None
+        )
+        changed_trials = ensemble_key(
+            spec, trials=5, seed=1, variant="reference", max_interactions=None
+        )
+        changed_budget = ensemble_key(
+            spec, trials=4, seed=1, variant="reference", max_interactions=10
+        )
+        keys = {base, changed_spec, changed_seed, changed_variant,
+                changed_trials, changed_budget}
+        assert len(keys) == 6
+
+    def test_key_stable_across_processes(self):
+        # Pure content hash: no interpreter salt, no object identity.
+        spec = usd_spec(Configuration.from_supports([10, 5]))
+        a = ensemble_key(spec, trials=2, seed=3, variant="jump", max_interactions=None)
+        b = ensemble_key(
+            usd_spec(Configuration.from_supports([10, 5])),
+            trials=2, seed=3, variant="jump", max_interactions=None,
+        )
+        assert a == b
+
+
+class TestCacheHits:
+    def test_hit_skips_simulation_and_returns_identical_results(
+        self, tmp_path, counting_scenario
+    ):
+        store = EnsembleCache(tmp_path)
+        spec = counting_spec()
+        first = run_ensemble(spec, 3, seed=11, cache=store)
+        assert counting_scenario.calls == 3
+        assert store.misses == 1 and store.hits == 0
+
+        second = run_ensemble(spec, 3, seed=11, cache=store)
+        assert counting_scenario.calls == 3  # nothing re-simulated
+        assert store.hits == 1
+        assert results_key(first) == results_key(second)
+
+    def test_different_seed_or_spec_misses(self, tmp_path, counting_scenario):
+        store = EnsembleCache(tmp_path)
+        spec = counting_spec()
+        run_ensemble(spec, 2, seed=1, cache=store)
+        run_ensemble(spec, 2, seed=2, cache=store)
+        assert counting_scenario.calls == 4
+        assert store.hits == 0
+
+    def test_cache_disabled_by_default(self, tmp_path, counting_scenario):
+        spec = counting_spec()
+        run_ensemble(spec, 2, seed=1)
+        run_ensemble(spec, 2, seed=1)
+        assert counting_scenario.calls == 4
+
+    def test_cache_true_uses_session_dir(self, tmp_path, monkeypatch):
+        from repro.engine import options
+
+        monkeypatch.setattr(options, "_CACHE_DIR_OVERRIDE", str(tmp_path))
+        config = Configuration.from_supports([30, 10])
+        first = run_ensemble(config, 2, seed=5, cache=True)
+        second = run_ensemble(config, 2, seed=5, cache=True)
+        assert results_key(first) == results_key(second)
+        assert list(tmp_path.glob("*.pkl"))
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch, counting_scenario):
+        from repro.engine import options
+
+        monkeypatch.setattr(options, "_CACHE_OVERRIDE", None)
+        monkeypatch.setattr(options, "_CACHE_DIR_OVERRIDE", None)
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", "1")
+        monkeypatch.setenv("REPRO_ENGINE_CACHE_DIR", str(tmp_path))
+        spec = counting_spec()
+        run_ensemble(spec, 2, seed=9)
+        run_ensemble(spec, 2, seed=9)
+        assert counting_scenario.calls == 2
+
+    def test_process_executor_populates_cache(self, tmp_path):
+        store = EnsembleCache(tmp_path)
+        config = Configuration.from_supports([25, 15])
+        first = run_ensemble(
+            config, 4, seed=3, executor="process", jobs=2, cache=store
+        )
+        second = run_ensemble(config, 4, seed=3, executor="serial", cache=store)
+        assert store.hits == 1
+        assert results_key(first) == results_key(second)
+
+
+class TestCorruption:
+    def test_corrupted_entry_recomputes(self, tmp_path, counting_scenario):
+        store = EnsembleCache(tmp_path)
+        spec = counting_spec()
+        run_ensemble(spec, 2, seed=7, cache=store)
+        key = store.key_for(
+            spec, trials=2, seed=7,
+            variant="reference", max_interactions=None,
+        )
+        path = tmp_path / f"{key}.pkl"
+        assert path.exists()
+        path.write_bytes(b"not a pickle")
+
+        results = run_ensemble(spec, 2, seed=7, cache=store)
+        assert counting_scenario.calls == 4  # recomputed
+        assert len(results) == 2
+        # The corrupt file was replaced by the fresh entry.
+        assert pickle.loads(path.read_bytes())
+
+    def test_non_list_payload_is_a_miss(self, tmp_path):
+        store = EnsembleCache(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        (tmp_path / "abc.pkl").write_bytes(pickle.dumps({"not": "a list"}))
+        assert store.load("abc") is None
+        assert store.misses == 1
+
+    def test_contains_and_clear(self, tmp_path):
+        store = EnsembleCache(tmp_path)
+        store.store("k1", [1, 2])
+        assert store.contains("k1")
+        assert store.load("k1") == [1, 2]
+        assert store.clear() == 1
+        assert not store.contains("k1")
+
+
+class TestConsumerPlumbing:
+    def test_run_trials_forwards_cache(self, tmp_path, counting_scenario):
+        store = EnsembleCache(tmp_path)
+        spec = counting_spec()
+        a = run_trials(spec, 3, seed=13, cache=store)
+        b = run_trials(spec, 3, seed=13, cache=store)
+        assert counting_scenario.calls == 3
+        assert store.hits == 1
+        assert a.interactions == b.interactions
+
+    def test_noise_results_roundtrip(self, tmp_path):
+        # Results without winner/converged survive pickling unchanged.
+        store = EnsembleCache(tmp_path)
+        spec = noise_spec(Configuration.from_supports([20, 10]), 0.2, 500)
+        first = run_ensemble(spec, 2, seed=1, cache=store)
+        second = run_ensemble(spec, 2, seed=1, cache=store)
+        assert store.hits == 1
+        assert [r.tail_mean_plurality_fraction for r in first] == [
+            r.tail_mean_plurality_fraction for r in second
+        ]
+
+    def test_cli_second_invocation_is_served_from_cache(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+        from repro.engine import options
+
+        monkeypatch.setattr(options, "_CACHE_OVERRIDE", None)
+        monkeypatch.setattr(options, "_CACHE_DIR_OVERRIDE", None)
+        argv = [
+            "simulate", "--scenario", "zealots", "--n", "60", "--k", "2",
+            "--zealots", "0,3", "--trials", "2",
+            "--max-interactions", "20000",
+            "--cache", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache:            miss" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache:            hit" in second
