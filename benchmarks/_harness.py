@@ -13,10 +13,13 @@ the full-scale numbers (minutes instead of seconds).
 
 The rendered report (the same rows recorded in EXPERIMENTS.md) is printed
 and archived under ``benchmarks/results/``.  :func:`run_engine_smoke`
-measures serial jump-chain vs batched ensemble throughput and
-:func:`run_scenario_smoke` times one ensemble per registered scenario;
-both write JSON artifacts (``BENCH_engine.json`` /
-``BENCH_scenarios.json``, used by ``engine_smoke.py`` and CI).
+measures serial jump-chain vs batched ensemble throughput,
+:func:`run_scenario_smoke` times one ensemble per registered scenario,
+and :func:`run_sweep_smoke` times a multi-cell sweep flattened through
+``run_sweep`` against the legacy per-cell ``run_ensemble`` barrier; all
+write JSON artifacts (``BENCH_engine.json`` / ``BENCH_scenarios.json`` /
+``BENCH_sweeps.json``, used by ``engine_smoke.py`` / ``sweep_smoke.py``
+and CI).
 """
 
 from __future__ import annotations
@@ -29,12 +32,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.engine import (
+    SweepSpec,
     engine_defaults,
     get_backend,
     gossip_spec,
     graph_spec,
     noise_spec,
     run_ensemble,
+    run_sweep,
     usd_spec,
     zealot_spec,
 )
@@ -124,6 +129,80 @@ def run_engine_smoke(
             "converged": sum(r.converged for r in batched_results),
         },
         "speedup": batched_throughput / serial_throughput,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def run_sweep_smoke(
+    *,
+    ns: list[int] | None = None,
+    k: int = 3,
+    trials: int = 24,
+    jobs: int = 2,
+    seed: int = 20230224,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Time one multi-cell sweep: flattened pool vs legacy per-cell barrier.
+
+    Both sides run the identical grid on the multiprocessing executor
+    with ``jobs`` workers and the same per-cell seeds.  The legacy side
+    is the pre-sweep shape — one ``run_ensemble`` barrier per cell, so
+    every cell waits for its slowest replicate before the next cell may
+    start — while the flattened side is a single :func:`run_sweep` work
+    queue over all cells.  Results are asserted identical, the timing
+    difference is the scheduling win.  Writes ``BENCH_sweeps.json`` when
+    ``output`` is given (the CI artifact).
+    """
+    ns = ns if ns is not None else [400, 800, 1600, 3200]
+    grid = [{"n": n, "k": k} for n in ns]
+    spec = SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
+    cell_seeds = [seed + index for index in range(len(grid))]
+
+    start = time.perf_counter()
+    legacy_results = [
+        run_ensemble(
+            uniform_configuration(**params),
+            trials,
+            seed=cell_seed,
+            executor="process",
+            jobs=jobs,
+        )
+        for params, cell_seed in zip(grid, cell_seeds)
+    ]
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    outcome = run_sweep(
+        spec, cell_seeds=cell_seeds, executor="process", jobs=jobs
+    )
+    flattened_seconds = time.perf_counter() - start
+
+    legacy_key = [
+        (r.interactions, r.winner) for cell in legacy_results for r in cell
+    ]
+    flattened_key = [
+        (r.interactions, r.winner) for cell in outcome for r in cell.results
+    ]
+    assert legacy_key == flattened_key, "flattened sweep diverged from cell loop"
+
+    replicates = spec.total_trials
+    record = {
+        "workload": {"ns": ns, "k": k, "trials_per_cell": trials, "seed": seed},
+        "jobs": jobs,
+        "cells": len(grid),
+        "replicates": replicates,
+        "legacy_per_cell_barrier": {
+            "seconds": legacy_seconds,
+            "replicates_per_second": replicates / legacy_seconds,
+        },
+        "flattened_run_sweep": {
+            "seconds": flattened_seconds,
+            "replicates_per_second": replicates / flattened_seconds,
+        },
+        "speedup": legacy_seconds / flattened_seconds,
+        "bit_identical": True,
     }
     if output is not None:
         Path(output).write_text(json.dumps(record, indent=2) + "\n")

@@ -1,0 +1,78 @@
+"""Sweep scheduling smoke: flattened work queue vs per-cell barrier.
+
+Times one multi-cell sweep twice on the multiprocessing executor with
+identical per-cell seeds: once the legacy way (one ``run_ensemble``
+barrier per grid cell, so every cell stalls on its slowest replicate
+before the next cell starts) and once flattened through
+``repro.engine.run_sweep`` (all cells' replicates in a single work
+queue).  Results are asserted bit-identical; the timing gap is the
+cross-cell scheduling win.  Writes a ``BENCH_sweeps.json`` artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sweep_smoke.py \
+        [--ns 400,800,1600,3200] [--k 3] [--trials 24] [--jobs 2] \
+        [--seed 20230224] [--output BENCH_sweeps.json] [--min-speedup 0]
+
+Exits non-zero when the measured speedup falls below ``--min-speedup``
+(the default 0 records without gating — barrier overhead depends on
+replicate-duration variance, which CI machines don't guarantee).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from _harness import run_sweep_smoke
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ns",
+        default="400,800,1600,3200",
+        help="comma-separated population sizes, one sweep cell each",
+    )
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--trials", type=int, default=24)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=20230224)
+    parser.add_argument("--output", default="BENCH_sweeps.json")
+    parser.add_argument("--min-speedup", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    ns = [int(part) for part in args.ns.split(",") if part.strip() != ""]
+    record = run_sweep_smoke(
+        ns=ns,
+        k=args.k,
+        trials=args.trials,
+        jobs=args.jobs,
+        seed=args.seed,
+        output=args.output,
+    )
+    legacy = record["legacy_per_cell_barrier"]
+    flattened = record["flattened_run_sweep"]
+    print(
+        f"legacy barrier: {record['replicates']} replicates over "
+        f"{record['cells']} cells in {legacy['seconds']:.2f}s = "
+        f"{legacy['replicates_per_second']:.2f} rep/s"
+    )
+    print(
+        f"flattened:      {record['replicates']} replicates over "
+        f"{record['cells']} cells in {flattened['seconds']:.2f}s = "
+        f"{flattened['replicates_per_second']:.2f} rep/s"
+    )
+    print(f"speedup:        {record['speedup']:.2f}x  (wrote {args.output})")
+    if record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f} below "
+            f"threshold {args.min_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ from ..engine import (
 )
 from .stats import SummaryStats, summarize, wilson_interval
 
-__all__ = ["TrialEnsemble", "run_trials"]
+__all__ = ["TrialEnsemble", "aggregate_results", "run_trials"]
 
 
 @dataclass
@@ -110,11 +110,31 @@ class TrialEnsemble:
         return histogram
 
 
+def aggregate_results(initial: Configuration, results) -> TrialEnsemble:
+    """Fold raw engine results into a :class:`TrialEnsemble`.
+
+    Duck-typed over the scenario's result type: the per-replicate cost
+    is ``interactions`` when present (``rounds`` for gossip results),
+    and results without a consensus notion count as non-converged with
+    no winner.  Shared by :func:`run_trials` and the sweep facade, so
+    every cell of a sweep aggregates exactly like a standalone ensemble.
+    """
+    ensemble = TrialEnsemble(initial=initial)
+    for result in results:
+        cost = getattr(result, "interactions", None)
+        if cost is None:
+            cost = getattr(result, "rounds", 0)
+        ensemble.interactions.append(int(cost))
+        ensemble.winners.append(getattr(result, "winner", None))
+        ensemble.converged_flags.append(bool(getattr(result, "converged", False)))
+    return ensemble
+
+
 def run_trials(
     workload: Configuration | ScenarioSpec,
     trials: int,
     *,
-    seed: int,
+    seed: int | np.random.SeedSequence,
     max_interactions: int | None = None,
     simulator: Callable[..., RunResult] | None = None,
     backend: str | Backend | None = None,
@@ -168,12 +188,4 @@ def run_trials(
             max_interactions=max_interactions,
             cache=cache,
         )
-    ensemble = TrialEnsemble(initial=spec.config)
-    for result in results:
-        cost = getattr(result, "interactions", None)
-        if cost is None:
-            cost = getattr(result, "rounds", 0)
-        ensemble.interactions.append(int(cost))
-        ensemble.winners.append(getattr(result, "winner", None))
-        ensemble.converged_flags.append(bool(getattr(result, "converged", False)))
-    return ensemble
+    return aggregate_results(spec.config, results)

@@ -1,12 +1,22 @@
-"""Parameter sweeps over (n, k, bias) grids.
+"""Parameter sweeps over (n, k, bias) grids — facade over the engine.
 
 A sweep maps a grid of parameter points to :class:`TrialEnsemble`
 aggregates, collecting the series the experiments need (e.g. mean
-interactions vs n at fixed k).  Points are deterministic functions of the
-sweep seed, so any individual cell can be reproduced in isolation; each
-cell's ensemble runs through the simulation engine, so a whole sweep can
-be switched to the batched backend or a multiprocessing pool with the
-``backend``/``executor``/``jobs`` arguments.
+interactions vs n at fixed k).  Since the sweep subsystem landed in
+:mod:`repro.engine.sweep`, this module is a thin facade: the grid is
+frozen into a content-addressable :class:`~repro.engine.SweepSpec` and
+executed by :func:`~repro.engine.run_sweep`, which flattens every cell's
+replicates into a single work queue across the serial/multiprocessing
+executors (no per-cell barrier) and caches each cell on disk under a
+sweep-level index.  The public API — :func:`sweep`, :class:`SweepPoint`,
+:class:`SweepResult` — is unchanged.
+
+Seeding: ``seed_derivation="legacy"`` (the default here, for
+bit-identity with every previously published number) collapses each
+cell's spawned ``SeedSequence`` child to a 32-bit integer exactly like
+the historical cell loop; ``"spawn"`` passes the children through whole
+(the engine default — no entropy loss, no cross-cell collisions), and
+``cell_seeds`` pins explicit per-cell seeds.
 """
 
 from __future__ import annotations
@@ -17,8 +27,8 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..core.config import Configuration
-from ..engine import Backend
-from .convergence import TrialEnsemble, run_trials
+from ..engine import Backend, SweepSpec, run_sweep
+from .convergence import TrialEnsemble, aggregate_results
 
 __all__ = ["SweepPoint", "SweepResult", "sweep"]
 
@@ -67,12 +77,14 @@ def sweep(
     build_config: ConfigBuilder,
     *,
     trials: int,
-    seed: int,
+    seed: int | None = None,
     max_interactions: Callable[[dict], int] | int | None = None,
     backend: str | Backend | None = None,
     executor: str | None = None,
     jobs: int | None = None,
     cache=None,
+    cell_seeds: Sequence[int | np.random.SeedSequence] | None = None,
+    seed_derivation: str = "legacy",
 ) -> SweepResult:
     """Run ``trials`` runs at each grid point.
 
@@ -92,31 +104,35 @@ def sweep(
         Either a constant budget, a callable mapping the grid point to a
         budget, or ``None`` for the simulator default.
     backend, executor, jobs, cache:
-        Engine selection for every cell's ensemble, forwarded to
-        :func:`repro.engine.run_ensemble` via :func:`run_trials`.
+        Engine selection, forwarded to :func:`repro.engine.run_sweep`:
+        the whole grid runs as one flattened replicate pool (no per-cell
+        barrier) and caches per cell.
+    cell_seeds, seed_derivation:
+        Per-cell seeding, forwarded to :func:`repro.engine.run_sweep`.
+        The facade defaults to the ``"legacy"`` derivation so existing
+        fixed-seed results stay bit-identical; pass ``"spawn"`` for the
+        engine's full-entropy derivation, or explicit ``cell_seeds``.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    grid = list(grid)
-    if not grid:
-        raise ValueError("sweep grid must be non-empty")
-    points: list[SweepPoint] = []
-    seeds = np.random.SeedSequence(seed).spawn(len(grid))
-    for params, child in zip(grid, seeds):
-        config = build_config(**params)
-        if callable(max_interactions):
-            budget = max_interactions(params)
-        else:
-            budget = max_interactions
-        ensemble = run_trials(
-            config,
-            trials,
-            seed=int(child.generate_state(1)[0]),
-            max_interactions=budget,
-            backend=backend,
-            executor=executor,
-            jobs=jobs,
-            cache=cache,
+    spec = SweepSpec.from_grid(
+        grid, build_config, trials=trials, max_interactions=max_interactions
+    )
+    outcome = run_sweep(
+        spec,
+        seed=seed,
+        cell_seeds=cell_seeds,
+        seed_derivation=seed_derivation,
+        backend=backend,
+        executor=executor,
+        jobs=jobs,
+        cache=cache,
+    )
+    points = [
+        SweepPoint(
+            params=cell.params,
+            ensemble=aggregate_results(cell.cell.spec.config, cell.results),
         )
-        points.append(SweepPoint(params=dict(params), ensemble=ensemble))
+        for cell in outcome
+    ]
     return SweepResult(points=points)

@@ -18,6 +18,16 @@ Commands
     summary.  Scenario parameters: ``--graph-topology``, ``--zealots``,
     ``--noise-rho``, ``--noise-horizon``, ``--gossip-rule``,
     ``--max-rounds``.
+``sweep --param name=v1,v2,... [--param ...] [--workload W] [--trials T]``
+    Run a whole parameter grid as ONE engine workload
+    (:func:`repro.engine.run_sweep`): the cross product of every
+    ``--param`` flag (or the grid from ``--spec-file sweep.json``) is
+    frozen into a :class:`repro.engine.SweepSpec` and all cells'
+    replicates are scheduled across one flattened executor pool — no
+    per-cell barrier — with optional per-cell caching under a
+    sweep-level index (``--cache``).
+``cache stats|clear [--cache-dir D]``
+    Inspect or empty the on-disk ensemble cache.
 
 Engine selection
 ----------------
@@ -39,7 +49,9 @@ import numpy as np
 from .analysis.report import build_markdown_report
 from .core.phases import PhaseTracker
 from .engine import (
+    SEED_DERIVATIONS,
     EnsembleCache,
+    SweepSpec,
     available_backends,
     available_scenarios,
     get_backend,
@@ -51,6 +63,7 @@ from .engine import (
     graph_spec,
     noise_spec,
     run_ensemble,
+    run_sweep,
     set_engine_defaults,
     usd_spec,
     zealot_spec,
@@ -64,6 +77,13 @@ from .workloads import (
 )
 
 __all__ = ["main", "build_parser"]
+
+#: Workload builders the ``sweep`` subcommand can feed a grid into.
+_SWEEP_WORKLOADS = {
+    "uniform": uniform_configuration,
+    "additive": additive_bias_configuration,
+    "multiplicative": multiplicative_bias_configuration,
+}
 
 
 def _positive_int(raw: str) -> int:
@@ -202,6 +222,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="round budget for --scenario gossip",
     )
     _add_engine_arguments(sim_cmd)
+
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="run a parameter grid as one flattened engine workload",
+    )
+    sweep_cmd.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="NAME=V1,V2,...",
+        help="one grid axis (repeat for more; the grid is their cross "
+        "product); values parse as int, then float, then string",
+    )
+    sweep_cmd.add_argument(
+        "--workload",
+        choices=tuple(_SWEEP_WORKLOADS),
+        default=None,
+        help="workload builder the grid parameters feed "
+        "(default: uniform; uniform takes n,k; additive n,k,beta; "
+        "multiplicative n,k,alpha)",
+    )
+    sweep_cmd.add_argument(
+        "--spec-file",
+        default=None,
+        help="JSON sweep spec: {workload, params: {name: [values]} or "
+        "grid: [{...}], trials, max_interactions, seed}; flags override",
+    )
+    sweep_cmd.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=None,
+        help="replicates per grid cell (default: 8)",
+    )
+    sweep_cmd.add_argument("--seed", type=int, default=None)
+    sweep_cmd.add_argument(
+        "--max-interactions",
+        type=_positive_int,
+        default=None,
+        help="per-replicate budget for every cell",
+    )
+    sweep_cmd.add_argument(
+        "--seed-derivation",
+        choices=SEED_DERIVATIONS,
+        default="spawn",
+        help="per-cell seed derivation: spawn = full-entropy SeedSequence "
+        "children (default), legacy = historical 32-bit collapse",
+    )
+    _add_engine_arguments(sweep_cmd)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the on-disk ensemble cache"
+    )
+    cache_cmd.add_argument("action", choices=("stats", "clear"))
+    cache_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: .repro-cache, "
+        "or REPRO_ENGINE_CACHE_DIR)",
+    )
     return parser
 
 
@@ -234,6 +313,152 @@ def _command_report(args) -> int:
         print(f"FAILED: {', '.join(failed)}")
         return 1
     print("all experiments PASS")
+    return 0
+
+
+def _parse_param_value(raw: str):
+    for parse in (int, float):
+        try:
+            return parse(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_param_axes(flags: list[str]) -> dict[str, list]:
+    """``["n=100,200", "k=2"]`` -> ``{"n": [100, 200], "k": [2]}``."""
+    axes: dict[str, list] = {}
+    for flag in flags:
+        name, sep, raw = flag.partition("=")
+        name = name.strip()
+        if not sep or not name or not raw.strip():
+            raise SystemExit(
+                f"error: --param must look like NAME=V1,V2,..., got {flag!r}"
+            )
+        if name in axes:
+            raise SystemExit(
+                f"error: --param axis {name!r} given twice; put every value "
+                f"in one flag: --param {name}=V1,V2,..."
+            )
+        values = [
+            _parse_param_value(part.strip())
+            for part in raw.split(",")
+            if part.strip() != ""
+        ]
+        if not values:
+            raise SystemExit(
+                f"error: --param {name!r} needs at least one value, got {flag!r}"
+            )
+        axes[name] = values
+    return axes
+
+
+def _grid_from_axes(axes: dict[str, list]) -> list[dict]:
+    import itertools
+
+    names = list(axes)
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+def _command_sweep(args) -> int:
+    import json
+
+    spec_file: dict = {}
+    if args.spec_file:
+        with open(args.spec_file, "r", encoding="utf-8") as handle:
+            spec_file = json.load(handle)
+        if not isinstance(spec_file, dict):
+            raise SystemExit(f"error: {args.spec_file} must hold a JSON object")
+
+    workload = args.workload or spec_file.get("workload", "uniform")
+    if workload not in _SWEEP_WORKLOADS:
+        raise SystemExit(
+            f"error: unknown workload {workload!r}; "
+            f"available: {tuple(_SWEEP_WORKLOADS)}"
+        )
+    builder = _SWEEP_WORKLOADS[workload]
+    trials = args.trials if args.trials is not None else spec_file.get("trials", 8)
+    seed = args.seed if args.seed is not None else spec_file.get("seed", 20230224)
+    budget = (
+        args.max_interactions
+        if args.max_interactions is not None
+        else spec_file.get("max_interactions")
+    )
+
+    if args.param:
+        grid = _grid_from_axes(_parse_param_axes(args.param))
+    elif "grid" in spec_file:
+        grid = [dict(point) for point in spec_file["grid"]]
+    elif "params" in spec_file:
+        grid = _grid_from_axes(dict(spec_file["params"]))
+    else:
+        raise SystemExit(
+            "error: sweep needs at least one --param axis or a --spec-file "
+            "with a 'params'/'grid' entry"
+        )
+
+    spec = SweepSpec.from_grid(grid, builder, trials=trials, max_interactions=budget)
+
+    cache_enabled = args.cache if args.cache is not None else get_default_cache()
+    cache_dir = args.cache_dir or get_default_cache_dir()
+    store = EnsembleCache(cache_dir) if cache_enabled else None
+    executor = "process" if args.jobs is not None and args.jobs > 1 else None
+
+    outcome = run_sweep(
+        spec,
+        seed=seed,
+        seed_derivation=args.seed_derivation,
+        backend=args.backend,
+        executor=executor,
+        jobs=args.jobs,
+        cache=store if store is not None else False,
+    )
+
+    print(
+        f"sweep:            {len(spec)} cells, {spec.total_trials} replicates "
+        f"({workload} workload, seed {seed}, {args.seed_derivation} seeds)"
+    )
+    print(f"sweep key:        {spec.key()}")
+    from .analysis.convergence import aggregate_results
+
+    for cell in outcome:
+        params = ", ".join(f"{k}={v}" for k, v in cell.params.items())
+        ensemble = aggregate_results(cell.cell.spec.config, cell.results)
+        origin = "cache" if cell.cached else "run"
+        print(
+            f"  [{origin:>5}] {params:<40} trials={cell.cell.trials:<5} "
+            f"converged={ensemble.num_converged}/{ensemble.trials} "
+            f"mean interactions={float(np.mean(ensemble.interactions)):.1f}"
+        )
+    print(
+        f"cells:            {outcome.cached_cells} from cache, "
+        f"{outcome.simulated_cells} simulated "
+        f"({outcome.simulated_trials} replicates simulated)"
+    )
+    if store is not None:
+        print(
+            f"cache:            {store.hits} hits / {store.misses} misses "
+            f"({cache_dir}, index {outcome.sweep_key[:16]}...)"
+        )
+    return 0
+
+
+def _command_cache(args) -> int:
+    store = EnsembleCache(args.cache_dir or get_default_cache_dir())
+    if args.action == "stats":
+        stats = store.stats()
+        cap = stats["max_bytes"]
+        print(f"cache dir:        {stats['root']}")
+        print(f"ensemble entries: {stats['entries']}")
+        print(f"sweep indexes:    {stats['sweep_indexes']}")
+        print(f"total size:       {stats['total_bytes']} bytes")
+        print(f"size cap:         {cap if cap is not None else 'unlimited'}")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.root}")
     return 0
 
 
@@ -353,6 +578,8 @@ _COMMANDS = {
     "list": _command_list,
     "list-scenarios": _command_list_scenarios,
     "simulate": _command_simulate,
+    "sweep": _command_sweep,
+    "cache": _command_cache,
 }
 
 

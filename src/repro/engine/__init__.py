@@ -40,7 +40,7 @@ from .backends import (
     supports_batch,
 )
 from .batched import BatchedBackend, simulate_batch
-from .cache import EnsembleCache, ensemble_key
+from .cache import EnsembleCache, ensemble_key, seed_token
 from .executors import DEFAULT_BATCH_SIZE, EXECUTORS, replicate_seeds, run_ensemble
 from .options import (
     DEFAULT_BACKEND,
@@ -49,6 +49,7 @@ from .options import (
     get_default_backend,
     get_default_cache,
     get_default_cache_dir,
+    get_default_cache_max_bytes,
     get_default_executor,
     get_default_jobs,
     set_engine_defaults,
@@ -65,6 +66,15 @@ from .scenarios import (
     register_scenario,
     usd_spec,
     zealot_spec,
+)
+from .sweep import (
+    SEED_DERIVATIONS,
+    SweepCell,
+    SweepCellRun,
+    SweepRun,
+    SweepSpec,
+    legacy_cell_seed,
+    run_sweep,
 )
 
 __all__ = [
@@ -90,8 +100,16 @@ __all__ = [
     "gossip_spec",
     "EnsembleCache",
     "ensemble_key",
+    "seed_token",
     "run_ensemble",
     "replicate_seeds",
+    "SweepCell",
+    "SweepCellRun",
+    "SweepRun",
+    "SweepSpec",
+    "run_sweep",
+    "legacy_cell_seed",
+    "SEED_DERIVATIONS",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
@@ -100,6 +118,7 @@ __all__ = [
     "get_default_backend",
     "get_default_cache",
     "get_default_cache_dir",
+    "get_default_cache_max_bytes",
     "get_default_executor",
     "get_default_jobs",
     "set_engine_defaults",

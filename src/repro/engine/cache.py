@@ -32,18 +32,44 @@ import pickle
 import tempfile
 from pathlib import Path
 
-__all__ = ["EnsembleCache", "ensemble_key"]
+import numpy as np
+
+from .options import get_default_cache_max_bytes
+
+__all__ = ["EnsembleCache", "ensemble_key", "seed_token"]
 
 #: Bumped whenever the on-disk format or the engine's sampling changes
 #: incompatibly; old entries then simply miss.
 CACHE_FORMAT = 1
+
+#: Format tag for sweep-level index entries (``*.sweep.json``); bumped
+#: independently of the ensemble entry format.
+SWEEP_INDEX_FORMAT = 1
+
+
+def seed_token(seed):
+    """Canonical JSON-able identity of an ensemble seed.
+
+    Plain integers stay integers (so keys minted before ``SeedSequence``
+    seeds existed are unchanged); a ``SeedSequence`` is identified by its
+    entropy and spawn key — the exact values that determine every child
+    it will ever spawn — never by its mutable spawn counter.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = [int(e) for e in entropy]
+        elif entropy is not None:
+            entropy = int(entropy)
+        return {"entropy": entropy, "spawn_key": [int(k) for k in seed.spawn_key]}
+    return int(seed)
 
 
 def ensemble_key(
     spec,
     *,
     trials: int,
-    seed: int,
+    seed,
     variant: str,
     max_interactions: int | None,
 ) -> str:
@@ -52,7 +78,7 @@ def ensemble_key(
         "format": CACHE_FORMAT,
         "spec": spec.key(),
         "trials": int(trials),
-        "seed": int(seed),
+        "seed": seed_token(seed),
         "variant": str(variant),
         "max_interactions": max_interactions,
     }
@@ -64,13 +90,27 @@ class EnsembleCache:
     """Flat-directory pickle store for ensemble result lists.
 
     Tracks ``hits`` and ``misses`` so callers (the CLI, tests) can
-    report whether an invocation was served from disk.
+    report whether an invocation was served from disk.  When
+    ``max_bytes`` is set (constructor argument,
+    ``set_engine_defaults(cache_max_bytes=...)`` or the
+    ``REPRO_ENGINE_CACHE_MAX_BYTES`` environment variable) the store
+    enforces a size cap with LRU eviction: every hit refreshes the
+    entry's mtime, and a store that pushes the directory over the cap
+    deletes the stalest entries first.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self, root: str | os.PathLike, *, max_bytes: int | None = None
+    ) -> None:
         self.root = Path(root)
+        self.max_bytes = (
+            get_default_cache_max_bytes() if max_bytes is None else int(max_bytes)
+        )
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            self.max_bytes = None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def key_for(
         self,
@@ -119,6 +159,11 @@ class EnsembleCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Refresh recency so LRU eviction spares live entries.
+            os.utime(path, None)
+        except OSError:
+            pass
         return results
 
     def store(self, key: str, results: list) -> None:
@@ -135,15 +180,130 @@ class EnsembleCache:
             except OSError:
                 pass
             raise
+        self._evict(keep=f"{key}.pkl")
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+    def _evict(self, keep: str | None = None) -> int:
+        """Enforce ``max_bytes`` by deleting least-recently-used entries.
+
+        The file named by ``keep`` (the one just written) is never
+        evicted, so a single oversized ensemble degrades to "cache holds
+        one entry" rather than "cache thrashes on itself".
+        """
+        if self.max_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        for pattern in ("*.pkl", "*.sweep.json"):
+            for path in self.root.glob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
         removed = 0
+        entries.sort(key=lambda item: item[0])
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path.name == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.evictions += 1
+        return removed
+
+    # -- sweep-level index --------------------------------------------
+    def sweep_index_key(self, sweep_key: str, seeds, variants) -> str:
+        """Key for one sweep invocation's index entry.
+
+        Combines the sweep spec's content hash with the per-cell seeds
+        and resolved variants — the same inputs whose change would remap
+        the underlying ensemble entries.
+        """
+        payload = {
+            "format": SWEEP_INDEX_FORMAT,
+            "sweep": str(sweep_key),
+            "seeds": [seed_token(s) for s in seeds],
+            "variants": [str(v) for v in variants],
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _sweep_path(self, key: str) -> Path:
+        return self.root / f"{key}.sweep.json"
+
+    def store_sweep_index(self, key: str, payload: dict) -> None:
+        """Persist a sweep's cell-key index atomically (JSON)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self._sweep_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        # Indexes count toward the size cap like any other entry (they
+        # are regenerated by the next run_sweep, so evicting one only
+        # costs metadata, never results).
+        self._evict(keep=f"{key}.sweep.json")
+
+    def load_sweep_index(self, key: str) -> dict | None:
+        """Return a sweep's index payload, or ``None`` on miss/corruption."""
+        try:
+            with open(self._sweep_path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # -- maintenance ---------------------------------------------------
+    def stats(self) -> dict:
+        """Directory snapshot for ``repro cache stats`` and diagnostics."""
+        entries = 0
+        total_bytes = 0
+        sweep_indexes = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
                 try:
-                    path.unlink()
-                    removed += 1
+                    total_bytes += path.stat().st_size
                 except OSError:
-                    pass
+                    continue
+                entries += 1
+            for path in self.root.glob("*.sweep.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                sweep_indexes += 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "sweep_indexes": sweep_indexes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry and sweep index; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for pattern in ("*.pkl", "*.sweep.json"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed

@@ -61,15 +61,29 @@ DEFAULT_BATCH_SIZE = 1024
 EXECUTORS = ("serial", "process")
 
 
-def replicate_seeds(seed: int, trials: int) -> list[np.random.SeedSequence]:
+def replicate_seeds(
+    seed: int | np.random.SeedSequence, trials: int
+) -> list[np.random.SeedSequence]:
     """The canonical per-replicate seed derivation of the whole repo.
 
     Replicate ``i`` of an ensemble keyed by ``seed`` is always driven by
     ``np.random.default_rng(replicate_seeds(seed, trials)[i])``,
     regardless of scenario, variant, executor or batch width.
+
+    ``seed`` may itself be a ``SeedSequence`` (e.g. a child spawned by
+    the sweep scheduler): its entropy and spawn key are re-expanded from
+    scratch, so the derivation is a pure function of the sequence's
+    identity — never of how many children the caller's instance happens
+    to have spawned already — and no entropy is collapsed into a single
+    32-bit state on the way down.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
+    if isinstance(seed, np.random.SeedSequence):
+        base = np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=seed.spawn_key
+        )
+        return base.spawn(trials)
     return np.random.SeedSequence(seed).spawn(trials)
 
 
@@ -98,7 +112,7 @@ def run_ensemble(
     workload: Configuration | ScenarioSpec,
     trials: int,
     *,
-    seed: int,
+    seed: int | np.random.SeedSequence,
     backend: str | Backend | None = None,
     executor: str | None = None,
     jobs: int | None = None,
@@ -116,8 +130,9 @@ def run_ensemble(
     trials:
         Number of replicates.
     seed:
-        Ensemble seed; replicate ``i`` uses ``replicate_seeds(seed,
-        trials)[i]``.
+        Ensemble seed — an integer or a spawned ``SeedSequence`` (the
+        sweep scheduler passes cell children through directly);
+        replicate ``i`` uses ``replicate_seeds(seed, trials)[i]``.
     backend:
         Backend name or instance; defaults to the session default
         (``"jump"`` unless overridden, see :mod:`repro.engine.options`).

@@ -26,6 +26,7 @@ __all__ = [
     "get_default_backend",
     "get_default_cache",
     "get_default_cache_dir",
+    "get_default_cache_max_bytes",
     "get_default_executor",
     "get_default_jobs",
     "set_engine_defaults",
@@ -41,6 +42,7 @@ _BACKEND_OVERRIDE: str | None = None
 _JOBS_OVERRIDE: int | None = None
 _CACHE_OVERRIDE: bool | None = None
 _CACHE_DIR_OVERRIDE: str | None = None
+_CACHE_MAX_BYTES_OVERRIDE: int | None = None
 
 
 def set_engine_defaults(
@@ -49,6 +51,7 @@ def set_engine_defaults(
     jobs: int | None = None,
     cache: bool | None = None,
     cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
 ) -> None:
     """Install process-wide engine defaults (pass ``None`` to leave as-is).
 
@@ -56,9 +59,11 @@ def set_engine_defaults(
     multiprocessing executor the default with that many workers.
     ``cache=True``/``False`` turns the on-disk ensemble cache on or off
     for every ensemble of the session (the CLI's ``--cache``/
-    ``--no-cache`` flags land here); ``cache_dir`` relocates it.
+    ``--no-cache`` flags land here); ``cache_dir`` relocates it and
+    ``cache_max_bytes`` caps its size (LRU eviction; ``0`` = unlimited).
     """
     global _BACKEND_OVERRIDE, _JOBS_OVERRIDE, _CACHE_OVERRIDE, _CACHE_DIR_OVERRIDE
+    global _CACHE_MAX_BYTES_OVERRIDE
     if backend is not None:
         _BACKEND_OVERRIDE = backend
     if jobs is not None:
@@ -69,6 +74,12 @@ def set_engine_defaults(
         _CACHE_OVERRIDE = bool(cache)
     if cache_dir is not None:
         _CACHE_DIR_OVERRIDE = str(cache_dir)
+    if cache_max_bytes is not None:
+        if cache_max_bytes < 0:
+            raise ValueError(
+                f"cache_max_bytes must be non-negative, got {cache_max_bytes}"
+            )
+        _CACHE_MAX_BYTES_OVERRIDE = int(cache_max_bytes)
 
 
 def get_default_backend() -> str:
@@ -113,6 +124,27 @@ def get_default_cache_dir() -> str:
     return os.environ.get("REPRO_ENGINE_CACHE_DIR", DEFAULT_CACHE_DIR)
 
 
+def get_default_cache_max_bytes() -> int | None:
+    """Ensemble-cache size cap in bytes (``None`` = unlimited).
+
+    Resolution order: :func:`set_engine_defaults`, then the
+    ``REPRO_ENGINE_CACHE_MAX_BYTES`` environment variable; zero or a
+    negative value means no cap.
+    """
+    if _CACHE_MAX_BYTES_OVERRIDE is not None:
+        return _CACHE_MAX_BYTES_OVERRIDE or None
+    raw = os.environ.get("REPRO_ENGINE_CACHE_MAX_BYTES")
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_ENGINE_CACHE_MAX_BYTES must be an integer, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
+
+
 def engine_defaults() -> dict:
     """Snapshot of the resolved defaults (for reports and diagnostics)."""
     return {
@@ -121,4 +153,5 @@ def engine_defaults() -> dict:
         "jobs": get_default_jobs(),
         "cache": get_default_cache(),
         "cache_dir": get_default_cache_dir(),
+        "cache_max_bytes": get_default_cache_max_bytes(),
     }

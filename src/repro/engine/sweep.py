@@ -1,0 +1,475 @@
+"""Sweeps as first-class engine workloads: cross-cell scheduling + caching.
+
+A parameter sweep used to be a Python loop over grid cells, each cell an
+independent :func:`~repro.engine.run_ensemble` call.  That shape has two
+costs at scale: on the multiprocessing executor every cell is its own
+barrier (a 50-cell sweep waits for the slowest replicate of every cell
+50 times), and nothing above the single ensemble is cacheable, so a
+re-run recomputes the whole grid the moment one parameter changes.
+
+This module makes the sweep itself the schedulable unit:
+
+* a :class:`SweepCell` freezes one grid cell — a
+  :class:`~repro.engine.scenarios.ScenarioSpec` plus that cell's trial
+  count and budget — and a :class:`SweepSpec` freezes the whole grid
+  into a content-addressable value (``key()``, like ``ScenarioSpec``);
+* :func:`run_sweep` flattens every cell's replicates into a **single
+  work queue** scheduled across the serial and multiprocessing
+  executors.  There is no per-cell barrier: chunks from different cells
+  run concurrently, so one slow cell cannot idle the pool.  Replicate
+  ``i`` of cell ``c`` still receives exactly the seed it would get from
+  the cell-by-cell path, so results are bit-identical to the legacy
+  loop at fixed seeds and invariant across executors and worker counts;
+* caching happens at **sweep granularity** on top of
+  :mod:`repro.engine.cache`: each cell is stored as its own ensemble
+  entry and the sweep writes a sweep-level index over those entries.  A
+  repeated sweep is served entirely from disk, and an interrupted or
+  edited sweep resumes — only missing or changed cells are recomputed.
+
+Seed derivation
+---------------
+Cell seeds are the children of ``SeedSequence(seed)``, one per cell, in
+grid order.  The historical sweep harness collapsed each child into a
+single 32-bit integer (``generate_state(1)[0]``) before spawning
+replicate seeds from it — an entropy loss that makes distinct cells
+collision-prone.  ``run_sweep`` therefore passes the spawned
+``SeedSequence`` children through to the replicate level by default
+(``seed_derivation="spawn"``); the legacy collapse stays available as
+``seed_derivation="legacy"`` (via :func:`legacy_cell_seed`) so
+fixed-seed tests can pin the historical streams where bit-identity with
+pre-sweep results is asserted.  Explicit ``cell_seeds`` override both.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .backends import Backend
+from .cache import SWEEP_INDEX_FORMAT, EnsembleCache, seed_token
+from .executors import (
+    DEFAULT_BATCH_SIZE,
+    EXECUTORS,
+    _chunked,
+    _resolve_cache,
+    _worker,
+    replicate_seeds,
+)
+from .options import get_default_executor, get_default_jobs
+from .scenarios import ScenarioSpec, _freeze, _jsonable, coerce_spec, get_scenario
+
+__all__ = [
+    "SweepCell",
+    "SweepSpec",
+    "SweepCellRun",
+    "SweepRun",
+    "run_sweep",
+    "legacy_cell_seed",
+    "SEED_DERIVATIONS",
+]
+
+#: Accepted values for ``run_sweep``'s ``seed_derivation`` parameter.
+SEED_DERIVATIONS = ("spawn", "legacy")
+
+
+def legacy_cell_seed(child: np.random.SeedSequence) -> int:
+    """Compat shim: the historical per-cell seed derivation.
+
+    The pre-sweep harness collapsed each cell's spawned ``SeedSequence``
+    child into one 32-bit integer before re-expanding it into replicate
+    seeds.  Fixed-seed tests that assert bit-identity with results
+    produced by that path pin it via ``seed_derivation="legacy"``, which
+    routes through this function; new code should let the children flow
+    through unharmed (``"spawn"``, the default).
+    """
+    return int(child.generate_state(1)[0])
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One frozen grid cell: workload spec + trial count + budget.
+
+    ``label`` carries the grid point's parameter assignment (for series
+    extraction and display); it is part of the cell's identity, so two
+    sweeps over the same specs with different labels index differently
+    while still sharing the underlying per-cell ensemble cache entries
+    (those key on the spec, not the label).
+    """
+
+    spec: ScenarioSpec
+    trials: int
+    max_interactions: int | None = None
+    label: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, ScenarioSpec):
+            raise TypeError(
+                f"cell spec must be a ScenarioSpec, got {type(self.spec).__name__}"
+            )
+        if self.trials < 1:
+            raise ValueError(f"trials must be positive, got {self.trials}")
+        object.__setattr__(self, "trials", int(self.trials))
+        if self.max_interactions is not None:
+            object.__setattr__(self, "max_interactions", int(self.max_interactions))
+        object.__setattr__(self, "label", _freeze(dict(self.label)))
+
+    def label_dict(self) -> dict:
+        """The grid point's parameters as a plain dictionary."""
+        return dict(self.label)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A frozen, content-addressable grid of sweep cells.
+
+    Like :class:`ScenarioSpec`, a ``SweepSpec`` is immutable, hashable
+    and picklable, and ``key()`` content-hashes every field of every
+    cell — the sweep-level cache index is keyed on it, so editing any
+    cell (spec, trials, budget or label) re-indexes the sweep while
+    untouched cells keep hitting their existing ensemble entries.
+    """
+
+    cells: tuple[SweepCell, ...]
+
+    def __post_init__(self) -> None:
+        cells = tuple(self.cells)
+        if not cells:
+            raise ValueError("sweep grid must be non-empty")
+        for cell in cells:
+            if not isinstance(cell, SweepCell):
+                raise TypeError(
+                    f"cells must be SweepCell instances, got {type(cell).__name__}"
+                )
+        object.__setattr__(self, "cells", cells)
+
+    @classmethod
+    def from_grid(
+        cls,
+        grid: Sequence[dict] | Iterable[dict],
+        build_config: Callable[..., Any],
+        *,
+        trials: int | Callable[[dict], int],
+        max_interactions: Callable[[dict], int] | int | None = None,
+    ) -> "SweepSpec":
+        """Build a spec from a parameter grid and a workload builder.
+
+        ``build_config`` receives each grid point's parameters and
+        returns either a plain :class:`~repro.core.config.Configuration`
+        (the ``"usd"`` scenario) or a :class:`ScenarioSpec`.  ``trials``
+        and ``max_interactions`` may be constants or callables mapping
+        the grid point to a per-cell value.
+        """
+        if not callable(trials) and trials < 1:
+            raise ValueError(f"trials must be positive, got {trials}")
+        grid = list(grid)
+        if not grid:
+            raise ValueError("sweep grid must be non-empty")
+        cells = []
+        for params in grid:
+            spec = coerce_spec(build_config(**params))
+            budget = max_interactions(params) if callable(max_interactions) else max_interactions
+            cell_trials = trials(params) if callable(trials) else trials
+            cells.append(
+                SweepCell(
+                    spec=spec,
+                    trials=cell_trials,
+                    max_interactions=budget,
+                    label=tuple(params.items()),
+                )
+            )
+        return cls(cells=tuple(cells))
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    @property
+    def total_trials(self) -> int:
+        """Total replicates across all cells."""
+        return sum(cell.trials for cell in self.cells)
+
+    def key(self) -> str:
+        """Stable content hash over every field of every cell.
+
+        Two sweep specs have equal keys exactly when they describe the
+        same ordered grid of workloads, trial counts, budgets and
+        labels; the sweep-level cache index combines this with the cell
+        seeds and the resolved variants.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "format": SWEEP_INDEX_FORMAT,
+            "cells": [
+                {
+                    "spec": cell.spec.key(),
+                    "trials": cell.trials,
+                    "max_interactions": cell.max_interactions,
+                    "label": _jsonable(cell.label),
+                }
+                for cell in self.cells
+            ],
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:
+        return f"SweepSpec({len(self.cells)} cells, {self.total_trials} trials)"
+
+
+@dataclass
+class SweepCellRun:
+    """One executed cell: its definition, seed, results and cache status."""
+
+    cell: SweepCell
+    index: int
+    seed: int | np.random.SeedSequence
+    variant: str
+    results: list
+    cached: bool
+
+    @property
+    def params(self) -> dict:
+        """The cell's grid-point parameters (label)."""
+        return self.cell.label_dict()
+
+    def __repr__(self) -> str:
+        origin = "cache" if self.cached else "simulated"
+        return (
+            f"SweepCellRun(#{self.index}, {self.cell.spec.scenario!r}, "
+            f"trials={self.cell.trials}, {origin})"
+        )
+
+
+@dataclass
+class SweepRun:
+    """Ordered outcome of :func:`run_sweep` over one :class:`SweepSpec`."""
+
+    spec: SweepSpec
+    cells: list[SweepCellRun]
+    sweep_key: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    @property
+    def cached_cells(self) -> int:
+        """Cells served from the ensemble cache without simulating."""
+        return sum(1 for cell in self.cells if cell.cached)
+
+    @property
+    def simulated_cells(self) -> int:
+        """Cells whose replicates actually ran this invocation."""
+        return len(self.cells) - self.cached_cells
+
+    @property
+    def simulated_trials(self) -> int:
+        """Replicates simulated this invocation (0 on a full cache hit)."""
+        return sum(c.cell.trials for c in self.cells if not c.cached)
+
+
+def _derive_cell_seeds(
+    num_cells: int,
+    seed: int | None,
+    cell_seeds,
+    seed_derivation: str,
+) -> list:
+    if cell_seeds is not None:
+        seeds = list(cell_seeds)
+        if len(seeds) != num_cells:
+            raise ValueError(
+                f"cell_seeds must have one entry per cell: "
+                f"got {len(seeds)} for {num_cells} cells"
+            )
+        return seeds
+    if seed is None:
+        raise ValueError("run_sweep needs seed= (or explicit cell_seeds=)")
+    if seed_derivation not in SEED_DERIVATIONS:
+        raise ValueError(
+            f"seed_derivation must be one of {SEED_DERIVATIONS}, "
+            f"got {seed_derivation!r}"
+        )
+    children = np.random.SeedSequence(seed).spawn(num_cells)
+    if seed_derivation == "legacy":
+        return [legacy_cell_seed(child) for child in children]
+    return children
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    seed: int | None = None,
+    cell_seeds: Sequence[int | np.random.SeedSequence] | None = None,
+    seed_derivation: str = "spawn",
+    backend: str | Backend | None = None,
+    executor: str | None = None,
+    jobs: int | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    cache: bool | EnsembleCache | None = None,
+) -> SweepRun:
+    """Run every cell of a sweep through one flattened work queue.
+
+    Parameters
+    ----------
+    spec:
+        The frozen grid (:meth:`SweepSpec.from_grid` or explicit cells).
+    seed:
+        Sweep seed; cell ``c`` derives its seed from the ``c``-th child
+        of ``SeedSequence(seed)`` according to ``seed_derivation``.
+    cell_seeds:
+        Explicit per-cell seeds (ints or ``SeedSequence``), overriding
+        ``seed``/``seed_derivation`` — the hook experiments use to keep
+        historical per-cell streams while adopting sweep scheduling.
+    seed_derivation:
+        ``"spawn"`` (default) passes each cell's spawned ``SeedSequence``
+        child through to the replicate level; ``"legacy"`` collapses it
+        to one 32-bit integer first (the historical, collision-prone
+        derivation — kept for bit-identity with pre-sweep results).
+    backend, executor, jobs, batch_size, cache:
+        As for :func:`~repro.engine.run_ensemble`.  The executor runs
+        the *whole sweep* as one pool of replicate chunks — no per-cell
+        barrier — and ``cache`` stores each cell as its own ensemble
+        entry under a sweep-level index, so identical sweeps replay from
+        disk and edited sweeps recompute only missing/changed cells.
+
+    Returns
+    -------
+    SweepRun
+        Per-cell results in grid order, each bit-identical to what a
+        standalone ``run_ensemble(cell.spec, cell.trials, seed=...)``
+        with the same cell seed would produce.
+    """
+    if not isinstance(spec, SweepSpec):
+        raise TypeError(f"expected a SweepSpec, got {type(spec).__name__}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if executor is None:
+        executor = get_default_executor()
+    if executor == "multiprocessing":
+        executor = "process"
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+
+    cells = spec.cells
+    seeds = _derive_cell_seeds(len(cells), seed, cell_seeds, seed_derivation)
+    store = _resolve_cache(cache)
+
+    scenarios = []
+    variants = []
+    keys: list[str | None] = []
+    results_by_cell: dict[int, list] = {}
+    for index, (cell, cell_seed) in enumerate(zip(cells, seeds)):
+        scenario = get_scenario(cell.spec.scenario)
+        scenario.validate(cell.spec)
+        variant = scenario.variant(backend)
+        scenarios.append(scenario)
+        variants.append(variant)
+        if store is None:
+            keys.append(None)
+            continue
+        key = store.key_for(
+            cell.spec,
+            trials=cell.trials,
+            seed=cell_seed,
+            variant=variant,
+            max_interactions=cell.max_interactions,
+        )
+        keys.append(key)
+        cached = store.load(key)
+        if cached is not None:
+            results_by_cell[index] = cached
+
+    pending = [i for i in range(len(cells)) if i not in results_by_cell]
+    if pending:
+        if executor != "serial":
+            if jobs is None:
+                default_jobs = get_default_jobs()
+                jobs = default_jobs if default_jobs > 1 else (os.cpu_count() or 1)
+            if jobs < 1:
+                raise ValueError(f"jobs must be positive, got {jobs}")
+            for i in pending:
+                scenarios[i].check_process_safe(variants[i], backend)
+
+        payloads = []
+        owners = []
+        for i in pending:
+            cell = cells[i]
+            if executor == "serial":
+                chunk_cap = batch_size
+            else:
+                # Same per-cell granularity as a standalone run_ensemble
+                # (several chunks per worker, batching preserved within a
+                # chunk) — but every cell's chunks land in ONE shared
+                # queue, so there is no per-cell barrier: workers drain
+                # chunks from any cell still pending, and one slow cell
+                # can no longer idle the pool between cells.
+                chunk_cap = max(1, min(batch_size, -(-cell.trials // (jobs * 4))))
+            for chunk in _chunked(replicate_seeds(seeds[i], cell.trials), chunk_cap):
+                payloads.append(
+                    (cell.spec.scenario, cell.spec, variants[i], chunk,
+                     cell.max_interactions)
+                )
+                owners.append(i)
+
+        if executor == "serial":
+            runners = {
+                i: scenarios[i].prepare_runner(variants[i], backend) for i in pending
+            }
+            outputs = []
+            for (_, cell_spec, _, chunk, budget), i in zip(payloads, owners):
+                rngs = [np.random.default_rng(s) for s in chunk]
+                outputs.append(
+                    scenarios[i].run_chunk(cell_spec, runners[i], rngs, budget)
+                )
+        else:
+            # chunksize=1 keeps distribution dynamic: a worker that
+            # finishes a fast cell's chunk immediately steals the next
+            # chunk from any cell still pending.
+            with multiprocessing.Pool(processes=jobs) as pool:
+                outputs = pool.map(_worker, payloads, chunksize=1)
+
+        for i in pending:
+            results_by_cell[i] = []
+        for output, i in zip(outputs, owners):
+            results_by_cell[i].extend(output)
+        if store is not None:
+            for i in pending:
+                store.store(keys[i], results_by_cell[i])
+
+    sweep_key = None
+    if store is not None:
+        sweep_key = store.sweep_index_key(spec.key(), seeds, variants)
+        store.store_sweep_index(
+            sweep_key,
+            {
+                "format": SWEEP_INDEX_FORMAT,
+                "sweep": spec.key(),
+                "seeds": [seed_token(s) for s in seeds],
+                "variants": list(variants),
+                "cells": keys,
+            },
+        )
+
+    simulated = set(pending)
+    runs = [
+        SweepCellRun(
+            cell=cells[i],
+            index=i,
+            seed=seeds[i],
+            variant=variants[i],
+            results=results_by_cell[i],
+            cached=i not in simulated,
+        )
+        for i in range(len(cells))
+    ]
+    return SweepRun(spec=spec, cells=runs, sweep_key=sweep_key)

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..analysis import ExperimentResult, Table, becchetti_gossip_rounds
 from ..analysis.theory import appendix_d_crossover_x1
-from ..engine import gossip_spec, run_ensemble
+from ..engine import SweepCell, SweepSpec, gossip_spec, run_sweep, usd_spec
 from ..workloads import multiplicative_bias_configuration
 from .common import Scale, spawn_seed, validate_scale
 
@@ -59,18 +59,28 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
         ],
     )
 
+    # Both models over the whole k-grid form ONE sweep workload: 2·|ks|
+    # cells (population + gossip per k) whose replicates share a single
+    # flattened work pool — no per-ensemble barrier — with the
+    # historical per-ensemble seeds pinned via cell_seeds, so results
+    # match the former per-cell run_ensemble loop bit-for-bit.
+    configs = [multiplicative_bias_configuration(n, k, alpha) for k in ks]
+    cells = []
+    cell_seeds = []
+    for idx, (k, config) in enumerate(zip(ks, configs)):
+        cells.append(SweepCell(spec=usd_spec(config), trials=trials,
+                               label=(("model", "population"), ("k", k))))
+        cell_seeds.append(spawn_seed(seed, idx))
+        cells.append(SweepCell(spec=gossip_spec(config), trials=trials,
+                               label=(("model", "gossip"), ("k", k))))
+        cell_seeds.append(spawn_seed(seed, 1000 + idx))
+    outcome = run_sweep(SweepSpec(cells=tuple(cells)), cell_seeds=cell_seeds)
+
     ratios = []
     all_plurality = True
-    for idx, k in enumerate(ks):
-        config = multiplicative_bias_configuration(n, k, alpha)
-        # Both models run as engine workloads: the population ensemble on
-        # the session-selected backend, the gossip rounds through the
-        # registered "gossip" scenario — same executors, same
-        # per-replicate seed derivation.
-        pop_results = run_ensemble(config, trials, seed=spawn_seed(seed, idx))
-        gossip_results = run_ensemble(
-            gossip_spec(config), trials, seed=spawn_seed(seed, 1000 + idx)
-        )
+    for idx, (k, config) in enumerate(zip(ks, configs)):
+        pop_results = outcome.cells[2 * idx].results
+        gossip_results = outcome.cells[2 * idx + 1].results
         pop_times = []
         gossip_rounds = []
         for res in pop_results:

@@ -13,7 +13,7 @@ flip at ``c = 0``, near-certainty at large ``c``, and monotone growth.
 
 from __future__ import annotations
 
-from ..analysis import ExperimentResult, Table, run_trials, wilson_interval
+from ..analysis import ExperimentResult, Table, sweep, wilson_interval
 from ..workloads import additive_bias_configuration, theorem_beta
 from .common import Scale, spawn_seed, validate_scale
 
@@ -65,14 +65,21 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
         f"Plurality win probability, n={n}, k={k}, {trials} trials per point",
         ["c (beta = c*sqrt(n log n))", "beta", "win rate", "wilson 95% CI"],
     )
+    # The whole S-curve is one sweep workload: every coefficient's
+    # ensemble shares a single flattened replicate pool (SweepSpec +
+    # run_sweep), with the historical per-point seeds pinned.
+    betas = [theorem_beta(n, coeff) if coeff > 0 else 0 for coeff in coefficients]
+    swept = sweep(
+        [{"n": n, "k": k, "beta": beta} for beta in betas],
+        additive_bias_configuration,
+        trials=trials,
+        cell_seeds=[spawn_seed(seed, idx) for idx in range(len(coefficients))],
+    )
     rates = []
-    for idx, coeff in enumerate(coefficients):
-        beta = theorem_beta(n, coeff) if coeff > 0 else 0
-        config = additive_bias_configuration(n, k, beta)
-        ensemble = run_trials(config, trials, seed=spawn_seed(seed, idx))
-        rate = ensemble.plurality_success_rate
+    for coeff, beta, point in zip(coefficients, betas, swept):
+        rate = point.ensemble.plurality_success_rate
         rates.append(rate)
-        low, high = wilson_interval(ensemble.plurality_wins(), trials)
+        low, high = wilson_interval(point.ensemble.plurality_wins(), trials)
         table.add_row([coeff, beta, f"{rate:.3f}", f"[{low:.2f}, {high:.2f}]"])
     result.tables.append(table.render())
 

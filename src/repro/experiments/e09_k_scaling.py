@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 
-from ..analysis import ExperimentResult, Table, fit_power_law, run_trials
+from ..analysis import ExperimentResult, Table, fit_power_law, sweep
 from ..analysis.theory import max_k_for_theorem2
 from ..workloads import uniform_configuration
 from .common import Scale, spawn_seed, validate_scale
@@ -44,12 +44,20 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
         f"No-bias workload, n={n}, {trials} trials per k",
         ["k", "mean interactions", "T/(n log n)", "T/(k n log n)"],
     )
+    # The k-grid routes through the sweep subsystem: one flattened
+    # replicate pool across all k cells, historical per-cell seeds
+    # pinned via cell_seeds.
+    swept = sweep(
+        [{"n": n, "k": k} for k in ks],
+        uniform_configuration,
+        trials=trials,
+        cell_seeds=[spawn_seed(seed, idx) for idx in range(len(ks))],
+    )
     normalized = []
     bound_ratios = []
-    for idx, k in enumerate(ks):
-        config = uniform_configuration(n, k)
-        ensemble = run_trials(config, trials, seed=spawn_seed(seed, idx))
-        mean = ensemble.interaction_stats().mean
+    for point in swept:
+        k = point.params["k"]
+        mean = point.ensemble.interaction_stats().mean
         norm = mean / (n * math.log(n))
         normalized.append(norm)
         bound_ratios.append(norm / k)

@@ -20,7 +20,7 @@ import networkx as nx
 import numpy as np
 
 from ..analysis import ExperimentResult, Table
-from ..engine import graph_spec, run_ensemble
+from ..engine import SweepCell, SweepSpec, graph_spec, run_sweep, usd_spec
 from ..workloads import additive_bias_configuration
 from .common import Scale, spawn_seed, validate_scale
 
@@ -55,10 +55,26 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
         "cycle": nx.cycle_graph(n),
     }
 
-    # The standard-model baseline and every topology run as engine
-    # workloads through run_ensemble: same per-replicate seeding, and
-    # the whole experiment parallelizes/caches with --jobs/--cache.
-    standard_runs = run_ensemble(config, trials, seed=spawn_seed(seed, 0))
+    # The standard-model baseline and every topology form ONE sweep
+    # workload (SweepSpec + run_sweep): the slow cycle cell cannot idle
+    # workers that could be running the other topologies' replicates,
+    # and the historical per-cell seeds are pinned via cell_seeds.
+    cells = [SweepCell(spec=usd_spec(config), trials=trials,
+                       label=(("topology", "standard"),))]
+    cell_seeds = [spawn_seed(seed, 0)]
+    for topology_index, (name, graph) in enumerate(graphs.items()):
+        cells.append(
+            SweepCell(
+                spec=graph_spec(graph, config=config),
+                trials=trials,
+                max_interactions=20_000_000 if name == "cycle" else None,
+                label=(("topology", name),),
+            )
+        )
+        cell_seeds.append(spawn_seed(seed, 1 + topology_index))
+    outcome = run_sweep(SweepSpec(cells=tuple(cells)), cell_seeds=cell_seeds)
+
+    standard_runs = outcome.cells[0].results
     standard_mean = float(np.mean([r.interactions for r in standard_runs]))
 
     table = Table(
@@ -70,14 +86,8 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
 
     means = {}
     converged_all = {}
-    for topology_index, (name, graph) in enumerate(graphs.items()):
-        spec = graph_spec(graph, config=config)
-        runs = run_ensemble(
-            spec,
-            trials,
-            seed=spawn_seed(seed, 1 + topology_index),
-            max_interactions=20_000_000 if name == "cycle" else None,
-        )
+    for topology_index, name in enumerate(graphs):
+        runs = outcome.cells[1 + topology_index].results
         times = [r.interactions for r in runs if r.converged]
         converged = sum(1 for r in runs if r.converged)
         means[name] = float(np.mean(times)) if times else float("inf")

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..analysis import ExperimentResult, Table
 from ..core.config import Configuration
-from ..engine import noise_spec, run_ensemble, zealot_spec
+from ..engine import SweepCell, SweepSpec, noise_spec, run_sweep, zealot_spec
 from .common import Scale, spawn_seed, validate_scale
 
 __all__ = ["run"]
@@ -59,10 +59,35 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
     )
 
     # -- zealots ---------------------------------------------------------
-    # Each fault model runs as a registered engine scenario through
-    # run_ensemble: deterministic per-replicate seeding, and the whole
-    # experiment parallelizes/caches with --jobs/--cache.
+    # Both fault models' grids form ONE sweep workload (SweepSpec +
+    # run_sweep): every zealot camp's and noise rate's replicates share a
+    # single flattened work pool, with the historical per-cell seeds
+    # pinned via cell_seeds so the numbers match the former per-cell
+    # run_ensemble loops bit-for-bit.
     config = Configuration.from_supports([majority, minority], undecided=0)
+    cells = []
+    cell_seeds = []
+    for camp_index, camp in enumerate(params["camps"]):
+        cells.append(
+            SweepCell(
+                spec=zealot_spec(config, [0, camp]),
+                trials=trials,
+                max_interactions=budget,
+                label=(("fault", "zealots"), ("camp", camp)),
+            )
+        )
+        cell_seeds.append(spawn_seed(seed, camp_index))
+    for rho_index, rho in enumerate(_NOISE_RATES):
+        cells.append(
+            SweepCell(
+                spec=noise_spec(config, rho, params["noise_horizon"]),
+                trials=1,
+                label=(("fault", "noise"), ("rho", rho)),
+            )
+        )
+        cell_seeds.append(spawn_seed(seed, 1000 + rho_index))
+    outcome = run_sweep(SweepSpec(cells=tuple(cells)), cell_seeds=cell_seeds)
+
     zealot_table = Table(
         f"Zealots for opinion 2 vs a {majority}/{minority} flexible split "
         f"({trials} runs each, budget {budget})",
@@ -71,12 +96,7 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
     small_camp_held = True
     big_camp_won = True
     for camp_index, camp in enumerate(params["camps"]):
-        runs = run_ensemble(
-            zealot_spec(config, [0, camp]),
-            trials,
-            seed=spawn_seed(seed, camp_index),
-            max_interactions=budget,
-        )
+        runs = outcome.cells[camp_index].results
         takeovers = sum(1 for r in runs if r.converged and r.winner == 2)
         fractions = [
             r.final.supports[0] / (majority + minority) for r in runs
@@ -110,12 +130,9 @@ def run(scale: Scale = "quick", seed: int = 20230224) -> ExperimentResult:
         ["corruption prob", "tail mean plurality fraction"],
     )
     plateaus = []
+    camp_cells = len(params["camps"])
     for rho_index, rho in enumerate(_NOISE_RATES):
-        (run_result,) = run_ensemble(
-            noise_spec(config, rho, params["noise_horizon"]),
-            1,
-            seed=spawn_seed(seed, 1000 + rho_index),
-        )
+        (run_result,) = outcome.cells[camp_cells + rho_index].results
         plateaus.append(run_result.tail_mean_plurality_fraction)
         noise_table.add_row([rho, plateaus[-1]])
     result.tables.append(noise_table.render())

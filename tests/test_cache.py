@@ -234,3 +234,114 @@ class TestConsumerPlumbing:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert "cache:            hit" in second
+
+class TestEvictionAndStats:
+    def test_lru_eviction_enforces_size_cap(self, tmp_path):
+        store = EnsembleCache(tmp_path, max_bytes=1)
+        store.store("old", [1] * 100)
+        store.store("new", [2] * 100)
+        # The cap is far below one entry; the older entry is evicted and
+        # the just-written one survives (never evict what was stored).
+        assert not store.contains("old")
+        assert store.contains("new")
+        assert store.evictions >= 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        import os
+        import time
+
+        store = EnsembleCache(tmp_path, max_bytes=None)
+        store.store("a", [1] * 50)
+        store.store("b", [2] * 50)
+        # Backdate both, then touch "a" via a hit: "b" becomes stalest.
+        stale = time.time() - 1000
+        os.utime(tmp_path / "a.pkl", (stale, stale))
+        os.utime(tmp_path / "b.pkl", (stale, stale))
+        assert store.load("a") == [1] * 50
+        size = (tmp_path / "a.pkl").stat().st_size
+        store.max_bytes = 2 * size
+        store.store("c", [3] * 50)
+        assert store.contains("a") and store.contains("c")
+        assert not store.contains("b")
+
+    def test_unlimited_by_default(self, tmp_path):
+        store = EnsembleCache(tmp_path)
+        for index in range(5):
+            store.store(f"k{index}", [index] * 200)
+        assert store.stats()["entries"] == 5
+        assert store.evictions == 0
+
+    def test_max_bytes_from_environment(self, tmp_path, monkeypatch):
+        from repro.engine import options
+
+        monkeypatch.setattr(options, "_CACHE_MAX_BYTES_OVERRIDE", None)
+        monkeypatch.setenv("REPRO_ENGINE_CACHE_MAX_BYTES", "12345")
+        assert EnsembleCache(tmp_path).max_bytes == 12345
+        monkeypatch.setenv("REPRO_ENGINE_CACHE_MAX_BYTES", "0")
+        assert EnsembleCache(tmp_path).max_bytes is None
+        monkeypatch.setenv("REPRO_ENGINE_CACHE_MAX_BYTES", "junk")
+        with pytest.raises(ValueError):
+            EnsembleCache(tmp_path)
+
+    def test_stats_counts_entries_and_sweep_indexes(self, tmp_path):
+        store = EnsembleCache(tmp_path)
+        store.store("k1", [1, 2])
+        store.store_sweep_index("s1", {"cells": ["k1"]})
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["sweep_indexes"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["root"] == str(tmp_path)
+
+    def test_clear_removes_sweep_indexes_too(self, tmp_path):
+        store = EnsembleCache(tmp_path)
+        store.store("k1", [1, 2])
+        store.store_sweep_index("s1", {"cells": ["k1"]})
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+        assert store.load_sweep_index("s1") is None
+
+    def test_sweep_indexes_count_toward_cap_and_evict(self, tmp_path):
+        store = EnsembleCache(tmp_path, max_bytes=1)
+        store.store_sweep_index("s1", {"cells": ["k1"] * 100})
+        store.store_sweep_index("s2", {"cells": ["k2"] * 100})
+        # The cap is below a single index; stale indexes are evicted
+        # like any other entry instead of accumulating forever.
+        remaining = list(tmp_path.glob("*.sweep.json"))
+        assert len(remaining) <= 1
+
+    def test_corrupt_sweep_index_is_a_miss(self, tmp_path):
+        store = EnsembleCache(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        (tmp_path / "bad.sweep.json").write_text("{not json")
+        assert store.load_sweep_index("bad") is None
+
+
+class TestSeedTokens:
+    def test_int_seed_keys_unchanged_by_token_layer(self):
+        # Integer seeds hash exactly as before the SeedSequence support.
+        from repro.engine.cache import seed_token
+
+        assert seed_token(7) == 7
+
+    def test_seedsequence_token_ignores_spawn_counter(self):
+        import numpy as np
+
+        from repro.engine.cache import seed_token
+
+        child = np.random.SeedSequence(3).spawn(2)[1]
+        before = seed_token(child)
+        child.spawn(4)  # mutates n_children_spawned only
+        assert seed_token(child) == before
+
+    def test_seedsequence_and_int_keys_differ(self):
+        import numpy as np
+
+        spec = usd_spec(Configuration.from_supports([10, 5]))
+        child = np.random.SeedSequence(3).spawn(1)[0]
+        a = ensemble_key(spec, trials=2, seed=child, variant="jump",
+                         max_interactions=None)
+        b = ensemble_key(spec, trials=2,
+                         seed=int(child.generate_state(1)[0]),
+                         variant="jump", max_interactions=None)
+        assert a != b

@@ -86,3 +86,121 @@ class TestMain:
     def test_run_unknown_raises(self):
         with pytest.raises(ValueError):
             main(["run", "E99"])
+
+
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "--param", "n=100,200"])
+        assert args.param == ["n=100,200"]
+        assert args.seed_derivation == "spawn"
+
+    def test_rejects_bad_derivation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--param", "n=100", "--seed-derivation", "bogus"]
+            )
+
+    def test_param_grid_cross_product(self, capsys):
+        code = main(
+            ["sweep", "--param", "n=80,120", "--param", "k=2",
+             "--trials", "2", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cells, 4 replicates" in out
+        assert "n=80" in out and "n=120" in out
+        assert "0 from cache, 2 simulated" in out
+
+    def test_requires_a_grid(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--trials", "2"])
+
+    def test_rejects_malformed_param(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--param", "n:100"])
+
+    def test_rejects_duplicate_axis(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--param", "n=100", "--param", "n=200",
+                  "--param", "k=2"])
+
+    def test_rejects_empty_axis_values(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--param", "n=,,", "--param", "k=2"])
+
+    def test_second_invocation_all_cache_hits(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--param", "n=60,90", "--param", "k=2",
+            "--trials", "2", "--seed", "5",
+            "--cache", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 from cache, 2 simulated (4 replicates simulated)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 from cache, 0 simulated (0 replicates simulated)" in second
+        assert "[cache]" in second
+
+    def test_spec_file(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps({
+            "workload": "additive",
+            "params": {"n": [80], "k": [2], "beta": [20]},
+            "trials": 2,
+            "seed": 9,
+        }))
+        assert main(["sweep", "--spec-file", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 cells, 2 replicates" in out
+        assert "additive workload" in out
+        assert "beta=20" in out
+
+    def test_spec_file_explicit_grid(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps({
+            "grid": [{"n": 70, "k": 2}, {"n": 90, "k": 3}],
+            "trials": 2,
+        }))
+        assert main(["sweep", "--spec-file", str(spec_path)]) == 0
+        assert "2 cells" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps({"workload": "bogus",
+                                         "params": {"n": [50], "k": [2]}}))
+        with pytest.raises(SystemExit):
+            main(["sweep", "--spec-file", str(spec_path)])
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        # Populate via a cached sweep, then inspect and clear.
+        assert main([
+            "sweep", "--param", "n=60", "--param", "k=2",
+            "--trials", "2", "--seed", "1",
+            "--cache", "--cache-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ensemble entries: 1" in out
+        assert "sweep indexes:    1" in out
+        assert "unlimited" in out
+
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "ensemble entries: 0" in capsys.readouterr().out
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "prune"])
