@@ -15,11 +15,14 @@ The rendered report (the same rows recorded in EXPERIMENTS.md) is printed
 and archived under ``benchmarks/results/``.  :func:`run_engine_smoke`
 measures serial jump-chain vs batched ensemble throughput,
 :func:`run_scenario_smoke` times one ensemble per registered scenario,
-and :func:`run_sweep_smoke` times a multi-cell sweep flattened through
+:func:`run_kernel_ablation` compares the single-event vs multi-event
+lockstep kernels, the batched graph/gossip kernels vs their serial
+references, and the pickle vs shared-memory result transports, and
+:func:`run_sweep_smoke` times a multi-cell sweep flattened through
 ``run_sweep`` against the legacy per-cell ``run_ensemble`` barrier; all
-write JSON artifacts (``BENCH_engine.json`` / ``BENCH_scenarios.json`` /
-``BENCH_sweeps.json``, used by ``engine_smoke.py`` / ``sweep_smoke.py``
-and CI).
+write JSON artifacts (``BENCH_engine.json`` — engine smoke + ablation —
+/ ``BENCH_scenarios.json`` / ``BENCH_sweeps.json``, used by
+``engine_smoke.py`` / ``sweep_smoke.py`` and CI).
 """
 
 from __future__ import annotations
@@ -35,11 +38,15 @@ from repro.engine import (
     SweepSpec,
     engine_defaults,
     get_backend,
+    get_default_event_block,
     gossip_spec,
     graph_spec,
     noise_spec,
+    replicate_seeds,
     run_ensemble,
     run_sweep,
+    simulate_batch,
+    simulate_batch_single_event,
     usd_spec,
     zealot_spec,
 )
@@ -130,6 +137,222 @@ def run_engine_smoke(
         },
         "speedup": batched_throughput / serial_throughput,
     }
+    if output is not None:
+        Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _ring_edges(n: int) -> np.ndarray:
+    """Directed edge array of the bidirectional n-cycle (numpy-only)."""
+    pairs = set()
+    for i in range(n):
+        for d in (-1, 1):
+            pairs.add((i, (i + d) % n))
+            pairs.add(((i + d) % n, i))
+    return np.array(sorted(pairs), dtype=np.int64)
+
+
+def _results_key(results) -> list:
+    return [
+        (
+            tuple(r.final.counts.tolist()),
+            getattr(r, "interactions", getattr(r, "rounds", None)),
+            getattr(r, "winner", None),
+        )
+        for r in results
+    ]
+
+
+def run_kernel_ablation(
+    *,
+    n: int = 10_000,
+    k: int = 5,
+    trials: int = 1000,
+    event_blocks: tuple = (1,),
+    graph_n: int = 256,
+    graph_replicates: int = 256,
+    graph_serial_replicates: int = 2,
+    graph_budget: int = 100_000,
+    gossip_n: int = 96,
+    gossip_replicates: int = 512,
+    transport_n: int = 500,
+    transport_trials: int = 2000,
+    jobs: int = 2,
+    seed: int = 20230224,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Kernel ablation: every batched-execution axis against its baseline.
+
+    * **lockstep** — the pre-overhaul single-event kernel
+      (:func:`simulate_batch_single_event`, one event per numpy pass)
+      vs the multi-event kernel at several ``event_block`` sizes on the
+      acceptance workload; the headline ``speedup`` is multi-event at
+      the profiled default block against the single-event baseline.
+    * **graph** — the serial per-interaction Python kernel (throughput
+      extrapolated from a small sample, its per-replicate cost is
+      constant) vs the per-edge-array lockstep batch, asserted
+      bit-identical.
+    * **gossip** — per-replicate serial rounds vs the stacked-replicate
+      round engine, asserted bit-identical.
+    * **transport** — the process executor at ``jobs`` workers with
+      pickled results vs shared-memory result records, asserted equal.
+
+    Returns the measurement dictionary (the ``"ablation"`` section of
+    ``BENCH_engine.json``); writes it standalone when ``output`` is
+    given.
+    """
+    from repro.gossip.engine import run_gossip, run_gossip_batch
+    from repro.gossip.usd import usd_gossip_round, usd_gossip_round_batch
+    from repro.graphs.dynamics import run_on_edges, run_on_edges_batch
+
+    record: dict = {}
+
+    # ---- single-event vs multi-event lockstep -----------------------
+    config = uniform_configuration(n, k)
+    seeds = replicate_seeds(seed, trials)
+    start = time.perf_counter()
+    simulate_batch_single_event(
+        config, rngs=[np.random.default_rng(s) for s in seeds]
+    )
+    single_seconds = time.perf_counter() - start
+    default_block = get_default_event_block()
+    blocks = sorted(set(event_blocks) | {default_block})
+    block_rows = {}
+    for block in blocks:
+        start = time.perf_counter()
+        simulate_batch(
+            config,
+            rngs=[np.random.default_rng(s) for s in seeds],
+            event_block=block,
+        )
+        block_rows[str(block)] = time.perf_counter() - start
+    multi_seconds = block_rows[str(default_block)]
+    record["lockstep"] = {
+        "workload": {"n": n, "k": k, "replicates": trials, "seed": seed},
+        "single_event": {
+            "kernel": "simulate_batch_single_event",
+            "seconds": single_seconds,
+            "replicates_per_second": trials / single_seconds,
+        },
+        "multi_event": {
+            "event_block": default_block,
+            "seconds": multi_seconds,
+            "replicates_per_second": trials / multi_seconds,
+        },
+        "event_block_seconds": block_rows,
+        "speedup": single_seconds / multi_seconds,
+    }
+
+    # ---- batched graph kernel vs serial reference -------------------
+    edges = _ring_edges(graph_n)
+    graph_config = uniform_configuration(graph_n, 2)
+    states = graph_config.to_states(np.random.default_rng(seed))
+    start = time.perf_counter()
+    serial_graph = [
+        run_on_edges(
+            edges, states, rng=np.random.default_rng(seed + i), k=2,
+            max_interactions=graph_budget,
+        )
+        for i in range(graph_serial_replicates)
+    ]
+    graph_serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batched_graph = run_on_edges_batch(
+        edges,
+        states,
+        rngs=[np.random.default_rng(seed + i) for i in range(graph_replicates)],
+        k=2,
+        max_interactions=graph_budget,
+    )
+    graph_batch_seconds = time.perf_counter() - start
+    assert _results_key(serial_graph) == _results_key(
+        batched_graph[:graph_serial_replicates]
+    ), "batched graph kernel diverged from the serial reference"
+    graph_serial_rps = graph_serial_replicates / graph_serial_seconds
+    graph_batch_rps = graph_replicates / graph_batch_seconds
+    record["graph"] = {
+        "workload": {
+            "n": graph_n,
+            "k": 2,
+            "edges": int(edges.shape[0]),
+            "replicates": graph_replicates,
+            "serial_replicates": graph_serial_replicates,
+            "max_interactions": graph_budget,
+        },
+        "serial": {
+            "seconds": graph_serial_seconds,
+            "replicates_per_second": graph_serial_rps,
+        },
+        "batched": {
+            "seconds": graph_batch_seconds,
+            "replicates_per_second": graph_batch_rps,
+        },
+        "speedup": graph_batch_rps / graph_serial_rps,
+        "bit_identical": True,
+    }
+
+    # ---- batched gossip rounds vs serial reference ------------------
+    gossip_config = uniform_configuration(gossip_n, 3)
+    start = time.perf_counter()
+    serial_gossip = [
+        run_gossip(
+            gossip_config, usd_gossip_round, rng=np.random.default_rng(seed + i)
+        )
+        for i in range(gossip_replicates)
+    ]
+    gossip_serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batched_gossip = run_gossip_batch(
+        gossip_config,
+        usd_gossip_round_batch,
+        rngs=[np.random.default_rng(seed + i) for i in range(gossip_replicates)],
+    )
+    gossip_batch_seconds = time.perf_counter() - start
+    assert _results_key(serial_gossip) == _results_key(
+        batched_gossip
+    ), "batched gossip engine diverged from the serial reference"
+    record["gossip"] = {
+        "workload": {"n": gossip_n, "k": 3, "replicates": gossip_replicates},
+        "serial": {
+            "seconds": gossip_serial_seconds,
+            "replicates_per_second": gossip_replicates / gossip_serial_seconds,
+        },
+        "batched": {
+            "seconds": gossip_batch_seconds,
+            "replicates_per_second": gossip_replicates / gossip_batch_seconds,
+        },
+        "speedup": gossip_serial_seconds / gossip_batch_seconds,
+        "bit_identical": True,
+    }
+
+    # ---- pickle vs shared-memory result transport -------------------
+    transport_config = uniform_configuration(transport_n, 3)
+    start = time.perf_counter()
+    via_pickle = run_ensemble(
+        transport_config, transport_trials, seed=seed, backend="batched",
+        executor="process", jobs=jobs, result_transport="pickle",
+    )
+    pickle_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    via_shared = run_ensemble(
+        transport_config, transport_trials, seed=seed, backend="batched",
+        executor="process", jobs=jobs, result_transport="shared",
+    )
+    shared_seconds = time.perf_counter() - start
+    assert via_pickle == via_shared, "transports returned different results"
+    record["transport"] = {
+        "workload": {
+            "n": transport_n,
+            "k": 3,
+            "replicates": transport_trials,
+            "jobs": jobs,
+        },
+        "pickle": {"seconds": pickle_seconds},
+        "shared": {"seconds": shared_seconds},
+        "ratio": shared_seconds / pickle_seconds,
+        "identical": True,
+    }
+
     if output is not None:
         Path(output).write_text(json.dumps(record, indent=2) + "\n")
     return record

@@ -1,24 +1,31 @@
-"""Engine throughput smoke: serial jump chain vs batched backend.
+"""Engine throughput smoke: serial jump vs batched, plus kernel ablation.
 
 Writes a ``BENCH_engine.json`` artifact comparing ensemble throughput
 (replicates per second) of the serial ``"jump"`` backend against the
 vectorized ``"batched"`` backend on the acceptance workload (n=10^4,
-k=5, 1000 replicates by default), plus a ``BENCH_scenarios.json``
-artifact timing one ensemble per registered scenario (usd, graph,
-zealots, noise, gossip) through ``run_ensemble``.  The serial side runs
-a small sample — its per-replicate cost is constant — and throughput is
-compared directly.
+k=5, 1000 replicates by default), an ``"ablation"`` section covering
+the kernel axes introduced with the multi-event overhaul — single-event
+vs multi-event lockstep blocks, batched graph/gossip kernels vs their
+serial references, pickle vs shared-memory result transport — plus a
+``BENCH_scenarios.json`` artifact timing one ensemble per registered
+scenario (usd, graph, zealots, noise, gossip) through ``run_ensemble``.
+The serial sides run small samples — their per-replicate cost is
+constant — and throughput is compared directly.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_smoke.py \
         [--n 10000] [--k 5] [--trials 1000] [--serial-trials 8] \
         [--seed 20230224] [--output BENCH_engine.json] \
-        [--scenarios-output BENCH_scenarios.json] [--min-speedup 3]
+        [--scenarios-output BENCH_scenarios.json] [--min-speedup 3] \
+        [--no-ablation] [--min-multi-event-speedup 1.5] \
+        [--min-graph-speedup 3] [--min-gossip-speedup 3] \
+        [--max-transport-ratio 1.15]
 
-Exits non-zero when the measured speedup falls below ``--min-speedup``
-(pass ``--min-speedup 0`` to record without gating); pass
-``--scenarios-output ""`` to skip the scenario sweep.
+Exits non-zero when any measured figure falls outside its threshold
+(pass ``0`` thresholds to record without gating); pass
+``--scenarios-output ""`` to skip the scenario sweep and
+``--no-ablation`` to skip the kernel ablation.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from _harness import run_engine_smoke, run_scenario_smoke
+from _harness import run_engine_smoke, run_kernel_ablation, run_scenario_smoke
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,6 +46,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", default="BENCH_engine.json")
     parser.add_argument("--scenarios-output", default="BENCH_scenarios.json")
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument(
+        "--ablation",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the kernel ablation (lockstep blocks, graph/gossip "
+        "batch kernels, result transport) into the same artifact",
+    )
+    parser.add_argument(
+        "--ablation-output",
+        default="",
+        help="also write the ablation section as its own JSON artifact",
+    )
+    parser.add_argument("--min-multi-event-speedup", type=float, default=1.5)
+    parser.add_argument("--min-graph-speedup", type=float, default=3.0)
+    parser.add_argument("--min-gossip-speedup", type=float, default=3.0)
+    parser.add_argument(
+        "--max-transport-ratio",
+        type=float,
+        default=1.15,
+        help="shared-memory wall time must stay within this factor of "
+        "the pickle transport (1.15 tolerates timer noise around parity)",
+    )
     args = parser.parse_args(argv)
 
     record = run_engine_smoke(
@@ -47,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
         trials=args.trials,
         serial_trials=args.serial_trials,
         seed=args.seed,
-        output=args.output,
+        output=None,
     )
     serial = record["serial"]
     batched = record["batched"]
@@ -59,7 +88,72 @@ def main(argv: list[str] | None = None) -> int:
         f"batched:      {batched['replicates']} replicates in "
         f"{batched['seconds']:.2f}s = {batched['replicates_per_second']:.2f} rep/s"
     )
-    print(f"speedup:      {record['speedup']:.1f}x  (wrote {args.output})")
+    print(f"speedup:      {record['speedup']:.1f}x")
+
+    failures = []
+    if record["speedup"] < args.min_speedup:
+        failures.append(
+            f"batched speedup {record['speedup']:.2f} below {args.min_speedup}"
+        )
+
+    if args.ablation:
+        ablation = run_kernel_ablation(
+            n=args.n,
+            k=args.k,
+            trials=args.trials,
+            seed=args.seed,
+            output=args.ablation_output or None,
+        )
+        record["ablation"] = ablation
+        lockstep = ablation["lockstep"]
+        print(
+            f"lockstep:     multi-event (block={lockstep['multi_event']['event_block']}) "
+            f"{lockstep['speedup']:.2f}x the single-event kernel"
+        )
+        print(
+            f"graph:        batched {ablation['graph']['speedup']:.1f}x serial "
+            f"(bit-identical)"
+        )
+        print(
+            f"gossip:       batched {ablation['gossip']['speedup']:.1f}x serial "
+            f"(bit-identical)"
+        )
+        print(
+            f"transport:    shared/pickle wall-time ratio "
+            f"{ablation['transport']['ratio']:.2f} (results identical)"
+        )
+        if lockstep["speedup"] < args.min_multi_event_speedup:
+            failures.append(
+                f"multi-event speedup {lockstep['speedup']:.2f} below "
+                f"{args.min_multi_event_speedup}"
+            )
+        if ablation["graph"]["speedup"] < args.min_graph_speedup:
+            failures.append(
+                f"graph speedup {ablation['graph']['speedup']:.2f} below "
+                f"{args.min_graph_speedup}"
+            )
+        if ablation["gossip"]["speedup"] < args.min_gossip_speedup:
+            failures.append(
+                f"gossip speedup {ablation['gossip']['speedup']:.2f} below "
+                f"{args.min_gossip_speedup}"
+            )
+        if (
+            args.max_transport_ratio > 0
+            and ablation["transport"]["ratio"] > args.max_transport_ratio
+        ):
+            failures.append(
+                f"shared-memory transport ratio "
+                f"{ablation['transport']['ratio']:.2f} above "
+                f"{args.max_transport_ratio}"
+            )
+
+    if args.output:
+        import json
+        from pathlib import Path
+
+        Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"engine:       wrote {args.output}")
+
     if args.scenarios_output:
         scenario_record = run_scenario_smoke(
             seed=args.seed, output=args.scenarios_output
@@ -70,14 +164,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"{row['seconds']:.2f}s = {row['replicates_per_second']:.2f} rep/s"
             )
         print(f"scenarios:    wrote {args.scenarios_output}")
-    if record["speedup"] < args.min_speedup:
-        print(
-            f"FAIL: speedup {record['speedup']:.2f} below "
-            f"threshold {args.min_speedup}",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,143 @@
+"""Microbench: tune the lockstep kernel's event block and stream buffer.
+
+Sweeps ``event_block`` x ``stream_buffer`` over the multi-event lockstep
+kernel (:func:`repro.core.lockstep.lockstep_batch`) on a fixed workload
+and reports wall time per combination, plus the single-event legacy
+kernel as the baseline.  Neither knob changes results — every cell of
+the sweep is the bit-identical trajectory set — so the fastest cell is
+purely a machine-level choice.  The profiled defaults baked into
+``repro.core.lockstep`` (``DEFAULT_EVENT_BLOCK``,
+``DEFAULT_STREAM_BUFFER``) come from this bench: blocks 8-32 sit on a
+plateau within a few percent of each other, buffers beyond 256 stop
+mattering, so 16/256 are the shipped defaults.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/kernel_tune.py \
+        [--n 10000] [--k 5] [--trials 256] [--seed 20230224] \
+        [--blocks 1,2,4,8,16,32,64] [--buffers 64,256,1024] \
+        [--output BENCH_kernel_tune.json]
+
+The JSON output is a diagnostic artifact (not tracked in CI) recording
+the full timing grid for the machine it ran on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.lockstep import (
+    DEFAULT_EVENT_BLOCK,
+    DEFAULT_STREAM_BUFFER,
+    lockstep_batch,
+)
+from repro.engine import replicate_seeds, simulate_batch_single_event
+from repro.workloads import uniform_configuration
+
+
+def _int_list(raw: str) -> list[int]:
+    try:
+        return [int(part) for part in raw.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a comma-separated integer list, got {raw!r}"
+        ) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--trials", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=20230224)
+    parser.add_argument("--blocks", type=_int_list, default=[1, 2, 4, 8, 16, 32, 64])
+    parser.add_argument("--buffers", type=_int_list, default=[64, 256, 1024])
+    parser.add_argument("--output", default="BENCH_kernel_tune.json")
+    args = parser.parse_args(argv)
+
+    from repro.core.simulator import default_interaction_budget
+
+    config = uniform_configuration(args.n, args.k)
+    seeds = replicate_seeds(args.seed, args.trials)
+    zeros = np.zeros(args.k, dtype=np.int64)
+    budget = default_interaction_budget(args.n, args.k)
+
+    start = time.perf_counter()
+    simulate_batch_single_event(
+        config, rngs=[np.random.default_rng(s) for s in seeds]
+    )
+    baseline = time.perf_counter() - start
+    print(
+        f"single-event baseline: {baseline:.2f}s "
+        f"({args.trials / baseline:.1f} rep/s)"
+    )
+
+    grid: dict[str, dict[str, float]] = {}
+    best = (None, None, float("inf"))
+    for buffer in args.buffers:
+        for block in args.blocks:
+            start = time.perf_counter()
+            lockstep_batch(
+                config.counts,
+                zeros,
+                args.n,
+                rngs=[np.random.default_rng(s) for s in seeds],
+                max_interactions=budget,
+                event_block=block,
+                stream_buffer=buffer,
+            )
+            seconds = time.perf_counter() - start
+            grid.setdefault(str(buffer), {})[str(block)] = seconds
+            marker = ""
+            if seconds < best[2]:
+                best = (block, buffer, seconds)
+                marker = "  <- best so far"
+            print(
+                f"block={block:<4} buffer={buffer:<5} {seconds:6.2f}s "
+                f"({baseline / seconds:4.2f}x single-event){marker}"
+            )
+
+    block, buffer, seconds = best
+    print(
+        f"\nbest: event_block={block} stream_buffer={buffer} "
+        f"({baseline / seconds:.2f}x single-event); shipped defaults: "
+        f"event_block={DEFAULT_EVENT_BLOCK} stream_buffer={DEFAULT_STREAM_BUFFER}"
+    )
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(
+                {
+                    "workload": {
+                        "n": args.n,
+                        "k": args.k,
+                        "replicates": args.trials,
+                        "seed": args.seed,
+                    },
+                    "single_event_seconds": baseline,
+                    "grid_seconds": grid,
+                    "best": {
+                        "event_block": block,
+                        "stream_buffer": buffer,
+                        "seconds": seconds,
+                    },
+                    "shipped_defaults": {
+                        "event_block": DEFAULT_EVENT_BLOCK,
+                        "stream_buffer": DEFAULT_STREAM_BUFFER,
+                    },
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ import numpy as np
 from .analysis.report import build_markdown_report
 from .core.phases import PhaseTracker
 from .engine import (
+    RESULT_TRANSPORTS,
     SEED_DERIVATIONS,
     EnsembleCache,
     SweepSpec,
@@ -128,6 +129,22 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         default=None,
         help="ensemble cache directory (default: .repro-cache, "
         "or REPRO_ENGINE_CACHE_DIR)",
+    )
+    command.add_argument(
+        "--event-block",
+        type=_positive_int,
+        default=None,
+        help="productive events per numpy pass in the batched lockstep "
+        "kernels; never changes results (default: 16, or "
+        "REPRO_ENGINE_EVENT_BLOCK)",
+    )
+    command.add_argument(
+        "--result-transport",
+        choices=RESULT_TRANSPORTS,
+        default=None,
+        help="how process-executor workers return results (default: "
+        "shared memory with pickle fallback, or "
+        "REPRO_ENGINE_RESULT_TRANSPORT)",
     )
 
 
@@ -291,6 +308,8 @@ def _apply_engine_arguments(args) -> None:
         jobs=args.jobs,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        event_block=args.event_block,
+        result_transport=args.result_transport,
     )
 
 
@@ -366,6 +385,7 @@ def _grid_from_axes(axes: dict[str, list]) -> list[dict]:
 def _command_sweep(args) -> int:
     import json
 
+    _apply_engine_arguments(args)
     spec_file: dict = {}
     if args.spec_file:
         with open(args.spec_file, "r", encoding="utf-8") as handle:

@@ -102,6 +102,22 @@ class Configuration:
         return cls(np.concatenate(([int(undecided)], supports)))
 
     @classmethod
+    def from_trusted_counts(cls, counts: np.ndarray) -> "Configuration":
+        """Fast path: adopt an int64 histogram without re-validation.
+
+        Only for counts produced by this package's own kernels and
+        result codecs, which were validated when first constructed —
+        external input must go through the regular constructor.  The
+        array is copied and frozen exactly like the validated path, so
+        instances are indistinguishable afterwards.
+        """
+        arr = np.array(counts, dtype=np.int64)
+        arr.setflags(write=False)
+        config = cls.__new__(cls)
+        object.__setattr__(config, "counts", arr)
+        return config
+
+    @classmethod
     def from_states(cls, states: Sequence[int] | np.ndarray, k: int) -> "Configuration":
         """Histogram an agent-state array (labels ``0..k``) into a configuration."""
         states = np.asarray(states, dtype=np.int64)

@@ -39,19 +39,23 @@ from .backends import (
     register_backend,
     supports_batch,
 )
-from .batched import BatchedBackend, simulate_batch
+from ..core.lockstep import DEFAULT_EVENT_BLOCK
+from .batched import BatchedBackend, simulate_batch, simulate_batch_single_event
 from .cache import EnsembleCache, ensemble_key, seed_token
 from .executors import DEFAULT_BATCH_SIZE, EXECUTORS, replicate_seeds, run_ensemble
 from .options import (
     DEFAULT_BACKEND,
     DEFAULT_CACHE_DIR,
+    RESULT_TRANSPORTS,
     engine_defaults,
     get_default_backend,
     get_default_cache,
     get_default_cache_dir,
     get_default_cache_max_bytes,
+    get_default_event_block,
     get_default_executor,
     get_default_jobs,
+    get_default_result_transport,
     set_engine_defaults,
 )
 from .scenarios import (
@@ -87,6 +91,7 @@ __all__ = [
     "register_backend",
     "supports_batch",
     "simulate_batch",
+    "simulate_batch_single_event",
     "Scenario",
     "ScenarioSpec",
     "available_scenarios",
@@ -113,14 +118,18 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_EVENT_BLOCK",
     "EXECUTORS",
+    "RESULT_TRANSPORTS",
     "engine_defaults",
     "get_default_backend",
     "get_default_cache",
     "get_default_cache_dir",
     "get_default_cache_max_bytes",
+    "get_default_event_block",
     "get_default_executor",
     "get_default_jobs",
+    "get_default_result_transport",
     "set_engine_defaults",
 ]
 

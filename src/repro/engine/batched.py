@@ -3,11 +3,20 @@
 The serial jump chain (:mod:`repro.core.fastsim`) pays Python-level
 overhead for every productive interaction of every replicate.  An
 ensemble of R independent replicates of the *same* initial configuration
-can instead be advanced as one ``(R, k+1)`` histogram array: per
-lockstep round, the geometric no-op skip, the weighted event choice and
-the absorption check are all computed across the whole replicate axis
-with numpy, so the per-event interpreter cost is shared by every live
-replicate.
+can instead be advanced as one replicate-major histogram array: per
+numpy pass, the geometric no-op skip, the weighted event choice and the
+absorption check are computed across the whole replicate axis, so the
+per-event interpreter cost is shared by every live replicate.
+
+Since the multi-event overhaul, :func:`simulate_batch` delegates to the
+shared :func:`repro.core.lockstep.lockstep_batch` kernel, which applies
+a whole *block* of events per pass (``event_block``, see
+``REPRO_ENGINE_EVENT_BLOCK`` / ``set_engine_defaults(event_block=...)``)
+on transposed ``(k + 1, R)`` state with BLAS cumulative weights.  The
+pre-overhaul kernel — one event per pass on ``(R, k + 1)`` state — is
+preserved verbatim as :func:`simulate_batch_single_event`: it is the
+baseline of the kernel ablation benchmark and the regression oracle for
+the legacy stream semantics.
 
 Replicate independence and reproducibility
 ------------------------------------------
@@ -16,15 +25,18 @@ two uniforms per productive step from a buffer pre-drawn from *its own*
 generator (one for the geometric skip, one for the event choice).
 Finished replicates stop consuming.  A replicate's trajectory therefore
 depends only on its own seed — never on which other replicates share the
-batch — so results are bit-identical across batch widths and executors,
-and any single replicate can be reproduced in isolation with
-``simulate`` and the same generator.
+batch, the event-block size or the executor — so results are
+bit-identical across batch widths, block sizes and executors.
 
 The geometric skip is sampled by inversion (``1 + floor(log(1-U) /
 log(1-p))``) rather than ``Generator.geometric``, so batched
 trajectories are not bitwise-equal to the serial jump chain for the same
 seed; both sample the exact same distribution, which the test suite
-cross-validates statistically.
+cross-validates statistically.  The multi-event kernel's event choice
+likewise matches the single-event kernel in distribution but not
+bitwise (its cumulative weights are summed by BLAS in a different
+order), which is why the ensemble cache format was bumped when it
+landed.
 """
 
 from __future__ import annotations
@@ -34,13 +46,37 @@ import numpy as np
 from ..core.config import Configuration
 from ..core.fastsim import cumulative_weights, pick_event
 from ..core.fastsim import simulate as _jump_simulate
+from ..core.lockstep import lockstep_batch
 from ..core.simulator import Observer, RunResult, default_interaction_budget
 
-__all__ = ["BatchedBackend", "simulate_batch"]
+__all__ = ["BatchedBackend", "simulate_batch", "simulate_batch_single_event"]
 
-#: Uniforms pre-drawn per replicate per refill; two are consumed per
-#: productive step, so one refill covers 128 steps.  Must be even.
+#: Uniforms pre-drawn per replicate per refill in the single-event
+#: kernel; two are consumed per productive step.  Must be even.
 _STREAM_BUFFER = 256
+
+
+def _results_from_arrays(
+    config: Configuration,
+    final_counts: np.ndarray,
+    final_interactions: np.ndarray,
+    exhausted: np.ndarray,
+) -> list[RunResult]:
+    results: list[RunResult] = []
+    for r in range(final_counts.shape[0]):
+        final = Configuration(final_counts[r])
+        results.append(
+            RunResult(
+                initial=config,
+                final=final,
+                interactions=int(final_interactions[r]),
+                converged=final.is_consensus,
+                winner=final.winner,
+                stopped_by_observer=False,
+                budget_exhausted=bool(exhausted[r]),
+            )
+        )
+    return results
 
 
 def simulate_batch(
@@ -48,6 +84,7 @@ def simulate_batch(
     *,
     rngs: list[np.random.Generator],
     max_interactions: int | None = None,
+    event_block: int | None = None,
 ) -> list[RunResult]:
     """Run ``len(rngs)`` independent replicates of the jump chain at once.
 
@@ -62,6 +99,45 @@ def simulate_batch(
         Interaction budget per replicate (the count includes skipped
         no-ops, exactly as in the serial simulators); defaults to
         :func:`repro.core.simulator.default_interaction_budget`.
+    event_block:
+        Productive events applied per numpy pass; defaults to the
+        session default (``REPRO_ENGINE_EVENT_BLOCK`` /
+        ``set_engine_defaults(event_block=...)``).  Never changes
+        results — only how much per-pass overhead is amortized.
+    """
+    n = config.n
+    k = config.k
+    if len(rngs) == 0:
+        return []
+    if max_interactions is None:
+        max_interactions = default_interaction_budget(n, k)
+    if max_interactions < 0:
+        raise ValueError(f"max_interactions must be non-negative, got {max_interactions}")
+    final_counts, final_interactions, exhausted = lockstep_batch(
+        config.counts,
+        np.zeros(k, dtype=np.int64),
+        n,
+        rngs=rngs,
+        max_interactions=max_interactions,
+        event_block=event_block,
+    )
+    return _results_from_arrays(config, final_counts, final_interactions, exhausted)
+
+
+def simulate_batch_single_event(
+    config: Configuration,
+    *,
+    rngs: list[np.random.Generator],
+    max_interactions: int | None = None,
+) -> list[RunResult]:
+    """The pre-overhaul batched kernel: one event per numpy pass.
+
+    Kept verbatim as the single-event baseline of the kernel ablation
+    (``benchmarks/kernel_tune.py`` / ``engine_smoke.py --ablation``) and
+    as the oracle for the legacy stream semantics.  Samples the same
+    process as :func:`simulate_batch`; trajectories differ bitwise (the
+    multi-event kernel sums its cumulative weights in a different
+    order).
     """
     n = config.n
     k = config.k
@@ -156,21 +232,7 @@ def simulate_batch(
             origin[:live] = origin[keep]
             generators = [generators[i] for i in keep]
 
-    results: list[RunResult] = []
-    for r in range(replicates):
-        final = Configuration(final_counts[r])
-        results.append(
-            RunResult(
-                initial=config,
-                final=final,
-                interactions=int(final_interactions[r]),
-                converged=final.is_consensus,
-                winner=final.winner,
-                stopped_by_observer=False,
-                budget_exhausted=bool(exhausted[r]),
-            )
-        )
-    return results
+    return _results_from_arrays(config, final_counts, final_interactions, exhausted)
 
 
 class BatchedBackend:

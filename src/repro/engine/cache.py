@@ -39,8 +39,11 @@ from .options import get_default_cache_max_bytes
 __all__ = ["EnsembleCache", "ensemble_key", "seed_token"]
 
 #: Bumped whenever the on-disk format or the engine's sampling changes
-#: incompatibly; old entries then simply miss.
-CACHE_FORMAT = 1
+#: incompatibly; old entries then simply miss.  Format 2: the multi-event
+#: lockstep kernel resampled the batched USD/zealot event choice (same
+#: distribution, different float path), so format-1 "batched" entries no
+#: longer match freshly computed ensembles.
+CACHE_FORMAT = 2
 
 #: Format tag for sweep-level index entries (``*.sweep.json``); bumped
 #: independently of the ensemble entry format.

@@ -16,6 +16,15 @@ It separates four orthogonal choices:
   variant;
 * **executor** — where replicates run: ``"serial"`` in-process, or
   ``"process"`` on a ``multiprocessing`` pool;
+* **result transport** — how pool workers return their results: by
+  default each worker packs fixed-width records (final counts,
+  interactions, winner, flags, plus per-scenario float extras) straight
+  into a ``multiprocessing.shared_memory`` block the parent decodes,
+  skipping the per-result pickle round-trip; ``result_transport=
+  "pickle"`` (or ``REPRO_ENGINE_RESULT_TRANSPORT=pickle``) forces the
+  classic pickled path, which also serves as the automatic fallback
+  whenever shared memory is unavailable or the scenario has no record
+  codec (``Scenario.record_transport``);
 * **caching** — with ``cache`` enabled, a finished ensemble is stored
   on disk keyed by ``(spec, trials, seed, variant, budget)`` and an
   identical later call is served without simulating
@@ -40,16 +49,24 @@ import os
 import numpy as np
 
 from ..core.config import Configuration
+from ..core.lockstep import get_default_event_block, set_default_event_block
 from ..core.simulator import RunResult
 from .backends import Backend
 from .cache import EnsembleCache
 from .options import (
+    RESULT_TRANSPORTS,
     get_default_cache,
     get_default_cache_dir,
     get_default_executor,
     get_default_jobs,
+    get_default_result_transport,
 )
 from .scenarios import ScenarioSpec, coerce_spec, get_scenario
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
 
 __all__ = ["run_ensemble", "replicate_seeds", "DEFAULT_BATCH_SIZE", "EXECUTORS"]
 
@@ -89,10 +106,62 @@ def replicate_seeds(
 
 def _worker(payload) -> list:
     """Top-level multiprocessing entry point (must be picklable)."""
-    scenario_name, spec, variant, seeds, max_interactions = payload
+    scenario_name, spec, variant, seeds, max_interactions, event_block = payload
+    # Spawn-started workers do not inherit the parent's process-wide
+    # overrides, so the parent resolves its event block once and ships
+    # it with every chunk (results are invariant to it; only speed).
+    set_default_event_block(event_block)
     scenario = get_scenario(scenario_name)
     rngs = [np.random.default_rng(s) for s in seeds]
     return scenario.run_chunk(spec, variant, rngs, max_interactions)
+
+
+def _record_views(buffer, trials: int, int_width: int, float_width: int):
+    """(trials, int_width) int64 + (trials, float_width) float64 views."""
+    int_bytes = trials * int_width * 8
+    ints = np.ndarray((trials, int_width), dtype=np.int64, buffer=buffer)
+    floats = np.ndarray(
+        (trials, float_width), dtype=np.float64, buffer=buffer, offset=int_bytes
+    )
+    return ints, floats
+
+
+def _shm_worker(payload) -> int:
+    """Pool worker writing fixed-width result records into shared memory.
+
+    Returns only the chunk's start index — the results themselves travel
+    through the shared block, so nothing result-sized is pickled back.
+    """
+    (
+        scenario_name,
+        spec,
+        variant,
+        seeds,
+        max_interactions,
+        event_block,
+        shm_name,
+        start,
+        trials,
+        int_width,
+        float_width,
+    ) = payload
+    set_default_event_block(event_block)
+    scenario = get_scenario(scenario_name)
+    rngs = [np.random.default_rng(s) for s in seeds]
+    results = scenario.run_chunk(spec, variant, rngs, max_interactions)
+    # Pool workers are forked from (or spawned by) the parent and share
+    # its resource tracker, so attaching here re-registers the name as a
+    # no-op and the parent's unlink stays the single owner of cleanup.
+    block = _shared_memory.SharedMemory(name=shm_name)
+    try:
+        ints, floats = _record_views(block.buf, trials, int_width, float_width)
+        for offset, result in enumerate(results):
+            row = start + offset
+            scenario.encode_record(spec, result, ints[row], floats[row])
+        del ints, floats  # release buffer views before closing the mapping
+    finally:
+        block.close()
+    return start
 
 
 def _chunked(seeds: list, batch_size: int) -> list[list]:
@@ -108,6 +177,73 @@ def _resolve_cache(cache: bool | EnsembleCache | None) -> EnsembleCache | None:
     return EnsembleCache(get_default_cache_dir())
 
 
+def _run_process_shared(
+    scenario,
+    spec: ScenarioSpec,
+    variant: str,
+    chunks: list[tuple[int, list]],
+    trials: int,
+    max_interactions: int | None,
+    jobs: int,
+) -> list | None:
+    """Run chunks on a pool with shared-memory result records.
+
+    Returns ``None`` when the shared block cannot be provisioned (the
+    caller then falls back to the pickle transport); worker failures
+    still propagate as exceptions.
+    """
+    if _shared_memory is None:
+        return None
+    transport_ok = getattr(scenario, "record_transport_for", None)
+    if transport_ok is not None:
+        if not transport_ok(variant):
+            return None
+    elif not getattr(scenario, "record_transport", False):
+        return None
+    int_width = int(scenario.record_ints(spec))
+    float_width = int(getattr(scenario, "record_floats", 0))
+    size = max(trials * 8 * (int_width + float_width), 1)
+    try:
+        block = _shared_memory.SharedMemory(create=True, size=size)
+    except Exception:
+        return None
+    try:
+        event_block = get_default_event_block()
+        payloads = [
+            (
+                spec.scenario,
+                spec,
+                variant,
+                chunk,
+                max_interactions,
+                event_block,
+                block.name,
+                start,
+                trials,
+                int_width,
+                float_width,
+            )
+            for start, chunk in chunks
+        ]
+        with multiprocessing.Pool(processes=jobs) as pool:
+            pool.map(_shm_worker, payloads)
+        ints, floats = _record_views(block.buf, trials, int_width, float_width)
+        # Decode from private copies so the mapping can be torn down
+        # before result objects (and their arrays) outlive this call.
+        ints = ints.copy()
+        floats = floats.copy()
+        return [
+            scenario.decode_record(spec, ints[row], floats[row])
+            for row in range(trials)
+        ]
+    finally:
+        block.close()
+        try:
+            block.unlink()
+        except FileNotFoundError:  # a worker's tracker got there first
+            pass
+
+
 def run_ensemble(
     workload: Configuration | ScenarioSpec,
     trials: int,
@@ -119,6 +255,7 @@ def run_ensemble(
     max_interactions: int | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     cache: bool | EnsembleCache | None = None,
+    result_transport: str | None = None,
 ) -> list[RunResult]:
     """Run ``trials`` independent replicates and return them in order.
 
@@ -156,6 +293,12 @@ def run_ensemble(
         the session default (off unless ``--cache`` /
         ``REPRO_ENGINE_CACHE`` say otherwise).  A hit returns the stored
         results without simulating anything.
+    result_transport:
+        How process-executor workers return results: ``"shared"``
+        (fixed-width records through shared memory, with automatic
+        pickle fallback) or ``"pickle"``; ``None`` uses the session
+        default (``REPRO_ENGINE_RESULT_TRANSPORT``, else ``"shared"``).
+        Never affects the results themselves.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -202,16 +345,38 @@ def run_ensemble(
         # resolve here first — an unregistered custom backend would only
         # fail inside the pool with a confusing per-worker error.
         scenario.check_process_safe(variant, backend)
+        if result_transport is None:
+            result_transport = get_default_result_transport()
+        if result_transport not in RESULT_TRANSPORTS:
+            raise ValueError(
+                f"result_transport must be one of {RESULT_TRANSPORTS}, "
+                f"got {result_transport!r}"
+            )
         # Several chunks per worker keep the pool busy when replicate
         # durations vary, without giving up batching within a chunk.
         per_chunk = max(1, min(batch_size, -(-trials // (jobs * 4))))
-        payloads = [
-            (spec.scenario, spec, variant, chunk, max_interactions)
-            for chunk in _chunked(seeds, per_chunk)
-        ]
-        with multiprocessing.Pool(processes=jobs) as pool:
-            chunks = pool.map(_worker, payloads)
-        results = [result for chunk in chunks for result in chunk]
+        seed_chunks = _chunked(seeds, per_chunk)
+        starts = [sum(len(c) for c in seed_chunks[:i]) for i in range(len(seed_chunks))]
+        results = None
+        if result_transport == "shared":
+            results = _run_process_shared(
+                scenario,
+                spec,
+                variant,
+                list(zip(starts, seed_chunks)),
+                trials,
+                max_interactions,
+                jobs,
+            )
+        if results is None:
+            event_block = get_default_event_block()
+            payloads = [
+                (spec.scenario, spec, variant, chunk, max_interactions, event_block)
+                for chunk in seed_chunks
+            ]
+            with multiprocessing.Pool(processes=jobs) as pool:
+                chunks = pool.map(_worker, payloads)
+            results = [result for chunk in chunks for result in chunk]
 
     if store is not None:
         store.store(key, results)

@@ -19,16 +19,21 @@ from __future__ import annotations
 
 import os
 
+from ..core.lockstep import get_default_event_block, set_default_event_block
+
 __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
+    "RESULT_TRANSPORTS",
     "engine_defaults",
     "get_default_backend",
     "get_default_cache",
     "get_default_cache_dir",
     "get_default_cache_max_bytes",
+    "get_default_event_block",
     "get_default_executor",
     "get_default_jobs",
+    "get_default_result_transport",
     "set_engine_defaults",
 ]
 
@@ -38,11 +43,19 @@ DEFAULT_BACKEND = "jump"
 #: Ensemble-cache directory used when nothing else is specified.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Accepted result-transport selections for the process executor:
+#: ``"shared"`` ships fixed-width result records through a
+#: ``multiprocessing.shared_memory`` block (falling back to pickling
+#: when shared memory or the scenario's record codec is unavailable),
+#: ``"pickle"`` forces the classic pickled-result path.
+RESULT_TRANSPORTS = ("shared", "pickle")
+
 _BACKEND_OVERRIDE: str | None = None
 _JOBS_OVERRIDE: int | None = None
 _CACHE_OVERRIDE: bool | None = None
 _CACHE_DIR_OVERRIDE: str | None = None
 _CACHE_MAX_BYTES_OVERRIDE: int | None = None
+_RESULT_TRANSPORT_OVERRIDE: str | None = None
 
 
 def set_engine_defaults(
@@ -52,6 +65,8 @@ def set_engine_defaults(
     cache: bool | None = None,
     cache_dir: str | None = None,
     cache_max_bytes: int | None = None,
+    event_block: int | None = None,
+    result_transport: str | None = None,
 ) -> None:
     """Install process-wide engine defaults (pass ``None`` to leave as-is).
 
@@ -61,9 +76,13 @@ def set_engine_defaults(
     for every ensemble of the session (the CLI's ``--cache``/
     ``--no-cache`` flags land here); ``cache_dir`` relocates it and
     ``cache_max_bytes`` caps its size (LRU eviction; ``0`` = unlimited).
+    ``event_block`` sets how many productive events the batched lockstep
+    kernels apply per numpy pass (results never change, only speed);
+    ``result_transport`` picks how process-executor workers return
+    results (``"shared"`` or ``"pickle"``).
     """
     global _BACKEND_OVERRIDE, _JOBS_OVERRIDE, _CACHE_OVERRIDE, _CACHE_DIR_OVERRIDE
-    global _CACHE_MAX_BYTES_OVERRIDE
+    global _CACHE_MAX_BYTES_OVERRIDE, _RESULT_TRANSPORT_OVERRIDE
     if backend is not None:
         _BACKEND_OVERRIDE = backend
     if jobs is not None:
@@ -80,6 +99,14 @@ def set_engine_defaults(
                 f"cache_max_bytes must be non-negative, got {cache_max_bytes}"
             )
         _CACHE_MAX_BYTES_OVERRIDE = int(cache_max_bytes)
+    set_default_event_block(event_block)
+    if result_transport is not None:
+        if result_transport not in RESULT_TRANSPORTS:
+            raise ValueError(
+                f"result_transport must be one of {RESULT_TRANSPORTS}, "
+                f"got {result_transport!r}"
+            )
+        _RESULT_TRANSPORT_OVERRIDE = result_transport
 
 
 def get_default_backend() -> str:
@@ -145,6 +172,28 @@ def get_default_cache_max_bytes() -> int | None:
     return value if value > 0 else None
 
 
+def get_default_result_transport() -> str:
+    """Process-executor result transport when ``result_transport=None``.
+
+    Resolution order: :func:`set_engine_defaults`, the
+    ``REPRO_ENGINE_RESULT_TRANSPORT`` environment variable, then
+    ``"shared"`` (which silently falls back to pickling whenever shared
+    memory or the scenario's record codec is unavailable).
+    """
+    if _RESULT_TRANSPORT_OVERRIDE is not None:
+        return _RESULT_TRANSPORT_OVERRIDE
+    raw = os.environ.get("REPRO_ENGINE_RESULT_TRANSPORT")
+    if raw is None:
+        return "shared"
+    raw = raw.strip().lower()
+    if raw not in RESULT_TRANSPORTS:
+        raise ValueError(
+            f"REPRO_ENGINE_RESULT_TRANSPORT must be one of {RESULT_TRANSPORTS}, "
+            f"got {raw!r}"
+        )
+    return raw
+
+
 def engine_defaults() -> dict:
     """Snapshot of the resolved defaults (for reports and diagnostics)."""
     return {
@@ -154,4 +203,6 @@ def engine_defaults() -> dict:
         "cache": get_default_cache(),
         "cache_dir": get_default_cache_dir(),
         "cache_max_bytes": get_default_cache_max_bytes(),
+        "event_block": get_default_event_block(),
+        "result_transport": get_default_result_transport(),
     }

@@ -26,10 +26,11 @@ Built-in scenarios
     USD restricted to a directed edge array
     (:mod:`repro.graphs.dynamics`).  Params: ``edges``, ``k``, optional
     ``initial_states`` (omit to expand the configuration into a shuffled
-    state array with the replicate's own generator).
+    state array with the replicate's own generator).  Has a batched
+    per-edge-array lockstep variant (bit-identical to the reference).
 ``"zealots"``
     USD against a stubborn background (:mod:`repro.faults.zealots`).
-    Params: ``zealots``.  Has a batched jump-chain variant.
+    Params: ``zealots``.  Has a batched multi-event jump-chain variant.
 ``"noise"``
     USD under transient state corruption (:mod:`repro.faults.noise`).
     Params: ``rho``, ``horizon``, ``tail_fraction``.  Has a batched
@@ -37,13 +38,23 @@ Built-in scenarios
 ``"gossip"``
     Synchronous gossip round engine (:mod:`repro.gossip`).  Params:
     ``rule`` (``"usd"``, ``"voter"``, ``"two-choices"``,
-    ``"three-majority"``, ``"median"``), optional ``max_rounds``.
+    ``"three-majority"``, ``"median"``), optional ``max_rounds``.  Has a
+    batched stacked-replicate round variant (bit-identical to the
+    reference for every rule except ``three-majority``, which matches
+    in distribution).
+
+Every registered scenario therefore has a vectorized ``batched``
+variant; ``run_ensemble(..., backend="batched")`` reaches all of them.
 
 Adding a scenario is a registry entry, not a new subsystem: subclass
 :class:`Scenario`, implement ``reference`` (and optionally ``batched``),
 and call :func:`register_scenario`.  ``run_ensemble`` then gives the new
 dynamics serial/multiprocessing executors, deterministic per-replicate
-seeding, and result caching for free.
+seeding, and result caching for free.  Scenarios that additionally opt
+into the fixed-width **result-record codec** (``record_transport``,
+:meth:`Scenario.encode_record` / :meth:`Scenario.decode_record`) let the
+process executor ship their results through shared memory instead of
+pickles; scenarios without it transparently fall back to pickling.
 """
 
 from __future__ import annotations
@@ -56,16 +67,23 @@ from typing import Any, Callable
 import numpy as np
 
 from ..core.config import Configuration
-from ..faults.noise import simulate_noise_batch, simulate_with_noise
+from ..core.simulator import RunResult
+from ..faults.noise import NoisyRunResult, simulate_noise_batch, simulate_with_noise
 from ..faults.zealots import (
+    ZealotRunResult,
     simulate_with_zealots,
     simulate_zealots_batch,
     validate_zealot_counts,
 )
-from ..gossip.engine import run_gossip
-from ..gossip.usd import usd_gossip_round
+from ..gossip.engine import GossipResult, run_gossip, run_gossip_batch
+from ..gossip.usd import usd_gossip_round, usd_gossip_round_batch
 from .backends import Backend, get_backend, supports_batch
 from .options import get_default_backend
+
+#: Bits of the ``flags`` slot in the fixed-width result record.
+RECORD_FLAG_CONVERGED = 1
+RECORD_FLAG_EXHAUSTED = 2
+RECORD_FLAG_OBSERVER = 4
 
 __all__ = [
     "ScenarioSpec",
@@ -277,6 +295,71 @@ class Scenario:
     ) -> None:
         """Raise if ``variant`` cannot be re-resolved inside a pool worker."""
 
+    # -- fixed-width result records (shared-memory transport) ----------
+    #: Whether this scenario's results round-trip through the
+    #: fixed-width record codec below.  Off by default: a scenario whose
+    #: result type the base codec does not describe must not be silently
+    #: mis-encoded, so custom scenarios keep the pickle transport until
+    #: they opt in.
+    record_transport: bool = False
+
+    #: Extra ``float64`` slots per record beyond the integer layout
+    #: (e.g. the noise scenario's plateau statistics).
+    record_floats: int = 0
+
+    def record_transport_for(self, variant: str) -> bool:
+        """Whether the record codec is safe for this resolved variant.
+
+        The executor consults this (not the bare attribute) so a
+        scenario can veto the codec per variant — the USD scenario does,
+        because custom registered backends may return ``RunResult``
+        subclasses the fixed-width record would silently flatten.
+        """
+        return self.record_transport
+
+    def record_ints(self, spec: ScenarioSpec) -> int:
+        """``int64`` slots per record: counts, interactions, winner, flags."""
+        return spec.config.k + 4
+
+    def encode_record(self, spec: ScenarioSpec, result, ints, floats) -> None:
+        """Pack one result into preallocated record rows.
+
+        The base layout is ``[final counts (k+1) | interactions | winner
+        (-1 = none) | flags]`` in the ``int64`` row plus
+        ``record_floats`` extras in the ``float64`` row; it fits every
+        result type whose payload is the final histogram, a budget
+        counter and the outcome flags.
+        """
+        k = spec.config.k
+        ints[: k + 1] = result.final.counts
+        ints[k + 1] = result.interactions
+        winner = result.winner
+        ints[k + 2] = -1 if winner is None else winner
+        ints[k + 3] = (
+            (RECORD_FLAG_CONVERGED if result.converged else 0)
+            | (RECORD_FLAG_EXHAUSTED if result.budget_exhausted else 0)
+            | (
+                RECORD_FLAG_OBSERVER
+                if getattr(result, "stopped_by_observer", False)
+                else 0
+            )
+        )
+
+    def decode_record(self, spec: ScenarioSpec, ints, floats):
+        """Rebuild one result from its record rows (inverse of encode)."""
+        k = spec.config.k
+        flags = int(ints[k + 3])
+        winner = int(ints[k + 2])
+        return RunResult(
+            initial=spec.config,
+            final=Configuration.from_trusted_counts(ints[: k + 1]),
+            interactions=int(ints[k + 1]),
+            converged=bool(flags & RECORD_FLAG_CONVERGED),
+            winner=None if winner < 0 else winner,
+            stopped_by_observer=bool(flags & RECORD_FLAG_OBSERVER),
+            budget_exhausted=bool(flags & RECORD_FLAG_EXHAUSTED),
+        )
+
     # -- execution -----------------------------------------------------
     def run_chunk(
         self,
@@ -353,6 +436,21 @@ class UsdScenario(Scenario):
 
     name = "usd"
     description = "k-opinion USD on the complete graph (backend registry)"
+    record_transport = True
+
+    def record_transport_for(self, variant: str) -> bool:
+        # Only the built-in backends are known to return plain
+        # RunResults; a custom registered backend may return a subclass
+        # whose extra fields the fixed-width record would silently drop,
+        # so those keep the pickle transport.
+        from .backends import AgentsBackend, JumpBackend
+        from .batched import BatchedBackend
+
+        try:
+            backend = get_backend(variant)
+        except ValueError:
+            return False
+        return type(backend) in (AgentsBackend, JumpBackend, BatchedBackend)
 
     def variants(self) -> tuple[str, ...]:
         from .backends import available_backends
@@ -422,6 +520,7 @@ class GraphScenario(Scenario):
 
     name = "graph"
     description = "USD restricted to the edges of an interaction graph"
+    record_transport = True
 
     @staticmethod
     def _param_array(spec: ScenarioSpec, name: str) -> np.ndarray:
@@ -485,6 +584,46 @@ class GraphScenario(Scenario):
             max_interactions=max_interactions,
         )
 
+    def batched(self, spec, *, rngs, max_interactions=None):
+        # Bit-identical to `reference` per replicate: state expansion and
+        # the buffered edge picks consume each generator's stream in the
+        # exact order the serial kernel does (bounded int64 draws are
+        # chunk-invariant).
+        from ..graphs.dynamics import run_on_edges_batch
+
+        if not rngs:
+            return []
+        params = spec.params_dict()
+        k = int(params.get("k", spec.config.k))
+        if params.get("initial_states") is None:
+            states = np.stack([spec.config.to_states(rng) for rng in rngs])
+        else:
+            states = self._param_array(spec, "initial_states")
+        edges = self._param_array(spec, "edges")
+        return run_on_edges_batch(
+            edges,
+            states,
+            rngs=rngs,
+            k=k,
+            n=spec.config.n,
+            max_interactions=max_interactions,
+        )
+
+    def decode_record(self, spec, ints, floats):
+        from ..graphs.dynamics import GraphRunResult
+
+        k = spec.config.k
+        final = Configuration.from_trusted_counts(ints[: k + 1])
+        flags = int(ints[k + 3])
+        winner = int(ints[k + 2])
+        return GraphRunResult(
+            final=final,
+            interactions=int(ints[k + 1]),
+            converged=bool(flags & RECORD_FLAG_CONVERGED),
+            winner=None if winner < 0 else winner,
+            budget_exhausted=bool(flags & RECORD_FLAG_EXHAUSTED),
+        )
+
 
 # ----------------------------------------------------------------------
 # Built-in scenario: zealots
@@ -494,9 +633,23 @@ class ZealotScenario(Scenario):
 
     name = "zealots"
     description = "USD against stubborn zealot agents"
+    record_transport = True
 
     def _zealots(self, spec: ScenarioSpec) -> np.ndarray:
         return np.asarray(spec.param("zealots", ()), dtype=np.int64)
+
+    def decode_record(self, spec, ints, floats):
+        k = spec.config.k
+        flags = int(ints[k + 3])
+        winner = int(ints[k + 2])
+        return ZealotRunResult(
+            final=Configuration.from_trusted_counts(ints[: k + 1]),
+            zealots=self._zealots(spec),
+            interactions=int(ints[k + 1]),
+            converged=bool(flags & RECORD_FLAG_CONVERGED),
+            winner=None if winner < 0 else winner,
+            budget_exhausted=bool(flags & RECORD_FLAG_EXHAUSTED),
+        )
 
     def validate(self, spec: ScenarioSpec) -> None:
         validate_zealot_counts(self._zealots(spec), spec.config.k)
@@ -528,6 +681,26 @@ class NoiseScenario(Scenario):
 
     name = "noise"
     description = "USD with transient uniform state corruption"
+    record_transport = True
+    record_floats = 2  # max / tail-mean plurality fractions
+
+    def encode_record(self, spec, result, ints, floats) -> None:
+        k = spec.config.k
+        ints[: k + 1] = result.final.counts
+        ints[k + 1] = result.interactions
+        ints[k + 2] = -1  # the noisy process has no winner
+        ints[k + 3] = 0
+        floats[0] = result.max_plurality_fraction
+        floats[1] = result.tail_mean_plurality_fraction
+
+    def decode_record(self, spec, ints, floats):
+        k = spec.config.k
+        return NoisyRunResult(
+            final=Configuration.from_trusted_counts(ints[: k + 1]),
+            interactions=int(ints[k + 1]),
+            max_plurality_fraction=float(floats[0]),
+            tail_mean_plurality_fraction=float(floats[1]),
+        )
 
     def validate(self, spec: ScenarioSpec) -> None:
         params = spec.params_dict()
@@ -557,6 +730,7 @@ class NoiseScenario(Scenario):
 # Built-in scenario: synchronous gossip rounds
 # ----------------------------------------------------------------------
 _RULES_TABLE: dict[str, Callable] | None = None
+_RULES_BATCH_TABLE: dict[str, Callable] | None = None
 
 
 def _gossip_rules() -> dict[str, Callable]:
@@ -575,6 +749,28 @@ def _gossip_rules() -> dict[str, Callable]:
     return _RULES_TABLE
 
 
+def _gossip_rules_batch() -> dict[str, Callable]:
+    global _RULES_BATCH_TABLE
+    if _RULES_BATCH_TABLE is None:
+        from ..gossip.jmajority import j_majority_round_batch
+        from ..gossip.median import median_rule_round_batch
+
+        _RULES_BATCH_TABLE = {
+            "usd": usd_gossip_round_batch,
+            "voter": lambda states, streams: j_majority_round_batch(
+                states, streams, 1
+            ),
+            "two-choices": lambda states, streams: j_majority_round_batch(
+                states, streams, 2
+            ),
+            "three-majority": lambda states, streams: j_majority_round_batch(
+                states, streams, 3
+            ),
+            "median": median_rule_round_batch,
+        }
+    return _RULES_BATCH_TABLE
+
+
 class GossipScenario(Scenario):
     """Synchronous round dynamics through the gossip round engine.
 
@@ -584,8 +780,32 @@ class GossipScenario(Scenario):
 
     name = "gossip"
     description = "synchronous gossip rounds (usd, j-majority, median)"
+    record_transport = True
 
     RULES = ("usd", "voter", "two-choices", "three-majority", "median")
+
+    def encode_record(self, spec, result, ints, floats) -> None:
+        k = spec.config.k
+        ints[: k + 1] = result.final.counts
+        ints[k + 1] = result.rounds  # the gossip budget unit
+        winner = result.winner
+        ints[k + 2] = -1 if winner is None else winner
+        ints[k + 3] = (RECORD_FLAG_CONVERGED if result.converged else 0) | (
+            RECORD_FLAG_EXHAUSTED if result.budget_exhausted else 0
+        )
+
+    def decode_record(self, spec, ints, floats):
+        k = spec.config.k
+        flags = int(ints[k + 3])
+        winner = int(ints[k + 2])
+        return GossipResult(
+            initial=spec.config,
+            final=Configuration.from_trusted_counts(ints[: k + 1]),
+            rounds=int(ints[k + 1]),
+            converged=bool(flags & RECORD_FLAG_CONVERGED),
+            winner=None if winner < 0 else winner,
+            budget_exhausted=bool(flags & RECORD_FLAG_EXHAUSTED),
+        )
 
     def validate(self, spec: ScenarioSpec) -> None:
         rule = spec.param("rule", "usd")
@@ -609,6 +829,18 @@ class GossipScenario(Scenario):
             else spec.param("max_rounds")
         )
         return run_gossip(spec.config, rule, rng=rng, max_rounds=max_rounds)
+
+    def batched(self, spec, *, rngs, max_interactions=None):
+        # Bit-identical to `reference` per replicate for single-bound
+        # rules (statistically equal for three-majority); see
+        # repro.gossip.engine.run_gossip_batch.
+        rule = _gossip_rules_batch()[spec.param("rule", "usd")]
+        max_rounds = (
+            max_interactions
+            if max_interactions is not None
+            else spec.param("max_rounds")
+        )
+        return run_gossip_batch(spec.config, rule, rngs=rngs, max_rounds=max_rounds)
 
 
 # ----------------------------------------------------------------------

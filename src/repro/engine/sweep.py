@@ -59,7 +59,7 @@ from .executors import (
     _worker,
     replicate_seeds,
 )
-from .options import get_default_executor, get_default_jobs
+from .options import get_default_event_block, get_default_executor, get_default_jobs
 from .scenarios import ScenarioSpec, _freeze, _jsonable, coerce_spec, get_scenario
 
 __all__ = [
@@ -402,6 +402,9 @@ def run_sweep(
 
         payloads = []
         owners = []
+        # Resolved once here so spawn-started pool workers see the
+        # parent's event-block selection (results are invariant to it).
+        event_block = get_default_event_block()
         for i in pending:
             cell = cells[i]
             if executor == "serial":
@@ -417,7 +420,7 @@ def run_sweep(
             for chunk in _chunked(replicate_seeds(seeds[i], cell.trials), chunk_cap):
                 payloads.append(
                     (cell.spec.scenario, cell.spec, variants[i], chunk,
-                     cell.max_interactions)
+                     cell.max_interactions, event_block)
                 )
                 owners.append(i)
 
@@ -426,7 +429,7 @@ def run_sweep(
                 i: scenarios[i].prepare_runner(variants[i], backend) for i in pending
             }
             outputs = []
-            for (_, cell_spec, _, chunk, budget), i in zip(payloads, owners):
+            for (_, cell_spec, _, chunk, budget, _), i in zip(payloads, owners):
                 rngs = [np.random.default_rng(s) for s in chunk]
                 outputs.append(
                     scenarios[i].run_chunk(cell_spec, runners[i], rngs, budget)

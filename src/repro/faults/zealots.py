@@ -32,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import Configuration
-from ..core.fastsim import cumulative_weights, pick_event
+from ..core.lockstep import lockstep_batch
 
 __all__ = [
     "ZealotRunResult",
@@ -41,10 +41,6 @@ __all__ = [
     "validate_zealot_counts",
     "default_zealot_budget",
 ]
-
-#: Uniforms pre-drawn per replicate per refill in the batched variant;
-#: two are consumed per productive step.  Must be even.
-_STREAM_BUFFER = 256
 
 
 def validate_zealot_counts(zealots, k: int) -> np.ndarray:
@@ -183,16 +179,19 @@ def simulate_zealots_batch(
     *,
     rngs: list[np.random.Generator],
     max_interactions: int | None = None,
+    event_block: int | None = None,
 ) -> list[ZealotRunResult]:
     """Advance ``len(rngs)`` independent zealot-USD jump chains in lockstep.
 
-    The vectorized analogue of :func:`simulate_with_zealots`, built like
-    the engine's batched USD backend: per round, the geometric no-op
-    skip, the weighted adopt/clash event choice and the absorption check
-    are computed across the whole replicate axis.  Each replicate
-    consumes exactly two uniforms per productive step from a buffer
-    pre-drawn from *its own* generator, so trajectories are invariant to
-    the batch width and the executor.
+    The vectorized analogue of :func:`simulate_with_zealots`, running on
+    the engine's shared multi-event kernel
+    (:func:`repro.core.lockstep.lockstep_batch`) with the zealot counts
+    as the stubborn background: per numpy pass a whole block of
+    geometric no-op skips, weighted adopt/clash event choices and
+    absorption checks is computed across the replicate axis.  Each
+    replicate consumes exactly two uniforms per productive step from a
+    buffer pre-drawn from *its own* generator, so trajectories are
+    invariant to the batch width, the event-block size and the executor.
 
     The geometric skip is sampled by inversion rather than
     ``Generator.geometric``, so batched runs are not bitwise-equal to
@@ -212,65 +211,15 @@ def simulate_zealots_batch(
         raise ValueError(
             f"max_interactions must be non-negative, got {max_interactions}"
         )
-    n_sq = float(n) * float(n)
 
-    flexible = np.tile(np.asarray(config.counts, dtype=np.int64), (replicates, 1))
-    interactions = np.zeros(replicates, dtype=np.int64)
-    exhausted = np.zeros(replicates, dtype=bool)
-    active = np.ones(replicates, dtype=bool)
-    stream = np.empty((replicates, _STREAM_BUFFER), dtype=np.float64)
-    cursor = np.full(replicates, _STREAM_BUFFER, dtype=np.int64)
-
-    while active.any():
-        rows = np.flatnonzero(active)
-        u = flexible[rows, 0]
-        supports = flexible[rows, 1:]
-        visible = supports + zealots[None, :]
-        decided_total = visible.sum(axis=1)
-
-        weights = np.empty((rows.size, 2 * k), dtype=np.float64)
-        np.multiply(u[:, None], visible, out=weights[:, :k])
-        np.multiply(supports, decided_total[:, None] - visible, out=weights[:, k:])
-        cumulative = cumulative_weights(weights)
-        total = cumulative[:, -1]
-
-        # W == 0 covers both true absorption (u == 0, one camp) and the
-        # stuck all-undecided-no-zealots state; the serial chain breaks
-        # out of its loop in exactly these configurations.
-        terminal = total <= 0.0
-
-        low = rows[cursor[rows] + 2 > _STREAM_BUFFER]
-        for row in low:
-            stream[row] = rngs[row].random(_STREAM_BUFFER)
-            cursor[row] = 0
-        offset = cursor[rows]
-        skip_u = stream[rows, offset]
-        event_u = stream[rows, offset + 1]
-        cursor[rows] += np.where(terminal, 0, 2)
-
-        p = total / n_sq
-        with np.errstate(divide="ignore", invalid="ignore"):
-            wait = 1.0 + np.floor(np.log1p(-skip_u) / np.log1p(-p))
-        wait = np.where((p >= 1.0) | terminal, 1.0, np.maximum(wait, 1.0))
-        t_next = interactions[rows] + wait.astype(np.int64)
-        over_budget = (t_next > max_interactions) & ~terminal
-
-        alive = ~(terminal | over_budget)
-        interactions[rows] = np.where(alive, t_next, interactions[rows])
-        interactions[rows[over_budget]] = max_interactions
-        exhausted[rows[over_budget]] = True
-
-        if alive.any():
-            event = pick_event(cumulative, event_u * total)
-            opinion = 1 + (event % k)
-            # Events < k are adoptions (undecided -> opinion), events >= k
-            # are clashes (opinion -> undecided).
-            delta = np.where(event < k, -1, 1)
-            alive_rows = rows[alive]
-            flexible[alive_rows, 0] += delta[alive]
-            flexible[alive_rows, opinion[alive]] -= delta[alive]
-
-        active[rows[terminal | over_budget]] = False
+    flexible, interactions, exhausted = lockstep_batch(
+        config.counts,
+        zealots,
+        n,
+        rngs=rngs,
+        max_interactions=max_interactions,
+        event_block=event_block,
+    )
 
     zealot_opinions = set((np.flatnonzero(zealots) + 1).tolist())
     results: list[ZealotRunResult] = []

@@ -23,9 +23,132 @@ import numpy as np
 
 from ..core.config import UNDECIDED, Configuration
 
-__all__ = ["RoundRule", "GossipResult", "run_gossip", "default_round_budget"]
+__all__ = [
+    "RoundRule",
+    "BatchedRoundRule",
+    "BatchedDraws",
+    "IndexStream",
+    "GossipResult",
+    "run_gossip",
+    "run_gossip_batch",
+    "default_round_budget",
+]
 
 RoundRule = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+#: Batched round rule: ``rule(states, draws) -> new_states`` where
+#: ``states`` is the ``(R, n)`` stacked state array of R replicates and
+#: ``draws`` is a :class:`BatchedDraws` serving each replicate's private
+#: bounded-integer stream as stacked ``(R, count)`` arrays.  Row ``r``
+#: must be a pure function of ``(states[r], draws row r)`` — the batched
+#: engine retires replicates independently, and the batch-width
+#: invariance contract (and bit-identity with :func:`run_gossip`)
+#: depends on it.
+BatchedRoundRule = Callable[[np.ndarray, "BatchedDraws"], np.ndarray]
+
+
+class IndexStream:
+    """Buffered bounded-integer draws from one replicate's generator.
+
+    The dominant per-round cost of a batched gossip rule is one
+    ``Generator.integers`` call per replicate (the draws themselves are
+    private per replicate and cannot be merged).  This helper amortizes
+    that call over many rounds by pre-drawing a large block per bound
+    and serving slices from it.
+
+    Consumption per bound is *sequential*: numpy's bounded int64
+    generation produces the same stream regardless of how the draws are
+    chunked into calls, so for rules whose per-round draws all share one
+    bound (USD, Voter, TwoChoices, MedianRule) the served values are
+    bit-identical to the serial rule's own ``integers`` calls.  Rules
+    mixing bounds in one round (3-Majority's sample + tie-break draws)
+    get a per-bound stream each, which reorders consumption relative to
+    the serial rule — same distribution, not bitwise-equal (the test
+    suite cross-validates that rule statistically).
+    """
+
+    __slots__ = ("rng", "rounds", "_buffers")
+
+    def __init__(self, rng: np.random.Generator, rounds: int = 16) -> None:
+        self.rng = rng
+        self.rounds = max(int(rounds), 1)
+        self._buffers: dict[int, tuple[np.ndarray, int]] = {}
+
+    def take(self, high: int, count: int) -> np.ndarray:
+        """The next ``count`` draws of ``integers(0, high)`` (read-only view)."""
+        entry = self._buffers.get(high)
+        if entry is None:
+            data = self.rng.integers(0, high, size=count * self.rounds)
+            cursor = 0
+        else:
+            data, cursor = entry
+            if cursor + count > data.size:
+                leftover = data[cursor:]
+                fresh = self.rng.integers(
+                    0, high, size=max(count * self.rounds, count) - leftover.size
+                )
+                data = np.concatenate([leftover, fresh])
+                cursor = 0
+        self._buffers[high] = (data, cursor + count)
+        return data[cursor : cursor + count]
+
+
+class BatchedDraws:
+    """Stacked per-replicate draws for the batched round engine.
+
+    Serving one ``integers`` call per replicate per round would leave a
+    Python-level loop in every round's hot path.  This helper instead
+    prefetches ``prefetch`` rounds of draws per ``(bound, count)``
+    request shape into one ``(R, prefetch, count)`` block — one Python
+    pass over the replicate axis every ``prefetch`` rounds — and serves
+    ``(R, count)`` slices per round.  Each replicate's draws still come
+    exclusively from its own :class:`IndexStream` in sequential order,
+    so prefetching never changes a trajectory; a finished replicate's
+    over-drawn tail is simply never observed.
+    """
+
+    __slots__ = ("streams", "prefetch", "_blocks")
+
+    def __init__(self, streams: list, prefetch: int = 8) -> None:
+        self.streams = streams
+        self.prefetch = max(int(prefetch), 1)
+        self._blocks: dict[tuple[int, int], list] = {}
+
+    def take(self, high: int, count: int) -> np.ndarray:
+        """The next ``(R, count)`` stacked draws of ``integers(0, high)``.
+
+        The block is stored round-major (``(prefetch, R, count)``), so
+        the per-round serve is a *contiguous* zero-copy view — strided
+        index arrays would push every downstream gather onto numpy's
+        slow paths.
+        """
+        key = (high, count)
+        block = self._blocks.get(key)
+        if block is None or block[1] >= self.prefetch:
+            data = np.empty(
+                (self.prefetch, len(self.streams), count), dtype=np.int64
+            )
+            for row, stream in enumerate(self.streams):
+                data[:, row, :] = stream.take(
+                    high, count * self.prefetch
+                ).reshape(self.prefetch, count)
+            block = [data, 0]
+            self._blocks[key] = block
+        served = block[0][block[1]]
+        block[1] += 1
+        return served
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired replicates, keeping the given rows.
+
+        Called a logarithmic number of times per run (the engine only
+        compacts when half the batch has finished), so the block copies
+        amortize to a vanishing fraction of the round work.
+        """
+        self.streams = [self.streams[i] for i in keep]
+        for block in self._blocks.values():
+            block[0] = np.ascontiguousarray(block[0][:, keep, :])
+
 
 
 @dataclass(frozen=True)
@@ -120,3 +243,112 @@ def run_gossip(
         winner=final.winner,
         budget_exhausted=not converged and not stopped,
     )
+
+
+def run_gossip_batch(
+    config: Configuration,
+    rule: BatchedRoundRule,
+    *,
+    rngs: list,
+    max_rounds: int | None = None,
+) -> list[GossipResult]:
+    """Advance ``len(rngs)`` independent gossip runs in lockstep rounds.
+
+    The vectorized analogue of :func:`run_gossip` (without observer
+    support): replicate state arrays are stacked into one ``(R, n)``
+    matrix and the round rule updates every live replicate in a single
+    numpy pass, so the per-round Python cost is shared by the whole
+    batch.  Replicate ``r`` expands its initial state array from
+    ``rngs[r]`` and then draws every round's randomness from a private
+    :class:`IndexStream` over the same generator (prefetched in stacked
+    blocks by :class:`BatchedDraws`), consuming the exact per-bound
+    integer stream the serial rule would, so results are
+    **bit-identical** to ``run_gossip(config, rule, rng=rngs[r], ...)``
+    with the matching single-bound serial rule (statistically equal for
+    3-Majority, see :class:`IndexStream`) — and in every case invariant
+    to the batch width and the executor.
+
+    Replicates share one uniform round clock, so budget exhaustion hits
+    the whole batch at once, and a consensus state is a *fixed point* of
+    every round rule — once a replicate converges, further rounds leave
+    its row unchanged.  The engine exploits both: a converged replicate
+    records its round and rides along untouched until **half** the
+    current batch has finished, at which point the batch compacts — a
+    logarithmic number of compactions in total, so neither per-round
+    copying nor unbounded straggler riding ever dominates.  A finished
+    replicate's post-consensus draws are never observed in any result.
+    """
+    n = config.n
+    k = config.k
+    if max_rounds is None:
+        max_rounds = default_round_budget(n, k)
+    if max_rounds < 0:
+        raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+    replicates = len(rngs)
+    if replicates == 0:
+        return []
+
+    states = np.stack([config.to_states(rng) for rng in rngs])
+    # BatchedDraws already prefetches whole blocks of rounds, so the
+    # per-stream layer must not multiply that with its own lookahead —
+    # the run would over-draw (and discard) several times what the
+    # typical replicate consumes.
+    draws = BatchedDraws([IndexStream(rng, rounds=1) for rng in rngs])
+    final_counts = np.empty((replicates, k + 1), dtype=np.int64)
+    done_round = np.full(replicates, -1, dtype=np.int64)
+    origin = np.arange(replicates)
+    done_here = np.zeros(replicates, dtype=bool)
+    remaining = replicates
+
+    round_index = 0
+    while True:
+        consensus = (states == states[:, :1]).all(axis=1) & (
+            states[:, 0] != UNDECIDED
+        )
+        newly = consensus & ~done_here
+        if newly.any():
+            rows = np.flatnonzero(newly)
+            done_round[origin[rows]] = round_index
+            done_here[rows] = True
+            remaining -= rows.size
+        if remaining == 0 or round_index >= max_rounds:
+            break
+        width = states.shape[0]
+        if width > 1 and 2 * int(done_here.sum()) >= width:
+            finished = np.flatnonzero(done_here)
+            for row in finished:
+                final_counts[origin[row]] = np.bincount(
+                    states[row], minlength=k + 1
+                )
+            keep = np.flatnonzero(~done_here)
+            states = np.ascontiguousarray(states[keep])
+            origin = origin[keep]
+            draws.compact(keep)
+            done_here = np.zeros(keep.size, dtype=bool)
+        new_states = rule(states, draws)
+        if new_states.shape != states.shape:
+            raise ValueError(
+                f"batched round rule returned shape {new_states.shape}, "
+                f"expected {states.shape}"
+            )
+        states = new_states
+        round_index += 1
+
+    for row in range(states.shape[0]):
+        final_counts[origin[row]] = np.bincount(states[row], minlength=k + 1)
+
+    results: list[GossipResult] = []
+    for r in range(replicates):
+        final = Configuration.from_trusted_counts(final_counts[r])
+        was_consensus = bool(done_round[r] >= 0)
+        results.append(
+            GossipResult(
+                initial=config,
+                final=final,
+                rounds=int(done_round[r]) if was_consensus else max_rounds,
+                converged=was_consensus,
+                winner=final.winner,
+                budget_exhausted=not was_consensus,
+            )
+        )
+    return results

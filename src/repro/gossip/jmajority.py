@@ -29,6 +29,7 @@ from .engine import GossipResult, run_gossip
 
 __all__ = [
     "j_majority_round",
+    "j_majority_round_batch",
     "run_j_majority",
     "run_voter",
     "run_two_choices",
@@ -71,6 +72,41 @@ def j_majority_round(
         # uniformly random sample is adopted.
         pick = samples[rng.integers(0, 3, size=n), np.arange(n)]
         new[:] = pick
+        ab = a == b
+        new[ab] = a[ab]
+        ac = a == c
+        new[ac] = a[ac]
+        bc = b == c
+        new[bc] = b[bc]
+        return new
+    raise ValueError(f"j must be 1, 2 or 3, got j={j}")
+
+
+def j_majority_round_batch(states: np.ndarray, draws, j: int) -> np.ndarray:
+    """One j-majority round for ``R`` stacked replicates (``(R, n)``).
+
+    Row ``r`` consumes replicate ``r``'s private stream (via
+    :class:`~repro.gossip.engine.BatchedDraws`).  For ``j = 1`` and
+    ``j = 2`` (one bound, ``n``) the consumed draws are bit-identical to
+    :func:`j_majority_round`'s own calls; ``j = 3`` interleaves two
+    bounds (samples and tie-breaks), which the per-bound streams
+    reorder, so it matches the serial rule in distribution rather than
+    bitwise.  The majority update runs across the whole replicate axis.
+    """
+    n = states.shape[1]
+    if j == 1:
+        picks = draws.take(n, n)
+        return np.take_along_axis(states, picks, axis=1)
+    if j == 2:
+        first = np.take_along_axis(states, draws.take(n, n), axis=1)
+        second = np.take_along_axis(states, draws.take(n, n), axis=1)
+        return np.where(first == second, first, states)
+    if j == 3:
+        idx = draws.take(n, 3 * n).reshape(-1, 3, n)
+        samples = np.take_along_axis(states[:, None, :], idx, axis=2)
+        tie = draws.take(3, n)
+        a, b, c = samples[:, 0], samples[:, 1], samples[:, 2]
+        new = np.take_along_axis(samples, tie[:, None, :], axis=1)[:, 0]
         ab = a == b
         new[ab] = a[ab]
         ac = a == c

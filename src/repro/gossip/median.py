@@ -18,7 +18,7 @@ import numpy as np
 from ..core.config import Configuration
 from .engine import GossipResult, run_gossip
 
-__all__ = ["median_rule_round", "run_median_rule"]
+__all__ = ["median_rule_round", "median_rule_round_batch", "run_median_rule"]
 
 
 def median_rule_round(states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -26,6 +26,23 @@ def median_rule_round(states: np.ndarray, rng: np.random.Generator) -> np.ndarra
     n = states.size
     first = states[rng.integers(0, n, size=n)]
     second = states[rng.integers(0, n, size=n)]
+    stacked = np.stack([states, first, second])
+    return np.median(stacked, axis=0).astype(states.dtype)
+
+
+def median_rule_round_batch(states: np.ndarray, draws) -> np.ndarray:
+    """One MedianRule round for ``R`` stacked replicates (``(R, n)``).
+
+    Row ``r`` consumes the exact integer stream
+    :func:`median_rule_round` draws (one bound, two samples per agent)
+    from its private stream (via
+    :class:`~repro.gossip.engine.BatchedDraws`), so each row is
+    bit-identical to the serial round; the median itself is taken
+    across the whole replicate axis at once.
+    """
+    n = states.shape[1]
+    first = np.take_along_axis(states, draws.take(n, n), axis=1)
+    second = np.take_along_axis(states, draws.take(n, n), axis=1)
     stacked = np.stack([states, first, second])
     return np.median(stacked, axis=0).astype(states.dtype)
 

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import Configuration
+from ..core.config import UNDECIDED, Configuration
 from ..core.transitions import usd_delta_vectorized
 from .engine import GossipResult, run_gossip
 
-__all__ = ["usd_gossip_round", "run_usd_gossip"]
+__all__ = ["usd_gossip_round", "usd_gossip_round_batch", "run_usd_gossip"]
 
 
 def usd_gossip_round(states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -30,6 +30,41 @@ def usd_gossip_round(states: np.ndarray, rng: np.random.Generator) -> np.ndarray
     n = states.size
     partners = rng.integers(0, n, size=n)
     return usd_delta_vectorized(states, states[partners])
+
+
+def usd_gossip_round_batch(states: np.ndarray, draws) -> np.ndarray:
+    """One USD round for ``R`` stacked replicates (``states`` is ``(R, n)``).
+
+    Row ``r`` draws its partner array from replicate ``r``'s private
+    stream (via :class:`~repro.gossip.engine.BatchedDraws`), consuming
+    the exact integer stream :func:`usd_gossip_round` draws, so every
+    replicate's trajectory is bit-identical to the serial round at the
+    same generator state — only the update is computed across the whole
+    replicate axis.  The USD transition is applied as one lookup-table
+    gather (``delta[responder, initiator]``), which computes exactly
+    :func:`repro.core.transitions.usd_delta_vectorized` in a third of
+    the passes over the ``R × n`` state block.
+    """
+    n = states.shape[1]
+    partners = draws.take(n, n)
+    partner_states = np.take_along_axis(states, partners, axis=1)
+    width = int(states.max()) + 1
+    labels = np.arange(width)
+    # delta[r, i]: undecided responders adopt a decided initiator,
+    # decided responders meeting a different decided opinion go
+    # undecided, everything else keeps its state.
+    delta = np.where(
+        (labels[:, None] == UNDECIDED) & (labels[None, :] != UNDECIDED),
+        labels[None, :],
+        np.where(
+            (labels[:, None] != UNDECIDED)
+            & (labels[None, :] != UNDECIDED)
+            & (labels[:, None] != labels[None, :]),
+            UNDECIDED,
+            labels[:, None],
+        ),
+    )
+    return delta.reshape(-1)[states * width + partner_states]
 
 
 def run_usd_gossip(

@@ -1,0 +1,513 @@
+"""Multi-event lockstep kernels, batched graph/gossip, result transport.
+
+Covers the three invariants the batched execution layer promises:
+
+* **Event-block invariance** — the multi-event USD/zealot kernel yields
+  bit-identical results for every ``event_block`` and stream-buffer
+  size (a replicate consumes the same uniform stream no matter how
+  events are grouped into numpy passes).
+* **Reference fidelity** — the batched graph kernel and the batched
+  gossip rounds replay the serial references bit-for-bit at the same
+  seeds (statistically for 3-Majority, whose draws reorder), and the
+  multi-event kernel matches the single-event kernel in distribution.
+* **Transport equality** — the process executor returns identical
+  results whether workers ship pickles or fixed-width shared-memory
+  records, and falls back to pickling when shared memory or a record
+  codec is unavailable.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.fastsim import simulate as fast_simulate
+from repro.core.simulator import RunResult
+from repro.core.lockstep import (
+    DEFAULT_EVENT_BLOCK,
+    get_default_event_block,
+    lockstep_batch,
+)
+from repro.engine import (
+    engine_defaults,
+    get_scenario,
+    gossip_spec,
+    graph_spec,
+    noise_spec,
+    replicate_seeds,
+    run_ensemble,
+    set_engine_defaults,
+    simulate_batch,
+    simulate_batch_single_event,
+    usd_spec,
+    zealot_spec,
+)
+from repro.engine.scenarios import ScenarioSpec
+from repro.faults.zealots import simulate_zealots_batch
+from repro.gossip.engine import IndexStream, run_gossip, run_gossip_batch
+from repro.gossip.jmajority import j_majority_round, j_majority_round_batch
+from repro.gossip.median import median_rule_round, median_rule_round_batch
+from repro.gossip.usd import usd_gossip_round, usd_gossip_round_batch
+from repro.graphs.dynamics import run_on_edges, run_on_edges_batch
+from repro.workloads import uniform_configuration
+
+
+def rngs_for(seed, count):
+    return [np.random.default_rng(s) for s in replicate_seeds(seed, count)]
+
+
+def results_equal(a, b):
+    for x, y in zip(a, b):
+        if not np.array_equal(x.final.counts, y.final.counts):
+            return False
+        for field in ("interactions", "rounds", "converged", "winner",
+                      "budget_exhausted"):
+            if getattr(x, field, None) != getattr(y, field, None):
+                return False
+    return len(a) == len(b)
+
+
+def ring_edges(n):
+    pairs = set()
+    for i in range(n):
+        for d in (-1, 1):
+            pairs.add((i, (i + d) % n))
+            pairs.add(((i + d) % n, i))
+    return np.array(sorted(pairs), dtype=np.int64)
+
+
+@dataclasses.dataclass(frozen=True)
+class TracedRunResult(RunResult):
+    """RunResult subclass a fixed-width record would flatten."""
+
+    trace_marker: str = "kept"
+
+
+class TracingBackend:
+    """Custom backend returning RunResult subclasses (pickle-safe)."""
+
+    name = "tracing-test-backend"
+
+    def simulate(self, config, *, rng, max_interactions=None, observer=None):
+        base = fast_simulate(
+            config, rng=rng, max_interactions=max_interactions, observer=observer
+        )
+        fields = {f.name: getattr(base, f.name) for f in dataclasses.fields(base)}
+        return TracedRunResult(**fields)
+
+
+class TestEventBlockInvariance:
+    CONFIG = Configuration.from_supports([60, 40, 25], undecided=15)
+
+    def _run(self, block, **kwargs):
+        return simulate_batch(
+            self.CONFIG, rngs=rngs_for(7, 24), event_block=block, **kwargs
+        )
+
+    def test_usd_bit_identical_across_blocks(self):
+        reference = self._run(1)
+        for block in (2, 5, 16, 64):
+            assert results_equal(reference, self._run(block)), block
+
+    def test_stream_buffer_never_changes_results(self):
+        reference = simulate_batch(self.CONFIG, rngs=rngs_for(7, 8))
+        for buffer in (8, 34, 1024):
+            got = lockstep_batch(
+                self.CONFIG.counts,
+                np.zeros(self.CONFIG.k, dtype=np.int64),
+                self.CONFIG.n,
+                rngs=rngs_for(7, 8),
+                max_interactions=10**9,
+                stream_buffer=buffer,
+            )
+            for i, r in enumerate(reference):
+                assert np.array_equal(got[0][i], r.final.counts)
+                assert got[1][i] == r.interactions
+
+    def test_zealot_bit_identical_across_blocks(self):
+        config = Configuration.from_supports([40, 20])
+        reference = simulate_zealots_batch(
+            config, [0, 4], rngs=rngs_for(3, 12),
+            max_interactions=40_000, event_block=1,
+        )
+        for block in (3, 32):
+            got = simulate_zealots_batch(
+                config, [0, 4], rngs=rngs_for(3, 12),
+                max_interactions=40_000, event_block=block,
+            )
+            assert results_equal(reference, got), block
+
+    def test_batch_width_invariance_with_blocks(self):
+        wide = self._run(16)
+        narrow = []
+        for i in range(0, 24, 5):
+            narrow.extend(
+                simulate_batch(
+                    self.CONFIG,
+                    rngs=[
+                        np.random.default_rng(s)
+                        for s in replicate_seeds(7, 24)[i : i + 5]
+                    ],
+                    event_block=16,
+                )
+            )
+        assert results_equal(wide, narrow)
+
+    def test_matches_single_event_kernel_distribution(self):
+        config = uniform_configuration(400, 3)
+        multi = simulate_batch(config, rngs=rngs_for(11, 60))
+        single = simulate_batch_single_event(config, rngs=rngs_for(11, 60))
+        m = np.mean([r.interactions for r in multi])
+        s = np.mean([r.interactions for r in single])
+        assert 0.8 < m / s < 1.25
+        assert abs(
+            np.mean([r.winner == 1 for r in multi])
+            - np.mean([r.winner == 1 for r in single])
+        ) < 0.3
+
+    def test_budget_and_absorbing_edges(self):
+        capped = simulate_batch(
+            self.CONFIG, rngs=rngs_for(1, 4), max_interactions=500, event_block=8
+        )
+        assert all(r.interactions == 500 and r.budget_exhausted for r in capped)
+        consensus = simulate_batch(
+            Configuration.from_supports([30, 0]), rngs=rngs_for(1, 2)
+        )
+        assert all(
+            r.converged and r.winner == 1 and r.interactions == 0
+            for r in consensus
+        )
+        undecided = simulate_batch(
+            Configuration.from_supports([0, 0], undecided=20), rngs=rngs_for(1, 2)
+        )
+        assert all(
+            not r.converged and not r.budget_exhausted and r.interactions == 0
+            for r in undecided
+        )
+
+    def test_event_block_option_plumbing(self, monkeypatch):
+        from repro.core import lockstep
+
+        monkeypatch.setattr(lockstep, "_EVENT_BLOCK_OVERRIDE", None)
+        monkeypatch.delenv("REPRO_ENGINE_EVENT_BLOCK", raising=False)
+        assert get_default_event_block() == DEFAULT_EVENT_BLOCK
+        monkeypatch.setenv("REPRO_ENGINE_EVENT_BLOCK", "4")
+        assert get_default_event_block() == 4
+        set_engine_defaults(event_block=9)
+        try:
+            assert get_default_event_block() == 9
+            assert engine_defaults()["event_block"] == 9
+        finally:
+            monkeypatch.setattr(lockstep, "_EVENT_BLOCK_OVERRIDE", None)
+        monkeypatch.setenv("REPRO_ENGINE_EVENT_BLOCK", "0")
+        with pytest.raises(ValueError):
+            get_default_event_block()
+        with pytest.raises(ValueError):
+            set_engine_defaults(event_block=0)
+
+    def test_invalid_event_block_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_batch(self.CONFIG, rngs=rngs_for(1, 2), event_block=0)
+
+
+class TestGraphBatched:
+    N = 48
+    K = 3
+
+    def setup_method(self):
+        self.edges = ring_edges(self.N)
+        rng = np.random.default_rng(0)
+        self.states = rng.integers(0, self.K + 1, size=self.N)
+
+    def test_bit_identical_to_serial_kernel(self):
+        seeds = list(range(8))
+        serial = [
+            run_on_edges(
+                self.edges, self.states, rng=np.random.default_rng(s), k=self.K
+            )
+            for s in seeds
+        ]
+        batch = run_on_edges_batch(
+            self.edges,
+            self.states,
+            rngs=[np.random.default_rng(s) for s in seeds],
+            k=self.K,
+        )
+        assert results_equal(serial, batch)
+
+    def test_per_replicate_rows_and_budget(self):
+        rows = np.stack(
+            [np.random.default_rng(50 + s).permutation(self.states) for s in range(6)]
+        )
+        serial = [
+            run_on_edges(
+                self.edges, rows[i], rng=np.random.default_rng(i), k=self.K,
+                max_interactions=300,
+            )
+            for i in range(6)
+        ]
+        batch = run_on_edges_batch(
+            self.edges, rows, rngs=[np.random.default_rng(i) for i in range(6)],
+            k=self.K, max_interactions=300,
+        )
+        assert results_equal(serial, batch)
+
+    def test_scenario_batched_matches_reference(self):
+        spec = graph_spec(self.edges, config=uniform_configuration(self.N, 2))
+        reference = run_ensemble(spec, 6, seed=9, max_interactions=150_000)
+        batched = run_ensemble(
+            spec, 6, seed=9, backend="batched", max_interactions=150_000
+        )
+        assert results_equal(reference, batched)
+        process = run_ensemble(
+            spec, 6, seed=9, backend="batched", executor="process", jobs=2,
+            max_interactions=150_000,
+        )
+        assert results_equal(reference, process)
+
+    def test_row_count_must_match_replicates(self):
+        rows = np.stack([self.states, self.states])
+        with pytest.raises(ValueError):
+            run_on_edges_batch(
+                self.edges, rows,
+                rngs=[np.random.default_rng(s) for s in range(3)], k=self.K,
+            )
+
+
+class TestGossipBatched:
+    DECIDED = Configuration.from_supports([70, 60, 40])
+
+    @pytest.mark.parametrize(
+        "serial_rule,batch_rule,config",
+        [
+            (usd_gossip_round, usd_gossip_round_batch,
+             uniform_configuration(150, 3)),
+            (lambda s, r: j_majority_round(s, r, 1),
+             lambda s, st: j_majority_round_batch(s, st, 1), DECIDED),
+            (lambda s, r: j_majority_round(s, r, 2),
+             lambda s, st: j_majority_round_batch(s, st, 2), DECIDED),
+            (median_rule_round, median_rule_round_batch, DECIDED),
+        ],
+        ids=["usd", "voter", "two-choices", "median"],
+    )
+    def test_bit_identical_to_serial_engine(self, serial_rule, batch_rule, config):
+        seeds = list(range(8))
+        serial = [
+            run_gossip(config, serial_rule, rng=np.random.default_rng(s))
+            for s in seeds
+        ]
+        batch = run_gossip_batch(
+            config, batch_rule, rngs=[np.random.default_rng(s) for s in seeds]
+        )
+        assert results_equal(serial, batch)
+
+    def test_three_majority_matches_statistically(self):
+        serial = [
+            run_gossip(
+                self.DECIDED,
+                lambda s, r: j_majority_round(s, r, 3),
+                rng=np.random.default_rng(s),
+            )
+            for s in range(24)
+        ]
+        batch = run_gossip_batch(
+            self.DECIDED,
+            lambda s, st: j_majority_round_batch(s, st, 3),
+            rngs=[np.random.default_rng(s) for s in range(24)],
+        )
+        s_rounds = np.mean([r.rounds for r in serial])
+        b_rounds = np.mean([r.rounds for r in batch])
+        assert 0.5 < b_rounds / max(s_rounds, 1e-9) < 2.0
+        assert all(r.converged for r in batch)
+
+    def test_round_budget(self):
+        config = uniform_configuration(200, 3)
+        batch = run_gossip_batch(
+            config, usd_gossip_round_batch,
+            rngs=[np.random.default_rng(s) for s in range(4)], max_rounds=2,
+        )
+        serial = [
+            run_gossip(
+                config, usd_gossip_round,
+                rng=np.random.default_rng(s), max_rounds=2,
+            )
+            for s in range(4)
+        ]
+        assert results_equal(serial, batch)
+        assert all(r.rounds == 2 and r.budget_exhausted for r in batch)
+
+    def test_scenario_batched_through_engine(self):
+        spec = gossip_spec(uniform_configuration(150, 3))
+        reference = run_ensemble(spec, 6, seed=2)
+        batched = run_ensemble(spec, 6, seed=2, backend="batched")
+        assert results_equal(reference, batched)
+        narrow = run_ensemble(spec, 6, seed=2, backend="batched", batch_size=2)
+        assert results_equal(reference, narrow)
+
+    def test_index_stream_is_chunk_invariant(self):
+        direct = np.random.default_rng(5).integers(0, 37, size=120)
+        stream = IndexStream(np.random.default_rng(5), rounds=2)
+        served = np.concatenate([stream.take(37, 15) for _ in range(8)])
+        assert np.array_equal(direct, served)
+
+
+class TestResultTransport:
+    @pytest.fixture()
+    def workloads(self):
+        edges = ring_edges(40)
+        return [
+            (usd_spec(uniform_configuration(200, 3)), {}),
+            (graph_spec(edges, config=uniform_configuration(40, 2)),
+             {"max_interactions": 50_000}),
+            (zealot_spec(uniform_configuration(120, 2), [0, 4]),
+             {"max_interactions": 30_000, "backend": "batched"}),
+            (noise_spec(uniform_configuration(100, 2), 0.02, 3_000),
+             {"backend": "batched"}),
+            (gossip_spec(uniform_configuration(150, 3)), {}),
+        ]
+
+    def test_shared_equals_pickle_equals_serial(self, workloads):
+        for spec, kwargs in workloads:
+            serial = run_ensemble(spec, 5, seed=13, executor="serial", **kwargs)
+            pickle = run_ensemble(
+                spec, 5, seed=13, executor="process", jobs=2,
+                result_transport="pickle", **kwargs,
+            )
+            shared = run_ensemble(
+                spec, 5, seed=13, executor="process", jobs=2,
+                result_transport="shared", **kwargs,
+            )
+            assert results_equal(serial, pickle), spec.scenario
+            assert results_equal(pickle, shared), spec.scenario
+
+    def test_record_codecs_roundtrip(self, workloads):
+        for spec, kwargs in workloads:
+            scenario = get_scenario(spec.scenario)
+            assert scenario.record_transport
+            results = run_ensemble(spec, 3, seed=1, executor="serial", **kwargs)
+            ints = np.zeros(scenario.record_ints(spec), dtype=np.int64)
+            floats = np.zeros(max(scenario.record_floats, 1), dtype=np.float64)
+            for result in results:
+                scenario.encode_record(spec, result, ints, floats)
+                decoded = scenario.decode_record(spec, ints, floats)
+                assert type(decoded) is type(result)
+                assert np.array_equal(decoded.final.counts, result.final.counts)
+                for field in ("interactions", "rounds", "converged", "winner",
+                              "budget_exhausted", "max_plurality_fraction",
+                              "tail_mean_plurality_fraction"):
+                    assert getattr(decoded, field, None) == getattr(
+                        result, field, None
+                    ), (spec.scenario, field)
+
+    def test_fallback_without_shared_memory(self, monkeypatch):
+        from repro.engine import executors
+
+        monkeypatch.setattr(executors, "_shared_memory", None)
+        config = uniform_configuration(150, 2)
+        got = run_ensemble(
+            config, 4, seed=3, executor="process", jobs=2,
+            result_transport="shared",
+        )
+        want = run_ensemble(config, 4, seed=3, executor="serial")
+        assert results_equal(want, got)
+
+    def test_fallback_without_record_codec(self):
+        from repro.engine import Scenario, register_scenario
+        from repro.engine.scenarios import _REGISTRY
+
+        class NoCodec(Scenario):
+            name = "no-codec"
+            description = "scenario without a record codec"
+
+            def reference(self, spec, *, rng, max_interactions=None):
+                from repro.core.fastsim import simulate
+
+                return simulate(
+                    spec.config, rng=rng, max_interactions=max_interactions
+                )
+
+        register_scenario(NoCodec())
+        try:
+            spec = ScenarioSpec.create(
+                "no-codec", Configuration.from_supports([30, 20])
+            )
+            got = run_ensemble(
+                spec, 3, seed=5, executor="process", jobs=2,
+                result_transport="shared",
+            )
+            want = run_ensemble(spec, 3, seed=5, executor="serial")
+            assert results_equal(want, got)
+        finally:
+            _REGISTRY.pop("no-codec", None)
+
+    def test_transport_option_plumbing(self, monkeypatch):
+        from repro.engine import get_default_result_transport, options
+
+        monkeypatch.setattr(options, "_RESULT_TRANSPORT_OVERRIDE", None)
+        monkeypatch.delenv("REPRO_ENGINE_RESULT_TRANSPORT", raising=False)
+        assert get_default_result_transport() == "shared"
+        monkeypatch.setenv("REPRO_ENGINE_RESULT_TRANSPORT", "pickle")
+        assert get_default_result_transport() == "pickle"
+        monkeypatch.setenv("REPRO_ENGINE_RESULT_TRANSPORT", "carrier-pigeon")
+        with pytest.raises(ValueError):
+            get_default_result_transport()
+        with pytest.raises(ValueError):
+            set_engine_defaults(result_transport="carrier-pigeon")
+        monkeypatch.delenv("REPRO_ENGINE_RESULT_TRANSPORT", raising=False)
+        set_engine_defaults(result_transport="pickle")
+        try:
+            assert engine_defaults()["result_transport"] == "pickle"
+        finally:
+            monkeypatch.setattr(options, "_RESULT_TRANSPORT_OVERRIDE", None)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            run_ensemble(
+                uniform_configuration(50, 2), 2, seed=1,
+                executor="process", jobs=2, result_transport="smoke-signals",
+            )
+
+    def test_custom_backend_subclass_results_survive_process_runs(self):
+        # A custom registered backend may return a RunResult subclass;
+        # the record codec would flatten it, so the USD scenario must
+        # veto shared memory for that variant and keep the pickle path.
+        from repro.engine import get_scenario, register_backend
+        from repro.engine.backends import _REGISTRY as _BACKENDS
+
+        register_backend(TracingBackend())
+        try:
+            assert not get_scenario("usd").record_transport_for(
+                "tracing-test-backend"
+            )
+            assert get_scenario("usd").record_transport_for("batched")
+            results = run_ensemble(
+                uniform_configuration(60, 2), 3, seed=2,
+                backend="tracing-test-backend", executor="process", jobs=2,
+                result_transport="shared",
+            )
+            assert all(r.trace_marker == "kept" for r in results)
+        finally:
+            _BACKENDS.pop("tracing-test-backend", None)
+
+    def test_sweep_cli_applies_event_block_and_transport(self, monkeypatch):
+        from repro.cli import main
+        from repro.core import lockstep
+        from repro.engine import (
+            get_default_event_block,
+            get_default_result_transport,
+            options,
+        )
+
+        monkeypatch.setattr(lockstep, "_EVENT_BLOCK_OVERRIDE", None)
+        monkeypatch.setattr(options, "_RESULT_TRANSPORT_OVERRIDE", None)
+        assert main([
+            "sweep", "--param", "n=40", "--param", "k=2", "--trials", "2",
+            "--event-block", "7", "--result-transport", "pickle", "--no-cache",
+        ]) == 0
+        try:
+            assert get_default_event_block() == 7
+            assert get_default_result_transport() == "pickle"
+        finally:
+            monkeypatch.setattr(lockstep, "_EVENT_BLOCK_OVERRIDE", None)
+            monkeypatch.setattr(options, "_RESULT_TRANSPORT_OVERRIDE", None)

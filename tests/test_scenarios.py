@@ -303,15 +303,39 @@ class TestBatchedVariants:
             r.final.counts.tolist() for r in narrow
         ]
 
+    def test_every_builtin_scenario_has_a_batched_variant(self):
+        for name in ("usd", "graph", "zealots", "noise", "gossip"):
+            assert "batched" in get_scenario(name).variants(), name
+            assert get_scenario(name).variant("batched") == "batched", name
+
     def test_batched_falls_back_to_reference_without_kernel(self):
-        # graph/gossip have no batched kernel; a session-wide
-        # --backend batched must not break them.
-        config = Configuration.from_supports([30, 20])
-        spec = gossip_spec(config)
-        assert get_scenario("gossip").variant("batched") == "reference"
-        batched = run_ensemble(spec, 3, seed=4, backend="batched")
-        reference = run_ensemble(spec, 3, seed=4)
-        assert results_key(batched) == results_key(reference)
+        # A scenario without a batched kernel must not break under a
+        # session-wide --backend batched.
+        from repro.engine import Scenario, register_scenario
+        from repro.engine.scenarios import _REGISTRY
+
+        class PlainScenario(Scenario):
+            name = "plain-reference-only"
+            description = "reference-only custom scenario"
+
+            def reference(self, spec, *, rng, max_interactions=None):
+                from repro.core.fastsim import simulate
+
+                return simulate(
+                    spec.config, rng=rng, max_interactions=max_interactions
+                )
+
+        register_scenario(PlainScenario())
+        try:
+            scenario = get_scenario("plain-reference-only")
+            assert scenario.variant("batched") == "reference"
+            spec = ScenarioSpec.create("plain-reference-only",
+                                       Configuration.from_supports([30, 20]))
+            batched = run_ensemble(spec, 3, seed=4, backend="batched")
+            reference = run_ensemble(spec, 3, seed=4)
+            assert results_key(batched) == results_key(reference)
+        finally:
+            _REGISTRY.pop("plain-reference-only", None)
 
 
 class TestExecutors:
@@ -369,7 +393,8 @@ class TestVariantResolution:
         monkeypatch.setattr(options, "_BACKEND_OVERRIDE", "batched")
         assert get_scenario("zealots").variant(None) == "batched"
         assert get_scenario("noise").variant(None) == "batched"
-        assert get_scenario("gossip").variant(None) == "reference"
+        assert get_scenario("graph").variant(None) == "batched"
+        assert get_scenario("gossip").variant(None) == "batched"
 
     def test_unknown_session_default_falls_back_to_reference(self, monkeypatch):
         # A custom USD backend as the session default must not break
