@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.engine import (
+    Engine,
     SweepSpec,
     engine_defaults,
     get_backend,
@@ -371,12 +372,15 @@ def run_sweep_smoke(
 
     Both sides run the identical grid on the multiprocessing executor
     with ``jobs`` workers and the same per-cell seeds.  The legacy side
-    is the pre-sweep shape — one ``run_ensemble`` barrier per cell, so
-    every cell waits for its slowest replicate before the next cell may
-    start — while the flattened side is a single :func:`run_sweep` work
-    queue over all cells.  Results are asserted identical, the timing
-    difference is the scheduling win.  Writes ``BENCH_sweeps.json`` when
-    ``output`` is given (the CI artifact).
+    is the pre-sweep, pre-session shape — one ``run_ensemble`` barrier
+    per cell on a **fresh pool per cell** (every cell waits for its
+    slowest replicate before the next cell may start; a one-cell
+    ``Engine`` session pins the historical pool-per-call lifetime, which
+    the default session would otherwise amortize away) — while the
+    flattened side is a single :func:`run_sweep` work queue over all
+    cells.  Results are asserted identical, the timing difference is the
+    scheduling win.  Writes ``BENCH_sweeps.json`` when ``output`` is
+    given (the CI artifact).
     """
     ns = ns if ns is not None else [400, 800, 1600, 3200]
     grid = [{"n": n, "k": k} for n in ns]
@@ -384,16 +388,18 @@ def run_sweep_smoke(
     cell_seeds = [seed + index for index in range(len(grid))]
 
     start = time.perf_counter()
-    legacy_results = [
-        run_ensemble(
-            uniform_configuration(**params),
-            trials,
-            seed=cell_seed,
-            executor="process",
-            jobs=jobs,
-        )
-        for params, cell_seed in zip(grid, cell_seeds)
-    ]
+    legacy_results = []
+    for params, cell_seed in zip(grid, cell_seeds):
+        with Engine(jobs=jobs) as cell_engine:
+            legacy_results.append(
+                cell_engine.ensemble(
+                    uniform_configuration(**params),
+                    trials,
+                    seed=cell_seed,
+                    executor="process",
+                    jobs=jobs,
+                )
+            )
     legacy_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -425,6 +431,104 @@ def run_sweep_smoke(
             "replicates_per_second": replicates / flattened_seconds,
         },
         "speedup": legacy_seconds / flattened_seconds,
+        "bit_identical": True,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def run_pool_reuse_smoke(
+    *,
+    ns: list[int] | None = None,
+    k: int = 3,
+    trials: int = 4,
+    sweeps: int = 5,
+    jobs: int = 2,
+    seed: int = 20230224,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Persistent-pool ablation: fresh pool per sweep vs one session pool.
+
+    Runs the same sequence of ``sweeps`` small sweeps twice on the
+    process executor: once the pre-session way — a fresh
+    :class:`repro.engine.Engine` (and therefore a fresh worker pool) per
+    sweep, spawn and teardown paid every time — and once through ONE
+    session whose lazily-spawned pool serves every sweep.  Per-sweep
+    seeds differ so nothing is cached; results are asserted identical
+    between the two modes (pool lifetime cannot affect them), so the
+    timing gap is pure worker spawn/teardown amortization — the win a
+    whole ``repro report`` or repeated-sweep workload collects from the
+    session redesign.  Merged into ``BENCH_sweeps.json`` by
+    ``sweep_smoke.py`` (the CI artifact, gated at >= 1.2x).
+
+    The default workload is deliberately tiny (pool spawn must dominate
+    simulation time for the ablation to isolate it); real workloads see
+    a smaller relative win per sweep but the same absolute saving per
+    avoided spawn.
+    """
+    ns = ns if ns is not None else [40, 60]
+    grid = [{"n": n, "k": k} for n in ns]
+    spec = SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
+    sweep_seeds = [seed + index for index in range(sweeps)]
+
+    def outcome_key(outcome):
+        return [
+            (r.interactions, r.winner)
+            for cell in outcome
+            for r in cell.results
+        ]
+
+    start = time.perf_counter()
+    fresh_keys = []
+    for sweep_seed in sweep_seeds:
+        with Engine(jobs=jobs) as eng:
+            fresh_keys.append(
+                outcome_key(
+                    eng.sweep(spec, seed=sweep_seed, executor="process", jobs=jobs)
+                )
+            )
+    fresh_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reused_keys = []
+    with Engine(jobs=jobs) as eng:
+        for sweep_seed in sweep_seeds:
+            reused_keys.append(
+                outcome_key(
+                    eng.sweep(spec, seed=sweep_seed, executor="process", jobs=jobs)
+                )
+            )
+        session_stats = eng.stats()
+    reused_seconds = time.perf_counter() - start
+
+    assert fresh_keys == reused_keys, "pool lifetime changed sweep results"
+    assert session_stats["pool"]["spawns"] == 1, "session pool was respawned"
+    assert session_stats["pool"]["reuses"] == sweeps - 1
+
+    replicates = spec.total_trials * sweeps
+    record = {
+        "workload": {
+            "ns": ns,
+            "k": k,
+            "trials_per_cell": trials,
+            "sweeps": sweeps,
+            "seed": seed,
+        },
+        "jobs": jobs,
+        "replicates": replicates,
+        "fresh_pool_per_sweep": {
+            "seconds": fresh_seconds,
+            "pool_spawns": sweeps,
+            "replicates_per_second": replicates / fresh_seconds,
+        },
+        "session_reused_pool": {
+            "seconds": reused_seconds,
+            "pool_spawns": 1,
+            "pool_reuses": sweeps - 1,
+            "replicates_per_second": replicates / reused_seconds,
+        },
+        "speedup": fresh_seconds / reused_seconds,
         "bit_identical": True,
     }
     if output is not None:

@@ -1,30 +1,44 @@
-"""Sweep scheduling smoke: flattened work queue vs per-cell barrier.
+"""Sweep smokes: flattened scheduling + persistent-pool session ablation.
 
-Times one multi-cell sweep twice on the multiprocessing executor with
-identical per-cell seeds: once the legacy way (one ``run_ensemble``
-barrier per grid cell, so every cell stalls on its slowest replicate
-before the next cell starts) and once flattened through
-``repro.engine.run_sweep`` (all cells' replicates in a single work
-queue).  Results are asserted bit-identical; the timing gap is the
-cross-cell scheduling win.  Writes a ``BENCH_sweeps.json`` artifact.
+Two measurements, merged into one ``BENCH_sweeps.json`` artifact:
+
+* **scheduling** — times one multi-cell sweep twice on the
+  multiprocessing executor with identical per-cell seeds: once the
+  legacy way (one ``run_ensemble`` barrier per grid cell, so every cell
+  stalls on its slowest replicate before the next cell starts) and once
+  flattened through ``repro.engine.run_sweep`` (all cells' replicates
+  in a single work queue).  Results are asserted bit-identical; the
+  timing gap is the cross-cell scheduling win.
+* **pool_reuse** — runs the same sequence of small sweeps twice on the
+  process executor: a fresh ``Engine`` (fresh worker pool) per sweep vs
+  ONE session whose persistent pool serves every sweep.  Results are
+  asserted identical; the timing gap is the worker spawn/teardown
+  amortization the session redesign buys repeated sweeps (and a whole
+  ``repro report``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/sweep_smoke.py \
         [--ns 400,800,1600,3200] [--k 3] [--trials 24] [--jobs 2] \
-        [--seed 20230224] [--output BENCH_sweeps.json] [--min-speedup 0]
+        [--pool-ns 40,60] [--pool-trials 4] [--pool-sweeps 5] \
+        [--seed 20230224] [--output BENCH_sweeps.json] \
+        [--min-speedup 0] [--min-pool-reuse-speedup 0]
 
-Exits non-zero when the measured speedup falls below ``--min-speedup``
-(the default 0 records without gating — barrier overhead depends on
-replicate-duration variance, which CI machines don't guarantee).
+Exits non-zero when a measured speedup falls below its threshold.  The
+scheduling gate defaults to 0 (records without gating — barrier
+overhead depends on replicate-duration variance, which CI machines
+don't guarantee); CI gates the pool-reuse ablation at 1.2x, the spawn
+overhead being deterministic enough to assert.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
-from _harness import run_sweep_smoke
+from _harness import run_pool_reuse_smoke, run_sweep_smoke
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -38,40 +52,92 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trials", type=int, default=24)
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--seed", type=int, default=20230224)
+    parser.add_argument(
+        "--pool-ns",
+        default="40,60",
+        help="population sizes per cell for the persistent-pool ablation "
+        "(deliberately tiny so pool spawn dominates)",
+    )
+    parser.add_argument("--pool-trials", type=int, default=4)
+    parser.add_argument(
+        "--pool-sweeps",
+        type=int,
+        default=5,
+        help="sweeps run back to back in the persistent-pool ablation",
+    )
     parser.add_argument("--output", default="BENCH_sweeps.json")
     parser.add_argument("--min-speedup", type=float, default=0.0)
+    parser.add_argument(
+        "--min-pool-reuse-speedup",
+        type=float,
+        default=0.0,
+        help="fail when session-reused pool is below this multiple of the "
+        "fresh-pool-per-sweep baseline (CI gates at 1.2)",
+    )
     args = parser.parse_args(argv)
 
     ns = [int(part) for part in args.ns.split(",") if part.strip() != ""]
-    record = run_sweep_smoke(
+    scheduling = run_sweep_smoke(
         ns=ns,
         k=args.k,
         trials=args.trials,
         jobs=args.jobs,
         seed=args.seed,
-        output=args.output,
     )
-    legacy = record["legacy_per_cell_barrier"]
-    flattened = record["flattened_run_sweep"]
+    pool_ns = [int(part) for part in args.pool_ns.split(",") if part.strip() != ""]
+    pool_reuse = run_pool_reuse_smoke(
+        ns=pool_ns,
+        k=args.k,
+        trials=args.pool_trials,
+        sweeps=args.pool_sweeps,
+        jobs=args.jobs,
+        seed=args.seed,
+    )
+    record = {"scheduling": scheduling, "pool_reuse": pool_reuse}
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    legacy = scheduling["legacy_per_cell_barrier"]
+    flattened = scheduling["flattened_run_sweep"]
     print(
-        f"legacy barrier: {record['replicates']} replicates over "
-        f"{record['cells']} cells in {legacy['seconds']:.2f}s = "
+        f"legacy barrier: {scheduling['replicates']} replicates over "
+        f"{scheduling['cells']} cells in {legacy['seconds']:.2f}s = "
         f"{legacy['replicates_per_second']:.2f} rep/s"
     )
     print(
-        f"flattened:      {record['replicates']} replicates over "
-        f"{record['cells']} cells in {flattened['seconds']:.2f}s = "
+        f"flattened:      {scheduling['replicates']} replicates over "
+        f"{scheduling['cells']} cells in {flattened['seconds']:.2f}s = "
         f"{flattened['replicates_per_second']:.2f} rep/s"
     )
-    print(f"speedup:        {record['speedup']:.2f}x  (wrote {args.output})")
-    if record["speedup"] < args.min_speedup:
+    print(f"speedup:        {scheduling['speedup']:.2f}x")
+    fresh = pool_reuse["fresh_pool_per_sweep"]
+    reused = pool_reuse["session_reused_pool"]
+    print(
+        f"fresh pools:    {pool_reuse['workload']['sweeps']} sweeps, one pool "
+        f"each, in {fresh['seconds']:.2f}s"
+    )
+    print(
+        f"session pool:   same sweeps on one persistent pool in "
+        f"{reused['seconds']:.2f}s"
+    )
+    print(
+        f"pool speedup:   {pool_reuse['speedup']:.2f}x  (wrote {args.output})"
+    )
+    code = 0
+    if scheduling["speedup"] < args.min_speedup:
         print(
-            f"FAIL: speedup {record['speedup']:.2f} below "
+            f"FAIL: scheduling speedup {scheduling['speedup']:.2f} below "
             f"threshold {args.min_speedup}",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        code = 1
+    if pool_reuse["speedup"] < args.min_pool_reuse_speedup:
+        print(
+            f"FAIL: pool-reuse speedup {pool_reuse['speedup']:.2f} below "
+            f"threshold {args.min_pool_reuse_speedup}",
+            file=sys.stderr,
+        )
+        code = 1
+    return code
 
 
 if __name__ == "__main__":

@@ -22,11 +22,12 @@ from ..core.config import Configuration
 from ..core.simulator import RunResult
 from ..engine import (
     Backend,
+    Engine,
     EnsembleCache,
     ScenarioSpec,
     coerce_spec,
+    current_engine,
     replicate_seeds,
-    run_ensemble,
 )
 from .stats import SummaryStats, summarize, wilson_interval
 
@@ -141,6 +142,7 @@ def run_trials(
     executor: str | None = None,
     jobs: int | None = None,
     cache: bool | EnsembleCache | None = None,
+    engine: Engine | None = None,
 ) -> TrialEnsemble:
     """Run ``trials`` independent runs of a workload and aggregate them.
 
@@ -150,9 +152,16 @@ def run_trials(
     generator spawned from ``seed`` (:func:`repro.engine.replicate_seeds`)
     so ensembles are reproducible, order-independent, and identical
     across backends' seed derivation, executors and batch widths.
-    ``backend``/``executor``/``jobs``/``cache`` are forwarded to
-    :func:`repro.engine.run_ensemble`; ``simulator`` is a legacy escape
-    hatch for a bare ``simulate``-style callable and bypasses the engine.
+
+    The ensemble runs on an engine **session**: ``engine`` when given,
+    else the current session (:func:`repro.engine.current_engine` — the
+    scoped session inside ``with repro.engine.engine(...):`` blocks, the
+    module-level default otherwise), so repeated calls share one
+    persistent executor pool and one cache handle.
+    ``backend``/``executor``/``jobs``/``cache`` are per-call overrides
+    forwarded to :meth:`repro.engine.Engine.ensemble`; ``simulator`` is
+    a legacy escape hatch for a bare ``simulate``-style callable and
+    bypasses the engine.
 
     Aggregation is duck-typed over the scenario's result type: the
     per-replicate cost is ``interactions`` when present (``rounds`` for
@@ -178,7 +187,8 @@ def run_trials(
             for child in replicate_seeds(seed, trials)
         ]
     else:
-        results = run_ensemble(
+        session = engine if engine is not None else current_engine()
+        results = session.ensemble(
             spec,
             trials,
             seed=seed,

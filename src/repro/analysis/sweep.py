@@ -27,7 +27,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..core.config import Configuration
-from ..engine import Backend, SweepSpec, run_sweep
+from ..engine import Backend, Engine, SweepSpec, current_engine
 from .convergence import TrialEnsemble, aggregate_results
 
 __all__ = ["SweepPoint", "SweepResult", "sweep"]
@@ -85,6 +85,7 @@ def sweep(
     cache=None,
     cell_seeds: Sequence[int | np.random.SeedSequence] | None = None,
     seed_derivation: str = "legacy",
+    engine: Engine | None = None,
 ) -> SweepResult:
     """Run ``trials`` runs at each grid point.
 
@@ -104,21 +105,28 @@ def sweep(
         Either a constant budget, a callable mapping the grid point to a
         budget, or ``None`` for the simulator default.
     backend, executor, jobs, cache:
-        Engine selection, forwarded to :func:`repro.engine.run_sweep`:
+        Engine selection, forwarded to :meth:`repro.engine.Engine.sweep`:
         the whole grid runs as one flattened replicate pool (no per-cell
         barrier) and caches per cell.
     cell_seeds, seed_derivation:
-        Per-cell seeding, forwarded to :func:`repro.engine.run_sweep`.
+        Per-cell seeding, forwarded to :meth:`repro.engine.Engine.sweep`.
         The facade defaults to the ``"legacy"`` derivation so existing
         fixed-seed results stay bit-identical; pass ``"spawn"`` for the
         engine's full-entropy derivation, or explicit ``cell_seeds``.
+    engine:
+        The session to run on; ``None`` uses the current session
+        (:func:`repro.engine.current_engine`), so sweeps inside a
+        ``with repro.engine.engine(...):`` block — or a whole
+        ``repro report`` invocation — share one persistent executor
+        pool and one cache handle.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     spec = SweepSpec.from_grid(
         grid, build_config, trials=trials, max_interactions=max_interactions
     )
-    outcome = run_sweep(
+    session = engine if engine is not None else current_engine()
+    outcome = session.sweep(
         spec,
         seed=seed,
         cell_seeds=cell_seeds,

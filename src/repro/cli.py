@@ -27,16 +27,26 @@ Commands
     per-cell barrier — with optional per-cell caching under a
     sweep-level index (``--cache``).
 ``cache stats|clear [--cache-dir D]``
-    Inspect or empty the on-disk ensemble cache.
+    Inspect or empty the on-disk ensemble cache.  ``stats`` also
+    reports per-sweep resume state: for every ``*.sweep.json`` index,
+    how many of its cells' ensemble entries are complete vs missing
+    (an interrupted or partially evicted sweep shows up as
+    ``resumable`` — rerunning it recomputes only the missing cells).
 
 Engine selection
 ----------------
-``--backend {agents,jump,batched}`` picks the simulation backend (for
-non-USD scenarios, ``batched`` selects the scenario's vectorized variant
-when it has one), ``--jobs J`` enables the multiprocessing executor with
-``J`` workers, and ``--cache``/``--no-cache`` turns the on-disk ensemble
-cache on or off (``--cache-dir`` relocates it) for every ensemble the
-command runs (see :mod:`repro.engine`).
+Every simulating subcommand builds exactly **one engine session**
+(:class:`repro.engine.Engine`) from its flags and runs everything inside
+it, so the whole invocation — all experiments of a ``report``, every
+cell of a ``sweep`` — shares one persistent worker pool and one open
+cache handle.  ``--backend {agents,jump,batched}`` picks the simulation
+backend (for non-USD scenarios, ``batched`` selects the scenario's
+vectorized variant when it has one), ``--jobs J`` enables the
+multiprocessing executor with ``J`` workers, and
+``--cache``/``--no-cache`` turns the on-disk ensemble cache on or off
+(``--cache-dir`` relocates it) for every ensemble the command runs (see
+:mod:`repro.engine`).  Flags are frozen into the session's options at
+startup; nothing mutates process-wide state.
 """
 
 from __future__ import annotations
@@ -51,21 +61,18 @@ from .core.phases import PhaseTracker
 from .engine import (
     RESULT_TRANSPORTS,
     SEED_DERIVATIONS,
+    Engine,
     EnsembleCache,
     SweepSpec,
     available_backends,
     available_scenarios,
+    engine,
     get_backend,
-    get_default_backend,
-    get_default_cache,
     get_default_cache_dir,
     get_scenario,
     gossip_spec,
     graph_spec,
     noise_spec,
-    run_ensemble,
-    run_sweep,
-    set_engine_defaults,
     usd_spec,
     zealot_spec,
 )
@@ -301,9 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _apply_engine_arguments(args) -> None:
-    """Install the command's engine selection as the session default."""
-    set_engine_defaults(
+def _build_engine(args) -> Engine:
+    """One session per CLI invocation, frozen from the parsed flags.
+
+    Every subcommand that simulates builds exactly one
+    :class:`repro.engine.Engine` here (unset flags fall back to the
+    ``REPRO_ENGINE_*`` environment, then the built-ins) and scopes it
+    with ``with engine(eng):`` so *everything* the command runs —
+    experiments, the trial runner, sweeps, single simulations — shares
+    that session's persistent executor pool and open cache handle.
+    """
+    return Engine(
         backend=args.backend,
         jobs=args.jobs,
         cache=args.cache,
@@ -314,20 +329,29 @@ def _apply_engine_arguments(args) -> None:
 
 
 def _command_run(args) -> int:
-    _apply_engine_arguments(args)
-    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    with _build_engine(args) as eng, engine(eng):
+        result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
     print(result.render())
     return 0 if result.passed else 1
 
 
 def _command_report(args) -> int:
-    _apply_engine_arguments(args)
-    results = run_all(scale=args.scale, seed=args.seed)
+    # One session for the whole suite: e01-e19 share a single executor
+    # pool and a single cache handle instead of respawning per ensemble.
+    with _build_engine(args) as eng, engine(eng):
+        results = run_all(scale=args.scale, seed=args.seed)
+        stats = eng.stats()
     text = build_markdown_report(results, scale=args.scale, seed=args.seed)
     with open(args.output, "w") as handle:
         handle.write(text)
     failed = [r.experiment_id for r in results if not r.passed]
     print(f"wrote {args.output} ({len(results)} experiments)")
+    pool = stats["pool"]
+    print(
+        f"session: {stats['replicates_simulated']} replicates simulated, "
+        f"{stats['replicates_from_cache']} from cache; pool spawned "
+        f"{pool['spawns']}x, reused {pool['reuses']}x"
+    )
     if failed:
         print(f"FAILED: {', '.join(failed)}")
         return 1
@@ -385,7 +409,6 @@ def _grid_from_axes(axes: dict[str, list]) -> list[dict]:
 def _command_sweep(args) -> int:
     import json
 
-    _apply_engine_arguments(args)
     spec_file: dict = {}
     if args.spec_file:
         with open(args.spec_file, "r", encoding="utf-8") as handle:
@@ -422,20 +445,14 @@ def _command_sweep(args) -> int:
 
     spec = SweepSpec.from_grid(grid, builder, trials=trials, max_interactions=budget)
 
-    cache_enabled = args.cache if args.cache is not None else get_default_cache()
-    cache_dir = args.cache_dir or get_default_cache_dir()
-    store = EnsembleCache(cache_dir) if cache_enabled else None
-    executor = "process" if args.jobs is not None and args.jobs > 1 else None
-
-    outcome = run_sweep(
-        spec,
-        seed=seed,
-        seed_derivation=args.seed_derivation,
-        backend=args.backend,
-        executor=executor,
-        jobs=args.jobs,
-        cache=store if store is not None else False,
-    )
+    with _build_engine(args) as eng, engine(eng):
+        store = eng.cache
+        cache_dir = eng.options.cache_dir
+        outcome = eng.sweep(
+            spec,
+            seed=seed,
+            seed_derivation=args.seed_derivation,
+        )
 
     print(
         f"sweep:            {len(spec)} cells, {spec.total_trials} replicates "
@@ -476,6 +493,20 @@ def _command_cache(args) -> int:
         print(f"sweep indexes:    {stats['sweep_indexes']}")
         print(f"total size:       {stats['total_bytes']} bytes")
         print(f"size cap:         {cap if cap is not None else 'unlimited'}")
+        for entry in store.sweep_status():
+            if entry["cells"] is None:
+                print(f"  sweep {entry['key'][:16]}...  corrupt index")
+                continue
+            state = (
+                "resumable"
+                if entry["missing"]
+                else "complete"
+            )
+            print(
+                f"  sweep {entry['key'][:16]}...  "
+                f"{entry['complete']}/{entry['cells']} cells complete, "
+                f"{entry['missing']} missing ({state})"
+            )
         return 0
     removed = store.clear()
     print(f"removed {removed} entries from {store.root}")
@@ -534,43 +565,39 @@ def _build_scenario_spec(args, config):
 
 
 def _command_simulate(args) -> int:
-    _apply_engine_arguments(args)
     config = _build_config(args)
 
-    if args.scenario is None:
-        tracker = PhaseTracker()
-        backend = get_backend(
-            args.backend if args.backend is not None else get_default_backend()
-        )
-        result = backend.simulate(
-            config,
-            rng=np.random.default_rng(args.seed),
-            max_interactions=args.max_interactions,
-            observer=tracker.observe,
-        )
-        print(f"backend:          {backend.name}")
-        print(f"initial supports: {config.supports.tolist()}")
-        print(f"winner:           Opinion {result.winner}")
-        print(f"interactions:     {result.interactions}")
-        print(f"parallel time:    {result.parallel_time:.1f}")
-        print(f"phase times:      {tracker.times}")
-        return 0
+    with _build_engine(args) as eng, engine(eng):
+        if args.scenario is None:
+            tracker = PhaseTracker()
+            result = eng.simulate(
+                config,
+                rng=np.random.default_rng(args.seed),
+                max_interactions=args.max_interactions,
+                observer=tracker.observe,
+            )
+            print(f"backend:          {get_backend(eng.options.backend).name}")
+            print(f"initial supports: {config.supports.tolist()}")
+            print(f"winner:           Opinion {result.winner}")
+            print(f"interactions:     {result.interactions}")
+            print(f"parallel time:    {result.parallel_time:.1f}")
+            print(f"phase times:      {tracker.times}")
+            return 0
 
-    spec = _build_scenario_spec(args, config)
-    store = EnsembleCache(get_default_cache_dir()) if get_default_cache() else None
-    results = run_ensemble(
-        spec,
-        args.trials,
-        seed=args.seed,
-        max_interactions=args.max_interactions,
-        cache=store,
-    )
+        spec = _build_scenario_spec(args, config)
+        store = eng.cache
+        results = eng.ensemble(
+            spec,
+            args.trials,
+            seed=args.seed,
+            max_interactions=args.max_interactions,
+        )
     print(f"scenario:         {spec.scenario}")
     print(f"initial supports: {config.supports.tolist()}")
     print(f"trials:           {len(results)}")
     if store is not None:
         status = "hit" if store.hits else "miss"
-        print(f"cache:            {status} ({get_default_cache_dir()})")
+        print(f"cache:            {status} ({store.root})")
     costs = [
         getattr(r, "interactions", None) or getattr(r, "rounds", 0) for r in results
     ]

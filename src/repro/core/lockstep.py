@@ -90,8 +90,8 @@ def set_default_event_block(block: int | None) -> None:
     _EVENT_BLOCK_OVERRIDE = block
 
 
-def get_default_event_block() -> int:
-    """Resolved default: override, ``REPRO_ENGINE_EVENT_BLOCK``, built-in."""
+def _global_default_event_block() -> int:
+    """Legacy layered resolution: override, environment, built-in."""
     if _EVENT_BLOCK_OVERRIDE is not None:
         return _EVENT_BLOCK_OVERRIDE
     raw = os.environ.get("REPRO_ENGINE_EVENT_BLOCK")
@@ -101,6 +101,24 @@ def get_default_event_block() -> int:
     if block < 1:
         raise ValueError(f"REPRO_ENGINE_EVENT_BLOCK must be positive, got {raw}")
     return block
+
+
+def get_default_event_block() -> int:
+    """Resolved default: scoped engine session, override, environment, built-in.
+
+    The session lookup goes through ``sys.modules`` so this low-level
+    kernel module never imports the engine package (which imports it);
+    when no scoped session is active the legacy layered resolution
+    applies unchanged.
+    """
+    import sys
+
+    session = sys.modules.get("repro.engine.session")
+    if session is not None:
+        opts = session._active_options()
+        if opts is not None:
+            return opts.event_block
+    return _global_default_event_block()
 
 
 def lockstep_batch(

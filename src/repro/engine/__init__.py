@@ -23,11 +23,26 @@ benchmarks — goes through :func:`run_ensemble`.
 >>> spec = zealot_spec(uniform_configuration(100, 2), [0, 5])
 >>> runs = run_ensemble(spec, 4, seed=1, max_interactions=50_000)
 
+The front door is the **session** (:mod:`repro.engine.session`): an
+:class:`Engine` owns fully-resolved frozen :class:`EngineOptions`, a
+persistent executor pool reused across every ``.ensemble()``/``.sweep()``
+call, and an open ensemble-cache handle —
+
+>>> from repro.engine import Engine
+>>> with Engine(backend="batched") as eng:
+...     results = eng.ensemble(uniform_configuration(200, 3), 16, seed=7)
+
+while the free functions above remain thin wrappers over a module-level
+default session (bit-identical results at fixed seeds).  Scoped
+configuration uses ``with engine(jobs=4): ...`` instead of global
+mutation (:func:`set_engine_defaults` is deprecated).
+
 Backends are selected by name (``"agents"``, ``"jump"``, ``"batched"``)
 and new ones plug in via :func:`register_backend`; scenarios likewise
-via :func:`register_scenario`.  Session-wide defaults come from
+via :func:`register_scenario`.  Process-level defaults come from
 :mod:`repro.engine.options` (CLI flags or the ``REPRO_ENGINE_BACKEND``/
-``REPRO_ENGINE_JOBS``/``REPRO_ENGINE_CACHE`` environment variables).
+``REPRO_ENGINE_JOBS``/``REPRO_ENGINE_CACHE`` environment variables),
+resolved once at session construction.
 """
 
 from .backends import (
@@ -47,6 +62,7 @@ from .options import (
     DEFAULT_BACKEND,
     DEFAULT_CACHE_DIR,
     RESULT_TRANSPORTS,
+    EngineOptions,
     engine_defaults,
     get_default_backend,
     get_default_cache,
@@ -71,6 +87,7 @@ from .scenarios import (
     usd_spec,
     zealot_spec,
 )
+from .session import Engine, current_engine, engine
 from .sweep import (
     SEED_DERIVATIONS,
     SweepCell,
@@ -82,6 +99,10 @@ from .sweep import (
 )
 
 __all__ = [
+    "Engine",
+    "EngineOptions",
+    "engine",
+    "current_engine",
     "Backend",
     "AgentsBackend",
     "JumpBackend",

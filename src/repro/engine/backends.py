@@ -106,6 +106,16 @@ class JumpBackend:
 
 _REGISTRY: dict[str, Backend] = {}
 
+#: Bumped on every registration.  Forked pool workers snapshot the
+#: registry at spawn time, so a persistent session pool keys on this
+#: epoch and respawns when a backend is registered after the fork.
+_REGISTRY_EPOCH = 0
+
+
+def registry_epoch() -> int:
+    """Monotone counter of backend registrations (pool-staleness key)."""
+    return _REGISTRY_EPOCH
+
 
 def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
     """Add a backend to the registry under ``backend.name``.
@@ -123,6 +133,8 @@ def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
         raise ValueError(
             f"backend {name!r} is already registered; pass replace=True to override"
         )
+    global _REGISTRY_EPOCH
+    _REGISTRY_EPOCH += 1
     _REGISTRY[name] = backend
     return backend
 

@@ -17,10 +17,12 @@ entry runs arbitrary code at load time).  Corrupt or unreadable entries
 are treated as misses (and removed on a best-effort basis) so a torn
 write degrades to a recompute, never to an error.  Enable caching per
 call (``run_ensemble(..., cache=True)``), per session
-(``set_engine_defaults(cache=True)`` / the CLI's ``--cache`` flag) or
-per environment (``REPRO_ENGINE_CACHE=1``); the directory defaults to
-``.repro-cache`` and follows ``REPRO_ENGINE_CACHE_DIR`` /
-``set_engine_defaults(cache_dir=...)``.
+(``Engine(cache=True)`` / the CLI's ``--cache`` flag) or per
+environment (``REPRO_ENGINE_CACHE=1``); the directory defaults to
+``.repro-cache`` and follows ``Engine(cache_dir=...)`` /
+``REPRO_ENGINE_CACHE_DIR``.  A session holds ONE open ``EnsembleCache``
+handle shared by all its ensembles and sweeps, so hit/miss counters
+aggregate per session (``Engine.stats()``).
 """
 
 from __future__ import annotations
@@ -95,7 +97,7 @@ class EnsembleCache:
     Tracks ``hits`` and ``misses`` so callers (the CLI, tests) can
     report whether an invocation was served from disk.  When
     ``max_bytes`` is set (constructor argument,
-    ``set_engine_defaults(cache_max_bytes=...)`` or the
+    ``Engine(cache_max_bytes=...)`` or the
     ``REPRO_ENGINE_CACHE_MAX_BYTES`` environment variable) the store
     enforces a size cap with LRU eviction: every hit refreshes the
     entry's mtime, and a store that pushes the directory over the cap
@@ -267,6 +269,50 @@ class EnsembleCache:
         except (OSError, ValueError):
             return None
         return payload if isinstance(payload, dict) else None
+
+    def sweep_status(self) -> list[dict]:
+        """Per-sweep resume state: cells complete vs missing, per index.
+
+        Walks every ``*.sweep.json`` index in the store and checks which
+        of its per-cell ensemble entries still exist on disk, so an
+        interrupted sweep (or one whose cells were LRU-evicted) is
+        visible *before* re-running it: ``missing == 0`` means the next
+        identical ``run_sweep`` replays entirely from disk, anything
+        else recomputes exactly the missing cells.  Corrupt indexes are
+        reported with ``cells=None`` rather than skipped silently.
+        """
+        status = []
+        if not self.root.is_dir():
+            return status
+        for path in sorted(self.root.glob("*.sweep.json")):
+            key = path.name[: -len(".sweep.json")]
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                payload = None
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("cells"), list
+            ):
+                status.append(
+                    {"key": key, "cells": None, "complete": 0, "missing": 0}
+                )
+                continue
+            cells = payload["cells"]
+            complete = sum(
+                1
+                for cell_key in cells
+                if isinstance(cell_key, str) and self.contains(cell_key)
+            )
+            status.append(
+                {
+                    "key": key,
+                    "cells": len(cells),
+                    "complete": complete,
+                    "missing": len(cells) - complete,
+                }
+            )
+        return status
 
     # -- maintenance ---------------------------------------------------
     def stats(self) -> dict:

@@ -1,34 +1,24 @@
-"""Executor layer: run an ensemble of replicates serially or in parallel.
+"""Executor layer: workers, chunking and result transports for ensembles.
 
-:func:`run_ensemble` is the single entry point every ensemble in the
-repository goes through (trial runner, sweeps, experiments, benchmarks).
-It separates four orthogonal choices:
+Since the session redesign, the orchestration — variant resolution,
+caching, seed derivation, executor dispatch — lives on
+:class:`repro.engine.session.Engine`; this module keeps the pieces the
+session composes:
 
-* **scenario** — which dynamics is simulated: a plain
-  :class:`~repro.core.config.Configuration` means the ``"usd"``
-  scenario, any other workload is described by a
-  :class:`~repro.engine.scenarios.ScenarioSpec` (graph, zealots, noise,
-  gossip, or anything registered via
-  :func:`~repro.engine.scenarios.register_scenario`);
-* **backend / variant** — how one replicate is simulated: for the USD
-  scenario the backend registry (``"agents"``/``"jump"``/``"batched"``),
-  for other scenarios their ``"reference"`` or vectorized ``"batched"``
-  variant;
-* **executor** — where replicates run: ``"serial"`` in-process, or
-  ``"process"`` on a ``multiprocessing`` pool;
-* **result transport** — how pool workers return their results: by
-  default each worker packs fixed-width records (final counts,
-  interactions, winner, flags, plus per-scenario float extras) straight
-  into a ``multiprocessing.shared_memory`` block the parent decodes,
-  skipping the per-result pickle round-trip; ``result_transport=
-  "pickle"`` (or ``REPRO_ENGINE_RESULT_TRANSPORT=pickle``) forces the
-  classic pickled path, which also serves as the automatic fallback
-  whenever shared memory is unavailable or the scenario has no record
-  codec (``Scenario.record_transport``);
-* **caching** — with ``cache`` enabled, a finished ensemble is stored
-  on disk keyed by ``(spec, trials, seed, variant, budget)`` and an
-  identical later call is served without simulating
-  (:mod:`repro.engine.cache`).
+* :func:`replicate_seeds` — the canonical per-replicate seed derivation
+  of the whole repository;
+* the picklable pool workers (:func:`_worker` for the pickled-result
+  path, :func:`_shm_worker` / :func:`_shm_sweep_worker` for fixed-width
+  result records written straight into ``multiprocessing.shared_memory``);
+* the shared-memory transport drivers (:func:`_run_process_shared` for
+  one ensemble, :func:`_run_sweep_shared` for a whole flattened sweep
+  queue), each parameterized by a ``pool_map`` callable so the session's
+  **persistent** pool is reused instead of spawning a fresh pool per
+  call;
+* :func:`run_ensemble` — the historical free-function entry point, now a
+  thin wrapper over the module-level default session
+  (:func:`repro.engine.session.current_engine`).  Results are
+  bit-identical to the pre-session engine at fixed seeds.
 
 Determinism
 -----------
@@ -36,32 +26,22 @@ Replicate ``i`` always receives the ``i``-th child of
 ``SeedSequence(seed)`` (see :func:`replicate_seeds`).  Scenario
 implementations are required to be batch-width invariant, so the
 per-replicate results are bit-identical no matter the executor, the
-worker count or the batch size — and any single replicate can be
-reproduced in isolation by seeding a generator with its child sequence.
-That invariance is exactly what makes the ensemble cache sound.
+worker count, the batch size or the result transport — and any single
+replicate can be reproduced in isolation by seeding a generator with its
+child sequence.  That invariance is exactly what makes the ensemble
+cache (and cross-session result reuse) sound.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-
 import numpy as np
 
 from ..core.config import Configuration
-from ..core.lockstep import get_default_event_block, set_default_event_block
+from ..core.lockstep import set_default_event_block
 from ..core.simulator import RunResult
 from .backends import Backend
 from .cache import EnsembleCache
-from .options import (
-    RESULT_TRANSPORTS,
-    get_default_cache,
-    get_default_cache_dir,
-    get_default_executor,
-    get_default_jobs,
-    get_default_result_transport,
-)
-from .scenarios import ScenarioSpec, coerce_spec, get_scenario
+from .scenarios import ScenarioSpec, get_scenario
 
 try:  # pragma: no cover - present on every supported platform
     from multiprocessing import shared_memory as _shared_memory
@@ -116,6 +96,29 @@ def _worker(payload) -> list:
     return scenario.run_chunk(spec, variant, rngs, max_interactions)
 
 
+def _attach_shm_untracked(name: str):
+    """Attach to an existing shared-memory block without tracker ownership.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker even when only *attaching* (CPython's tracker cannot tell an
+    attach from a create, and 3.11 has no ``track=False``), which makes
+    the tracker race the parent's ``unlink`` — the single owner of
+    cleanup — and emit spurious leak warnings or ``KeyError`` noise at
+    shutdown.  Suppressing registration for the duration of the attach
+    keeps the ownership story exact: the parent's create registers once,
+    its unlink unregisters once.  Workers are single-threaded pool
+    processes, so the temporary patch cannot race another attach.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
 def _record_views(buffer, trials: int, int_width: int, float_width: int):
     """(trials, int_width) int64 + (trials, float_width) float64 views."""
     int_bytes = trials * int_width * 8
@@ -149,10 +152,9 @@ def _shm_worker(payload) -> int:
     scenario = get_scenario(scenario_name)
     rngs = [np.random.default_rng(s) for s in seeds]
     results = scenario.run_chunk(spec, variant, rngs, max_interactions)
-    # Pool workers are forked from (or spawned by) the parent and share
-    # its resource tracker, so attaching here re-registers the name as a
-    # no-op and the parent's unlink stays the single owner of cleanup.
-    block = _shared_memory.SharedMemory(name=shm_name)
+    # Attach without tracker registration: the parent's unlink is the
+    # single owner of cleanup (see _attach_shm_untracked).
+    block = _attach_shm_untracked(shm_name)
     try:
         ints, floats = _record_views(block.buf, trials, int_width, float_width)
         for offset, result in enumerate(results):
@@ -164,17 +166,78 @@ def _shm_worker(payload) -> int:
     return start
 
 
+def _strided_record_views(
+    buffer, rows: int, row_start: int, stride: int, int_width: int, float_width: int
+):
+    """Record views over ``rows`` rows of a uniform-stride sweep block.
+
+    The sweep block interleaves cells with different record widths, so a
+    row is ``stride`` bytes and each cell reads only its own leading
+    ``int_width`` int64 + ``float_width`` float64 slots; numpy's strided
+    views express that directly without per-row reslicing.
+    """
+    offset = row_start * stride
+    ints = np.ndarray(
+        (rows, int_width), dtype=np.int64, buffer=buffer,
+        offset=offset, strides=(stride, 8),
+    )
+    floats = np.ndarray(
+        (rows, float_width), dtype=np.float64, buffer=buffer,
+        offset=offset + int_width * 8, strides=(stride, 8),
+    )
+    return ints, floats
+
+
+def _shm_sweep_worker(payload) -> int:
+    """Pool worker for one sweep chunk, recording results into shared memory.
+
+    Like :func:`_shm_worker`, but rows live in a sweep-wide block with a
+    uniform byte stride (cells of different scenarios have different
+    record widths), addressed by the chunk's absolute row offset.
+    """
+    (
+        scenario_name,
+        spec,
+        variant,
+        seeds,
+        max_interactions,
+        event_block,
+        shm_name,
+        row_start,
+        stride,
+        int_width,
+        float_width,
+    ) = payload
+    set_default_event_block(event_block)
+    scenario = get_scenario(scenario_name)
+    rngs = [np.random.default_rng(s) for s in seeds]
+    results = scenario.run_chunk(spec, variant, rngs, max_interactions)
+    block = _attach_shm_untracked(shm_name)
+    try:
+        ints, floats = _strided_record_views(
+            block.buf, len(results), row_start, stride, int_width, float_width
+        )
+        for offset, result in enumerate(results):
+            scenario.encode_record(spec, result, ints[offset], floats[offset])
+        del ints, floats  # release buffer views before closing the mapping
+    finally:
+        block.close()
+    return row_start
+
+
 def _chunked(seeds: list, batch_size: int) -> list[list]:
     return [seeds[i : i + batch_size] for i in range(0, len(seeds), batch_size)]
 
 
-def _resolve_cache(cache: bool | EnsembleCache | None) -> EnsembleCache | None:
-    if isinstance(cache, EnsembleCache):
-        return cache
-    enabled = get_default_cache() if cache is None else bool(cache)
-    if not enabled:
+def _record_widths(scenario, spec: ScenarioSpec, variant: str) -> tuple[int, int] | None:
+    """``(int_width, float_width)`` when the record codec applies, else ``None``."""
+    transport_ok = getattr(scenario, "record_transport_for", None)
+    if transport_ok is not None:
+        if not transport_ok(variant):
+            return None
+    elif not getattr(scenario, "record_transport", False):
         return None
-    return EnsembleCache(get_default_cache_dir())
+    return int(scenario.record_ints(spec)), int(getattr(scenario, "record_floats", 0))
 
 
 def _run_process_shared(
@@ -184,31 +247,29 @@ def _run_process_shared(
     chunks: list[tuple[int, list]],
     trials: int,
     max_interactions: int | None,
-    jobs: int,
+    event_block: int,
+    pool_map,
 ) -> list | None:
-    """Run chunks on a pool with shared-memory result records.
+    """Run one ensemble's chunks with shared-memory result records.
 
-    Returns ``None`` when the shared block cannot be provisioned (the
-    caller then falls back to the pickle transport); worker failures
-    still propagate as exceptions.
+    ``pool_map`` is the session's persistent-pool mapper.  Returns
+    ``None`` when the shared block cannot be provisioned or the
+    scenario has no record codec for this variant (the caller then falls
+    back to the pickle transport); worker failures still propagate as
+    exceptions.
     """
     if _shared_memory is None:
         return None
-    transport_ok = getattr(scenario, "record_transport_for", None)
-    if transport_ok is not None:
-        if not transport_ok(variant):
-            return None
-    elif not getattr(scenario, "record_transport", False):
+    widths = _record_widths(scenario, spec, variant)
+    if widths is None:
         return None
-    int_width = int(scenario.record_ints(spec))
-    float_width = int(getattr(scenario, "record_floats", 0))
+    int_width, float_width = widths
     size = max(trials * 8 * (int_width + float_width), 1)
     try:
         block = _shared_memory.SharedMemory(create=True, size=size)
     except Exception:
         return None
     try:
-        event_block = get_default_event_block()
         payloads = [
             (
                 spec.scenario,
@@ -225,8 +286,7 @@ def _run_process_shared(
             )
             for start, chunk in chunks
         ]
-        with multiprocessing.Pool(processes=jobs) as pool:
-            pool.map(_shm_worker, payloads)
+        pool_map(_shm_worker, payloads)
         ints, floats = _record_views(block.buf, trials, int_width, float_width)
         # Decode from private copies so the mapping can be torn down
         # before result objects (and their arrays) outlive this call.
@@ -236,6 +296,91 @@ def _run_process_shared(
             scenario.decode_record(spec, ints[row], floats[row])
             for row in range(trials)
         ]
+    finally:
+        block.close()
+        try:
+            block.unlink()
+        except FileNotFoundError:  # a worker's tracker got there first
+            pass
+
+
+def _run_sweep_shared(
+    cell_jobs: list[dict],
+    event_block: int,
+    pool_map,
+) -> dict[int, list] | None:
+    """Run a flattened sweep queue with shared-memory result records.
+
+    ``cell_jobs`` carries one entry per pending cell: its scenario,
+    spec, variant, budget and seed chunks.  All cells' replicates share
+    ONE block with a uniform row stride (the widest cell's record), so
+    the whole sweep still pickles nothing result-sized back from the
+    pool.  Returns per-cell result lists keyed by cell index, or
+    ``None`` when shared memory is unavailable or any cell's scenario
+    lacks a record codec for its variant — the caller then routes the
+    entire queue through the pickle transport (results are identical
+    either way).
+    """
+    if _shared_memory is None:
+        return None
+    widths = []
+    for job in cell_jobs:
+        cell_widths = _record_widths(job["scenario"], job["spec"], job["variant"])
+        if cell_widths is None:
+            return None
+        widths.append(cell_widths)
+    stride = max(8 * (iw + fw) for iw, fw in widths)
+    total_rows = sum(len(chunk) for job in cell_jobs for chunk in job["chunks"])
+    try:
+        block = _shared_memory.SharedMemory(
+            create=True, size=max(total_rows * stride, 1)
+        )
+    except Exception:
+        return None
+    try:
+        payloads = []
+        row_spans = []  # (cell index, row start, rows) in queue order
+        row = 0
+        for job, (int_width, float_width) in zip(cell_jobs, widths):
+            start_row = row
+            for chunk in job["chunks"]:
+                payloads.append(
+                    (
+                        job["spec"].scenario,
+                        job["spec"],
+                        job["variant"],
+                        chunk,
+                        job["max_interactions"],
+                        event_block,
+                        block.name,
+                        row,
+                        stride,
+                        int_width,
+                        float_width,
+                    )
+                )
+                row += len(chunk)
+            row_spans.append((job["index"], start_row, row - start_row))
+        # chunksize=1 keeps distribution dynamic, exactly like the
+        # pickled sweep queue: workers steal chunks from any cell.
+        pool_map(_shm_sweep_worker, payloads, chunksize=1)
+        results_by_cell: dict[int, list] = {}
+        for job, (int_width, float_width), (index, start_row, rows) in zip(
+            cell_jobs, widths, row_spans
+        ):
+            ints, floats = _strided_record_views(
+                block.buf, rows, start_row, stride, int_width, float_width
+            )
+            # Decode from private copies so no view outlives the mapping.
+            ints = ints.copy()
+            floats = floats.copy()
+            scenario = job["scenario"]
+            spec = job["spec"]
+            results_by_cell[index] = [
+                scenario.decode_record(spec, ints[r], floats[r])
+                for r in range(rows)
+            ]
+        return results_by_cell
     finally:
         block.close()
         try:
@@ -258,6 +403,13 @@ def run_ensemble(
     result_transport: str | None = None,
 ) -> list[RunResult]:
     """Run ``trials`` independent replicates and return them in order.
+
+    This is the historical free-function entry point; it now delegates
+    to the module-level default session
+    (:meth:`repro.engine.Engine.ensemble`), so repeated calls in one
+    process share the session's persistent executor pool and cache
+    handle.  Results are bit-identical to the pre-session engine at
+    fixed seeds.
 
     Parameters
     ----------
@@ -300,84 +452,17 @@ def run_ensemble(
         default (``REPRO_ENGINE_RESULT_TRANSPORT``, else ``"shared"``).
         Never affects the results themselves.
     """
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be positive, got {batch_size}")
-    spec = coerce_spec(workload)
-    scenario = get_scenario(spec.scenario)
-    scenario.validate(spec)
-    variant = scenario.variant(backend)
-    if executor is None:
-        executor = get_default_executor()
-    if executor == "multiprocessing":
-        executor = "process"
-    if executor not in EXECUTORS:
-        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    from .session import current_engine
 
-    store = _resolve_cache(cache)
-    if store is not None:
-        key = store.key_for(
-            spec,
-            trials=trials,
-            seed=seed,
-            variant=variant,
-            max_interactions=max_interactions,
-        )
-        cached = store.load(key)
-        if cached is not None:
-            return cached
-
-    seeds = replicate_seeds(seed, trials)
-
-    if executor == "serial":
-        runner = scenario.prepare_runner(variant, backend)
-        results: list = []
-        for chunk in _chunked(seeds, batch_size):
-            rngs = [np.random.default_rng(s) for s in chunk]
-            results.extend(scenario.run_chunk(spec, runner, rngs, max_interactions))
-    else:
-        if jobs is None:
-            default_jobs = get_default_jobs()
-            jobs = default_jobs if default_jobs > 1 else (os.cpu_count() or 1)
-        if jobs < 1:
-            raise ValueError(f"jobs must be positive, got {jobs}")
-        # Workers re-resolve the scenario and variant by name from their
-        # (forked or re-imported) registries, so both must actually
-        # resolve here first — an unregistered custom backend would only
-        # fail inside the pool with a confusing per-worker error.
-        scenario.check_process_safe(variant, backend)
-        if result_transport is None:
-            result_transport = get_default_result_transport()
-        if result_transport not in RESULT_TRANSPORTS:
-            raise ValueError(
-                f"result_transport must be one of {RESULT_TRANSPORTS}, "
-                f"got {result_transport!r}"
-            )
-        # Several chunks per worker keep the pool busy when replicate
-        # durations vary, without giving up batching within a chunk.
-        per_chunk = max(1, min(batch_size, -(-trials // (jobs * 4))))
-        seed_chunks = _chunked(seeds, per_chunk)
-        starts = [sum(len(c) for c in seed_chunks[:i]) for i in range(len(seed_chunks))]
-        results = None
-        if result_transport == "shared":
-            results = _run_process_shared(
-                scenario,
-                spec,
-                variant,
-                list(zip(starts, seed_chunks)),
-                trials,
-                max_interactions,
-                jobs,
-            )
-        if results is None:
-            event_block = get_default_event_block()
-            payloads = [
-                (spec.scenario, spec, variant, chunk, max_interactions, event_block)
-                for chunk in seed_chunks
-            ]
-            with multiprocessing.Pool(processes=jobs) as pool:
-                chunks = pool.map(_worker, payloads)
-            results = [result for chunk in chunks for result in chunk]
-
-    if store is not None:
-        store.store(key, results)
-    return results
+    return current_engine().ensemble(
+        workload,
+        trials,
+        seed=seed,
+        backend=backend,
+        executor=executor,
+        jobs=jobs,
+        max_interactions=max_interactions,
+        batch_size=batch_size,
+        cache=cache,
+        result_transport=result_transport,
+    )

@@ -1,29 +1,47 @@
-"""Session-wide engine defaults (backend, executor, worker count).
+"""Engine configuration: frozen :class:`EngineOptions` + legacy defaults.
 
-The engine resolves its defaults in three layers, most specific first:
+Since the session redesign, engine configuration is a value, not a pile
+of process-wide mutable state: :class:`EngineOptions` is a frozen
+dataclass holding every knob the engine exposes (backend, worker count,
+cache policy, lockstep event block, result transport).  The environment
+variables (``REPRO_ENGINE_*``), the deprecated
+:func:`set_engine_defaults` overrides and explicit keyword overrides are
+resolved **once**, by :meth:`EngineOptions.resolve`, when a
+:class:`~repro.engine.session.Engine` is constructed — never re-read in
+the middle of a session.
 
-1. explicit keyword arguments to :func:`repro.engine.run_ensemble`;
-2. process-wide overrides installed with :func:`set_engine_defaults`
-   (the CLI's ``--backend``/``--jobs`` flags land here);
-3. the ``REPRO_ENGINE_BACKEND`` / ``REPRO_ENGINE_JOBS`` environment
-   variables, so whole experiment or benchmark invocations can be
-   redirected without touching any call site;
-4. the built-in defaults: the ``"jump"`` backend, serial execution.
+The historical layered getters (:func:`get_default_backend` & friends)
+remain the compatibility surface: they now answer from the innermost
+*scoped* session (``with engine(backend="batched"): ...``) when one is
+active, and fall back to the legacy resolution — the
+:func:`set_engine_defaults` overrides, then the environment, then the
+built-ins — otherwise.  The module-level default session mirrors that
+legacy resolution, so code that never touches a session keeps its exact
+pre-redesign behavior.
 
-Keeping this state in one tiny module means the experiment modules,
-the analysis layer and the benchmarks all see the same selection
-without threading parameters through every call.
+:func:`set_engine_defaults` keeps working but is **deprecated**: scoped
+configuration (``repro.engine.engine(**overrides)``) or an explicit
+``Engine(**overrides)`` session replaces ad-hoc global mutation.
 """
 
 from __future__ import annotations
 
 import os
+import sys
+import warnings
+from dataclasses import dataclass, fields, replace
 
-from ..core.lockstep import get_default_event_block, set_default_event_block
+from ..core.lockstep import (
+    DEFAULT_EVENT_BLOCK,
+    _global_default_event_block,
+    get_default_event_block,
+    set_default_event_block,
+)
 
 __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
+    "EngineOptions",
     "RESULT_TRANSPORTS",
     "engine_defaults",
     "get_default_backend",
@@ -58,6 +76,132 @@ _CACHE_MAX_BYTES_OVERRIDE: int | None = None
 _RESULT_TRANSPORT_OVERRIDE: str | None = None
 
 
+def _scoped_options() -> "EngineOptions | None":
+    """Options of the innermost *scoped* session, if one is active.
+
+    Looked up through ``sys.modules`` so this module never imports the
+    session layer (which imports it back).  Only explicitly scoped
+    sessions (``engine(**overrides)`` / an activated ``Engine``) are
+    consulted — the module-level default session deliberately mirrors
+    the legacy resolution below, so there is nothing to shadow.
+    """
+    session = sys.modules.get("repro.engine.session")
+    if session is None:
+        return None
+    return session._active_options()
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Every engine knob, fully resolved into one immutable value.
+
+    Build with :meth:`resolve` (layered defaults + keyword overrides,
+    resolved once) or directly with explicit field values; derive
+    variations with :meth:`replace`.  A
+    :class:`~repro.engine.session.Engine` is constructed from exactly
+    one of these, so nothing about a session's behavior depends on
+    later environment or global-default mutation.
+    """
+
+    backend: str = DEFAULT_BACKEND
+    jobs: int = 1
+    cache: bool = False
+    cache_dir: str = DEFAULT_CACHE_DIR
+    cache_max_bytes: int | None = None
+    event_block: int = DEFAULT_EVENT_BLOCK
+    result_transport: str = "shared"
+
+    def __post_init__(self) -> None:
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError(f"backend must be a non-empty name, got {self.backend!r}")
+        object.__setattr__(self, "jobs", int(self.jobs))
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        object.__setattr__(self, "cache", bool(self.cache))
+        object.__setattr__(self, "cache_dir", str(self.cache_dir))
+        if self.cache_max_bytes is not None:
+            value = int(self.cache_max_bytes)
+            if value < 0:
+                raise ValueError(
+                    f"cache_max_bytes must be non-negative, got {value}"
+                )
+            object.__setattr__(self, "cache_max_bytes", value or None)
+        object.__setattr__(self, "event_block", int(self.event_block))
+        if self.event_block < 1:
+            raise ValueError(f"event_block must be positive, got {self.event_block}")
+        if self.result_transport not in RESULT_TRANSPORTS:
+            raise ValueError(
+                f"result_transport must be one of {RESULT_TRANSPORTS}, "
+                f"got {self.result_transport!r}"
+            )
+
+    @property
+    def executor(self) -> str:
+        """``"process"`` when more than one worker is configured, else serial."""
+        return "process" if self.jobs > 1 else "serial"
+
+    @classmethod
+    def resolve(cls, **overrides) -> "EngineOptions":
+        """Resolve the layered defaults into a frozen options value, once.
+
+        Unspecified (or ``None``) fields follow the legacy resolution:
+        the :func:`set_engine_defaults` overrides, then the
+        ``REPRO_ENGINE_*`` environment variables, then the built-ins.
+        Scoped sessions are deliberately *not* consulted — a freshly
+        constructed ``Engine`` starts from the process-level defaults,
+        not from whatever session happens to be active.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(
+                f"unknown engine option(s) {sorted(unknown)}; "
+                f"available: {sorted(known)}"
+            )
+        resolved = {
+            "backend": _global_default_backend(),
+            "jobs": _global_default_jobs(),
+            "cache": _global_default_cache(),
+            "cache_dir": _global_default_cache_dir(),
+            "cache_max_bytes": _global_default_cache_max_bytes(),
+            "event_block": _global_default_event_block(),
+            "result_transport": _global_default_result_transport(),
+        }
+        for name, value in overrides.items():
+            if value is not None:
+                resolved[name] = value
+        return cls(**resolved)
+
+    def replace(self, **overrides) -> "EngineOptions":
+        """A copy with some fields replaced (``None`` values are ignored)."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(
+                f"unknown engine option(s) {sorted(unknown)}; "
+                f"available: {sorted(known)}"
+            )
+        updates = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **updates) if updates else self
+
+    def pool_key(self) -> tuple:
+        """The fields whose change requires respawning the executor pool."""
+        return (self.jobs, self.result_transport)
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary snapshot (for reports and diagnostics)."""
+        return {
+            "backend": self.backend,
+            "executor": self.executor,
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "cache_dir": self.cache_dir,
+            "cache_max_bytes": self.cache_max_bytes,
+            "event_block": self.event_block,
+            "result_transport": self.result_transport,
+        }
+
+
 def set_engine_defaults(
     *,
     backend: str | None = None,
@@ -70,17 +214,31 @@ def set_engine_defaults(
 ) -> None:
     """Install process-wide engine defaults (pass ``None`` to leave as-is).
 
+    .. deprecated::
+        Global mutation is superseded by sessions: use the scoped
+        ``with repro.engine.engine(jobs=4): ...`` context manager, or
+        construct an explicit ``repro.engine.Engine(jobs=4)`` and call
+        its methods.  This function keeps working (new sessions resolve
+        their defaults through it), but new code should not add call
+        sites.
+
     ``jobs=1`` restores serial execution; ``jobs>1`` makes the
     multiprocessing executor the default with that many workers.
     ``cache=True``/``False`` turns the on-disk ensemble cache on or off
-    for every ensemble of the session (the CLI's ``--cache``/
-    ``--no-cache`` flags land here); ``cache_dir`` relocates it and
+    for every ensemble of the session; ``cache_dir`` relocates it and
     ``cache_max_bytes`` caps its size (LRU eviction; ``0`` = unlimited).
     ``event_block`` sets how many productive events the batched lockstep
     kernels apply per numpy pass (results never change, only speed);
     ``result_transport`` picks how process-executor workers return
     results (``"shared"`` or ``"pickle"``).
     """
+    warnings.warn(
+        "set_engine_defaults is deprecated: use the scoped "
+        "repro.engine.engine(**overrides) context manager or an explicit "
+        "repro.engine.Engine(**overrides) session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     global _BACKEND_OVERRIDE, _JOBS_OVERRIDE, _CACHE_OVERRIDE, _CACHE_DIR_OVERRIDE
     global _CACHE_MAX_BYTES_OVERRIDE, _RESULT_TRANSPORT_OVERRIDE
     if backend is not None:
@@ -109,15 +267,16 @@ def set_engine_defaults(
         _RESULT_TRANSPORT_OVERRIDE = result_transport
 
 
-def get_default_backend() -> str:
-    """Backend name used when ``run_ensemble`` gets ``backend=None``."""
+# ----------------------------------------------------------------------
+# Legacy layered resolution (set_engine_defaults -> environment -> built-in)
+# ----------------------------------------------------------------------
+def _global_default_backend() -> str:
     if _BACKEND_OVERRIDE is not None:
         return _BACKEND_OVERRIDE
     return os.environ.get("REPRO_ENGINE_BACKEND", DEFAULT_BACKEND)
 
 
-def get_default_jobs() -> int:
-    """Worker count used when ``run_ensemble`` gets ``jobs=None``."""
+def _global_default_jobs() -> int:
     if _JOBS_OVERRIDE is not None:
         return _JOBS_OVERRIDE
     raw = os.environ.get("REPRO_ENGINE_JOBS")
@@ -129,13 +288,7 @@ def get_default_jobs() -> int:
     return jobs
 
 
-def get_default_executor() -> str:
-    """``"process"`` when more than one worker is configured, else serial."""
-    return "process" if get_default_jobs() > 1 else "serial"
-
-
-def get_default_cache() -> bool:
-    """Whether ensembles consult the on-disk cache when ``cache=None``."""
+def _global_default_cache() -> bool:
     if _CACHE_OVERRIDE is not None:
         return _CACHE_OVERRIDE
     raw = os.environ.get("REPRO_ENGINE_CACHE")
@@ -144,20 +297,13 @@ def get_default_cache() -> bool:
     return raw.strip().lower() in ("1", "true", "yes", "on")
 
 
-def get_default_cache_dir() -> str:
-    """Directory backing the ensemble cache."""
+def _global_default_cache_dir() -> str:
     if _CACHE_DIR_OVERRIDE is not None:
         return _CACHE_DIR_OVERRIDE
     return os.environ.get("REPRO_ENGINE_CACHE_DIR", DEFAULT_CACHE_DIR)
 
 
-def get_default_cache_max_bytes() -> int | None:
-    """Ensemble-cache size cap in bytes (``None`` = unlimited).
-
-    Resolution order: :func:`set_engine_defaults`, then the
-    ``REPRO_ENGINE_CACHE_MAX_BYTES`` environment variable; zero or a
-    negative value means no cap.
-    """
+def _global_default_cache_max_bytes() -> int | None:
     if _CACHE_MAX_BYTES_OVERRIDE is not None:
         return _CACHE_MAX_BYTES_OVERRIDE or None
     raw = os.environ.get("REPRO_ENGINE_CACHE_MAX_BYTES")
@@ -172,14 +318,7 @@ def get_default_cache_max_bytes() -> int | None:
     return value if value > 0 else None
 
 
-def get_default_result_transport() -> str:
-    """Process-executor result transport when ``result_transport=None``.
-
-    Resolution order: :func:`set_engine_defaults`, the
-    ``REPRO_ENGINE_RESULT_TRANSPORT`` environment variable, then
-    ``"shared"`` (which silently falls back to pickling whenever shared
-    memory or the scenario's record codec is unavailable).
-    """
+def _global_default_result_transport() -> str:
     if _RESULT_TRANSPORT_OVERRIDE is not None:
         return _RESULT_TRANSPORT_OVERRIDE
     raw = os.environ.get("REPRO_ENGINE_RESULT_TRANSPORT")
@@ -192,6 +331,75 @@ def get_default_result_transport() -> str:
             f"got {raw!r}"
         )
     return raw
+
+
+# ----------------------------------------------------------------------
+# Session-aware compatibility getters
+# ----------------------------------------------------------------------
+def get_default_backend() -> str:
+    """Backend name used when ``run_ensemble`` gets ``backend=None``."""
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.backend
+    return _global_default_backend()
+
+
+def get_default_jobs() -> int:
+    """Worker count used when ``run_ensemble`` gets ``jobs=None``."""
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.jobs
+    return _global_default_jobs()
+
+
+def get_default_executor() -> str:
+    """``"process"`` when more than one worker is configured, else serial."""
+    return "process" if get_default_jobs() > 1 else "serial"
+
+
+def get_default_cache() -> bool:
+    """Whether ensembles consult the on-disk cache when ``cache=None``."""
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.cache
+    return _global_default_cache()
+
+
+def get_default_cache_dir() -> str:
+    """Directory backing the ensemble cache."""
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.cache_dir
+    return _global_default_cache_dir()
+
+
+def get_default_cache_max_bytes() -> int | None:
+    """Ensemble-cache size cap in bytes (``None`` = unlimited).
+
+    Resolution order: the active scoped session, then
+    :func:`set_engine_defaults`, then the
+    ``REPRO_ENGINE_CACHE_MAX_BYTES`` environment variable; zero or a
+    negative value means no cap.
+    """
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.cache_max_bytes
+    return _global_default_cache_max_bytes()
+
+
+def get_default_result_transport() -> str:
+    """Process-executor result transport when ``result_transport=None``.
+
+    Resolution order: the active scoped session,
+    :func:`set_engine_defaults`, the ``REPRO_ENGINE_RESULT_TRANSPORT``
+    environment variable, then ``"shared"`` (which silently falls back
+    to pickling whenever shared memory or the scenario's record codec is
+    unavailable).
+    """
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.result_transport
+    return _global_default_result_transport()
 
 
 def engine_defaults() -> dict:

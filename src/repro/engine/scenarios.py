@@ -382,6 +382,16 @@ class Scenario:
 # ----------------------------------------------------------------------
 _REGISTRY: dict[str, Scenario] = {}
 
+#: Bumped on every registration.  Forked pool workers snapshot the
+#: registry at spawn time, so a persistent session pool keys on this
+#: epoch and respawns when a scenario is registered after the fork.
+_REGISTRY_EPOCH = 0
+
+
+def registry_epoch() -> int:
+    """Monotone counter of scenario registrations (pool-staleness key)."""
+    return _REGISTRY_EPOCH
+
 
 def register_scenario(scenario: Scenario, *, replace: bool = False) -> Scenario:
     """Add a scenario to the registry under ``scenario.name``."""
@@ -394,6 +404,8 @@ def register_scenario(scenario: Scenario, *, replace: bool = False) -> Scenario:
         raise ValueError(
             f"scenario {name!r} is already registered; pass replace=True to override"
         )
+    global _REGISTRY_EPOCH
+    _REGISTRY_EPOCH += 1
     _REGISTRY[name] = scenario
     return scenario
 

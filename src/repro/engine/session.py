@@ -1,0 +1,769 @@
+"""Engine sessions: one front door for ensembles, sweeps and experiments.
+
+Four subsystems grew around :func:`~repro.engine.run_ensemble` — the
+backend/scenario registries, batched kernels, the sweep scheduler and
+the ensemble cache — but their *resources* were still per-call: every
+process-executor invocation spawned a fresh ``multiprocessing`` pool and
+tore it down, and configuration was a mutable global blob re-read on
+every call.  This module makes the session the unit of ownership:
+
+:class:`Engine`
+    A session object constructed from fully-resolved, **frozen**
+    :class:`~repro.engine.options.EngineOptions` (environment variables,
+    CLI flags and the deprecated :func:`set_engine_defaults` overrides
+    are resolved once, at construction).  It owns
+
+    * a **persistent executor pool**, lazily spawned on the first
+      process-executor call and reused by every later
+      :meth:`Engine.ensemble` / :meth:`Engine.sweep` in the session —
+      respawned automatically when the worker count, the result
+      transport or the backend/scenario registries change (forked
+      workers snapshot the registries at spawn time);
+    * an open :class:`~repro.engine.cache.EnsembleCache` handle shared
+      by every ensemble and sweep of the session;
+    * the resolution of names against the backend and scenario
+      registries (while a session method runs, the legacy
+      ``get_default_*`` getters answer from *its* options, so scenario
+      variant resolution and the lockstep kernels see the session's
+      configuration without any global mutation).
+
+    Context-manager lifecycle: ``with Engine(jobs=4) as eng: ...`` tears
+    the pool down on exit; :meth:`Engine.stats` reports pool reuse
+    counts, cache hits and replicates executed.
+
+:func:`engine`
+    Scoped configuration, replacing ad-hoc global mutation: ``with
+    engine(backend="batched", jobs=4): ...`` derives a session from the
+    current one, installs it for the duration of the block (every free
+    function and experiment inside routes through it), and restores the
+    previous configuration on exit — exceptions included.
+
+:func:`current_engine`
+    The session the free functions (:func:`run_ensemble`,
+    :func:`run_sweep`, :func:`~repro.analysis.run_trials`, the
+    experiment modules' single-run hook) route through: the innermost
+    scoped session when one is active, else a module-level default
+    session that mirrors the legacy layered defaults — rebuilt
+    automatically whenever those defaults change, so pre-session code
+    keeps its exact behavior while still profiting from pool reuse.
+
+Results are bit-identical to the pre-session engine at fixed seeds: the
+session changes who *owns* the pool and the configuration, never how
+replicates are seeded or executed.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..core.simulator import Observer, RunResult
+from . import backends as _backends
+from . import executors as _executors
+from . import scenarios as _scenarios
+from .backends import Backend, get_backend
+from .cache import SWEEP_INDEX_FORMAT, EnsembleCache, seed_token
+from .executors import (
+    DEFAULT_BATCH_SIZE,
+    EXECUTORS,
+    _chunked,
+    _run_process_shared,
+    _run_sweep_shared,
+    _worker,
+    replicate_seeds,
+)
+from .options import RESULT_TRANSPORTS, EngineOptions
+from .scenarios import ScenarioSpec, coerce_spec, get_scenario
+
+__all__ = ["Engine", "engine", "current_engine"]
+
+
+def _registry_epoch() -> int:
+    """Combined backend+scenario registration counter (pool-staleness key)."""
+    return _backends.registry_epoch() + _scenarios.registry_epoch()
+
+
+# ----------------------------------------------------------------------
+# Session stack and module-level default session
+# ----------------------------------------------------------------------
+#: Innermost-last stack of active sessions.  Like the global defaults it
+#: replaces, this is process-wide state for a single-threaded driver:
+#: scopes must nest (enforced by the context managers), and concurrent
+#: threads would observe each other's scoped sessions.
+_SESSION_STACK: list["Engine"] = []
+_DEFAULT_SESSION: "Engine | None" = None
+
+
+def _active_options() -> EngineOptions | None:
+    """Options of the innermost active session (``None`` outside any).
+
+    Consulted by the legacy ``get_default_*`` getters in
+    :mod:`repro.engine.options` and by the lockstep kernel's event-block
+    default, so scoped configuration reaches every layer without global
+    mutation.
+    """
+    if _SESSION_STACK:
+        return _SESSION_STACK[-1].options
+    return None
+
+
+def _worker_session_reset() -> None:
+    """Pool-worker initializer: drop the parent's inherited session stack.
+
+    Fork-started workers are cloned while the spawning session is active
+    (its methods hold ``_activate()``), so the inherited stack would
+    shadow the per-payload ``set_default_event_block`` plumbing — a
+    later ``configure(event_block=...)`` would be silently ignored by an
+    already-spawned pool.  Workers have no session of their own: they
+    take every knob from their payloads.
+    """
+    _SESSION_STACK.clear()
+
+
+def _close_default_session() -> None:
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is not None:
+        _DEFAULT_SESSION.close()
+        _DEFAULT_SESSION = None
+
+
+atexit.register(_close_default_session)
+
+
+def current_engine() -> "Engine":
+    """The session the free functions route through.
+
+    The innermost scoped session (``with engine(...):`` / an activated
+    :class:`Engine` method) wins; otherwise a module-level default
+    session mirroring the legacy layered defaults is returned.  The
+    default session is rebuilt — its pool torn down and respawned on
+    next use — whenever those defaults (environment variables or
+    :func:`set_engine_defaults` overrides) have changed since it was
+    built, so code that still mutates globals sees them honored exactly
+    as before the session redesign.
+    """
+    if _SESSION_STACK:
+        return _SESSION_STACK[-1]
+    global _DEFAULT_SESSION
+    resolved = EngineOptions.resolve()
+    if (
+        _DEFAULT_SESSION is None
+        or _DEFAULT_SESSION.closed
+        or _DEFAULT_SESSION.options != resolved
+    ):
+        if _DEFAULT_SESSION is not None:
+            _DEFAULT_SESSION.close()
+        _DEFAULT_SESSION = Engine(resolved)
+    return _DEFAULT_SESSION
+
+
+@contextmanager
+def engine(session: "Engine | None" = None, **overrides):
+    """Scoped engine configuration — the replacement for global mutation.
+
+    ``with engine(backend="batched", jobs=4) as eng:`` derives a session
+    from the current one with the given option overrides, installs it as
+    the session every engine entry point routes through for the duration
+    of the block, and restores the previous configuration on exit —
+    whether the block returns or raises.  ``None``-valued overrides are
+    ignored, so CLI-style "flag or None" values pass through directly.
+
+    An existing :class:`Engine` may be installed instead: ``with
+    engine(eng): ...`` scopes all engine traffic through ``eng`` without
+    adopting its lifetime (the caller still owns ``eng.close()``;
+    sessions the context manager itself derives are closed on exit).
+    """
+    if session is None:
+        session = Engine(current_engine().options.replace(**overrides))
+        owned = True
+    else:
+        if overrides:
+            raise TypeError(
+                "engine() takes either an existing Engine or option "
+                "overrides, not both"
+            )
+        owned = False
+    _SESSION_STACK.append(session)
+    try:
+        yield session
+    finally:
+        _SESSION_STACK.pop()
+        if owned:
+            session.close()
+
+
+# ----------------------------------------------------------------------
+# The session object
+# ----------------------------------------------------------------------
+class Engine:
+    """One engine session: frozen options + persistent pool + cache handle.
+
+    Construct from an explicit :class:`EngineOptions` or from keyword
+    overrides over the process-level defaults (resolved **once**, here):
+
+    >>> from repro.engine import Engine
+    >>> from repro.workloads import uniform_configuration
+    >>> with Engine(backend="batched") as eng:
+    ...     results = eng.ensemble(uniform_configuration(200, 3), 16, seed=7)
+    >>> len(results)
+    16
+
+    Every :meth:`ensemble` / :meth:`sweep` call in the session reuses
+    one lazily-spawned executor pool (worker spawn and teardown are paid
+    once, not per call) and one open ensemble-cache handle.  The session
+    is also a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, options: EngineOptions | None = None, **overrides) -> None:
+        if options is None:
+            options = EngineOptions.resolve(**overrides)
+        elif not isinstance(options, EngineOptions):
+            raise TypeError(
+                f"options must be an EngineOptions, got {type(options).__name__}"
+            )
+        elif overrides:
+            options = options.replace(**overrides)
+        self._options = options
+        self._cache: EnsembleCache | None = None
+        if options.cache:
+            self._cache = self._new_cache_handle(options)
+        self._pool = None
+        self._pool_key: tuple | None = None
+        self._closed = False
+        self._stats = {
+            "ensembles": 0,
+            "sweeps": 0,
+            "replicates_simulated": 0,
+            "replicates_from_cache": 0,
+            "pool_spawns": 0,
+            "pool_reuses": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear down the executor pool; the session refuses further work."""
+        self._shutdown_pool()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "this Engine session is closed; construct a new one "
+                "(or use repro.engine.engine(...) for scoped sessions)"
+            )
+
+    # -- configuration -------------------------------------------------
+    @property
+    def options(self) -> EngineOptions:
+        """The session's frozen, fully-resolved options."""
+        return self._options
+
+    def configure(self, **overrides) -> EngineOptions:
+        """Replace the session's options in place (``None`` values ignored).
+
+        Changing a pool-affecting option (``jobs``, ``result_transport``)
+        tears the persistent pool down — it respawns with the new
+        configuration on the next process-executor call.  Changing a
+        cache option re-opens the cache handle.  Returns the new options.
+        """
+        self._check_open()
+        new = self._options.replace(**overrides)
+        if new == self._options:
+            return new
+        if new.pool_key() != self._options.pool_key():
+            self._shutdown_pool()
+        cache_fields = (new.cache, new.cache_dir, new.cache_max_bytes)
+        old_fields = (
+            self._options.cache,
+            self._options.cache_dir,
+            self._options.cache_max_bytes,
+        )
+        if cache_fields != old_fields:
+            self._cache = self._new_cache_handle(new) if new.cache else None
+        self._options = new
+        return new
+
+    @contextmanager
+    def _activate(self):
+        """Install this session as the innermost one for the duration.
+
+        While active, the legacy ``get_default_*`` getters (and through
+        them scenario variant resolution, the USD reference backend and
+        the lockstep kernels' event block) answer from this session's
+        options.
+        """
+        _SESSION_STACK.append(self)
+        try:
+            yield
+        finally:
+            _SESSION_STACK.pop()
+
+    # -- cache handle --------------------------------------------------
+    @staticmethod
+    def _new_cache_handle(options: EngineOptions) -> EnsembleCache:
+        # max_bytes=0 pins "unlimited" without re-reading the globals
+        # (EnsembleCache treats non-positive caps as no cap).
+        return EnsembleCache(
+            options.cache_dir,
+            max_bytes=(
+                options.cache_max_bytes
+                if options.cache_max_bytes is not None
+                else 0
+            ),
+        )
+
+    @property
+    def cache(self) -> EnsembleCache | None:
+        """The session's open cache handle (``None`` while disabled)."""
+        return self._cache
+
+    def _resolve_cache(self, cache) -> EnsembleCache | None:
+        if isinstance(cache, EnsembleCache):
+            return cache
+        enabled = self._options.cache if cache is None else bool(cache)
+        if not enabled:
+            return None
+        if self._cache is None:
+            # A per-call cache=True opens the session handle lazily; it
+            # stays open so later calls share hit/miss accounting.
+            self._cache = self._new_cache_handle(self._options)
+        return self._cache
+
+    # -- shared argument resolution ------------------------------------
+    def _resolve_executor(self, executor: str | None) -> str:
+        if executor is None:
+            executor = self._options.executor
+        if executor == "multiprocessing":
+            executor = "process"
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        return executor
+
+    def _resolve_jobs(self, jobs: int | None) -> int:
+        if jobs is None:
+            opts_jobs = self._options.jobs
+            jobs = opts_jobs if opts_jobs > 1 else (os.cpu_count() or 1)
+        if jobs < 1:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        return jobs
+
+    def _resolve_transport(self, result_transport: str | None) -> str:
+        if result_transport is None:
+            result_transport = self._options.result_transport
+        if result_transport not in RESULT_TRANSPORTS:
+            raise ValueError(
+                f"result_transport must be one of {RESULT_TRANSPORTS}, "
+                f"got {result_transport!r}"
+            )
+        return result_transport
+
+    @staticmethod
+    def _chunk_cap(trials: int, jobs: int, batch_size: int) -> int:
+        # Several chunks per worker keep the pool busy when replicate
+        # durations vary, without giving up batching within a chunk.
+        return max(1, min(batch_size, -(-trials // (jobs * 4))))
+
+    # -- persistent pool -----------------------------------------------
+    def _acquire_pool(self, jobs: int):
+        key = (jobs, self._options.result_transport, _registry_epoch())
+        if self._pool is not None and self._pool_key == key:
+            self._stats["pool_reuses"] += 1
+            return self._pool
+        self._shutdown_pool()
+        self._pool = multiprocessing.Pool(
+            processes=jobs, initializer=_worker_session_reset
+        )
+        self._pool_key = key
+        self._stats["pool_spawns"] += 1
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_key = None
+
+    def _pool_mapper(self, jobs: int):
+        """A ``pool_map(func, payloads, chunksize=None)`` bound to this session."""
+
+        def pool_map(func, payloads, chunksize=None):
+            pool = self._acquire_pool(jobs)
+            if chunksize is None:
+                return pool.map(func, payloads)
+            return pool.map(func, payloads, chunksize=chunksize)
+
+        return pool_map
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the live pool workers (empty before the first spawn)."""
+        if self._pool is None:
+            return ()
+        return tuple(sorted(p.pid for p in self._pool._pool))
+
+    # -- diagnostics ---------------------------------------------------
+    def stats(self) -> dict:
+        """Session counters: pool reuse, cache traffic, replicates executed."""
+        snapshot = {
+            key: value
+            for key, value in self._stats.items()
+            if not key.startswith("pool_")
+        }
+        snapshot["options"] = self._options.as_dict()
+        snapshot["pool"] = {
+            "spawns": self._stats["pool_spawns"],
+            "reuses": self._stats["pool_reuses"],
+            "alive": self._pool is not None,
+            "worker_pids": list(self.worker_pids()),
+        }
+        snapshot["cache"] = self._cache.stats() if self._cache is not None else None
+        return snapshot
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "pool up" if self._pool is not None else "idle"
+        )
+        return (
+            f"Engine(backend={self._options.backend!r}, "
+            f"jobs={self._options.jobs}, {state})"
+        )
+
+    # -- single-run hook -----------------------------------------------
+    def simulate(
+        self,
+        config: Configuration,
+        *,
+        rng: np.random.Generator,
+        max_interactions: int | None = None,
+        observer: Observer | None = None,
+    ) -> RunResult:
+        """One replicate on the session's backend (the experiments' hook)."""
+        self._check_open()
+        with self._activate():
+            backend = get_backend(self._options.backend)
+            return backend.simulate(
+                config,
+                rng=rng,
+                max_interactions=max_interactions,
+                observer=observer,
+            )
+
+    # -- ensembles -----------------------------------------------------
+    def ensemble(
+        self,
+        workload: Configuration | ScenarioSpec,
+        trials: int,
+        *,
+        seed: int | np.random.SeedSequence,
+        backend: str | Backend | None = None,
+        executor: str | None = None,
+        jobs: int | None = None,
+        max_interactions: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cache: bool | EnsembleCache | None = None,
+        result_transport: str | None = None,
+    ) -> list[RunResult]:
+        """Run ``trials`` independent replicates and return them in order.
+
+        Semantics match the historical free function
+        (:func:`repro.engine.run_ensemble`) bit for bit at fixed seeds;
+        unspecified arguments fall back to the *session's* frozen
+        options instead of re-reading globals, and process-executor
+        calls reuse the session's persistent pool.
+        """
+        self._check_open()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        with self._activate():
+            opts = self._options
+            spec = coerce_spec(workload)
+            scenario = get_scenario(spec.scenario)
+            scenario.validate(spec)
+            variant = scenario.variant(backend)
+            executor = self._resolve_executor(executor)
+
+            store = self._resolve_cache(cache)
+            if store is not None:
+                key = store.key_for(
+                    spec,
+                    trials=trials,
+                    seed=seed,
+                    variant=variant,
+                    max_interactions=max_interactions,
+                )
+                cached = store.load(key)
+                if cached is not None:
+                    self._stats["ensembles"] += 1
+                    self._stats["replicates_from_cache"] += trials
+                    return cached
+
+            seeds = replicate_seeds(seed, trials)
+
+            if executor == "serial":
+                runner = scenario.prepare_runner(variant, backend)
+                results: list = []
+                for chunk in _chunked(seeds, batch_size):
+                    rngs = [np.random.default_rng(s) for s in chunk]
+                    results.extend(
+                        scenario.run_chunk(spec, runner, rngs, max_interactions)
+                    )
+            else:
+                jobs = self._resolve_jobs(jobs)
+                # Workers re-resolve the scenario and variant by name from
+                # their (forked or re-imported) registries, so both must
+                # actually resolve here first — an unregistered custom
+                # backend would only fail inside the pool with a confusing
+                # per-worker error.
+                scenario.check_process_safe(variant, backend)
+                result_transport = self._resolve_transport(result_transport)
+                per_chunk = self._chunk_cap(trials, jobs, batch_size)
+                seed_chunks = _chunked(seeds, per_chunk)
+                starts = [
+                    sum(len(c) for c in seed_chunks[:i])
+                    for i in range(len(seed_chunks))
+                ]
+                pool_map = self._pool_mapper(jobs)
+                event_block = opts.event_block
+                results = None
+                if result_transport == "shared":
+                    results = _run_process_shared(
+                        scenario,
+                        spec,
+                        variant,
+                        list(zip(starts, seed_chunks)),
+                        trials,
+                        max_interactions,
+                        event_block,
+                        pool_map,
+                    )
+                if results is None:
+                    payloads = [
+                        (
+                            spec.scenario,
+                            spec,
+                            variant,
+                            chunk,
+                            max_interactions,
+                            event_block,
+                        )
+                        for chunk in seed_chunks
+                    ]
+                    chunks = pool_map(_worker, payloads)
+                    results = [result for chunk in chunks for result in chunk]
+
+            if store is not None:
+                store.store(key, results)
+            self._stats["ensembles"] += 1
+            self._stats["replicates_simulated"] += trials
+            return results
+
+    # -- sweeps --------------------------------------------------------
+    def sweep(
+        self,
+        spec,
+        *,
+        seed: int | None = None,
+        cell_seeds=None,
+        seed_derivation: str = "spawn",
+        backend: str | Backend | None = None,
+        executor: str | None = None,
+        jobs: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cache: bool | EnsembleCache | None = None,
+        result_transport: str | None = None,
+    ):
+        """Run every cell of a sweep through one flattened work queue.
+
+        Semantics match the historical free function
+        (:func:`repro.engine.run_sweep`) bit for bit at fixed seeds —
+        same flattened cross-cell scheduling, same per-cell caching
+        under a sweep-level index — with two session upgrades: the
+        process executor reuses the session's persistent pool, and
+        (``result_transport="shared"``, the default) sweep chunks return
+        as fixed-width records through one sweep-wide shared-memory
+        block instead of pickles, with automatic pickle fallback.
+        """
+        # Imported here: the sweep module's free function wraps this
+        # method, so a top-level import would be circular.
+        from .sweep import (
+            SweepCellRun,
+            SweepRun,
+            SweepSpec,
+            _derive_cell_seeds,
+        )
+
+        self._check_open()
+        if not isinstance(spec, SweepSpec):
+            raise TypeError(f"expected a SweepSpec, got {type(spec).__name__}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        with self._activate():
+            opts = self._options
+            executor = self._resolve_executor(executor)
+
+            cells = spec.cells
+            seeds = _derive_cell_seeds(len(cells), seed, cell_seeds, seed_derivation)
+            store = self._resolve_cache(cache)
+
+            scenarios = []
+            variants = []
+            keys: list[str | None] = []
+            results_by_cell: dict[int, list] = {}
+            for index, (cell, cell_seed) in enumerate(zip(cells, seeds)):
+                scenario = get_scenario(cell.spec.scenario)
+                scenario.validate(cell.spec)
+                variant = scenario.variant(backend)
+                scenarios.append(scenario)
+                variants.append(variant)
+                if store is None:
+                    keys.append(None)
+                    continue
+                key = store.key_for(
+                    cell.spec,
+                    trials=cell.trials,
+                    seed=cell_seed,
+                    variant=variant,
+                    max_interactions=cell.max_interactions,
+                )
+                keys.append(key)
+                cached = store.load(key)
+                if cached is not None:
+                    results_by_cell[index] = cached
+
+            pending = [i for i in range(len(cells)) if i not in results_by_cell]
+            if pending:
+                if executor != "serial":
+                    jobs = self._resolve_jobs(jobs)
+                    for i in pending:
+                        scenarios[i].check_process_safe(variants[i], backend)
+                    result_transport = self._resolve_transport(result_transport)
+
+                event_block = opts.event_block
+                if executor == "serial":
+                    runners = {
+                        i: scenarios[i].prepare_runner(variants[i], backend)
+                        for i in pending
+                    }
+                    for i in pending:
+                        results_by_cell[i] = []
+                    for i in pending:
+                        cell = cells[i]
+                        for chunk in _chunked(
+                            replicate_seeds(seeds[i], cell.trials), batch_size
+                        ):
+                            rngs = [np.random.default_rng(s) for s in chunk]
+                            results_by_cell[i].extend(
+                                scenarios[i].run_chunk(
+                                    cell.spec, runners[i], rngs,
+                                    cell.max_interactions,
+                                )
+                            )
+                else:
+                    # Same per-cell chunk granularity as a standalone
+                    # ensemble (several chunks per worker, batching
+                    # preserved within a chunk) — but every cell's chunks
+                    # land in ONE shared queue, so there is no per-cell
+                    # barrier: workers drain chunks from any cell still
+                    # pending, and one slow cell cannot idle the pool.
+                    cell_jobs = []
+                    for i in pending:
+                        cell = cells[i]
+                        chunk_cap = self._chunk_cap(cell.trials, jobs, batch_size)
+                        cell_jobs.append(
+                            {
+                                "index": i,
+                                "scenario": scenarios[i],
+                                "spec": cell.spec,
+                                "variant": variants[i],
+                                "max_interactions": cell.max_interactions,
+                                "chunks": _chunked(
+                                    replicate_seeds(seeds[i], cell.trials),
+                                    chunk_cap,
+                                ),
+                            }
+                        )
+                    pool_map = self._pool_mapper(jobs)
+                    shared = None
+                    if result_transport == "shared":
+                        shared = _run_sweep_shared(cell_jobs, event_block, pool_map)
+                    if shared is not None:
+                        results_by_cell.update(shared)
+                    else:
+                        payloads = []
+                        owners = []
+                        for job in cell_jobs:
+                            for chunk in job["chunks"]:
+                                payloads.append(
+                                    (
+                                        job["spec"].scenario,
+                                        job["spec"],
+                                        job["variant"],
+                                        chunk,
+                                        job["max_interactions"],
+                                        event_block,
+                                    )
+                                )
+                                owners.append(job["index"])
+                        # chunksize=1 keeps distribution dynamic: a worker
+                        # that finishes a fast cell's chunk immediately
+                        # steals the next chunk from any cell still pending.
+                        outputs = pool_map(_worker, payloads, chunksize=1)
+                        for i in pending:
+                            results_by_cell[i] = []
+                        for output, i in zip(outputs, owners):
+                            results_by_cell[i].extend(output)
+                if store is not None:
+                    for i in pending:
+                        store.store(keys[i], results_by_cell[i])
+
+            sweep_key = None
+            if store is not None:
+                sweep_key = store.sweep_index_key(spec.key(), seeds, variants)
+                store.store_sweep_index(
+                    sweep_key,
+                    {
+                        "format": SWEEP_INDEX_FORMAT,
+                        "sweep": spec.key(),
+                        "seeds": [seed_token(s) for s in seeds],
+                        "variants": list(variants),
+                        "cells": keys,
+                    },
+                )
+
+            simulated = set(pending)
+            self._stats["sweeps"] += 1
+            for i in range(len(cells)):
+                if i in simulated:
+                    self._stats["replicates_simulated"] += cells[i].trials
+                else:
+                    self._stats["replicates_from_cache"] += cells[i].trials
+            runs = [
+                SweepCellRun(
+                    cell=cells[i],
+                    index=i,
+                    seed=seeds[i],
+                    variant=variants[i],
+                    results=results_by_cell[i],
+                    cached=i not in simulated,
+                )
+                for i in range(len(cells))
+            ]
+            return SweepRun(spec=spec, cells=runs, sweep_key=sweep_key)

@@ -42,25 +42,15 @@ pre-sweep results is asserted.  Explicit ``cell_seeds`` override both.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from .backends import Backend
-from .cache import SWEEP_INDEX_FORMAT, EnsembleCache, seed_token
-from .executors import (
-    DEFAULT_BATCH_SIZE,
-    EXECUTORS,
-    _chunked,
-    _resolve_cache,
-    _worker,
-    replicate_seeds,
-)
-from .options import get_default_event_block, get_default_executor, get_default_jobs
-from .scenarios import ScenarioSpec, _freeze, _jsonable, coerce_spec, get_scenario
+from .cache import SWEEP_INDEX_FORMAT, EnsembleCache
+from .executors import DEFAULT_BATCH_SIZE
+from .scenarios import ScenarioSpec, _freeze, _jsonable, coerce_spec
 
 __all__ = [
     "SweepCell",
@@ -316,8 +306,16 @@ def run_sweep(
     jobs: int | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     cache: bool | EnsembleCache | None = None,
+    result_transport: str | None = None,
 ) -> SweepRun:
     """Run every cell of a sweep through one flattened work queue.
+
+    This is the historical free-function entry point; it now delegates
+    to the module-level default session
+    (:meth:`repro.engine.Engine.sweep`), so repeated sweeps in one
+    process reuse the session's persistent executor pool and cache
+    handle.  Results are bit-identical to the pre-session scheduler at
+    fixed seeds.
 
     Parameters
     ----------
@@ -341,6 +339,13 @@ def run_sweep(
         barrier — and ``cache`` stores each cell as its own ensemble
         entry under a sweep-level index, so identical sweeps replay from
         disk and edited sweeps recompute only missing/changed cells.
+    result_transport:
+        How process-executor workers return the flattened queue's
+        results: ``"shared"`` packs every cell's replicates as
+        fixed-width records into one sweep-wide shared-memory block
+        (with automatic pickle fallback when shared memory or any
+        cell's record codec is unavailable); ``"pickle"`` forces the
+        classic pickled path.  Never affects the results themselves.
 
     Returns
     -------
@@ -349,130 +354,17 @@ def run_sweep(
         standalone ``run_ensemble(cell.spec, cell.trials, seed=...)``
         with the same cell seed would produce.
     """
-    if not isinstance(spec, SweepSpec):
-        raise TypeError(f"expected a SweepSpec, got {type(spec).__name__}")
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be positive, got {batch_size}")
-    if executor is None:
-        executor = get_default_executor()
-    if executor == "multiprocessing":
-        executor = "process"
-    if executor not in EXECUTORS:
-        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    from .session import current_engine
 
-    cells = spec.cells
-    seeds = _derive_cell_seeds(len(cells), seed, cell_seeds, seed_derivation)
-    store = _resolve_cache(cache)
-
-    scenarios = []
-    variants = []
-    keys: list[str | None] = []
-    results_by_cell: dict[int, list] = {}
-    for index, (cell, cell_seed) in enumerate(zip(cells, seeds)):
-        scenario = get_scenario(cell.spec.scenario)
-        scenario.validate(cell.spec)
-        variant = scenario.variant(backend)
-        scenarios.append(scenario)
-        variants.append(variant)
-        if store is None:
-            keys.append(None)
-            continue
-        key = store.key_for(
-            cell.spec,
-            trials=cell.trials,
-            seed=cell_seed,
-            variant=variant,
-            max_interactions=cell.max_interactions,
-        )
-        keys.append(key)
-        cached = store.load(key)
-        if cached is not None:
-            results_by_cell[index] = cached
-
-    pending = [i for i in range(len(cells)) if i not in results_by_cell]
-    if pending:
-        if executor != "serial":
-            if jobs is None:
-                default_jobs = get_default_jobs()
-                jobs = default_jobs if default_jobs > 1 else (os.cpu_count() or 1)
-            if jobs < 1:
-                raise ValueError(f"jobs must be positive, got {jobs}")
-            for i in pending:
-                scenarios[i].check_process_safe(variants[i], backend)
-
-        payloads = []
-        owners = []
-        # Resolved once here so spawn-started pool workers see the
-        # parent's event-block selection (results are invariant to it).
-        event_block = get_default_event_block()
-        for i in pending:
-            cell = cells[i]
-            if executor == "serial":
-                chunk_cap = batch_size
-            else:
-                # Same per-cell granularity as a standalone run_ensemble
-                # (several chunks per worker, batching preserved within a
-                # chunk) — but every cell's chunks land in ONE shared
-                # queue, so there is no per-cell barrier: workers drain
-                # chunks from any cell still pending, and one slow cell
-                # can no longer idle the pool between cells.
-                chunk_cap = max(1, min(batch_size, -(-cell.trials // (jobs * 4))))
-            for chunk in _chunked(replicate_seeds(seeds[i], cell.trials), chunk_cap):
-                payloads.append(
-                    (cell.spec.scenario, cell.spec, variants[i], chunk,
-                     cell.max_interactions, event_block)
-                )
-                owners.append(i)
-
-        if executor == "serial":
-            runners = {
-                i: scenarios[i].prepare_runner(variants[i], backend) for i in pending
-            }
-            outputs = []
-            for (_, cell_spec, _, chunk, budget, _), i in zip(payloads, owners):
-                rngs = [np.random.default_rng(s) for s in chunk]
-                outputs.append(
-                    scenarios[i].run_chunk(cell_spec, runners[i], rngs, budget)
-                )
-        else:
-            # chunksize=1 keeps distribution dynamic: a worker that
-            # finishes a fast cell's chunk immediately steals the next
-            # chunk from any cell still pending.
-            with multiprocessing.Pool(processes=jobs) as pool:
-                outputs = pool.map(_worker, payloads, chunksize=1)
-
-        for i in pending:
-            results_by_cell[i] = []
-        for output, i in zip(outputs, owners):
-            results_by_cell[i].extend(output)
-        if store is not None:
-            for i in pending:
-                store.store(keys[i], results_by_cell[i])
-
-    sweep_key = None
-    if store is not None:
-        sweep_key = store.sweep_index_key(spec.key(), seeds, variants)
-        store.store_sweep_index(
-            sweep_key,
-            {
-                "format": SWEEP_INDEX_FORMAT,
-                "sweep": spec.key(),
-                "seeds": [seed_token(s) for s in seeds],
-                "variants": list(variants),
-                "cells": keys,
-            },
-        )
-
-    simulated = set(pending)
-    runs = [
-        SweepCellRun(
-            cell=cells[i],
-            index=i,
-            seed=seeds[i],
-            variant=variants[i],
-            results=results_by_cell[i],
-            cached=i not in simulated,
-        )
-        for i in range(len(cells))
-    ]
-    return SweepRun(spec=spec, cells=runs, sweep_key=sweep_key)
+    return current_engine().sweep(
+        spec,
+        seed=seed,
+        cell_seeds=cell_seeds,
+        seed_derivation=seed_derivation,
+        backend=backend,
+        executor=executor,
+        jobs=jobs,
+        batch_size=batch_size,
+        cache=cache,
+        result_transport=result_transport,
+    )

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.config import Configuration
 from ..core.simulator import Observer, RunResult
-from ..engine import engine_defaults, get_backend, get_default_backend
+from ..engine import current_engine, engine_defaults
 
 __all__ = [
     "Scale",
@@ -69,15 +69,18 @@ def engine_simulate(
 ) -> RunResult:
     """Single-run hook: every e01–e19 module simulates through this.
 
-    Dispatches to the session-selected engine backend (``--backend`` on
-    the CLI, ``REPRO_ENGINE_BACKEND`` in the environment, ``"jump"``
-    otherwise), so an entire experiment suite can be re-run on a
-    different backend without editing any experiment module.  Ensemble
-    runs go through :func:`repro.analysis.run_trials` /
-    :func:`repro.analysis.sweep`, which route through the same engine.
+    Dispatches to the **current engine session**
+    (:meth:`repro.engine.Engine.simulate`): the scoped session when the
+    CLI wraps a ``run``/``report`` invocation in one (``--backend``
+    lands in its frozen options), the module-level default session
+    (``REPRO_ENGINE_BACKEND``, ``"jump"`` otherwise) elsewhere — so an
+    entire experiment suite can be re-run on a different backend without
+    editing any experiment module.  Ensemble runs go through
+    :func:`repro.analysis.run_trials` / :func:`repro.analysis.sweep`,
+    which route through the same session and therefore share its
+    persistent executor pool and cache handle.
     """
-    backend = get_backend(get_default_backend())
-    return backend.simulate(
+    return current_engine().simulate(
         config, rng=rng, max_interactions=max_interactions, observer=observer
     )
 

@@ -491,23 +491,37 @@ class TestResultTransport:
             _BACKENDS.pop("tracing-test-backend", None)
 
     def test_sweep_cli_applies_event_block_and_transport(self, monkeypatch):
-        from repro.cli import main
+        # The CLI freezes its flags into one Engine session; while that
+        # session runs, the default getters (and through them the
+        # lockstep kernels) answer from it — and NOTHING leaks into the
+        # process-wide defaults after the command returns.
+        from repro.cli import build_parser, main
         from repro.core import lockstep
         from repro.engine import (
+            engine,
             get_default_event_block,
             get_default_result_transport,
             options,
         )
+        from repro.cli import _build_engine
 
         monkeypatch.setattr(lockstep, "_EVENT_BLOCK_OVERRIDE", None)
         monkeypatch.setattr(options, "_RESULT_TRANSPORT_OVERRIDE", None)
-        assert main([
+        monkeypatch.delenv("REPRO_ENGINE_EVENT_BLOCK", raising=False)
+        monkeypatch.delenv("REPRO_ENGINE_RESULT_TRANSPORT", raising=False)
+        argv = [
             "sweep", "--param", "n=40", "--param", "k=2", "--trials", "2",
             "--event-block", "7", "--result-transport", "pickle", "--no-cache",
-        ]) == 0
-        try:
-            assert get_default_event_block() == 7
-            assert get_default_result_transport() == "pickle"
-        finally:
-            monkeypatch.setattr(lockstep, "_EVENT_BLOCK_OVERRIDE", None)
-            monkeypatch.setattr(options, "_RESULT_TRANSPORT_OVERRIDE", None)
+        ]
+        args = build_parser().parse_args(argv)
+        with _build_engine(args) as eng:
+            assert eng.options.event_block == 7
+            assert eng.options.result_transport == "pickle"
+            with engine(eng):
+                # Scoped: the kernels' defaults answer from the session.
+                assert get_default_event_block() == 7
+                assert get_default_result_transport() == "pickle"
+        assert main(argv) == 0
+        # Restored: the command mutated no process-wide state.
+        assert get_default_event_block() == lockstep.DEFAULT_EVENT_BLOCK
+        assert get_default_result_transport() == "shared"

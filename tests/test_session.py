@@ -1,0 +1,494 @@
+"""Engine sessions: persistent pool, scoped overrides, bit-identity.
+
+The session redesign must be invisible in the results: ``Engine.ensemble``
+and ``Engine.sweep`` are asserted bit-identical to the free functions and
+to a manual per-replicate reference loop at fixed seeds, across the
+serial and process executors and both result transports.  What *does*
+change — pool ownership, option freezing, scoped configuration — is
+pinned here: worker PIDs persist across calls, the pool respawns exactly
+when jobs/result_transport/registries change, and ``engine(...)``
+restores the previous configuration on exit and on exceptions.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.engine import (
+    Engine,
+    EngineOptions,
+    EnsembleCache,
+    SweepCell,
+    SweepSpec,
+    current_engine,
+    engine,
+    get_backend,
+    get_default_backend,
+    get_default_jobs,
+    replicate_seeds,
+    run_ensemble,
+    run_sweep,
+    zealot_spec,
+)
+from repro.workloads import uniform_configuration
+
+
+def results_key(results):
+    return [
+        (
+            tuple(r.final.counts.tolist()),
+            getattr(r, "interactions", getattr(r, "rounds", None)),
+            getattr(r, "winner", None),
+        )
+        for r in results
+    ]
+
+
+def sweep_key(outcome):
+    return [results_key(cell.results) for cell in outcome]
+
+
+def small_sweep(trials=6):
+    grid = [{"n": 60, "k": 2}, {"n": 90, "k": 2}, {"n": 120, "k": 2}]
+    return SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
+
+
+class TestEngineOptions:
+    def test_resolve_reads_environment_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "batched")
+        monkeypatch.setenv("REPRO_ENGINE_JOBS", "3")
+        opts = EngineOptions.resolve()
+        assert opts.backend == "batched"
+        assert opts.jobs == 3
+        assert opts.executor == "process"
+        # The frozen value survives later environment mutation.
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "agents")
+        assert opts.backend == "batched"
+
+    def test_overrides_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "agents")
+        opts = EngineOptions.resolve(backend="jump", jobs=2)
+        assert opts.backend == "jump"
+        assert opts.jobs == 2
+
+    def test_none_overrides_are_ignored(self):
+        opts = EngineOptions.resolve(backend=None, jobs=None)
+        assert opts.backend == get_default_backend()
+        assert opts.jobs == get_default_jobs()
+
+    def test_replace_and_frozen(self):
+        opts = EngineOptions()
+        derived = opts.replace(jobs=4, backend=None)
+        assert derived.jobs == 4
+        assert derived.backend == opts.backend
+        assert opts.jobs == 1  # original untouched
+        with pytest.raises(Exception):
+            opts.jobs = 9  # frozen dataclass
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineOptions(jobs=0)
+        with pytest.raises(ValueError):
+            EngineOptions(event_block=0)
+        with pytest.raises(ValueError):
+            EngineOptions(result_transport="smoke-signals")
+        with pytest.raises(TypeError):
+            EngineOptions.resolve(warp_factor=9)
+        with pytest.raises(TypeError):
+            EngineOptions().replace(warp_factor=9)
+
+    def test_unlimited_cache_cap_normalized(self):
+        assert EngineOptions(cache_max_bytes=0).cache_max_bytes is None
+        assert EngineOptions(cache_max_bytes=123).cache_max_bytes == 123
+
+
+class TestBitIdentity:
+    CONFIG = Configuration.from_supports([80, 40, 20])
+
+    def manual_reference(self, trials, seed):
+        jump = get_backend("jump")
+        return [
+            jump.simulate(self.CONFIG, rng=np.random.default_rng(s))
+            for s in replicate_seeds(seed, trials)
+        ]
+
+    def test_engine_ensemble_matches_manual_reference(self):
+        want = results_key(self.manual_reference(8, 41))
+        with Engine() as eng:
+            serial = eng.ensemble(self.CONFIG, 8, seed=41, executor="serial")
+            process = eng.ensemble(
+                self.CONFIG, 8, seed=41, executor="process", jobs=2
+            )
+        assert results_key(serial) == want
+        assert results_key(process) == want
+
+    def test_engine_matches_free_function_across_executors(self):
+        free_serial = run_ensemble(self.CONFIG, 8, seed=17, executor="serial")
+        free_process = run_ensemble(
+            self.CONFIG, 8, seed=17, executor="process", jobs=2
+        )
+        with Engine(jobs=2) as eng:
+            via_session = eng.ensemble(self.CONFIG, 8, seed=17)
+        assert (
+            results_key(free_serial)
+            == results_key(free_process)
+            == results_key(via_session)
+        )
+
+    def test_engine_sweep_matches_free_function_and_serial(self):
+        spec = small_sweep()
+        free = run_sweep(spec, seed=23, executor="serial")
+        with Engine(jobs=2) as eng:
+            via_session = eng.sweep(spec, seed=23, executor="process", jobs=2)
+        assert sweep_key(free) == sweep_key(via_session)
+
+    def test_sweep_shared_equals_pickle_equals_serial(self):
+        # The new sweep-wide shared-memory transport must be invisible
+        # in the results, including across different record widths in
+        # one sweep (usd k=2 cells + a zealot cell).
+        cells = tuple(
+            [
+                SweepCell(spec=zealot_spec(uniform_configuration(60, 2), [0, 3]),
+                          trials=4, max_interactions=50_000),
+                SweepCell(spec=coerce_usd(uniform_configuration(80, 3)), trials=4),
+            ]
+        )
+        spec = SweepSpec(cells=cells)
+        with Engine(jobs=2) as eng:
+            shared = eng.sweep(
+                spec, seed=5, executor="process", result_transport="shared"
+            )
+            pickled = eng.sweep(
+                spec, seed=5, executor="process", result_transport="pickle"
+            )
+            serial = eng.sweep(spec, seed=5, executor="serial")
+        assert sweep_key(shared) == sweep_key(pickled) == sweep_key(serial)
+        # Decoded results keep their scenario-specific types.
+        assert type(shared.cells[0].results[0]).__name__ == "ZealotRunResult"
+
+    def test_sweep_shared_falls_back_without_shared_memory(self, monkeypatch):
+        from repro.engine import executors
+
+        monkeypatch.setattr(executors, "_shared_memory", None)
+        spec = small_sweep(trials=4)
+        with Engine(jobs=2) as eng:
+            got = eng.sweep(spec, seed=9, executor="process")
+            want = eng.sweep(spec, seed=9, executor="serial")
+        assert sweep_key(got) == sweep_key(want)
+
+
+def coerce_usd(config):
+    from repro.engine import usd_spec
+
+    return usd_spec(config)
+
+
+def _event_block_probe(block):
+    """Pool-worker probe: does the shipped event block actually apply?"""
+    from repro.core.lockstep import (
+        get_default_event_block,
+        set_default_event_block,
+    )
+
+    set_default_event_block(block)
+    return get_default_event_block()
+
+
+class TestPersistentPool:
+    CONFIG = Configuration.from_supports([60, 30])
+
+    def test_same_worker_pids_across_two_sweeps(self):
+        spec = small_sweep(trials=4)
+        with Engine(jobs=2) as eng:
+            eng.sweep(spec, seed=1, executor="process")
+            first = eng.worker_pids()
+            eng.sweep(spec, seed=2, executor="process")
+            second = eng.worker_pids()
+            stats = eng.stats()
+        assert first == second
+        assert len(first) == 2
+        assert stats["pool"]["spawns"] == 1
+        assert stats["pool"]["reuses"] >= 1
+
+    def test_pool_shared_between_ensemble_and_sweep(self):
+        with Engine(jobs=2) as eng:
+            eng.ensemble(self.CONFIG, 6, seed=3, executor="process")
+            pids = eng.worker_pids()
+            eng.sweep(small_sweep(trials=4), seed=4, executor="process")
+            assert eng.worker_pids() == pids
+            assert eng.stats()["pool"]["spawns"] == 1
+
+    def test_respawn_when_jobs_change(self):
+        with Engine(jobs=2) as eng:
+            eng.ensemble(self.CONFIG, 6, seed=3, executor="process")
+            before = eng.worker_pids()
+            eng.ensemble(self.CONFIG, 6, seed=3, executor="process", jobs=3)
+            after = eng.worker_pids()
+            stats = eng.stats()
+        assert len(before) == 2 and len(after) == 3
+        assert not set(before) & set(after)
+        assert stats["pool"]["spawns"] == 2
+
+    def test_respawn_when_result_transport_configured(self):
+        with Engine(jobs=2) as eng:
+            eng.ensemble(self.CONFIG, 6, seed=3, executor="process")
+            before = eng.worker_pids()
+            eng.configure(result_transport="pickle")
+            assert eng.worker_pids() == ()  # torn down, lazily respawned
+            eng.ensemble(self.CONFIG, 6, seed=3, executor="process")
+            after = eng.worker_pids()
+            stats = eng.stats()
+        assert before and after and not set(before) & set(after)
+        assert stats["pool"]["spawns"] == 2
+        assert stats["options"]["result_transport"] == "pickle"
+
+    def test_respawn_when_registry_grows(self):
+        # Forked workers snapshot the registries; registering a backend
+        # after the fork must respawn the pool so workers can resolve it.
+        from repro.engine import register_backend
+        from repro.engine.backends import _REGISTRY
+
+        class EpochBackend:
+            name = "session-epoch-test"
+
+            def simulate(self, config, *, rng, max_interactions=None,
+                         observer=None):
+                from repro.core.fastsim import simulate
+
+                return simulate(
+                    config, rng=rng, max_interactions=max_interactions
+                )
+
+        with Engine(jobs=2) as eng:
+            eng.ensemble(self.CONFIG, 4, seed=3, executor="process")
+            before = eng.worker_pids()
+            register_backend(EpochBackend())
+            try:
+                got = eng.ensemble(
+                    self.CONFIG, 4, seed=3, executor="process",
+                    backend="session-epoch-test",
+                )
+            finally:
+                _REGISTRY.pop("session-epoch-test", None)
+            after = eng.worker_pids()
+        assert not set(before) & set(after)
+        want = run_ensemble(self.CONFIG, 4, seed=3, executor="serial")
+        assert results_key(got) == results_key(want)
+
+    def test_workers_honor_shipped_event_block(self):
+        # Fork-started workers inherit the parent's active-session stack;
+        # the pool initializer must clear it, or the session's frozen
+        # event block would shadow the per-payload
+        # set_default_event_block plumbing inside the workers.
+        with Engine(jobs=2, event_block=16) as eng:
+            eng.ensemble(self.CONFIG, 4, seed=1, executor="process")
+            pool_map = eng._pool_mapper(2)
+            assert pool_map(_event_block_probe, [33, 33]) == [33, 33]
+
+    def test_closed_engine_refuses_work(self):
+        eng = Engine()
+        eng.close()
+        with pytest.raises(RuntimeError):
+            eng.ensemble(self.CONFIG, 2, seed=1)
+        with pytest.raises(RuntimeError):
+            eng.sweep(small_sweep(trials=2), seed=1)
+
+
+class TestScopedOverrides:
+    def test_scoped_options_restored_on_exit(self):
+        base = current_engine().options
+        with engine(backend="batched", jobs=2) as eng:
+            assert current_engine() is eng
+            assert get_default_backend() == "batched"
+            assert get_default_jobs() == 2
+        assert current_engine().options == base
+        assert get_default_backend() == base.backend
+
+    def test_scoped_options_restored_on_exception(self):
+        base = current_engine().options
+        with pytest.raises(RuntimeError, match="boom"):
+            with engine(backend="batched"):
+                assert get_default_backend() == "batched"
+                raise RuntimeError("boom")
+        assert current_engine().options == base
+
+    def test_nested_scopes_compose(self):
+        with engine(backend="batched") as outer:
+            with engine(jobs=2) as inner:
+                assert inner.options.backend == "batched"
+                assert inner.options.jobs == 2
+            assert get_default_jobs() == outer.options.jobs
+            assert get_default_backend() == "batched"
+
+    def test_scoped_backend_reaches_variant_resolution(self):
+        # The session's backend must drive scenario variant resolution
+        # exactly like the old global default did.
+        from repro.engine import get_scenario
+
+        with engine(backend="batched"):
+            assert get_scenario("zealots").variant(None) == "batched"
+        assert get_scenario("zealots").variant(None) == "reference"
+
+    def test_scoped_event_block_reaches_lockstep(self):
+        from repro.core.lockstep import (
+            _global_default_event_block,
+            get_default_event_block,
+        )
+
+        with engine(event_block=5):
+            assert get_default_event_block() == 5
+        assert get_default_event_block() == _global_default_event_block()
+
+    def test_existing_engine_can_be_installed(self):
+        eng = Engine(backend="batched")
+        with engine(eng) as scoped:
+            assert scoped is eng
+            assert current_engine() is eng
+        assert not eng.closed  # caller keeps ownership
+        eng.close()
+
+    def test_install_with_overrides_rejected(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            with engine(eng, jobs=2):
+                pass
+        eng.close()
+
+    def test_free_functions_route_through_scoped_session(self):
+        config = Configuration.from_supports([50, 25])
+        with engine(backend="batched") as eng:
+            run_ensemble(config, 4, seed=8)
+            stats = eng.stats()
+        assert stats["ensembles"] == 1
+        assert stats["replicates_simulated"] == 4
+
+
+class TestDefaultSession:
+    def test_default_session_rebuilds_on_env_change(self, monkeypatch):
+        first = current_engine()
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "batched")
+        second = current_engine()
+        assert second is not first
+        assert second.options.backend == "batched"
+        monkeypatch.delenv("REPRO_ENGINE_BACKEND")
+        third = current_engine()
+        assert third.options.backend == first.options.backend
+
+    def test_default_session_stable_when_defaults_stable(self):
+        assert current_engine() is current_engine()
+
+
+class TestSessionCache:
+    def test_session_owns_one_cache_handle(self, tmp_path):
+        config = Configuration.from_supports([40, 20])
+        with Engine(cache=True, cache_dir=str(tmp_path)) as eng:
+            assert isinstance(eng.cache, EnsembleCache)
+            eng.ensemble(config, 3, seed=6)
+            eng.ensemble(config, 3, seed=6)
+            stats = eng.stats()
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["replicates_simulated"] == 3
+        assert stats["replicates_from_cache"] == 3
+
+    def test_cache_true_opens_session_handle_lazily(self, tmp_path):
+        config = Configuration.from_supports([40, 20])
+        with Engine(cache_dir=str(tmp_path)) as eng:
+            assert eng.cache is None
+            eng.ensemble(config, 2, seed=7, cache=True)
+            assert isinstance(eng.cache, EnsembleCache)
+            assert eng.cache.root == tmp_path
+
+    def test_sweep_resume_state_in_cache_stats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = small_sweep(trials=3)
+        store = EnsembleCache(tmp_path)
+        with Engine() as eng:
+            outcome = eng.sweep(spec, seed=11, executor="serial", cache=store)
+        status = store.sweep_status()
+        assert len(status) == 1
+        assert status[0]["cells"] == 3
+        assert status[0]["complete"] == 3
+        assert status[0]["missing"] == 0
+        # Delete one cell's ensemble entry: the sweep becomes resumable.
+        removed = store._path(
+            store.load_sweep_index(outcome.sweep_key)["cells"][1]
+        )
+        removed.unlink()
+        status = store.sweep_status()
+        assert status[0]["complete"] == 2
+        assert status[0]["missing"] == 1
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2/3 cells complete, 1 missing (resumable)" in out
+
+    def test_corrupt_sweep_index_reported(self, tmp_path):
+        (tmp_path / "deadbeef.sweep.json").write_text("not json")
+        store = EnsembleCache(tmp_path)
+        status = store.sweep_status()
+        assert status == [
+            {"key": "deadbeef", "cells": None, "complete": 0, "missing": 0}
+        ]
+
+
+class TestDeprecation:
+    def test_set_engine_defaults_warns(self):
+        from repro.engine import options, set_engine_defaults
+
+        previous = options._BACKEND_OVERRIDE
+        try:
+            with pytest.warns(DeprecationWarning, match="engine"):
+                set_engine_defaults(backend="jump")
+        finally:
+            options._BACKEND_OVERRIDE = previous
+
+    def test_deprecated_defaults_still_reach_new_sessions(self, monkeypatch):
+        import warnings
+
+        from repro.engine import options, set_engine_defaults
+
+        monkeypatch.setattr(options, "_BACKEND_OVERRIDE", None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            set_engine_defaults(backend="batched")
+        assert Engine().options.backend == "batched"
+
+
+class TestCliSession:
+    def test_report_shares_one_session(self, monkeypatch, capsys, tmp_path):
+        # A whole `repro report` runs e01-e19 inside ONE session.
+        import repro.cli as cli
+
+        captured = {}
+        real_run_all = cli.run_all
+
+        def spy_run_all(**kwargs):
+            captured["engine"] = current_engine()
+            return real_run_all(**kwargs)
+
+        monkeypatch.setattr(cli, "run_all", spy_run_all)
+        out = tmp_path / "EXPERIMENTS.md"
+        code = cli.main(["report", "--output", str(out)])
+        assert code == 0
+        assert isinstance(captured["engine"], Engine)
+        assert captured["engine"].closed  # torn down with the command
+        text = capsys.readouterr().out
+        assert "session:" in text
+        assert "replicates simulated" in text
+
+    def test_run_command_uses_session_backend(self, monkeypatch):
+        import repro.cli as cli
+
+        seen = {}
+        real = cli.run_experiment
+
+        def spy(experiment, **kwargs):
+            seen["backend"] = current_engine().options.backend
+            return real(experiment, **kwargs)
+
+        monkeypatch.setattr(cli, "run_experiment", spy)
+        assert cli.main(["run", "E12", "--backend", "batched"]) == 0
+        assert seen["backend"] == "batched"
