@@ -18,8 +18,9 @@ measures serial jump-chain vs batched ensemble throughput,
 :func:`run_kernel_ablation` compares the single-event vs multi-event
 lockstep kernels, the batched graph/gossip kernels vs their serial
 references, and the pickle vs shared-memory result transports, and
-:func:`run_sweep_smoke` times a multi-cell sweep flattened through
-``run_sweep`` against the legacy per-cell ``run_ensemble`` barrier; all
+:func:`run_sweep_smoke` times one heterogeneous multi-cell sweep three
+ways — legacy per-cell ``run_ensemble`` barrier, static flattened
+queue, cost-model scheduler; all
 write JSON artifacts (``BENCH_engine.json`` — engine smoke + ablation —
 / ``BENCH_scenarios.json`` / ``BENCH_sweeps.json``, used by
 ``engine_smoke.py`` / ``sweep_smoke.py`` and CI).
@@ -45,7 +46,6 @@ from repro.engine import (
     noise_spec,
     replicate_seeds,
     run_ensemble,
-    run_sweep,
     simulate_batch,
     simulate_batch_single_event,
     usd_spec,
@@ -362,75 +362,142 @@ def run_kernel_ablation(
 def run_sweep_smoke(
     *,
     ns: list[int] | None = None,
-    k: int = 3,
-    trials: int = 24,
+    ks: list[int] | None = None,
+    k: int | None = None,
+    trials: int = 8,
     jobs: int = 2,
     seed: int = 20230224,
+    rounds: int = 3,
     output: str | os.PathLike | None = None,
 ) -> dict:
-    """Time one multi-cell sweep: flattened pool vs legacy per-cell barrier.
+    """Three-way scheduling ablation on one heterogeneous sweep grid.
 
-    Both sides run the identical grid on the multiprocessing executor
-    with ``jobs`` workers and the same per-cell seeds.  The legacy side
-    is the pre-sweep, pre-session shape — one ``run_ensemble`` barrier
-    per cell on a **fresh pool per cell** (every cell waits for its
-    slowest replicate before the next cell may start; a one-cell
-    ``Engine`` session pins the historical pool-per-call lifetime, which
-    the default session would otherwise amortize away) — while the
-    flattened side is a single :func:`run_sweep` work queue over all
-    cells.  Results are asserted identical, the timing difference is the
-    scheduling win.  Writes ``BENCH_sweeps.json`` when ``output`` is
-    given (the CI artifact).
+    Times the identical ``ns x ks`` grid (per-replicate cost spans two
+    orders of magnitude across cells — the phase-diagram shape sweeps
+    actually take) three ways on the multiprocessing executor with the
+    same per-cell seeds:
+
+    * **legacy_per_cell_barrier** — the pre-sweep, pre-session shape:
+      one ``run_ensemble`` barrier per cell on a fresh one-cell
+      ``Engine`` (fresh pool per cell, every cell stalls on its slowest
+      replicate before the next may start);
+    * **static_flattened** — the PR 3 shape: one flattened work queue,
+      FIFO cell order, a fixed ``jobs * 4``-way split per cell
+      (``scheduler="static"``);
+    * **cost_scheduler** — the cost-model scheduler: cells ordered
+      longest-predicted-first and chunked into target wall-time slices
+      (``scheduler="cost"``), its model warmed by an untimed
+      calibration sweep at different seeds (the static side gets the
+      same untimed warm-up, so neither pays pool spawn in its window).
+
+    All three result sets are asserted bit-identical — scheduling moves
+    wall time, never bits — and the headline ``speedup`` is
+    legacy/cost (CI gates it at >= 1.3x).  The arms are interleaved for
+    ``rounds`` rounds and each reports its fastest round, so drift on a
+    shared or thermally-throttled runner hits all three alike instead
+    of whichever arm ran last.  Writes ``BENCH_sweeps.json`` when
+    ``output`` is given (the CI artifact).
     """
-    ns = ns if ns is not None else [400, 800, 1600, 3200]
-    grid = [{"n": n, "k": k} for n in ns]
+    ns = ns if ns is not None else [20, 30, 45, 60, 90, 120, 180, 240]
+    ks = ks if ks is not None else ([k] if k is not None else [2, 3, 4, 5])
+    grid = [{"n": n, "k": k_} for n in ns for k_ in ks]
     spec = SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
     cell_seeds = [seed + index for index in range(len(grid))]
 
-    start = time.perf_counter()
-    legacy_results = []
-    for params, cell_seed in zip(grid, cell_seeds):
-        with Engine(jobs=jobs) as cell_engine:
-            legacy_results.append(
-                cell_engine.ensemble(
-                    uniform_configuration(**params),
-                    trials,
-                    seed=cell_seed,
-                    executor="process",
-                    jobs=jobs,
+    def outcome_key(outcome):
+        return [
+            (r.interactions, r.winner)
+            for cell in outcome
+            for r in cell.results
+        ]
+
+    # Untimed warm-up for both flattened arms: spawns the session pool
+    # and (cost side) seeds the online model with measured chunk times,
+    # so the timed windows isolate scheduling, not spawn or cold-start.
+    calibration = SweepSpec.from_grid(grid, uniform_configuration, trials=2)
+
+    times: dict[str, list[float]] = {"legacy": [], "static": [], "cost": []}
+    report = None
+    reference_key = None
+    with Engine(jobs=jobs, scheduler="static") as static_eng, Engine(
+        jobs=jobs, scheduler="cost"
+    ) as cost_eng:
+        static_eng.sweep(
+            calibration, seed=seed - 1, executor="process", jobs=jobs
+        )
+        cost_eng.sweep(
+            calibration, seed=seed - 1, executor="process", jobs=jobs
+        )
+        for _round in range(max(1, int(rounds))):
+            start = time.perf_counter()
+            legacy_results = []
+            for params, cell_seed in zip(grid, cell_seeds):
+                with Engine(jobs=jobs) as cell_engine:
+                    legacy_results.append(
+                        cell_engine.ensemble(
+                            uniform_configuration(**params),
+                            trials,
+                            seed=cell_seed,
+                            executor="process",
+                            jobs=jobs,
+                        )
+                    )
+            times["legacy"].append(time.perf_counter() - start)
+            legacy_key = [
+                (r.interactions, r.winner)
+                for cell in legacy_results
+                for r in cell
+            ]
+            if reference_key is None:
+                reference_key = legacy_key
+            assert legacy_key == reference_key
+
+            for arm, eng in (("static", static_eng), ("cost", cost_eng)):
+                start = time.perf_counter()
+                outcome = eng.sweep(
+                    spec, cell_seeds=cell_seeds, executor="process", jobs=jobs
                 )
-            )
-    legacy_seconds = time.perf_counter() - start
+                times[arm].append(time.perf_counter() - start)
+                assert outcome_key(outcome) == reference_key, (
+                    f"{arm} scheduler diverged from the per-cell loop"
+                )
+        report = cost_eng.stats()["scheduler"]["last_sweep"]
 
-    start = time.perf_counter()
-    outcome = run_sweep(
-        spec, cell_seeds=cell_seeds, executor="process", jobs=jobs
-    )
-    flattened_seconds = time.perf_counter() - start
-
-    legacy_key = [
-        (r.interactions, r.winner) for cell in legacy_results for r in cell
-    ]
-    flattened_key = [
-        (r.interactions, r.winner) for cell in outcome for r in cell.results
-    ]
-    assert legacy_key == flattened_key, "flattened sweep diverged from cell loop"
-
+    legacy_seconds = min(times["legacy"])
+    static_seconds = min(times["static"])
+    cost_seconds = min(times["cost"])
     replicates = spec.total_trials
     record = {
-        "workload": {"ns": ns, "k": k, "trials_per_cell": trials, "seed": seed},
+        "workload": {
+            "ns": ns,
+            "ks": ks,
+            "trials_per_cell": trials,
+            "seed": seed,
+            "rounds": max(1, int(rounds)),
+        },
         "jobs": jobs,
         "cells": len(grid),
         "replicates": replicates,
         "legacy_per_cell_barrier": {
             "seconds": legacy_seconds,
+            "round_seconds": times["legacy"],
             "replicates_per_second": replicates / legacy_seconds,
         },
-        "flattened_run_sweep": {
-            "seconds": flattened_seconds,
-            "replicates_per_second": replicates / flattened_seconds,
+        "static_flattened": {
+            "seconds": static_seconds,
+            "round_seconds": times["static"],
+            "replicates_per_second": replicates / static_seconds,
         },
-        "speedup": legacy_seconds / flattened_seconds,
+        "cost_scheduler": {
+            "seconds": cost_seconds,
+            "round_seconds": times["cost"],
+            "replicates_per_second": replicates / cost_seconds,
+            "predicted_seconds": report["predicted_seconds"],
+            "measured_seconds": report["measured_seconds"],
+            "prediction_error": report["prediction_error"],
+        },
+        "speedup": legacy_seconds / cost_seconds,
+        "static_speedup": legacy_seconds / static_seconds,
         "bit_identical": True,
     }
     if output is not None:
@@ -446,6 +513,7 @@ def run_pool_reuse_smoke(
     sweeps: int = 5,
     jobs: int = 2,
     seed: int = 20230224,
+    rounds: int = 3,
     output: str | os.PathLike | None = None,
 ) -> dict:
     """Persistent-pool ablation: fresh pool per sweep vs one session pool.
@@ -465,7 +533,9 @@ def run_pool_reuse_smoke(
     The default workload is deliberately tiny (pool spawn must dominate
     simulation time for the ablation to isolate it); real workloads see
     a smaller relative win per sweep but the same absolute saving per
-    avoided spawn.
+    avoided spawn.  Like :func:`run_sweep_smoke`, the two arms are
+    interleaved for ``rounds`` rounds and each reports its fastest
+    round, so shared-runner drift cannot decide the comparison.
     """
     ns = ns if ns is not None else [40, 60]
     grid = [{"n": n, "k": k} for n in ns]
@@ -479,33 +549,45 @@ def run_pool_reuse_smoke(
             for r in cell.results
         ]
 
-    start = time.perf_counter()
-    fresh_keys = []
-    for sweep_seed in sweep_seeds:
-        with Engine(jobs=jobs) as eng:
-            fresh_keys.append(
-                outcome_key(
-                    eng.sweep(spec, seed=sweep_seed, executor="process", jobs=jobs)
-                )
-            )
-    fresh_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    reused_keys = []
-    with Engine(jobs=jobs) as eng:
+    fresh_times, reused_times = [], []
+    reference_keys = None
+    for _round in range(max(1, int(rounds))):
+        start = time.perf_counter()
+        fresh_keys = []
         for sweep_seed in sweep_seeds:
-            reused_keys.append(
-                outcome_key(
-                    eng.sweep(spec, seed=sweep_seed, executor="process", jobs=jobs)
+            with Engine(jobs=jobs) as eng:
+                fresh_keys.append(
+                    outcome_key(
+                        eng.sweep(
+                            spec, seed=sweep_seed, executor="process", jobs=jobs
+                        )
+                    )
                 )
-            )
-        session_stats = eng.stats()
-    reused_seconds = time.perf_counter() - start
+        fresh_times.append(time.perf_counter() - start)
 
-    assert fresh_keys == reused_keys, "pool lifetime changed sweep results"
-    assert session_stats["pool"]["spawns"] == 1, "session pool was respawned"
-    assert session_stats["pool"]["reuses"] == sweeps - 1
+        start = time.perf_counter()
+        reused_keys = []
+        with Engine(jobs=jobs) as eng:
+            for sweep_seed in sweep_seeds:
+                reused_keys.append(
+                    outcome_key(
+                        eng.sweep(
+                            spec, seed=sweep_seed, executor="process", jobs=jobs
+                        )
+                    )
+                )
+            session_stats = eng.stats()
+        reused_times.append(time.perf_counter() - start)
 
+        assert fresh_keys == reused_keys, "pool lifetime changed sweep results"
+        if reference_keys is None:
+            reference_keys = fresh_keys
+        assert fresh_keys == reference_keys
+        assert session_stats["pool"]["spawns"] == 1, "session pool was respawned"
+        assert session_stats["pool"]["reuses"] == sweeps - 1
+
+    fresh_seconds = min(fresh_times)
+    reused_seconds = min(reused_times)
     replicates = spec.total_trials * sweeps
     record = {
         "workload": {
@@ -514,16 +596,19 @@ def run_pool_reuse_smoke(
             "trials_per_cell": trials,
             "sweeps": sweeps,
             "seed": seed,
+            "rounds": max(1, int(rounds)),
         },
         "jobs": jobs,
         "replicates": replicates,
         "fresh_pool_per_sweep": {
             "seconds": fresh_seconds,
+            "round_seconds": fresh_times,
             "pool_spawns": sweeps,
             "replicates_per_second": replicates / fresh_seconds,
         },
         "session_reused_pool": {
             "seconds": reused_seconds,
+            "round_seconds": reused_times,
             "pool_spawns": 1,
             "pool_reuses": sweeps - 1,
             "replicates_per_second": replicates / reused_seconds,

@@ -16,10 +16,14 @@ Usage::
     PYTHONPATH=src python benchmarks/kernel_tune.py \
         [--n 10000] [--k 5] [--trials 256] [--seed 20230224] \
         [--blocks 1,2,4,8,16,32,64] [--buffers 64,256,1024] \
-        [--output BENCH_kernel_tune.json]
+        [--output BENCH_kernel_tune.json] [--emit-cost-table costmodel.json]
 
 The JSON output is a diagnostic artifact (not tracked in CI) recording
-the full timing grid for the machine it ran on.
+the full timing grid for the machine it ran on.  ``--emit-cost-table``
+re-emits the measurements in the sweep scheduler's ``costmodel.json``
+format (see :mod:`repro.engine.costmodel`) so an offline tuning run can
+warm-start the online scheduler's cost predictions and event-block
+choice.
 """
 
 from __future__ import annotations
@@ -59,6 +63,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--blocks", type=_int_list, default=[1, 2, 4, 8, 16, 32, 64])
     parser.add_argument("--buffers", type=_int_list, default=[64, 256, 1024])
     parser.add_argument("--output", default="BENCH_kernel_tune.json")
+    parser.add_argument(
+        "--emit-cost-table",
+        default=None,
+        metavar="PATH",
+        help="additionally write the measured grid as a cost table in the "
+        "engine's costmodel.json format (drop it into a cache directory "
+        "to warm-start the sweep scheduler's predictions and event-block "
+        "choice for this workload's signature)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.simulator import default_interaction_budget
@@ -136,6 +149,24 @@ def main(argv: list[str] | None = None) -> int:
             + "\n"
         )
         print(f"wrote {args.output}")
+    if args.emit_cost_table:
+        from repro.engine.costmodel import CostModel, cost_signature
+
+        model = CostModel()
+        signature = cost_signature("usd", "batched", args.n)
+        model.observe(signature, args.trials, seconds)
+        for block_str, block_seconds in grid[str(buffer)].items():
+            model.observe_block(
+                signature, int(block_str), args.trials, block_seconds
+            )
+        Path(args.emit_cost_table).write_text(
+            json.dumps(model.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"wrote {args.emit_cost_table} "
+            f"({signature}: {seconds / args.trials:.4f}s/replicate, "
+            f"event_block={block})"
+        )
     return 0
 
 

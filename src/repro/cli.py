@@ -59,13 +59,16 @@ import numpy as np
 from .analysis.report import build_markdown_report
 from .core.phases import PhaseTracker
 from .engine import (
+    AUTOTUNE_MODES,
     RESULT_TRANSPORTS,
     SEED_DERIVATIONS,
+    SWEEP_SCHEDULERS,
     Engine,
     EnsembleCache,
     SweepSpec,
     available_backends,
     available_scenarios,
+    derive_cell_seeds,
     engine,
     get_backend,
     get_default_cache_dir,
@@ -152,6 +155,25 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         help="how process-executor workers return results (default: "
         "shared memory with pickle fallback, or "
         "REPRO_ENGINE_RESULT_TRANSPORT)",
+    )
+    command.add_argument(
+        "--scheduler",
+        choices=SWEEP_SCHEDULERS,
+        default=None,
+        help="sweep scheduling policy: cost = longest-predicted-first "
+        "ordering with wall-time-sliced chunks from the session cost "
+        "model, static = fixed per-cell split in grid order; never "
+        "changes results (default: cost, or REPRO_ENGINE_SCHEDULER)",
+    )
+    command.add_argument(
+        "--autotune",
+        nargs="?",
+        const="on",
+        choices=AUTOTUNE_MODES,
+        default=None,
+        help="retune the lockstep kernels' event_block per sweep cell "
+        "from measured throughput; never changes results (default: off, "
+        "or REPRO_ENGINE_AUTOTUNE; bare --autotune means on)",
     )
 
 
@@ -293,6 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cell seed derivation: spawn = full-entropy SeedSequence "
         "children (default), legacy = historical 32-bit collapse",
     )
+    sweep_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep: consult the cache's sweep "
+        "index, print which cells are already on disk, and recompute "
+        "only the missing/corrupt ones (implies --cache)",
+    )
     _add_engine_arguments(sweep_cmd)
 
     cache_cmd = sub.add_parser(
@@ -325,6 +354,8 @@ def _build_engine(args) -> Engine:
         cache_dir=args.cache_dir,
         event_block=args.event_block,
         result_transport=args.result_transport,
+        scheduler=args.scheduler,
+        autotune=args.autotune,
     )
 
 
@@ -445,20 +476,31 @@ def _command_sweep(args) -> int:
 
     spec = SweepSpec.from_grid(grid, builder, trials=trials, max_interactions=budget)
 
+    if args.resume and args.cache is None:
+        args.cache = True  # the resume table lives in the cache's sweep index
+
+    resume_lines: list[str] = []
     with _build_engine(args) as eng, engine(eng):
         store = eng.cache
         cache_dir = eng.options.cache_dir
+        if args.resume:
+            resume_lines = _sweep_resume_preflight(
+                store, spec, seed, args.seed_derivation
+            )
         outcome = eng.sweep(
             spec,
             seed=seed,
             seed_derivation=args.seed_derivation,
         )
+        session_stats = eng.stats()
 
     print(
         f"sweep:            {len(spec)} cells, {spec.total_trials} replicates "
         f"({workload} workload, seed {seed}, {args.seed_derivation} seeds)"
     )
     print(f"sweep key:        {spec.key()}")
+    for line in resume_lines:
+        print(line)
     from .analysis.convergence import aggregate_results
 
     for cell in outcome:
@@ -480,7 +522,78 @@ def _command_sweep(args) -> int:
             f"cache:            {store.hits} hits / {store.misses} misses "
             f"({cache_dir}, index {outcome.sweep_key[:16]}...)"
         )
+    _print_scheduler_summary(session_stats)
     return 0
+
+
+def _sweep_resume_preflight(store, spec, seed, seed_derivation) -> list[str]:
+    """The ``sweep --resume`` table: which cells are already on disk.
+
+    Recomputes the sweep's cache index key exactly as the engine will
+    (same cell seeds, same resolved variants — must run inside the
+    scoped session so variant resolution sees its backend) and checks
+    each cell's ensemble entry, so the user sees what will replay versus
+    recompute *before* any simulation starts.  The sweep itself then
+    recomputes exactly the missing/corrupt cells — that is the cache's
+    normal behavior; ``--resume`` adds the visibility (and turns the
+    cache on).
+    """
+    cell_seeds = derive_cell_seeds(len(spec), seed, None, seed_derivation)
+    variants = [
+        get_scenario(cell.spec.scenario).variant(None) for cell in spec.cells
+    ]
+    index_key = store.sweep_index_key(spec.key(), cell_seeds, variants)
+    index = store.load_sweep_index(index_key)
+    cell_keys = index.get("cells") if isinstance(index, dict) else None
+    if not isinstance(cell_keys, list) or len(cell_keys) != len(spec):
+        return [
+            f"resume:           no usable index for this sweep "
+            f"({index_key[:16]}...); running all {len(spec)} cells"
+        ]
+    missing = [
+        i
+        for i, key in enumerate(cell_keys)
+        if not (isinstance(key, str) and store.contains(key))
+    ]
+    lines = [
+        f"resume:           {len(spec) - len(missing)}/{len(spec)} cells "
+        f"already on disk, recomputing {len(missing)} "
+        f"(index {index_key[:16]}...)"
+    ]
+    for i in missing:
+        params = ", ".join(f"{k}={v}" for k, v in spec.cells[i].label_dict().items())
+        lines.append(f"  [missing] cell {i}: {params or spec.cells[i].spec.scenario}")
+    return lines
+
+
+def _print_scheduler_summary(session_stats: dict) -> None:
+    """One-line scheduler report for simulating commands (sweep)."""
+    report = (session_stats.get("scheduler") or {}).get("last_sweep")
+    if not report:
+        return
+    line = (
+        f"scheduler:        {report['scheduler']} "
+        f"(autotune {report['autotune']}, {report['executor']} executor); "
+        f"{report['replicates_scheduled']} replicates scheduled, "
+        f"{report['replicates_from_cache']} from cache"
+    )
+    if report["replicates_scheduled"]:
+        line += (
+            f"; predicted {report['predicted_seconds']:.2f}s, "
+            f"measured {report['measured_seconds']:.2f}s"
+        )
+        if report["prediction_error"] is not None:
+            line += f" ({report['prediction_error'] * 100:.0f}% error)"
+    print(line)
+    blocks = sorted(
+        {
+            cell["event_block"]
+            for cell in report["cells"]
+            if not cell["cached"] and cell.get("event_block") is not None
+        }
+    )
+    if report["autotune"] == "on" and blocks:
+        print(f"event blocks:     {', '.join(str(b) for b in blocks)} (autotuned)")
 
 
 def _command_cache(args) -> int:

@@ -57,13 +57,17 @@ from .backends import (
 from ..core.lockstep import DEFAULT_EVENT_BLOCK
 from .batched import BatchedBackend, simulate_batch, simulate_batch_single_event
 from .cache import EnsembleCache, ensemble_key, seed_token
+from .costmodel import CostModel, cost_signature
 from .executors import DEFAULT_BATCH_SIZE, EXECUTORS, replicate_seeds, run_ensemble
 from .options import (
+    AUTOTUNE_MODES,
     DEFAULT_BACKEND,
     DEFAULT_CACHE_DIR,
     RESULT_TRANSPORTS,
+    SWEEP_SCHEDULERS,
     EngineOptions,
     engine_defaults,
+    get_default_autotune,
     get_default_backend,
     get_default_cache,
     get_default_cache_dir,
@@ -72,6 +76,7 @@ from .options import (
     get_default_executor,
     get_default_jobs,
     get_default_result_transport,
+    get_default_scheduler,
     set_engine_defaults,
 )
 from .scenarios import (
@@ -94,6 +99,7 @@ from .sweep import (
     SweepCellRun,
     SweepRun,
     SweepSpec,
+    derive_cell_seeds,
     legacy_cell_seed,
     run_sweep,
 )
@@ -134,8 +140,13 @@ __all__ = [
     "SweepRun",
     "SweepSpec",
     "run_sweep",
+    "derive_cell_seeds",
     "legacy_cell_seed",
+    "CostModel",
+    "cost_signature",
+    "AUTOTUNE_MODES",
     "SEED_DERIVATIONS",
+    "SWEEP_SCHEDULERS",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
@@ -143,6 +154,7 @@ __all__ = [
     "EXECUTORS",
     "RESULT_TRANSPORTS",
     "engine_defaults",
+    "get_default_autotune",
     "get_default_backend",
     "get_default_cache",
     "get_default_cache_dir",
@@ -151,6 +163,7 @@ __all__ = [
     "get_default_executor",
     "get_default_jobs",
     "get_default_result_transport",
+    "get_default_scheduler",
     "set_engine_defaults",
 ]
 

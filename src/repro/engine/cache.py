@@ -314,6 +314,42 @@ class EnsembleCache:
             )
         return status
 
+    # -- scheduler cost table -----------------------------------------
+    @property
+    def cost_table_path(self) -> Path:
+        """Where the sweep scheduler's cost model persists its table.
+
+        A single well-known file (not content-addressed): the table is a
+        performance hint shared by *every* sweep against this store, and
+        its name is outside the ``*.pkl`` / ``*.sweep.json`` globs so
+        LRU eviction never discards it.
+        """
+        return self.root / "costmodel.json"
+
+    def store_cost_table(self, payload: dict) -> None:
+        """Persist the scheduler cost table atomically (JSON)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.cost_table_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load_cost_table(self) -> dict | None:
+        """Return the persisted cost table, or ``None`` on miss/corruption."""
+        try:
+            with open(self.cost_table_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
     # -- maintenance ---------------------------------------------------
     def stats(self) -> dict:
         """Directory snapshot for ``repro cache stats`` and diagnostics."""

@@ -1,0 +1,351 @@
+"""Per-cell cost model driving the sweep scheduler.
+
+Heterogeneous sweeps mix cells whose per-replicate cost spans orders of
+magnitude (n from a few hundred to 10^6, serial reference kernels next
+to vectorized lockstep ones).  The flattened work queue (PR 3) removed
+the per-cell barrier, but its chunk granularity was still a *static*
+per-cell split — every cell was cut into ``jobs * 4`` chunks no matter
+whether one of its replicates takes microseconds or seconds — so mixed
+grids left tail time on the table.  This module supplies the missing
+piece: a small, calibrated, **online-refined** model of per-replicate
+cost that lets the session
+
+* order the flattened queue **longest-predicted-first** (big cells
+  start immediately instead of queuing behind confetti), and
+* size every chunk as a target **wall-time slice** rather than a fixed
+  replicate count — big-n cells split finer, tiny cells coalesce into
+  one chunk — bounding the tail a straggling chunk can add; and
+* retune the lockstep kernels' ``event_block`` per cell from measured
+  chunk throughput (opt-in; see :class:`CostModel.plan_blocks`).
+
+None of this can change results: replicate seeds are derived per cell
+*before* chunking, scenario kernels are batch-width invariant, and
+``event_block`` only affects how many events one numpy pass applies.
+The scheduler therefore moves only wall time, never bits — the same
+invariant the ensemble cache already relies on.
+
+Model shape
+-----------
+Cost is tracked per **signature** — a coarse ``scenario:variant:n2^B``
+key where ``B`` is the log2 bucket of the population size — as an EWMA
+of measured seconds per replicate.  Coarse on purpose: scheduling only
+needs cost *ordering* and slice sizes to within a factor of two, and a
+coarse key lets one sweep's measurements warm every later cell of the
+same family.  Cold signatures fall back to a calibrated seed table
+(``coeff(scenario, variant) * n * log2(n)``, coefficients fitted from
+the ``BENCH_engine.json`` / ``benchmarks/kernel_tune.py`` numbers — the
+same offline knob tables that motivated making this adaptive).
+
+The table round-trips through JSON (:meth:`CostModel.to_payload` /
+:meth:`CostModel.from_payload`) and the session persists it next to the
+ensemble cache (``costmodel.json``), so later sweeps — even in fresh
+processes — start warm.  ``benchmarks/kernel_tune.py
+--emit-cost-table`` writes the same format from its offline grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .options import AUTOTUNE_MODES, SWEEP_SCHEDULERS  # noqa: F401  (re-export)
+
+__all__ = [
+    "CostModel",
+    "cost_signature",
+    "COST_TABLE_FORMAT",
+    "DEFAULT_TARGET_CHUNK_SECONDS",
+    "EVENT_BLOCK_CANDIDATES",
+]
+
+#: Format tag of the persisted cost table; bumped on incompatible layout
+#: changes, after which old tables are simply ignored (cold start).
+COST_TABLE_FORMAT = 1
+
+#: Wall-time slice each adaptive chunk aims for.  Small enough that a
+#: straggling final chunk cannot idle the pool for long, large enough
+#: that per-chunk dispatch overhead stays negligible next to the work.
+DEFAULT_TARGET_CHUNK_SECONDS = 0.2
+
+#: ``event_block`` values the online autotuner explores.  The offline
+#: ``kernel_tune`` grids show the optimum moving across exactly this
+#: plateau as (n, k, dynamics) vary; values outside it were never
+#: competitive on any profiled workload.
+EVENT_BLOCK_CANDIDATES = (8, 16, 32, 64)
+
+#: EWMA weight of a new observation (per replicate-weighted sample).
+EWMA_ALPHA = 0.3
+
+#: Chunks whose measured duration is below this are dominated by
+#: dispatch noise; they still update the EWMA but with reduced weight.
+_NOISE_FLOOR_SECONDS = 1e-4
+
+#: Calibrated per-replicate cost coefficients, seconds per
+#: ``n * log2(n)`` unit, keyed by ``(scenario, variant)``.  Fitted from
+#: the checked-in ``BENCH_engine.json`` ablation (jump: 8 replicates of
+#: n=10^4 k=5 in 15.3s; batched: 1000 in 26.5s; graph/gossip rows
+#: likewise) — rough on purpose: the seed table only has to get the
+#: cost *ordering* right on a cold start, after which measured chunk
+#: times take over.
+_SEED_COEFFS = {
+    ("usd", "agents"): 1.0e-4,
+    ("usd", "jump"): 1.4e-5,
+    ("usd", "batched"): 2.0e-7,
+    ("zealots", "reference"): 1.4e-5,
+    ("zealots", "batched"): 3.0e-7,
+    ("noise", "reference"): 1.4e-5,
+    ("noise", "batched"): 2.0e-7,
+    ("graph", "reference"): 6.0e-5,
+    ("graph", "batched"): 9.0e-6,
+    ("gossip", "reference"): 5.0e-7,
+    ("gossip", "batched"): 1.5e-7,
+}
+
+#: Fallback coefficient for unknown (scenario, variant) pairs; any
+#: positive value preserves the big-cells-first ordering, which is what
+#: a cold start actually needs.
+_DEFAULT_COEFF = 1.4e-5
+
+
+def _bucket(n: int) -> int:
+    """log2 bucket of a population size (coarse signature component)."""
+    return int(round(math.log2(max(int(n), 2))))
+
+
+def cost_signature(scenario: str, variant: str, n: int) -> str:
+    """Coarse scenario-family key the cost table is indexed by.
+
+    ``(dynamics, variant, log-n bucket)`` — deliberately ignores k,
+    bias and budget: those move per-replicate cost by small factors the
+    EWMA absorbs, while dynamics/variant/n move it by orders of
+    magnitude, which is what scheduling decisions hinge on.
+    """
+    return f"{scenario}:{variant}:n2^{_bucket(n)}"
+
+
+def _seed_per_replicate(scenario: str, variant: str, n: int) -> float:
+    coeff = _SEED_COEFFS.get((scenario, variant), _DEFAULT_COEFF)
+    n = max(int(n), 2)
+    return coeff * n * math.log2(n)
+
+
+class CostModel:
+    """EWMA cost table + event-block tuner behind the sweep scheduler.
+
+    One instance lives on an :class:`~repro.engine.session.Engine` and
+    is shared by every sweep of the session; when the session has an
+    ensemble cache, the table is loaded from / saved to
+    ``costmodel.json`` in the cache directory around each sweep.
+    """
+
+    def __init__(self) -> None:
+        #: signature -> {"per_replicate_seconds": float, "samples": int}
+        self._cells: dict[str, dict] = {}
+        #: signature -> {str(block): {"seconds_per_replicate": float,
+        #:                            "samples": int}}
+        self._blocks: dict[str, dict] = {}
+
+    # -- persistence ---------------------------------------------------
+    @classmethod
+    def from_payload(cls, payload: dict | None) -> "CostModel":
+        """Rebuild a model from :meth:`to_payload` output.
+
+        Anything malformed — wrong format tag, wrong types, negative
+        numbers — degrades to a cold start for that entry rather than an
+        error: the table is a performance hint, never a correctness
+        input.
+        """
+        model = cls()
+        if not isinstance(payload, dict):
+            return model
+        if payload.get("format") != COST_TABLE_FORMAT:
+            return model
+        cells = payload.get("cells")
+        if isinstance(cells, dict):
+            for signature, entry in cells.items():
+                try:
+                    seconds = float(entry["per_replicate_seconds"])
+                    samples = int(entry.get("samples", 1))
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if seconds > 0 and samples > 0:
+                    model._cells[str(signature)] = {
+                        "per_replicate_seconds": seconds,
+                        "samples": samples,
+                    }
+        blocks = payload.get("event_blocks")
+        if isinstance(blocks, dict):
+            for signature, per_block in blocks.items():
+                if not isinstance(per_block, dict):
+                    continue
+                clean = {}
+                for block, entry in per_block.items():
+                    try:
+                        int(block)
+                        seconds = float(entry["seconds_per_replicate"])
+                        samples = int(entry.get("samples", 1))
+                    except (KeyError, TypeError, ValueError):
+                        continue
+                    if seconds > 0 and samples > 0:
+                        clean[str(block)] = {
+                            "seconds_per_replicate": seconds,
+                            "samples": samples,
+                        }
+                if clean:
+                    model._blocks[str(signature)] = clean
+        return model
+
+    def to_payload(self) -> dict:
+        """JSON-able snapshot (the ``costmodel.json`` on-disk format)."""
+        return {
+            "format": COST_TABLE_FORMAT,
+            "cells": {k: dict(v) for k, v in self._cells.items()},
+            "event_blocks": {
+                sig: {b: dict(e) for b, e in per.items()}
+                for sig, per in self._blocks.items()
+            },
+        }
+
+    # -- prediction ----------------------------------------------------
+    def predict(self, scenario: str, variant: str, n: int) -> tuple[float, str]:
+        """Predicted seconds per replicate and where the number came from.
+
+        Returns ``(seconds, source)`` with ``source`` ``"observed"``
+        when the signature has measured history and ``"seeded"`` on the
+        calibrated cold-start fallback.
+        """
+        entry = self._cells.get(cost_signature(scenario, variant, n))
+        if entry is not None:
+            return entry["per_replicate_seconds"], "observed"
+        return _seed_per_replicate(scenario, variant, n), "seeded"
+
+    def chunk_size(
+        self,
+        per_replicate_seconds: float,
+        trials: int,
+        batch_size: int,
+        *,
+        target_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+    ) -> int:
+        """Replicates per chunk so one chunk ≈ ``target_seconds`` of wall time.
+
+        Expensive cells split down to single-replicate chunks (the tail
+        a straggler can add is then one replicate, the irreducible
+        floor); cheap cells coalesce up to ``batch_size`` replicates so
+        vectorized kernels keep their batch width and per-chunk dispatch
+        overhead stays amortized.
+        """
+        per_replicate_seconds = max(float(per_replicate_seconds), 1e-9)
+        slice_size = int(target_seconds / per_replicate_seconds)
+        return max(1, min(int(batch_size), int(trials), slice_size))
+
+    # -- online refinement ---------------------------------------------
+    def observe(self, signature: str, replicates: int, seconds: float) -> None:
+        """Fold one measured chunk into the signature's EWMA."""
+        replicates = int(replicates)
+        if replicates < 1 or seconds < 0:
+            return
+        per_replicate = seconds / replicates
+        entry = self._cells.get(signature)
+        if entry is None:
+            self._cells[signature] = {
+                "per_replicate_seconds": max(per_replicate, 1e-9),
+                "samples": 1,
+            }
+            return
+        # Sub-noise-floor chunks still count, but lightly: their
+        # duration is mostly dispatch jitter, not kernel time.
+        alpha = EWMA_ALPHA if seconds >= _NOISE_FLOOR_SECONDS else EWMA_ALPHA / 4
+        entry["per_replicate_seconds"] = max(
+            (1 - alpha) * entry["per_replicate_seconds"] + alpha * per_replicate,
+            1e-9,
+        )
+        entry["samples"] += 1
+
+    # -- event-block autotuning ----------------------------------------
+    def plan_blocks(
+        self,
+        signature: str,
+        chunks: int,
+        default_block: int,
+        *,
+        candidates: tuple[int, ...] = EVENT_BLOCK_CANDIDATES,
+    ) -> list[int]:
+        """Per-chunk ``event_block`` assignment for one cell.
+
+        While a signature is still exploring (some candidate has no
+        measured sample yet), unmeasured candidates are spread
+        round-robin over the cell's chunks — ``event_block`` cannot
+        change results, so exploration is free of risk, it only spends a
+        few chunks at a possibly-suboptimal speed.  Once every candidate
+        has history, every chunk gets the measured-fastest block.
+        """
+        pool = tuple(dict.fromkeys((*candidates, int(default_block))))
+        per_block = self._blocks.get(signature, {})
+        unmeasured = [b for b in pool if str(b) not in per_block]
+        best = self.tuned_block(signature, default_block, candidates=candidates)
+        if not unmeasured:
+            return [best] * chunks
+        plan = []
+        for index in range(chunks):
+            if index < len(unmeasured) * 2:
+                # Two shots per unexplored candidate, interleaved so a
+                # short cell still samples several blocks.
+                plan.append(unmeasured[index % len(unmeasured)])
+            else:
+                plan.append(best)
+        return plan
+
+    def observe_block(
+        self, signature: str, block: int, replicates: int, seconds: float
+    ) -> None:
+        """Fold one measured chunk into the (signature, block) EWMA."""
+        replicates = int(replicates)
+        if replicates < 1 or seconds <= 0:
+            return
+        per_replicate = seconds / replicates
+        per_block = self._blocks.setdefault(signature, {})
+        entry = per_block.get(str(int(block)))
+        if entry is None:
+            per_block[str(int(block))] = {
+                "seconds_per_replicate": max(per_replicate, 1e-9),
+                "samples": 1,
+            }
+            return
+        entry["seconds_per_replicate"] = max(
+            (1 - EWMA_ALPHA) * entry["seconds_per_replicate"]
+            + EWMA_ALPHA * per_replicate,
+            1e-9,
+        )
+        entry["samples"] += 1
+
+    def tuned_block(
+        self,
+        signature: str,
+        default_block: int,
+        *,
+        candidates: tuple[int, ...] = EVENT_BLOCK_CANDIDATES,
+    ) -> int:
+        """The measured-fastest block for a signature (default when cold)."""
+        per_block = self._blocks.get(signature)
+        if not per_block:
+            return int(default_block)
+        pool = {str(b) for b in (*candidates, int(default_block))}
+        measured = {
+            int(block): entry["seconds_per_replicate"]
+            for block, entry in per_block.items()
+            if block in pool
+        }
+        if not measured:
+            return int(default_block)
+        return min(measured, key=measured.get)
+
+    # -- diagnostics ---------------------------------------------------
+    def summary(self) -> dict:
+        """Small snapshot for ``Engine.stats()``."""
+        return {
+            "signatures": len(self._cells),
+            "tuned_signatures": len(self._blocks),
+            "event_blocks": {
+                sig: self.tuned_block(sig, 0) for sig in self._blocks
+            },
+        }

@@ -34,6 +34,10 @@ cache (and cross-session result reuse) sound.
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
+
 import numpy as np
 
 from ..core.config import Configuration
@@ -92,8 +96,27 @@ def _worker(payload) -> list:
     # it with every chunk (results are invariant to it; only speed).
     set_default_event_block(event_block)
     scenario = get_scenario(scenario_name)
+    spec = _resolve_spec(spec)
     rngs = [np.random.default_rng(s) for s in seeds]
     return scenario.run_chunk(spec, variant, rngs, max_interactions)
+
+
+def _timed_worker(payload) -> tuple[list, float]:
+    """Like :func:`_worker`, but also reports the chunk's kernel seconds.
+
+    The sweep scheduler's cost model learns from these; timing wraps
+    only ``run_chunk`` (not unpickling or spec resolution) so the signal
+    tracks kernel cost, not transport overhead.  The measurement rides
+    back alongside the results — it never influences them.
+    """
+    scenario_name, spec, variant, seeds, max_interactions, event_block = payload
+    set_default_event_block(event_block)
+    scenario = get_scenario(scenario_name)
+    spec = _resolve_spec(spec)
+    rngs = [np.random.default_rng(s) for s in seeds]
+    started = time.perf_counter()
+    results = scenario.run_chunk(spec, variant, rngs, max_interactions)
+    return results, time.perf_counter() - started
 
 
 def _attach_shm_untracked(name: str):
@@ -117,6 +140,124 @@ def _attach_shm_untracked(name: str):
         return _shared_memory.SharedMemory(name=name)
     finally:
         resource_tracker.register = original
+
+
+# ----------------------------------------------------------------------
+# Shared-memory spec broadcast
+# ----------------------------------------------------------------------
+#: First element of a broadcast spec reference tuple (see SpecBroadcast).
+_SPEC_REF_TAG = "__repro_spec_shm_ref__"
+
+#: Specs whose pickle is smaller than this travel inline: below ~64 KiB
+#: the per-chunk pickling cost is noise, and a shared block would only
+#: add attach bookkeeping.
+_SPEC_BROADCAST_THRESHOLD = 64 * 1024
+
+#: Worker-side memo of broadcast specs, keyed by (broadcast token,
+#: offset).  Pool workers persist across chunks, so each worker attaches
+#: and unpickles a given spec once per sweep, not once per chunk — which
+#: is the entire point of the broadcast.  The token is unique per parent
+#: broadcast (pid + counter), so a recycled shared-memory name can never
+#: alias a stale memo entry.
+_SPEC_CACHE: dict[tuple, ScenarioSpec] = {}
+
+_BROADCAST_COUNTER = 0
+
+
+def _next_broadcast_token() -> str:
+    global _BROADCAST_COUNTER
+    _BROADCAST_COUNTER += 1
+    return f"{os.getpid()}-{_BROADCAST_COUNTER}"
+
+
+class SpecBroadcast:
+    """One-shot shared-memory broadcast of large specs to pool workers.
+
+    A sweep over graph scenarios re-pickles the same frozen edge arrays
+    with *every* chunk payload — for a 10^5-edge graph that is megabytes
+    of redundant pickle per chunk.  The broadcast pickles each distinct
+    large spec once into a single shared block; chunk payloads then
+    carry a tiny reference tuple and workers resolve it via
+    :func:`_resolve_spec` (attach, unpickle, memoize).
+
+    Strictly a transport optimization: :meth:`ref_for` returns the spec
+    itself whenever shared memory is unavailable or the spec is small,
+    so every consumer handles the plain-spec case identically and the
+    pickle fallback is preserved.  The parent owns the block and must
+    call :meth:`close` after the pool map returns (workers attach
+    untracked, exactly like the result blocks).
+    """
+
+    def __init__(self, specs) -> None:
+        self._block = None
+        self._refs: dict[int, tuple] = {}
+        if _shared_memory is None:
+            return
+        blobs: dict[int, bytes] = {}
+        for spec in specs:
+            if id(spec) in blobs:
+                continue
+            blob = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(blob) >= _SPEC_BROADCAST_THRESHOLD:
+                blobs[id(spec)] = blob
+        if not blobs:
+            return
+        total = sum(len(blob) for blob in blobs.values())
+        try:
+            self._block = _shared_memory.SharedMemory(create=True, size=total)
+        except Exception:
+            return
+        token = _next_broadcast_token()
+        offset = 0
+        for spec_id, blob in blobs.items():
+            self._block.buf[offset : offset + len(blob)] = blob
+            self._refs[spec_id] = (
+                _SPEC_REF_TAG,
+                token,
+                self._block.name,
+                offset,
+                len(blob),
+            )
+            offset += len(blob)
+
+    def ref_for(self, spec: ScenarioSpec):
+        """The payload stand-in for ``spec``: a ref tuple, or spec itself."""
+        return self._refs.get(id(spec), spec)
+
+    @property
+    def broadcast_count(self) -> int:
+        """How many distinct specs travel via shared memory."""
+        return len(self._refs)
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent; parent-only)."""
+        if self._block is None:
+            return
+        block, self._block = self._block, None
+        self._refs = {}
+        block.close()
+        try:
+            block.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _resolve_spec(spec):
+    """Worker-side inverse of :meth:`SpecBroadcast.ref_for` (memoized)."""
+    if not (isinstance(spec, tuple) and spec and spec[0] == _SPEC_REF_TAG):
+        return spec
+    _, token, shm_name, offset, size = spec
+    memo_key = (token, offset)
+    cached = _SPEC_CACHE.get(memo_key)
+    if cached is not None:
+        return cached
+    block = _attach_shm_untracked(shm_name)
+    try:
+        resolved = pickle.loads(bytes(block.buf[offset : offset + size]))
+    finally:
+        block.close()
+    _SPEC_CACHE[memo_key] = resolved
+    return resolved
 
 
 def _record_views(buffer, trials: int, int_width: int, float_width: int):
@@ -188,12 +329,14 @@ def _strided_record_views(
     return ints, floats
 
 
-def _shm_sweep_worker(payload) -> int:
+def _shm_sweep_worker(payload) -> tuple[int, float]:
     """Pool worker for one sweep chunk, recording results into shared memory.
 
     Like :func:`_shm_worker`, but rows live in a sweep-wide block with a
     uniform byte stride (cells of different scenarios have different
     record widths), addressed by the chunk's absolute row offset.
+    Returns ``(row_start, kernel_seconds)`` — the timing feeds the sweep
+    scheduler's cost model and never influences results.
     """
     (
         scenario_name,
@@ -210,8 +353,11 @@ def _shm_sweep_worker(payload) -> int:
     ) = payload
     set_default_event_block(event_block)
     scenario = get_scenario(scenario_name)
+    spec = _resolve_spec(spec)
     rngs = [np.random.default_rng(s) for s in seeds]
+    started = time.perf_counter()
     results = scenario.run_chunk(spec, variant, rngs, max_interactions)
+    seconds = time.perf_counter() - started
     block = _attach_shm_untracked(shm_name)
     try:
         ints, floats = _strided_record_views(
@@ -222,7 +368,7 @@ def _shm_sweep_worker(payload) -> int:
         del ints, floats  # release buffer views before closing the mapping
     finally:
         block.close()
-    return row_start
+    return row_start, seconds
 
 
 def _chunked(seeds: list, batch_size: int) -> list[list]:
@@ -306,20 +452,24 @@ def _run_process_shared(
 
 def _run_sweep_shared(
     cell_jobs: list[dict],
-    event_block: int,
     pool_map,
-) -> dict[int, list] | None:
+) -> tuple[dict[int, list], list[dict]] | None:
     """Run a flattened sweep queue with shared-memory result records.
 
-    ``cell_jobs`` carries one entry per pending cell: its scenario,
-    spec, variant, budget and seed chunks.  All cells' replicates share
-    ONE block with a uniform row stride (the widest cell's record), so
-    the whole sweep still pickles nothing result-sized back from the
-    pool.  Returns per-cell result lists keyed by cell index, or
-    ``None`` when shared memory is unavailable or any cell's scenario
-    lacks a record codec for its variant — the caller then routes the
-    entire queue through the pickle transport (results are identical
-    either way).
+    ``cell_jobs`` carries one entry per pending cell, **already in
+    schedule order**: its scenario, spec (plus ``spec_payload``, the
+    :class:`SpecBroadcast` stand-in shipped to workers), variant,
+    budget, seed chunks and the per-chunk ``event_blocks`` the scheduler
+    assigned.  All cells' replicates share ONE block with a uniform row
+    stride (the widest cell's record), so the whole sweep still pickles
+    nothing result-sized back from the pool.
+
+    Returns ``(results_by_cell, chunk_stats)`` — per-cell result lists
+    keyed by cell index, plus one measured-timing record per chunk for
+    the cost model — or ``None`` when shared memory is unavailable or
+    any cell's scenario lacks a record codec for its variant; the caller
+    then routes the entire queue through the pickle transport (results
+    are identical either way).
     """
     if _shared_memory is None:
         return None
@@ -339,19 +489,20 @@ def _run_sweep_shared(
         return None
     try:
         payloads = []
+        chunk_meta = []  # (cell index, replicates, event block) in queue order
         row_spans = []  # (cell index, row start, rows) in queue order
         row = 0
         for job, (int_width, float_width) in zip(cell_jobs, widths):
             start_row = row
-            for chunk in job["chunks"]:
+            for chunk, chunk_block in zip(job["chunks"], job["event_blocks"]):
                 payloads.append(
                     (
                         job["spec"].scenario,
-                        job["spec"],
+                        job.get("spec_payload", job["spec"]),
                         job["variant"],
                         chunk,
                         job["max_interactions"],
-                        event_block,
+                        chunk_block,
                         block.name,
                         row,
                         stride,
@@ -359,11 +510,23 @@ def _run_sweep_shared(
                         float_width,
                     )
                 )
+                chunk_meta.append((job["index"], len(chunk), chunk_block))
                 row += len(chunk)
             row_spans.append((job["index"], start_row, row - start_row))
         # chunksize=1 keeps distribution dynamic, exactly like the
         # pickled sweep queue: workers steal chunks from any cell.
-        pool_map(_shm_sweep_worker, payloads, chunksize=1)
+        outputs = pool_map(_shm_sweep_worker, payloads, chunksize=1)
+        chunk_stats = [
+            {
+                "cell": index,
+                "replicates": replicates,
+                "event_block": chunk_block,
+                "seconds": seconds,
+            }
+            for (index, replicates, chunk_block), (_, seconds) in zip(
+                chunk_meta, outputs
+            )
+        ]
         results_by_cell: dict[int, list] = {}
         for job, (int_width, float_width), (index, start_row, rows) in zip(
             cell_jobs, widths, row_spans
@@ -380,7 +543,7 @@ def _run_sweep_shared(
                 scenario.decode_record(spec, ints[r], floats[r])
                 for r in range(rows)
             ]
-        return results_by_cell
+        return results_by_cell, chunk_stats
     finally:
         block.close()
         try:

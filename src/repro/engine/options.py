@@ -39,11 +39,14 @@ from ..core.lockstep import (
 )
 
 __all__ = [
+    "AUTOTUNE_MODES",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
     "EngineOptions",
     "RESULT_TRANSPORTS",
+    "SWEEP_SCHEDULERS",
     "engine_defaults",
+    "get_default_autotune",
     "get_default_backend",
     "get_default_cache",
     "get_default_cache_dir",
@@ -52,6 +55,7 @@ __all__ = [
     "get_default_executor",
     "get_default_jobs",
     "get_default_result_transport",
+    "get_default_scheduler",
     "set_engine_defaults",
 ]
 
@@ -67,6 +71,18 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: when shared memory or the scenario's record codec is unavailable),
 #: ``"pickle"`` forces the classic pickled-result path.
 RESULT_TRANSPORTS = ("shared", "pickle")
+
+#: Accepted sweep-scheduler selections: ``"cost"`` orders the flattened
+#: queue longest-predicted-first and sizes chunks as target wall-time
+#: slices from the session cost model; ``"static"`` keeps the fixed
+#: per-cell split in grid order.  Results are bit-identical either way —
+#: the scheduler moves only wall time.
+SWEEP_SCHEDULERS = ("cost", "static")
+
+#: Accepted autotune selections: ``"on"`` lets the cost model retune the
+#: lockstep kernels' ``event_block`` per cell from measured throughput;
+#: ``"off"`` (the default) uses the configured block everywhere.
+AUTOTUNE_MODES = ("off", "on")
 
 _BACKEND_OVERRIDE: str | None = None
 _JOBS_OVERRIDE: int | None = None
@@ -110,6 +126,8 @@ class EngineOptions:
     cache_max_bytes: int | None = None
     event_block: int = DEFAULT_EVENT_BLOCK
     result_transport: str = "shared"
+    scheduler: str = "cost"
+    autotune: str = "off"
 
     def __post_init__(self) -> None:
         if not self.backend or not isinstance(self.backend, str):
@@ -133,6 +151,16 @@ class EngineOptions:
             raise ValueError(
                 f"result_transport must be one of {RESULT_TRANSPORTS}, "
                 f"got {self.result_transport!r}"
+            )
+        if self.scheduler not in SWEEP_SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SWEEP_SCHEDULERS}, "
+                f"got {self.scheduler!r}"
+            )
+        if self.autotune not in AUTOTUNE_MODES:
+            raise ValueError(
+                f"autotune must be one of {AUTOTUNE_MODES}, "
+                f"got {self.autotune!r}"
             )
 
     @property
@@ -166,6 +194,8 @@ class EngineOptions:
             "cache_max_bytes": _global_default_cache_max_bytes(),
             "event_block": _global_default_event_block(),
             "result_transport": _global_default_result_transport(),
+            "scheduler": _global_default_scheduler(),
+            "autotune": _global_default_autotune(),
         }
         for name, value in overrides.items():
             if value is not None:
@@ -199,6 +229,8 @@ class EngineOptions:
             "cache_max_bytes": self.cache_max_bytes,
             "event_block": self.event_block,
             "result_transport": self.result_transport,
+            "scheduler": self.scheduler,
+            "autotune": self.autotune,
         }
 
 
@@ -333,6 +365,33 @@ def _global_default_result_transport() -> str:
     return raw
 
 
+def _global_default_scheduler() -> str:
+    raw = os.environ.get("REPRO_ENGINE_SCHEDULER")
+    if raw is None:
+        return "cost"
+    raw = raw.strip().lower()
+    if raw not in SWEEP_SCHEDULERS:
+        raise ValueError(
+            f"REPRO_ENGINE_SCHEDULER must be one of {SWEEP_SCHEDULERS}, "
+            f"got {raw!r}"
+        )
+    return raw
+
+
+def _global_default_autotune() -> str:
+    raw = os.environ.get("REPRO_ENGINE_AUTOTUNE")
+    if raw is None:
+        return "off"
+    raw = raw.strip().lower()
+    if raw in ("1", "true", "yes", "on"):
+        return "on"
+    if raw in ("0", "false", "no", "off"):
+        return "off"
+    raise ValueError(
+        f"REPRO_ENGINE_AUTOTUNE must be one of {AUTOTUNE_MODES}, got {raw!r}"
+    )
+
+
 # ----------------------------------------------------------------------
 # Session-aware compatibility getters
 # ----------------------------------------------------------------------
@@ -402,6 +461,30 @@ def get_default_result_transport() -> str:
     return _global_default_result_transport()
 
 
+def get_default_scheduler() -> str:
+    """Sweep scheduler used when ``scheduler=None``.
+
+    Resolution order: the active scoped session, then the
+    ``REPRO_ENGINE_SCHEDULER`` environment variable, then ``"cost"``.
+    """
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.scheduler
+    return _global_default_scheduler()
+
+
+def get_default_autotune() -> str:
+    """Event-block autotune mode used when ``autotune=None``.
+
+    Resolution order: the active scoped session, then the
+    ``REPRO_ENGINE_AUTOTUNE`` environment variable, then ``"off"``.
+    """
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.autotune
+    return _global_default_autotune()
+
+
 def engine_defaults() -> dict:
     """Snapshot of the resolved defaults (for reports and diagnostics)."""
     return {
@@ -413,4 +496,6 @@ def engine_defaults() -> dict:
         "cache_max_bytes": get_default_cache_max_bytes(),
         "event_block": get_default_event_block(),
         "result_transport": get_default_result_transport(),
+        "scheduler": get_default_scheduler(),
+        "autotune": get_default_autotune(),
     }

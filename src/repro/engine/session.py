@@ -57,6 +57,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 from contextlib import contextmanager
 
 import numpy as np
@@ -68,12 +69,15 @@ from . import executors as _executors
 from . import scenarios as _scenarios
 from .backends import Backend, get_backend
 from .cache import SWEEP_INDEX_FORMAT, EnsembleCache, seed_token
+from .costmodel import CostModel, cost_signature
 from .executors import (
     DEFAULT_BATCH_SIZE,
     EXECUTORS,
+    SpecBroadcast,
     _chunked,
     _run_process_shared,
     _run_sweep_shared,
+    _timed_worker,
     _worker,
     replicate_seeds,
 )
@@ -235,6 +239,8 @@ class Engine:
         self._pool = None
         self._pool_key: tuple | None = None
         self._closed = False
+        self._cost_model: CostModel | None = None
+        self._last_sweep_report: dict | None = None
         self._stats = {
             "ensembles": 0,
             "sweeps": 0,
@@ -381,6 +387,92 @@ class Engine:
         # durations vary, without giving up batching within a chunk.
         return max(1, min(batch_size, -(-trials // (jobs * 4))))
 
+    # -- scheduler cost model ------------------------------------------
+    def _acquire_cost_model(self, store: EnsembleCache | None) -> CostModel:
+        """The session's (lazily loaded) sweep-scheduler cost model.
+
+        Loaded at most once per session: from the persisted table next
+        to the ensemble cache when one is available, else cold (the
+        calibrated seed table).  The model lives for the whole session
+        so every sweep refines the next one's schedule, with or without
+        a cache directory to persist into.
+        """
+        if self._cost_model is None:
+            payload = store.load_cost_table() if store is not None else None
+            self._cost_model = CostModel.from_payload(payload)
+        return self._cost_model
+
+    def _sweep_report(
+        self, cells, variants, pending, plans, measured, *, executor
+    ) -> dict:
+        """Per-sweep scheduler report exposed through :meth:`stats`.
+
+        Distinguishes *scheduled* from *cached* replicates per cell:
+        cache hits never entered the work queue, so they contribute to
+        ``replicates_from_cache`` but are excluded from the
+        predicted-vs-measured totals (counting them as zero-cost work
+        would make any prediction look wrong).
+        """
+        opts = self._options
+        scheduled = set(pending)
+        cell_reports = []
+        predicted_total = 0.0
+        measured_total = 0.0
+        for i in range(len(cells)):
+            cell = cells[i]
+            cached = i not in scheduled
+            entry = {
+                "index": i,
+                "scenario": cell.spec.scenario,
+                "variant": variants[i],
+                "n": int(cell.spec.config.n),
+                "trials": cell.trials,
+                "cached": cached,
+                "replicates_scheduled": 0 if cached else cell.trials,
+                "replicates_from_cache": cell.trials if cached else 0,
+            }
+            if not cached:
+                plan = plans[i]
+                predicted = plan["per_replicate_seconds"] * cell.trials
+                cell_measured = measured.get(i)
+                entry.update(
+                    {
+                        "signature": plan["signature"],
+                        "prediction_source": plan["source"],
+                        "predicted_seconds": predicted,
+                        "measured_seconds": cell_measured,
+                        "event_block": (
+                            self._cost_model.tuned_block(
+                                plan["signature"], opts.event_block
+                            )
+                            if opts.autotune == "on"
+                            and variants[i] == "batched"
+                            and executor != "serial"
+                            else opts.event_block
+                        ),
+                    }
+                )
+                predicted_total += predicted
+                if cell_measured is not None:
+                    measured_total += cell_measured
+            cell_reports.append(entry)
+        error = None
+        if measured_total > 0:
+            error = abs(predicted_total - measured_total) / measured_total
+        return {
+            "executor": executor,
+            "scheduler": opts.scheduler,
+            "autotune": opts.autotune,
+            "cells": cell_reports,
+            "replicates_scheduled": sum(cells[i].trials for i in scheduled),
+            "replicates_from_cache": sum(
+                cells[i].trials for i in range(len(cells)) if i not in scheduled
+            ),
+            "predicted_seconds": predicted_total,
+            "measured_seconds": measured_total,
+            "prediction_error": error,
+        }
+
     # -- persistent pool -----------------------------------------------
     def _acquire_pool(self, jobs: int):
         key = (jobs, self._options.result_transport, _registry_epoch())
@@ -435,6 +527,12 @@ class Engine:
             "worker_pids": list(self.worker_pids()),
         }
         snapshot["cache"] = self._cache.stats() if self._cache is not None else None
+        snapshot["scheduler"] = {
+            "last_sweep": self._last_sweep_report,
+            "cost_model": (
+                self._cost_model.summary() if self._cost_model is not None else None
+            ),
+        }
         return snapshot
 
     def __repr__(self) -> str:
@@ -649,6 +747,24 @@ class Engine:
                     results_by_cell[index] = cached
 
             pending = [i for i in range(len(cells)) if i not in results_by_cell]
+
+            # Cost-model predictions for every cell actually scheduled.
+            # Cached cells never enter the queue, so they get no
+            # prediction — and therefore cannot dilute the
+            # predicted-vs-measured report with zero-cost "work".
+            model = self._acquire_cost_model(store)
+            plans: dict[int, dict] = {}
+            for i in pending:
+                cell = cells[i]
+                n = int(cell.spec.config.n)
+                per_rep, source = model.predict(cell.spec.scenario, variants[i], n)
+                plans[i] = {
+                    "n": n,
+                    "signature": cost_signature(cell.spec.scenario, variants[i], n),
+                    "per_replicate_seconds": per_rep,
+                    "source": source,
+                }
+            chunk_stats: list[dict] = []
             if pending:
                 if executor != "serial":
                     jobs = self._resolve_jobs(jobs)
@@ -670,23 +786,58 @@ class Engine:
                             replicate_seeds(seeds[i], cell.trials), batch_size
                         ):
                             rngs = [np.random.default_rng(s) for s in chunk]
+                            started = time.perf_counter()
                             results_by_cell[i].extend(
                                 scenarios[i].run_chunk(
                                     cell.spec, runners[i], rngs,
                                     cell.max_interactions,
                                 )
                             )
+                            chunk_stats.append(
+                                {
+                                    "cell": i,
+                                    "replicates": len(chunk),
+                                    "event_block": event_block,
+                                    "seconds": time.perf_counter() - started,
+                                }
+                            )
                 else:
-                    # Same per-cell chunk granularity as a standalone
-                    # ensemble (several chunks per worker, batching
-                    # preserved within a chunk) — but every cell's chunks
-                    # land in ONE shared queue, so there is no per-cell
-                    # barrier: workers drain chunks from any cell still
-                    # pending, and one slow cell cannot idle the pool.
+                    # Every cell's chunks land in ONE shared queue, so
+                    # there is no per-cell barrier: workers drain chunks
+                    # from any cell still pending, and one slow cell
+                    # cannot idle the pool.  Under the "cost" scheduler
+                    # the queue is further shaped by the session cost
+                    # model — cells enqueue longest-predicted-first and
+                    # each chunk targets a fixed wall-time slice (big-n
+                    # cells split finer, tiny cells coalesce); "static"
+                    # keeps the fixed per-cell split in grid order.
+                    # Either way the schedule only moves wall time:
+                    # replicate seeds are derived per cell before
+                    # chunking and results are assembled by cell index,
+                    # so results are bit-identical across schedules.
                     cell_jobs = []
                     for i in pending:
                         cell = cells[i]
-                        chunk_cap = self._chunk_cap(cell.trials, jobs, batch_size)
+                        plan = plans[i]
+                        if opts.scheduler == "cost":
+                            chunk_cap = model.chunk_size(
+                                plan["per_replicate_seconds"],
+                                cell.trials,
+                                batch_size,
+                            )
+                        else:
+                            chunk_cap = self._chunk_cap(
+                                cell.trials, jobs, batch_size
+                            )
+                        chunks = _chunked(
+                            replicate_seeds(seeds[i], cell.trials), chunk_cap
+                        )
+                        if opts.autotune == "on" and variants[i] == "batched":
+                            blocks = model.plan_blocks(
+                                plan["signature"], len(chunks), event_block
+                            )
+                        else:
+                            blocks = [event_block] * len(chunks)
                         cell_jobs.append(
                             {
                                 "index": i,
@@ -694,45 +845,101 @@ class Engine:
                                 "spec": cell.spec,
                                 "variant": variants[i],
                                 "max_interactions": cell.max_interactions,
-                                "chunks": _chunked(
-                                    replicate_seeds(seeds[i], cell.trials),
-                                    chunk_cap,
+                                "chunks": chunks,
+                                "event_blocks": blocks,
+                                "predicted_seconds": (
+                                    plan["per_replicate_seconds"] * cell.trials
                                 ),
                             }
                         )
+                    if opts.scheduler == "cost":
+                        # Longest-predicted-first; the sort is stable, so
+                        # equal predictions keep grid order.
+                        cell_jobs.sort(key=lambda job: -job["predicted_seconds"])
                     pool_map = self._pool_mapper(jobs)
-                    shared = None
-                    if result_transport == "shared":
-                        shared = _run_sweep_shared(cell_jobs, event_block, pool_map)
-                    if shared is not None:
-                        results_by_cell.update(shared)
-                    else:
-                        payloads = []
-                        owners = []
+                    # Large specs (graph edge arrays) ship to the pool
+                    # once per sweep via shared memory instead of being
+                    # re-pickled with every chunk; small specs travel
+                    # inline unchanged.
+                    broadcast = SpecBroadcast([job["spec"] for job in cell_jobs])
+                    try:
                         for job in cell_jobs:
-                            for chunk in job["chunks"]:
-                                payloads.append(
-                                    (
-                                        job["spec"].scenario,
-                                        job["spec"],
-                                        job["variant"],
-                                        chunk,
-                                        job["max_interactions"],
-                                        event_block,
+                            job["spec_payload"] = broadcast.ref_for(job["spec"])
+                        shared = None
+                        if result_transport == "shared":
+                            shared = _run_sweep_shared(cell_jobs, pool_map)
+                        if shared is not None:
+                            results_by_cell.update(shared[0])
+                            chunk_stats.extend(shared[1])
+                        else:
+                            payloads = []
+                            chunk_meta = []
+                            for job in cell_jobs:
+                                for chunk, chunk_block in zip(
+                                    job["chunks"], job["event_blocks"]
+                                ):
+                                    payloads.append(
+                                        (
+                                            job["spec"].scenario,
+                                            job["spec_payload"],
+                                            job["variant"],
+                                            chunk,
+                                            job["max_interactions"],
+                                            chunk_block,
+                                        )
                                     )
+                                    chunk_meta.append(
+                                        (job["index"], len(chunk), chunk_block)
+                                    )
+                            # chunksize=1 keeps distribution dynamic: a
+                            # worker that finishes a fast cell's chunk
+                            # immediately steals the next chunk from any
+                            # cell still pending.
+                            outputs = pool_map(
+                                _timed_worker, payloads, chunksize=1
+                            )
+                            for i in pending:
+                                results_by_cell[i] = []
+                            for (output, seconds), (i, replicates, blk) in zip(
+                                outputs, chunk_meta
+                            ):
+                                results_by_cell[i].extend(output)
+                                chunk_stats.append(
+                                    {
+                                        "cell": i,
+                                        "replicates": replicates,
+                                        "event_block": blk,
+                                        "seconds": seconds,
+                                    }
                                 )
-                                owners.append(job["index"])
-                        # chunksize=1 keeps distribution dynamic: a worker
-                        # that finishes a fast cell's chunk immediately
-                        # steals the next chunk from any cell still pending.
-                        outputs = pool_map(_worker, payloads, chunksize=1)
-                        for i in pending:
-                            results_by_cell[i] = []
-                        for output, i in zip(outputs, owners):
-                            results_by_cell[i].extend(output)
+                    finally:
+                        broadcast.close()
                 if store is not None:
                     for i in pending:
                         store.store(keys[i], results_by_cell[i])
+
+            # Refine the cost model from the measured chunk wall-times
+            # and persist the table next to the ensemble cache so later
+            # sweeps (and sessions) start warm.
+            autotuning = opts.autotune == "on" and executor != "serial"
+            measured: dict[int, float] = {}
+            for stat in chunk_stats:
+                i = stat["cell"]
+                measured[i] = measured.get(i, 0.0) + stat["seconds"]
+                signature = plans[i]["signature"]
+                model.observe(signature, stat["replicates"], stat["seconds"])
+                if autotuning and variants[i] == "batched":
+                    model.observe_block(
+                        signature,
+                        stat["event_block"],
+                        stat["replicates"],
+                        stat["seconds"],
+                    )
+            if store is not None and chunk_stats:
+                store.store_cost_table(model.to_payload())
+            self._last_sweep_report = self._sweep_report(
+                cells, variants, pending, plans, measured, executor=executor
+            )
 
             sweep_key = None
             if store is not None:

@@ -58,6 +58,7 @@ __all__ = [
     "SweepCellRun",
     "SweepRun",
     "run_sweep",
+    "derive_cell_seeds",
     "legacy_cell_seed",
     "SEED_DERIVATIONS",
 ]
@@ -268,12 +269,21 @@ class SweepRun:
         return sum(c.cell.trials for c in self.cells if not c.cached)
 
 
-def _derive_cell_seeds(
+def derive_cell_seeds(
     num_cells: int,
     seed: int | None,
-    cell_seeds,
-    seed_derivation: str,
+    cell_seeds=None,
+    seed_derivation: str = "spawn",
 ) -> list:
+    """Per-cell seeds exactly as :func:`run_sweep` would derive them.
+
+    Public so out-of-band consumers — the CLI's ``sweep --resume``
+    preflight, external tooling recomputing a sweep's cache index — can
+    reproduce the engine's seed derivation without running anything:
+    explicit ``cell_seeds`` pass through (length-checked), otherwise the
+    cells receive the children of ``SeedSequence(seed)`` in grid order,
+    collapsed to 32-bit integers under ``seed_derivation="legacy"``.
+    """
     if cell_seeds is not None:
         seeds = list(cell_seeds)
         if len(seeds) != num_cells:
@@ -293,6 +303,10 @@ def _derive_cell_seeds(
     if seed_derivation == "legacy":
         return [legacy_cell_seed(child) for child in children]
     return children
+
+
+#: Backward-compatible alias (the derivation predates the public name).
+_derive_cell_seeds = derive_cell_seeds
 
 
 def run_sweep(

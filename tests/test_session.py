@@ -492,3 +492,161 @@ class TestCliSession:
         monkeypatch.setattr(cli, "run_experiment", spy)
         assert cli.main(["run", "E12", "--backend", "batched"]) == 0
         assert seen["backend"] == "batched"
+
+
+class TestSchedulerOptions:
+    def test_defaults_and_env(self, monkeypatch):
+        opts = EngineOptions.resolve()
+        assert opts.scheduler == "cost"
+        assert opts.autotune == "off"
+        monkeypatch.setenv("REPRO_ENGINE_SCHEDULER", "static")
+        monkeypatch.setenv("REPRO_ENGINE_AUTOTUNE", "1")
+        opts = EngineOptions.resolve()
+        assert opts.scheduler == "static"
+        assert opts.autotune == "on"
+
+    def test_validation(self, monkeypatch):
+        with pytest.raises(ValueError):
+            EngineOptions(scheduler="mystery")
+        with pytest.raises(ValueError):
+            EngineOptions(autotune="maybe")
+        monkeypatch.setenv("REPRO_ENGINE_SCHEDULER", "bogus")
+        with pytest.raises(ValueError):
+            EngineOptions.resolve()
+        monkeypatch.setenv("REPRO_ENGINE_SCHEDULER", "cost")
+        monkeypatch.setenv("REPRO_ENGINE_AUTOTUNE", "perhaps")
+        with pytest.raises(ValueError):
+            EngineOptions.resolve()
+
+    def test_scheduler_knobs_do_not_respawn_pool(self):
+        a = EngineOptions(scheduler="cost", autotune="on")
+        b = EngineOptions(scheduler="static", autotune="off")
+        assert a.pool_key() == b.pool_key()
+
+
+class TestSchedulerStats:
+    def test_fresh_then_fully_cached_split(self, tmp_path):
+        spec = small_sweep(trials=4)
+        with Engine(
+            backend="batched", cache=True, cache_dir=str(tmp_path)
+        ) as eng:
+            eng.sweep(spec, seed=31, executor="process", jobs=2)
+            first = eng.stats()["scheduler"]["last_sweep"]
+            eng.sweep(spec, seed=31, executor="process", jobs=2)
+            second = eng.stats()["scheduler"]["last_sweep"]
+        assert first["replicates_scheduled"] == 12
+        assert first["replicates_from_cache"] == 0
+        assert first["predicted_seconds"] > 0
+        assert first["measured_seconds"] > 0
+        # cache hits are accounted as cached, not as zero-cost work
+        assert second["replicates_scheduled"] == 0
+        assert second["replicates_from_cache"] == 12
+        assert second["predicted_seconds"] == 0
+        for cell in second["cells"]:
+            assert cell["cached"]
+            assert "predicted_seconds" not in cell
+
+    def test_partially_cached_sweep_splits_per_cell(self, tmp_path):
+        spec = small_sweep(trials=3)
+        store = EnsembleCache(tmp_path)
+        with Engine(backend="batched") as eng:
+            outcome = eng.sweep(spec, seed=11, cache=store)
+        removed = store._path(
+            store.load_sweep_index(outcome.sweep_key)["cells"][1]
+        )
+        removed.unlink()
+        with Engine(backend="batched") as eng:
+            again = eng.sweep(spec, seed=11, cache=store)
+            report = eng.stats()["scheduler"]["last_sweep"]
+        assert sweep_key(again) == sweep_key(outcome)
+        assert report["replicates_scheduled"] == 3
+        assert report["replicates_from_cache"] == 6
+        assert [c["cached"] for c in report["cells"]] == [True, False, True]
+        assert [c["replicates_from_cache"] for c in report["cells"]] == [3, 0, 3]
+
+    def test_autotune_report_and_cost_model_summary(self):
+        spec = small_sweep(trials=4)
+        with Engine(backend="batched", autotune="on") as eng:
+            eng.sweep(spec, seed=3, executor="process", jobs=2)
+            snap = eng.stats()
+        report = snap["scheduler"]["last_sweep"]
+        assert report["executor"] == "process"
+        assert report["scheduler"] == "cost"
+        assert report["autotune"] == "on"
+        assert report["prediction_error"] is None or report["prediction_error"] >= 0
+        for cell in report["cells"]:
+            assert cell["event_block"] >= 1
+            assert cell["prediction_source"] in ("seeded", "observed")
+        summary = snap["scheduler"]["cost_model"]
+        assert summary["signatures"] >= 1
+
+
+class TestCliScheduler:
+    def test_sweep_autotune_summary(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sweep", "--param", "n=60,90", "--param", "k=2",
+                "--trials", "2", "--jobs", "2", "--backend", "batched",
+                "--autotune", "--cache", "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduler:" in out
+        assert "(autotune on, process executor)" in out
+        assert "4 replicates scheduled" in out
+        assert (tmp_path / "costmodel.json").exists()
+
+    def test_sweep_resume_recomputes_only_missing(self, capsys, tmp_path):
+        from repro.cli import main
+
+        args = [
+            "sweep", "--param", "n=60,90", "--param", "k=2",
+            "--trials", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(args + ["--cache"]) == 0
+        capsys.readouterr()
+        # --resume implies --cache; everything on disk -> nothing recomputed
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells already on disk, recomputing 0" in out
+        # delete one ensemble entry -> resume names and recomputes one cell
+        sorted(tmp_path.glob("*.pkl"))[0].unlink()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1/2 cells already on disk, recomputing 1" in out
+        assert "[missing] cell" in out
+
+    def test_sweep_resume_cold_cache(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sweep", "--param", "n=60", "--param", "k=2",
+                "--trials", "2", "--cache-dir", str(tmp_path), "--resume",
+            ]
+        )
+        assert code == 0
+        assert "no usable index" in capsys.readouterr().out
+
+    def test_sweep_scheduler_flag_is_bit_identical(self, capsys, tmp_path):
+        from repro.cli import main
+
+        outs = []
+        for scheduler in ("cost", "static"):
+            assert (
+                main(
+                    [
+                        "sweep", "--param", "n=60,90", "--param", "k=2",
+                        "--trials", "2", "--jobs", "2",
+                        "--scheduler", scheduler,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            outs.append(out.split("scheduler:")[0])
+            assert f"scheduler:        {scheduler}" in out
+        assert outs[0] == outs[1]

@@ -13,11 +13,15 @@ import pytest
 from repro.analysis.convergence import run_trials
 from repro.analysis.sweep import sweep as analysis_sweep
 from repro.engine import (
+    CostModel,
+    Engine,
     EnsembleCache,
     Scenario,
     ScenarioSpec,
     SweepCell,
     SweepSpec,
+    cost_signature,
+    graph_spec,
     legacy_cell_seed,
     register_scenario,
     replicate_seeds,
@@ -426,3 +430,232 @@ class TestAnalysisFacade:
         for params, cell_seed, point in zip(GRID, [1, 2, 3], result):
             ensemble = run_trials(uniform_configuration(**params), 2, seed=cell_seed)
             assert point.ensemble.interactions == ensemble.interactions
+
+
+class TestCostModel:
+    """Unit contract of `repro.engine.costmodel.CostModel`."""
+
+    def test_signature_buckets_log_n(self):
+        assert cost_signature("usd", "batched", 1000) == "usd:batched:n2^10"
+        # nearby sizes share a family; order-of-magnitude jumps do not
+        assert cost_signature("usd", "batched", 1100) == cost_signature(
+            "usd", "batched", 1000
+        )
+        assert cost_signature("usd", "batched", 64000) != cost_signature(
+            "usd", "batched", 1000
+        )
+
+    def test_cold_start_is_seeded_and_monotone_in_n(self):
+        model = CostModel()
+        small, source = model.predict("usd", "jump", 100)
+        big, _ = model.predict("usd", "jump", 100_000)
+        assert source == "seeded"
+        assert 0 < small < big
+        # unknown families still get a positive prediction
+        unknown, source = model.predict("no-such-dynamics", "x", 500)
+        assert source == "seeded" and unknown > 0
+
+    def test_observations_refine_via_ewma(self):
+        from repro.engine.costmodel import EWMA_ALPHA
+
+        model = CostModel()
+        sig = cost_signature("usd", "batched", 1000)
+        model.observe(sig, replicates=10, seconds=5.0)
+        per_rep, source = model.predict("usd", "batched", 1000)
+        assert source == "observed"
+        assert per_rep == pytest.approx(0.5)
+        model.observe(sig, replicates=10, seconds=1.0)
+        refined, _ = model.predict("usd", "batched", 1000)
+        assert refined == pytest.approx((1 - EWMA_ALPHA) * 0.5 + EWMA_ALPHA * 0.1)
+
+    def test_chunk_size_targets_wall_time_slices(self):
+        model = CostModel()
+        # expensive replicates split down to singletons
+        assert model.chunk_size(10.0, trials=100, batch_size=1024) == 1
+        # confetti coalesces, clamped by trials then batch width
+        assert model.chunk_size(1e-7, trials=100, batch_size=1024) == 100
+        assert model.chunk_size(1e-7, trials=10_000, batch_size=64) == 64
+        # mid-range lands on ~ target / per-replicate
+        assert model.chunk_size(0.05, trials=1000, batch_size=1024) == 4
+
+    def test_payload_roundtrip(self):
+        model = CostModel()
+        sig = cost_signature("graph", "batched", 5000)
+        model.observe(sig, 4, 2.0)
+        model.observe_block(sig, 8, 4, 2.0)
+        model.observe_block(sig, 32, 4, 1.0)
+        clone = CostModel.from_payload(model.to_payload())
+        assert clone.predict("graph", "batched", 5000) == model.predict(
+            "graph", "batched", 5000
+        )
+        assert clone.tuned_block(sig, 16) == 32
+        assert clone.to_payload() == model.to_payload()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            [],
+            {"format": 999, "cells": {"usd:batched:n2^10": {}}},
+            {"format": 1, "cells": "oops"},
+            {"format": 1, "cells": {"usd:batched:n2^10": {"per_replicate_seconds": "x"}}},
+            {
+                "format": 1,
+                "cells": {
+                    "usd:batched:n2^10": {"per_replicate_seconds": -1, "samples": 1}
+                },
+            },
+        ],
+    )
+    def test_malformed_payload_degrades_to_cold_start(self, payload):
+        model = CostModel.from_payload(payload)
+        _, source = model.predict("usd", "batched", 1000)
+        assert source == "seeded"
+
+    def test_plan_blocks_explores_then_exploits(self):
+        from repro.engine.costmodel import EVENT_BLOCK_CANDIDATES
+
+        model = CostModel()
+        sig = "usd:batched:n2^10"
+        plan = model.plan_blocks(sig, chunks=12, default_block=16)
+        assert len(plan) == 12
+        # every candidate gets sampled while the signature is cold
+        assert set(EVENT_BLOCK_CANDIDATES) <= set(plan)
+        for block in EVENT_BLOCK_CANDIDATES:
+            model.observe_block(sig, block, 4, 0.1 if block == 32 else 1.0)
+        # fully measured -> every chunk runs the argmin block
+        assert model.plan_blocks(sig, chunks=5, default_block=16) == [32] * 5
+        assert model.tuned_block(sig, 16) == 32
+
+    def test_tuned_block_defaults_when_cold(self):
+        model = CostModel()
+        assert model.tuned_block("usd:batched:n2^10", 16) == 16
+
+
+class TestSpecBroadcast:
+    """Shared-memory broadcast of large constant spec payloads."""
+
+    def big_graph_spec(self, n=600, extra=9000):
+        rng = np.random.default_rng(0)
+        ring = [(i, (i + 1) % n) for i in range(n)]
+        chords = [tuple(map(int, pair)) for pair in rng.integers(0, n, (extra, 2))]
+        return graph_spec(ring + chords, config=uniform_configuration(n, 2))
+
+    def test_large_spec_goes_through_shared_memory(self):
+        import pickle
+
+        from repro.engine import executors as ex
+
+        spec = self.big_graph_spec()
+        assert len(pickle.dumps(spec)) >= ex._SPEC_BROADCAST_THRESHOLD
+        broadcast = ex.SpecBroadcast([spec])
+        try:
+            ref = broadcast.ref_for(spec)
+            assert broadcast.broadcast_count == 1
+            assert isinstance(ref, tuple) and ref[0] == ex._SPEC_REF_TAG
+            resolved = ex._resolve_spec(ref)
+            assert resolved.key() == spec.key()
+        finally:
+            broadcast.close()
+
+    def test_small_spec_passes_through_unwrapped(self):
+        from repro.engine import executors as ex
+
+        spec = usd_spec(uniform_configuration(50, 2))
+        broadcast = ex.SpecBroadcast([spec])
+        try:
+            assert broadcast.ref_for(spec) is spec
+            assert broadcast.broadcast_count == 0
+        finally:
+            broadcast.close()
+
+    def test_broadcast_sweep_bit_identical_to_serial(self):
+        spec = SweepSpec(
+            cells=(
+                SweepCell(
+                    spec=self.big_graph_spec(),
+                    trials=3,
+                    max_interactions=100_000,
+                    label=(("n", 600),),
+                ),
+                SweepCell(
+                    spec=usd_spec(uniform_configuration(80, 2)),
+                    trials=3,
+                    label=(("n", 80),),
+                ),
+            )
+        )
+        serial = run_sweep(spec, seed=11)
+        process = run_sweep(spec, seed=11, executor="process", jobs=2)
+        pickled = run_sweep(
+            spec, seed=11, executor="process", jobs=2, result_transport="pickle"
+        )
+        assert flat_key(serial) == flat_key(process) == flat_key(pickled)
+
+
+class TestCostScheduler:
+    """Scheduling must move wall time only, never bits."""
+
+    def hetero_spec(self, trials=4):
+        grid = [
+            {"n": 60, "k": 2},
+            {"n": 400, "k": 2},
+            {"n": 120, "k": 3},
+            {"n": 800, "k": 2},
+        ]
+        return SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
+
+    @pytest.mark.parametrize(
+        "scheduler,autotune,transport,jobs",
+        [
+            ("cost", "off", "shared", 2),
+            ("cost", "on", "shared", 2),
+            ("cost", "on", "pickle", 2),
+            ("static", "off", "shared", 2),
+            ("static", "off", "pickle", 2),
+            ("cost", "on", "shared", 1),
+        ],
+    )
+    def test_bit_identity_across_schedules(
+        self, scheduler, autotune, transport, jobs
+    ):
+        spec = self.hetero_spec()
+        with Engine(backend="batched") as eng:
+            want = flat_key(eng.sweep(spec, seed=13))
+        with Engine(
+            backend="batched",
+            scheduler=scheduler,
+            autotune=autotune,
+            result_transport=transport,
+        ) as eng:
+            got = flat_key(eng.sweep(spec, seed=13, executor="process", jobs=jobs))
+        assert got == want
+
+    def test_cost_table_persists_and_warms_next_session(self, tmp_path):
+        spec = self.hetero_spec()
+        with Engine(
+            backend="batched", cache=True, cache_dir=tmp_path, autotune="on"
+        ) as eng:
+            eng.sweep(spec, seed=21, executor="process", jobs=2)
+            cold = eng.stats()["scheduler"]["last_sweep"]
+        assert all(c["prediction_source"] == "seeded" for c in cold["cells"])
+        assert (tmp_path / "costmodel.json").exists()
+        # fresh session, same cache root, different seed so cells recompute
+        with Engine(
+            backend="batched", cache=True, cache_dir=tmp_path, autotune="on"
+        ) as eng:
+            eng.sweep(spec, seed=22, executor="process", jobs=2)
+            warm = eng.stats()["scheduler"]["last_sweep"]
+        assert all(c["prediction_source"] == "observed" for c in warm["cells"])
+
+    def test_corrupt_cost_table_is_cold_start(self, tmp_path):
+        (tmp_path / "costmodel.json").write_text("{ not json !")
+        with Engine(backend="batched", cache=True, cache_dir=tmp_path) as eng:
+            eng.sweep(self.hetero_spec(), seed=5, executor="process", jobs=2)
+            report = eng.stats()["scheduler"]["last_sweep"]
+        assert all(c["prediction_source"] == "seeded" for c in report["cells"])
+        # the sweep rewrote a usable table
+        with Engine(backend="batched", cache=True, cache_dir=tmp_path) as eng:
+            eng.sweep(self.hetero_spec(), seed=6, executor="process", jobs=2)
+            report = eng.stats()["scheduler"]["last_sweep"]
+        assert all(c["prediction_source"] == "observed" for c in report["cells"])
