@@ -47,6 +47,7 @@ from repro.engine import (
     replicate_seeds,
     run_ensemble,
     simulate_batch,
+    simulate_batch_compiled,
     simulate_batch_single_event,
     usd_spec,
     zealot_spec,
@@ -197,6 +198,14 @@ def run_kernel_ablation(
       round engine, asserted bit-identical.
     * **transport** — the process executor at ``jobs`` workers with
       pickled results vs shared-memory result records, asserted equal.
+    * **compiled** — the numba-jitted tier against its numpy baseline on
+      every axis that has one (lockstep, graph, gossip).  With numba the
+      jitted kernels are timed and validated — bit-identical where the
+      contract promises it, else through the shared
+      :mod:`repro.core.crossval` gate (the same implementation the test
+      suite applies).  Without numba the section only records that the
+      fallback reproduces the numpy kernels bit-for-bit, and CI skips
+      the compiled speedup gate.
 
     Returns the measurement dictionary (the ``"ablation"`` section of
     ``BENCH_engine.json``); writes it standalone when ``output`` is
@@ -219,14 +228,17 @@ def run_kernel_ablation(
     default_block = get_default_event_block()
     blocks = sorted(set(event_blocks) | {default_block})
     block_rows = {}
+    multi_results = None
     for block in blocks:
         start = time.perf_counter()
-        simulate_batch(
+        results = simulate_batch(
             config,
             rngs=[np.random.default_rng(s) for s in seeds],
             event_block=block,
         )
         block_rows[str(block)] = time.perf_counter() - start
+        if block == default_block:
+            multi_results = results
     multi_seconds = block_rows[str(default_block)]
     record["lockstep"] = {
         "workload": {"n": n, "k": k, "replicates": trials, "seed": seed},
@@ -325,6 +337,122 @@ def run_kernel_ablation(
         "speedup": gossip_serial_seconds / gossip_batch_seconds,
         "bit_identical": True,
     }
+
+    # ---- compiled (numba) tier vs the numpy kernels -----------------
+    from repro.core.crossval import compare_ensembles
+    from repro.kernels import HAVE_NUMBA, LOG1P_BITWISE
+    from repro.kernels.gossip_jit import usd_gossip_round_batch_compiled
+    from repro.kernels.graph_jit import run_on_edges_batch_compiled
+
+    compiled: dict = {"available": HAVE_NUMBA, "log1p_bitwise": LOG1P_BITWISE}
+    if HAVE_NUMBA:
+        # Warm the JIT caches outside the clocks — compilation time is a
+        # one-off per machine (njit cache=True), not kernel throughput.
+        simulate_batch_compiled(config, rngs=[np.random.default_rng(seeds[0])])
+        start = time.perf_counter()
+        compiled_lockstep = simulate_batch_compiled(
+            config, rngs=[np.random.default_rng(s) for s in seeds]
+        )
+        compiled_lockstep_seconds = time.perf_counter() - start
+        lockstep_row = {
+            "seconds": compiled_lockstep_seconds,
+            "replicates_per_second": trials / compiled_lockstep_seconds,
+            "speedup": multi_seconds / compiled_lockstep_seconds,
+            "bit_identical": LOG1P_BITWISE,
+        }
+        # Event selection is exact arithmetic on the shared uniforms, so
+        # final counts always match; the log1p waiting-time channel is
+        # bit-identical only when the host's np.log1p agrees with libm,
+        # and is otherwise gated distributionally (the shared gate).
+        assert [tuple(r.final.counts.tolist()) for r in multi_results] == [
+            tuple(r.final.counts.tolist()) for r in compiled_lockstep
+        ], "compiled lockstep kernel diverged from the numpy tier"
+        if LOG1P_BITWISE:
+            assert _results_key(multi_results) == _results_key(
+                compiled_lockstep
+            ), "compiled lockstep kernel not bit-identical despite probe"
+        else:
+            report = compare_ensembles(multi_results, compiled_lockstep, k=k)
+            assert report.ok, f"compiled lockstep failed crossval: {report}"
+            lockstep_row["crossval"] = dict(report)
+        compiled["lockstep"] = lockstep_row
+
+        run_on_edges_batch_compiled(
+            edges, states, rngs=[np.random.default_rng(seed)], k=2,
+            max_interactions=graph_budget,
+        )
+        start = time.perf_counter()
+        compiled_graph = run_on_edges_batch_compiled(
+            edges,
+            states,
+            rngs=[
+                np.random.default_rng(seed + i) for i in range(graph_replicates)
+            ],
+            k=2,
+            max_interactions=graph_budget,
+        )
+        compiled_graph_seconds = time.perf_counter() - start
+        assert _results_key(batched_graph) == _results_key(
+            compiled_graph
+        ), "compiled graph kernel diverged from the numpy batch kernel"
+        compiled["graph"] = {
+            "seconds": compiled_graph_seconds,
+            "replicates_per_second": graph_replicates / compiled_graph_seconds,
+            "speedup": graph_batch_seconds / compiled_graph_seconds,
+            "bit_identical": True,
+        }
+
+        run_gossip_batch(
+            gossip_config,
+            usd_gossip_round_batch_compiled,
+            rngs=[np.random.default_rng(seed)],
+        )
+        start = time.perf_counter()
+        compiled_gossip = run_gossip_batch(
+            gossip_config,
+            usd_gossip_round_batch_compiled,
+            rngs=[
+                np.random.default_rng(seed + i)
+                for i in range(gossip_replicates)
+            ],
+        )
+        compiled_gossip_seconds = time.perf_counter() - start
+        assert _results_key(batched_gossip) == _results_key(
+            compiled_gossip
+        ), "compiled gossip rule diverged from the numpy batch rule"
+        compiled["gossip"] = {
+            "seconds": compiled_gossip_seconds,
+            "replicates_per_second": gossip_replicates / compiled_gossip_seconds,
+            "speedup": gossip_batch_seconds / compiled_gossip_seconds,
+            "bit_identical": True,
+        }
+    else:
+        # Without numba the compiled entry points must BE the numpy
+        # kernels; a small sample checks the delegation bit-for-bit.
+        sample = 8
+        fallback_lockstep = simulate_batch_compiled(
+            config, rngs=[np.random.default_rng(s) for s in seeds[:sample]]
+        )
+        assert _results_key(multi_results[:sample]) == _results_key(
+            fallback_lockstep
+        ), "compiled lockstep fallback diverged from the numpy kernel"
+        fallback_graph = run_on_edges_batch_compiled(
+            edges, states, rngs=[np.random.default_rng(seed + i) for i in range(sample)],
+            k=2, max_interactions=graph_budget,
+        )
+        assert _results_key(batched_graph[:sample]) == _results_key(
+            fallback_graph
+        ), "compiled graph fallback diverged from the numpy kernel"
+        fallback_gossip = run_gossip_batch(
+            gossip_config,
+            usd_gossip_round_batch_compiled,
+            rngs=[np.random.default_rng(seed + i) for i in range(sample)],
+        )
+        assert _results_key(batched_gossip[:sample]) == _results_key(
+            fallback_gossip
+        ), "compiled gossip fallback diverged from the numpy rule"
+        compiled["fallback_identical"] = True
+    record["compiled"] = compiled
 
     # ---- pickle vs shared-memory result transport -------------------
     transport_config = uniform_configuration(transport_n, 3)

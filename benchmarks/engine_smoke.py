@@ -6,7 +6,9 @@ vectorized ``"batched"`` backend on the acceptance workload (n=10^4,
 k=5, 1000 replicates by default), an ``"ablation"`` section covering
 the kernel axes introduced with the multi-event overhaul — single-event
 vs multi-event lockstep blocks, batched graph/gossip kernels vs their
-serial references, pickle vs shared-memory result transport — plus a
+serial references, pickle vs shared-memory result transport, and the
+numba-compiled tier vs the numpy kernels (numpy-fallback identity is
+verified instead when numba is absent) — plus a
 ``BENCH_scenarios.json`` artifact timing one ensemble per registered
 scenario (usd, graph, zealots, noise, gossip) through ``run_ensemble``.
 The serial sides run small samples — their per-replicate cost is
@@ -20,7 +22,7 @@ Usage::
         [--scenarios-output BENCH_scenarios.json] [--min-speedup 3] \
         [--no-ablation] [--min-multi-event-speedup 1.5] \
         [--min-graph-speedup 3] [--min-gossip-speedup 3] \
-        [--max-transport-ratio 1.15]
+        [--min-compiled-speedup 2] [--max-transport-ratio 1.15]
 
 Exits non-zero when any measured figure falls outside its threshold
 (pass ``0`` thresholds to record without gating); pass
@@ -61,6 +63,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-multi-event-speedup", type=float, default=1.5)
     parser.add_argument("--min-graph-speedup", type=float, default=3.0)
     parser.add_argument("--min-gossip-speedup", type=float, default=3.0)
+    parser.add_argument(
+        "--min-compiled-speedup",
+        type=float,
+        default=0.0,
+        help="compiled lockstep tier must beat the numpy multi-event "
+        "kernel by this factor; skipped (never failed) when numba is "
+        "unavailable, 0 records without gating",
+    )
     parser.add_argument(
         "--max-transport-ratio",
         type=float,
@@ -122,6 +132,34 @@ def main(argv: list[str] | None = None) -> int:
             f"transport:    shared/pickle wall-time ratio "
             f"{ablation['transport']['ratio']:.2f} (results identical)"
         )
+        compiled = ablation.get("compiled", {})
+        if compiled.get("available"):
+            validation = (
+                "bit-identical"
+                if compiled["lockstep"]["bit_identical"]
+                else "crossval passed"
+            )
+            print(
+                f"compiled:     lockstep "
+                f"{compiled['lockstep']['speedup']:.2f}x / graph "
+                f"{compiled['graph']['speedup']:.2f}x / gossip "
+                f"{compiled['gossip']['speedup']:.2f}x the numpy kernels "
+                f"({validation})"
+            )
+            if (
+                args.min_compiled_speedup > 0
+                and compiled["lockstep"]["speedup"] < args.min_compiled_speedup
+            ):
+                failures.append(
+                    f"compiled lockstep speedup "
+                    f"{compiled['lockstep']['speedup']:.2f} below "
+                    f"{args.min_compiled_speedup}"
+                )
+        else:
+            print(
+                "compiled:     numba unavailable - numpy fallback verified "
+                "bit-identical, speedup gate skipped"
+            )
         if lockstep["speedup"] < args.min_multi_event_speedup:
             failures.append(
                 f"multi-event speedup {lockstep['speedup']:.2f} below "

@@ -11,6 +11,13 @@ purely a machine-level choice.  The profiled defaults baked into
 plateau within a few percent of each other, buffers beyond 256 stop
 mattering, so 16/256 are the shipped defaults.
 
+When numba is installed the same grid is swept a second time over the
+compiled lockstep tier
+(:func:`repro.kernels.lockstep_jit.lockstep_batch_compiled`), so the
+two tiers' knob responses can be compared on one machine; without
+numba the compiled arm is skipped (it would just re-time the numpy
+kernel through its fallback).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/kernel_tune.py \
@@ -22,8 +29,10 @@ The JSON output is a diagnostic artifact (not tracked in CI) recording
 the full timing grid for the machine it ran on.  ``--emit-cost-table``
 re-emits the measurements in the sweep scheduler's ``costmodel.json``
 format (see :mod:`repro.engine.costmodel`) so an offline tuning run can
-warm-start the online scheduler's cost predictions and event-block
-choice.
+warm-start the online scheduler's cost predictions, event-block and
+stream-buffer choices — under the ``batched`` signature always, and
+additionally under the ``compiled`` signature when the compiled arm
+ran.
 """
 
 from __future__ import annotations
@@ -42,6 +51,8 @@ from repro.core.lockstep import (
     lockstep_batch,
 )
 from repro.engine import replicate_seeds, simulate_batch_single_event
+from repro.kernels import HAVE_NUMBA
+from repro.kernels.lockstep_jit import lockstep_batch_compiled
 from repro.workloads import uniform_configuration
 
 
@@ -91,30 +102,48 @@ def main(argv: list[str] | None = None) -> int:
         f"({args.trials / baseline:.1f} rep/s)"
     )
 
-    grid: dict[str, dict[str, float]] = {}
-    best = (None, None, float("inf"))
-    for buffer in args.buffers:
-        for block in args.blocks:
-            start = time.perf_counter()
-            lockstep_batch(
-                config.counts,
-                zeros,
-                args.n,
-                rngs=[np.random.default_rng(s) for s in seeds],
-                max_interactions=budget,
-                event_block=block,
-                stream_buffer=buffer,
-            )
-            seconds = time.perf_counter() - start
-            grid.setdefault(str(buffer), {})[str(block)] = seconds
-            marker = ""
-            if seconds < best[2]:
-                best = (block, buffer, seconds)
-                marker = "  <- best so far"
-            print(
-                f"block={block:<4} buffer={buffer:<5} {seconds:6.2f}s "
-                f"({baseline / seconds:4.2f}x single-event){marker}"
-            )
+    def sweep_grid(kernel, label):
+        grid: dict[str, dict[str, float]] = {}
+        best = (None, None, float("inf"))
+        for buffer in args.buffers:
+            for block in args.blocks:
+                start = time.perf_counter()
+                kernel(
+                    config.counts,
+                    zeros,
+                    args.n,
+                    rngs=[np.random.default_rng(s) for s in seeds],
+                    max_interactions=budget,
+                    event_block=block,
+                    stream_buffer=buffer,
+                )
+                seconds = time.perf_counter() - start
+                grid.setdefault(str(buffer), {})[str(block)] = seconds
+                marker = ""
+                if seconds < best[2]:
+                    best = (block, buffer, seconds)
+                    marker = "  <- best so far"
+                print(
+                    f"{label} block={block:<4} buffer={buffer:<5} "
+                    f"{seconds:6.2f}s "
+                    f"({baseline / seconds:4.2f}x single-event){marker}"
+                )
+        return grid, best
+
+    grid, best = sweep_grid(lockstep_batch, "numpy   ")
+    compiled_grid = None
+    compiled_best = None
+    if HAVE_NUMBA:
+        # One warm-up call keeps JIT compilation out of the first cell.
+        lockstep_batch_compiled(
+            config.counts, zeros, args.n,
+            rngs=[np.random.default_rng(seeds[0])], max_interactions=budget,
+        )
+        compiled_grid, compiled_best = sweep_grid(
+            lockstep_batch_compiled, "compiled"
+        )
+    else:
+        print("compiled arm skipped: numba unavailable (fallback = numpy)")
 
     block, buffer, seconds = best
     print(
@@ -122,51 +151,80 @@ def main(argv: list[str] | None = None) -> int:
         f"({baseline / seconds:.2f}x single-event); shipped defaults: "
         f"event_block={DEFAULT_EVENT_BLOCK} stream_buffer={DEFAULT_STREAM_BUFFER}"
     )
-    if args.output:
-        Path(args.output).write_text(
-            json.dumps(
-                {
-                    "workload": {
-                        "n": args.n,
-                        "k": args.k,
-                        "replicates": args.trials,
-                        "seed": args.seed,
-                    },
-                    "single_event_seconds": baseline,
-                    "grid_seconds": grid,
-                    "best": {
-                        "event_block": block,
-                        "stream_buffer": buffer,
-                        "seconds": seconds,
-                    },
-                    "shipped_defaults": {
-                        "event_block": DEFAULT_EVENT_BLOCK,
-                        "stream_buffer": DEFAULT_STREAM_BUFFER,
-                    },
-                },
-                indent=2,
-            )
-            + "\n"
+    if compiled_best is not None:
+        c_block, c_buffer, c_seconds = compiled_best
+        print(
+            f"best compiled: event_block={c_block} stream_buffer={c_buffer} "
+            f"({baseline / c_seconds:.2f}x single-event, "
+            f"{seconds / c_seconds:.2f}x the numpy best)"
         )
+    if args.output:
+        payload = {
+            "workload": {
+                "n": args.n,
+                "k": args.k,
+                "replicates": args.trials,
+                "seed": args.seed,
+            },
+            "single_event_seconds": baseline,
+            "grid_seconds": grid,
+            "best": {
+                "event_block": block,
+                "stream_buffer": buffer,
+                "seconds": seconds,
+            },
+            "shipped_defaults": {
+                "event_block": DEFAULT_EVENT_BLOCK,
+                "stream_buffer": DEFAULT_STREAM_BUFFER,
+            },
+            "compiled": {"available": HAVE_NUMBA},
+        }
+        if compiled_best is not None:
+            payload["compiled"].update(
+                grid_seconds=compiled_grid,
+                best={
+                    "event_block": compiled_best[0],
+                    "stream_buffer": compiled_best[1],
+                    "seconds": compiled_best[2],
+                },
+            )
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.output}")
     if args.emit_cost_table:
         from repro.engine.costmodel import CostModel, cost_signature
 
+        def fold_arm(model, variant, arm_grid, arm_best):
+            arm_block, arm_buffer, arm_seconds = arm_best
+            signature = cost_signature("usd", variant, args.n)
+            model.observe(signature, args.trials, arm_seconds)
+            # Blocks along the best buffer's row, buffers along the best
+            # block's column — each knob measured with the other held at
+            # its optimum, matching how the online autotuner converges.
+            for block_str, block_seconds in arm_grid[str(arm_buffer)].items():
+                model.observe_block(
+                    signature, int(block_str), args.trials, block_seconds
+                )
+            for buffer_str, row in arm_grid.items():
+                model.observe_buffer(
+                    signature, int(buffer_str), args.trials,
+                    row[str(arm_block)],
+                )
+            return signature, arm_seconds
+
         model = CostModel()
-        signature = cost_signature("usd", "batched", args.n)
-        model.observe(signature, args.trials, seconds)
-        for block_str, block_seconds in grid[str(buffer)].items():
-            model.observe_block(
-                signature, int(block_str), args.trials, block_seconds
+        signature, best_seconds = fold_arm(model, "batched", grid, best)
+        emitted = f"{signature}: {best_seconds / args.trials:.4f}s/replicate"
+        if compiled_best is not None:
+            c_signature, c_seconds = fold_arm(
+                model, "compiled", compiled_grid, compiled_best
+            )
+            emitted += (
+                f"; {c_signature}: {c_seconds / args.trials:.4f}s/replicate"
             )
         Path(args.emit_cost_table).write_text(
             json.dumps(model.to_payload(), indent=2, sort_keys=True) + "\n"
         )
-        print(
-            f"wrote {args.emit_cost_table} "
-            f"({signature}: {seconds / args.trials:.4f}s/replicate, "
-            f"event_block={block})"
-        )
+        print(f"wrote {args.emit_cost_table} ({emitted})")
     return 0
 
 

@@ -149,6 +149,14 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         "REPRO_ENGINE_EVENT_BLOCK)",
     )
     command.add_argument(
+        "--stream-buffer",
+        type=_positive_int,
+        default=None,
+        help="uniforms each replicate pre-draws per refill in the "
+        "lockstep kernels; never changes results (default: 256, or "
+        "REPRO_ENGINE_STREAM_BUFFER)",
+    )
+    command.add_argument(
         "--result-transport",
         choices=RESULT_TRANSPORTS,
         default=None,
@@ -171,9 +179,9 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         const="on",
         choices=AUTOTUNE_MODES,
         default=None,
-        help="retune the lockstep kernels' event_block per sweep cell "
-        "from measured throughput; never changes results (default: off, "
-        "or REPRO_ENGINE_AUTOTUNE; bare --autotune means on)",
+        help="retune the lockstep kernels' event_block and stream_buffer "
+        "per sweep cell from measured throughput; never changes results "
+        "(default: off, or REPRO_ENGINE_AUTOTUNE; bare --autotune means on)",
     )
 
 
@@ -353,6 +361,7 @@ def _build_engine(args) -> Engine:
         cache=args.cache,
         cache_dir=args.cache_dir,
         event_block=args.event_block,
+        stream_buffer=args.stream_buffer,
         result_transport=args.result_transport,
         scheduler=args.scheduler,
         autotune=args.autotune,

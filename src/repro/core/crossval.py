@@ -1,0 +1,121 @@
+"""Distributional cross-validation of simulation kernels.
+
+Two kernels that sample the *same* process without consuming their
+random streams in the same order (e.g. the serial jump chain vs the
+batched lockstep kernel, or — where ``log1p`` differs bitwise between
+numpy and libm — the numpy vs compiled lockstep tiers) cannot be
+compared bit-for-bit.  What can be checked is that their *outcome
+distributions* agree: absorption times via a two-sample
+Kolmogorov–Smirnov test and winner identities via a chi-square
+homogeneity test on the per-opinion winner counts.
+
+This module is the one shared implementation of those gates; the test
+suite and the kernel-ablation benchmark harness
+(``benchmarks/_harness.py``) both call it, so a kernel cannot pass the
+tests with one notion of "statistically equal" and the ablation with
+another.
+
+The significance level is deliberately loose (``alpha=1e-3``): these
+are equivalence *tripwires* for implementation bugs (an off-by-one in
+the event weights moves the distributions far beyond any reasonable
+alpha), not fine-grained statistical instruments — and a loose alpha
+keeps seeded CI runs deterministic-in-practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["CrossValReport", "compare_ensembles", "ks_times", "chi2_winners"]
+
+#: Default significance level of both gates.
+DEFAULT_ALPHA = 1e-3
+
+
+class CrossValReport(dict):
+    """Outcome of one cross-validation: a dict with an ``ok`` property.
+
+    Keys: ``ks_statistic`` / ``ks_pvalue`` (absorption times),
+    ``chi2_statistic`` / ``chi2_pvalue`` (winner counts; ``None`` when
+    winners were not compared), ``alpha``, ``passed``.  Being a plain
+    dict keeps it JSON-serializable for the benchmark artifacts.
+    """
+
+    @property
+    def ok(self) -> bool:
+        return bool(self["passed"])
+
+
+def ks_times(times_a, times_b) -> tuple[float, float]:
+    """Two-sample KS statistic and p-value on absorption times."""
+    a = np.asarray(times_a, dtype=np.float64)
+    b = np.asarray(times_b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("need non-empty samples on both sides")
+    result = stats.ks_2samp(a, b, method="asymp")
+    return float(result.statistic), float(result.pvalue)
+
+
+def chi2_winners(winners_a, winners_b, k: int) -> tuple[float, float]:
+    """Chi-square homogeneity test on winner identities.
+
+    ``winners_*`` hold per-replicate winners as integers in ``1..k``,
+    with ``None`` / ``-1`` / ``0`` all counting as the no-winner bucket.
+    Buckets empty on both sides are dropped (they contribute nothing);
+    if only one bucket remains the test is vacuous and passes with
+    p-value 1.
+    """
+
+    def counts(winners):
+        out = np.zeros(k + 1, dtype=np.int64)
+        for winner in winners:
+            index = 0 if winner is None or winner <= 0 else int(winner)
+            out[index] += 1
+        return out
+
+    ca, cb = counts(winners_a), counts(winners_b)
+    keep = (ca + cb) > 0
+    ca, cb = ca[keep], cb[keep]
+    if ca.size < 2:
+        return 0.0, 1.0
+    table = np.stack([ca, cb])
+    result = stats.chi2_contingency(table)
+    return float(result.statistic), float(result.pvalue)
+
+
+def compare_ensembles(
+    results_a,
+    results_b,
+    *,
+    k: int,
+    alpha: float = DEFAULT_ALPHA,
+    time_attr: str = "interactions",
+    compare_winners: bool = True,
+) -> CrossValReport:
+    """Gate two result ensembles on distributional equality.
+
+    ``results_*`` are sequences of result objects exposing ``winner``
+    and the ``time_attr`` attribute (``interactions`` for population
+    dynamics, ``rounds`` for gossip).  Passes when the KS test on the
+    times and (when ``compare_winners``) the chi-square test on the
+    winner counts both clear ``alpha``.
+    """
+    times_a = [getattr(r, time_attr) for r in results_a]
+    times_b = [getattr(r, time_attr) for r in results_b]
+    ks_stat, ks_p = ks_times(times_a, times_b)
+    chi2_stat = chi2_p = None
+    passed = ks_p >= alpha
+    if compare_winners:
+        chi2_stat, chi2_p = chi2_winners(
+            [r.winner for r in results_a], [r.winner for r in results_b], k
+        )
+        passed = passed and chi2_p >= alpha
+    return CrossValReport(
+        ks_statistic=ks_stat,
+        ks_pvalue=ks_p,
+        chi2_statistic=chi2_stat,
+        chi2_pvalue=chi2_p,
+        alpha=alpha,
+        passed=passed,
+    )

@@ -61,6 +61,8 @@ __all__ = [
     "DEFAULT_STREAM_BUFFER",
     "get_default_event_block",
     "set_default_event_block",
+    "get_default_stream_buffer",
+    "set_default_stream_buffer",
     "lockstep_batch",
 ]
 
@@ -121,6 +123,52 @@ def get_default_event_block() -> int:
     return _global_default_event_block()
 
 
+_STREAM_BUFFER_OVERRIDE: int | None = None
+
+
+def set_default_stream_buffer(buffer: int | None) -> None:
+    """Install a process-wide default stream buffer (``None`` leaves as-is)."""
+    global _STREAM_BUFFER_OVERRIDE
+    if buffer is None:
+        return
+    buffer = int(buffer)
+    if buffer < 1:
+        raise ValueError(f"stream_buffer must be positive, got {buffer}")
+    _STREAM_BUFFER_OVERRIDE = buffer
+
+
+def _global_default_stream_buffer() -> int:
+    """Legacy layered resolution: override, environment, built-in."""
+    if _STREAM_BUFFER_OVERRIDE is not None:
+        return _STREAM_BUFFER_OVERRIDE
+    raw = os.environ.get("REPRO_ENGINE_STREAM_BUFFER")
+    if raw is None:
+        return DEFAULT_STREAM_BUFFER
+    buffer = int(raw)
+    if buffer < 1:
+        raise ValueError(
+            f"REPRO_ENGINE_STREAM_BUFFER must be positive, got {raw}"
+        )
+    return buffer
+
+
+def get_default_stream_buffer() -> int:
+    """Resolved default: scoped engine session, override, environment, built-in.
+
+    Same layering (and same ``sys.modules`` indirection) as
+    :func:`get_default_event_block` — the buffer size never changes
+    trajectories, so this is purely a performance knob.
+    """
+    import sys
+
+    session = sys.modules.get("repro.engine.session")
+    if session is not None:
+        opts = session._active_options()
+        if opts is not None:
+            return opts.stream_buffer
+    return _global_default_stream_buffer()
+
+
 def lockstep_batch(
     initial_counts,
     zealots,
@@ -152,8 +200,8 @@ def lockstep_batch(
         :func:`get_default_event_block`.
     stream_buffer:
         Uniforms pre-drawn per replicate per refill; defaults to
-        :data:`DEFAULT_STREAM_BUFFER`, grown to cover one block.  Has no
-        effect on trajectories.
+        :func:`get_default_stream_buffer`, grown to cover one block.
+        Has no effect on trajectories.
 
     Returns
     -------
@@ -173,7 +221,7 @@ def lockstep_batch(
     if block < 1:
         raise ValueError(f"event_block must be positive, got {block}")
     buffer = (
-        DEFAULT_STREAM_BUFFER if stream_buffer is None else int(stream_buffer)
+        get_default_stream_buffer() if stream_buffer is None else int(stream_buffer)
     )
     buffer = max(buffer, 2 * block)
     if buffer % 2:

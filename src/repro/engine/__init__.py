@@ -37,7 +37,9 @@ default session (bit-identical results at fixed seeds).  Scoped
 configuration uses ``with engine(jobs=4): ...`` instead of global
 mutation (:func:`set_engine_defaults` is deprecated).
 
-Backends are selected by name (``"agents"``, ``"jump"``, ``"batched"``)
+Backends are selected by name (``"agents"``, ``"jump"``, ``"batched"``,
+``"compiled"`` — the numba-jitted tier, which transparently falls back
+to the numpy kernels when numba is absent)
 and new ones plug in via :func:`register_backend`; scenarios likewise
 via :func:`register_scenario`.  Process-level defaults come from
 :mod:`repro.engine.options` (CLI flags or the ``REPRO_ENGINE_BACKEND``/
@@ -54,8 +56,14 @@ from .backends import (
     register_backend,
     supports_batch,
 )
-from ..core.lockstep import DEFAULT_EVENT_BLOCK
-from .batched import BatchedBackend, simulate_batch, simulate_batch_single_event
+from ..core.lockstep import DEFAULT_EVENT_BLOCK, DEFAULT_STREAM_BUFFER
+from .batched import (
+    BatchedBackend,
+    CompiledBackend,
+    simulate_batch,
+    simulate_batch_compiled,
+    simulate_batch_single_event,
+)
 from .cache import EnsembleCache, ensemble_key, seed_token
 from .costmodel import CostModel, cost_signature
 from .executors import DEFAULT_BATCH_SIZE, EXECUTORS, replicate_seeds, run_ensemble
@@ -77,6 +85,7 @@ from .options import (
     get_default_jobs,
     get_default_result_transport,
     get_default_scheduler,
+    get_default_stream_buffer,
     set_engine_defaults,
 )
 from .scenarios import (
@@ -113,11 +122,13 @@ __all__ = [
     "AgentsBackend",
     "JumpBackend",
     "BatchedBackend",
+    "CompiledBackend",
     "available_backends",
     "get_backend",
     "register_backend",
     "supports_batch",
     "simulate_batch",
+    "simulate_batch_compiled",
     "simulate_batch_single_event",
     "Scenario",
     "ScenarioSpec",
@@ -151,6 +162,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_EVENT_BLOCK",
+    "DEFAULT_STREAM_BUFFER",
     "EXECUTORS",
     "RESULT_TRANSPORTS",
     "engine_defaults",
@@ -164,7 +176,9 @@ __all__ = [
     "get_default_jobs",
     "get_default_result_transport",
     "get_default_scheduler",
+    "get_default_stream_buffer",
     "set_engine_defaults",
 ]
 
 register_backend(BatchedBackend())
+register_backend(CompiledBackend())

@@ -48,8 +48,15 @@ from ..core.fastsim import cumulative_weights, pick_event
 from ..core.fastsim import simulate as _jump_simulate
 from ..core.lockstep import lockstep_batch
 from ..core.simulator import Observer, RunResult, default_interaction_budget
+from ..kernels.lockstep_jit import lockstep_batch_compiled
 
-__all__ = ["BatchedBackend", "simulate_batch", "simulate_batch_single_event"]
+__all__ = [
+    "BatchedBackend",
+    "CompiledBackend",
+    "simulate_batch",
+    "simulate_batch_compiled",
+    "simulate_batch_single_event",
+]
 
 #: Uniforms pre-drawn per replicate per refill in the single-event
 #: kernel; two are consumed per productive step.  Must be even.
@@ -120,6 +127,44 @@ def simulate_batch(
         rngs=rngs,
         max_interactions=max_interactions,
         event_block=event_block,
+    )
+    return _results_from_arrays(config, final_counts, final_interactions, exhausted)
+
+
+def simulate_batch_compiled(
+    config: Configuration,
+    *,
+    rngs: list[np.random.Generator],
+    max_interactions: int | None = None,
+    event_block: int | None = None,
+    stream_buffer: int | None = None,
+) -> list[RunResult]:
+    """Run ``len(rngs)`` replicates on the compiled lockstep kernel.
+
+    The compiled tier (:mod:`repro.kernels.lockstep_jit`) consumes the
+    same per-replicate uniform streams as :func:`simulate_batch` in the
+    same order, so where ``log1p`` agrees bitwise between numpy and the
+    scalar libm (probed at import as
+    ``repro.kernels.LOG1P_BITWISE``) trajectories are bit-identical to
+    the numpy tier; otherwise they agree in distribution.  Without
+    numba this transparently falls back to the numpy kernel.
+    """
+    n = config.n
+    k = config.k
+    if len(rngs) == 0:
+        return []
+    if max_interactions is None:
+        max_interactions = default_interaction_budget(n, k)
+    if max_interactions < 0:
+        raise ValueError(f"max_interactions must be non-negative, got {max_interactions}")
+    final_counts, final_interactions, exhausted = lockstep_batch_compiled(
+        config.counts,
+        np.zeros(k, dtype=np.int64),
+        n,
+        rngs=rngs,
+        max_interactions=max_interactions,
+        event_block=event_block,
+        stream_buffer=stream_buffer,
     )
     return _results_from_arrays(config, final_counts, final_interactions, exhausted)
 
@@ -270,3 +315,44 @@ class BatchedBackend:
         max_interactions: int | None = None,
     ) -> list[RunResult]:
         return simulate_batch(config, rngs=rngs, max_interactions=max_interactions)
+
+
+class CompiledBackend:
+    """Ensemble backend: numba-jitted lockstep advance of R jump chains.
+
+    Identical protocol to :class:`BatchedBackend`, backed by the
+    compiled multi-event kernel of :mod:`repro.kernels.lockstep_jit`.
+    Selecting it never requires numba: without the optional dependency
+    every call transparently runs the numpy lockstep kernel instead,
+    so ``--backend compiled`` is always safe.  Observer runs delegate
+    to the serial jump chain exactly as in the batched backend.
+    """
+
+    name = "compiled"
+
+    def simulate(
+        self,
+        config: Configuration,
+        *,
+        rng: np.random.Generator,
+        max_interactions: int | None = None,
+        observer: Observer | None = None,
+    ) -> RunResult:
+        if observer is not None:
+            return _jump_simulate(
+                config, rng=rng, max_interactions=max_interactions, observer=observer
+            )
+        return simulate_batch_compiled(
+            config, rngs=[rng], max_interactions=max_interactions
+        )[0]
+
+    def simulate_batch(
+        self,
+        config: Configuration,
+        *,
+        rngs: list[np.random.Generator],
+        max_interactions: int | None = None,
+    ) -> list[RunResult]:
+        return simulate_batch_compiled(
+            config, rngs=rngs, max_interactions=max_interactions
+        )

@@ -44,8 +44,11 @@ __all__ = ["EnsembleCache", "ensemble_key", "seed_token"]
 #: incompatibly; old entries then simply miss.  Format 2: the multi-event
 #: lockstep kernel resampled the batched USD/zealot event choice (same
 #: distribution, different float path), so format-1 "batched" entries no
-#: longer match freshly computed ensembles.
-CACHE_FORMAT = 2
+#: longer match freshly computed ensembles.  Format 3: batched
+#: three-majority gossip switched to schedule-ordered draws (now
+#: bit-identical to the serial rule; same distribution, different
+#: trajectories), so format-2 "batched" gossip entries no longer match.
+CACHE_FORMAT = 3
 
 #: Format tag for sweep-level index entries (``*.sweep.json``); bumped
 #: independently of the ensemble entry format.

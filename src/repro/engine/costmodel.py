@@ -15,8 +15,9 @@ cost that lets the session
 * size every chunk as a target **wall-time slice** rather than a fixed
   replicate count — big-n cells split finer, tiny cells coalesce into
   one chunk — bounding the tail a straggling chunk can add; and
-* retune the lockstep kernels' ``event_block`` per cell from measured
-  chunk throughput (opt-in; see :class:`CostModel.plan_blocks`).
+* retune the lockstep kernels' ``event_block`` and ``stream_buffer``
+  per cell from measured chunk throughput (opt-in; see
+  :class:`CostModel.plan_blocks` / :class:`CostModel.plan_buffers`).
 
 None of this can change results: replicate seeds are derived per cell
 *before* chunking, scenario kernels are batch-width invariant, and
@@ -55,6 +56,7 @@ __all__ = [
     "COST_TABLE_FORMAT",
     "DEFAULT_TARGET_CHUNK_SECONDS",
     "EVENT_BLOCK_CANDIDATES",
+    "STREAM_BUFFER_CANDIDATES",
 ]
 
 #: Format tag of the persisted cost table; bumped on incompatible layout
@@ -71,6 +73,13 @@ DEFAULT_TARGET_CHUNK_SECONDS = 0.2
 #: plateau as (n, k, dynamics) vary; values outside it were never
 #: competitive on any profiled workload.
 EVENT_BLOCK_CANDIDATES = (8, 16, 32, 64)
+
+#: ``stream_buffer`` values the online autotuner explores.  The buffer
+#: trades refill frequency against redraw waste when replicates finish
+#: early; the kernel_tune grids put the optimum inside this span for
+#: every profiled (n, k).  Like ``event_block``, the buffer can never
+#: change results — refills preserve unconsumed draws.
+STREAM_BUFFER_CANDIDATES = (64, 256, 1024)
 
 #: EWMA weight of a new observation (per replicate-weighted sample).
 EWMA_ALPHA = 0.3
@@ -98,6 +107,15 @@ _SEED_COEFFS = {
     ("graph", "batched"): 9.0e-6,
     ("gossip", "reference"): 5.0e-7,
     ("gossip", "batched"): 1.5e-7,
+    # Compiled (numba) tier: jitted lockstep/graph kernels clear the
+    # numpy batch by a small factor on large n; gossip's compiled rules
+    # only swap the round update, so they seed at the batched rate.
+    # Without numba the compiled variant IS the batched kernel, and the
+    # first measured chunks re-anchor the EWMA either way.
+    ("usd", "compiled"): 1.0e-7,
+    ("zealots", "compiled"): 1.5e-7,
+    ("graph", "compiled"): 3.0e-6,
+    ("gossip", "compiled"): 1.5e-7,
 }
 
 #: Fallback coefficient for unknown (scenario, variant) pairs; any
@@ -143,6 +161,9 @@ class CostModel:
         #: signature -> {str(block): {"seconds_per_replicate": float,
         #:                            "samples": int}}
         self._blocks: dict[str, dict] = {}
+        #: signature -> {str(buffer): {"seconds_per_replicate": float,
+        #:                             "samples": int}}
+        self._buffers: dict[str, dict] = {}
 
     # -- persistence ---------------------------------------------------
     @classmethod
@@ -172,26 +193,31 @@ class CostModel:
                         "per_replicate_seconds": seconds,
                         "samples": samples,
                     }
-        blocks = payload.get("event_blocks")
-        if isinstance(blocks, dict):
-            for signature, per_block in blocks.items():
-                if not isinstance(per_block, dict):
+        for section, target in (
+            ("event_blocks", model._blocks),
+            ("stream_buffers", model._buffers),
+        ):
+            table = payload.get(section)
+            if not isinstance(table, dict):
+                continue
+            for signature, per_value in table.items():
+                if not isinstance(per_value, dict):
                     continue
                 clean = {}
-                for block, entry in per_block.items():
+                for value, entry in per_value.items():
                     try:
-                        int(block)
+                        int(value)
                         seconds = float(entry["seconds_per_replicate"])
                         samples = int(entry.get("samples", 1))
                     except (KeyError, TypeError, ValueError):
                         continue
                     if seconds > 0 and samples > 0:
-                        clean[str(block)] = {
+                        clean[str(value)] = {
                             "seconds_per_replicate": seconds,
                             "samples": samples,
                         }
                 if clean:
-                    model._blocks[str(signature)] = clean
+                    target[str(signature)] = clean
         return model
 
     def to_payload(self) -> dict:
@@ -202,6 +228,10 @@ class CostModel:
             "event_blocks": {
                 sig: {b: dict(e) for b, e in per.items()}
                 for sig, per in self._blocks.items()
+            },
+            "stream_buffers": {
+                sig: {b: dict(e) for b, e in per.items()}
+                for sig, per in self._buffers.items()
             },
         }
 
@@ -261,7 +291,71 @@ class CostModel:
         )
         entry["samples"] += 1
 
-    # -- event-block autotuning ----------------------------------------
+    # -- kernel-knob autotuning (event_block / stream_buffer) ----------
+    @staticmethod
+    def _plan_values(
+        table: dict,
+        signature: str,
+        chunks: int,
+        default: int,
+        candidates: tuple[int, ...],
+        best: int,
+    ) -> list[int]:
+        pool = tuple(dict.fromkeys((*candidates, int(default))))
+        per_value = table.get(signature, {})
+        unmeasured = [v for v in pool if str(v) not in per_value]
+        if not unmeasured:
+            return [best] * chunks
+        plan = []
+        for index in range(chunks):
+            if index < len(unmeasured) * 2:
+                # Two shots per unexplored candidate, interleaved so a
+                # short cell still samples several values.
+                plan.append(unmeasured[index % len(unmeasured)])
+            else:
+                plan.append(best)
+        return plan
+
+    @staticmethod
+    def _observe_value(
+        table: dict, signature: str, value: int, replicates: int, seconds: float
+    ) -> None:
+        replicates = int(replicates)
+        if replicates < 1 or seconds <= 0:
+            return
+        per_replicate = seconds / replicates
+        per_value = table.setdefault(signature, {})
+        entry = per_value.get(str(int(value)))
+        if entry is None:
+            per_value[str(int(value))] = {
+                "seconds_per_replicate": max(per_replicate, 1e-9),
+                "samples": 1,
+            }
+            return
+        entry["seconds_per_replicate"] = max(
+            (1 - EWMA_ALPHA) * entry["seconds_per_replicate"]
+            + EWMA_ALPHA * per_replicate,
+            1e-9,
+        )
+        entry["samples"] += 1
+
+    @staticmethod
+    def _tuned_value(
+        table: dict, signature: str, default: int, candidates: tuple[int, ...]
+    ) -> int:
+        per_value = table.get(signature)
+        if not per_value:
+            return int(default)
+        pool = {str(v) for v in (*candidates, int(default))}
+        measured = {
+            int(value): entry["seconds_per_replicate"]
+            for value, entry in per_value.items()
+            if value in pool
+        }
+        if not measured:
+            return int(default)
+        return min(measured, key=measured.get)
+
     def plan_blocks(
         self,
         signature: str,
@@ -279,44 +373,16 @@ class CostModel:
         few chunks at a possibly-suboptimal speed.  Once every candidate
         has history, every chunk gets the measured-fastest block.
         """
-        pool = tuple(dict.fromkeys((*candidates, int(default_block))))
-        per_block = self._blocks.get(signature, {})
-        unmeasured = [b for b in pool if str(b) not in per_block]
         best = self.tuned_block(signature, default_block, candidates=candidates)
-        if not unmeasured:
-            return [best] * chunks
-        plan = []
-        for index in range(chunks):
-            if index < len(unmeasured) * 2:
-                # Two shots per unexplored candidate, interleaved so a
-                # short cell still samples several blocks.
-                plan.append(unmeasured[index % len(unmeasured)])
-            else:
-                plan.append(best)
-        return plan
+        return self._plan_values(
+            self._blocks, signature, chunks, default_block, candidates, best
+        )
 
     def observe_block(
         self, signature: str, block: int, replicates: int, seconds: float
     ) -> None:
         """Fold one measured chunk into the (signature, block) EWMA."""
-        replicates = int(replicates)
-        if replicates < 1 or seconds <= 0:
-            return
-        per_replicate = seconds / replicates
-        per_block = self._blocks.setdefault(signature, {})
-        entry = per_block.get(str(int(block)))
-        if entry is None:
-            per_block[str(int(block))] = {
-                "seconds_per_replicate": max(per_replicate, 1e-9),
-                "samples": 1,
-            }
-            return
-        entry["seconds_per_replicate"] = max(
-            (1 - EWMA_ALPHA) * entry["seconds_per_replicate"]
-            + EWMA_ALPHA * per_replicate,
-            1e-9,
-        )
-        entry["samples"] += 1
+        self._observe_value(self._blocks, signature, block, replicates, seconds)
 
     def tuned_block(
         self,
@@ -326,18 +392,42 @@ class CostModel:
         candidates: tuple[int, ...] = EVENT_BLOCK_CANDIDATES,
     ) -> int:
         """The measured-fastest block for a signature (default when cold)."""
-        per_block = self._blocks.get(signature)
-        if not per_block:
-            return int(default_block)
-        pool = {str(b) for b in (*candidates, int(default_block))}
-        measured = {
-            int(block): entry["seconds_per_replicate"]
-            for block, entry in per_block.items()
-            if block in pool
-        }
-        if not measured:
-            return int(default_block)
-        return min(measured, key=measured.get)
+        return self._tuned_value(self._blocks, signature, default_block, candidates)
+
+    def plan_buffers(
+        self,
+        signature: str,
+        chunks: int,
+        default_buffer: int,
+        *,
+        candidates: tuple[int, ...] = STREAM_BUFFER_CANDIDATES,
+    ) -> list[int]:
+        """Per-chunk ``stream_buffer`` assignment for one cell.
+
+        Same explore-then-exploit shape as :meth:`plan_blocks`; the
+        buffer is equally results-neutral (lockstep refills preserve
+        unconsumed draws), so exploration only moves wall time.
+        """
+        best = self.tuned_buffer(signature, default_buffer, candidates=candidates)
+        return self._plan_values(
+            self._buffers, signature, chunks, default_buffer, candidates, best
+        )
+
+    def observe_buffer(
+        self, signature: str, buffer: int, replicates: int, seconds: float
+    ) -> None:
+        """Fold one measured chunk into the (signature, buffer) EWMA."""
+        self._observe_value(self._buffers, signature, buffer, replicates, seconds)
+
+    def tuned_buffer(
+        self,
+        signature: str,
+        default_buffer: int,
+        *,
+        candidates: tuple[int, ...] = STREAM_BUFFER_CANDIDATES,
+    ) -> int:
+        """The measured-fastest buffer for a signature (default when cold)."""
+        return self._tuned_value(self._buffers, signature, default_buffer, candidates)
 
     # -- diagnostics ---------------------------------------------------
     def summary(self) -> dict:
@@ -347,5 +437,8 @@ class CostModel:
             "tuned_signatures": len(self._blocks),
             "event_blocks": {
                 sig: self.tuned_block(sig, 0) for sig in self._blocks
+            },
+            "stream_buffers": {
+                sig: self.tuned_buffer(sig, 0) for sig in self._buffers
             },
         }

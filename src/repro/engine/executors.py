@@ -41,7 +41,7 @@ import time
 import numpy as np
 
 from ..core.config import Configuration
-from ..core.lockstep import set_default_event_block
+from ..core.lockstep import set_default_event_block, set_default_stream_buffer
 from ..core.simulator import RunResult
 from .backends import Backend
 from .cache import EnsembleCache
@@ -90,11 +90,20 @@ def replicate_seeds(
 
 def _worker(payload) -> list:
     """Top-level multiprocessing entry point (must be picklable)."""
-    scenario_name, spec, variant, seeds, max_interactions, event_block = payload
+    (
+        scenario_name,
+        spec,
+        variant,
+        seeds,
+        max_interactions,
+        event_block,
+        stream_buffer,
+    ) = payload
     # Spawn-started workers do not inherit the parent's process-wide
-    # overrides, so the parent resolves its event block once and ships
-    # it with every chunk (results are invariant to it; only speed).
+    # overrides, so the parent resolves its kernel knobs once and ships
+    # them with every chunk (results are invariant to both; only speed).
     set_default_event_block(event_block)
+    set_default_stream_buffer(stream_buffer)
     scenario = get_scenario(scenario_name)
     spec = _resolve_spec(spec)
     rngs = [np.random.default_rng(s) for s in seeds]
@@ -109,8 +118,17 @@ def _timed_worker(payload) -> tuple[list, float]:
     tracks kernel cost, not transport overhead.  The measurement rides
     back alongside the results — it never influences them.
     """
-    scenario_name, spec, variant, seeds, max_interactions, event_block = payload
+    (
+        scenario_name,
+        spec,
+        variant,
+        seeds,
+        max_interactions,
+        event_block,
+        stream_buffer,
+    ) = payload
     set_default_event_block(event_block)
+    set_default_stream_buffer(stream_buffer)
     scenario = get_scenario(scenario_name)
     spec = _resolve_spec(spec)
     rngs = [np.random.default_rng(s) for s in seeds]
@@ -283,6 +301,7 @@ def _shm_worker(payload) -> int:
         seeds,
         max_interactions,
         event_block,
+        stream_buffer,
         shm_name,
         start,
         trials,
@@ -290,6 +309,7 @@ def _shm_worker(payload) -> int:
         float_width,
     ) = payload
     set_default_event_block(event_block)
+    set_default_stream_buffer(stream_buffer)
     scenario = get_scenario(scenario_name)
     rngs = [np.random.default_rng(s) for s in seeds]
     results = scenario.run_chunk(spec, variant, rngs, max_interactions)
@@ -345,6 +365,7 @@ def _shm_sweep_worker(payload) -> tuple[int, float]:
         seeds,
         max_interactions,
         event_block,
+        stream_buffer,
         shm_name,
         row_start,
         stride,
@@ -352,6 +373,7 @@ def _shm_sweep_worker(payload) -> tuple[int, float]:
         float_width,
     ) = payload
     set_default_event_block(event_block)
+    set_default_stream_buffer(stream_buffer)
     scenario = get_scenario(scenario_name)
     spec = _resolve_spec(spec)
     rngs = [np.random.default_rng(s) for s in seeds]
@@ -394,6 +416,7 @@ def _run_process_shared(
     trials: int,
     max_interactions: int | None,
     event_block: int,
+    stream_buffer: int,
     pool_map,
 ) -> list | None:
     """Run one ensemble's chunks with shared-memory result records.
@@ -424,6 +447,7 @@ def _run_process_shared(
                 chunk,
                 max_interactions,
                 event_block,
+                stream_buffer,
                 block.name,
                 start,
                 trials,
@@ -459,8 +483,9 @@ def _run_sweep_shared(
     ``cell_jobs`` carries one entry per pending cell, **already in
     schedule order**: its scenario, spec (plus ``spec_payload``, the
     :class:`SpecBroadcast` stand-in shipped to workers), variant,
-    budget, seed chunks and the per-chunk ``event_blocks`` the scheduler
-    assigned.  All cells' replicates share ONE block with a uniform row
+    budget, seed chunks and the per-chunk ``event_blocks`` /
+    ``stream_buffers`` the scheduler assigned.  All cells' replicates
+    share ONE block with a uniform row
     stride (the widest cell's record), so the whole sweep still pickles
     nothing result-sized back from the pool.
 
@@ -489,12 +514,14 @@ def _run_sweep_shared(
         return None
     try:
         payloads = []
-        chunk_meta = []  # (cell index, replicates, event block) in queue order
+        chunk_meta = []  # (cell index, replicates, event block, buffer)
         row_spans = []  # (cell index, row start, rows) in queue order
         row = 0
         for job, (int_width, float_width) in zip(cell_jobs, widths):
             start_row = row
-            for chunk, chunk_block in zip(job["chunks"], job["event_blocks"]):
+            for chunk, chunk_block, chunk_buffer in zip(
+                job["chunks"], job["event_blocks"], job["stream_buffers"]
+            ):
                 payloads.append(
                     (
                         job["spec"].scenario,
@@ -503,6 +530,7 @@ def _run_sweep_shared(
                         chunk,
                         job["max_interactions"],
                         chunk_block,
+                        chunk_buffer,
                         block.name,
                         row,
                         stride,
@@ -510,7 +538,7 @@ def _run_sweep_shared(
                         float_width,
                     )
                 )
-                chunk_meta.append((job["index"], len(chunk), chunk_block))
+                chunk_meta.append((job["index"], len(chunk), chunk_block, chunk_buffer))
                 row += len(chunk)
             row_spans.append((job["index"], start_row, row - start_row))
         # chunksize=1 keeps distribution dynamic, exactly like the
@@ -521,9 +549,10 @@ def _run_sweep_shared(
                 "cell": index,
                 "replicates": replicates,
                 "event_block": chunk_block,
+                "stream_buffer": chunk_buffer,
                 "seconds": seconds,
             }
-            for (index, replicates, chunk_block), (_, seconds) in zip(
+            for (index, replicates, chunk_block, chunk_buffer), (_, seconds) in zip(
                 chunk_meta, outputs
             )
         ]

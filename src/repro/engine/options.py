@@ -33,9 +33,13 @@ from dataclasses import dataclass, fields, replace
 
 from ..core.lockstep import (
     DEFAULT_EVENT_BLOCK,
+    DEFAULT_STREAM_BUFFER,
     _global_default_event_block,
+    _global_default_stream_buffer,
     get_default_event_block,
+    get_default_stream_buffer,
     set_default_event_block,
+    set_default_stream_buffer,
 )
 
 __all__ = [
@@ -56,6 +60,7 @@ __all__ = [
     "get_default_jobs",
     "get_default_result_transport",
     "get_default_scheduler",
+    "get_default_stream_buffer",
     "set_engine_defaults",
 ]
 
@@ -125,6 +130,7 @@ class EngineOptions:
     cache_dir: str = DEFAULT_CACHE_DIR
     cache_max_bytes: int | None = None
     event_block: int = DEFAULT_EVENT_BLOCK
+    stream_buffer: int = DEFAULT_STREAM_BUFFER
     result_transport: str = "shared"
     scheduler: str = "cost"
     autotune: str = "off"
@@ -147,6 +153,11 @@ class EngineOptions:
         object.__setattr__(self, "event_block", int(self.event_block))
         if self.event_block < 1:
             raise ValueError(f"event_block must be positive, got {self.event_block}")
+        object.__setattr__(self, "stream_buffer", int(self.stream_buffer))
+        if self.stream_buffer < 1:
+            raise ValueError(
+                f"stream_buffer must be positive, got {self.stream_buffer}"
+            )
         if self.result_transport not in RESULT_TRANSPORTS:
             raise ValueError(
                 f"result_transport must be one of {RESULT_TRANSPORTS}, "
@@ -193,6 +204,7 @@ class EngineOptions:
             "cache_dir": _global_default_cache_dir(),
             "cache_max_bytes": _global_default_cache_max_bytes(),
             "event_block": _global_default_event_block(),
+            "stream_buffer": _global_default_stream_buffer(),
             "result_transport": _global_default_result_transport(),
             "scheduler": _global_default_scheduler(),
             "autotune": _global_default_autotune(),
@@ -228,6 +240,7 @@ class EngineOptions:
             "cache_dir": self.cache_dir,
             "cache_max_bytes": self.cache_max_bytes,
             "event_block": self.event_block,
+            "stream_buffer": self.stream_buffer,
             "result_transport": self.result_transport,
             "scheduler": self.scheduler,
             "autotune": self.autotune,
@@ -242,6 +255,7 @@ def set_engine_defaults(
     cache_dir: str | None = None,
     cache_max_bytes: int | None = None,
     event_block: int | None = None,
+    stream_buffer: int | None = None,
     result_transport: str | None = None,
 ) -> None:
     """Install process-wide engine defaults (pass ``None`` to leave as-is).
@@ -260,9 +274,10 @@ def set_engine_defaults(
     for every ensemble of the session; ``cache_dir`` relocates it and
     ``cache_max_bytes`` caps its size (LRU eviction; ``0`` = unlimited).
     ``event_block`` sets how many productive events the batched lockstep
-    kernels apply per numpy pass (results never change, only speed);
-    ``result_transport`` picks how process-executor workers return
-    results (``"shared"`` or ``"pickle"``).
+    kernels apply per numpy pass and ``stream_buffer`` how many uniforms
+    each replicate pre-draws per refill (results never change, only
+    speed); ``result_transport`` picks how process-executor workers
+    return results (``"shared"`` or ``"pickle"``).
     """
     warnings.warn(
         "set_engine_defaults is deprecated: use the scoped "
@@ -290,6 +305,7 @@ def set_engine_defaults(
             )
         _CACHE_MAX_BYTES_OVERRIDE = int(cache_max_bytes)
     set_default_event_block(event_block)
+    set_default_stream_buffer(stream_buffer)
     if result_transport is not None:
         if result_transport not in RESULT_TRANSPORTS:
             raise ValueError(
@@ -495,6 +511,7 @@ def engine_defaults() -> dict:
         "cache_dir": get_default_cache_dir(),
         "cache_max_bytes": get_default_cache_max_bytes(),
         "event_block": get_default_event_block(),
+        "stream_buffer": get_default_stream_buffer(),
         "result_transport": get_default_result_transport(),
         "scheduler": get_default_scheduler(),
         "autotune": get_default_autotune(),

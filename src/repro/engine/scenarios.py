@@ -10,8 +10,10 @@ generalizes the backend protocol to *any* parameterized dynamics:
   keys on ``spec.key()``);
 * a :class:`Scenario` knows how to execute a spec: a **reference**
   implementation (bit-identical to the legacy ``simulate_*`` entry
-  point, which delegates to the same kernel) and, where the jump-chain
-  or lockstep trick applies, a vectorized **batched** variant;
+  point, which delegates to the same kernel), where the jump-chain or
+  lockstep trick applies a vectorized **batched** variant, and where a
+  jitted kernel exists (:mod:`repro.kernels`) a **compiled** variant
+  that transparently falls back to the batched tier without numba;
 * a registry maps stable names to scenario instances, exactly like the
   backend registry, so experiments, sweeps, the CLI and the process-pool
   workers select dynamics by name.
@@ -27,24 +29,30 @@ Built-in scenarios
     (:mod:`repro.graphs.dynamics`).  Params: ``edges``, ``k``, optional
     ``initial_states`` (omit to expand the configuration into a shuffled
     state array with the replicate's own generator).  Has a batched
-    per-edge-array lockstep variant (bit-identical to the reference).
+    per-edge-array lockstep variant (bit-identical to the reference)
+    and a compiled per-replicate kernel (also bit-identical).
 ``"zealots"``
     USD against a stubborn background (:mod:`repro.faults.zealots`).
-    Params: ``zealots``.  Has a batched multi-event jump-chain variant.
+    Params: ``zealots``.  Has batched and compiled multi-event
+    jump-chain variants.
 ``"noise"``
     USD under transient state corruption (:mod:`repro.faults.noise`).
     Params: ``rho``, ``horizon``, ``tail_fraction``.  Has a batched
-    lockstep variant.
+    lockstep variant (no compiled tier; ``--backend compiled`` falls
+    back to it).
 ``"gossip"``
     Synchronous gossip round engine (:mod:`repro.gossip`).  Params:
     ``rule`` (``"usd"``, ``"voter"``, ``"two-choices"``,
-    ``"three-majority"``, ``"median"``), optional ``max_rounds``.  Has a
-    batched stacked-replicate round variant (bit-identical to the
-    reference for every rule except ``three-majority``, which matches
-    in distribution).
+    ``"three-majority"``, ``"median"``), optional ``max_rounds``.  Has
+    batched and compiled stacked-replicate round variants, both
+    bit-identical to the reference for every rule (``three-majority``
+    draws through ``BatchedDraws.take_schedule``, which preserves the
+    serial per-round call order).
 
 Every registered scenario therefore has a vectorized ``batched``
 variant; ``run_ensemble(..., backend="batched")`` reaches all of them.
+``backend="compiled"`` selects the jitted kernels where a scenario has
+them and degrades to ``batched`` otherwise, so it is equally universal.
 
 Adding a scenario is a registry entry, not a new subsystem: subclass
 :class:`Scenario`, implement ``reference`` (and optionally ``batched``),
@@ -243,14 +251,29 @@ class Scenario:
 
     batched: Callable | None = None
 
+    #: Optional jitted whole-chunk variant (:mod:`repro.kernels`); the
+    #: kernels themselves fall back to numpy when numba is absent, so a
+    #: ``compiled`` attribute is safe to expose unconditionally.
+    compiled: Callable | None = None
+
     @property
     def has_batched(self) -> bool:
         """Whether a vectorized whole-chunk variant is available."""
         return callable(self.batched)
 
+    @property
+    def has_compiled(self) -> bool:
+        """Whether a jitted whole-chunk variant is available."""
+        return callable(self.compiled)
+
     def variants(self) -> tuple[str, ...]:
         """Names accepted by ``run_ensemble``'s ``backend`` argument."""
-        return ("reference", "batched") if self.has_batched else ("reference",)
+        names = ["reference"]
+        if self.has_batched:
+            names.append("batched")
+        if self.has_compiled:
+            names.append("compiled")
+        return tuple(names)
 
     # -- variant resolution -------------------------------------------
     def variant(self, backend: str | Backend | None) -> str:
@@ -263,8 +286,11 @@ class Scenario:
         ``"batched"`` resolves to the scenario's batched variant when it
         has one and falls back to the reference otherwise, as does any
         *session-default* name this scenario does not know (a custom USD
-        backend must not break every other scenario).  Only an
-        explicitly requested unknown name is an error.
+        backend must not break every other scenario).  ``"compiled"``
+        degrades along the same ladder — compiled where available, else
+        batched, else reference — so selecting the compiled tier
+        session-wide never breaks a scenario without jitted kernels.
+        Only an explicitly requested unknown name is an error.
         """
         explicit = backend is not None
         if backend is None:
@@ -273,6 +299,10 @@ class Scenario:
         if name is None or name in ("agents", "jump", "reference"):
             return "reference"
         if name == "batched":
+            return "batched" if self.has_batched else "reference"
+        if name == "compiled":
+            if self.has_compiled:
+                return "compiled"
             return "batched" if self.has_batched else "reference"
         if not explicit:
             return "reference"
@@ -369,6 +399,8 @@ class Scenario:
         max_interactions: int | None,
     ) -> list:
         """Run one contiguous chunk of replicates with the given variant."""
+        if variant == "compiled" and self.has_compiled:
+            return self.compiled(spec, rngs=rngs, max_interactions=max_interactions)
         if variant == "batched" and self.has_batched:
             return self.batched(spec, rngs=rngs, max_interactions=max_interactions)
         return [
@@ -456,13 +488,18 @@ class UsdScenario(Scenario):
         # whose extra fields the fixed-width record would silently drop,
         # so those keep the pickle transport.
         from .backends import AgentsBackend, JumpBackend
-        from .batched import BatchedBackend
+        from .batched import BatchedBackend, CompiledBackend
 
         try:
             backend = get_backend(variant)
         except ValueError:
             return False
-        return type(backend) in (AgentsBackend, JumpBackend, BatchedBackend)
+        return type(backend) in (
+            AgentsBackend,
+            JumpBackend,
+            BatchedBackend,
+            CompiledBackend,
+        )
 
     def variants(self) -> tuple[str, ...]:
         from .backends import available_backends
@@ -621,6 +658,31 @@ class GraphScenario(Scenario):
             max_interactions=max_interactions,
         )
 
+    def compiled(self, spec, *, rngs, max_interactions=None):
+        # The jitted per-replicate kernel consumes only bounded int64
+        # draws, which are chunk-invariant, so it is bit-identical to
+        # `batched` and `reference` unconditionally; without numba it
+        # delegates to run_on_edges_batch itself.
+        from ..kernels.graph_jit import run_on_edges_batch_compiled
+
+        if not rngs:
+            return []
+        params = spec.params_dict()
+        k = int(params.get("k", spec.config.k))
+        if params.get("initial_states") is None:
+            states = np.stack([spec.config.to_states(rng) for rng in rngs])
+        else:
+            states = self._param_array(spec, "initial_states")
+        edges = self._param_array(spec, "edges")
+        return run_on_edges_batch_compiled(
+            edges,
+            states,
+            rngs=rngs,
+            k=k,
+            n=spec.config.n,
+            max_interactions=max_interactions,
+        )
+
     def decode_record(self, spec, ints, floats):
         from ..graphs.dynamics import GraphRunResult
 
@@ -677,6 +739,17 @@ class ZealotScenario(Scenario):
             self._zealots(spec),
             rngs=rngs,
             max_interactions=max_interactions,
+        )
+
+    def compiled(self, spec, *, rngs, max_interactions=None):
+        from ..kernels.lockstep_jit import lockstep_batch_compiled
+
+        return simulate_zealots_batch(
+            spec.config,
+            self._zealots(spec),
+            rngs=rngs,
+            max_interactions=max_interactions,
+            kernel=lockstep_batch_compiled,
         )
 
 
@@ -743,6 +816,7 @@ class NoiseScenario(Scenario):
 # ----------------------------------------------------------------------
 _RULES_TABLE: dict[str, Callable] | None = None
 _RULES_BATCH_TABLE: dict[str, Callable] | None = None
+_RULES_COMPILED_TABLE: dict[str, Callable] | None = None
 
 
 def _gossip_rules() -> dict[str, Callable]:
@@ -781,6 +855,31 @@ def _gossip_rules_batch() -> dict[str, Callable]:
             "median": median_rule_round_batch,
         }
     return _RULES_BATCH_TABLE
+
+
+def _gossip_rules_compiled() -> dict[str, Callable]:
+    global _RULES_COMPILED_TABLE
+    if _RULES_COMPILED_TABLE is None:
+        from ..kernels.gossip_jit import (
+            j_majority_round_batch_compiled,
+            median_rule_round_batch_compiled,
+            usd_gossip_round_batch_compiled,
+        )
+
+        _RULES_COMPILED_TABLE = {
+            "usd": usd_gossip_round_batch_compiled,
+            "voter": lambda states, streams: j_majority_round_batch_compiled(
+                states, streams, 1
+            ),
+            "two-choices": lambda states, streams: j_majority_round_batch_compiled(
+                states, streams, 2
+            ),
+            "three-majority": lambda states, streams: j_majority_round_batch_compiled(
+                states, streams, 3
+            ),
+            "median": median_rule_round_batch_compiled,
+        }
+    return _RULES_COMPILED_TABLE
 
 
 class GossipScenario(Scenario):
@@ -843,10 +942,23 @@ class GossipScenario(Scenario):
         return run_gossip(spec.config, rule, rng=rng, max_rounds=max_rounds)
 
     def batched(self, spec, *, rngs, max_interactions=None):
-        # Bit-identical to `reference` per replicate for single-bound
-        # rules (statistically equal for three-majority); see
+        # Bit-identical to `reference` per replicate for every rule
+        # (three-majority draws through BatchedDraws.take_schedule,
+        # which preserves the serial per-round call order); see
         # repro.gossip.engine.run_gossip_batch.
         rule = _gossip_rules_batch()[spec.param("rule", "usd")]
+        max_rounds = (
+            max_interactions
+            if max_interactions is not None
+            else spec.param("max_rounds")
+        )
+        return run_gossip_batch(spec.config, rule, rngs=rngs, max_rounds=max_rounds)
+
+    def compiled(self, spec, *, rngs, max_interactions=None):
+        # Compiled rules draw from the same BatchedDraws streams and jit
+        # only the integer state update, so they are bit-identical to
+        # `batched` (and hence `reference`) with or without numba.
+        rule = _gossip_rules_compiled()[spec.param("rule", "usd")]
         max_rounds = (
             max_interactions
             if max_interactions is not None

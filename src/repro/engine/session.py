@@ -446,9 +446,18 @@ class Engine:
                                 plan["signature"], opts.event_block
                             )
                             if opts.autotune == "on"
-                            and variants[i] == "batched"
+                            and variants[i] in ("batched", "compiled")
                             and executor != "serial"
                             else opts.event_block
+                        ),
+                        "stream_buffer": (
+                            self._cost_model.tuned_buffer(
+                                plan["signature"], opts.stream_buffer
+                            )
+                            if opts.autotune == "on"
+                            and variants[i] in ("batched", "compiled")
+                            and executor != "serial"
+                            else opts.stream_buffer
                         ),
                     }
                 )
@@ -640,6 +649,7 @@ class Engine:
                 ]
                 pool_map = self._pool_mapper(jobs)
                 event_block = opts.event_block
+                stream_buffer = opts.stream_buffer
                 results = None
                 if result_transport == "shared":
                     results = _run_process_shared(
@@ -650,6 +660,7 @@ class Engine:
                         trials,
                         max_interactions,
                         event_block,
+                        stream_buffer,
                         pool_map,
                     )
                 if results is None:
@@ -661,6 +672,7 @@ class Engine:
                             chunk,
                             max_interactions,
                             event_block,
+                            stream_buffer,
                         )
                         for chunk in seed_chunks
                     ]
@@ -773,6 +785,7 @@ class Engine:
                     result_transport = self._resolve_transport(result_transport)
 
                 event_block = opts.event_block
+                stream_buffer = opts.stream_buffer
                 if executor == "serial":
                     runners = {
                         i: scenarios[i].prepare_runner(variants[i], backend)
@@ -798,6 +811,7 @@ class Engine:
                                     "cell": i,
                                     "replicates": len(chunk),
                                     "event_block": event_block,
+                                    "stream_buffer": stream_buffer,
                                     "seconds": time.perf_counter() - started,
                                 }
                             )
@@ -832,12 +846,19 @@ class Engine:
                         chunks = _chunked(
                             replicate_seeds(seeds[i], cell.trials), chunk_cap
                         )
-                        if opts.autotune == "on" and variants[i] == "batched":
+                        if opts.autotune == "on" and variants[i] in (
+                            "batched",
+                            "compiled",
+                        ):
                             blocks = model.plan_blocks(
                                 plan["signature"], len(chunks), event_block
                             )
+                            buffers = model.plan_buffers(
+                                plan["signature"], len(chunks), stream_buffer
+                            )
                         else:
                             blocks = [event_block] * len(chunks)
+                            buffers = [stream_buffer] * len(chunks)
                         cell_jobs.append(
                             {
                                 "index": i,
@@ -847,6 +868,7 @@ class Engine:
                                 "max_interactions": cell.max_interactions,
                                 "chunks": chunks,
                                 "event_blocks": blocks,
+                                "stream_buffers": buffers,
                                 "predicted_seconds": (
                                     plan["per_replicate_seconds"] * cell.trials
                                 ),
@@ -875,8 +897,10 @@ class Engine:
                             payloads = []
                             chunk_meta = []
                             for job in cell_jobs:
-                                for chunk, chunk_block in zip(
-                                    job["chunks"], job["event_blocks"]
+                                for chunk, chunk_block, chunk_buffer in zip(
+                                    job["chunks"],
+                                    job["event_blocks"],
+                                    job["stream_buffers"],
                                 ):
                                     payloads.append(
                                         (
@@ -886,10 +910,16 @@ class Engine:
                                             chunk,
                                             job["max_interactions"],
                                             chunk_block,
+                                            chunk_buffer,
                                         )
                                     )
                                     chunk_meta.append(
-                                        (job["index"], len(chunk), chunk_block)
+                                        (
+                                            job["index"],
+                                            len(chunk),
+                                            chunk_block,
+                                            chunk_buffer,
+                                        )
                                     )
                             # chunksize=1 keeps distribution dynamic: a
                             # worker that finishes a fast cell's chunk
@@ -900,7 +930,7 @@ class Engine:
                             )
                             for i in pending:
                                 results_by_cell[i] = []
-                            for (output, seconds), (i, replicates, blk) in zip(
+                            for (output, seconds), (i, replicates, blk, buf) in zip(
                                 outputs, chunk_meta
                             ):
                                 results_by_cell[i].extend(output)
@@ -909,6 +939,7 @@ class Engine:
                                         "cell": i,
                                         "replicates": replicates,
                                         "event_block": blk,
+                                        "stream_buffer": buf,
                                         "seconds": seconds,
                                     }
                                 )
@@ -928,10 +959,16 @@ class Engine:
                 measured[i] = measured.get(i, 0.0) + stat["seconds"]
                 signature = plans[i]["signature"]
                 model.observe(signature, stat["replicates"], stat["seconds"])
-                if autotuning and variants[i] == "batched":
+                if autotuning and variants[i] in ("batched", "compiled"):
                     model.observe_block(
                         signature,
                         stat["event_block"],
+                        stat["replicates"],
+                        stat["seconds"],
+                    )
+                    model.observe_buffer(
+                        signature,
+                        stat["stream_buffer"],
                         stat["replicates"],
                         stat["seconds"],
                     )

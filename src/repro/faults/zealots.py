@@ -180,6 +180,7 @@ def simulate_zealots_batch(
     rngs: list[np.random.Generator],
     max_interactions: int | None = None,
     event_block: int | None = None,
+    kernel=None,
 ) -> list[ZealotRunResult]:
     """Advance ``len(rngs)`` independent zealot-USD jump chains in lockstep.
 
@@ -198,6 +199,12 @@ def simulate_zealots_batch(
     :func:`simulate_with_zealots` for the same seed; both sample the
     identical distribution (cross-validated statistically in the test
     suite).
+
+    ``kernel`` swaps the lockstep implementation (the ``"compiled"``
+    variant passes
+    :func:`repro.kernels.lockstep_jit.lockstep_batch_compiled`); any
+    replacement must honor :func:`lockstep_batch`'s signature and return
+    contract.
     """
     zealots = validate_zealot_counts(zealots, config.k)
     replicates = len(rngs)
@@ -212,7 +219,9 @@ def simulate_zealots_batch(
             f"max_interactions must be non-negative, got {max_interactions}"
         )
 
-    flexible, interactions, exhausted = lockstep_batch(
+    if kernel is None:
+        kernel = lockstep_batch
+    flexible, interactions, exhausted = kernel(
         config.counts,
         zealots,
         n,

@@ -62,9 +62,9 @@ class IndexStream:
     bound (USD, Voter, TwoChoices, MedianRule) the served values are
     bit-identical to the serial rule's own ``integers`` calls.  Rules
     mixing bounds in one round (3-Majority's sample + tie-break draws)
-    get a per-bound stream each, which reorders consumption relative to
-    the serial rule — same distribution, not bitwise-equal (the test
-    suite cross-validates that rule statistically).
+    instead go through :meth:`BatchedDraws.take_schedule`, which
+    preserves the serial rule's per-round call order across bounds —
+    the per-bound buffers here would reorder consumption.
     """
 
     __slots__ = ("rng", "rounds", "_buffers")
@@ -107,12 +107,13 @@ class BatchedDraws:
     over-drawn tail is simply never observed.
     """
 
-    __slots__ = ("streams", "prefetch", "_blocks")
+    __slots__ = ("streams", "prefetch", "_blocks", "_schedules")
 
     def __init__(self, streams: list, prefetch: int = 8) -> None:
         self.streams = streams
         self.prefetch = max(int(prefetch), 1)
         self._blocks: dict[tuple[int, int], list] = {}
+        self._schedules: dict[tuple, list] = {}
 
     def take(self, high: int, count: int) -> np.ndarray:
         """The next ``(R, count)`` stacked draws of ``integers(0, high)``.
@@ -138,6 +139,46 @@ class BatchedDraws:
         block[1] += 1
         return served
 
+    def take_schedule(self, schedule) -> tuple[np.ndarray, ...]:
+        """One round's draws for a rule whose bounds alternate within a round.
+
+        ``schedule`` is a tuple of ``(high, count)`` pairs describing the
+        serial rule's ``integers`` calls *in per-round call order* (e.g.
+        3-Majority: ``((n, 3 * n), (3, n))`` — the sample draws, then the
+        tie-breaks).  Prefetching calls each replicate's generator
+        directly, round by round, item by item, so the generator
+        consumes exactly the sequence the serial rule would — which is
+        what makes mixed-bound rules bit-identical to their serial
+        reference (per-bound ``take`` buffers would reorder the
+        consumption).  Returns one ``(R, count)`` contiguous per-round
+        view per schedule item.
+
+        A rule must draw either through ``take`` or through
+        ``take_schedule`` for its whole run — mixing the two on one
+        stream would interleave buffered and direct consumption.
+        """
+        schedule = tuple((int(high), int(count)) for high, count in schedule)
+        block = self._schedules.get(schedule)
+        if block is None or block[-1] >= self.prefetch:
+            datas = [
+                np.empty(
+                    (self.prefetch, len(self.streams), count), dtype=np.int64
+                )
+                for _, count in schedule
+            ]
+            for row, stream in enumerate(self.streams):
+                rng = stream.rng
+                for prefetched in range(self.prefetch):
+                    for item, (high, count) in enumerate(schedule):
+                        datas[item][prefetched, row, :] = rng.integers(
+                            0, high, size=count
+                        )
+            block = [datas, 0]
+            self._schedules[schedule] = block
+        served = tuple(data[block[1]] for data in block[0])
+        block[1] += 1
+        return served
+
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired replicates, keeping the given rows.
 
@@ -148,6 +189,10 @@ class BatchedDraws:
         self.streams = [self.streams[i] for i in keep]
         for block in self._blocks.values():
             block[0] = np.ascontiguousarray(block[0][:, keep, :])
+        for block in self._schedules.values():
+            block[0] = [
+                np.ascontiguousarray(data[:, keep, :]) for data in block[0]
+            ]
 
 
 
@@ -261,12 +306,13 @@ def run_gossip_batch(
     batch.  Replicate ``r`` expands its initial state array from
     ``rngs[r]`` and then draws every round's randomness from a private
     :class:`IndexStream` over the same generator (prefetched in stacked
-    blocks by :class:`BatchedDraws`), consuming the exact per-bound
-    integer stream the serial rule would, so results are
-    **bit-identical** to ``run_gossip(config, rule, rng=rngs[r], ...)``
-    with the matching single-bound serial rule (statistically equal for
-    3-Majority, see :class:`IndexStream`) — and in every case invariant
-    to the batch width and the executor.
+    blocks by :class:`BatchedDraws`; mixed-bound rules like 3-Majority
+    use :meth:`BatchedDraws.take_schedule` to preserve the serial
+    per-round call order), consuming the exact integer stream the
+    serial rule would, so results are **bit-identical** to
+    ``run_gossip(config, rule, rng=rngs[r], ...)`` with the matching
+    serial rule — and in every case invariant to the batch width and
+    the executor.
 
     Replicates share one uniform round clock, so budget exhaustion hits
     the whole batch at once, and a consensus state is a *fixed point* of

@@ -89,9 +89,11 @@ def j_majority_round_batch(states: np.ndarray, draws, j: int) -> np.ndarray:
     :class:`~repro.gossip.engine.BatchedDraws`).  For ``j = 1`` and
     ``j = 2`` (one bound, ``n``) the consumed draws are bit-identical to
     :func:`j_majority_round`'s own calls; ``j = 3`` interleaves two
-    bounds (samples and tie-breaks), which the per-bound streams
-    reorder, so it matches the serial rule in distribution rather than
-    bitwise.  The majority update runs across the whole replicate axis.
+    bounds (samples, then tie-breaks) and draws them through
+    :meth:`~repro.gossip.engine.BatchedDraws.take_schedule`, which
+    preserves the serial per-round call order — so all three are
+    bit-identical to the serial rule.  The majority update runs across
+    the whole replicate axis.
     """
     n = states.shape[1]
     if j == 1:
@@ -102,9 +104,9 @@ def j_majority_round_batch(states: np.ndarray, draws, j: int) -> np.ndarray:
         second = np.take_along_axis(states, draws.take(n, n), axis=1)
         return np.where(first == second, first, states)
     if j == 3:
-        idx = draws.take(n, 3 * n).reshape(-1, 3, n)
+        flat_idx, tie = draws.take_schedule(((n, 3 * n), (3, n)))
+        idx = flat_idx.reshape(-1, 3, n)
         samples = np.take_along_axis(states[:, None, :], idx, axis=2)
-        tie = draws.take(3, n)
         a, b, c = samples[:, 0], samples[:, 1], samples[:, 2]
         new = np.take_along_axis(samples, tie[:, None, :], axis=1)[:, 0]
         ab = a == b

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import UNDECIDED, Configuration
+from ..core.lockstep import get_default_event_block
 from ..core.simulator import default_interaction_budget
 
 __all__ = [
@@ -153,14 +154,23 @@ def run_on_edges_batch(
     k: int,
     n: int | None = None,
     max_interactions: int | None = None,
+    event_block: int | None = None,
 ) -> list[GraphRunResult]:
     """Advance ``len(rngs)`` replicates of the edge-restricted USD in lockstep.
 
     The vectorized analogue of :func:`run_on_edges`: replicate state
-    arrays are stacked into one ``(R, n)`` matrix and every lockstep
-    round samples one edge per live replicate, applying all responder
-    updates in a handful of numpy passes — the serial kernel's
-    per-interaction Python cost is shared by the whole batch.
+    arrays are stacked into one ``(R, n)`` matrix and every numpy pass
+    samples one edge per live replicate, applying all responder updates
+    at once — the serial kernel's per-interaction Python cost is shared
+    by the whole batch.  Passes are grouped into *blocks* of
+    ``event_block`` interactions (default
+    :func:`repro.core.lockstep.get_default_event_block`, the same knob
+    the lockstep kernel tunes): stream refills, the consensus/retirement
+    bookkeeping and batch compaction run once per block instead of once
+    per interaction, while convergence is still detected *per event* —
+    an adoption converges its replicate exactly when the adopted
+    opinion's count reaches ``n``, so recorded interaction counts are
+    independent of the block size.
 
     ``initial_states`` is either one shared ``(n,)`` array (every
     replicate starts from the same per-node assignment) or an ``(R, n)``
@@ -169,8 +179,8 @@ def run_on_edges_batch(
     :func:`run_on_edges` makes (bounded int64 generation is
     chunk-invariant) — so results are **bit-identical** to the serial
     kernel at the same generator state, and therefore invariant to the
-    batch width and the executor.  Finished replicates retire from the
-    batch and stop consuming randomness.
+    batch width, the block size, and the executor.  Finished replicates
+    retire from the batch and stop consuming randomness.
     """
     edges = validate_edge_array(edges)
     replicates = len(rngs)
@@ -198,6 +208,12 @@ def run_on_edges_batch(
         )
     if max_interactions is None:
         max_interactions = default_interaction_budget(n, max(k, 1))
+    block = (
+        int(event_block) if event_block is not None else get_default_event_block()
+    )
+    if block < 1:
+        raise ValueError(f"event_block must be positive, got {block}")
+    stream = max(_EDGE_STREAM, block)
     m = edges.shape[0]
 
     counts = np.stack(
@@ -205,14 +221,14 @@ def run_on_edges_batch(
     ).astype(np.int64)
     origin = np.arange(replicates)
     gen_index = np.arange(replicates)
-    picks = np.empty((replicates, _EDGE_STREAM), dtype=np.int64)
-    cursor = np.full(replicates, _EDGE_STREAM, dtype=np.int64)
+    picks = np.empty((replicates, stream), dtype=np.int64)
+    cursor = np.full(replicates, stream, dtype=np.int64)
 
     final_counts = np.empty((replicates, k + 1), dtype=np.int64)
     done_interactions = np.full(replicates, -1, dtype=np.int64)
 
     # Flat views + per-row base offsets: every gather and scatter in the
-    # round body is 1-D fancy indexing, which is several times cheaper
+    # event body is 1-D fancy indexing, which is several times cheaper
     # than the equivalent 2-D indexing on this access pattern.
     responders_of = np.ascontiguousarray(edges[:, 0])
     initiators_of = np.ascontiguousarray(edges[:, 1])
@@ -221,29 +237,29 @@ def run_on_edges_batch(
     picks_flat = picks.reshape(-1)
     state_base = np.arange(replicates) * n
     count_base = np.arange(replicates) * (k + 1)
-    pick_base = np.arange(replicates) * _EDGE_STREAM
+    pick_base = np.arange(replicates) * stream
 
-    # Every live replicate advances one interaction per lockstep round,
-    # so the whole batch shares one interaction clock and the budget
-    # runs out for everyone at once.  A consensus state is a fixed point
-    # of the edge rule, so a converged replicate records its time and
-    # rides along unchanged until **half** the batch has finished, at
-    # which point the batch compacts — a logarithmic number of
-    # compactions, so neither per-round copying nor unbounded straggler
-    # riding ever dominates.
+    # Every live replicate advances one interaction per numpy pass, so
+    # the whole batch shares one interaction clock and the budget runs
+    # out for everyone at once.  A consensus state is a fixed point of
+    # the edge rule, so a converged replicate records its time and rides
+    # along unchanged until **half** the batch has finished at a block
+    # boundary, at which point the batch compacts — a logarithmic
+    # number of compactions, so neither copying nor unbounded straggler
+    # riding ever dominates.  Convergence can only happen through an
+    # adoption (a clash moves an agent to undecided, which never
+    # completes a consensus), so the per-event check only inspects the
+    # adopted opinions' incremented counts.
     done_here = np.zeros(replicates, dtype=bool)
     remaining = replicates
+    initially = np.flatnonzero(counts[:, 1:].max(axis=1) == n)
+    if initially.size:
+        done_interactions[origin[initially]] = 0
+        done_here[initially] = True
+        remaining -= initially.size
     t = 0
-    while True:
+    while remaining > 0 and t < max_interactions:
         width = states.shape[0]
-        newly = (counts[:, 1:].max(axis=1) == n) & ~done_here
-        if newly.any():
-            rows = np.flatnonzero(newly)
-            done_interactions[origin[rows]] = t
-            done_here[rows] = True
-            remaining -= rows.size
-        if remaining == 0 or t >= max_interactions:
-            break
         if width > 1 and 2 * int(done_here.sum()) >= width:
             finished = np.flatnonzero(done_here)
             final_counts[origin[finished]] = counts[finished]
@@ -260,38 +276,62 @@ def run_on_edges_batch(
             picks_flat = picks.reshape(-1)
             width = keep.size
 
-        # Top up pick buffers, one fancy-indexed pass per refill batch.
-        need = np.flatnonzero(cursor >= _EDGE_STREAM)
+        # Top up pick buffers for the whole block: leftover draws shift
+        # to the front and only the consumed prefix is redrawn, so the
+        # consumed sequence per replicate never depends on the buffer
+        # geometry (bounded int64 generation is chunk-invariant).
+        need = np.flatnonzero(cursor + block > stream)
         if need.size:
-            staging = np.empty((need.size, _EDGE_STREAM), dtype=np.int64)
+            staging = np.empty((need.size, stream), dtype=np.int64)
             for j, row in enumerate(need):
-                staging[j] = rngs[gen_index[row]].integers(
-                    0, m, size=_EDGE_STREAM
+                consumed = int(cursor[row])
+                leftover = stream - consumed
+                if leftover:
+                    staging[j, :leftover] = picks[row, consumed:]
+                staging[j, leftover:] = rngs[gen_index[row]].integers(
+                    0, m, size=consumed
                 )
             picks[need] = staging
             cursor[need] = 0
 
-        pick = picks_flat[pick_base[:width] + cursor]
-        cursor += 1
-        responders = responders_of[pick]
-        initiators = initiators_of[pick]
-        responder_at = state_base[:width] + responders
-        r_state = states_flat[responder_at]
-        i_state = states_flat[state_base[:width] + initiators]
-        adopt = (r_state == UNDECIDED) & (i_state != UNDECIDED)
-        clash = (
-            (r_state != UNDECIDED)
-            & (i_state != UNDECIDED)
-            & (i_state != r_state)
-        )
-        new_state = np.where(adopt, i_state, np.where(clash, UNDECIDED, r_state))
-        states_flat[responder_at] = new_state
-        productive = np.flatnonzero(adopt | clash)
-        if productive.size:
-            base = count_base[productive]
-            counts_flat[base + r_state[productive]] -= 1
-            counts_flat[base + new_state[productive]] += 1
-        t += 1
+        steps = min(block, max_interactions - t)
+        for j in range(steps):
+            pick = picks_flat[pick_base[:width] + cursor]
+            cursor += 1
+            responders = responders_of[pick]
+            initiators = initiators_of[pick]
+            responder_at = state_base[:width] + responders
+            r_state = states_flat[responder_at]
+            i_state = states_flat[state_base[:width] + initiators]
+            adopt = (r_state == UNDECIDED) & (i_state != UNDECIDED)
+            clash = (
+                (r_state != UNDECIDED)
+                & (i_state != UNDECIDED)
+                & (i_state != r_state)
+            )
+            new_state = np.where(
+                adopt, i_state, np.where(clash, UNDECIDED, r_state)
+            )
+            states_flat[responder_at] = new_state
+            productive = np.flatnonzero(adopt | clash)
+            if productive.size:
+                base = count_base[productive]
+                counts_flat[base + r_state[productive]] -= 1
+                counts_flat[base + new_state[productive]] += 1
+                adopted = productive[adopt[productive]]
+                if adopted.size:
+                    hit = adopted[
+                        counts_flat[count_base[adopted] + new_state[adopted]]
+                        == n
+                    ]
+                    fresh = hit[~done_here[hit]]
+                    if fresh.size:
+                        done_interactions[origin[fresh]] = t + j + 1
+                        done_here[fresh] = True
+                        remaining -= fresh.size
+                        if remaining == 0:
+                            break
+        t += steps
 
     final_counts[origin] = counts
 

@@ -1,0 +1,153 @@
+"""Compiled batched gossip round kernels (the ``"compiled"`` gossip tier).
+
+Each compiled rule keeps the engine's ``BatchedRoundRule`` signature
+``rule(states, draws) -> new_states``: randomness still comes from the
+same :class:`~repro.gossip.engine.BatchedDraws` streams the numpy rules
+consume (``take`` / ``take_schedule``, preserving each replicate's
+serial draw order), and only the state update — a pure integer
+gather/branch over the ``(R, n)`` block — moves into a jitted kernel.
+That makes every compiled rule unconditionally **bit-identical** to its
+numpy batch counterpart (and hence to the serial rule), and lets
+:func:`repro.gossip.engine.run_gossip_batch` drive compiled rules
+completely unchanged.
+
+Without numba each public rule delegates to its numpy twin; the kernel
+bodies remain plain-Python callable so the no-numba test leg exercises
+them directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import UNDECIDED
+from ..gossip.jmajority import j_majority_round_batch
+from ..gossip.median import median_rule_round_batch
+from ..gossip.usd import usd_gossip_round_batch
+from . import HAVE_NUMBA, njit, prange
+
+__all__ = [
+    "usd_gossip_round_batch_compiled",
+    "j_majority_round_batch_compiled",
+    "median_rule_round_batch_compiled",
+]
+
+
+def _usd_round(states, partners, out, undecided):
+    R, n = states.shape
+    for r in prange(R):
+        for i in range(n):
+            own = states[r, i]
+            partner = states[r, partners[r, i]]
+            if own == undecided:
+                out[r, i] = partner
+            elif partner != undecided and partner != own:
+                out[r, i] = undecided
+            else:
+                out[r, i] = own
+
+
+def _voter_round(states, picks, out):
+    R, n = states.shape
+    for r in prange(R):
+        for i in range(n):
+            out[r, i] = states[r, picks[r, i]]
+
+
+def _two_choices_round(states, first, second, out):
+    R, n = states.shape
+    for r in prange(R):
+        for i in range(n):
+            a = states[r, first[r, i]]
+            b = states[r, second[r, i]]
+            out[r, i] = a if a == b else states[r, i]
+
+
+def _three_majority_round(states, idx, tie, out):
+    # ``idx`` is the flat (R, 3n) sample index block, rows a|b|c; the
+    # overwrite cascade (ab -> a, ac -> a, bc -> b, last write wins)
+    # reproduces the numpy rule's masked assignments exactly.
+    R, n = states.shape
+    for r in prange(R):
+        for i in range(n):
+            a = states[r, idx[r, i]]
+            b = states[r, idx[r, n + i]]
+            c = states[r, idx[r, 2 * n + i]]
+            t = tie[r, i]
+            v = a if t == 0 else (b if t == 1 else c)
+            if a == b:
+                v = a
+            if a == c:
+                v = a
+            if b == c:
+                v = b
+            out[r, i] = v
+
+
+def _median_round(states, first, second, out):
+    R, n = states.shape
+    for r in prange(R):
+        for i in range(n):
+            a = states[r, i]
+            b = states[r, first[r, i]]
+            c = states[r, second[r, i]]
+            lo = a if a < b else b
+            hi = a if a > b else b
+            out[r, i] = lo if lo > c else (c if c < hi else hi)
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised on the numba CI leg
+    _jit = njit(cache=True, parallel=True)
+    _usd_round = _jit(_usd_round)
+    _voter_round = _jit(_voter_round)
+    _two_choices_round = _jit(_two_choices_round)
+    _three_majority_round = _jit(_three_majority_round)
+    _median_round = _jit(_median_round)
+
+
+def usd_gossip_round_batch_compiled(states: np.ndarray, draws) -> np.ndarray:
+    """Compiled USD gossip round; bit-identical to the numpy batch rule."""
+    if not HAVE_NUMBA:
+        return usd_gossip_round_batch(states, draws)
+    n = states.shape[1]
+    partners = np.ascontiguousarray(draws.take(n, n))
+    out = np.empty_like(states)
+    _usd_round(states, partners, out, UNDECIDED)
+    return out
+
+
+def j_majority_round_batch_compiled(
+    states: np.ndarray, draws, j: int
+) -> np.ndarray:
+    """Compiled j-majority round; bit-identical to the numpy batch rule."""
+    if not HAVE_NUMBA:
+        return j_majority_round_batch(states, draws, j)
+    n = states.shape[1]
+    out = np.empty_like(states)
+    if j == 1:
+        _voter_round(states, np.ascontiguousarray(draws.take(n, n)), out)
+        return out
+    if j == 2:
+        first = np.ascontiguousarray(draws.take(n, n))
+        second = np.ascontiguousarray(draws.take(n, n))
+        _two_choices_round(states, first, second, out)
+        return out
+    if j == 3:
+        idx, tie = draws.take_schedule(((n, 3 * n), (3, n)))
+        _three_majority_round(
+            states, np.ascontiguousarray(idx), np.ascontiguousarray(tie), out
+        )
+        return out
+    raise ValueError(f"j must be 1, 2 or 3, got j={j}")
+
+
+def median_rule_round_batch_compiled(states: np.ndarray, draws) -> np.ndarray:
+    """Compiled MedianRule round; bit-identical to the numpy batch rule."""
+    if not HAVE_NUMBA:
+        return median_rule_round_batch(states, draws)
+    n = states.shape[1]
+    first = np.ascontiguousarray(draws.take(n, n))
+    second = np.ascontiguousarray(draws.take(n, n))
+    out = np.empty_like(states)
+    _median_round(states, first, second, out)
+    return out
