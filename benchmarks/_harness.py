@@ -749,6 +749,181 @@ def run_pool_reuse_smoke(
     return record
 
 
+def run_remote_smoke(
+    *,
+    ns: list[int] | None = None,
+    ks: list[int] | None = None,
+    trials: int = 6,
+    jobs: int = 2,
+    seed: int = 20230224,
+    rounds: int = 3,
+    output: str | os.PathLike | None = None,
+) -> dict:
+    """Remote-executor smoke: socket workers vs the process pool.
+
+    Times one heterogeneous ``ns x ks`` sweep two ways with identical
+    per-cell seeds: the process executor at ``jobs`` workers, and the
+    remote executor with ``jobs`` localhost ``repro worker``
+    subprocesses attached to the session's :class:`WorkerPool` — real
+    ``python -m repro worker`` processes speaking the framed socket
+    protocol, not in-process shortcuts.  Both result sets are asserted
+    bit-identical (the executor moves bytes, never bits), the arms are
+    interleaved min-of-rounds like every other smoke here, and the
+    headline ``throughput_ratio`` (remote rep/s over process rep/s) is
+    what CI gates — loopback framing overhead is real, so the gate is
+    a floor (>= 0.7x at 2 jobs), not a speedup claim; the win arrives
+    with workers on *other* machines.
+
+    A second measurement, **kill_requeue**, reruns the sweep with one
+    deliberately flaky worker (``abort_after=1``: it drops the
+    connection mid-chunk, without replying, on its second dispatch) next
+    to one healthy ``repro worker`` subprocess, and asserts the pool
+    requeued at least one chunk AND the results still match — worker
+    death costs wall time, never bits, because every chunk carries its
+    replicates' ``SeedSequence`` children.
+    """
+    import subprocess
+    import sys as _sys
+    import threading
+
+    from repro.engine.remote import serve_worker
+
+    ns = ns if ns is not None else [20, 30, 60, 90, 120]
+    ks = ks if ks is not None else [2, 3]
+    grid = [{"n": n, "k": k_} for n in ns for k_ in ks]
+    spec = SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
+    cell_seeds = [seed + index for index in range(len(grid))]
+    src_dir = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+    def outcome_key(outcome):
+        return [
+            (r.interactions, r.winner)
+            for cell in outcome
+            for r in cell.results
+        ]
+
+    def spawn_worker(endpoint: str, name: str) -> subprocess.Popen:
+        return subprocess.Popen(
+            [_sys.executable, "-m", "repro", "worker", endpoint, "--name", name],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+        )
+
+    calibration = SweepSpec.from_grid(grid, uniform_configuration, trials=2)
+    times: dict[str, list[float]] = {"process": [], "remote": []}
+    procs: list[subprocess.Popen] = []
+    reference_key = None
+    with Engine(jobs=jobs) as process_eng, Engine(executor="remote") as remote_eng:
+        pool = remote_eng.worker_pool()
+        procs = [
+            spawn_worker(pool.endpoint, f"bench-{i}") for i in range(jobs)
+        ]
+        try:
+            pool.wait_for_workers(jobs, timeout=120)
+            # Untimed warm-up on both arms: pool spawn, worker import
+            # cost and cost-model cold start stay out of the windows.
+            process_eng.sweep(
+                calibration, seed=seed - 1, executor="process", jobs=jobs
+            )
+            remote_eng.sweep(calibration, seed=seed - 1, executor="remote")
+            for _round in range(max(1, int(rounds))):
+                start = time.perf_counter()
+                process_outcome = process_eng.sweep(
+                    spec, cell_seeds=cell_seeds, executor="process", jobs=jobs
+                )
+                times["process"].append(time.perf_counter() - start)
+                if reference_key is None:
+                    reference_key = outcome_key(process_outcome)
+                assert outcome_key(process_outcome) == reference_key
+                start = time.perf_counter()
+                remote_outcome = remote_eng.sweep(
+                    spec, cell_seeds=cell_seeds, executor="remote"
+                )
+                times["remote"].append(time.perf_counter() - start)
+                assert outcome_key(remote_outcome) == reference_key, (
+                    "remote executor diverged from the process pool"
+                )
+            transport = remote_eng.stats()["transport"]
+            workers_report = remote_eng.stats()["scheduler"]["last_sweep"][
+                "workers"
+            ]
+        finally:
+            remote_eng.close()  # bye -> subprocess workers exit cleanly
+            for proc in procs:
+                if proc.wait(timeout=30) != 0:
+                    raise RuntimeError("a bench worker exited non-zero")
+
+    # Kill-and-requeue: a flaky in-process worker (deterministic
+    # mid-chunk death on its second dispatch) beside one healthy
+    # subprocess worker; static small chunks guarantee the flaky worker
+    # is dispatched that fatal second chunk.
+    with Engine(executor="remote", scheduler="static") as eng:
+        pool = eng.worker_pool()
+        flaky = threading.Thread(
+            target=lambda: serve_worker(
+                pool.endpoint, name="flaky", abort_after=1
+            ),
+            daemon=True,
+        )
+        flaky.start()
+        proc = spawn_worker(pool.endpoint, "steady")
+        try:
+            pool.wait_for_workers(2, timeout=120)
+            outcome = eng.sweep(
+                spec, cell_seeds=cell_seeds, executor="remote", batch_size=2
+            )
+            requeued = pool.chunks_requeued
+        finally:
+            eng.close()
+            if proc.wait(timeout=30) != 0:
+                raise RuntimeError("the steady bench worker exited non-zero")
+    assert requeued >= 1, "the flaky worker's chunk was never requeued"
+    assert outcome_key(outcome) == reference_key, (
+        "worker death changed sweep results"
+    )
+
+    process_seconds = min(times["process"])
+    remote_seconds = min(times["remote"])
+    replicates = spec.total_trials
+    record = {
+        "workload": {
+            "ns": ns,
+            "ks": ks,
+            "trials_per_cell": trials,
+            "seed": seed,
+            "rounds": max(1, int(rounds)),
+        },
+        "jobs": jobs,
+        "cells": len(grid),
+        "replicates": replicates,
+        "process_executor": {
+            "seconds": process_seconds,
+            "round_seconds": times["process"],
+            "replicates_per_second": replicates / process_seconds,
+        },
+        "remote_executor": {
+            "seconds": remote_seconds,
+            "round_seconds": times["remote"],
+            "replicates_per_second": replicates / remote_seconds,
+            "socket_chunks": transport["socket"]["chunks"],
+            "socket_bytes": transport["socket"]["bytes"],
+            "workers": workers_report,
+        },
+        "throughput_ratio": process_seconds / remote_seconds,
+        "kill_requeue": {
+            "chunks_requeued": requeued,
+            "bit_identical": True,
+        },
+        "bit_identical": True,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
 def _complete_graph_edges(n: int) -> np.ndarray:
     """All ordered pairs of ``0..n-1`` including self-loops (numpy-only).
 

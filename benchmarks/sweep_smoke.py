@@ -1,6 +1,6 @@
-"""Sweep smokes: scheduling ablation + persistent-pool session ablation.
+"""Sweep smokes: scheduling, persistent-pool, and remote-executor ablations.
 
-Two measurements, merged into one ``BENCH_sweeps.json`` artifact:
+Three measurements, merged into one ``BENCH_sweeps.json`` artifact:
 
 * **scheduling** — times one heterogeneous multi-cell sweep (an
   ``ns x ks`` phase-diagram grid whose per-replicate cost spans two
@@ -18,6 +18,13 @@ Two measurements, merged into one ``BENCH_sweeps.json`` artifact:
   asserted identical; the timing gap is the worker spawn/teardown
   amortization the session redesign buys repeated sweeps (and a whole
   ``repro report``).
+* **remote** — the same heterogeneous-grid shape on the remote
+  executor: localhost ``repro worker`` subprocesses attached to the
+  session's socket ``WorkerPool`` vs the process executor, asserted
+  bit-identical, plus a worker-kill-and-requeue smoke (a flaky worker
+  drops its connection mid-chunk; the requeued chunk must reproduce
+  the exact bits).  The gate is a throughput *floor* — loopback
+  framing overhead must stay bounded — not a speedup claim.
 
 Usage::
 
@@ -25,15 +32,18 @@ Usage::
         [--ns 20,30,45,60,90,120,180,240] [--ks 2,3,4,5] \
         [--trials 8] [--jobs 2] [--rounds 3] \
         [--pool-ns 40,60] [--pool-trials 4] [--pool-sweeps 5] \
+        [--remote-ns 20,30,60,90,120] [--remote-ks 2,3] [--remote-trials 6] \
         [--seed 20230224] [--output BENCH_sweeps.json] \
-        [--min-speedup 0] [--min-pool-reuse-speedup 0]
+        [--min-speedup 0] [--min-pool-reuse-speedup 0] \
+        [--min-remote-speedup 0]
 
 Exits non-zero when a measured speedup falls below its threshold.  CI
-gates the cost scheduler at 1.3x the legacy per-cell barrier and the
-pool-reuse ablation at 1.2x; both hold with margin on the default
-workloads (the per-cell overhead the scheduler removes — pool spawns,
-barriers, fixed-grain dispatch — is deterministic, unlike replicate
-durations).
+gates the cost scheduler at 1.3x the legacy per-cell barrier, the
+pool-reuse ablation at 1.2x, and the remote executor at 0.7x process
+throughput with two localhost workers; all hold with margin on the
+default workloads (the per-cell overhead the scheduler removes — pool
+spawns, barriers, fixed-grain dispatch — is deterministic, unlike
+replicate durations).
 """
 
 from __future__ import annotations
@@ -43,7 +53,7 @@ import json
 import sys
 from pathlib import Path
 
-from _harness import run_pool_reuse_smoke, run_sweep_smoke
+from _harness import run_pool_reuse_smoke, run_remote_smoke, run_sweep_smoke
 
 
 def _int_list(raw: str) -> list[int]:
@@ -94,6 +104,19 @@ def main(argv: list[str] | None = None) -> int:
         default=5,
         help="sweeps run back to back in the persistent-pool ablation",
     )
+    parser.add_argument(
+        "--remote-ns",
+        type=_int_list,
+        default=[20, 30, 60, 90, 120],
+        help="population sizes for the remote-executor smoke grid",
+    )
+    parser.add_argument(
+        "--remote-ks",
+        type=_int_list,
+        default=[2, 3],
+        help="opinion counts crossed with --remote-ns",
+    )
+    parser.add_argument("--remote-trials", type=int, default=6)
     parser.add_argument("--output", default="BENCH_sweeps.json")
     parser.add_argument(
         "--min-speedup",
@@ -108,6 +131,14 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="fail when session-reused pool is below this multiple of the "
         "fresh-pool-per-sweep baseline (CI gates at 1.2)",
+    )
+    parser.add_argument(
+        "--min-remote-speedup",
+        type=float,
+        default=0.0,
+        help="fail when remote-executor throughput (localhost workers) is "
+        "below this multiple of the process executor (CI gates at 0.7 — "
+        "loopback framing overhead is bounded, not zero)",
     )
     args = parser.parse_args(argv)
 
@@ -128,7 +159,19 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         rounds=args.rounds,
     )
-    record = {"scheduling": scheduling, "pool_reuse": pool_reuse}
+    remote = run_remote_smoke(
+        ns=args.remote_ns,
+        ks=args.remote_ks,
+        trials=args.remote_trials,
+        jobs=args.jobs,
+        seed=args.seed,
+        rounds=args.rounds,
+    )
+    record = {
+        "scheduling": scheduling,
+        "pool_reuse": pool_reuse,
+        "remote": remote,
+    }
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
 
     legacy = scheduling["legacy_per_cell_barrier"]
@@ -162,7 +205,25 @@ def main(argv: list[str] | None = None) -> int:
         f"{reused['seconds']:.2f}s"
     )
     print(
-        f"pool speedup:   {pool_reuse['speedup']:.2f}x  (wrote {args.output})"
+        f"pool speedup:   {pool_reuse['speedup']:.2f}x"
+    )
+    proc_arm = remote["process_executor"]
+    remote_arm = remote["remote_executor"]
+    print(
+        f"process pool:   {remote['replicates']} replicates over "
+        f"{remote['cells']} cells in {proc_arm['seconds']:.2f}s = "
+        f"{proc_arm['replicates_per_second']:.2f} rep/s"
+    )
+    print(
+        f"remote workers: same grid over {remote['jobs']} socket workers in "
+        f"{remote_arm['seconds']:.2f}s = "
+        f"{remote_arm['replicates_per_second']:.2f} rep/s "
+        f"({remote_arm['socket_bytes']} bytes framed)"
+    )
+    print(
+        f"remote ratio:   {remote['throughput_ratio']:.2f}x process; "
+        f"kill smoke requeued {remote['kill_requeue']['chunks_requeued']} "
+        f"chunk(s) bit-identically  (wrote {args.output})"
     )
     code = 0
     if scheduling["speedup"] < args.min_speedup:
@@ -176,6 +237,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: pool-reuse speedup {pool_reuse['speedup']:.2f} below "
             f"threshold {args.min_pool_reuse_speedup}",
+            file=sys.stderr,
+        )
+        code = 1
+    if remote["throughput_ratio"] < args.min_remote_speedup:
+        print(
+            f"FAIL: remote-executor throughput ratio "
+            f"{remote['throughput_ratio']:.2f} below threshold "
+            f"{args.min_remote_speedup}",
             file=sys.stderr,
         )
         code = 1

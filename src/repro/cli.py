@@ -26,6 +26,12 @@ Commands
     replicates are scheduled across one flattened executor pool — no
     per-cell barrier — with optional per-cell caching under a
     sweep-level index (``--cache``).
+``worker HOST:PORT [--name W] [--max-chunks N]``
+    Connect to a remote-executor session's worker pool and serve
+    simulation chunks over the socket wire protocol until the session
+    disconnects.  Pair with ``--executor remote [--workers HOST:PORT]``
+    on any simulating command; results are bit-identical to local
+    execution at fixed seeds.
 ``cache stats|clear [--cache-dir D]``
     Inspect or empty the on-disk ensemble cache.  ``stats`` also
     reports per-sweep resume state: for every ``*.sweep.json`` index,
@@ -60,6 +66,7 @@ from .analysis.report import build_markdown_report
 from .core.phases import PhaseTracker
 from .engine import (
     AUTOTUNE_MODES,
+    EXECUTORS,
     RESULT_TRANSPORTS,
     SEED_DERIVATIONS,
     SWEEP_SCHEDULERS,
@@ -76,6 +83,7 @@ from .engine import (
     gossip_spec,
     graph_spec,
     noise_spec,
+    serve_worker,
     usd_spec,
     zealot_spec,
 )
@@ -126,6 +134,23 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=None,
         help="worker processes for ensembles (default: 1 = serial)",
+    )
+    command.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="how ensembles execute: serial, process (multiprocessing "
+        "pool), or remote (socket-connected 'repro worker' processes); "
+        "never changes results (default: process when --jobs > 1, else "
+        "serial)",
+    )
+    command.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen address for the remote executor's worker pool "
+        "(default: 127.0.0.1 on an ephemeral port, or "
+        "REPRO_ENGINE_WORKERS); point 'repro worker' processes at it",
     )
     command.add_argument(
         "--cache",
@@ -332,6 +357,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(sweep_cmd)
 
+    worker_cmd = sub.add_parser(
+        "worker",
+        help="serve simulation chunks to a remote-executor session",
+    )
+    worker_cmd.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="the session's worker-pool listen address "
+        "(its --workers flag / WorkerPool.endpoint)",
+    )
+    worker_cmd.add_argument(
+        "--name",
+        default=None,
+        help="worker name in scheduler reports and per-worker cost "
+        "tables (default: this host's name)",
+    )
+    worker_cmd.add_argument(
+        "--max-chunks",
+        type=_positive_int,
+        default=None,
+        help="exit cleanly after serving this many chunks "
+        "(default: serve until the session says bye)",
+    )
+    worker_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="ensemble cache directory this worker could share with the "
+        "session; only advertised in the handshake for cache-affinity "
+        "reporting (default: .repro-cache, or REPRO_ENGINE_CACHE_DIR)",
+    )
+
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the on-disk ensemble cache"
     )
@@ -358,6 +414,8 @@ def _build_engine(args) -> Engine:
     return Engine(
         backend=args.backend,
         jobs=args.jobs,
+        executor=args.executor,
+        workers=args.workers,
         cache=args.cache,
         cache_dir=args.cache_dir,
         event_block=args.event_block,
@@ -392,6 +450,7 @@ def _command_report(args) -> int:
         f"{stats['replicates_from_cache']} from cache; pool spawned "
         f"{pool['spawns']}x, reused {pool['reuses']}x"
     )
+    _print_transport_summary(stats)
     if failed:
         print(f"FAILED: {', '.join(failed)}")
         return 1
@@ -492,6 +551,13 @@ def _command_sweep(args) -> int:
     with _build_engine(args) as eng, engine(eng):
         store = eng.cache
         cache_dir = eng.options.cache_dir
+        if eng.options.executor == "remote":
+            # Bind the pool up front so the listen address is visible
+            # before the sweep blocks waiting for workers to connect.
+            print(
+                f"workers:          listening on {eng.worker_pool().endpoint} "
+                f"(connect with: repro worker {eng.worker_pool().endpoint})"
+            )
         if args.resume:
             resume_lines = _sweep_resume_preflight(
                 store, spec, seed, args.seed_derivation
@@ -532,6 +598,7 @@ def _command_sweep(args) -> int:
             f"({cache_dir}, index {outcome.sweep_key[:16]}...)"
         )
     _print_scheduler_summary(session_stats)
+    _print_transport_summary(session_stats)
     return 0
 
 
@@ -603,6 +670,56 @@ def _print_scheduler_summary(session_stats: dict) -> None:
     )
     if report["autotune"] == "on" and blocks:
         print(f"event blocks:     {', '.join(str(b) for b in blocks)} (autotuned)")
+    workers = report.get("workers")
+    if workers:
+        for name in sorted(workers):
+            entry = workers[name]
+            print(
+                f"  worker {name:<12} {entry['chunks']} chunks, "
+                f"{entry['replicates']} replicates; predicted "
+                f"{entry['predicted_seconds']:.2f}s, measured "
+                f"{entry['measured_seconds']:.2f}s"
+            )
+
+
+def _print_transport_summary(session_stats: dict) -> None:
+    """One-line result-transport traffic report (sweep, report)."""
+    transport = session_stats.get("transport")
+    if not transport:
+        return
+    parts = [
+        f"{name} {row['chunks']} chunks / {row['bytes']} bytes"
+        for name, row in transport.items()
+        if row["chunks"]
+    ]
+    if parts:
+        print(f"transport:        {'; '.join(parts)}")
+
+
+def _command_worker(args) -> int:
+    """Serve chunks to a remote-executor session until it says bye.
+
+    The worker is stateless between chunks: every chunk message carries
+    the full :class:`ScenarioSpec` by value plus the exact
+    ``SeedSequence`` children for its replicates, so a worker can join,
+    die, or be replaced at any point without changing any result.
+    """
+    from .engine import get_default_cache_dir as _default_cache_dir
+
+    cache_dir = args.cache_dir or _default_cache_dir()
+    address = args.address
+    print(f"worker: connecting to {address}", flush=True)
+    served = serve_worker(
+        address,
+        name=args.name,
+        cache_dir=cache_dir,
+        max_chunks=args.max_chunks,
+        on_connect=lambda welcome: print(
+            "worker: connected, serving", flush=True
+        ),
+    )
+    print(f"worker: done ({served} chunks served)", flush=True)
+    return 0
 
 
 def _command_cache(args) -> int:
@@ -748,6 +865,7 @@ _COMMANDS = {
     "list-scenarios": _command_list_scenarios,
     "simulate": _command_simulate,
     "sweep": _command_sweep,
+    "worker": _command_worker,
     "cache": _command_cache,
 }
 

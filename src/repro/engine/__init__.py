@@ -43,8 +43,14 @@ to the numpy kernels when numba is absent)
 and new ones plug in via :func:`register_backend`; scenarios likewise
 via :func:`register_scenario`.  Process-level defaults come from
 :mod:`repro.engine.options` (CLI flags or the ``REPRO_ENGINE_BACKEND``/
-``REPRO_ENGINE_JOBS``/``REPRO_ENGINE_CACHE`` environment variables),
-resolved once at session construction.
+``REPRO_ENGINE_JOBS``/``REPRO_ENGINE_CACHE``/``REPRO_ENGINE_WORKERS``
+environment variables), resolved once at session construction.
+
+Beyond the in-host executors, ``executor="remote"``
+(:mod:`repro.engine.remote`) shards the same chunk queue across
+socket-connected ``repro worker`` processes with a length-prefixed
+framed wire protocol and fixed-width record blocks on the return path —
+bit-identical to serial/process execution at fixed seeds.
 """
 
 from .backends import (
@@ -86,7 +92,16 @@ from .options import (
     get_default_result_transport,
     get_default_scheduler,
     get_default_stream_buffer,
+    get_default_workers,
     set_engine_defaults,
+)
+from .remote import (
+    DEFAULT_WORKER_TIMEOUT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    WorkerPool,
+    parse_address,
+    serve_worker,
 )
 from .scenarios import (
     Scenario,
@@ -177,7 +192,14 @@ __all__ = [
     "get_default_result_transport",
     "get_default_scheduler",
     "get_default_stream_buffer",
+    "get_default_workers",
     "set_engine_defaults",
+    "WorkerPool",
+    "serve_worker",
+    "parse_address",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "DEFAULT_WORKER_TIMEOUT",
 ]
 
 register_backend(BatchedBackend())

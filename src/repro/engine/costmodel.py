@@ -158,6 +158,10 @@ class CostModel:
     def __init__(self) -> None:
         #: signature -> {"per_replicate_seconds": float, "samples": int}
         self._cells: dict[str, dict] = {}
+        #: worker name -> {signature -> {"per_replicate_seconds": float,
+        #:                               "samples": int}} — the remote
+        #: executor's heterogeneity model (see :meth:`observe_worker`).
+        self._workers: dict[str, dict[str, dict]] = {}
         #: signature -> {str(block): {"seconds_per_replicate": float,
         #:                            "samples": int}}
         self._blocks: dict[str, dict] = {}
@@ -218,6 +222,25 @@ class CostModel:
                         }
                 if clean:
                     target[str(signature)] = clean
+        workers = payload.get("workers")
+        if isinstance(workers, dict):
+            for worker, table in workers.items():
+                if not isinstance(table, dict):
+                    continue
+                clean_table = {}
+                for signature, entry in table.items():
+                    try:
+                        seconds = float(entry["per_replicate_seconds"])
+                        samples = int(entry.get("samples", 1))
+                    except (KeyError, TypeError, ValueError):
+                        continue
+                    if seconds > 0 and samples > 0:
+                        clean_table[str(signature)] = {
+                            "per_replicate_seconds": seconds,
+                            "samples": samples,
+                        }
+                if clean_table:
+                    model._workers[str(worker)] = clean_table
         return model
 
     def to_payload(self) -> dict:
@@ -233,6 +256,12 @@ class CostModel:
                 sig: {b: dict(e) for b, e in per.items()}
                 for sig, per in self._buffers.items()
             },
+            # Optional section: absent tables simply read as "no worker
+            # history", so the format tag stays compatible.
+            "workers": {
+                worker: {sig: dict(e) for sig, e in table.items()}
+                for worker, table in self._workers.items()
+            },
         }
 
     # -- prediction ----------------------------------------------------
@@ -247,6 +276,39 @@ class CostModel:
         if entry is not None:
             return entry["per_replicate_seconds"], "observed"
         return _seed_per_replicate(scenario, variant, n), "seeded"
+
+    def predict_worker(
+        self, worker: str, scenario: str, variant: str, n: int
+    ) -> tuple[float, str]:
+        """Predicted seconds per replicate on one named worker.
+
+        Returns ``(seconds, source)`` with ``source`` ``"worker"`` when
+        this worker has measured history for the signature; otherwise
+        the per-family prediction (the cold-start prior) is returned
+        unchanged — a fresh worker is assumed family-typical until its
+        own chunks say otherwise.
+        """
+        entry = self._workers.get(str(worker), {}).get(
+            cost_signature(scenario, variant, n)
+        )
+        if entry is not None:
+            return entry["per_replicate_seconds"], "worker"
+        return self.predict(scenario, variant, n)
+
+    def predict_for_workers(
+        self, scenario: str, variant: str, n: int, workers
+    ) -> float | None:
+        """Slowest per-replicate prediction across ``workers`` (or ``None``).
+
+        The remote scheduler sizes chunks against the *slowest* attached
+        worker so a wall-time-targeted slice stays a bounded tail even
+        when a chunk is stolen by heterogeneous hardware.
+        """
+        estimates = [
+            self.predict_worker(worker, scenario, variant, n)[0]
+            for worker in workers
+        ]
+        return max(estimates) if estimates else None
 
     def chunk_size(
         self,
@@ -284,6 +346,43 @@ class CostModel:
             return
         # Sub-noise-floor chunks still count, but lightly: their
         # duration is mostly dispatch jitter, not kernel time.
+        alpha = EWMA_ALPHA if seconds >= _NOISE_FLOOR_SECONDS else EWMA_ALPHA / 4
+        entry["per_replicate_seconds"] = max(
+            (1 - alpha) * entry["per_replicate_seconds"] + alpha * per_replicate,
+            1e-9,
+        )
+        entry["samples"] += 1
+
+    def observe_worker(
+        self, worker: str, signature: str, replicates: int, seconds: float
+    ) -> None:
+        """Fold one measured chunk into the ``(worker, signature)`` EWMA.
+
+        A worker's first observation for a signature starts from the
+        per-family EWMA when one exists (the cold-start prior the
+        satellite heterogeneity model is anchored to), so a single noisy
+        chunk cannot swing a fresh worker's estimate by orders of
+        magnitude.
+        """
+        replicates = int(replicates)
+        if replicates < 1 or seconds < 0:
+            return
+        per_replicate = seconds / replicates
+        table = self._workers.setdefault(str(worker), {})
+        entry = table.get(signature)
+        if entry is None:
+            prior = self._cells.get(signature)
+            if prior is None:
+                table[signature] = {
+                    "per_replicate_seconds": max(per_replicate, 1e-9),
+                    "samples": 1,
+                }
+                return
+            entry = {
+                "per_replicate_seconds": prior["per_replicate_seconds"],
+                "samples": 0,
+            }
+            table[signature] = entry
         alpha = EWMA_ALPHA if seconds >= _NOISE_FLOOR_SECONDS else EWMA_ALPHA / 4
         entry["per_replicate_seconds"] = max(
             (1 - alpha) * entry["per_replicate_seconds"] + alpha * per_replicate,
@@ -435,6 +534,9 @@ class CostModel:
         return {
             "signatures": len(self._cells),
             "tuned_signatures": len(self._blocks),
+            "workers": {
+                worker: len(table) for worker, table in self._workers.items()
+            },
             "event_blocks": {
                 sig: self.tuned_block(sig, 0) for sig in self._blocks
             },

@@ -45,6 +45,7 @@ from ..core.lockstep import set_default_event_block, set_default_stream_buffer
 from ..core.simulator import RunResult
 from .backends import Backend
 from .cache import EnsembleCache
+from .options import EXECUTORS
 from .scenarios import ScenarioSpec, get_scenario
 
 try:  # pragma: no cover - present on every supported platform
@@ -56,10 +57,6 @@ __all__ = ["run_ensemble", "replicate_seeds", "DEFAULT_BATCH_SIZE", "EXECUTORS"]
 
 #: Largest number of replicates a batch-capable variant advances per call.
 DEFAULT_BATCH_SIZE = 1024
-
-#: Names accepted by the ``executor`` parameter ("multiprocessing" is an
-#: alias for "process").
-EXECUTORS = ("serial", "process")
 
 
 def replicate_seeds(

@@ -47,6 +47,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
     "EngineOptions",
+    "EXECUTORS",
     "RESULT_TRANSPORTS",
     "SWEEP_SCHEDULERS",
     "engine_defaults",
@@ -61,6 +62,7 @@ __all__ = [
     "get_default_result_transport",
     "get_default_scheduler",
     "get_default_stream_buffer",
+    "get_default_workers",
     "set_engine_defaults",
 ]
 
@@ -69,6 +71,12 @@ DEFAULT_BACKEND = "jump"
 
 #: Ensemble-cache directory used when nothing else is specified.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Names accepted by the ``executor`` parameter ("multiprocessing" is an
+#: alias for "process").  ``"remote"`` dispatches chunks to
+#: socket-connected ``repro worker`` processes through the session's
+#: :class:`~repro.engine.remote.WorkerPool`.
+EXECUTORS = ("serial", "process", "remote")
 
 #: Accepted result-transport selections for the process executor:
 #: ``"shared"`` ships fixed-width result records through a
@@ -134,6 +142,8 @@ class EngineOptions:
     result_transport: str = "shared"
     scheduler: str = "cost"
     autotune: str = "off"
+    executor: str | None = None
+    workers: str | None = None
 
     def __post_init__(self) -> None:
         if not self.backend or not isinstance(self.backend, str):
@@ -173,11 +183,18 @@ class EngineOptions:
                 f"autotune must be one of {AUTOTUNE_MODES}, "
                 f"got {self.autotune!r}"
             )
-
-    @property
-    def executor(self) -> str:
-        """``"process"`` when more than one worker is configured, else serial."""
-        return "process" if self.jobs > 1 else "serial"
+        raw_executor = self.__dict__.get("executor")
+        if raw_executor is not None:
+            raw_executor = str(raw_executor)
+            if raw_executor == "multiprocessing":
+                raw_executor = "process"
+            if raw_executor not in EXECUTORS:
+                raise ValueError(
+                    f"executor must be one of {EXECUTORS}, got {raw_executor!r}"
+                )
+            self.__dict__["executor"] = raw_executor
+        if self.workers is not None:
+            object.__setattr__(self, "workers", _validate_workers(self.workers))
 
     @classmethod
     def resolve(cls, **overrides) -> "EngineOptions":
@@ -208,6 +225,7 @@ class EngineOptions:
             "result_transport": _global_default_result_transport(),
             "scheduler": _global_default_scheduler(),
             "autotune": _global_default_autotune(),
+            "workers": _global_default_workers(),
         }
         for name, value in overrides.items():
             if value is not None:
@@ -224,7 +242,15 @@ class EngineOptions:
                 f"available: {sorted(known)}"
             )
         updates = {k: v for k, v in overrides.items() if v is not None}
-        return replace(self, **updates) if updates else self
+        if not updates:
+            return self
+        if "executor" not in updates:
+            # Forward the RAW stored executor (None = derive from jobs),
+            # not the derived property value: otherwise replace(jobs=4)
+            # on a derived-serial options would freeze "serial" in and
+            # silently disable the process executor.
+            updates["executor"] = self.__dict__.get("executor")
+        return replace(self, **updates)
 
     def pool_key(self) -> tuple:
         """The fields whose change requires respawning the executor pool."""
@@ -244,7 +270,56 @@ class EngineOptions:
             "result_transport": self.result_transport,
             "scheduler": self.scheduler,
             "autotune": self.autotune,
+            "workers": self.workers,
         }
+
+
+def _executor_get(self: EngineOptions) -> str:
+    raw = self.__dict__.get("executor")
+    if raw is not None:
+        return raw
+    return "process" if self.jobs > 1 else "serial"
+
+
+def _executor_set(self: EngineOptions, value) -> None:
+    # Reached only through object.__setattr__ in the generated frozen
+    # __init__; user code still hits the frozen-dataclass guard.
+    self.__dict__["executor"] = value
+
+
+# ``executor`` doubles as an init field (explicit selection, e.g.
+# "remote") and a derived value ("process" when jobs > 1, else
+# "serial") when left unset.  A dataclass field alone would freeze the
+# derivation at construction time, so the field's storage is fronted by
+# a property attached after class creation: the raw stored value (None =
+# derive) lives in the instance dict and :meth:`EngineOptions.replace`
+# forwards it untouched.
+EngineOptions.executor = property(
+    _executor_get,
+    _executor_set,
+    doc='Effective executor: the explicit selection, else "process" '
+    'when jobs > 1, else "serial".',
+)
+
+
+def _validate_workers(value) -> str:
+    """Normalize/validate a ``host:port`` worker-pool listen address."""
+    text = str(value).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"workers must look like HOST:PORT (port 0 = ephemeral), "
+            f"got {value!r}"
+        )
+    try:
+        port_number = int(port)
+    except ValueError:
+        raise ValueError(
+            f"workers port must be an integer, got {port!r}"
+        ) from None
+    if not 0 <= port_number <= 65535:
+        raise ValueError(f"workers port out of range: {port_number}")
+    return f"{host}:{port_number}"
 
 
 def set_engine_defaults(
@@ -394,6 +469,13 @@ def _global_default_scheduler() -> str:
     return raw
 
 
+def _global_default_workers() -> str | None:
+    raw = os.environ.get("REPRO_ENGINE_WORKERS")
+    if raw is None or not raw.strip():
+        return None
+    return _validate_workers(raw)
+
+
 def _global_default_autotune() -> str:
     raw = os.environ.get("REPRO_ENGINE_AUTOTUNE")
     if raw is None:
@@ -428,8 +510,29 @@ def get_default_jobs() -> int:
 
 
 def get_default_executor() -> str:
-    """``"process"`` when more than one worker is configured, else serial."""
+    """Effective executor of the active session (or the derived default).
+
+    An explicitly selected executor (``executor="remote"`` on a scoped
+    session) wins; otherwise ``"process"`` when more than one worker is
+    configured, else ``"serial"``.
+    """
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.executor
     return "process" if get_default_jobs() > 1 else "serial"
+
+
+def get_default_workers() -> str | None:
+    """Worker-pool listen address for the remote executor (``host:port``).
+
+    Resolution order: the active scoped session, then the
+    ``REPRO_ENGINE_WORKERS`` environment variable, then ``None`` (the
+    pool binds ``127.0.0.1`` on an ephemeral port when first needed).
+    """
+    opts = _scoped_options()
+    if opts is not None:
+        return opts.workers
+    return _global_default_workers()
 
 
 def get_default_cache() -> bool:
@@ -515,4 +618,5 @@ def engine_defaults() -> dict:
         "result_transport": get_default_result_transport(),
         "scheduler": get_default_scheduler(),
         "autotune": get_default_autotune(),
+        "workers": get_default_workers(),
     }

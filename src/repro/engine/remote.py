@@ -1,0 +1,729 @@
+"""Remote executor: shard ensembles and sweeps across socket workers.
+
+The engine saturates one box — compiled kernels, a cost-model scheduler
+and a persistent process pool — so the next order of magnitude has to
+come from more machines.  This module generalizes the executor seam to
+TCP: an :class:`~repro.engine.session.Engine` session owns a
+:class:`WorkerPool` that listens on ``host:port``, any number of
+``repro worker`` processes (:func:`serve_worker`) connect to it, and the
+session feeds them from the **same** flattened longest-first
+cost-scheduled chunk queue the process executor drains — one chunk in
+flight per worker, so dispatch is work-stealing and no per-cell barrier
+exists.
+
+Wire format
+-----------
+Every message is one *frame*::
+
+    +----------+----------------+----------------------+
+    | magic(4) | length(4, BE)  | pickled message dict |
+    +----------+----------------+----------------------+
+
+Frames with a wrong magic, an oversized length or a truncated body are
+rejected (:class:`ProtocolError`); a clean EOF is only legal on a frame
+boundary.  The conversation is deliberately small:
+
+``hello``  worker -> pool
+    Name (the cost model's worker key), pid, host, protocol version and
+    a content token of the worker's ensemble-cache directory, so the
+    pool can report which workers share the session's store.
+``welcome``  pool -> worker
+    Accepts the registration (protocol echo).
+``chunk``  pool -> worker
+    One queue slice: scenario name, the **spec by value** (never a
+    shared-memory ref — those only resolve on the parent's host),
+    variant, pickled ``SeedSequence`` children, budget, kernel knobs and
+    the fixed-width record widths (``None`` selects the pickle
+    fallback for cells without a record codec).
+``result``  worker -> pool
+    The chunk's results: a fixed-width record block (``int64`` slots
+    then ``float64`` extras per replicate — the same codec the
+    shared-memory transport uses, serialized to bytes) or pickled
+    results on the fallback path, plus the measured kernel seconds for
+    the cost model.
+``error``  worker -> pool
+    A traceback; the pool aborts the run (a deterministic failure would
+    requeue forever).
+``bye``  either direction
+    Clean shutdown.
+
+Determinism
+-----------
+Replicate ``i`` of a cell always receives the ``i``-th child of the
+cell's ``SeedSequence`` — the seeds are derived **before** chunking and
+ship inside the chunk, so any replicate is reproducible in isolation on
+any machine.  Worker death mid-chunk therefore costs nothing but time:
+the pool requeues the chunk and whichever worker re-runs it regenerates
+bit-identical results.  The executor moves only wall time, never bits —
+the same invariant the ensemble cache and the shared-memory transport
+already rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import selectors
+import socket
+import time
+import traceback
+from collections import deque
+
+import numpy as np
+
+from ..core.lockstep import set_default_event_block, set_default_stream_buffer
+from .executors import _SPEC_REF_TAG, _record_views
+from .scenarios import get_scenario
+
+__all__ = [
+    "FrameDecoder",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "WorkerPool",
+    "cache_token",
+    "decode_result_block",
+    "encode_result_block",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+    "serve_worker",
+]
+
+#: Protocol version carried by hello/welcome; a mismatch rejects the
+#: registration instead of corrupting a run halfway through.
+PROTOCOL_VERSION = 1
+
+#: First four bytes of every frame.
+FRAME_MAGIC = b"RPRW"
+
+#: Upper bound on one frame's payload.  Big enough for a 10^6-edge graph
+#: spec or a 10^5-replicate record block, small enough that a garbage
+#: length field cannot make the pool try to buffer terabytes.
+MAX_FRAME = 256 * 1024 * 1024
+
+_HEADER_SIZE = 8
+
+#: How long :meth:`WorkerPool.run` waits for at least one registered
+#: worker before giving up on a non-empty queue.
+DEFAULT_WORKER_TIMEOUT = 60.0
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame or an out-of-protocol message."""
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (port 0 = ephemeral)."""
+    text = str(address).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address must look like HOST:PORT, got {address!r}"
+        )
+    return host, int(port)
+
+
+def cache_token(cache_dir) -> str:
+    """Content token of a cache directory (same store <=> same token).
+
+    Hashes the *resolved* path, so two processes pointing at one
+    directory through different relative paths or symlinks still
+    compare equal — which is all the pool needs to report whether a
+    worker shares the session's content-addressed ensemble store.
+    """
+    resolved = os.path.realpath(os.path.abspath(str(cache_dir)))
+    return hashlib.sha256(resolved.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: magic + big-endian length + pickled message."""
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > MAX_FRAME:
+        raise ProtocolError(
+            f"message of {len(blob)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return FRAME_MAGIC + len(blob).to_bytes(4, "big") + blob
+
+
+def send_frame(sock: socket.socket, message: dict) -> int:
+    """Send one framed message; returns the bytes put on the wire."""
+    frame = encode_frame(message)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    """``size`` bytes, or ``None`` on EOF before the first byte."""
+    chunks = []
+    remaining = size
+    while remaining:
+        data = sock.recv(min(remaining, 1 << 20))
+        if not data:
+            if remaining == size:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({size - remaining}/{size} bytes)"
+            )
+        chunks.append(data)
+        remaining -= len(data)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Blocking receive of one frame (``None`` on clean EOF)."""
+    header = _recv_exact(sock, _HEADER_SIZE)
+    if header is None:
+        return None
+    if header[:4] != FRAME_MAGIC:
+        raise ProtocolError(f"bad frame magic {header[:4]!r}")
+    length = int.from_bytes(header[4:8], "big")
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    message = pickle.loads(body)
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame payload must be a dict, got {type(message)}")
+    return message
+
+
+class FrameDecoder:
+    """Incremental frame parser for the pool's non-blocking reads.
+
+    Feed raw socket bytes, get complete messages back; partial frames
+    wait in the buffer.  The same validation as :func:`recv_frame`
+    applies — a wrong magic or an oversized length raises
+    :class:`ProtocolError` immediately (the stream is unrecoverable
+    after either, so the caller drops the connection).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buffer.extend(data)
+        messages = []
+        while True:
+            if len(self._buffer) < _HEADER_SIZE:
+                break
+            if bytes(self._buffer[:4]) != FRAME_MAGIC:
+                raise ProtocolError(
+                    f"bad frame magic {bytes(self._buffer[:4])!r}"
+                )
+            length = int.from_bytes(self._buffer[4:8], "big")
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds MAX_FRAME"
+                )
+            if len(self._buffer) < _HEADER_SIZE + length:
+                break
+            body = bytes(self._buffer[_HEADER_SIZE : _HEADER_SIZE + length])
+            del self._buffer[: _HEADER_SIZE + length]
+            message = pickle.loads(body)
+            if not isinstance(message, dict):
+                raise ProtocolError(
+                    f"frame payload must be a dict, got {type(message)}"
+                )
+            messages.append(message)
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+
+# ----------------------------------------------------------------------
+# Fixed-width record blocks over the wire
+# ----------------------------------------------------------------------
+def encode_result_block(
+    scenario, spec, results: list, int_width: int, float_width: int
+) -> bytes:
+    """Results -> one contiguous record block (ints plane, floats plane).
+
+    Exactly the layout of the shared-memory ensemble block
+    (:func:`repro.engine.executors._record_views`), serialized to bytes:
+    the record codec *is* the wire format, so sockets and shared memory
+    stay behind one transport seam.
+    """
+    trials = len(results)
+    buffer = bytearray(max(trials * 8 * (int_width + float_width), 1))
+    ints, floats = _record_views(buffer, trials, int_width, float_width)
+    for row, result in enumerate(results):
+        scenario.encode_record(spec, result, ints[row], floats[row])
+    return bytes(buffer)
+
+
+def decode_result_block(
+    scenario, spec, block: bytes, trials: int, int_width: int, float_width: int
+) -> list:
+    """Inverse of :func:`encode_result_block`."""
+    expected = max(trials * 8 * (int_width + float_width), 1)
+    if len(block) != expected:
+        raise ProtocolError(
+            f"record block of {len(block)} bytes, expected {expected} "
+            f"({trials} trials x ({int_width} ints + {float_width} floats))"
+        )
+    ints, floats = _record_views(bytearray(block), trials, int_width, float_width)
+    return [
+        scenario.decode_record(spec, ints[row], floats[row])
+        for row in range(trials)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _execute_chunk(message: dict) -> dict:
+    """Run one dispatched chunk and build its result message."""
+    spec = message["spec"]
+    if isinstance(spec, tuple) and spec and spec[0] == _SPEC_REF_TAG:
+        # A shared-memory broadcast ref only resolves on the host that
+        # created the block; shipping one over a socket is a session bug.
+        raise ProtocolError(
+            "chunk carried a shared-memory spec reference; specs must "
+            "ship by value over the socket"
+        )
+    set_default_event_block(message["event_block"])
+    set_default_stream_buffer(message["stream_buffer"])
+    scenario = get_scenario(message["scenario"])
+    rngs = [np.random.default_rng(s) for s in message["seeds"]]
+    started = time.perf_counter()
+    results = scenario.run_chunk(
+        spec, message["variant"], rngs, message["max_interactions"]
+    )
+    seconds = time.perf_counter() - started
+    reply = {"type": "result", "id": message["id"], "seconds": seconds}
+    record = message.get("record")
+    if record is not None:
+        int_width, float_width = record
+        reply["transport"] = "records"
+        reply["block"] = encode_result_block(
+            scenario, spec, results, int_width, float_width
+        )
+    else:
+        reply["transport"] = "pickle"
+        reply["results"] = results
+    return reply
+
+
+def serve_worker(
+    address: str,
+    *,
+    name: str | None = None,
+    cache_dir: str | None = None,
+    max_chunks: int | None = None,
+    abort_after: int | None = None,
+    connect_timeout: float = 30.0,
+    on_connect=None,
+) -> int:
+    """Connect to a session's :class:`WorkerPool` and serve chunks.
+
+    Blocks until the pool says ``bye``, closes the connection, or
+    ``max_chunks`` results have been served; returns the number of
+    chunks completed.  This is the body of the ``repro worker`` CLI
+    subcommand, and is equally runnable on a thread for in-process
+    workers (tests, single-box smoke runs) — the protocol is identical
+    either way.
+
+    ``name`` keys the session cost model's per-worker coefficients;
+    it defaults to the machine's hostname so one host's history warms
+    every later worker on that host.  ``cache_dir`` only feeds the
+    hello's cache token (the worker never opens the store itself —
+    cache probing happens on the session before chunks are queued).
+    ``abort_after`` is the fault-injection hook: after that many
+    completed chunks the worker drops the connection *on receipt* of the
+    next chunk, without replying — exactly the mid-chunk death the
+    pool's requeue path must absorb.
+    """
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
+    served = 0
+    try:
+        sock.settimeout(None)
+        send_frame(
+            sock,
+            {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "name": name or socket.gethostname(),
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "cache_token": (
+                    cache_token(cache_dir) if cache_dir is not None else None
+                ),
+            },
+        )
+        welcome = recv_frame(sock)
+        if welcome is None or welcome.get("type") != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome!r}")
+        if on_connect is not None:
+            on_connect(welcome)
+        while max_chunks is None or served < max_chunks:
+            message = recv_frame(sock)
+            if message is None or message.get("type") == "bye":
+                break
+            if message.get("type") != "chunk":
+                raise ProtocolError(
+                    f"expected chunk, got {message.get('type')!r}"
+                )
+            if abort_after is not None and served >= abort_after:
+                # Simulated mid-chunk death: the chunk was received but
+                # never answered, so the pool must requeue it.
+                return served
+            try:
+                reply = _execute_chunk(message)
+            except Exception:
+                send_frame(
+                    sock,
+                    {
+                        "type": "error",
+                        "id": message.get("id"),
+                        "error": traceback.format_exc(),
+                    },
+                )
+                raise
+            send_frame(sock, reply)
+            served += 1
+    finally:
+        sock.close()
+    return served
+
+
+# ----------------------------------------------------------------------
+# Session side
+# ----------------------------------------------------------------------
+class _WorkerConn:
+    """One connected worker: socket, decoder, and its in-flight chunk."""
+
+    __slots__ = (
+        "sock",
+        "decoder",
+        "registered",
+        "name",
+        "pid",
+        "host",
+        "cache_token",
+        "inflight",
+        "chunks_done",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.decoder = FrameDecoder()
+        self.registered = False
+        self.name: str | None = None
+        self.pid: int | None = None
+        self.host: str | None = None
+        self.cache_token: str | None = None
+        self.inflight: int | None = None
+        self.chunks_done = 0
+
+
+class WorkerPool:
+    """The session's attachment point for socket-connected workers.
+
+    Listens on ``host:port`` (``None`` = loopback on an ephemeral port),
+    registers workers as they connect, and drains chunk queues with
+    work-stealing dispatch: one chunk in flight per worker, the next
+    chunk handed to whichever worker answers first.  Worker death —
+    EOF, a reset, a garbage frame — requeues the dead worker's in-flight
+    chunk at the front of the queue; results stay bit-identical because
+    every chunk carries its replicates' ``SeedSequence`` children.
+
+    Single-threaded by design: connections are accepted and handshaked
+    inside :meth:`wait_for_workers` and the dispatch loop (pending
+    workers sit in the listen backlog meanwhile), so the session never
+    runs a background thread.
+    """
+
+    def __init__(
+        self,
+        address: str | None = None,
+        *,
+        session_cache_token: str | None = None,
+        worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+    ) -> None:
+        host, port = parse_address(address) if address else ("127.0.0.1", 0)
+        self._listener = socket.create_server((host, port), backlog=16)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._conns: list[_WorkerConn] = []
+        self._session_cache_token = session_cache_token
+        self._worker_timeout = float(worker_timeout)
+        self._closed = False
+        #: Cumulative transport counters (frame bytes, both directions).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.chunks_dispatched = 0
+        self.chunks_requeued = 0
+
+    # -- address ------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` workers should connect to."""
+        return self._listener.getsockname()[:2]
+
+    @property
+    def endpoint(self) -> str:
+        """The bound address as a ``host:port`` string."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    # -- registration --------------------------------------------------
+    def worker_count(self) -> int:
+        """Registered (handshaked) workers currently connected."""
+        return sum(1 for conn in self._conns if conn.registered)
+
+    def worker_names(self) -> list[str]:
+        """Names of the registered workers (cost-model keys)."""
+        return [conn.name for conn in self._conns if conn.registered]
+
+    def workers(self) -> list[dict]:
+        """Registration snapshot for :meth:`Engine.stats`."""
+        return [
+            {
+                "name": conn.name,
+                "pid": conn.pid,
+                "host": conn.host,
+                "chunks_done": conn.chunks_done,
+                "cache_shared": (
+                    conn.cache_token is not None
+                    and conn.cache_token == self._session_cache_token
+                ),
+            }
+            for conn in self._conns
+            if conn.registered
+        ]
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> None:
+        """Block until ``count`` workers have registered (or raise)."""
+        deadline = time.monotonic() + timeout
+        while self.worker_count() < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"{self.worker_count()}/{count} workers registered "
+                    f"within {timeout:.0f}s on {self.endpoint}"
+                )
+            self._poll(min(remaining, 0.2))
+
+    # -- event loop internals ------------------------------------------
+    def _poll(self, timeout: float) -> list[tuple[_WorkerConn, dict]]:
+        """One selector pass: accepts, handshakes, and buffered reads.
+
+        Returns the protocol messages read from registered workers;
+        connection failures are absorbed here (dead workers' in-flight
+        chunks are handed back through ``_requeue``).
+        """
+        messages: list[tuple[_WorkerConn, dict]] = []
+        for key, _events in self._selector.select(timeout):
+            if key.data is None:
+                self._accept()
+                continue
+            conn: _WorkerConn = key.data
+            try:
+                data = conn.sock.recv(1 << 20)
+            except (OSError, ValueError):
+                self._drop(conn)
+                continue
+            if not data:
+                self._drop(conn)
+                continue
+            self.bytes_received += len(data)
+            try:
+                frames = conn.decoder.feed(data)
+            except (ProtocolError, pickle.UnpicklingError, EOFError):
+                self._drop(conn)
+                continue
+            for message in frames:
+                if not conn.registered:
+                    self._register(conn, message)
+                else:
+                    messages.append((conn, message))
+        return messages
+
+    def _accept(self) -> None:
+        try:
+            sock, _addr = self._listener.accept()
+        except (BlockingIOError, OSError):
+            return
+        sock.setblocking(False)
+        conn = _WorkerConn(sock)
+        self._conns.append(conn)
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _register(self, conn: _WorkerConn, hello: dict) -> None:
+        if (
+            hello.get("type") != "hello"
+            or hello.get("protocol") != PROTOCOL_VERSION
+        ):
+            self._drop(conn)
+            return
+        conn.name = str(hello.get("name") or "worker")
+        conn.pid = hello.get("pid")
+        conn.host = hello.get("host")
+        conn.cache_token = hello.get("cache_token")
+        try:
+            self._send(conn, {"type": "welcome", "protocol": PROTOCOL_VERSION})
+        except OSError:
+            self._drop(conn)
+            return
+        conn.registered = True
+
+    def _send(self, conn: _WorkerConn, message: dict) -> None:
+        frame = encode_frame(message)
+        conn.sock.setblocking(True)
+        try:
+            conn.sock.sendall(frame)
+        finally:
+            conn.sock.setblocking(False)
+        self.bytes_sent += len(frame)
+
+    def _drop(self, conn: _WorkerConn) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if conn in self._conns:
+            self._conns.remove(conn)
+
+    # -- dispatch ------------------------------------------------------
+    def run(self, chunks: list[dict], *, timeout: float | None = None) -> list[dict]:
+        """Drain ``chunks`` across the connected workers; return in order.
+
+        ``chunks`` are chunk-message payloads (everything but ``type``
+        and ``id``), **already in schedule order** — the queue is handed
+        out front-first, one chunk per idle worker, so the longest-first
+        ordering the cost scheduler produced is preserved exactly like
+        the process executor's ``chunksize=1`` maps.  Workers that
+        connect mid-run join the steal loop immediately; workers that
+        die mid-chunk have their chunk requeued at the *front* (it was
+        the oldest outstanding work).  Raises ``RuntimeError`` when a
+        worker reports an execution error, or when the queue is
+        non-empty but no worker registers within the pool's timeout.
+
+        Returns one dict per chunk: ``{"worker", "seconds", "transport",
+        "results" | "block"}``.
+        """
+        if self._closed:
+            raise RuntimeError("this WorkerPool is closed")
+        outputs: list[dict | None] = [None] * len(chunks)
+        queue = deque(range(len(chunks)))
+        inflight: dict[int, _WorkerConn] = {}
+        done = 0
+        worker_timeout = self._worker_timeout if timeout is None else timeout
+        starving_since: float | None = None
+        while done < len(chunks):
+            # Hand a chunk to every idle registered worker, front-first.
+            for conn in list(self._conns):
+                if not queue:
+                    break
+                if not conn.registered or conn.inflight is not None:
+                    continue
+                index = queue.popleft()
+                message = dict(chunks[index])
+                message["type"] = "chunk"
+                message["id"] = index
+                try:
+                    self._send(conn, message)
+                except OSError:
+                    queue.appendleft(index)
+                    self._drop(conn)
+                    continue
+                conn.inflight = index
+                inflight[index] = conn
+                self.chunks_dispatched += 1
+            if not any(conn.registered for conn in self._conns):
+                if starving_since is None:
+                    starving_since = time.monotonic()
+                elif time.monotonic() - starving_since > worker_timeout:
+                    raise RuntimeError(
+                        f"remote executor has {len(chunks) - done} chunks "
+                        f"pending but no workers connected to "
+                        f"{self.endpoint} within {worker_timeout:.0f}s; "
+                        f"start some with: repro worker {self.endpoint}"
+                    )
+            else:
+                starving_since = None
+            for conn, message in self._poll(0.05):
+                kind = message.get("type")
+                if kind == "result":
+                    index = message.get("id")
+                    if index != conn.inflight:
+                        self._drop(conn)
+                        continue
+                    conn.inflight = None
+                    conn.chunks_done += 1
+                    inflight.pop(index, None)
+                    output = {
+                        "worker": conn.name,
+                        "seconds": message.get("seconds", 0.0),
+                        "transport": message.get("transport", "pickle"),
+                    }
+                    if output["transport"] == "records":
+                        output["block"] = message.get("block")
+                    else:
+                        output["results"] = message.get("results")
+                    outputs[index] = output
+                    done += 1
+                elif kind == "error":
+                    raise RuntimeError(
+                        f"remote worker {conn.name!r} failed:\n"
+                        f"{message.get('error')}"
+                    )
+                elif kind == "bye":
+                    self._drop(conn)
+                else:
+                    self._drop(conn)
+            # A worker that died (EOF, reset, garbage frame, stale
+            # result id) left _poll as a dropped connection; its chunk
+            # goes back to the FRONT of the queue — it was the oldest
+            # outstanding work, and the replicates' SeedSequence
+            # children make the re-run bit-identical by construction.
+            for index, conn in list(inflight.items()):
+                if conn not in self._conns:
+                    del inflight[index]
+                    queue.appendleft(index)
+                    self.chunks_requeued += 1
+        return outputs  # type: ignore[return-value]
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Say ``bye`` to every worker and stop listening (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in list(self._conns):
+            if conn.registered:
+                try:
+                    self._send(conn, {"type": "bye"})
+                except OSError:
+                    pass
+            self._drop(conn)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else self.endpoint
+        return f"WorkerPool({state}, workers={self.worker_count()})"

@@ -57,6 +57,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import pickle
 import time
 from contextlib import contextmanager
 
@@ -75,6 +76,7 @@ from .executors import (
     EXECUTORS,
     SpecBroadcast,
     _chunked,
+    _record_widths,
     _run_process_shared,
     _run_sweep_shared,
     _timed_worker,
@@ -82,6 +84,7 @@ from .executors import (
     replicate_seeds,
 )
 from .options import RESULT_TRANSPORTS, EngineOptions
+from .remote import WorkerPool, cache_token, decode_result_block
 from .scenarios import ScenarioSpec, coerce_spec, get_scenario
 
 __all__ = ["Engine", "engine", "current_engine"]
@@ -238,6 +241,7 @@ class Engine:
             self._cache = self._new_cache_handle(options)
         self._pool = None
         self._pool_key: tuple | None = None
+        self._worker_pool: WorkerPool | None = None
         self._closed = False
         self._cost_model: CostModel | None = None
         self._last_sweep_report: dict | None = None
@@ -248,6 +252,13 @@ class Engine:
             "replicates_from_cache": 0,
             "pool_spawns": 0,
             "pool_reuses": 0,
+        }
+        #: Bytes/chunks moved per result transport (satellite counters);
+        #: the socket row also folds in closed worker pools' totals.
+        self._transport = {
+            "shared": {"chunks": 0, "bytes": 0},
+            "pickle": {"chunks": 0, "bytes": 0},
+            "socket": {"chunks": 0, "bytes": 0},
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -260,6 +271,7 @@ class Engine:
     def close(self) -> None:
         """Tear down the executor pool; the session refuses further work."""
         self._shutdown_pool()
+        self._shutdown_worker_pool()
         self._closed = True
 
     @property
@@ -294,6 +306,8 @@ class Engine:
             return new
         if new.pool_key() != self._options.pool_key():
             self._shutdown_pool()
+        if new.workers != self._options.workers:
+            self._shutdown_worker_pool()
         cache_fields = (new.cache, new.cache_dir, new.cache_max_bytes)
         old_fields = (
             self._options.cache,
@@ -403,7 +417,8 @@ class Engine:
         return self._cost_model
 
     def _sweep_report(
-        self, cells, variants, pending, plans, measured, *, executor
+        self, cells, variants, pending, plans, measured, *, executor,
+        chunk_stats=None,
     ) -> dict:
         """Per-sweep scheduler report exposed through :meth:`stats`.
 
@@ -411,7 +426,9 @@ class Engine:
         cache hits never entered the work queue, so they contribute to
         ``replicates_from_cache`` but are excluded from the
         predicted-vs-measured totals (counting them as zero-cost work
-        would make any prediction look wrong).
+        would make any prediction look wrong).  When chunks carry a
+        worker name (remote executor), the report also breaks
+        predicted-vs-measured seconds down per worker.
         """
         opts = self._options
         scheduled = set(pending)
@@ -468,6 +485,29 @@ class Engine:
         error = None
         if measured_total > 0:
             error = abs(predicted_total - measured_total) / measured_total
+        workers: dict[str, dict] | None = None
+        for stat in chunk_stats or ():
+            worker = stat.get("worker")
+            if worker is None:
+                continue
+            if workers is None:
+                workers = {}
+            entry = workers.setdefault(
+                worker,
+                {
+                    "chunks": 0,
+                    "replicates": 0,
+                    "predicted_seconds": 0.0,
+                    "measured_seconds": 0.0,
+                },
+            )
+            entry["chunks"] += 1
+            entry["replicates"] += stat["replicates"]
+            plan = plans[stat["cell"]]
+            entry["predicted_seconds"] += (
+                plan["per_replicate_seconds"] * stat["replicates"]
+            )
+            entry["measured_seconds"] += stat["seconds"]
         return {
             "executor": executor,
             "scheduler": opts.scheduler,
@@ -480,6 +520,7 @@ class Engine:
             "predicted_seconds": predicted_total,
             "measured_seconds": measured_total,
             "prediction_error": error,
+            "workers": workers,
         }
 
     # -- persistent pool -----------------------------------------------
@@ -520,6 +561,64 @@ class Engine:
             return ()
         return tuple(sorted(p.pid for p in self._pool._pool))
 
+    # -- remote worker pool --------------------------------------------
+    def worker_pool(self) -> WorkerPool:
+        """The session's remote :class:`~repro.engine.remote.WorkerPool`.
+
+        Lazily bound on first use: to ``options.workers`` when set
+        (``--workers host:port`` / ``REPRO_ENGINE_WORKERS``), else to
+        loopback on an ephemeral port — read :attr:`WorkerPool.endpoint`
+        for the address ``repro worker`` processes should connect to.
+        The pool lives for the whole session, so workers stay attached
+        across every ``ensemble()``/``sweep()`` call, exactly like the
+        persistent process pool.
+        """
+        self._check_open()
+        if self._worker_pool is None:
+            token = (
+                cache_token(self._options.cache_dir)
+                if self._options.cache
+                else None
+            )
+            self._worker_pool = WorkerPool(
+                self._options.workers, session_cache_token=token
+            )
+        return self._worker_pool
+
+    def _shutdown_worker_pool(self) -> None:
+        if self._worker_pool is not None:
+            pool, self._worker_pool = self._worker_pool, None
+            self._count_transport(
+                "socket",
+                pool.chunks_dispatched,
+                pool.bytes_sent + pool.bytes_received,
+            )
+            pool.close()
+
+    def _count_transport(self, transport: str, chunks: int, nbytes: int) -> None:
+        row = self._transport[transport]
+        row["chunks"] += int(chunks)
+        row["bytes"] += int(nbytes)
+
+    def _transport_stats(self) -> dict:
+        """Per-transport byte/chunk counters, live pool included."""
+        snapshot = {name: dict(row) for name, row in self._transport.items()}
+        if self._worker_pool is not None:
+            snapshot["socket"]["chunks"] += self._worker_pool.chunks_dispatched
+            snapshot["socket"]["bytes"] += (
+                self._worker_pool.bytes_sent + self._worker_pool.bytes_received
+            )
+        return snapshot
+
+    @staticmethod
+    def _remote_results(scenario, spec, output: dict, trials: int, widths):
+        """Decode one remote chunk result (record block or pickled list)."""
+        if output["transport"] == "records" and widths is not None:
+            return decode_result_block(
+                scenario, spec, output["block"], trials, *widths
+            )
+        return output["results"]
+
     # -- diagnostics ---------------------------------------------------
     def stats(self) -> dict:
         """Session counters: pool reuse, cache traffic, replicates executed."""
@@ -535,6 +634,16 @@ class Engine:
             "alive": self._pool is not None,
             "worker_pids": list(self.worker_pids()),
         }
+        snapshot["remote"] = (
+            {
+                "listening": self._worker_pool.endpoint,
+                "workers": self._worker_pool.workers(),
+                "chunks_requeued": self._worker_pool.chunks_requeued,
+            }
+            if self._worker_pool is not None
+            else None
+        )
+        snapshot["transport"] = self._transport_stats()
         snapshot["cache"] = self._cache.stats() if self._cache is not None else None
         snapshot["scheduler"] = {
             "last_sweep": self._last_sweep_report,
@@ -594,7 +703,11 @@ class Engine:
         (:func:`repro.engine.run_ensemble`) bit for bit at fixed seeds;
         unspecified arguments fall back to the *session's* frozen
         options instead of re-reading globals, and process-executor
-        calls reuse the session's persistent pool.
+        calls reuse the session's persistent pool.  With
+        ``executor="remote"`` chunks ship over the session's socket
+        :class:`~repro.engine.remote.WorkerPool` instead — results stay
+        bit-identical because replicate seeds are derived before any
+        chunking or dispatch.
         """
         self._check_open()
         if batch_size < 1:
@@ -632,6 +745,44 @@ class Engine:
                     results.extend(
                         scenario.run_chunk(spec, runner, rngs, max_interactions)
                     )
+            elif executor == "remote":
+                # Same seeds-before-chunking derivation as every other
+                # executor, so results are bit-identical by construction;
+                # specs always travel by value (socket frames cross
+                # hosts, shared-memory refs do not).
+                scenario.check_process_safe(variant, backend)
+                result_transport = self._resolve_transport(result_transport)
+                pool = self.worker_pool()
+                per_chunk = self._chunk_cap(
+                    trials, max(pool.worker_count(), 2), batch_size
+                )
+                seed_chunks = _chunked(seeds, per_chunk)
+                widths = (
+                    _record_widths(scenario, spec, variant)
+                    if result_transport == "shared"
+                    else None
+                )
+                messages = [
+                    {
+                        "scenario": spec.scenario,
+                        "spec": spec,
+                        "variant": variant,
+                        "seeds": chunk,
+                        "max_interactions": max_interactions,
+                        "event_block": opts.event_block,
+                        "stream_buffer": opts.stream_buffer,
+                        "record": widths,
+                    }
+                    for chunk in seed_chunks
+                ]
+                outputs = pool.run(messages)
+                results = []
+                for chunk, output in zip(seed_chunks, outputs):
+                    results.extend(
+                        self._remote_results(
+                            scenario, spec, output, len(chunk), widths
+                        )
+                    )
             else:
                 jobs = self._resolve_jobs(jobs)
                 # Workers re-resolve the scenario and variant by name from
@@ -663,7 +814,12 @@ class Engine:
                         stream_buffer,
                         pool_map,
                     )
-                if results is None:
+                if results is not None:
+                    widths = _record_widths(scenario, spec, variant)
+                    self._count_transport(
+                        "shared", len(seed_chunks), trials * 8 * sum(widths)
+                    )
+                else:
                     payloads = [
                         (
                             spec.scenario,
@@ -677,6 +833,11 @@ class Engine:
                         for chunk in seed_chunks
                     ]
                     chunks = pool_map(_worker, payloads)
+                    self._count_transport(
+                        "pickle",
+                        len(payloads),
+                        len(pickle.dumps(chunks, pickle.HIGHEST_PROTOCOL)),
+                    )
                     results = [result for chunk in chunks for result in chunk]
 
             if store is not None:
@@ -710,6 +871,9 @@ class Engine:
         (``result_transport="shared"``, the default) sweep chunks return
         as fixed-width records through one sweep-wide shared-memory
         block instead of pickles, with automatic pickle fallback.
+        ``executor="remote"`` drains the same flattened longest-first
+        chunk queue through socket-connected ``repro worker`` processes,
+        bit-identical to every local executor at fixed seeds.
         """
         # Imported here: the sweep module's free function wraps this
         # method, so a top-level import would be circular.
@@ -778,11 +942,20 @@ class Engine:
                 }
             chunk_stats: list[dict] = []
             if pending:
+                worker_pool = None
                 if executor != "serial":
-                    jobs = self._resolve_jobs(jobs)
                     for i in pending:
                         scenarios[i].check_process_safe(variants[i], backend)
                     result_transport = self._resolve_transport(result_transport)
+                    if executor == "remote":
+                        worker_pool = self.worker_pool()
+                        # Chunk sizing only (results are invariant to
+                        # it): a conservative floor of two workers keeps
+                        # cold pools from coalescing whole cells into
+                        # single unstealable chunks.
+                        jobs = max(worker_pool.worker_count(), 2)
+                    else:
+                        jobs = self._resolve_jobs(jobs)
 
                 event_block = opts.event_block
                 stream_buffer = opts.stream_buffer
@@ -834,8 +1007,24 @@ class Engine:
                         cell = cells[i]
                         plan = plans[i]
                         if opts.scheduler == "cost":
+                            per_rep = plan["per_replicate_seconds"]
+                            if worker_pool is not None:
+                                # Size remote chunks against the slowest
+                                # attached worker's measured coefficients
+                                # (per-family prediction when a worker
+                                # has no history yet), so a wall-time
+                                # slice stays a bounded tail on
+                                # heterogeneous hardware.
+                                worker_est = model.predict_for_workers(
+                                    cell.spec.scenario,
+                                    variants[i],
+                                    plan["n"],
+                                    worker_pool.worker_names(),
+                                )
+                                if worker_est is not None:
+                                    per_rep = max(per_rep, worker_est)
                             chunk_cap = model.chunk_size(
-                                plan["per_replicate_seconds"],
+                                per_rep,
                                 cell.trials,
                                 batch_size,
                             )
@@ -878,73 +1067,177 @@ class Engine:
                         # Longest-predicted-first; the sort is stable, so
                         # equal predictions keep grid order.
                         cell_jobs.sort(key=lambda job: -job["predicted_seconds"])
-                    pool_map = self._pool_mapper(jobs)
-                    # Large specs (graph edge arrays) ship to the pool
-                    # once per sweep via shared memory instead of being
-                    # re-pickled with every chunk; small specs travel
-                    # inline unchanged.
-                    broadcast = SpecBroadcast([job["spec"] for job in cell_jobs])
-                    try:
+                    if executor == "remote":
+                        # The same flattened longest-first queue the
+                        # process executor drains, shipped frame by
+                        # frame: one chunk in flight per worker (work
+                        # stealing), specs by value, results back as
+                        # fixed-width record blocks (pickle fallback
+                        # per cell without a codec).  The PR 6 spec
+                        # broadcast is deliberately NOT engaged here —
+                        # its shared-memory refs only resolve on this
+                        # host.
+                        messages = []
+                        chunk_meta = []
                         for job in cell_jobs:
-                            job["spec_payload"] = broadcast.ref_for(job["spec"])
-                        shared = None
-                        if result_transport == "shared":
-                            shared = _run_sweep_shared(cell_jobs, pool_map)
-                        if shared is not None:
-                            results_by_cell.update(shared[0])
-                            chunk_stats.extend(shared[1])
-                        else:
-                            payloads = []
-                            chunk_meta = []
-                            for job in cell_jobs:
-                                for chunk, chunk_block, chunk_buffer in zip(
-                                    job["chunks"],
-                                    job["event_blocks"],
-                                    job["stream_buffers"],
-                                ):
-                                    payloads.append(
-                                        (
-                                            job["spec"].scenario,
-                                            job["spec_payload"],
-                                            job["variant"],
-                                            chunk,
-                                            job["max_interactions"],
-                                            chunk_block,
-                                            chunk_buffer,
-                                        )
-                                    )
-                                    chunk_meta.append(
-                                        (
-                                            job["index"],
-                                            len(chunk),
-                                            chunk_block,
-                                            chunk_buffer,
-                                        )
-                                    )
-                            # chunksize=1 keeps distribution dynamic: a
-                            # worker that finishes a fast cell's chunk
-                            # immediately steals the next chunk from any
-                            # cell still pending.
-                            outputs = pool_map(
-                                _timed_worker, payloads, chunksize=1
+                            widths = (
+                                _record_widths(
+                                    job["scenario"], job["spec"], job["variant"]
+                                )
+                                if result_transport == "shared"
+                                else None
                             )
-                            for i in pending:
-                                results_by_cell[i] = []
-                            for (output, seconds), (i, replicates, blk, buf) in zip(
-                                outputs, chunk_meta
+                            for chunk, chunk_block, chunk_buffer in zip(
+                                job["chunks"],
+                                job["event_blocks"],
+                                job["stream_buffers"],
                             ):
-                                results_by_cell[i].extend(output)
-                                chunk_stats.append(
+                                messages.append(
                                     {
-                                        "cell": i,
-                                        "replicates": replicates,
-                                        "event_block": blk,
-                                        "stream_buffer": buf,
-                                        "seconds": seconds,
+                                        "scenario": job["spec"].scenario,
+                                        "spec": job["spec"],
+                                        "variant": job["variant"],
+                                        "seeds": chunk,
+                                        "max_interactions": job[
+                                            "max_interactions"
+                                        ],
+                                        "event_block": chunk_block,
+                                        "stream_buffer": chunk_buffer,
+                                        "record": widths,
                                     }
                                 )
-                    finally:
-                        broadcast.close()
+                                chunk_meta.append(
+                                    (job, len(chunk), chunk_block,
+                                     chunk_buffer, widths)
+                                )
+                        outputs = worker_pool.run(messages)
+                        for i in pending:
+                            results_by_cell[i] = []
+                        for output, (job, replicates, blk, buf, widths) in zip(
+                            outputs, chunk_meta
+                        ):
+                            results_by_cell[job["index"]].extend(
+                                self._remote_results(
+                                    job["scenario"],
+                                    job["spec"],
+                                    output,
+                                    replicates,
+                                    widths,
+                                )
+                            )
+                            chunk_stats.append(
+                                {
+                                    "cell": job["index"],
+                                    "replicates": replicates,
+                                    "event_block": blk,
+                                    "stream_buffer": buf,
+                                    "seconds": output["seconds"],
+                                    "worker": output["worker"],
+                                }
+                            )
+                    else:
+                        pool_map = self._pool_mapper(jobs)
+                        # Large specs (graph edge arrays) ship to the pool
+                        # once per sweep via shared memory instead of being
+                        # re-pickled with every chunk; small specs travel
+                        # inline unchanged.
+                        broadcast = SpecBroadcast(
+                            [job["spec"] for job in cell_jobs]
+                        )
+                        try:
+                            for job in cell_jobs:
+                                job["spec_payload"] = broadcast.ref_for(
+                                    job["spec"]
+                                )
+                            shared = None
+                            if result_transport == "shared":
+                                shared = _run_sweep_shared(cell_jobs, pool_map)
+                            if shared is not None:
+                                results_by_cell.update(shared[0])
+                                chunk_stats.extend(shared[1])
+                                # Transport accounting: the sweep block
+                                # packs every cell's rows at one common
+                                # stride (the widest cell wins).
+                                stride = 0
+                                total_rows = 0
+                                n_chunks = 0
+                                for job in cell_jobs:
+                                    iw, fw = _record_widths(
+                                        job["scenario"],
+                                        job["spec"],
+                                        job["variant"],
+                                    )
+                                    stride = max(stride, 8 * (iw + fw))
+                                    total_rows += sum(
+                                        len(c) for c in job["chunks"]
+                                    )
+                                    n_chunks += len(job["chunks"])
+                                self._count_transport(
+                                    "shared", n_chunks, total_rows * stride
+                                )
+                            else:
+                                payloads = []
+                                chunk_meta = []
+                                for job in cell_jobs:
+                                    for chunk, chunk_block, chunk_buffer in zip(
+                                        job["chunks"],
+                                        job["event_blocks"],
+                                        job["stream_buffers"],
+                                    ):
+                                        payloads.append(
+                                            (
+                                                job["spec"].scenario,
+                                                job["spec_payload"],
+                                                job["variant"],
+                                                chunk,
+                                                job["max_interactions"],
+                                                chunk_block,
+                                                chunk_buffer,
+                                            )
+                                        )
+                                        chunk_meta.append(
+                                            (
+                                                job["index"],
+                                                len(chunk),
+                                                chunk_block,
+                                                chunk_buffer,
+                                            )
+                                        )
+                                # chunksize=1 keeps distribution dynamic: a
+                                # worker that finishes a fast cell's chunk
+                                # immediately steals the next chunk from any
+                                # cell still pending.
+                                outputs = pool_map(
+                                    _timed_worker, payloads, chunksize=1
+                                )
+                                self._count_transport(
+                                    "pickle",
+                                    len(payloads),
+                                    len(
+                                        pickle.dumps(
+                                            [o for o, _ in outputs],
+                                            pickle.HIGHEST_PROTOCOL,
+                                        )
+                                    ),
+                                )
+                                for i in pending:
+                                    results_by_cell[i] = []
+                                for (
+                                    (output, seconds),
+                                    (i, replicates, blk, buf),
+                                ) in zip(outputs, chunk_meta):
+                                    results_by_cell[i].extend(output)
+                                    chunk_stats.append(
+                                        {
+                                            "cell": i,
+                                            "replicates": replicates,
+                                            "event_block": blk,
+                                            "stream_buffer": buf,
+                                            "seconds": seconds,
+                                        }
+                                    )
+                        finally:
+                            broadcast.close()
                 if store is not None:
                     for i in pending:
                         store.store(keys[i], results_by_cell[i])
@@ -959,6 +1252,11 @@ class Engine:
                 measured[i] = measured.get(i, 0.0) + stat["seconds"]
                 signature = plans[i]["signature"]
                 model.observe(signature, stat["replicates"], stat["seconds"])
+                worker = stat.get("worker")
+                if worker is not None:
+                    model.observe_worker(
+                        worker, signature, stat["replicates"], stat["seconds"]
+                    )
                 if autotuning and variants[i] in ("batched", "compiled"):
                     model.observe_block(
                         signature,
@@ -975,7 +1273,8 @@ class Engine:
             if store is not None and chunk_stats:
                 store.store_cost_table(model.to_payload())
             self._last_sweep_report = self._sweep_report(
-                cells, variants, pending, plans, measured, executor=executor
+                cells, variants, pending, plans, measured, executor=executor,
+                chunk_stats=chunk_stats,
             )
 
             sweep_key = None

@@ -1,0 +1,564 @@
+"""Remote executor: wire protocol, worker pool, and bit-identity.
+
+The remote executor must be invisible in the results: chunks shipped to
+socket-connected workers come back bit-identical to serial and process
+execution at fixed seeds — including when a worker dies mid-chunk and
+its work is requeued, and when thread workers and ``repro worker``
+subprocesses serve the same sweep.  What *is* new — the framed wire
+format, the handshake, per-worker cost coefficients, per-transport
+traffic counters — is pinned here.
+"""
+
+import os
+import pickle
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Engine,
+    EngineOptions,
+    SweepSpec,
+    run_ensemble,
+    run_sweep,
+)
+from repro.engine.costmodel import CostModel, cost_signature
+from repro.engine.remote import (
+    FRAME_MAGIC,
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    WorkerPool,
+    cache_token,
+    decode_result_block,
+    encode_frame,
+    encode_result_block,
+    parse_address,
+    recv_frame,
+    send_frame,
+    serve_worker,
+)
+from repro.engine.scenarios import get_scenario, usd_spec
+from repro.workloads import uniform_configuration
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def results_key(results):
+    return [
+        (
+            tuple(r.final.counts.tolist()),
+            getattr(r, "interactions", getattr(r, "rounds", None)),
+            getattr(r, "winner", None),
+        )
+        for r in results
+    ]
+
+
+def sweep_key(outcome):
+    return [results_key(cell.results) for cell in outcome]
+
+
+def small_sweep(trials=6):
+    grid = [{"n": 60, "k": 2}, {"n": 90, "k": 2}, {"n": 120, "k": 3}]
+    return SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
+
+
+def start_worker_thread(endpoint, **kwargs):
+    def quiet_serve():
+        # Expected endings (the pool vanished, a deliberately poisoned
+        # chunk re-raised after its error report) must not surface as
+        # unhandled-thread-exception warnings; every assertion in these
+        # tests is on the session side.
+        try:
+            serve_worker(endpoint, **kwargs)
+        except Exception:
+            pass
+
+    thread = threading.Thread(target=quiet_serve, daemon=True)
+    thread.start()
+    return thread
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip_single_frame(self):
+        message = {"type": "chunk", "id": 3, "payload": list(range(10))}
+        decoder = FrameDecoder()
+        out = decoder.feed(encode_frame(message))
+        assert out == [message]
+        assert decoder.pending_bytes == 0
+
+    def test_roundtrip_many_frames_byte_by_byte(self):
+        messages = [{"type": "x", "i": i} for i in range(5)]
+        wire = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        seen = []
+        for offset in range(len(wire)):
+            seen.extend(decoder.feed(wire[offset : offset + 1]))
+        assert seen == messages
+        assert decoder.pending_bytes == 0
+
+    def test_partial_frame_waits(self):
+        frame = encode_frame({"type": "x"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.pending_bytes == len(frame) - 1
+        assert decoder.feed(frame[-1:]) == [{"type": "x"}]
+
+    def test_bad_magic_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="magic"):
+            decoder.feed(b"JUNK" + b"\x00" * 10)
+
+    def test_oversized_length_rejected(self):
+        header = FRAME_MAGIC + (MAX_FRAME + 1).to_bytes(4, "big")
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(header)
+
+    def test_non_dict_payload_rejected(self):
+        blob = pickle.dumps([1, 2, 3])
+        frame = FRAME_MAGIC + len(blob).to_bytes(4, "big") + blob
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="dict"):
+            decoder.feed(frame)
+
+    def test_socket_roundtrip_and_clean_eof(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "hello", "n": 1})
+            assert recv_frame(b) == {"type": "hello", "n": 1}
+            a.close()
+            assert recv_frame(b) is None  # EOF on a frame boundary
+        finally:
+            b.close()
+
+    def test_truncated_frame_rejected_over_socket(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame({"type": "hello"})
+            a.sendall(frame[: len(frame) - 2])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_recv_frame_rejects_oversized_header(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(FRAME_MAGIC + (MAX_FRAME + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:4321") == ("127.0.0.1", 4321)
+        assert parse_address("host.example:0") == ("host.example", 0)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+# ----------------------------------------------------------------------
+# Record blocks over the wire
+# ----------------------------------------------------------------------
+class TestRecordBlocks:
+    def test_roundtrip_matches_results(self):
+        spec = usd_spec(uniform_configuration(80, 3))
+        scenario = get_scenario(spec.scenario)
+        results = run_ensemble(spec, 6, seed=5, executor="serial")
+        iw = scenario.record_ints(spec)
+        fw = scenario.record_floats
+        block = encode_result_block(scenario, spec, results, iw, fw)
+        assert len(block) == 6 * 8 * (iw + fw)
+        decoded = decode_result_block(scenario, spec, block, 6, iw, fw)
+        assert results_key(decoded) == results_key(results)
+
+    def test_wrong_size_rejected(self):
+        spec = usd_spec(uniform_configuration(60, 2))
+        scenario = get_scenario(spec.scenario)
+        with pytest.raises(ProtocolError, match="record block"):
+            decode_result_block(scenario, spec, b"\x00" * 7, 4, 3, 2)
+
+
+# ----------------------------------------------------------------------
+# Cache tokens
+# ----------------------------------------------------------------------
+class TestCacheToken:
+    def test_same_store_same_token(self, tmp_path):
+        store = tmp_path / "cache"
+        store.mkdir()
+        relative = store / ".." / "cache"
+        assert cache_token(store) == cache_token(relative)
+
+    def test_different_store_different_token(self, tmp_path):
+        assert cache_token(tmp_path / "a") != cache_token(tmp_path / "b")
+
+
+# ----------------------------------------------------------------------
+# Options plumbing
+# ----------------------------------------------------------------------
+class TestRemoteOptions:
+    def test_executor_accepts_remote(self):
+        opts = EngineOptions(executor="remote")
+        assert opts.executor == "remote"
+        assert opts.as_dict()["executor"] == "remote"
+
+    def test_executor_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            EngineOptions(executor="carrier-pigeon")
+
+    def test_workers_validation(self):
+        opts = EngineOptions(workers="127.0.0.1:7777")
+        assert opts.workers == "127.0.0.1:7777"
+        with pytest.raises(ValueError):
+            EngineOptions(workers="no-port-here")
+        with pytest.raises(ValueError):
+            EngineOptions(workers="host:99999")
+
+    def test_workers_environment_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "127.0.0.1:6001")
+        assert EngineOptions.resolve().workers == "127.0.0.1:6001"
+        monkeypatch.delenv("REPRO_ENGINE_WORKERS")
+        assert EngineOptions.resolve().workers is None
+
+    def test_replace_keeps_explicit_executor(self):
+        opts = EngineOptions(executor="remote")
+        assert opts.replace(jobs=4).executor == "remote"
+
+    def test_replace_keeps_derived_executor_dynamic(self):
+        # An unset executor stays *derived* through replace(): bumping
+        # jobs on serial-derived options must flip it to process.
+        opts = EngineOptions()
+        assert opts.executor == "serial"
+        assert opts.replace(jobs=4).executor == "process"
+
+
+# ----------------------------------------------------------------------
+# WorkerPool protocol behavior
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_handshake_and_workers_snapshot(self, tmp_path):
+        shared = tmp_path / "store"
+        with WorkerPool(session_cache_token=cache_token(shared)) as pool:
+            start_worker_thread(
+                pool.endpoint, name="mate", cache_dir=str(shared), max_chunks=0
+            )
+            start_worker_thread(
+                pool.endpoint,
+                name="stranger",
+                cache_dir=str(tmp_path / "elsewhere"),
+                max_chunks=0,
+            )
+            pool.wait_for_workers(2, timeout=15)
+            snapshot = {w["name"]: w for w in pool.workers()}
+            assert snapshot["mate"]["cache_shared"] is True
+            assert snapshot["stranger"]["cache_shared"] is False
+            assert snapshot["mate"]["pid"] == os.getpid()
+
+    def test_protocol_mismatch_is_rejected(self):
+        with WorkerPool() as pool:
+            sock = socket.create_connection(pool.address, timeout=10)
+            try:
+                send_frame(
+                    sock,
+                    {"type": "hello", "protocol": PROTOCOL_VERSION + 1,
+                     "name": "old"},
+                )
+                for _ in range(50):
+                    pool._poll(0.05)
+                    if not pool._conns:
+                        break
+                assert pool.worker_count() == 0
+                assert not pool._conns  # connection was dropped entirely
+            finally:
+                sock.close()
+
+    def test_worker_error_aborts_run(self):
+        spec = usd_spec(uniform_configuration(60, 2))
+        with WorkerPool() as pool:
+            start_worker_thread(pool.endpoint, name="doomed")
+            pool.wait_for_workers(1, timeout=15)
+            # An unknown scenario name fails inside the worker, which
+            # must surface as the session's RuntimeError (not a hang).
+            with pytest.raises(RuntimeError, match="doomed"):
+                pool.run(
+                    [
+                        {
+                            "scenario": "no-such-scenario",
+                            "spec": spec,
+                            "variant": "reference",
+                            "seeds": [np.random.SeedSequence(1)],
+                            "max_interactions": 10,
+                            "event_block": None,
+                            "stream_buffer": None,
+                            "record": None,
+                        }
+                    ]
+                )
+
+    def test_spec_refs_are_rejected_by_workers(self):
+        from repro.engine.executors import _SPEC_REF_TAG
+        from repro.engine.remote import _execute_chunk
+
+        with pytest.raises(ProtocolError, match="by value"):
+            _execute_chunk(
+                {
+                    "id": 0,
+                    "scenario": "usd",
+                    "spec": (_SPEC_REF_TAG, "block", 0, 10),
+                    "variant": "reference",
+                    "seeds": [],
+                    "max_interactions": None,
+                    "event_block": None,
+                    "stream_buffer": None,
+                    "record": None,
+                }
+            )
+
+    def test_counters_move(self):
+        spec = usd_spec(uniform_configuration(60, 2))
+        scenario = get_scenario(spec.scenario)
+        with WorkerPool() as pool:
+            start_worker_thread(pool.endpoint, name="w")
+            pool.wait_for_workers(1, timeout=15)
+            seeds = np.random.SeedSequence(9).spawn(4)
+            iw = scenario.record_ints(spec)
+            fw = scenario.record_floats
+            outputs = pool.run(
+                [
+                    {
+                        "scenario": spec.scenario,
+                        "spec": spec,
+                        "variant": scenario.variant(None),
+                        "seeds": seeds,
+                        "max_interactions": None,
+                        "event_block": None,
+                        "stream_buffer": None,
+                        "record": (iw, fw),
+                    }
+                ]
+            )
+            assert outputs[0]["transport"] == "records"
+            assert pool.chunks_dispatched == 1
+            assert pool.bytes_sent > 0
+            assert pool.bytes_received >= len(outputs[0]["block"])
+
+
+# ----------------------------------------------------------------------
+# Bit-identity across executors, death, and mixed worker kinds
+# ----------------------------------------------------------------------
+class TestRemoteBitIdentity:
+    def test_ensemble_matches_serial_and_process(self):
+        config = uniform_configuration(80, 3)
+        serial = run_ensemble(config, 10, seed=7, executor="serial")
+        process = run_ensemble(config, 10, seed=7, executor="process", jobs=2)
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            for i in range(2):
+                start_worker_thread(pool.endpoint, name=f"w{i}")
+            pool.wait_for_workers(2, timeout=15)
+            remote = eng.ensemble(config, 10, seed=7, executor="remote")
+        assert results_key(remote) == results_key(serial)
+        assert results_key(remote) == results_key(process)
+
+    def test_sweep_matches_serial_both_transports(self):
+        spec = small_sweep()
+        serial = run_sweep(spec, seed=11, executor="serial")
+        for transport in ("shared", "pickle"):
+            with Engine(cache=False, result_transport=transport) as eng:
+                pool = eng.worker_pool()
+                for i in range(2):
+                    start_worker_thread(pool.endpoint, name=f"w{i}")
+                pool.wait_for_workers(2, timeout=15)
+                remote = eng.sweep(spec, seed=11, executor="remote")
+                stats = eng.stats()
+            assert sweep_key(remote) == sweep_key(serial), transport
+            assert stats["transport"]["socket"]["chunks"] > 0
+
+    def test_worker_death_mid_sweep_requeues_bit_identically(self):
+        spec = small_sweep(trials=6)
+        serial = run_sweep(spec, seed=13, executor="serial")
+        # static scheduler + small batches force enough chunks that the
+        # flaky worker is guaranteed a second dispatch — which it takes
+        # and dies on, mid-chunk, without replying.
+        with Engine(cache=False, scheduler="static") as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(pool.endpoint, name="flaky", abort_after=1)
+            start_worker_thread(pool.endpoint, name="steady")
+            pool.wait_for_workers(2, timeout=15)
+            remote = eng.sweep(spec, seed=13, executor="remote", batch_size=2)
+            requeued = pool.chunks_requeued
+            stats = eng.stats()
+        assert requeued >= 1
+        assert stats["remote"]["chunks_requeued"] >= 1
+        assert sweep_key(remote) == sweep_key(serial)
+
+    def test_worker_joining_mid_run_is_used(self):
+        config = uniform_configuration(70, 2)
+        serial = run_ensemble(config, 12, seed=21, executor="serial")
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            endpoint = pool.endpoint
+            start_worker_thread(pool.endpoint, name="early")
+
+            def late_join():
+                try:
+                    serve_worker(endpoint, name="late")
+                except OSError:
+                    pass  # the run can finish before the late worker joins
+
+            threading.Timer(0.2, late_join).start()
+            pool.wait_for_workers(1, timeout=15)
+            remote = eng.ensemble(
+                config, 12, seed=21, executor="remote", batch_size=2
+            )
+        assert results_key(remote) == results_key(serial)
+
+    def test_mixed_thread_and_subprocess_workers(self):
+        spec = small_sweep(trials=5)
+        serial = run_sweep(spec, seed=17, executor="serial")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(pool.endpoint, name="local-thread")
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    pool.endpoint,
+                    "--name",
+                    "subprocess",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            try:
+                pool.wait_for_workers(2, timeout=60)
+                remote = eng.sweep(spec, seed=17, executor="remote")
+                report = eng.stats()["scheduler"]["last_sweep"]
+            finally:
+                eng.close()  # sends bye; the subprocess exits cleanly
+                assert proc.wait(timeout=30) == 0
+        assert sweep_key(remote) == sweep_key(serial)
+        assert report["workers"] is not None
+
+
+# ----------------------------------------------------------------------
+# Per-worker cost coefficients
+# ----------------------------------------------------------------------
+class TestPerWorkerCostModel:
+    def test_observe_then_predict_worker(self):
+        model = CostModel()
+        signature = cost_signature("usd", "batched", 500)
+        model.observe_worker("slow-box", signature, 10, 5.0)
+        seconds, source = model.predict_worker("slow-box", "usd", "batched", 500)
+        assert source == "worker"
+        assert seconds > 0
+        # A worker never seen falls back to the family prediction.
+        _, fallback_source = model.predict_worker("new-box", "usd", "batched", 500)
+        assert fallback_source != "worker"
+
+    def test_first_observation_seeds_from_family_prior(self):
+        model = CostModel()
+        signature = cost_signature("usd", "batched", 500)
+        model.observe(signature, 10, 1.0)  # family history: 0.1 s/rep
+        model.observe_worker("box", signature, 10, 1.0)
+        seconds, _ = model.predict_worker("box", "usd", "batched", 500)
+        family, _ = model.predict("usd", "batched", 500)
+        # Folded into the family prior, not replacing it outright.
+        assert seconds == pytest.approx(family, rel=0.5)
+
+    def test_predict_for_workers_takes_slowest(self):
+        model = CostModel()
+        signature = cost_signature("usd", "batched", 500)
+        model.observe_worker("fast", signature, 10, 0.1)
+        model.observe_worker("slow", signature, 10, 10.0)
+        both = model.predict_for_workers("usd", "batched", 500, ["fast", "slow"])
+        fast_only = model.predict_for_workers("usd", "batched", 500, ["fast"])
+        assert both > fast_only
+        assert model.predict_for_workers("usd", "batched", 500, []) is None
+
+    def test_worker_tables_roundtrip_payload(self):
+        model = CostModel()
+        signature = cost_signature("usd", "batched", 500)
+        model.observe_worker("box", signature, 10, 2.0)
+        payload = model.to_payload()
+        assert "workers" in payload
+        reloaded = CostModel.from_payload(payload)
+        a, _ = model.predict_worker("box", "usd", "batched", 500)
+        b, _ = reloaded.predict_worker("box", "usd", "batched", 500)
+        assert a == pytest.approx(b)
+        assert reloaded.summary()["workers"] == {"box": 1}
+
+    def test_sweep_report_has_per_worker_breakdown(self):
+        spec = small_sweep(trials=4)
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            for i in range(2):
+                start_worker_thread(pool.endpoint, name=f"w{i}")
+            pool.wait_for_workers(2, timeout=15)
+            eng.sweep(spec, seed=23, executor="remote")
+            report = eng.stats()["scheduler"]["last_sweep"]
+            cost_summary = eng.stats()["scheduler"]["cost_model"]
+        workers = report["workers"]
+        assert workers
+        for entry in workers.values():
+            assert entry["chunks"] >= 1
+            assert entry["measured_seconds"] > 0
+            assert entry["predicted_seconds"] > 0
+        assert cost_summary["workers"]  # per-worker EWMA tables exist
+
+
+# ----------------------------------------------------------------------
+# Transport counters on the local paths
+# ----------------------------------------------------------------------
+class TestTransportCounters:
+    def test_process_sweep_counts_shared_bytes(self):
+        spec = small_sweep(trials=4)
+        with Engine(cache=False, jobs=2) as eng:
+            eng.sweep(spec, seed=29, executor="process")
+            transport = eng.stats()["transport"]
+        assert transport["shared"]["chunks"] > 0
+        assert transport["shared"]["bytes"] > 0
+        assert transport["socket"]["chunks"] == 0
+
+    def test_process_pickle_sweep_counts_pickle_bytes(self):
+        spec = small_sweep(trials=4)
+        with Engine(cache=False, jobs=2, result_transport="pickle") as eng:
+            eng.sweep(spec, seed=29, executor="process")
+            transport = eng.stats()["transport"]
+        assert transport["pickle"]["chunks"] > 0
+        assert transport["pickle"]["bytes"] > 0
+
+    def test_socket_counters_survive_pool_shutdown(self):
+        config = uniform_configuration(60, 2)
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(pool.endpoint, name="w")
+            pool.wait_for_workers(1, timeout=15)
+            eng.ensemble(config, 6, seed=31, executor="remote")
+            live = eng.stats()["transport"]["socket"]
+            assert live["chunks"] > 0
+            # Reconfiguring the workers address tears the pool down; the
+            # totals must fold into the session counters, not vanish.
+            eng.configure(workers="127.0.0.1:0")
+            folded = eng.stats()["transport"]["socket"]
+        assert folded["chunks"] == live["chunks"]
+        assert folded["bytes"] == live["bytes"]
