@@ -757,6 +757,9 @@ def run_remote_smoke(
     jobs: int = 2,
     seed: int = 20230224,
     rounds: int = 3,
+    warm_ns: list[int] | None = None,
+    warm_ks: list[int] | None = None,
+    warm_trials: int = 12,
     output: str | os.PathLike | None = None,
 ) -> dict:
     """Remote-executor smoke: socket workers vs the process pool.
@@ -781,6 +784,15 @@ def run_remote_smoke(
     requeued at least one chunk AND the results still match — worker
     death costs wall time, never bits, because every chunk carries its
     replicates' ``SeedSequence`` children.
+
+    A third measurement, **warm_cache**, times a heavier
+    ``warm_ns x warm_ks`` sweep twice against two subprocess workers
+    with separate ``--cache-dir`` stores: the cold pass simulates and
+    write-back replication populates both stores; the warm pass (fresh
+    fleet, cache-less coordinator) is served entirely out of the
+    workers' caches.  Asserted bit-identical with **zero** replicates
+    simulated; the headline ``warm_cache.speedup`` (cold seconds over
+    warm seconds) is gated >= 3x in CI.
     """
     import subprocess
     import sys as _sys
@@ -790,6 +802,8 @@ def run_remote_smoke(
 
     ns = ns if ns is not None else [20, 30, 60, 90, 120]
     ks = ks if ks is not None else [2, 3]
+    warm_ns = warm_ns if warm_ns is not None else [200, 400, 800]
+    warm_ks = warm_ks if warm_ks is not None else [2, 3]
     grid = [{"n": n, "k": k_} for n in ns for k_ in ks]
     spec = SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
     cell_seeds = [seed + index for index in range(len(grid))]
@@ -805,8 +819,20 @@ def run_remote_smoke(
         ]
 
     def spawn_worker(endpoint: str, name: str) -> subprocess.Popen:
+        # Store-less on purpose: with a cache dir the fleet would serve
+        # round 2+ straight out of round 1's write-back pushes, and the
+        # cold-execution arms would measure the cache fabric instead.
         return subprocess.Popen(
-            [_sys.executable, "-m", "repro", "worker", endpoint, "--name", name],
+            [
+                _sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                endpoint,
+                "--name",
+                name,
+                "--no-cache",
+            ],
             env=env,
             stdout=subprocess.DEVNULL,
             stderr=subprocess.STDOUT,
@@ -885,6 +911,87 @@ def run_remote_smoke(
         "worker death changed sweep results"
     )
 
+    # Warm-cache fabric: the same (heavier) sweep twice against two
+    # subprocess workers, each with its own store.  The cold pass
+    # simulates everything and the coordinator's write-back replication
+    # pushes every cell to both workers; the warm pass then runs with a
+    # cache-less coordinator and a *fresh* fleet over the same stores,
+    # so every replicate must come back via serve-cached — zero
+    # simulation, bit-identical, and far past the 3x throughput gate
+    # because only probe/serve round-trips remain.
+    import tempfile
+
+    warm_grid = [{"n": n, "k": k_} for n in warm_ns for k_ in warm_ks]
+    warm_spec = SweepSpec.from_grid(
+        warm_grid, uniform_configuration, trials=warm_trials
+    )
+    warm_seeds = [seed + 1000 + index for index in range(len(warm_grid))]
+
+    def fleet_pass(tmp_root: Path, *, cold: bool):
+        options = (
+            {"cache": True, "cache_dir": str(tmp_root / "coord")}
+            if cold
+            else {"cache": False}
+        )
+        with Engine(executor="remote", **options) as eng:
+            pool = eng.worker_pool()
+            fleet = [
+                subprocess.Popen(
+                    [
+                        _sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        pool.endpoint,
+                        "--name",
+                        f"warm-{i}",
+                        "--cache-dir",
+                        str(tmp_root / f"store-{i}"),
+                    ],
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.STDOUT,
+                )
+                for i in range(2)
+            ]
+            try:
+                pool.wait_for_workers(2, timeout=120)
+                start = time.perf_counter()
+                outcome = eng.sweep(
+                    warm_spec, cell_seeds=warm_seeds, executor="remote"
+                )
+                elapsed = time.perf_counter() - start
+                stats = eng.stats()
+            finally:
+                # bye follows the write-back pushes on each socket, so
+                # waiting the workers out guarantees the stores are
+                # written before the next pass reads them.
+                eng.close()
+                for proc in fleet:
+                    if proc.wait(timeout=60) != 0:
+                        raise RuntimeError("a warm-fleet worker exited non-zero")
+        return outcome, elapsed, stats
+
+    with tempfile.TemporaryDirectory(prefix="repro-warm-fleet-") as tmp:
+        tmp_root = Path(tmp)
+        cold_outcome, cold_seconds, _cold_stats = fleet_pass(
+            tmp_root, cold=True
+        )
+        warm_outcome, warm_seconds, warm_stats = fleet_pass(
+            tmp_root, cold=False
+        )
+    assert outcome_key(warm_outcome) == outcome_key(cold_outcome), (
+        "warm fleet-served sweep diverged from its cold run"
+    )
+    assert warm_stats["replicates_simulated"] == 0, (
+        f"warm pass simulated {warm_stats['replicates_simulated']} replicates"
+    )
+    warm_fabric = warm_stats["cache"]["fabric"]
+    assert warm_fabric["served"] == len(warm_grid), (
+        f"only {warm_fabric['served']}/{len(warm_grid)} cells fleet-served"
+    )
+    warm_speedup = cold_seconds / warm_seconds
+
     process_seconds = min(times["process"])
     remote_seconds = min(times["remote"])
     replicates = spec.total_trials
@@ -915,6 +1022,22 @@ def run_remote_smoke(
         "throughput_ratio": process_seconds / remote_seconds,
         "kill_requeue": {
             "chunks_requeued": requeued,
+            "bit_identical": True,
+        },
+        "warm_cache": {
+            "workload": {
+                "ns": warm_ns,
+                "ks": warm_ks,
+                "trials_per_cell": warm_trials,
+            },
+            "cells": len(warm_grid),
+            "replicates": warm_spec.total_trials,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": warm_speedup,
+            "replicates_simulated": warm_stats["replicates_simulated"],
+            "replicates_served": warm_stats["replicates_served_remote"],
+            "fabric": warm_fabric,
             "bit_identical": True,
         },
         "bit_identical": True,

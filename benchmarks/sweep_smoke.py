@@ -24,7 +24,13 @@ Three measurements, merged into one ``BENCH_sweeps.json`` artifact:
   bit-identical, plus a worker-kill-and-requeue smoke (a flaky worker
   drops its connection mid-chunk; the requeued chunk must reproduce
   the exact bits).  The gate is a throughput *floor* — loopback
-  framing overhead must stay bounded — not a speedup claim.
+  framing overhead must stay bounded — not a speedup claim.  A
+  warm-cache arm runs a heavier sweep twice against two workers with
+  separate cache dirs: the cold pass populates the fleet's stores via
+  write-back replication, and the warm pass (fresh fleet, cache-less
+  coordinator) must be served entirely from worker caches —
+  bit-identical, zero replicates simulated, gated >= 3x cold
+  throughput.
 
 Usage::
 
@@ -33,17 +39,19 @@ Usage::
         [--trials 8] [--jobs 2] [--rounds 3] \
         [--pool-ns 40,60] [--pool-trials 4] [--pool-sweeps 5] \
         [--remote-ns 20,30,60,90,120] [--remote-ks 2,3] [--remote-trials 6] \
+        [--warm-ns 200,400,800] [--warm-ks 2,3] [--warm-trials 12] \
         [--seed 20230224] [--output BENCH_sweeps.json] \
         [--min-speedup 0] [--min-pool-reuse-speedup 0] \
-        [--min-remote-speedup 0]
+        [--min-remote-speedup 0] [--min-warm-cache-speedup 0]
 
 Exits non-zero when a measured speedup falls below its threshold.  CI
 gates the cost scheduler at 1.3x the legacy per-cell barrier, the
-pool-reuse ablation at 1.2x, and the remote executor at 0.7x process
-throughput with two localhost workers; all hold with margin on the
-default workloads (the per-cell overhead the scheduler removes — pool
-spawns, barriers, fixed-grain dispatch — is deterministic, unlike
-replicate durations).
+pool-reuse ablation at 1.2x, the remote executor at 0.7x process
+throughput with two localhost workers, and the warm-cache fleet at 3x
+its cold pass; all hold with margin on the default workloads (the
+per-cell overhead the scheduler removes — pool spawns, barriers,
+fixed-grain dispatch — is deterministic, unlike replicate durations,
+and the warm pass removes simulation entirely).
 """
 
 from __future__ import annotations
@@ -117,6 +125,20 @@ def main(argv: list[str] | None = None) -> int:
         help="opinion counts crossed with --remote-ns",
     )
     parser.add_argument("--remote-trials", type=int, default=6)
+    parser.add_argument(
+        "--warm-ns",
+        type=_int_list,
+        default=[200, 400, 800],
+        help="population sizes for the warm-cache fleet grid (heavier "
+        "than the remote grid so simulation dominates the cold pass)",
+    )
+    parser.add_argument(
+        "--warm-ks",
+        type=_int_list,
+        default=[2, 3],
+        help="opinion counts crossed with --warm-ns",
+    )
+    parser.add_argument("--warm-trials", type=int, default=12)
     parser.add_argument("--output", default="BENCH_sweeps.json")
     parser.add_argument(
         "--min-speedup",
@@ -139,6 +161,14 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when remote-executor throughput (localhost workers) is "
         "below this multiple of the process executor (CI gates at 0.7 — "
         "loopback framing overhead is bounded, not zero)",
+    )
+    parser.add_argument(
+        "--min-warm-cache-speedup",
+        type=float,
+        default=0.0,
+        help="fail when the fleet-served warm pass is below this multiple "
+        "of its cold pass (CI gates at 3 — the warm pass performs zero "
+        "simulation, only probe/serve round-trips)",
     )
     args = parser.parse_args(argv)
 
@@ -166,6 +196,9 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         seed=args.seed,
         rounds=args.rounds,
+        warm_ns=args.warm_ns,
+        warm_ks=args.warm_ks,
+        warm_trials=args.warm_trials,
     )
     record = {
         "scheduling": scheduling,
@@ -223,7 +256,19 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"remote ratio:   {remote['throughput_ratio']:.2f}x process; "
         f"kill smoke requeued {remote['kill_requeue']['chunks_requeued']} "
-        f"chunk(s) bit-identically  (wrote {args.output})"
+        f"chunk(s) bit-identically"
+    )
+    warm = remote["warm_cache"]
+    print(
+        f"warm fleet:     cold pass {warm['replicates']} replicates over "
+        f"{warm['cells']} cells in {warm['cold_seconds']:.2f}s; warm pass "
+        f"served {warm['replicates_served']} replicates from worker caches "
+        f"in {warm['warm_seconds']:.2f}s "
+        f"({warm['replicates_simulated']} simulated)"
+    )
+    print(
+        f"warm speedup:   {warm['speedup']:.2f}x cold, bit-identical  "
+        f"(wrote {args.output})"
     )
     code = 0
     if scheduling["speedup"] < args.min_speedup:
@@ -245,6 +290,13 @@ def main(argv: list[str] | None = None) -> int:
             f"FAIL: remote-executor throughput ratio "
             f"{remote['throughput_ratio']:.2f} below threshold "
             f"{args.min_remote_speedup}",
+            file=sys.stderr,
+        )
+        code = 1
+    if warm["speedup"] < args.min_warm_cache_speedup:
+        print(
+            f"FAIL: warm-cache fleet speedup {warm['speedup']:.2f} below "
+            f"threshold {args.min_warm_cache_speedup}",
             file=sys.stderr,
         )
         code = 1

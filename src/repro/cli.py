@@ -58,6 +58,7 @@ startup; nothing mutates process-wide state.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -383,9 +384,24 @@ def build_parser() -> argparse.ArgumentParser:
     worker_cmd.add_argument(
         "--cache-dir",
         default=None,
-        help="ensemble cache directory this worker could share with the "
-        "session; only advertised in the handshake for cache-affinity "
-        "reporting (default: .repro-cache, or REPRO_ENGINE_CACHE_DIR)",
+        help="ensemble cache directory this worker serves from: probed "
+        "cell keys are answered out of it, serve-cached dispatches are "
+        "decoded from it, and write-back replication lands in it "
+        "(default: .repro-cache, or REPRO_ENGINE_CACHE_DIR)",
+    )
+    worker_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run store-less: open no cache directory, answer every "
+        "cache probe empty, and accept no replication pushes (used by "
+        "benchmarks that must measure cold execution)",
+    )
+    worker_cmd.add_argument(
+        "--secret",
+        default=None,
+        help="shared secret for the pool's HMAC challenge/response "
+        "handshake (default: REPRO_WORKER_SECRET); only needed when "
+        "the coordinator was started with a secret",
     )
 
     cache_cmd = sub.add_parser(
@@ -397,6 +413,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default: .repro-cache, "
         "or REPRO_ENGINE_CACHE_DIR)",
+    )
+    cache_cmd.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT",
+        help="with 'stats': also bind a worker pool at this address and "
+        "report the fleet view — each connected worker's cache token, "
+        "entry count, and served/pushed counters",
+    )
+    cache_cmd.add_argument(
+        "--wait-workers",
+        type=_positive_int,
+        default=1,
+        help="with --workers: how many workers to wait for before "
+        "printing the fleet view (default: 1)",
+    )
+    cache_cmd.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=30.0,
+        help="with --workers: seconds to wait for the fleet to register "
+        "(default: 30)",
     )
     return parser
 
@@ -653,6 +691,8 @@ def _print_scheduler_summary(session_stats: dict) -> None:
         f"{report['replicates_scheduled']} replicates scheduled, "
         f"{report['replicates_from_cache']} from cache"
     )
+    if report.get("replicates_served"):
+        line += f" ({report['replicates_served']} served by worker caches)"
     if report["replicates_scheduled"]:
         line += (
             f"; predicted {report['predicted_seconds']:.2f}s, "
@@ -674,12 +714,23 @@ def _print_scheduler_summary(session_stats: dict) -> None:
     if workers:
         for name in sorted(workers):
             entry = workers[name]
-            print(
+            line = (
                 f"  worker {name:<12} {entry['chunks']} chunks, "
                 f"{entry['replicates']} replicates; predicted "
                 f"{entry['predicted_seconds']:.2f}s, measured "
                 f"{entry['measured_seconds']:.2f}s"
             )
+            if entry.get("served"):
+                line += f"; {entry['served']} chunks cache-served"
+            print(line)
+    fabric = (session_stats.get("cache") or {}).get("fabric")
+    if fabric and (fabric["probed"] or fabric["pushed"]):
+        print(
+            f"cache fabric:     probed {fabric['probed']} keys, "
+            f"{fabric['hits']} hits; {fabric['served']} cells served by "
+            f"workers, {fabric['pushed']} pushed back, "
+            f"{fabric['fallbacks']} cold fallbacks"
+        )
 
 
 def _print_transport_summary(session_stats: dict) -> None:
@@ -705,14 +756,17 @@ def _command_worker(args) -> int:
     die, or be replaced at any point without changing any result.
     """
     from .engine import get_default_cache_dir as _default_cache_dir
+    from .engine.remote import WORKER_SECRET_ENV
 
-    cache_dir = args.cache_dir or _default_cache_dir()
+    cache_dir = None if args.no_cache else (args.cache_dir or _default_cache_dir())
+    secret = args.secret or os.environ.get(WORKER_SECRET_ENV) or None
     address = args.address
     print(f"worker: connecting to {address}", flush=True)
     served = serve_worker(
         address,
         name=args.name,
         cache_dir=cache_dir,
+        secret=secret,
         max_chunks=args.max_chunks,
         on_connect=lambda welcome: print(
             "worker: connected, serving", flush=True
@@ -746,10 +800,61 @@ def _command_cache(args) -> int:
                 f"{entry['complete']}/{entry['cells']} cells complete, "
                 f"{entry['missing']} missing ({state})"
             )
+        if args.workers:
+            _print_fleet_cache_view(args, store)
         return 0
     removed = store.clear()
     print(f"removed {removed} entries from {store.root}")
     return 0
+
+
+def _print_fleet_cache_view(args, store) -> None:
+    """The ``cache stats --workers`` fleet table.
+
+    Binds a worker pool exactly like a remote-executor session would
+    (same handshake, same optional ``REPRO_WORKER_SECRET`` challenge),
+    waits for the requested fleet size, and prints one row per worker:
+    its store token (matching rows share one physical store), entry
+    count from the hello, and the served/pushed fabric counters — the
+    same rows `Engine.stats()["cache"]["workers"]` reports mid-session.
+    """
+    from .engine.remote import WORKER_SECRET_ENV, WorkerPool, cache_token
+
+    secret = os.environ.get(WORKER_SECRET_ENV) or None
+    session_token = cache_token(str(store.root))
+    pool = WorkerPool(
+        args.workers, session_cache_token=session_token, secret=secret
+    )
+    try:
+        print(
+            f"fleet:            listening on {pool.endpoint} "
+            f"(connect with: repro worker {pool.endpoint})",
+            flush=True,
+        )
+        try:
+            pool.wait_for_workers(args.wait_workers, timeout=args.wait_timeout)
+        except TimeoutError:
+            print(
+                f"fleet:            timed out waiting for "
+                f"{args.wait_workers} worker(s); showing "
+                f"{pool.worker_count()} registered"
+            )
+        rows = pool.cache_stats()["workers"]
+        if not rows:
+            print("fleet:            no workers registered")
+            return
+        for row in sorted(rows, key=lambda r: r["name"] or ""):
+            token = row["cache_token"]
+            shared = " (= session store)" if token == session_token else ""
+            print(
+                f"  worker {row['name']:<12} "
+                f"token {(token or 'none')[:16]:<16} "
+                f"{row['cache_entries'] if row['cache_entries'] is not None else '?'} entries, "
+                f"{row['served']} served / {row['pushed']} pushed"
+                f"{shared}"
+            )
+    finally:
+        pool.close()
 
 
 def _command_list(_args) -> int:

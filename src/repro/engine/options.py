@@ -144,6 +144,7 @@ class EngineOptions:
     autotune: str = "off"
     executor: str | None = None
     workers: str | None = None
+    worker_secret: str | None = None
 
     def __post_init__(self) -> None:
         if not self.backend or not isinstance(self.backend, str):
@@ -195,6 +196,11 @@ class EngineOptions:
             self.__dict__["executor"] = raw_executor
         if self.workers is not None:
             object.__setattr__(self, "workers", _validate_workers(self.workers))
+        if self.worker_secret is not None:
+            # An empty secret means "no auth", not an HMAC over b"".
+            object.__setattr__(
+                self, "worker_secret", str(self.worker_secret) or None
+            )
 
     @classmethod
     def resolve(cls, **overrides) -> "EngineOptions":
@@ -226,6 +232,7 @@ class EngineOptions:
             "scheduler": _global_default_scheduler(),
             "autotune": _global_default_autotune(),
             "workers": _global_default_workers(),
+            "worker_secret": _global_default_worker_secret(),
         }
         for name, value in overrides.items():
             if value is not None:
@@ -271,6 +278,9 @@ class EngineOptions:
             "scheduler": self.scheduler,
             "autotune": self.autotune,
             "workers": self.workers,
+            # Masked: the snapshot lands in stats()/reports, which get
+            # printed and serialized — never leak the actual secret.
+            "worker_secret": "***" if self.worker_secret else None,
         }
 
 
@@ -467,6 +477,11 @@ def _global_default_scheduler() -> str:
             f"got {raw!r}"
         )
     return raw
+
+
+def _global_default_worker_secret() -> str | None:
+    """The shared worker-socket secret (``REPRO_WORKER_SECRET``)."""
+    return os.environ.get("REPRO_WORKER_SECRET") or None
 
 
 def _global_default_workers() -> str | None:

@@ -27,8 +27,31 @@ boundary.  The conversation is deliberately small:
     Name (the cost model's worker key), pid, host, protocol version and
     a content token of the worker's ensemble-cache directory, so the
     pool can report which workers share the session's store.
+``challenge`` / ``auth``  pool <-> worker
+    Optional shared-secret handshake: when the pool holds a secret it
+    answers ``hello`` with a random nonce and only registers the worker
+    after a constant-time check of ``HMAC-SHA256(secret, nonce)``.
 ``welcome``  pool -> worker
     Accepts the registration (protocol echo).
+``reject``  pool -> worker
+    Registration refused (protocol mismatch, bad secret) with a
+    human-readable reason, so an old worker fails loudly instead of
+    hanging on a silently dropped connection.
+``cache-probe`` / ``cache-hit``  pool <-> worker
+    Before enqueueing a sweep the pool asks each worker which cell keys
+    its local ensemble store can serve; the worker answers with the
+    subset it holds.
+``serve-cached``  pool -> worker
+    Cache-first dispatch: the owning worker loads the named cell from
+    its own store and replies the usual ``result`` frame (flagged
+    ``served``) — no simulation, no upload from the coordinator.  A
+    worker that advertised a key it cannot actually serve replies
+    ``cache-miss`` and the pool requeues the cell as a cold chunk.
+``cache-push``  pool -> worker
+    Write-back replication after a cold run: the coordinator pushes a
+    newly computed cell entry to workers whose store token differs, so
+    the next sweep is warm fleet-wide.  Fire-and-forget; the worker's
+    own LRU byte cap bounds what it keeps.
 ``chunk``  pool -> worker
     One queue slice: scenario name, the **spec by value** (never a
     shared-memory ref — those only resolve on the parent's host),
@@ -62,6 +85,7 @@ already rely on.
 from __future__ import annotations
 
 import hashlib
+import hmac
 import os
 import pickle
 import selectors
@@ -81,6 +105,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "WorkerPool",
+    "auth_digest",
     "cache_token",
     "decode_result_block",
     "encode_result_block",
@@ -91,8 +116,14 @@ __all__ = [
 ]
 
 #: Protocol version carried by hello/welcome; a mismatch rejects the
-#: registration instead of corrupting a run halfway through.
-PROTOCOL_VERSION = 1
+#: registration instead of corrupting a run halfway through.  v2 added
+#: the cache fabric (cache-probe/cache-hit, serve-cached, cache-push)
+#: and the optional shared-secret challenge/auth handshake.
+PROTOCOL_VERSION = 2
+
+#: Environment variable naming the optional shared worker secret; both
+#: the coordinator and ``repro worker`` read it.
+WORKER_SECRET_ENV = "REPRO_WORKER_SECRET"
 
 #: First four bytes of every frame.
 FRAME_MAGIC = b"RPRW"
@@ -134,6 +165,23 @@ def cache_token(cache_dir) -> str:
     """
     resolved = os.path.realpath(os.path.abspath(str(cache_dir)))
     return hashlib.sha256(resolved.encode()).hexdigest()[:16]
+
+
+def _coerce_secret(secret) -> bytes | None:
+    """Normalize a shared secret (str/bytes/None) to bytes."""
+    if secret is None:
+        return None
+    if isinstance(secret, str):
+        secret = secret.encode()
+    return bytes(secret) or None
+
+
+def auth_digest(secret, nonce: bytes) -> str:
+    """Hex HMAC-SHA256 of the challenge nonce under the shared secret."""
+    key = _coerce_secret(secret)
+    if key is None:
+        raise ValueError("auth_digest needs a non-empty secret")
+    return hmac.new(key, bytes(nonce), hashlib.sha256).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -312,11 +360,58 @@ def _execute_chunk(message: dict) -> dict:
     return reply
 
 
+def _serve_cached_reply(store, message: dict) -> dict:
+    """Answer one ``serve-cached`` dispatch from the worker's own store.
+
+    Returns the ``result`` frame (flagged ``served``) on success, or a
+    ``cache-miss`` frame when the entry is absent, corrupt, or the wrong
+    shape — the pool falls back to a cold chunk, so a stale store can
+    cost time but never bits.
+    """
+    index = message.get("id")
+    key = message.get("key")
+    miss = {"type": "cache-miss", "id": index, "key": key}
+    if store is None:
+        return miss
+    started = time.perf_counter()
+    try:
+        results = store.load(key)
+    except Exception:
+        return miss
+    if not isinstance(results, list) or len(results) != message.get("trials"):
+        return miss
+    reply = {
+        "type": "result",
+        "id": index,
+        "served": True,
+        "seconds": 0.0,
+    }
+    record = message.get("record")
+    if record is not None:
+        scenario = get_scenario(message["scenario"])
+        int_width, float_width = record
+        try:
+            reply["transport"] = "records"
+            reply["block"] = encode_result_block(
+                scenario, message["spec"], results, int_width, float_width
+            )
+        except Exception:
+            return miss
+    else:
+        reply["transport"] = "pickle"
+        reply["results"] = results
+    reply["seconds"] = time.perf_counter() - started
+    return reply
+
+
 def serve_worker(
     address: str,
     *,
     name: str | None = None,
     cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
+    secret: str | bytes | None = None,
+    claim_all: bool = False,
     max_chunks: int | None = None,
     abort_after: int | None = None,
     connect_timeout: float = 30.0,
@@ -333,14 +428,28 @@ def serve_worker(
 
     ``name`` keys the session cost model's per-worker coefficients;
     it defaults to the machine's hostname so one host's history warms
-    every later worker on that host.  ``cache_dir`` only feeds the
-    hello's cache token (the worker never opens the store itself —
-    cache probing happens on the session before chunks are queued).
-    ``abort_after`` is the fault-injection hook: after that many
-    completed chunks the worker drops the connection *on receipt* of the
-    next chunk, without replying — exactly the mid-chunk death the
-    pool's requeue path must absorb.
+    every later worker on that host.  ``cache_dir`` opens the worker's
+    own content-addressed ensemble store: its token travels in the
+    hello, ``cache-probe`` frames are answered from it, ``serve-cached``
+    dispatches are decoded out of it, and ``cache-push`` replication
+    lands in it (bounded by ``cache_max_bytes`` / the store's LRU cap).
+    ``secret`` answers the pool's HMAC challenge; when the pool demands
+    one and the worker has none, the connection fails with an error
+    naming ``REPRO_WORKER_SECRET``.  ``claim_all`` is a test hook: the
+    probe reply advertises *every* probed key whether or not the store
+    holds it — the lying-worker case the pool's cache-miss fallback
+    must absorb.  ``abort_after`` is the fault-injection hook: after
+    that many completed chunks the worker drops the connection *on
+    receipt* of the next chunk or serve-cached dispatch, without
+    replying — exactly the mid-chunk death the pool's requeue path must
+    absorb.
     """
+    secret_bytes = _coerce_secret(secret)
+    store = None
+    if cache_dir is not None:
+        from .cache import EnsembleCache
+
+        store = EnsembleCache(cache_dir, max_bytes=cache_max_bytes)
     host, port = parse_address(address)
     sock = socket.create_connection((host, port), timeout=connect_timeout)
     served = 0
@@ -357,9 +466,30 @@ def serve_worker(
                 "cache_token": (
                     cache_token(cache_dir) if cache_dir is not None else None
                 ),
+                "cache_entries": (
+                    store.stats()["entries"] if store is not None else None
+                ),
             },
         )
         welcome = recv_frame(sock)
+        if welcome is not None and welcome.get("type") == "challenge":
+            if secret_bytes is None:
+                raise ProtocolError(
+                    "pool requires a shared secret; set "
+                    f"{WORKER_SECRET_ENV} or pass repro worker --secret"
+                )
+            send_frame(
+                sock,
+                {
+                    "type": "auth",
+                    "digest": auth_digest(secret_bytes, welcome["nonce"]),
+                },
+            )
+            welcome = recv_frame(sock)
+        if welcome is not None and welcome.get("type") == "reject":
+            raise ProtocolError(
+                f"pool rejected registration: {welcome.get('error')}"
+            )
         if welcome is None or welcome.get("type") != "welcome":
             raise ProtocolError(f"expected welcome, got {welcome!r}")
         if on_connect is not None:
@@ -368,14 +498,41 @@ def serve_worker(
             message = recv_frame(sock)
             if message is None or message.get("type") == "bye":
                 break
-            if message.get("type") != "chunk":
-                raise ProtocolError(
-                    f"expected chunk, got {message.get('type')!r}"
+            kind = message.get("type")
+            if kind == "cache-probe":
+                keys = message.get("keys") or []
+                if claim_all:
+                    hits = list(keys)
+                elif store is not None:
+                    hits = [key for key in keys if store.contains(key)]
+                else:
+                    hits = []
+                send_frame(
+                    sock,
+                    {
+                        "type": "cache-hit",
+                        "probe": message.get("probe"),
+                        "keys": hits,
+                    },
                 )
+                continue
+            if kind == "cache-push":
+                if store is not None:
+                    try:
+                        store.store(message["key"], message["results"])
+                    except Exception:
+                        pass  # replication is best-effort
+                continue
+            if kind not in ("chunk", "serve-cached"):
+                raise ProtocolError(f"expected chunk, got {kind!r}")
             if abort_after is not None and served >= abort_after:
                 # Simulated mid-chunk death: the chunk was received but
                 # never answered, so the pool must requeue it.
                 return served
+            if kind == "serve-cached":
+                send_frame(sock, _serve_cached_reply(store, message))
+                served += 1
+                continue
             try:
                 reply = _execute_chunk(message)
             except Exception:
@@ -405,24 +562,36 @@ class _WorkerConn:
         "sock",
         "decoder",
         "registered",
+        "challenge",
         "name",
         "pid",
         "host",
         "cache_token",
+        "cache_entries",
         "inflight",
         "chunks_done",
+        "cache_probed",
+        "cache_hits",
+        "cache_served",
+        "cache_pushed",
     )
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
         self.decoder = FrameDecoder()
         self.registered = False
+        self.challenge: bytes | None = None
         self.name: str | None = None
         self.pid: int | None = None
         self.host: str | None = None
         self.cache_token: str | None = None
+        self.cache_entries: int | None = None
         self.inflight: int | None = None
         self.chunks_done = 0
+        self.cache_probed = 0
+        self.cache_hits = 0
+        self.cache_served = 0
+        self.cache_pushed = 0
 
 
 class WorkerPool:
@@ -447,6 +616,7 @@ class WorkerPool:
         address: str | None = None,
         *,
         session_cache_token: str | None = None,
+        secret: str | bytes | None = None,
         worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
     ) -> None:
         host, port = parse_address(address) if address else ("127.0.0.1", 0)
@@ -456,13 +626,28 @@ class WorkerPool:
         self._selector.register(self._listener, selectors.EVENT_READ, None)
         self._conns: list[_WorkerConn] = []
         self._session_cache_token = session_cache_token
+        self._secret = _coerce_secret(secret)
         self._worker_timeout = float(worker_timeout)
+        #: Starvation grace before an idle worker may cold-steal a chunk
+        #: pinned to a live-but-busy cache owner.  Serves are near-
+        #: instant, so in a healthy fleet this never fires; a wedged
+        #: owner only costs this much idle time before work flows again.
+        self._steal_grace = 0.5
+        self._probe_seq = 0
+        self._last_register = 0.0
         self._closed = False
         #: Cumulative transport counters (frame bytes, both directions).
         self.bytes_sent = 0
         self.bytes_received = 0
         self.chunks_dispatched = 0
         self.chunks_requeued = 0
+        #: Cache-fabric counters (survive worker disconnects).
+        self.cache_probed = 0
+        self.cache_hits = 0
+        self.cache_served = 0
+        self.cache_pushed = 0
+        self.cache_fallbacks = 0
+        self._cache_worker_stats: dict[str, dict] = {}
 
     # -- address ------------------------------------------------------
     @property
@@ -497,6 +682,10 @@ class WorkerPool:
                     conn.cache_token is not None
                     and conn.cache_token == self._session_cache_token
                 ),
+                "cache_token": conn.cache_token,
+                "cache_entries": conn.cache_entries,
+                "cache_served": conn.cache_served,
+                "cache_pushed": conn.cache_pushed,
             }
             for conn in self._conns
             if conn.registered
@@ -559,23 +748,86 @@ class WorkerPool:
         self._conns.append(conn)
         self._selector.register(sock, selectors.EVENT_READ, conn)
 
-    def _register(self, conn: _WorkerConn, hello: dict) -> None:
-        if (
-            hello.get("type") != "hello"
-            or hello.get("protocol") != PROTOCOL_VERSION
-        ):
+    def _reject(self, conn: _WorkerConn, error: str) -> None:
+        """Refuse a registration with a reason, then drop the socket."""
+        try:
+            self._send(conn, {"type": "reject", "error": error})
+        except OSError:
+            pass
+        self._drop(conn)
+
+    def _register(self, conn: _WorkerConn, message: dict) -> None:
+        kind = message.get("type")
+        if kind == "auth" and conn.challenge is not None:
+            expected = auth_digest(self._secret, conn.challenge)
+            conn.challenge = None
+            digest = message.get("digest")
+            if not isinstance(digest, str) or not hmac.compare_digest(
+                expected, digest
+            ):
+                self._reject(
+                    conn,
+                    "shared-secret mismatch; the worker's "
+                    f"{WORKER_SECRET_ENV} (or --secret) does not match "
+                    "the coordinator's",
+                )
+                return
+            self._welcome(conn)
+            return
+        if kind != "hello" or conn.challenge is not None:
             self._drop(conn)
             return
-        conn.name = str(hello.get("name") or "worker")
-        conn.pid = hello.get("pid")
-        conn.host = hello.get("host")
-        conn.cache_token = hello.get("cache_token")
+        if message.get("protocol") != PROTOCOL_VERSION:
+            self._reject(
+                conn,
+                f"protocol version {message.get('protocol')!r} != "
+                f"{PROTOCOL_VERSION}; upgrade the worker to match the "
+                "coordinator",
+            )
+            return
+        conn.name = str(message.get("name") or "worker")
+        conn.pid = message.get("pid")
+        conn.host = message.get("host")
+        conn.cache_token = message.get("cache_token")
+        conn.cache_entries = message.get("cache_entries")
+        if self._secret is not None:
+            conn.challenge = os.urandom(32)
+            try:
+                self._send(
+                    conn, {"type": "challenge", "nonce": conn.challenge}
+                )
+            except OSError:
+                self._drop(conn)
+            return
+        self._welcome(conn)
+
+    def _welcome(self, conn: _WorkerConn) -> None:
         try:
             self._send(conn, {"type": "welcome", "protocol": PROTOCOL_VERSION})
         except OSError:
             self._drop(conn)
             return
         conn.registered = True
+        self._last_register = time.monotonic()
+        self._worker_cache_row(conn)
+
+    def _worker_cache_row(self, conn: _WorkerConn) -> dict:
+        """Persistent per-worker cache counters (outlive the connection)."""
+        row = self._cache_worker_stats.setdefault(
+            conn.name or "worker",
+            {
+                "name": conn.name,
+                "cache_token": conn.cache_token,
+                "cache_entries": conn.cache_entries,
+                "probed": 0,
+                "hits": 0,
+                "served": 0,
+                "pushed": 0,
+            },
+        )
+        row["cache_token"] = conn.cache_token
+        row["cache_entries"] = conn.cache_entries
+        return row
 
     def _send(self, conn: _WorkerConn, message: dict) -> None:
         frame = encode_frame(message)
@@ -598,7 +850,186 @@ class WorkerPool:
         if conn in self._conns:
             self._conns.remove(conn)
 
+    # -- cache fabric --------------------------------------------------
+    def probe_cache(
+        self,
+        keys: list[str],
+        *,
+        timeout: float = 5.0,
+        register_timeout: float = 10.0,
+        settle: float = 0.25,
+    ) -> dict[str, set]:
+        """Ask every registered worker which of ``keys`` its store holds.
+
+        Returns ``{worker_name: {key, ...}}`` for workers that answered
+        within ``timeout`` (workers that die or stall mid-probe simply
+        contribute no hits — the cells run cold, which only costs time).
+        Two workers sharing a name merge their advertised sets; names
+        already alias stores for the cost model, so that is the right
+        granularity for placement too.
+
+        The probe fires at sweep start, typically moments after the pool
+        begins listening, so it first waits up to ``register_timeout``
+        for a worker to register (the dispatcher would block on that
+        anyway), then gives the fleet a ``settle`` grace *measured from
+        the most recent registration* — a fleet that connects together
+        is probed together, while a long-registered fleet is probed
+        immediately, keeping the grace out of steady-state sweep time.
+        Workers that register after the probe still execute chunks
+        normally; they just aren't affinity targets this sweep.
+        """
+        if self._closed or not keys:
+            return {}
+        deadline = time.monotonic() + register_timeout
+        while self.worker_count() == 0:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return {}
+            self._poll(min(remaining, 0.05))
+        while settle:
+            remaining = self._last_register + settle - time.monotonic()
+            if remaining <= 0:
+                break
+            self._poll(min(remaining, 0.05))
+        if not any(
+            conn.registered and conn.cache_token is not None
+            for conn in self._conns
+        ):
+            return {}  # a store-less fleet cannot serve anything
+        self._probe_seq += 1
+        probe_id = self._probe_seq
+        pending: set[int] = set()
+        for conn in list(self._conns):
+            if not conn.registered:
+                continue
+            try:
+                self._send(
+                    conn,
+                    {"type": "cache-probe", "probe": probe_id, "keys": keys},
+                )
+            except OSError:
+                self._drop(conn)
+                continue
+            pending.add(id(conn))
+            conn.cache_probed += len(keys)
+            self.cache_probed += len(keys)
+            self._worker_cache_row(conn)["probed"] += len(keys)
+        owners: dict[str, set] = {}
+        deadline = time.monotonic() + timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            for conn, message in self._poll(min(remaining, 0.05)):
+                if message.get("type") != "cache-hit":
+                    # Not probe traffic (e.g. a stale frame) — a probe
+                    # runs outside any dispatch, so anything else is
+                    # out-of-protocol for this conn.
+                    self._drop(conn)
+                    continue
+                if message.get("probe") != probe_id:
+                    continue  # stale answer from an earlier, timed-out probe
+                pending.discard(id(conn))
+                hits = {key for key in message.get("keys") or () if key in keys}
+                if hits:
+                    owners.setdefault(conn.name, set()).update(hits)
+                    conn.cache_hits += len(hits)
+                    self.cache_hits += len(hits)
+                    self._worker_cache_row(conn)["hits"] += len(hits)
+            pending &= {id(conn) for conn in self._conns}
+        return owners
+
+    def push_cache(
+        self, key: str, results: list, *, exclude: set | frozenset = frozenset()
+    ) -> int:
+        """Replicate one cell entry to workers whose store differs.
+
+        Fire-and-forget ``cache-push`` to every registered worker that
+        has its own store (a non-``None`` token) not already holding the
+        session's store (token equal to the session's), deduplicated by
+        token so two workers over one directory get one copy.  Workers
+        named in ``exclude`` (the cell's advertised owners) are skipped.
+        Returns the number of pushes sent; each worker's own LRU byte
+        cap bounds what it keeps.
+        """
+        if self._closed:
+            return 0
+        pushed = 0
+        seen_tokens: set[str] = set()
+        if self._session_cache_token is not None:
+            seen_tokens.add(self._session_cache_token)
+        for conn in list(self._conns):
+            if not conn.registered or conn.cache_token is None:
+                continue
+            if conn.name in exclude or conn.cache_token in seen_tokens:
+                continue
+            try:
+                self._send(
+                    conn,
+                    {"type": "cache-push", "key": key, "results": results},
+                )
+            except OSError:
+                self._drop(conn)
+                continue
+            seen_tokens.add(conn.cache_token)
+            conn.cache_pushed += 1
+            self.cache_pushed += 1
+            self._worker_cache_row(conn)["pushed"] += 1
+            pushed += 1
+        return pushed
+
+    def cache_stats(self) -> dict:
+        """Cache-fabric counters for ``Engine.stats()["cache"]``."""
+        for conn in self._conns:
+            if conn.registered:
+                self._worker_cache_row(conn)
+        return {
+            "probed": self.cache_probed,
+            "hits": self.cache_hits,
+            "served": self.cache_served,
+            "pushed": self.cache_pushed,
+            "fallbacks": self.cache_fallbacks,
+            "workers": [
+                dict(row) for row in self._cache_worker_stats.values()
+            ],
+        }
+
     # -- dispatch ------------------------------------------------------
+    def _pick_chunk(
+        self,
+        queue: deque,
+        owners: list[set],
+        conn: _WorkerConn,
+        live: set,
+        allow_steal: bool,
+    ) -> tuple[int | None, bool]:
+        """Affinity-aware chunk choice for one idle worker.
+
+        Preference order: (1) the first queued chunk whose advertised
+        cache owners include this worker — dispatched as ``serve-cached``
+        (near-free, so taking it before cold work never hurts the
+        schedule); (2) the first chunk with *no live owner* — cold
+        simulation, preserving the cost scheduler's front-first order;
+        (3) nothing — chunks pinned to live-but-busy owners are left
+        alone, unless ``allow_steal`` (the starvation fallback) lets the
+        idle worker simulate the front one cold.  Either path is
+        bit-identical: seeds travel inside the chunk.
+        """
+        fallback = None
+        for index in queue:
+            own = owners[index]
+            if own and conn.name in own:
+                queue.remove(index)
+                return index, True
+            if fallback is None and not (own & live):
+                fallback = index
+        if fallback is not None:
+            queue.remove(fallback)
+            return fallback, False
+        if allow_steal and queue:
+            return queue.popleft(), False
+        return None, False
+
     def run(self, chunks: list[dict], *, timeout: float | None = None) -> list[dict]:
         """Drain ``chunks`` across the connected workers; return in order.
 
@@ -606,35 +1037,73 @@ class WorkerPool:
         and ``id``), **already in schedule order** — the queue is handed
         out front-first, one chunk per idle worker, so the longest-first
         ordering the cost scheduler produced is preserved exactly like
-        the process executor's ``chunksize=1`` maps.  Workers that
-        connect mid-run join the steal loop immediately; workers that
-        die mid-chunk have their chunk requeued at the *front* (it was
-        the oldest outstanding work).  Raises ``RuntimeError`` when a
-        worker reports an execution error, or when the queue is
+        the process executor's ``chunksize=1`` maps.  Two optional keys
+        drive cache-first dispatch: a chunk carrying ``cache_key`` plus
+        ``cache_owners`` (worker names that advertised the key in a
+        probe) is pinned to an owner and dispatched as ``serve-cached``;
+        everything needed for a cold run still travels in the chunk, so
+        owner death, a lying probe (``cache-miss`` reply) or starvation
+        stealing all fall back to bit-identical simulation.  Workers
+        that connect mid-run join the steal loop immediately; workers
+        that die mid-chunk have their chunk requeued at the *front* (it
+        was the oldest outstanding work).  Raises ``RuntimeError`` when
+        a worker reports an execution error, or when the queue is
         non-empty but no worker registers within the pool's timeout.
 
         Returns one dict per chunk: ``{"worker", "seconds", "transport",
-        "results" | "block"}``.
+        "results" | "block"}`` plus ``"served": True`` on cache-served
+        chunks (callers must keep those out of the cost model — their
+        seconds measure decode time, not simulation).
         """
         if self._closed:
             raise RuntimeError("this WorkerPool is closed")
         outputs: list[dict | None] = [None] * len(chunks)
         queue = deque(range(len(chunks)))
+        owners = [set(chunk.get("cache_owners") or ()) for chunk in chunks]
         inflight: dict[int, _WorkerConn] = {}
         done = 0
         worker_timeout = self._worker_timeout if timeout is None else timeout
         starving_since: float | None = None
+        steal_since: float | None = None
         while done < len(chunks):
-            # Hand a chunk to every idle registered worker, front-first.
+            # Hand a chunk to every idle registered worker: owned cells
+            # as serve-cached, unowned cells cold front-first.
+            live = {conn.name for conn in self._conns if conn.registered}
+            allow_steal = (
+                steal_since is not None
+                and time.monotonic() - steal_since > self._steal_grace
+            )
+            dispatched = False
             for conn in list(self._conns):
                 if not queue:
                     break
                 if not conn.registered or conn.inflight is not None:
                     continue
-                index = queue.popleft()
-                message = dict(chunks[index])
-                message["type"] = "chunk"
-                message["id"] = index
+                index, serve = self._pick_chunk(
+                    queue, owners, conn, live, allow_steal
+                )
+                if index is None:
+                    continue
+                chunk = chunks[index]
+                if serve:
+                    message = {
+                        "type": "serve-cached",
+                        "id": index,
+                        "key": chunk["cache_key"],
+                        "scenario": chunk["scenario"],
+                        "spec": chunk["spec"],
+                        "variant": chunk["variant"],
+                        "trials": len(chunk["seeds"]),
+                        "record": chunk.get("record"),
+                    }
+                else:
+                    message = {
+                        key: value
+                        for key, value in chunk.items()
+                        if key not in ("cache_key", "cache_owners")
+                    }
+                    message["type"] = "chunk"
+                    message["id"] = index
                 try:
                     self._send(conn, message)
                 except OSError:
@@ -644,6 +1113,15 @@ class WorkerPool:
                 conn.inflight = index
                 inflight[index] = conn
                 self.chunks_dispatched += 1
+                dispatched = True
+            has_idle = any(
+                conn.registered and conn.inflight is None
+                for conn in self._conns
+            )
+            if dispatched or not queue or not has_idle:
+                steal_since = None
+            elif steal_since is None:
+                steal_since = time.monotonic()
             if not any(conn.registered for conn in self._conns):
                 if starving_since is None:
                     starving_since = time.monotonic()
@@ -675,8 +1153,31 @@ class WorkerPool:
                         output["block"] = message.get("block")
                     else:
                         output["results"] = message.get("results")
+                    if message.get("served"):
+                        output["served"] = True
+                        conn.cache_served += 1
+                        self.cache_served += 1
+                        self._worker_cache_row(conn)["served"] += 1
                     outputs[index] = output
                     done += 1
+                elif kind == "cache-miss":
+                    # The worker advertised this key but could not serve
+                    # it (evicted, torn, lying probe).  Strike it from
+                    # the cell's owners and requeue at the front — the
+                    # chunk still carries everything for a cold run.
+                    index = message.get("id")
+                    if index != conn.inflight:
+                        self._drop(conn)
+                        continue
+                    conn.inflight = None
+                    inflight.pop(index, None)
+                    if conn.name:
+                        owners[index].discard(conn.name)
+                    queue.appendleft(index)
+                    self.chunks_requeued += 1
+                    self.cache_fallbacks += 1
+                elif kind == "cache-hit":
+                    continue  # stale answer from a timed-out probe
                 elif kind == "error":
                     raise RuntimeError(
                         f"remote worker {conn.name!r} failed:\n"

@@ -69,7 +69,7 @@ from . import backends as _backends
 from . import executors as _executors
 from . import scenarios as _scenarios
 from .backends import Backend, get_backend
-from .cache import SWEEP_INDEX_FORMAT, EnsembleCache, seed_token
+from .cache import SWEEP_INDEX_FORMAT, EnsembleCache, ensemble_key, seed_token
 from .costmodel import CostModel, cost_signature
 from .executors import (
     DEFAULT_BATCH_SIZE,
@@ -204,6 +204,38 @@ def engine(session: "Engine | None" = None, **overrides):
             session.close()
 
 
+def _merge_cache_fabric(folded: dict | None, snapshot: dict | None) -> dict | None:
+    """Accumulate one worker pool's cache-fabric counters into the fold.
+
+    Aggregates sum; per-worker rows merge by name (counters sum, the
+    newer snapshot's token/entry-count wins), so fleet totals survive
+    pool teardown exactly like the socket byte counters do.
+    """
+    if snapshot is None:
+        return folded
+    if folded is None:
+        return {
+            "probed": snapshot["probed"],
+            "hits": snapshot["hits"],
+            "served": snapshot["served"],
+            "pushed": snapshot["pushed"],
+            "fallbacks": snapshot["fallbacks"],
+            "workers": {row["name"]: dict(row) for row in snapshot["workers"]},
+        }
+    for field in ("probed", "hits", "served", "pushed", "fallbacks"):
+        folded[field] += snapshot[field]
+    for row in snapshot["workers"]:
+        merged = folded["workers"].get(row["name"])
+        if merged is None:
+            folded["workers"][row["name"]] = dict(row)
+            continue
+        for field in ("probed", "hits", "served", "pushed"):
+            merged[field] += row[field]
+        merged["cache_token"] = row["cache_token"]
+        merged["cache_entries"] = row["cache_entries"]
+    return folded
+
+
 # ----------------------------------------------------------------------
 # The session object
 # ----------------------------------------------------------------------
@@ -250,9 +282,12 @@ class Engine:
             "sweeps": 0,
             "replicates_simulated": 0,
             "replicates_from_cache": 0,
+            "replicates_served_remote": 0,
             "pool_spawns": 0,
             "pool_reuses": 0,
         }
+        #: Cache-fabric counters folded in from closed worker pools.
+        self._cache_fabric: dict | None = None
         #: Bytes/chunks moved per result transport (satellite counters);
         #: the socket row also folds in closed worker pools' totals.
         self._transport = {
@@ -418,7 +453,7 @@ class Engine:
 
     def _sweep_report(
         self, cells, variants, pending, plans, measured, *, executor,
-        chunk_stats=None,
+        chunk_stats=None, served=frozenset(),
     ) -> dict:
         """Per-sweep scheduler report exposed through :meth:`stats`.
 
@@ -426,9 +461,11 @@ class Engine:
         cache hits never entered the work queue, so they contribute to
         ``replicates_from_cache`` but are excluded from the
         predicted-vs-measured totals (counting them as zero-cost work
-        would make any prediction look wrong).  When chunks carry a
-        worker name (remote executor), the report also breaks
-        predicted-vs-measured seconds down per worker.
+        would make any prediction look wrong).  Cells in ``served``
+        entered the queue but came back from a *worker's* store
+        (serve-cached), so they too stay out of the prediction error.
+        When chunks carry a worker name (remote executor), the report
+        also breaks predicted-vs-measured seconds down per worker.
         """
         opts = self._options
         scheduled = set(pending)
@@ -438,6 +475,7 @@ class Engine:
         for i in range(len(cells)):
             cell = cells[i]
             cached = i not in scheduled
+            served_remote = i in served
             entry = {
                 "index": i,
                 "scenario": cell.spec.scenario,
@@ -445,10 +483,12 @@ class Engine:
                 "n": int(cell.spec.config.n),
                 "trials": cell.trials,
                 "cached": cached,
+                "served_remote": served_remote,
                 "replicates_scheduled": 0 if cached else cell.trials,
                 "replicates_from_cache": cell.trials if cached else 0,
+                "replicates_served": cell.trials if served_remote else 0,
             }
-            if not cached:
+            if not cached and not served_remote:
                 plan = plans[i]
                 predicted = plan["per_replicate_seconds"] * cell.trials
                 cell_measured = measured.get(i)
@@ -497,12 +537,18 @@ class Engine:
                 {
                     "chunks": 0,
                     "replicates": 0,
+                    "served": 0,
                     "predicted_seconds": 0.0,
                     "measured_seconds": 0.0,
                 },
             )
             entry["chunks"] += 1
             entry["replicates"] += stat["replicates"]
+            if stat.get("served"):
+                # Serve-cached chunks: decode time only — keep them out
+                # of the predicted-vs-measured comparison.
+                entry["served"] += 1
+                continue
             plan = plans[stat["cell"]]
             entry["predicted_seconds"] += (
                 plan["per_replicate_seconds"] * stat["replicates"]
@@ -517,6 +563,7 @@ class Engine:
             "replicates_from_cache": sum(
                 cells[i].trials for i in range(len(cells)) if i not in scheduled
             ),
+            "replicates_served": sum(cells[i].trials for i in served),
             "predicted_seconds": predicted_total,
             "measured_seconds": measured_total,
             "prediction_error": error,
@@ -581,7 +628,9 @@ class Engine:
                 else None
             )
             self._worker_pool = WorkerPool(
-                self._options.workers, session_cache_token=token
+                self._options.workers,
+                session_cache_token=token,
+                secret=self._options.worker_secret,
             )
         return self._worker_pool
 
@@ -592,6 +641,9 @@ class Engine:
                 "socket",
                 pool.chunks_dispatched,
                 pool.bytes_sent + pool.bytes_received,
+            )
+            self._cache_fabric = _merge_cache_fabric(
+                self._cache_fabric, pool.cache_stats()
             )
             pool.close()
 
@@ -609,6 +661,36 @@ class Engine:
                 self._worker_pool.bytes_sent + self._worker_pool.bytes_received
             )
         return snapshot
+
+    def cache_fabric_stats(self) -> dict | None:
+        """Fleet cache counters: live worker pool plus folded totals.
+
+        ``None`` until a worker pool has existed in the session.  The
+        ``workers`` value is a list of per-worker rows (name, store
+        token, entry count, probe/hit/served/pushed counters), the same
+        shape ``Engine.stats()["cache"]["workers"]`` exposes.
+        """
+        folded = None
+        if self._cache_fabric is not None:
+            folded = {
+                "probed": self._cache_fabric["probed"],
+                "hits": self._cache_fabric["hits"],
+                "served": self._cache_fabric["served"],
+                "pushed": self._cache_fabric["pushed"],
+                "fallbacks": self._cache_fabric["fallbacks"],
+                "workers": {
+                    name: dict(row)
+                    for name, row in self._cache_fabric["workers"].items()
+                },
+            }
+        if self._worker_pool is not None:
+            folded = _merge_cache_fabric(folded, self._worker_pool.cache_stats())
+        if folded is None:
+            return None
+        folded["workers"] = sorted(
+            folded["workers"].values(), key=lambda row: row["name"] or ""
+        )
+        return folded
 
     @staticmethod
     def _remote_results(scenario, spec, output: dict, trials: int, widths):
@@ -644,7 +726,16 @@ class Engine:
             else None
         )
         snapshot["transport"] = self._transport_stats()
-        snapshot["cache"] = self._cache.stats() if self._cache is not None else None
+        cache_snapshot = self._cache.stats() if self._cache is not None else None
+        fabric = self.cache_fabric_stats()
+        if fabric is not None:
+            cache_snapshot = dict(cache_snapshot or {})
+            cache_snapshot["fabric"] = {
+                field: fabric[field]
+                for field in ("probed", "hits", "served", "pushed", "fallbacks")
+            }
+            cache_snapshot["workers"] = fabric["workers"]
+        snapshot["cache"] = cache_snapshot
         snapshot["scheduler"] = {
             "last_sweep": self._last_sweep_report,
             "cost_model": (
@@ -736,6 +827,7 @@ class Engine:
                     return cached
 
             seeds = replicate_seeds(seed, trials)
+            served_replicates = 0
 
             if executor == "serial":
                 runner = scenario.prepare_runner(variant, backend)
@@ -753,15 +845,38 @@ class Engine:
                 scenario.check_process_safe(variant, backend)
                 result_transport = self._resolve_transport(result_transport)
                 pool = self.worker_pool()
-                per_chunk = self._chunk_cap(
-                    trials, max(pool.worker_count(), 2), batch_size
-                )
-                seed_chunks = _chunked(seeds, per_chunk)
                 widths = (
                     _record_widths(scenario, spec, variant)
                     if result_transport == "shared"
                     else None
                 )
+                # Cache-first dispatch: the key is a pure content hash,
+                # so it exists whether or not this session has a store —
+                # a cache-less coordinator can still be served by a warm
+                # fleet.
+                fleet_key = ensemble_key(
+                    spec,
+                    trials=trials,
+                    seed=seed,
+                    variant=variant,
+                    max_interactions=max_interactions,
+                )
+                owners = sorted(
+                    name
+                    for name, held in pool.probe_cache([fleet_key]).items()
+                    if fleet_key in held
+                )
+                if owners:
+                    # Cache entries are whole ensembles, so an owned
+                    # ensemble is ONE serve-cached chunk; the cold
+                    # payload (all seeds) still rides along for the
+                    # bit-identical fallback.
+                    seed_chunks = [seeds]
+                else:
+                    per_chunk = self._chunk_cap(
+                        trials, max(pool.worker_count(), 2), batch_size
+                    )
+                    seed_chunks = _chunked(seeds, per_chunk)
                 messages = [
                     {
                         "scenario": spec.scenario,
@@ -775,6 +890,9 @@ class Engine:
                     }
                     for chunk in seed_chunks
                 ]
+                if owners:
+                    messages[0]["cache_key"] = fleet_key
+                    messages[0]["cache_owners"] = owners
                 outputs = pool.run(messages)
                 results = []
                 for chunk, output in zip(seed_chunks, outputs):
@@ -782,6 +900,15 @@ class Engine:
                         self._remote_results(
                             scenario, spec, output, len(chunk), widths
                         )
+                    )
+                    if output.get("served"):
+                        served_replicates += len(chunk)
+                if served_replicates < trials:
+                    # Write-back replication: workers whose store token
+                    # differs get the freshly computed entry, so the
+                    # next identical request is warm fleet-wide.
+                    pool.push_cache(
+                        fleet_key, results, exclude=set(owners)
                     )
             else:
                 jobs = self._resolve_jobs(jobs)
@@ -843,7 +970,11 @@ class Engine:
             if store is not None:
                 store.store(key, results)
             self._stats["ensembles"] += 1
-            self._stats["replicates_simulated"] += trials
+            self._stats["replicates_simulated"] += trials - served_replicates
+            if served_replicates:
+                # Fleet-served replicates are cache traffic, not work.
+                self._stats["replicates_from_cache"] += served_replicates
+                self._stats["replicates_served_remote"] += served_replicates
             return results
 
     # -- sweeps --------------------------------------------------------
@@ -941,6 +1072,9 @@ class Engine:
                     "source": source,
                 }
             chunk_stats: list[dict] = []
+            served_cells: set[int] = set()
+            cell_keys: dict[int, str] = {}
+            cell_owners: dict[int, list[str]] = {}
             if pending:
                 worker_pool = None
                 if executor != "serial":
@@ -954,6 +1088,29 @@ class Engine:
                         # cold pools from coalescing whole cells into
                         # single unstealable chunks.
                         jobs = max(worker_pool.worker_count(), 2)
+                        # Cache-first dispatch: ask the fleet which
+                        # pending cells somebody's store can serve.  The
+                        # keys are pure content hashes, so a cache-less
+                        # coordinator probes just the same.
+                        for i in pending:
+                            cell_keys[i] = keys[i] or ensemble_key(
+                                cells[i].spec,
+                                trials=cells[i].trials,
+                                seed=seeds[i],
+                                variant=variants[i],
+                                max_interactions=cells[i].max_interactions,
+                            )
+                        held_by = worker_pool.probe_cache(
+                            list(dict.fromkeys(cell_keys.values()))
+                        )
+                        for i, cell_key in cell_keys.items():
+                            names = sorted(
+                                name
+                                for name, held in held_by.items()
+                                if cell_key in held
+                            )
+                            if names:
+                                cell_owners[i] = names
                     else:
                         jobs = self._resolve_jobs(jobs)
 
@@ -1006,7 +1163,15 @@ class Engine:
                     for i in pending:
                         cell = cells[i]
                         plan = plans[i]
-                        if opts.scheduler == "cost":
+                        if i in cell_owners:
+                            # A fleet-owned cell is ONE serve-cached
+                            # chunk (cache entries are whole ensembles)
+                            # at near-zero predicted cost, so the cost
+                            # scheduler neither splits it nor lets its
+                            # decode time skew chunk sizing for real
+                            # work.
+                            chunk_cap = cell.trials
+                        elif opts.scheduler == "cost":
                             per_rep = plan["per_replicate_seconds"]
                             if worker_pool is not None:
                                 # Size remote chunks against the slowest
@@ -1059,7 +1224,10 @@ class Engine:
                                 "event_blocks": blocks,
                                 "stream_buffers": buffers,
                                 "predicted_seconds": (
-                                    plan["per_replicate_seconds"] * cell.trials
+                                    0.0
+                                    if i in cell_owners
+                                    else plan["per_replicate_seconds"]
+                                    * cell.trials
                                 ),
                             }
                         )
@@ -1092,20 +1260,29 @@ class Engine:
                                 job["event_blocks"],
                                 job["stream_buffers"],
                             ):
-                                messages.append(
-                                    {
-                                        "scenario": job["spec"].scenario,
-                                        "spec": job["spec"],
-                                        "variant": job["variant"],
-                                        "seeds": chunk,
-                                        "max_interactions": job[
-                                            "max_interactions"
-                                        ],
-                                        "event_block": chunk_block,
-                                        "stream_buffer": chunk_buffer,
-                                        "record": widths,
-                                    }
-                                )
+                                message = {
+                                    "scenario": job["spec"].scenario,
+                                    "spec": job["spec"],
+                                    "variant": job["variant"],
+                                    "seeds": chunk,
+                                    "max_interactions": job[
+                                        "max_interactions"
+                                    ],
+                                    "event_block": chunk_block,
+                                    "stream_buffer": chunk_buffer,
+                                    "record": widths,
+                                }
+                                if job["index"] in cell_owners:
+                                    # Pin to an advertising owner; the
+                                    # cold payload above still makes any
+                                    # fallback bit-identical.
+                                    message["cache_key"] = cell_keys[
+                                        job["index"]
+                                    ]
+                                    message["cache_owners"] = cell_owners[
+                                        job["index"]
+                                    ]
+                                messages.append(message)
                                 chunk_meta.append(
                                     (job, len(chunk), chunk_block,
                                      chunk_buffer, widths)
@@ -1125,6 +1302,11 @@ class Engine:
                                     widths,
                                 )
                             )
+                            if output.get("served"):
+                                # Owned cells are single whole-cell
+                                # chunks, so one served output means the
+                                # whole cell came from the fleet cache.
+                                served_cells.add(job["index"])
                             chunk_stats.append(
                                 {
                                     "cell": job["index"],
@@ -1133,7 +1315,21 @@ class Engine:
                                     "stream_buffer": buf,
                                     "seconds": output["seconds"],
                                     "worker": output["worker"],
+                                    "served": bool(output.get("served")),
                                 }
+                            )
+                        # Write-back replication: every cell this run
+                        # actually simulated goes out to workers whose
+                        # store token differs, so the next identical
+                        # sweep is warm fleet-wide (each worker's LRU
+                        # cap bounds what it keeps).
+                        for i in pending:
+                            if i in served_cells:
+                                continue
+                            worker_pool.push_cache(
+                                cell_keys[i],
+                                results_by_cell[i],
+                                exclude=set(cell_owners.get(i, ())),
                             )
                     else:
                         pool_map = self._pool_mapper(jobs)
@@ -1248,6 +1444,11 @@ class Engine:
             autotuning = opts.autotune == "on" and executor != "serial"
             measured: dict[int, float] = {}
             for stat in chunk_stats:
+                if stat.get("served"):
+                    # Cache-served chunks measure decode time, not
+                    # simulation — folding them into the cost model
+                    # would drag every coefficient toward zero.
+                    continue
                 i = stat["cell"]
                 measured[i] = measured.get(i, 0.0) + stat["seconds"]
                 signature = plans[i]["signature"]
@@ -1274,7 +1475,7 @@ class Engine:
                 store.store_cost_table(model.to_payload())
             self._last_sweep_report = self._sweep_report(
                 cells, variants, pending, plans, measured, executor=executor,
-                chunk_stats=chunk_stats,
+                chunk_stats=chunk_stats, served=served_cells,
             )
 
             sweep_key = None
@@ -1291,13 +1492,18 @@ class Engine:
                     },
                 )
 
-            simulated = set(pending)
+            # Fleet-served cells entered the queue but were answered
+            # from a worker's store — cache traffic, not simulation.
+            simulated = set(pending) - served_cells
             self._stats["sweeps"] += 1
             for i in range(len(cells)):
                 if i in simulated:
                     self._stats["replicates_simulated"] += cells[i].trials
                 else:
                     self._stats["replicates_from_cache"] += cells[i].trials
+            self._stats["replicates_served_remote"] += sum(
+                cells[i].trials for i in served_cells
+            )
             runs = [
                 SweepCellRun(
                     cell=cells[i],

@@ -27,14 +27,17 @@ from repro.engine import (
     run_ensemble,
     run_sweep,
 )
+from repro.engine.cache import EnsembleCache, ensemble_key
 from repro.engine.costmodel import CostModel, cost_signature
 from repro.engine.remote import (
     FRAME_MAGIC,
     MAX_FRAME,
     PROTOCOL_VERSION,
+    WORKER_SECRET_ENV,
     FrameDecoder,
     ProtocolError,
     WorkerPool,
+    auth_digest,
     cache_token,
     decode_result_block,
     encode_frame,
@@ -68,6 +71,31 @@ def sweep_key(outcome):
 def small_sweep(trials=6):
     grid = [{"n": 60, "k": 2}, {"n": 90, "k": 2}, {"n": 120, "k": 3}]
     return SweepSpec.from_grid(grid, uniform_configuration, trials=trials)
+
+
+class pool_poller:
+    """Poll a pool from a background thread so ``serve_worker`` can run
+    in the test thread and its handshake errors can be asserted directly."""
+
+    def __init__(self, pool):
+        self.pool = pool
+        self.stop = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while not self.stop.is_set():
+            try:
+                self.pool._poll(0.05)
+            except OSError:
+                return  # pool closed under us
+
+    def __enter__(self):
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop.set()
+        self.thread.join(timeout=5)
 
 
 def start_worker_thread(endpoint, **kwargs):
@@ -250,22 +278,27 @@ class TestRemoteOptions:
 # ----------------------------------------------------------------------
 class TestWorkerPool:
     def test_handshake_and_workers_snapshot(self, tmp_path):
+        # No max_chunks here: a capped worker hangs up the moment its
+        # welcome lands, racing wait_for_workers' view of the fleet.
+        # These workers stay until the pool's bye at context exit.
         shared = tmp_path / "store"
         with WorkerPool(session_cache_token=cache_token(shared)) as pool:
-            start_worker_thread(
-                pool.endpoint, name="mate", cache_dir=str(shared), max_chunks=0
-            )
+            start_worker_thread(pool.endpoint, name="mate", cache_dir=str(shared))
             start_worker_thread(
                 pool.endpoint,
                 name="stranger",
                 cache_dir=str(tmp_path / "elsewhere"),
-                max_chunks=0,
             )
             pool.wait_for_workers(2, timeout=15)
             snapshot = {w["name"]: w for w in pool.workers()}
             assert snapshot["mate"]["cache_shared"] is True
             assert snapshot["stranger"]["cache_shared"] is False
             assert snapshot["mate"]["pid"] == os.getpid()
+            assert snapshot["mate"]["cache_token"] == cache_token(shared)
+            assert snapshot["mate"]["cache_entries"] == 0
+            assert snapshot["stranger"]["cache_token"] == cache_token(
+                tmp_path / "elsewhere"
+            )
 
     def test_protocol_mismatch_is_rejected(self):
         with WorkerPool() as pool:
@@ -443,6 +476,7 @@ class TestRemoteBitIdentity:
                     pool.endpoint,
                     "--name",
                     "subprocess",
+                    "--no-cache",  # keep test pushes out of ./.repro-cache
                 ],
                 env=env,
                 stdout=subprocess.PIPE,
@@ -562,3 +596,356 @@ class TestTransportCounters:
             folded = eng.stats()["transport"]["socket"]
         assert folded["chunks"] == live["chunks"]
         assert folded["bytes"] == live["bytes"]
+
+
+# ----------------------------------------------------------------------
+# Handshake hardening: versioning and the shared-secret challenge
+# ----------------------------------------------------------------------
+class TestHandshakeHardening:
+    def test_v1_worker_gets_graceful_reject_frame(self):
+        # A PR 8 worker speaks protocol 1; the v2 coordinator must answer
+        # with a reject frame naming the mismatch *before* hanging up, so
+        # the operator sees why instead of a bare EOF.
+        with WorkerPool() as pool, pool_poller(pool):
+            sock = socket.create_connection(pool.address, timeout=10)
+            try:
+                sock.settimeout(10)
+                send_frame(sock, {"type": "hello", "protocol": 1, "name": "v1"})
+                reject = recv_frame(sock)
+                assert reject["type"] == "reject"
+                assert "protocol version 1" in reject["error"]
+                assert "upgrade the worker" in reject["error"]
+                assert recv_frame(sock) is None  # then a clean close
+            finally:
+                sock.close()
+        assert pool.worker_count() == 0
+
+    def test_correct_secret_round_trips(self):
+        with WorkerPool(secret="hunter2") as pool, pool_poller(pool):
+            served = serve_worker(
+                pool.endpoint, name="trusted", secret="hunter2", max_chunks=0
+            )
+        assert served == 0  # welcome received: the challenge was answered
+
+    def test_wrong_secret_rejected_naming_env_var(self):
+        with WorkerPool(secret="hunter2") as pool, pool_poller(pool):
+            with pytest.raises(ProtocolError, match=WORKER_SECRET_ENV):
+                serve_worker(pool.endpoint, name="imposter", secret="wrong")
+        assert pool.worker_count() == 0
+
+    def test_missing_secret_fails_client_side_naming_env_var(self):
+        with WorkerPool(secret="hunter2") as pool, pool_poller(pool):
+            with pytest.raises(ProtocolError, match=WORKER_SECRET_ENV):
+                serve_worker(pool.endpoint, name="anonymous")
+        assert pool.worker_count() == 0
+
+    def test_secretless_pool_skips_challenge(self):
+        # The feature is opt-in: without a secret the handshake is the
+        # PR 8 hello/welcome exactly, which is what keeps tier-1 running
+        # with no REPRO_WORKER_SECRET in the environment.
+        with WorkerPool() as pool:
+            start_worker_thread(pool.endpoint, name="open")
+            pool.wait_for_workers(1, timeout=15)
+            assert pool.worker_count() == 1
+
+    def test_auth_digest_is_keyed_and_nonce_bound(self):
+        nonce = b"\x01" * 32
+        assert auth_digest(b"secret", nonce) == auth_digest(b"secret", nonce)
+        assert auth_digest(b"secret", nonce) != auth_digest(b"other", nonce)
+        assert auth_digest(b"secret", nonce) != auth_digest(b"secret", b"\x02" * 32)
+
+    def test_engine_passes_secret_to_pool(self):
+        config = uniform_configuration(60, 2)
+        serial = run_ensemble(config, 6, seed=3, executor="serial")
+        with Engine(cache=False, worker_secret="sesame") as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(pool.endpoint, name="w", secret="sesame")
+            pool.wait_for_workers(1, timeout=15)
+            remote = eng.ensemble(config, 6, seed=3, executor="remote")
+        assert results_key(remote) == results_key(serial)
+
+    def test_secret_masked_in_options_snapshot(self):
+        opts = EngineOptions(worker_secret="sesame")
+        assert opts.worker_secret == "sesame"
+        assert opts.as_dict()["worker_secret"] == "***"
+        assert EngineOptions().as_dict()["worker_secret"] is None
+
+    def test_secret_environment_default(self, monkeypatch):
+        monkeypatch.setenv(WORKER_SECRET_ENV, "from-env")
+        assert EngineOptions.resolve().worker_secret == "from-env"
+        monkeypatch.delenv(WORKER_SECRET_ENV)
+        assert EngineOptions.resolve().worker_secret is None
+
+
+# ----------------------------------------------------------------------
+# Cache fabric: probe, serve-cached, push, and affinity placement
+# ----------------------------------------------------------------------
+def warm_entry(store_dir, spec, trials, seed):
+    """Precompute an ensemble serially and park it in a worker store."""
+    scenario = get_scenario(spec.scenario)
+    results = run_ensemble(spec, trials, seed=seed, executor="serial")
+    key = ensemble_key(
+        spec,
+        trials=trials,
+        seed=seed,
+        variant=scenario.variant(None),
+        max_interactions=None,
+    )
+    EnsembleCache(store_dir).store(key, results)
+    return key, results
+
+
+class TestCacheFabricProtocol:
+    def test_interleaved_fabric_frames_decode_byte_by_byte(self):
+        messages = [
+            {"type": "cache-probe", "probe": 1, "keys": ["a" * 64, "b" * 64]},
+            {"type": "serve-cached", "id": 0, "key": "a" * 64, "trials": 4},
+            {"type": "cache-hit", "probe": 1, "keys": ["a" * 64]},
+            {"type": "cache-push", "key": "c" * 64, "results": [1, 2, 3]},
+        ]
+        wire = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        seen = []
+        for offset in range(len(wire)):
+            seen.extend(decoder.feed(wire[offset : offset + 1]))
+        assert seen == messages
+        assert decoder.pending_bytes == 0
+
+    def test_truncated_probe_frame_rejected_over_socket(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame(
+                {"type": "cache-probe", "probe": 7, "keys": ["k" * 64]}
+            )
+            a.sendall(frame[: len(frame) - 3])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_probe_finds_owner_and_counts(self, tmp_path):
+        spec = usd_spec(uniform_configuration(80, 3))
+        key, _ = warm_entry(tmp_path / "w", spec, 6, 5)
+        with WorkerPool() as pool:
+            start_worker_thread(
+                pool.endpoint, name="warm", cache_dir=str(tmp_path / "w")
+            )
+            start_worker_thread(
+                pool.endpoint, name="cold", cache_dir=str(tmp_path / "empty")
+            )
+            pool.wait_for_workers(2, timeout=15)
+            owners = pool.probe_cache([key])
+            stats = pool.cache_stats()
+        assert owners == {"warm": {key}}
+        assert stats["probed"] == 2  # one key asked of two workers
+        assert stats["hits"] == 1
+        rows = {row["name"]: row for row in stats["workers"]}
+        assert rows["warm"]["hits"] == 1
+        assert rows["cold"]["hits"] == 0
+
+    def test_storeless_worker_answers_probe_empty(self):
+        with WorkerPool() as pool:
+            start_worker_thread(pool.endpoint, name="bare", cache_dir=None)
+            pool.wait_for_workers(1, timeout=15)
+            assert pool.probe_cache(["f" * 64]) == {}
+
+    def test_serve_cached_replies_stored_results(self, tmp_path):
+        spec = usd_spec(uniform_configuration(80, 3))
+        scenario = get_scenario(spec.scenario)
+        key, results = warm_entry(tmp_path / "w", spec, 6, 5)
+        iw, fw = scenario.record_ints(spec), scenario.record_floats
+        with WorkerPool() as pool:
+            start_worker_thread(
+                pool.endpoint, name="warm", cache_dir=str(tmp_path / "w")
+            )
+            pool.wait_for_workers(1, timeout=15)
+            outputs = pool.run(
+                [
+                    {
+                        "scenario": spec.scenario,
+                        "spec": spec,
+                        "variant": scenario.variant(None),
+                        "seeds": np.random.SeedSequence(5).spawn(6),
+                        "max_interactions": None,
+                        "event_block": None,
+                        "stream_buffer": None,
+                        "record": (iw, fw),
+                        "cache_key": key,
+                        "cache_owners": ["warm"],
+                    }
+                ]
+            )
+            fabric = pool.cache_stats()
+        assert outputs[0].get("served") is True
+        assert fabric["served"] == 1
+        decoded = decode_result_block(
+            scenario, spec, outputs[0]["block"], 6, iw, fw
+        )
+        assert results_key(decoded) == results_key(results)
+
+    def test_lying_probe_falls_back_cold_bit_identically(self, tmp_path):
+        # A worker that advertises every key but can serve none: the pool
+        # must take the cache-miss, discard the liar as owner, and requeue
+        # the chunk for ordinary execution — same results, only slower.
+        config = uniform_configuration(70, 2)
+        serial = run_ensemble(config, 8, seed=19, executor="serial")
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(
+                pool.endpoint,
+                name="liar",
+                cache_dir=str(tmp_path / "hollow"),
+                claim_all=True,
+            )
+            pool.wait_for_workers(1, timeout=15)
+            remote = eng.ensemble(config, 8, seed=19, executor="remote")
+            fabric = pool.cache_stats()
+            requeued = pool.chunks_requeued
+            stats = eng.stats()
+        assert results_key(remote) == results_key(serial)
+        assert fabric["fallbacks"] >= 1
+        assert requeued >= 1
+        assert stats["replicates_simulated"] == 8  # nothing actually served
+
+    def test_worker_death_mid_serve_cached_falls_back(self, tmp_path):
+        # The owner dies on receipt of its serve-cached dispatch without
+        # replying; the chunk must requeue and run cold on the survivor,
+        # bit-identically (seeds travel inside the chunk either way).
+        spec = usd_spec(uniform_configuration(80, 3))
+        serial = run_ensemble(spec, 6, seed=5, executor="serial")
+        warm_entry(tmp_path / "w", spec, 6, 5)
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(
+                pool.endpoint,
+                name="doomed-owner",
+                cache_dir=str(tmp_path / "w"),
+                abort_after=0,
+            )
+            start_worker_thread(pool.endpoint, name="survivor")
+            pool.wait_for_workers(2, timeout=15)
+            remote = eng.ensemble(spec, 6, seed=5, executor="remote")
+            requeued = pool.chunks_requeued
+        assert results_key(remote) == results_key(serial)
+        assert requeued >= 1
+
+    def test_push_replication_populates_worker_stores(self, tmp_path):
+        spec = small_sweep(trials=4)
+        with Engine(cache=True, cache_dir=str(tmp_path / "coord")) as eng:
+            pool = eng.worker_pool()
+            threads = [
+                start_worker_thread(
+                    pool.endpoint, name=f"w{i}", cache_dir=str(tmp_path / f"w{i}")
+                )
+                for i in range(2)
+            ]
+            pool.wait_for_workers(2, timeout=15)
+            eng.sweep(spec, seed=37, executor="remote")
+            pushed = pool.cache_stats()["pushed"]
+        for thread in threads:
+            thread.join(timeout=15)  # bye follows the pushes; both land
+        assert pushed == len(spec) * 2
+        for i in range(2):
+            assert EnsembleCache(tmp_path / f"w{i}").stats()["entries"] == len(
+                spec
+            )
+
+    def test_push_skips_owners_and_shared_stores(self, tmp_path):
+        spec = usd_spec(uniform_configuration(80, 3))
+        key, results = warm_entry(tmp_path / "owner", spec, 6, 5)
+        with WorkerPool(
+            session_cache_token=cache_token(tmp_path / "coord")
+        ) as pool:
+            start_worker_thread(
+                pool.endpoint, name="owner", cache_dir=str(tmp_path / "owner")
+            )
+            start_worker_thread(
+                pool.endpoint, name="twin", cache_dir=str(tmp_path / "coord")
+            )
+            start_worker_thread(
+                pool.endpoint, name="fresh", cache_dir=str(tmp_path / "fresh")
+            )
+            pool.wait_for_workers(3, timeout=15)
+            # owner is excluded by name, twin shares the session's store,
+            # so exactly one push goes out — to fresh.
+            assert pool.push_cache(key, results, exclude={"owner"}) == 1
+
+
+class TestWarmFleet:
+    def test_second_sweep_is_served_with_zero_simulation(self, tmp_path):
+        spec = small_sweep(trials=5)
+        serial = run_sweep(spec, seed=41, executor="serial")
+
+        def fleet(eng):
+            pool = eng.worker_pool()
+            threads = [
+                start_worker_thread(
+                    pool.endpoint, name=f"w{i}", cache_dir=str(tmp_path / f"w{i}")
+                )
+                for i in range(2)
+            ]
+            pool.wait_for_workers(2, timeout=15)
+            return threads
+
+        with Engine(cache=True, cache_dir=str(tmp_path / "coord")) as eng:
+            threads = fleet(eng)
+            cold = eng.sweep(spec, seed=41, executor="remote")
+        for thread in threads:
+            thread.join(timeout=15)
+
+        # Second pass: cache-less coordinator, fresh fleet over the same
+        # stores — every cell must come back from a worker's cache.
+        with Engine(cache=False) as eng:
+            fleet(eng)
+            warm = eng.sweep(spec, seed=41, executor="remote")
+            stats = eng.stats()
+            report = eng.stats()["scheduler"]["last_sweep"]
+        assert sweep_key(cold) == sweep_key(serial)
+        assert sweep_key(warm) == sweep_key(serial)
+        assert stats["replicates_simulated"] == 0
+        assert stats["replicates_served_remote"] == spec.total_trials
+        fabric = stats["cache"]["fabric"]
+        assert fabric["served"] == len(spec)
+        assert fabric["hits"] == len(spec) * 2  # both workers hold all cells
+        rows = {row["name"]: row for row in stats["cache"]["workers"]}
+        assert sum(row["served"] for row in rows.values()) == len(spec)
+        assert report["replicates_served"] == spec.total_trials
+        # Served results still ride the socket transport and must be
+        # visible in its byte counters (the under-reporting bugfix).
+        assert stats["transport"]["socket"]["chunks"] == len(spec)
+        assert stats["transport"]["socket"]["bytes"] > 0
+
+    def test_warm_ensemble_single_cell(self, tmp_path):
+        config = uniform_configuration(80, 3)
+        serial = run_ensemble(config, 8, seed=43, executor="serial")
+        spec = usd_spec(config)
+        warm_entry(tmp_path / "w", spec, 8, 43)
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(
+                pool.endpoint, name="warm", cache_dir=str(tmp_path / "w")
+            )
+            pool.wait_for_workers(1, timeout=15)
+            remote = eng.ensemble(spec, 8, seed=43, executor="remote")
+            stats = eng.stats()
+        assert results_key(remote) == results_key(serial)
+        assert stats["replicates_simulated"] == 0
+        assert stats["replicates_served_remote"] == 8
+
+    def test_fabric_counters_survive_pool_shutdown(self, tmp_path):
+        spec = usd_spec(uniform_configuration(80, 3))
+        warm_entry(tmp_path / "w", spec, 6, 5)
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(
+                pool.endpoint, name="warm", cache_dir=str(tmp_path / "w")
+            )
+            pool.wait_for_workers(1, timeout=15)
+            eng.ensemble(spec, 6, seed=5, executor="remote")
+            live = eng.stats()["cache"]["fabric"]
+            assert live["served"] == 1
+            eng.configure(workers="127.0.0.1:0")  # tears the pool down
+            folded = eng.stats()["cache"]["fabric"]
+        assert folded["served"] == live["served"]
+        assert folded["hits"] == live["hits"]
