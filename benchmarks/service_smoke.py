@@ -1,0 +1,211 @@
+"""Service smoke: coalescing, cache-first serving, and request overhead.
+
+Three measurements against a real ``SimulationService`` (its asyncio
+loop on a background thread, submissions over real sockets), merged
+into one ``BENCH_service.json`` artifact:
+
+* **coalesce** — M identical ensemble submissions fired concurrently
+  from M client threads.  However they interleave — all in flight
+  together, or stragglers arriving after the first completes — the
+  content-addressed job registry guarantees at most ONE ensemble is
+  simulated: concurrent duplicates await the in-flight record's future
+  and late duplicates coalesce onto the memoized record.  The gate is
+  exact: ``replicates_simulated == trials`` (one run) and every
+  response identical.
+* **warm** — a fresh engine session and a fresh service over the same
+  cache directory answer the same submission again.  The gate is
+  total: ``served_from_cache`` on the response, ZERO replicates
+  simulated, and the response's results byte-equal to the cold pass.
+  The headline number is cold/warm latency.
+* **overhead** — K distinct tiny ensembles submitted sequentially over
+  one kept-alive connection: requests/sec and per-request latency with
+  the simulation cost at the floor, i.e. the service's own tax
+  (parse, key, schedule, thread hop, serialize).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py \
+        [--concurrent 8] [--n 300] [--k 3] [--trials 12] \
+        [--distinct 20] [--seed 20230224] \
+        [--output BENCH_service.json] [--no-gates]
+
+Exits non-zero when a gate fails.  Both gates are determinism
+guarantees, not timing claims, so they hold on any machine at any
+load — the latency numbers are informational.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro.engine import Engine
+from repro.service import BackgroundService, ServiceClient
+
+
+def build_spec(args, seed=None):
+    return {
+        "workload": "uniform",
+        "params": {"n": args.n, "k": args.k},
+        "trials": args.trials,
+        "seed": args.seed if seed is None else seed,
+    }
+
+
+def bench_coalesce(args, cache_dir):
+    spec = build_spec(args)
+    with Engine(cache=True, cache_dir=cache_dir) as eng:
+        with BackgroundService(eng) as endpoint:
+            answers = [None] * args.concurrent
+            barrier = threading.Barrier(args.concurrent)
+
+            def submit(i):
+                with ServiceClient(endpoint) as client:
+                    barrier.wait()
+                    answers[i] = client.ensemble(dict(spec))
+
+            threads = [
+                threading.Thread(target=submit, args=(i,))
+                for i in range(args.concurrent)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            with ServiceClient(endpoint) as probe:
+                metrics = probe.metrics()
+    identical = all(a == answers[0] for a in answers)
+    return {
+        "concurrent_clients": args.concurrent,
+        "trials": args.trials,
+        "seconds": round(elapsed, 4),
+        "replicates_simulated": metrics["engine"]["replicates_simulated"],
+        "submissions_run": metrics["service"]["submitted"],
+        "coalesced": metrics["service"]["coalesced"],
+        "served_from_cache": metrics["service"]["served_from_cache"],
+        "responses_identical": identical,
+        "cold_latency": round(elapsed, 4),
+        "results": answers[0]["results"] if answers[0] else None,
+    }
+
+
+def bench_warm(args, cache_dir, cold):
+    spec = build_spec(args)
+    with Engine(cache=True, cache_dir=cache_dir) as eng:
+        with BackgroundService(eng) as endpoint:
+            with ServiceClient(endpoint) as client:
+                started = time.perf_counter()
+                answer = client.ensemble(dict(spec))
+                elapsed = time.perf_counter() - started
+                metrics = client.metrics()
+    return {
+        "seconds": round(elapsed, 4),
+        "served_from_cache": answer["served_from_cache"],
+        "replicates_simulated": metrics["engine"]["replicates_simulated"],
+        "results_match_cold": answer["results"] == cold["results"],
+        "warm_speedup": round(cold["cold_latency"] / max(elapsed, 1e-9), 2),
+    }
+
+
+def bench_overhead(args):
+    latencies = []
+    with Engine(cache=False) as eng:
+        with BackgroundService(eng) as endpoint:
+            with ServiceClient(endpoint) as client:
+                for i in range(args.distinct):
+                    spec = {
+                        "workload": "uniform",
+                        "params": {"n": 60, "k": 2},
+                        "trials": 2,
+                        "seed": args.seed + i,
+                    }
+                    started = time.perf_counter()
+                    client.ensemble(spec)
+                    latencies.append(time.perf_counter() - started)
+    total = sum(latencies)
+    return {
+        "requests": args.distinct,
+        "seconds": round(total, 4),
+        "requests_per_second": round(args.distinct / max(total, 1e-9), 1),
+        "median_latency_ms": round(
+            statistics.median(latencies) * 1000, 2
+        ),
+        "max_latency_ms": round(max(latencies) * 1000, 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--concurrent", type=int, default=8)
+    parser.add_argument("--n", type=int, default=300)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--trials", type=int, default=12)
+    parser.add_argument("--distinct", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=20230224)
+    parser.add_argument("--output", default="BENCH_service.json")
+    parser.add_argument(
+        "--no-gates",
+        action="store_true",
+        help="report without asserting the coalesce/warm gates",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        coalesce = bench_coalesce(args, cache_dir)
+        warm = bench_warm(args, cache_dir, coalesce)
+    coalesce.pop("results", None)
+    overhead = bench_overhead(args)
+
+    gates = {
+        "single_run": coalesce["replicates_simulated"] == args.trials
+        and coalesce["submissions_run"] <= 1
+        and coalesce["responses_identical"],
+        "warm_zero_simulations": warm["served_from_cache"]
+        and warm["replicates_simulated"] == 0
+        and warm["results_match_cold"],
+    }
+    report = {
+        "benchmark": "service_smoke",
+        "coalesce": coalesce,
+        "warm": warm,
+        "overhead": overhead,
+        "gates": gates,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"coalesce: {args.concurrent} identical concurrent submissions -> "
+        f"{coalesce['submissions_run']} run "
+        f"({coalesce['replicates_simulated']} replicates simulated, "
+        f"{coalesce['coalesced']} coalesced, "
+        f"{coalesce['served_from_cache']} cache-served)"
+    )
+    print(
+        f"warm:     repeat from fresh service: "
+        f"served_from_cache={warm['served_from_cache']}, "
+        f"{warm['replicates_simulated']} simulated, "
+        f"{warm['warm_speedup']}x faster than cold"
+    )
+    print(
+        f"overhead: {overhead['requests_per_second']} req/s, "
+        f"median {overhead['median_latency_ms']} ms"
+    )
+    if not args.no_gates:
+        for name, passed in gates.items():
+            print(f"gate {name}: {'PASS' if passed else 'FAIL'}")
+        if not all(gates.values()):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,12 +26,28 @@ Commands
     replicates are scheduled across one flattened executor pool — no
     per-cell barrier — with optional per-cell caching under a
     sweep-level index (``--cache``).
-``worker HOST:PORT [--name W] [--max-chunks N]``
+``worker HOST:PORT [--name W] [--max-chunks N] [--tls ...]``
     Connect to a remote-executor session's worker pool and serve
     simulation chunks over the socket wire protocol until the session
     disconnects.  Pair with ``--executor remote [--workers HOST:PORT]``
     on any simulating command; results are bit-identical to local
-    execution at fixed seeds.
+    execution at fixed seeds.  ``--tls`` (with ``--tls-ca`` pinning the
+    session's certificate, ``--tls-cert``/``--tls-key`` presenting a
+    client certificate for mutual TLS) encrypts the worker socket;
+    SIGTERM/SIGINT drain gracefully — the in-flight chunk finishes, the
+    worker says ``bye`` and exits 0.
+``serve HOST:PORT [--inline-limit N] [--max-queue N] [--max-replicates N]``
+    Run the simulation service: one persistent engine session behind an
+    async HTTP/JSON front door.  Identical concurrent submissions
+    coalesce onto one run, repeat submissions serve straight from the
+    ensemble cache (zero simulations), and admission control bounds the
+    queue (429 with a retry hint past it).  SIGTERM/SIGINT drain
+    gracefully.  Takes every engine-selection flag.
+``submit ENDPOINT [--spec-file F] [--no-wait]``
+    Submit an ensemble or sweep spec (the ``sweep --spec-file`` JSON
+    schema) to a running service and print the answer.
+``poll ENDPOINT KEY [--wait]``
+    Poll a submitted job by its key.
 ``cache stats|clear [--cache-dir D]``
     Inspect or empty the on-disk ensemble cache.  ``stats`` also
     reports per-sweep resume state: for every ``*.sweep.json`` index,
@@ -403,6 +419,124 @@ def build_parser() -> argparse.ArgumentParser:
         "handshake (default: REPRO_WORKER_SECRET); only needed when "
         "the coordinator was started with a secret",
     )
+    worker_cmd.add_argument(
+        "--tls",
+        action="store_true",
+        help="wrap the worker socket in TLS (implied by any other --tls-* "
+        "flag or a REPRO_WORKER_TLS_* variable); the session must be "
+        "serving TLS too (its worker_tls_cert option)",
+    )
+    worker_cmd.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PEM",
+        help="pin the session's certificate (or its CA): the connection "
+        "fails unless the pool presents a certificate signed by this file "
+        "(default: REPRO_WORKER_TLS_CA; without it, system trust roots)",
+    )
+    worker_cmd.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help="client certificate to present for mutual TLS "
+        "(default: REPRO_WORKER_TLS_CERT); required when the session "
+        "pins a CA with its worker_tls_ca option",
+    )
+    worker_cmd.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key for --tls-cert (default: REPRO_WORKER_TLS_KEY; "
+        "may be omitted when the cert file bundles its key)",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the simulation service: an HTTP/JSON front door over "
+        "one persistent engine session",
+    )
+    serve_cmd.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="listen address (port 0 picks a free port and prints it)",
+    )
+    serve_cmd.add_argument(
+        "--inline-limit",
+        type=_positive_int,
+        default=None,
+        help="ensembles up to this many total replicates inline full "
+        "results in the response; larger ones return the summary plus "
+        "cache-key handles (default: 64)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=None,
+        help="admission control: reject (429) past this many queued+running "
+        "submissions (default: engine option service_max_queue / "
+        "REPRO_SERVICE_MAX_QUEUE)",
+    )
+    serve_cmd.add_argument(
+        "--max-replicates",
+        type=_positive_int,
+        default=None,
+        help="admission control: reject (429) when in-flight replicates "
+        "would exceed this budget (default: engine option "
+        "service_max_replicates / REPRO_SERVICE_MAX_REPLICATES)",
+    )
+    _add_engine_arguments(serve_cmd)
+
+    submit_cmd = sub.add_parser(
+        "submit",
+        help="submit an ensemble/sweep spec to a running service",
+    )
+    submit_cmd.add_argument(
+        "endpoint", metavar="HOST:PORT", help="a running 'repro serve'"
+    )
+    submit_cmd.add_argument(
+        "--spec-file",
+        default=None,
+        help="JSON submission (the sweep --spec-file schema); "
+        "default: read stdin",
+    )
+    submit_cmd.add_argument(
+        "--kind",
+        choices=("auto", "ensemble", "sweep"),
+        default="auto",
+        help="endpoint to submit to (default: auto — a 'grid' entry or "
+        "any list-valued param means sweep)",
+    )
+    submit_cmd.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return the 202 ticket immediately instead of blocking for "
+        "the result (poll it with 'repro poll')",
+    )
+    submit_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="socket timeout in seconds (default: 600)",
+    )
+
+    poll_cmd = sub.add_parser(
+        "poll", help="poll a submitted job by its key"
+    )
+    poll_cmd.add_argument(
+        "endpoint", metavar="HOST:PORT", help="a running 'repro serve'"
+    )
+    poll_cmd.add_argument("key", help="job key from 'repro submit'")
+    poll_cmd.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    poll_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="socket timeout in seconds (default: 600)",
+    )
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the on-disk ensemble cache"
@@ -755,25 +889,144 @@ def _command_worker(args) -> int:
     ``SeedSequence`` children for its replicates, so a worker can join,
     die, or be replaced at any point without changing any result.
     """
+    import signal
+    import threading
+
     from .engine import get_default_cache_dir as _default_cache_dir
-    from .engine.remote import WORKER_SECRET_ENV
+    from .engine.remote import WORKER_SECRET_ENV, make_client_tls_context
 
     cache_dir = None if args.no_cache else (args.cache_dir or _default_cache_dir())
     secret = args.secret or os.environ.get(WORKER_SECRET_ENV) or None
+    tls_ca = args.tls_ca or os.environ.get("REPRO_WORKER_TLS_CA") or None
+    tls_cert = args.tls_cert or os.environ.get("REPRO_WORKER_TLS_CERT") or None
+    tls_key = args.tls_key or os.environ.get("REPRO_WORKER_TLS_KEY") or None
+    tls = None
+    if args.tls or tls_ca or tls_cert:
+        tls = make_client_tls_context(
+            cafile=tls_ca, certfile=tls_cert, keyfile=tls_key
+        )
+
+    # Graceful drain: SIGTERM/SIGINT finish the in-flight chunk (the
+    # pool requeues anything unanswered — bit-identical by construction,
+    # since every chunk carries its own seeds), say bye, exit 0.
+    drain = threading.Event()
+
+    def _request_drain(signum, frame):
+        if drain.is_set():  # second signal: give up politeness
+            raise KeyboardInterrupt
+        print("worker: drain requested, finishing current chunk", flush=True)
+        drain.set()
+
+    previous = [
+        (signum, signal.signal(signum, _request_drain))
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    ]
     address = args.address
     print(f"worker: connecting to {address}", flush=True)
-    served = serve_worker(
-        address,
-        name=args.name,
-        cache_dir=cache_dir,
-        secret=secret,
-        max_chunks=args.max_chunks,
-        on_connect=lambda welcome: print(
-            "worker: connected, serving", flush=True
-        ),
-    )
+    try:
+        served = serve_worker(
+            address,
+            name=args.name,
+            cache_dir=cache_dir,
+            secret=secret,
+            tls=tls,
+            drain=drain,
+            max_chunks=args.max_chunks,
+            on_connect=lambda welcome: print(
+                "worker: connected, serving", flush=True
+            ),
+        )
+    finally:
+        for signum, handler in previous:
+            signal.signal(signum, handler)
     print(f"worker: done ({served} chunks served)", flush=True)
     return 0
+
+
+def _command_serve(args) -> int:
+    """Run the simulation service until SIGTERM/SIGINT drains it.
+
+    One engine session (built from the same flags every simulating
+    subcommand takes) serves every submission, so the cache handle,
+    executor pool and remote fleet persist across requests — that
+    persistence is what makes coalescing and cache-first serving pay.
+    """
+    import asyncio
+
+    from .engine.remote import parse_address
+    from .service import DEFAULT_INLINE_LIMIT, SimulationService
+
+    host, port = parse_address(args.address)
+    with _build_engine(args) as eng, engine(eng):
+        service = SimulationService(
+            eng,
+            inline_limit=args.inline_limit or DEFAULT_INLINE_LIMIT,
+            max_queue=args.max_queue,
+            max_replicates=args.max_replicates,
+        )
+
+        def _announce(endpoint):
+            print(f"service: listening on {endpoint}", flush=True)
+            print(
+                f"service: submit with: repro submit {endpoint} "
+                "--spec-file sweep.json",
+                flush=True,
+            )
+
+        asyncio.run(service.run(host, port, on_start=_announce))
+    print("service: drained, exiting", flush=True)
+    return 0
+
+
+def _submission_kind(kind: str, payload: dict) -> str:
+    if kind != "auto":
+        return kind
+    if "grid" in payload:
+        return "sweep"
+    params = payload.get("params", {})
+    if isinstance(params, dict) and any(
+        isinstance(v, list) for v in params.values()
+    ):
+        return "sweep"
+    return "ensemble"
+
+
+def _command_submit(args) -> int:
+    import json as _json
+
+    from .service import ServiceClient, ServiceConfig
+
+    if args.spec_file:
+        with open(args.spec_file, "r", encoding="utf-8") as handle:
+            payload = _json.load(handle)
+    else:
+        payload = _json.load(sys.stdin)
+    if not isinstance(payload, dict):
+        print("submit: spec must be a JSON object", file=sys.stderr)
+        return 2
+    kind = _submission_kind(args.kind, payload)
+    config = (
+        ServiceConfig.builder(args.endpoint).timeout(args.timeout).build()
+    )
+    with ServiceClient(config) as client:
+        submit = client.sweep if kind == "sweep" else client.ensemble
+        answer = submit(payload, wait=not args.no_wait)
+    print(_json.dumps(answer, indent=2, sort_keys=True))
+    return 0 if answer.get("status") != "failed" else 1
+
+
+def _command_poll(args) -> int:
+    import json as _json
+
+    from .service import ServiceClient, ServiceConfig
+
+    config = (
+        ServiceConfig.builder(args.endpoint).timeout(args.timeout).build()
+    )
+    with ServiceClient(config) as client:
+        answer = client.poll(args.key, wait=args.wait)
+    print(_json.dumps(answer, indent=2, sort_keys=True))
+    return 0 if answer.get("status") != "failed" else 1
 
 
 def _command_cache(args) -> int:
@@ -971,6 +1224,9 @@ _COMMANDS = {
     "simulate": _command_simulate,
     "sweep": _command_sweep,
     "worker": _command_worker,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "poll": _command_poll,
     "cache": _command_cache,
 }
 

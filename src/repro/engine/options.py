@@ -145,6 +145,11 @@ class EngineOptions:
     executor: str | None = None
     workers: str | None = None
     worker_secret: str | None = None
+    worker_tls_cert: str | None = None
+    worker_tls_key: str | None = None
+    worker_tls_ca: str | None = None
+    service_max_queue: int = 64
+    service_max_replicates: int = 100_000
 
     def __post_init__(self) -> None:
         if not self.backend or not isinstance(self.backend, str):
@@ -201,6 +206,28 @@ class EngineOptions:
             object.__setattr__(
                 self, "worker_secret", str(self.worker_secret) or None
             )
+        for name in ("worker_tls_cert", "worker_tls_key", "worker_tls_ca"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, str(value) or None)
+        if self.worker_tls_key and not self.worker_tls_cert:
+            raise ValueError(
+                "worker_tls_key requires worker_tls_cert (the certificate "
+                "the key belongs to)"
+            )
+        object.__setattr__(self, "service_max_queue", int(self.service_max_queue))
+        if self.service_max_queue < 1:
+            raise ValueError(
+                f"service_max_queue must be positive, got {self.service_max_queue}"
+            )
+        object.__setattr__(
+            self, "service_max_replicates", int(self.service_max_replicates)
+        )
+        if self.service_max_replicates < 1:
+            raise ValueError(
+                f"service_max_replicates must be positive, "
+                f"got {self.service_max_replicates}"
+            )
 
     @classmethod
     def resolve(cls, **overrides) -> "EngineOptions":
@@ -233,6 +260,15 @@ class EngineOptions:
             "autotune": _global_default_autotune(),
             "workers": _global_default_workers(),
             "worker_secret": _global_default_worker_secret(),
+            "worker_tls_cert": _global_default_worker_tls("CERT"),
+            "worker_tls_key": _global_default_worker_tls("KEY"),
+            "worker_tls_ca": _global_default_worker_tls("CA"),
+            "service_max_queue": _global_default_service_int(
+                "REPRO_SERVICE_MAX_QUEUE", 64
+            ),
+            "service_max_replicates": _global_default_service_int(
+                "REPRO_SERVICE_MAX_REPLICATES", 100_000
+            ),
         }
         for name, value in overrides.items():
             if value is not None:
@@ -263,6 +299,16 @@ class EngineOptions:
         """The fields whose change requires respawning the executor pool."""
         return (self.jobs, self.result_transport)
 
+    def worker_pool_key(self) -> tuple:
+        """The fields whose change requires rebinding the worker pool."""
+        return (
+            self.workers,
+            self.worker_secret,
+            self.worker_tls_cert,
+            self.worker_tls_key,
+            self.worker_tls_ca,
+        )
+
     def as_dict(self) -> dict:
         """Plain-dictionary snapshot (for reports and diagnostics)."""
         return {
@@ -281,6 +327,11 @@ class EngineOptions:
             # Masked: the snapshot lands in stats()/reports, which get
             # printed and serialized — never leak the actual secret.
             "worker_secret": "***" if self.worker_secret else None,
+            "worker_tls_cert": self.worker_tls_cert,
+            "worker_tls_key": self.worker_tls_key,
+            "worker_tls_ca": self.worker_tls_ca,
+            "service_max_queue": self.service_max_queue,
+            "service_max_replicates": self.service_max_replicates,
         }
 
 
@@ -482,6 +533,25 @@ def _global_default_scheduler() -> str:
 def _global_default_worker_secret() -> str | None:
     """The shared worker-socket secret (``REPRO_WORKER_SECRET``)."""
     return os.environ.get("REPRO_WORKER_SECRET") or None
+
+
+def _global_default_worker_tls(suffix: str) -> str | None:
+    """A worker-socket TLS path (``REPRO_WORKER_TLS_CERT``/``_KEY``/``_CA``)."""
+    return os.environ.get(f"REPRO_WORKER_TLS_{suffix}") or None
+
+
+def _global_default_service_int(env: str, default: int) -> int:
+    """A positive service admission knob (``REPRO_SERVICE_*``)."""
+    raw = os.environ.get(env)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{env} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"{env} must be positive, got {raw!r}")
+    return value
 
 
 def _global_default_workers() -> str | None:

@@ -90,6 +90,7 @@ import os
 import pickle
 import selectors
 import socket
+import ssl
 import time
 import traceback
 from collections import deque
@@ -109,6 +110,8 @@ __all__ = [
     "cache_token",
     "decode_result_block",
     "encode_result_block",
+    "make_client_tls_context",
+    "make_server_tls_context",
     "parse_address",
     "recv_frame",
     "send_frame",
@@ -182,6 +185,55 @@ def auth_digest(secret, nonce: bytes) -> str:
     if key is None:
         raise ValueError("auth_digest needs a non-empty secret")
     return hmac.new(key, bytes(nonce), hashlib.sha256).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# TLS on the worker socket
+# ----------------------------------------------------------------------
+def make_server_tls_context(
+    certfile: str, keyfile: str | None = None, cafile: str | None = None
+) -> ssl.SSLContext:
+    """Coordinator-side TLS context for the worker-pool listener.
+
+    ``certfile``/``keyfile`` identify the coordinator to connecting
+    workers.  ``cafile`` turns on mutual TLS: workers must present a
+    client certificate signed by that CA (self-signed deployments pass
+    the worker certificate itself).  The HMAC handshake keeps covering
+    authentication-by-shared-secret; TLS adds channel encryption and,
+    with ``cafile``, certificate-pinned peers.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(certfile, keyfile)
+    if cafile:
+        context.load_verify_locations(cafile=cafile)
+        context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def make_client_tls_context(
+    cafile: str | None = None,
+    certfile: str | None = None,
+    keyfile: str | None = None,
+) -> ssl.SSLContext:
+    """Worker-side TLS context for connecting to a TLS pool.
+
+    ``cafile`` pins the coordinator: only a pool certificate signed by
+    that CA is accepted (for a self-signed coordinator, pass its
+    certificate).  Pinning replaces hostname checking — fleets connect
+    by address, often a bare IP, so the pin *is* the identity.  Without
+    ``cafile`` the system trust store applies, hostname check included.
+    ``certfile``/``keyfile`` present a client certificate for pools that
+    demand mutual TLS.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    if cafile:
+        context.load_verify_locations(cafile=cafile)
+        context.check_hostname = False
+    else:
+        context.load_default_certs(ssl.Purpose.SERVER_AUTH)
+    if certfile:
+        context.load_cert_chain(certfile, keyfile)
+    return context
 
 
 # ----------------------------------------------------------------------
@@ -284,6 +336,56 @@ class FrameDecoder:
     def pending_bytes(self) -> int:
         """Bytes buffered toward an incomplete frame."""
         return len(self._buffer)
+
+
+#: Returned by :meth:`_FrameReader.next` when the drain event fired.
+_DRAINED = object()
+
+
+class _FrameReader:
+    """Blocking frame reader with an optional drain watch.
+
+    Without a drain event this is :func:`recv_frame` with a buffer.
+    With one, the socket gets a short timeout and the event is checked
+    between timeouts, so a SIGTERM-initiated drain wakes an *idle*
+    worker within ``poll`` seconds instead of leaving it parked in
+    ``recv`` until the next frame happens to arrive.  The drain is only
+    honored between frames handed to the caller — a chunk the caller is
+    already executing always finishes — and takes precedence over
+    frames still sitting in the buffer: unanswered dispatches are the
+    coordinator's to requeue (bit-identically, since seeds travel
+    inside chunks).
+    """
+
+    def __init__(self, sock: socket.socket, *, drain=None, poll: float = 0.5):
+        self._sock = sock
+        self._drain = drain
+        self._decoder = FrameDecoder()
+        self._pending: deque = deque()
+        if drain is not None:
+            sock.settimeout(poll)
+
+    def next(self) -> dict | None | object:
+        """Next message, ``None`` on clean EOF, ``_DRAINED`` on drain."""
+        while True:
+            if self._drain is not None and self._drain.is_set():
+                return _DRAINED
+            if self._pending:
+                return self._pending.popleft()
+            try:
+                data = self._sock.recv(1 << 20)
+            except TimeoutError:
+                continue  # just a drain-poll wakeup
+            except ssl.SSLWantReadError:
+                continue
+            if not data:
+                if self._decoder.pending_bytes:
+                    raise ProtocolError(
+                        "connection closed mid-frame "
+                        f"({self._decoder.pending_bytes} bytes buffered)"
+                    )
+                return None
+            self._pending.extend(self._decoder.feed(data))
 
 
 # ----------------------------------------------------------------------
@@ -404,6 +506,14 @@ def _serve_cached_reply(store, message: dict) -> dict:
     return reply
 
 
+def _send_bye(sock: socket.socket) -> None:
+    """Best-effort ``bye`` on the way out of a drained worker."""
+    try:
+        send_frame(sock, {"type": "bye"})
+    except OSError:
+        pass
+
+
 def serve_worker(
     address: str,
     *,
@@ -411,6 +521,8 @@ def serve_worker(
     cache_dir: str | None = None,
     cache_max_bytes: int | None = None,
     secret: str | bytes | None = None,
+    tls: ssl.SSLContext | None = None,
+    drain=None,
     claim_all: bool = False,
     max_chunks: int | None = None,
     abort_after: int | None = None,
@@ -435,7 +547,15 @@ def serve_worker(
     lands in it (bounded by ``cache_max_bytes`` / the store's LRU cap).
     ``secret`` answers the pool's HMAC challenge; when the pool demands
     one and the worker has none, the connection fails with an error
-    naming ``REPRO_WORKER_SECRET``.  ``claim_all`` is a test hook: the
+    naming ``REPRO_WORKER_SECRET``.  ``tls`` wraps the connection in an
+    :class:`ssl.SSLContext` built by :func:`make_client_tls_context`
+    (plaintext remains the default — a TLS pool simply fails the
+    handshake of a plaintext worker and vice versa).  ``drain`` is a
+    :class:`threading.Event`-like object: once set, the worker finishes
+    the chunk it is executing (dispatches not yet started are the
+    pool's to requeue), says ``bye`` and returns normally — the
+    graceful-shutdown path ``repro worker`` wires to SIGTERM/SIGINT.
+    ``claim_all`` is a test hook: the
     probe reply advertises *every* probed key whether or not the store
     holds it — the lying-worker case the pool's cache-miss fallback
     must absorb.  ``abort_after`` is the fault-injection hook: after
@@ -454,7 +574,12 @@ def serve_worker(
     sock = socket.create_connection((host, port), timeout=connect_timeout)
     served = 0
     try:
+        if tls is not None:
+            # Handshake under the connect timeout, then hand the wrapped
+            # socket to the reader (which sets its own drain-poll timeout).
+            sock = tls.wrap_socket(sock, server_hostname=host)
         sock.settimeout(None)
+        reader = _FrameReader(sock, drain=drain)
         send_frame(
             sock,
             {
@@ -471,7 +596,10 @@ def serve_worker(
                 ),
             },
         )
-        welcome = recv_frame(sock)
+        welcome = reader.next()
+        if welcome is _DRAINED:
+            _send_bye(sock)
+            return served
         if welcome is not None and welcome.get("type") == "challenge":
             if secret_bytes is None:
                 raise ProtocolError(
@@ -485,7 +613,10 @@ def serve_worker(
                     "digest": auth_digest(secret_bytes, welcome["nonce"]),
                 },
             )
-            welcome = recv_frame(sock)
+            welcome = reader.next()
+            if welcome is _DRAINED:
+                _send_bye(sock)
+                return served
         if welcome is not None and welcome.get("type") == "reject":
             raise ProtocolError(
                 f"pool rejected registration: {welcome.get('error')}"
@@ -495,7 +626,14 @@ def serve_worker(
         if on_connect is not None:
             on_connect(welcome)
         while max_chunks is None or served < max_chunks:
-            message = recv_frame(sock)
+            message = reader.next()
+            if message is _DRAINED:
+                # Graceful drain: nothing is mid-execution here (a chunk
+                # in progress finishes before the reader is consulted
+                # again), so say bye and let the pool requeue anything
+                # it had already put on the wire.
+                _send_bye(sock)
+                break
             if message is None or message.get("type") == "bye":
                 break
             kind = message.get("type")
@@ -617,11 +755,16 @@ class WorkerPool:
         *,
         session_cache_token: str | None = None,
         secret: str | bytes | None = None,
+        tls: ssl.SSLContext | None = None,
         worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
     ) -> None:
         host, port = parse_address(address) if address else ("127.0.0.1", 0)
         self._listener = socket.create_server((host, port), backlog=16)
         self._listener.setblocking(False)
+        #: Server-side TLS context (:func:`make_server_tls_context`);
+        #: ``None`` keeps the classic plaintext socket.
+        self._tls = tls
+        self._tls_handshake_timeout = 5.0
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._listener, selectors.EVENT_READ, None)
         self._conns: list[_WorkerConn] = []
@@ -717,14 +860,39 @@ class WorkerPool:
                 self._accept()
                 continue
             conn: _WorkerConn = key.data
+            # On a TLS socket one selector wakeup can decrypt more than
+            # one recv's worth: keep reading while decrypted bytes sit
+            # in the SSL layer's buffer (``pending()``), because the raw
+            # socket won't become readable again for those.
+            parts: list[bytes] = []
+            eof = False
             try:
-                data = conn.sock.recv(1 << 20)
+                while True:
+                    data = conn.sock.recv(1 << 20)
+                    if not data:
+                        eof = True
+                        break
+                    parts.append(data)
+                    if not (
+                        isinstance(conn.sock, ssl.SSLSocket)
+                        and conn.sock.pending()
+                    ):
+                        break
+            except ssl.SSLWantReadError:
+                # Mid-TLS-record (renegotiation or a partial record):
+                # not a failure — the selector fires again when the rest
+                # arrives.  Must precede OSError: SSLWantReadError is an
+                # OSError subclass and the generic arm drops the conn.
+                pass
             except (OSError, ValueError):
                 self._drop(conn)
                 continue
-            if not data:
+            if eof and not parts:
                 self._drop(conn)
                 continue
+            if not parts:
+                continue
+            data = b"".join(parts)
             self.bytes_received += len(data)
             try:
                 frames = conn.decoder.feed(data)
@@ -743,6 +911,20 @@ class WorkerPool:
             sock, _addr = self._listener.accept()
         except (BlockingIOError, OSError):
             return
+        if self._tls is not None:
+            # Handshake synchronously under a short timeout: frames only
+            # flow on an established channel, and a peer that stalls
+            # mid-handshake must not wedge the pool.  A plaintext worker
+            # dialing a TLS pool fails right here.
+            sock.settimeout(self._tls_handshake_timeout)
+            try:
+                sock = self._tls.wrap_socket(sock, server_side=True)
+            except (OSError, ssl.SSLError):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return
         sock.setblocking(False)
         conn = _WorkerConn(sock)
         self._conns.append(conn)

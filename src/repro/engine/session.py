@@ -84,7 +84,12 @@ from .executors import (
     replicate_seeds,
 )
 from .options import RESULT_TRANSPORTS, EngineOptions
-from .remote import WorkerPool, cache_token, decode_result_block
+from .remote import (
+    WorkerPool,
+    cache_token,
+    decode_result_block,
+    make_server_tls_context,
+)
 from .scenarios import ScenarioSpec, coerce_spec, get_scenario
 
 __all__ = ["Engine", "engine", "current_engine"]
@@ -341,7 +346,7 @@ class Engine:
             return new
         if new.pool_key() != self._options.pool_key():
             self._shutdown_pool()
-        if new.workers != self._options.workers:
+        if new.worker_pool_key() != self._options.worker_pool_key():
             self._shutdown_worker_pool()
         cache_fields = (new.cache, new.cache_dir, new.cache_max_bytes)
         old_fields = (
@@ -627,10 +632,18 @@ class Engine:
                 if self._options.cache
                 else None
             )
+            tls = None
+            if self._options.worker_tls_cert:
+                tls = make_server_tls_context(
+                    self._options.worker_tls_cert,
+                    self._options.worker_tls_key,
+                    self._options.worker_tls_ca,
+                )
             self._worker_pool = WorkerPool(
                 self._options.workers,
                 session_cache_token=token,
                 secret=self._options.worker_secret,
+                tls=tls,
             )
         return self._worker_pool
 
@@ -774,6 +787,49 @@ class Engine:
             )
 
     # -- ensembles -----------------------------------------------------
+    def cached_ensemble(
+        self,
+        workload: Configuration | ScenarioSpec,
+        trials: int,
+        *,
+        seed: int | np.random.SeedSequence,
+        backend: str | None = None,
+        max_interactions: int | None = None,
+    ) -> list[RunResult] | None:
+        """The ensemble's cached results, or ``None`` without simulating.
+
+        A pure cache lookup under the same content-addressed key
+        :meth:`ensemble` would compute — same spec coercion, same
+        variant resolution — so a hit is bit-identical to what a full
+        call returns, and a miss costs one ``stat``.  Unlike
+        :meth:`ensemble` this never activates the session (no
+        ``_SESSION_STACK`` push), which makes it safe to call from a
+        thread other than the one running the engine — the service
+        layer's cache-first fast path relies on exactly that.
+        """
+        self._check_open()
+        spec = coerce_spec(workload)
+        scenario = get_scenario(spec.scenario)
+        scenario.validate(spec)
+        # Resolve the variant from an *explicit* backend name so the
+        # lookup never consults the active-session globals.
+        variant = scenario.variant(backend or self._options.backend)
+        store = self._resolve_cache(None)
+        if store is None:
+            return None
+        key = store.key_for(
+            spec,
+            trials=trials,
+            seed=seed,
+            variant=variant,
+            max_interactions=max_interactions,
+        )
+        results = store.load(key)
+        if results is not None:
+            self._stats["ensembles"] += 1
+            self._stats["replicates_from_cache"] += trials
+        return results
+
     def ensemble(
         self,
         workload: Configuration | ScenarioSpec,

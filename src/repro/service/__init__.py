@@ -1,0 +1,50 @@
+"""Simulation service: an async HTTP front door over one Engine.
+
+The service turns a session into shared infrastructure: submissions are
+content-addressed (identical requests coalesce onto one run and repeat
+requests serve straight from the ensemble cache), admission control
+keeps the queue bounded, and every served result is bit-identical to
+the direct ``Engine`` call at the same seeds.  See
+:mod:`repro.service.server` for the request lifecycle and
+:mod:`repro.service.client` for the blocking client.
+"""
+
+from .client import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceConfigBuilder,
+    ServiceError,
+    ServiceRejection,
+)
+from .http import HttpError
+from .jobs import (
+    RequestError,
+    parse_ensemble,
+    parse_sweep,
+    result_to_jsonable,
+    results_to_jsonable,
+    summarize_results,
+)
+from .server import (
+    DEFAULT_INLINE_LIMIT,
+    BackgroundService,
+    SimulationService,
+)
+
+__all__ = [
+    "BackgroundService",
+    "DEFAULT_INLINE_LIMIT",
+    "HttpError",
+    "RequestError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceConfigBuilder",
+    "ServiceError",
+    "ServiceRejection",
+    "SimulationService",
+    "parse_ensemble",
+    "parse_sweep",
+    "result_to_jsonable",
+    "results_to_jsonable",
+    "summarize_results",
+]

@@ -1,0 +1,281 @@
+"""Client for the simulation service: config builder + blocking HTTP client.
+
+:class:`ServiceConfig` is the immutable description of how to talk to a
+service — endpoint, timeouts, retry posture.  It is constructed through
+:class:`ServiceConfigBuilder`, a chained-setter builder whose ``build()``
+validates the whole configuration at once, so a config object in hand is
+always a valid one::
+
+    config = (
+        ServiceConfig.builder("127.0.0.1:8642")
+        .timeout(30.0)
+        .retries(5)
+        .backoff(0.25)
+        .build()
+    )
+    client = ServiceClient(config)
+    answer = client.ensemble({"workload": "uniform",
+                              "params": {"n": 500, "k": 3},
+                              "trials": 16, "seed": 7})
+
+:class:`ServiceClient` is deliberately synchronous (``http.client`` on a
+kept-alive connection): callers are scripts, tests and benchmark
+harnesses, and the *service* end is where the concurrency lives.  A 429
+rejection is retried with the server's own ``Retry-After`` hint (capped
+by the config's backoff ceiling); anything else surfaces as
+:class:`ServiceError` carrying the decoded error payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceConfigBuilder",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRejection",
+]
+
+
+class ServiceError(RuntimeError):
+    """A non-success answer from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = payload.get("error", f"HTTP {status}")
+        super().__init__(f"{status}: {message}")
+        self.status = int(status)
+        self.payload = payload
+
+
+class ServiceRejection(ServiceError):
+    """A 429/503 the client gave up retrying; ``retry_after`` is the
+    server's last backoff hint in seconds (``None`` if it gave none)."""
+
+    @property
+    def retry_after(self):
+        return self.payload.get("retry_after")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Validated, immutable client configuration.
+
+    Build via :meth:`builder` — the constructor is available for tests
+    but performs no validation.
+    """
+
+    host: str
+    port: int
+    timeout: float = 60.0
+    retries: int = 3
+    backoff: float = 0.5
+    max_backoff: float = 30.0
+
+    @staticmethod
+    def builder(endpoint: str | None = None) -> "ServiceConfigBuilder":
+        """Start a :class:`ServiceConfigBuilder`, optionally seeded with
+        a ``host:port`` endpoint."""
+        builder = ServiceConfigBuilder()
+        if endpoint is not None:
+            builder.endpoint(endpoint)
+        return builder
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class ServiceConfigBuilder:
+    """Chained-setter builder for :class:`ServiceConfig`.
+
+    Every setter returns the builder, so configuration reads as one
+    expression; :meth:`build` validates everything and returns the
+    frozen config.  Setters overwrite — the last call wins.
+    """
+
+    def __init__(self) -> None:
+        self._host: str | None = None
+        self._port: int | None = None
+        self._timeout = 60.0
+        self._retries = 3
+        self._backoff = 0.5
+        self._max_backoff = 30.0
+
+    def endpoint(self, endpoint: str) -> "ServiceConfigBuilder":
+        """Set host and port from a ``host:port`` string."""
+        host, sep, port = str(endpoint).rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"endpoint must look like host:port, got {endpoint!r}"
+            )
+        self._host = host
+        self._port = int(port)
+        return self
+
+    def host(self, host: str) -> "ServiceConfigBuilder":
+        self._host = str(host)
+        return self
+
+    def port(self, port: int) -> "ServiceConfigBuilder":
+        self._port = int(port)
+        return self
+
+    def timeout(self, seconds: float) -> "ServiceConfigBuilder":
+        """Socket timeout for each request, in seconds."""
+        self._timeout = float(seconds)
+        return self
+
+    def retries(self, count: int) -> "ServiceConfigBuilder":
+        """How many times a 429 rejection is retried before giving up."""
+        self._retries = int(count)
+        return self
+
+    def backoff(self, seconds: float) -> "ServiceConfigBuilder":
+        """Base backoff between retries when the server sends no hint."""
+        self._backoff = float(seconds)
+        return self
+
+    def max_backoff(self, seconds: float) -> "ServiceConfigBuilder":
+        """Ceiling on any single retry sleep, hinted or not."""
+        self._max_backoff = float(seconds)
+        return self
+
+    def build(self) -> ServiceConfig:
+        """Validate the assembled configuration and freeze it."""
+        if self._host is None or self._port is None:
+            raise ValueError("endpoint (host and port) is required")
+        if not 0 < self._port < 65536:
+            raise ValueError(f"port out of range: {self._port}")
+        if self._timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self._retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self._backoff < 0 or self._max_backoff < self._backoff:
+            raise ValueError(
+                "backoff must be non-negative and at most max_backoff"
+            )
+        return ServiceConfig(
+            host=self._host,
+            port=self._port,
+            timeout=self._timeout,
+            retries=self._retries,
+            backoff=self._backoff,
+            max_backoff=self._max_backoff,
+        )
+
+
+class ServiceClient:
+    """Blocking HTTP client for one simulation service."""
+
+    def __init__(self, config: ServiceConfig | str) -> None:
+        if isinstance(config, str):
+            config = ServiceConfig.builder(config).build()
+        self.config = config
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport -----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.config.host,
+                self.config.port,
+                timeout=self.config.timeout,
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _request_once(self, method: str, path: str, body: dict | None):
+        conn = self._connection()
+        payload = (
+            None if body is None else json.dumps(body).encode("utf-8")
+        )
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # The kept-alive connection went stale (server drained, or
+            # idle timeout); drop it so the retry dials fresh.
+            self.close()
+            raise
+        try:
+            decoded = json.loads(data) if data else {}
+        except ValueError:
+            decoded = {"error": data.decode("utf-8", "replace")}
+        return response.status, decoded
+
+    def request(self, method: str, path: str, body: dict | None = None):
+        """One request with 429-aware retries; returns the decoded JSON."""
+        config = self.config
+        last_payload: dict = {}
+        for attempt in range(config.retries + 1):
+            try:
+                status, payload = self._request_once(method, path, body)
+            except (ConnectionError, http.client.HTTPException, OSError):
+                if attempt >= config.retries:
+                    raise
+                time.sleep(min(config.max_backoff, config.backoff * (attempt + 1)))
+                continue
+            if status < 400:
+                return payload
+            if status != 429:
+                raise ServiceError(status, payload)
+            last_payload = payload
+            if attempt >= config.retries:
+                break
+            hint = payload.get("retry_after")
+            sleep = (
+                float(hint)
+                if hint is not None
+                else config.backoff * (attempt + 1)
+            )
+            time.sleep(min(config.max_backoff, max(0.0, sleep)))
+        raise ServiceRejection(429, last_payload)
+
+    # -- endpoints -----------------------------------------------------
+    def ensemble(self, spec: dict, *, wait: bool = True) -> dict:
+        """Submit an ensemble; with ``wait`` (default) blocks for the
+        answer, otherwise returns the 202 ticket to poll."""
+        return self.request(
+            "POST", f"/v1/ensemble?wait={'true' if wait else 'false'}", spec
+        )
+
+    def sweep(self, spec: dict, *, wait: bool = True) -> dict:
+        """Submit a sweep (same JSON schema as ``repro sweep --spec-file``)."""
+        return self.request(
+            "POST", f"/v1/sweep?wait={'true' if wait else 'false'}", spec
+        )
+
+    def poll(self, key: str, *, wait: bool = False) -> dict:
+        """Fetch a submitted job's status (``wait`` blocks until done)."""
+        suffix = "?wait=true" if wait else ""
+        return self.request("GET", f"/v1/jobs/{key}{suffix}")
+
+    def results(self, key: str) -> dict:
+        """Fetch full results for a content-addressed cache-key handle."""
+        return self.request("GET", f"/v1/results/{key}")
+
+    def metrics(self) -> dict:
+        """The service's ``/metrics`` in JSON form."""
+        return self.request("GET", "/metrics?format=json")
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")

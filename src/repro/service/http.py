@@ -1,0 +1,175 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the simulation service.
+
+The service speaks plain HTTP/JSON so any client — ``curl``, a browser,
+:mod:`repro.service.client` — can talk to it, but pulling in a web
+framework for five endpoints would break the repo's stdlib+numpy tier-1
+contract.  This module is therefore the whole HTTP layer: parse one
+request off an :class:`asyncio.StreamReader`, render one response as
+bytes.  Keep-alive is supported (the client reuses one connection for a
+poll loop); chunked transfer encoding is not (submissions are small
+JSON documents with a ``Content-Length``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "json_response",
+    "read_request",
+    "render_response",
+]
+
+#: Upper bound on a request body.  Submissions are JSON sweep specs —
+#: even a thousand-cell grid is well under a megabyte.
+MAX_BODY = 32 * 1024 * 1024
+
+#: Header-section guards (one oversized header must not buffer forever).
+MAX_HEADER_COUNT = 64
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the service refuses, carrying the HTTP status to say so."""
+
+    def __init__(self, status: int, message: str, **payload) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+        #: Extra JSON fields for the error body (e.g. ``retry_after``).
+        self.payload = payload
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body)
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400,
+                f"request body must be a JSON object, got "
+                f"{type(payload).__name__}",
+            )
+        return payload
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request off the stream (``None`` on EOF before one starts).
+
+    Raises :class:`HttpError` on anything malformed — the caller turns
+    that into an error response and closes the connection.
+    """
+    try:
+        line = await reader.readline()
+    except (ValueError, ConnectionError):
+        raise HttpError(400, "request line too long") from None
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except (ValueError, ConnectionError):
+            raise HttpError(400, "header line too long") from None
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise HttpError(400, "too many headers")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked transfer encoding is not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY:
+            raise HttpError(413, f"request body exceeds {MAX_BODY} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except Exception:
+            raise HttpError(400, "connection closed mid-body") from None
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        path=unquote(parts.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: tuple = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """One complete HTTP/1.1 response as bytes."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(status: int, payload, **kwargs) -> bytes:
+    """A JSON response; keys sorted so identical payloads serialize
+    identically (part of the service's bit-for-bit determinism story)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return render_response(status, body, **kwargs)

@@ -949,3 +949,242 @@ class TestWarmFleet:
             folded = eng.stats()["cache"]["fabric"]
         assert folded["served"] == live["served"]
         assert folded["hits"] == live["hits"]
+
+
+# ----------------------------------------------------------------------
+# Worker-socket TLS
+# ----------------------------------------------------------------------
+TLS_DIR = Path(__file__).resolve().parent / "data" / "tls"
+SERVER_PEM = str(TLS_DIR / "server.pem")
+SERVER_KEY = str(TLS_DIR / "server.key")
+CLIENT_PEM = str(TLS_DIR / "client.pem")
+CLIENT_KEY = str(TLS_DIR / "client.key")
+
+
+class TestWorkerTLS:
+    """TLS on the worker socket: same frames, same results, new transport.
+
+    The checked-in certificates are self-signed test fixtures (100-year
+    validity) that double as their own pins: the worker pins the pool's
+    certificate with ``cafile=server.pem``, and mutual TLS pins the
+    worker's with ``cafile=client.pem`` on the pool side.
+    """
+
+    def test_tls_ensemble_bit_identical_to_serial(self):
+        from repro.engine.remote import make_client_tls_context
+
+        config = uniform_configuration(80, 3)
+        serial = run_ensemble(config, 8, seed=7, executor="serial")
+        with Engine(
+            cache=False,
+            worker_tls_cert=SERVER_PEM,
+            worker_tls_key=SERVER_KEY,
+        ) as eng:
+            pool = eng.worker_pool()
+            client_tls = make_client_tls_context(cafile=SERVER_PEM)
+            start_worker_thread(pool.endpoint, name="tls-w", tls=client_tls)
+            pool.wait_for_workers(1, timeout=15)
+            remote = eng.ensemble(config, 8, seed=7, executor="remote")
+        assert results_key(remote) == results_key(serial)
+
+    def test_plaintext_worker_rejected_by_tls_pool(self):
+        with Engine(
+            cache=False,
+            worker_tls_cert=SERVER_PEM,
+            worker_tls_key=SERVER_KEY,
+        ) as eng:
+            pool = eng.worker_pool()
+            with pool_poller(pool):
+                # The worker's plaintext hello is not a ClientHello; the
+                # pool's handshake fails and hangs up mid-frame.
+                with pytest.raises((ProtocolError, OSError)):
+                    serve_worker(pool.endpoint, name="plain")
+            assert pool.worker_count() == 0
+
+    def test_tls_worker_rejected_by_plaintext_pool(self):
+        from repro.engine.remote import make_client_tls_context
+
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            with pool_poller(pool):
+                client_tls = make_client_tls_context(cafile=SERVER_PEM)
+                with pytest.raises((ProtocolError, OSError)):
+                    serve_worker(pool.endpoint, name="tls", tls=client_tls)
+            assert pool.worker_count() == 0
+
+    def test_mutual_tls_requires_client_certificate(self):
+        from repro.engine.remote import make_client_tls_context
+
+        config = uniform_configuration(70, 2)
+        serial = run_ensemble(config, 6, seed=9, executor="serial")
+        with Engine(
+            cache=False,
+            worker_tls_cert=SERVER_PEM,
+            worker_tls_key=SERVER_KEY,
+            worker_tls_ca=CLIENT_PEM,
+        ) as eng:
+            pool = eng.worker_pool()
+            with pool_poller(pool):
+                bare = make_client_tls_context(cafile=SERVER_PEM)
+                with pytest.raises((ProtocolError, OSError)):
+                    serve_worker(pool.endpoint, name="certless", tls=bare)
+            assert pool.worker_count() == 0
+            with_cert = make_client_tls_context(
+                cafile=SERVER_PEM, certfile=CLIENT_PEM, keyfile=CLIENT_KEY
+            )
+            start_worker_thread(pool.endpoint, name="mtls", tls=with_cert)
+            pool.wait_for_workers(1, timeout=15)
+            remote = eng.ensemble(config, 6, seed=9, executor="remote")
+        assert results_key(remote) == results_key(serial)
+
+    def test_tls_composes_with_hmac_handshake(self, monkeypatch):
+        from repro.engine.remote import make_client_tls_context
+
+        monkeypatch.delenv(WORKER_SECRET_ENV, raising=False)
+        config = uniform_configuration(60, 2)
+        serial = run_ensemble(config, 5, seed=3, executor="serial")
+        with Engine(
+            cache=False,
+            worker_secret="hunter2",
+            worker_tls_cert=SERVER_PEM,
+            worker_tls_key=SERVER_KEY,
+        ) as eng:
+            pool = eng.worker_pool()
+            client_tls = make_client_tls_context(cafile=SERVER_PEM)
+            start_worker_thread(
+                pool.endpoint, name="both", tls=client_tls, secret="hunter2"
+            )
+            pool.wait_for_workers(1, timeout=15)
+            remote = eng.ensemble(config, 5, seed=3, executor="remote")
+        assert results_key(remote) == results_key(serial)
+
+    def test_configure_tls_rebinds_worker_pool(self):
+        with Engine(cache=False) as eng:
+            plain = eng.worker_pool()
+            eng.configure(
+                worker_tls_cert=SERVER_PEM, worker_tls_key=SERVER_KEY
+            )
+            rebuilt = eng.worker_pool()
+            assert rebuilt is not plain
+
+
+# ----------------------------------------------------------------------
+# Graceful worker drain
+# ----------------------------------------------------------------------
+class TestWorkerDrain:
+    def test_drain_event_exits_cleanly(self):
+        config = uniform_configuration(80, 3)
+        serial = run_ensemble(config, 10, seed=7, executor="serial")
+        drain = threading.Event()
+        served = []
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+
+            def run():
+                served.append(
+                    serve_worker(pool.endpoint, name="drainer", drain=drain)
+                )
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            pool.wait_for_workers(1, timeout=15)
+            remote = eng.ensemble(config, 10, seed=7, executor="remote")
+            drain.set()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            # The bye frame reaches the pool and unregisters the worker.
+            deadline = 0
+            while pool.worker_count() and deadline < 100:
+                pool._poll(0.05)
+                deadline += 1
+            assert pool.worker_count() == 0
+        assert served and served[0] >= 1
+        assert results_key(remote) == results_key(serial)
+
+    def test_drain_mid_sweep_requeues_bit_identically(self):
+        spec = small_sweep(trials=6)
+        serial = run_sweep(spec, seed=13, executor="serial")
+        drain = threading.Event()
+        with Engine(cache=False, scheduler="static") as eng:
+            pool = eng.worker_pool()
+            start_worker_thread(pool.endpoint, name="drainer", drain=drain)
+            start_worker_thread(pool.endpoint, name="steady")
+            pool.wait_for_workers(2, timeout=15)
+            threading.Timer(0.2, drain.set).start()
+            remote = eng.sweep(spec, seed=13, executor="remote", batch_size=2)
+        assert sweep_key(remote) == sweep_key(serial)
+
+    def test_worker_subprocess_sigterm_exits_zero(self):
+        import signal as _signal
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        with Engine(cache=False) as eng:
+            pool = eng.worker_pool()
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    pool.endpoint,
+                    "--name",
+                    "term-me",
+                    "--no-cache",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            try:
+                pool.wait_for_workers(1, timeout=60)
+                proc.send_signal(_signal.SIGTERM)
+                assert proc.wait(timeout=30) == 0
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+            output = proc.stdout.read()
+        assert "drain requested" in output
+        assert "done" in output
+
+    def test_worker_subprocess_tls_flags_and_sigterm(self):
+        import signal as _signal
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        config = uniform_configuration(70, 2)
+        serial = run_ensemble(config, 6, seed=31, executor="serial")
+        with Engine(
+            cache=False,
+            worker_tls_cert=SERVER_PEM,
+            worker_tls_key=SERVER_KEY,
+        ) as eng:
+            pool = eng.worker_pool()
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    pool.endpoint,
+                    "--name",
+                    "tls-cli",
+                    "--no-cache",
+                    "--tls-ca",
+                    SERVER_PEM,
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            try:
+                pool.wait_for_workers(1, timeout=60)
+                remote = eng.ensemble(config, 6, seed=31, executor="remote")
+                proc.send_signal(_signal.SIGTERM)
+                assert proc.wait(timeout=30) == 0
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+        assert results_key(remote) == results_key(serial)
