@@ -484,6 +484,13 @@ def build_parser() -> argparse.ArgumentParser:
         "would exceed this budget (default: engine option "
         "service_max_replicates / REPRO_SERVICE_MAX_REPLICATES)",
     )
+    serve_cmd.add_argument(
+        "--debug",
+        action="store_true",
+        help="include server tracebacks in error responses (local "
+        "debugging only; by default failures are logged server-side and "
+        "clients get a generic message)",
+    )
     _add_engine_arguments(serve_cmd)
 
     submit_cmd = sub.add_parser(
@@ -963,6 +970,7 @@ def _command_serve(args) -> int:
             inline_limit=args.inline_limit or DEFAULT_INLINE_LIMIT,
             max_queue=args.max_queue,
             max_replicates=args.max_replicates,
+            debug=args.debug,
         )
 
         def _announce(endpoint):

@@ -700,6 +700,7 @@ class _WorkerConn:
         "sock",
         "decoder",
         "registered",
+        "handshake_deadline",
         "challenge",
         "name",
         "pid",
@@ -718,6 +719,10 @@ class _WorkerConn:
         self.sock = sock
         self.decoder = FrameDecoder()
         self.registered = False
+        #: Monotonic deadline while a TLS handshake is still in
+        #: progress; ``None`` once the channel is established (always
+        #: ``None`` on plaintext sockets).
+        self.handshake_deadline: float | None = None
         self.challenge: bytes | None = None
         self.name: str | None = None
         self.pid: int | None = None
@@ -860,6 +865,11 @@ class WorkerPool:
                 self._accept()
                 continue
             conn: _WorkerConn = key.data
+            if conn not in self._conns:
+                continue  # dropped earlier in this same select batch
+            if conn.handshake_deadline is not None:
+                self._handshake_step(conn)
+                continue
             # On a TLS socket one selector wakeup can decrypt more than
             # one recv's worth: keep reading while decrypted bytes sit
             # in the SSL layer's buffer (``pending()``), because the raw
@@ -904,6 +914,18 @@ class WorkerPool:
                     self._register(conn, message)
                 else:
                     messages.append((conn, message))
+        if self._tls is not None:
+            # A stalled handshaker never becomes selector-ready, so the
+            # deadline has to be checked on every pass, not only when
+            # its socket fires.
+            now = time.monotonic()
+            for conn in [
+                c
+                for c in self._conns
+                if c.handshake_deadline is not None
+                and now > c.handshake_deadline
+            ]:
+                self._drop(conn)
         return messages
 
     def _accept(self) -> None:
@@ -911,24 +933,60 @@ class WorkerPool:
             sock, _addr = self._listener.accept()
         except (BlockingIOError, OSError):
             return
+        sock.setblocking(False)
+        deadline = None
         if self._tls is not None:
-            # Handshake synchronously under a short timeout: frames only
-            # flow on an established channel, and a peer that stalls
-            # mid-handshake must not wedge the pool.  A plaintext worker
-            # dialing a TLS pool fails right here.
-            sock.settimeout(self._tls_handshake_timeout)
+            # Wrap without handshaking: the handshake advances step-wise
+            # in _poll as the selector reports readiness, so one slow or
+            # stalled connector never blocks frame processing and
+            # dispatch for the established workers.  A peer that goes
+            # quiet mid-handshake is dropped at the deadline; a
+            # plaintext worker dialing a TLS pool fails on its first
+            # handshake step.
             try:
-                sock = self._tls.wrap_socket(sock, server_side=True)
+                sock = self._tls.wrap_socket(
+                    sock, server_side=True, do_handshake_on_connect=False
+                )
             except (OSError, ssl.SSLError):
                 try:
                     sock.close()
                 except OSError:
                     pass
                 return
-        sock.setblocking(False)
+            deadline = time.monotonic() + self._tls_handshake_timeout
         conn = _WorkerConn(sock)
+        conn.handshake_deadline = deadline
         self._conns.append(conn)
         self._selector.register(sock, selectors.EVENT_READ, conn)
+        if deadline is not None:
+            self._handshake_step(conn)
+
+    def _handshake_step(self, conn: _WorkerConn) -> None:
+        """Advance one in-progress TLS handshake without blocking.
+
+        Want-read parks the connection until the selector fires again;
+        want-write additionally watches for writability (rare — the
+        kernel buffer absorbs ServerHello-sized flights).  Completion
+        clears the deadline and returns the socket to plain read
+        interest; any real TLS error drops the connection.
+        """
+        try:
+            conn.sock.do_handshake()
+        except ssl.SSLWantReadError:
+            self._selector.modify(conn.sock, selectors.EVENT_READ, conn)
+            return
+        except ssl.SSLWantWriteError:
+            self._selector.modify(
+                conn.sock,
+                selectors.EVENT_READ | selectors.EVENT_WRITE,
+                conn,
+            )
+            return
+        except (OSError, ValueError):
+            self._drop(conn)
+            return
+        conn.handshake_deadline = None
+        self._selector.modify(conn.sock, selectors.EVENT_READ, conn)
 
     def _reject(self, conn: _WorkerConn, error: str) -> None:
         """Refuse a registration with a reason, then drop the socket."""

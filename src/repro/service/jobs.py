@@ -239,7 +239,7 @@ def parse_ensemble(payload: dict) -> EnsembleJob:
                 f"{type(value).__name__}); submit lists to /v1/sweep"
             )
     trials = _require_int(payload, "trials", default=8, minimum=1)
-    seed = _require_int(payload, "seed", default=20230224)
+    seed = _require_int(payload, "seed", default=20230224, minimum=0)
     budget = _require_int(payload, "max_interactions", minimum=1)
     spec = _build_point(payload, params)
     return EnsembleJob(
@@ -306,7 +306,7 @@ def parse_sweep(payload: dict) -> SweepJob:
     if not isinstance(payload, dict):
         raise RequestError("submission must be a JSON object")
     trials = _require_int(payload, "trials", default=8, minimum=1)
-    seed = _require_int(payload, "seed", default=20230224)
+    seed = _require_int(payload, "seed", default=20230224, minimum=0)
     budget = _require_int(payload, "max_interactions", minimum=1)
     derivation = payload.get("seed_derivation", "spawn")
     if derivation not in SEED_DERIVATIONS:

@@ -39,6 +39,7 @@ global); pure cache *reads* take a small IO pool via
 from __future__ import annotations
 
 import asyncio
+import logging
 import re
 import signal
 import time
@@ -62,6 +63,14 @@ DEFAULT_INLINE_LIMIT = 64
 JOB_RETENTION = 1024
 
 _TERMINAL = ("done", "failed", "rejected")
+
+#: Every key the service mints — ensemble cache keys and sweep job keys
+#: alike — is a sha256 hexdigest.  Key-shaped path segments are matched
+#: against this before any lookup, so a crafted ``/v1/results/..%2F...``
+#: can never reach the cache's filesystem layer.
+_KEY_SHAPE = re.compile(r"[0-9a-f]{64}")
+
+logger = logging.getLogger("repro.service")
 
 
 class JobRecord:
@@ -114,9 +123,15 @@ class SimulationService:
         inline_limit: int = DEFAULT_INLINE_LIMIT,
         max_queue: int | None = None,
         max_replicates: int | None = None,
+        debug: bool = False,
     ) -> None:
         self._engine = engine
         self._inline_limit = int(inline_limit)
+        #: With ``debug`` unset (the default) internal failures are
+        #: logged server-side and clients get a generic message — an
+        #: open endpoint must not leak tracebacks (paths, config, module
+        #: layout).  ``repro serve --debug`` inlines them for local use.
+        self._debug = bool(debug)
         options = engine.options
         self._max_queue = int(
             options.service_max_queue if max_queue is None else max_queue
@@ -299,9 +314,16 @@ class SimulationService:
             )
         except Exception:
             self._counters["errors"] += 1
+            logger.exception(
+                "unhandled error on %s %s", request.method, request.path
+            )
+            detail = (
+                traceback.format_exc()
+                if self._debug
+                else "see the service log"
+            )
             return json_response(
-                500,
-                {"error": "internal error", "detail": traceback.format_exc()},
+                500, {"error": "internal error", "detail": detail}
             )
 
     async def _route(self, request: Request) -> bytes:
@@ -344,7 +366,10 @@ class SimulationService:
             else:
                 job = _jobs.parse_sweep(payload)
                 key = job.key()
-        except _jobs.RequestError as exc:
+        except ValueError as exc:
+            # RequestError and anything the engine's key/seed machinery
+            # rejects (e.g. SeedSequence on out-of-range input): all bad
+            # input, all 400 — never a 500 for a malformed submission.
             raise HttpError(400, str(exc)) from None
 
         record = self._jobs.get(key)
@@ -499,8 +524,14 @@ class SimulationService:
             payload["seconds"] = round(time.perf_counter() - started, 6)
             self._counters["completed"] += 1
             self._finish(record, "done", payload)
-        except Exception:
+        except Exception as exc:
             self._counters["failed"] += 1
+            logger.exception("%s job %s failed", record.kind, record.key)
+            error = (
+                traceback.format_exc()
+                if self._debug
+                else f"{type(exc).__name__} (see the service log)"
+            )
             self._finish(
                 record,
                 "failed",
@@ -508,7 +539,7 @@ class SimulationService:
                     "status": "failed",
                     "kind": record.kind,
                     "key": record.key,
-                    "error": traceback.format_exc(),
+                    "error": error,
                 },
             )
         finally:
@@ -531,7 +562,15 @@ class SimulationService:
         return json_response(status, payload)
 
     # -- read-only endpoints -------------------------------------------
+    @staticmethod
+    def _check_key(key: str, what: str) -> None:
+        if _KEY_SHAPE.fullmatch(key) is None:
+            raise HttpError(
+                404, f"{what} keys are 64-character sha256 hex digests"
+            )
+
     async def _job_status(self, request: Request, key: str) -> bytes:
+        self._check_key(key, "job")
         record = self._jobs.get(key)
         if record is None:
             raise HttpError(404, f"no job with key {key!r}")
@@ -539,6 +578,11 @@ class SimulationService:
         return await self._respond(record, wait or record.status in _TERMINAL)
 
     async def _cached_results(self, key: str) -> bytes:
+        # The key becomes a filename under the cache root, so the shape
+        # check is load-bearing: without it '../'-style keys would name
+        # (and unpickle, or on corruption delete) files outside the
+        # cache directory.
+        self._check_key(key, "result")
         store = self._engine.cache
         if store is None:
             raise HttpError(404, "this service has no ensemble cache")

@@ -15,6 +15,7 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -1057,6 +1058,38 @@ class TestWorkerTLS:
             pool.wait_for_workers(1, timeout=15)
             remote = eng.ensemble(config, 5, seed=3, executor="remote")
         assert results_key(remote) == results_key(serial)
+
+    def test_stalled_connector_does_not_block_registration(self):
+        """A peer that never finishes its TLS handshake must not wedge
+        the pool: handshakes advance via the selector, so a silent
+        connection just sits until its deadline drops it while real
+        workers register and serve."""
+        from repro.engine.remote import make_client_tls_context
+
+        with Engine(
+            cache=False,
+            worker_tls_cert=SERVER_PEM,
+            worker_tls_key=SERVER_KEY,
+        ) as eng:
+            pool = eng.worker_pool()
+            pool._tls_handshake_timeout = 0.5
+            host, port = pool.endpoint.rsplit(":", 1)
+            stalled = socket.create_connection((host, int(port)), timeout=5)
+            try:
+                client_tls = make_client_tls_context(cafile=SERVER_PEM)
+                start_worker_thread(
+                    pool.endpoint, name="live", tls=client_tls
+                )
+                pool.wait_for_workers(1, timeout=15)
+                assert pool.worker_count() == 1
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline and len(pool._conns) != 1:
+                    pool._poll(0.05)
+                # The silent connection hit its handshake deadline and
+                # was dropped; only the registered worker remains.
+                assert len(pool._conns) == 1
+            finally:
+                stalled.close()
 
     def test_configure_tls_rebinds_worker_pool(self):
         with Engine(cache=False) as eng:

@@ -123,11 +123,19 @@ class TestSchema:
             {"params": {"n": 50, "k": 2},
              "scenario": {"name": "usd", "extra": 1}},
             {"params": {"n": 50}},  # uniform needs k
+            {"params": {"n": 50, "k": 2}, "seed": -1},
         ],
     )
     def test_bad_ensemble_submissions_rejected(self, bad):
         with pytest.raises(RequestError):
             parse_ensemble(bad)
+
+    def test_negative_sweep_seed_rejected(self):
+        with pytest.raises(RequestError):
+            parse_sweep(
+                {"workload": "uniform", "params": {"n": [60], "k": 2},
+                 "seed": -1}
+            )
 
     def test_scenario_overlay_round_trip(self):
         job = parse_ensemble(
@@ -480,6 +488,84 @@ class TestHttpEdges:
             final = client.poll(ticket["key"], wait=True)
         assert final["status"] == "done"
         assert final["results"] is not None
+
+    def test_negative_seed_is_400(self, endpoint):
+        status, body = raw_request(
+            endpoint,
+            "POST",
+            "/v1/ensemble",
+            json.dumps({**SPEC, "seed": -1}).encode(),
+        )
+        assert status == 400
+        assert b"seed" in body
+
+
+# ----------------------------------------------------------------------
+# Hardening: the front door is reachable by untrusted clients
+# ----------------------------------------------------------------------
+class TestHardening:
+    def test_traversal_result_key_is_404_and_touches_nothing(self, tmp_path):
+        """Key-shaped path segments must never escape the cache root.
+
+        Without the sha256-shape check, ``GET /v1/results/..%2Fdecoy``
+        reaches ``EnsembleCache.load`` as ``../decoy``, which opens —
+        and, via the corruption handler, unlinks — ``decoy.pkl`` one
+        directory above the cache.
+        """
+        cache_dir = tmp_path / "cache"
+        decoy = tmp_path / "decoy.pkl"
+        decoy.write_bytes(b"not a pickle")
+        with Engine(cache=True, cache_dir=str(cache_dir)) as eng:
+            with BackgroundService(eng) as endpoint:
+                status, body = raw_request(
+                    endpoint, "GET", "/v1/results/..%2Fdecoy"
+                )
+        assert status == 404
+        assert b"sha256" in body
+        assert decoy.read_bytes() == b"not a pickle"
+
+    def test_job_key_shape_enforced(self, tmp_path):
+        with Engine(cache=False) as eng:
+            with BackgroundService(eng) as endpoint:
+                status, body = raw_request(
+                    endpoint, "GET", "/v1/jobs/..%2F..%2Fetc%2Fpasswd"
+                )
+        assert status == 404
+        assert b"sha256" in body
+
+    def test_job_failure_is_opaque_without_debug(self):
+        with Engine(cache=False) as eng:
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("/secret/filesystem/path")
+
+            eng.ensemble = boom
+            with BackgroundService(eng) as endpoint:
+                status, body = raw_request(
+                    endpoint, "POST", "/v1/ensemble", json.dumps(SPEC).encode()
+                )
+        assert status == 500
+        payload = json.loads(body)
+        assert payload["status"] == "failed"
+        assert "RuntimeError" in payload["error"]
+        assert "Traceback" not in payload["error"]
+        assert "/secret/filesystem/path" not in body.decode()
+
+    def test_debug_mode_inlines_traceback(self):
+        with Engine(cache=False) as eng:
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("boom")
+
+            eng.ensemble = boom
+            with BackgroundService(eng, debug=True) as endpoint:
+                status, body = raw_request(
+                    endpoint, "POST", "/v1/ensemble", json.dumps(SPEC).encode()
+                )
+        assert status == 500
+        payload = json.loads(body)
+        assert "Traceback" in payload["error"]
+        assert "RuntimeError: boom" in payload["error"]
 
 
 # ----------------------------------------------------------------------
